@@ -1,0 +1,66 @@
+// E2 — Cost vs. number of composed aspects (single thread).
+//
+// Claim checked: per-invocation cost grows linearly and gently with the
+// number of aspects in the method's chain (each aspect adds one guard, one
+// entry and one postaction virtual call under the already-held lock).
+// Arg(0) = number of registered no-op aspects: 0, 1, 2, 4, 8, 16.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/framework.hpp"
+
+namespace {
+
+using namespace amf;
+
+struct Service {
+  std::uint64_t hits = 0;
+};
+
+void BM_AspectChainLength(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::ComponentProxy<Service> proxy{Service{}};
+  const auto m = runtime::MethodId::of("scaling-work");
+  for (std::size_t i = 0; i < n; ++i) {
+    proxy.moderator().register_aspect(
+        m, runtime::AspectKind::of("noop-" + std::to_string(i)),
+        std::make_shared<core::LambdaAspect>("noop"));
+  }
+  for (auto _ : state) {
+    auto r = proxy.invoke(m, [](Service& s) { return ++s.hits; });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["aspects"] = static_cast<double>(n);
+}
+BENCHMARK(BM_AspectChainLength)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Same sweep but with stateful guard aspects (mutual exclusion), showing
+// that "real" guards cost the same order as no-ops.
+void BM_StatefulChainLength(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::ComponentProxy<Service> proxy{Service{}};
+  const auto m = runtime::MethodId::of("scaling-stateful");
+  for (std::size_t i = 0; i < n; ++i) {
+    // Limit 1 each; single-threaded, so never blocks.
+    proxy.moderator().register_aspect(
+        m, runtime::AspectKind::of("mx-" + std::to_string(i)),
+        std::make_shared<core::LambdaAspect>(
+            "mx",
+            [](core::InvocationContext&) { return core::Decision::kResume; },
+            [](core::InvocationContext&) {},
+            [](core::InvocationContext&) {}));
+  }
+  for (auto _ : state) {
+    auto r = proxy.invoke(m, [](Service& s) { return ++s.hits; });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["aspects"] = static_cast<double>(n);
+}
+BENCHMARK(BM_StatefulChainLength)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// E7 — Moderation cost in its target setting: distributed calls.
+//
+// Claim checked: in the paper's target domain (distributed client/server
+// systems, ICDCS), per-call moderation cost is noise — marshaling, queueing
+// and link latency dominate it by orders of magnitude.
+//
+//   local      — moderated in-process call (the E1 number, for reference)
+//   rpc0       — same call via the RPC stub, zero link latency
+//   rpc200us   — same with 200µs simulated one-way latency
+#include <benchmark/benchmark.h>
+
+#include "apps/ticket/ticket_proxy.hpp"
+#include "net/rpc.hpp"
+
+namespace {
+
+using namespace amf;
+using namespace amf::apps::ticket;
+
+void BM_LocalModerated(benchmark::State& state) {
+  auto proxy = make_ticket_proxy(4);
+  for (auto _ : state) {
+    (void)open_ticket(*proxy, Ticket{1, "", ""});
+    benchmark::DoNotOptimize(assign_ticket(*proxy));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_LocalModerated);
+
+void run_rpc(benchmark::State& state, runtime::Duration latency) {
+  net::Transport::Options link;
+  link.min_latency = latency;
+  net::Transport transport{link};
+  auto proxy = make_ticket_proxy(4);
+  net::RpcServer server(transport, "tickets", 2);
+  server.register_method("open", [&](const net::Envelope& req) {
+    Ticket t;
+    t.id = req.get_u64("id").value_or(0);
+    auto r = open_ticket(*proxy, std::move(t));
+    net::Envelope resp;
+    if (!r.ok()) resp.put("error", r.error.to_string());
+    return resp;
+  });
+  server.register_method("assign", [&](const net::Envelope&) {
+    auto r = assign_ticket(*proxy);
+    net::Envelope resp;
+    if (r.ok()) {
+      resp.put_u64("id", r.value->id);
+    } else {
+      resp.put("error", r.error.to_string());
+    }
+    return resp;
+  });
+  server.start();
+  net::RpcClient client(transport, "bench-client");
+  for (auto _ : state) {
+    net::Envelope open;
+    open.method = "open";
+    open.put_u64("id", 1);
+    benchmark::DoNotOptimize(
+        client.call("tickets", std::move(open), std::chrono::seconds(5)));
+    net::Envelope assign;
+    assign.method = "assign";
+    benchmark::DoNotOptimize(
+        client.call("tickets", std::move(assign), std::chrono::seconds(5)));
+  }
+  server.stop();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+
+void BM_RpcZeroLatency(benchmark::State& state) {
+  run_rpc(state, runtime::Duration{0});
+}
+BENCHMARK(BM_RpcZeroLatency)->Unit(benchmark::kMicrosecond);
+
+void BM_RpcSimulatedLink(benchmark::State& state) {
+  run_rpc(state, std::chrono::microseconds(200));
+}
+BENCHMARK(BM_RpcSimulatedLink)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// E4 — Cost of adding a concern (§5.3 adaptability, quantified).
+//
+// Claim checked: each additional concern costs roughly one fixed pipeline
+// stage (the E2 slope), not a rewrite. The series stack concerns the way
+// the extended trouble-ticketing system does, on a single thread:
+//
+//   base            — bare proxy
+//   +sync           — mutual exclusion
+//   +auth           — authentication (live credential store lookup)
+//   +audit          — event-log audit trail
+//   +timing         — wait/service histograms
+//
+// For perspective, the last series is the hand-tangled equivalent of the
+// full stack.
+#include <benchmark/benchmark.h>
+
+#include "aspects/aspects.hpp"
+#include "core/framework.hpp"
+
+namespace {
+
+using namespace amf;
+
+struct Service {
+  std::uint64_t hits = 0;
+};
+
+struct Stack {
+  runtime::CredentialStore store;
+  runtime::EventLog log;
+  runtime::Registry metrics;
+  runtime::Principal session;
+  core::ComponentProxy<Service> proxy{Service{}};
+  runtime::MethodId m = runtime::MethodId::of("ext-work");
+
+  explicit Stack(int level) {
+    (void)store.add_user("bench", "pw", {"worker"});
+    session = store.login("bench", "pw").value();
+    auto& mod = proxy.moderator();
+    mod.bank().set_kind_order(
+        {runtime::kinds::authentication(), runtime::kinds::synchronization(),
+         runtime::kinds::audit(), runtime::kinds::timing()});
+    if (level >= 1) {
+      mod.register_aspect(m, runtime::kinds::synchronization(),
+                          std::make_shared<aspects::MutualExclusionAspect>());
+    }
+    if (level >= 2) {
+      mod.register_aspect(
+          m, runtime::kinds::authentication(),
+          std::make_shared<aspects::AuthenticationAspect>(store));
+    }
+    if (level >= 3) {
+      mod.register_aspect(m, runtime::kinds::audit(),
+                          std::make_shared<aspects::AuditAspect>(log));
+    }
+    if (level >= 4) {
+      mod.register_aspect(
+          m, runtime::kinds::timing(),
+          std::make_shared<aspects::TimingAspect>(
+              metrics, runtime::RealClock::instance()));
+    }
+  }
+};
+
+void BM_ConcernStack(benchmark::State& state) {
+  Stack stack(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = stack.proxy.call(stack.m).as(stack.session).run(
+        [](Service& s) { return ++s.hits; });
+    benchmark::DoNotOptimize(r);
+  }
+  // The audit log grows unboundedly; clearing keeps memory flat without
+  // touching the timed region.
+  stack.log.clear();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["concerns"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ConcernStack)->DenseRange(0, 4);
+
+// Tangled equivalent of the full stack: session check + lock + two log
+// appends + two clock reads, inline.
+void BM_TangledFullStack(benchmark::State& state) {
+  runtime::CredentialStore store;
+  runtime::EventLog log;
+  runtime::Registry metrics;
+  (void)store.add_user("bench", "pw", {"worker"});
+  auto session = store.login("bench", "pw").value();
+  auto& wait_h = metrics.histogram("tangled.wait_ns");
+  auto& service_h = metrics.histogram("tangled.service_ns");
+  std::mutex mu;
+  Service svc;
+  for (auto _ : state) {
+    const auto enqueued = runtime::RealClock::instance().now();
+    if (!store.valid_token(session.token)) continue;
+    log.append("audit", "arrive:work");
+    std::unique_lock lock(mu);
+    const auto admitted = runtime::RealClock::instance().now();
+    wait_h.record((admitted - enqueued).count());
+    log.append("audit", "enter:work:bench");
+    benchmark::DoNotOptimize(++svc.hits);
+    lock.unlock();
+    service_h.record(
+        (runtime::RealClock::instance().now() - admitted).count());
+    log.append("audit", "exit:work:ok");
+  }
+  log.clear();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TangledFullStack);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// E5 — Aspect creation, registration and bank lookup rates.
+//
+// Claim checked: the run-time openness the framework depends on (aspects
+// are created and (re)registered as first-class values, Figs. 4–6/9) is
+// cheap enough to happen at any time, including live reconfiguration.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/framework.hpp"
+
+namespace {
+
+using namespace amf;
+using core::AspectPtr;
+using runtime::AspectKind;
+using runtime::MethodId;
+
+void BM_FactoryCreate(benchmark::State& state) {
+  core::RegistryAspectFactory factory;
+  const auto m = MethodId::of("f-open");
+  const auto k = AspectKind::of("f-sync");
+  factory.bind_kind(k, [](MethodId, AspectKind) {
+    return std::make_shared<core::LambdaAspect>("sync");
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(factory.create(m, k));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FactoryCreate);
+
+void BM_BankRegisterReplace(benchmark::State& state) {
+  core::AspectBank bank;
+  const auto m = MethodId::of("f-open");
+  const auto k = AspectKind::of("f-sync");
+  auto aspect = std::make_shared<core::LambdaAspect>("sync");
+  for (auto _ : state) {
+    bank.register_aspect(m, k, aspect);  // replace same cell each time
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BankRegisterReplace);
+
+void BM_BankChainLookup(benchmark::State& state) {
+  core::AspectBank bank;
+  const auto m = MethodId::of("f-open");
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    bank.register_aspect(m, AspectKind::of("fk-" + std::to_string(i)),
+                         std::make_shared<core::LambdaAspect>("a"));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bank.chain(m));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["chain_len"] = static_cast<double>(n);
+}
+BENCHMARK(BM_BankChainLookup)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_EquipWholeComponent(benchmark::State& state) {
+  // Fig. 5: wire a fresh component cluster (methods × kinds) per iteration.
+  const int methods_n = static_cast<int>(state.range(0));
+  std::vector<MethodId> methods;
+  std::vector<AspectKind> kinds;
+  for (int i = 0; i < methods_n; ++i) {
+    methods.push_back(MethodId::of("fm-" + std::to_string(i)));
+  }
+  for (const char* k : {"sync", "auth", "audit"}) {
+    kinds.push_back(AspectKind::of(std::string("fe-") + k));
+  }
+  auto factory = std::make_shared<core::RegistryAspectFactory>();
+  for (const auto k : kinds) {
+    factory->bind_kind(k, [](MethodId, AspectKind kk) {
+      return std::make_shared<core::LambdaAspect>(std::string(kk.name()));
+    });
+  }
+  for (auto _ : state) {
+    core::AspectModerator moderator;
+    const auto registered = core::equip_from_factory(
+        moderator, *factory, methods, kinds);
+    benchmark::DoNotOptimize(registered);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          methods_n * 3);
+  state.counters["methods"] = methods_n;
+}
+BENCHMARK(BM_EquipWholeComponent)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_MethodIdIntern(benchmark::State& state) {
+  // Hot-path id cost: repeated interning of an existing name.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MethodId::of("f-hot-method"));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MethodIdIntern);
+
+}  // namespace
+
+BENCHMARK_MAIN();

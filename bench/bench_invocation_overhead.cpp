@@ -1,0 +1,70 @@
+// E1 — Moderation overhead per invocation (single thread).
+//
+// Claim checked: wrapping a functional component in the Aspect Moderator
+// cluster costs a small constant per call over the tangled monitor version,
+// which already pays for a lock. Reported series:
+//
+//   direct   — raw sequential TicketServer (no locks, no framework)
+//   tangled  — hand-written monitor (mutex + condvars inline)
+//   bare     — ComponentProxy with an EMPTY aspect chain (framework skeleton)
+//   moderated— ComponentProxy with the paper's two sync aspects
+#include <benchmark/benchmark.h>
+
+#include "apps/ticket/tangled_ticket_server.hpp"
+#include "apps/ticket/ticket_proxy.hpp"
+
+namespace {
+
+using namespace amf;
+using namespace amf::apps::ticket;
+
+Ticket make_ticket() { return Ticket{1, "bench", "bench"}; }
+
+void BM_DirectCall(benchmark::State& state) {
+  TicketServer server(2);
+  for (auto _ : state) {
+    server.open(make_ticket());
+    benchmark::DoNotOptimize(server.assign());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_DirectCall);
+
+void BM_TangledMonitor(benchmark::State& state) {
+  TangledTicketServer server(2);
+  for (auto _ : state) {
+    server.open(make_ticket());
+    benchmark::DoNotOptimize(server.assign());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_TangledMonitor);
+
+void BM_BareProxy(benchmark::State& state) {
+  core::ComponentProxy<TicketServer> proxy{TicketServer(2)};
+  const auto open = runtime::MethodId::of("bare-open");
+  const auto assign = runtime::MethodId::of("bare-assign");
+  for (auto _ : state) {
+    (void)proxy.invoke(open,
+                       [](TicketServer& s) { s.open(make_ticket()); });
+    auto r = proxy.invoke(assign, [](TicketServer& s) { return s.assign(); });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_BareProxy);
+
+void BM_ModeratedProxy(benchmark::State& state) {
+  auto proxy = make_ticket_proxy(2);
+  for (auto _ : state) {
+    (void)open_ticket(*proxy, make_ticket());
+    auto r = assign_ticket(*proxy);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_ModeratedProxy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// E6 — Scheduling concern: throughput and tail wait time per caller class.
+//
+// Claim checked: an admission-ordering concern composes onto a contended
+// method without touching functional code, trading a little throughput for
+// class separation — with priority scheduling, premium callers' p99 wait
+// drops well below standard callers'; without it, the classes are
+// indistinguishable.
+//
+// Reported counters (ns): p99_wait_hi / p99_wait_lo for the two classes.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "aspects/scheduling.hpp"
+#include "aspects/synchronization.hpp"
+#include "core/framework.hpp"
+#include "runtime/metrics.hpp"
+
+namespace {
+
+using namespace amf;
+
+struct Service {
+  std::uint64_t hits = 0;
+};
+
+enum class Mode { kNone, kFifo, kPriority };
+
+void run_workload(benchmark::State& state, Mode mode) {
+  constexpr int kThreads = 8;
+  constexpr int kOps = 400;
+  runtime::Histogram wait_hi, wait_lo;
+  std::int64_t total_ops = 0;
+
+  for (auto _ : state) {
+    core::ComponentProxy<Service> proxy{Service{}};
+    const auto m = runtime::MethodId::of("sched-work");
+    auto& mod = proxy.moderator();
+    mod.bank().set_kind_order({runtime::kinds::scheduling(),
+                               runtime::kinds::synchronization()});
+    if (mode == Mode::kFifo) {
+      mod.register_aspect(m, runtime::kinds::scheduling(),
+                          std::make_shared<aspects::FifoFairnessAspect>());
+    } else if (mode == Mode::kPriority) {
+      mod.register_aspect(
+          m, runtime::kinds::scheduling(),
+          std::make_shared<aspects::PrioritySchedulingAspect>());
+    }
+    mod.register_aspect(m, runtime::kinds::synchronization(),
+                        std::make_shared<aspects::MutualExclusionAspect>());
+    {
+      std::vector<std::jthread> threads;
+      for (int t = 0; t < kThreads; ++t) {
+        const bool premium = t % 4 == 0;  // 2 premium, 6 standard
+        threads.emplace_back([&, premium] {
+          for (int i = 0; i < kOps; ++i) {
+            auto r = proxy.call(m)
+                         .priority(premium ? 10 : 0)
+                         .run([](Service& s) { ++s.hits; });
+            if (r.ok()) {
+              (premium ? wait_hi : wait_lo).record(r.wait_time.count());
+            }
+          }
+        });
+      }
+    }
+    total_ops += kThreads * kOps;
+  }
+  state.SetItemsProcessed(total_ops);
+  state.counters["p99_wait_hi_ns"] =
+      static_cast<double>(wait_hi.percentile(0.99));
+  state.counters["p99_wait_lo_ns"] =
+      static_cast<double>(wait_lo.percentile(0.99));
+  state.counters["mean_wait_hi_ns"] = wait_hi.mean();
+  state.counters["mean_wait_lo_ns"] = wait_lo.mean();
+}
+
+void BM_NoScheduler(benchmark::State& state) {
+  run_workload(state, Mode::kNone);
+}
+void BM_FifoScheduler(benchmark::State& state) {
+  run_workload(state, Mode::kFifo);
+}
+void BM_PriorityScheduler(benchmark::State& state) {
+  run_workload(state, Mode::kPriority);
+}
+
+BENCHMARK(BM_NoScheduler)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_FifoScheduler)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_PriorityScheduler)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

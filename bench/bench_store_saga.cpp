@@ -1,0 +1,115 @@
+// E10 — Multi-component coordination: the store's moderated checkout saga
+// (reserve → charge → record across three components sharing one
+// moderator) vs a hand-locked equivalent (one mutex per component, inline
+// auth checks, no framework).
+//
+// Claim checked: coordinating a CLUSTER of components through one shared
+// moderator keeps the per-saga overhead in the same fixed-constant regime
+// as single-component moderation (≈3× the E1 constant — one moderated call
+// per step), rather than compounding.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "apps/store/store.hpp"
+
+namespace {
+
+using namespace amf;
+using namespace amf::apps::store;
+
+constexpr int kThreads = 4;
+constexpr int kOpsPerThread = 1'000;
+
+void BM_ModeratedCheckoutSaga(benchmark::State& state) {
+  runtime::CredentialStore sessions;
+  runtime::EventLog audit;
+  (void)sessions.add_user("merchant", "pw", {"merchant"});
+  (void)sessions.add_user("buyer", "pw", {});
+  auto merchant = sessions.login("merchant", "pw").value();
+  auto buyer = sessions.login("buyer", "pw").value();
+
+  for (auto _ : state) {
+    Store store(sessions, audit);
+    (void)store.stock_item(merchant, "widget",
+                           kThreads * kOpsPerThread, 1);
+    (void)store.deposit(buyer, kThreads * kOpsPerThread);
+    {
+      std::vector<std::jthread> threads;
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+          for (int i = 0; i < kOpsPerThread; ++i) {
+            benchmark::DoNotOptimize(store.checkout(buyer, "widget", 1));
+          }
+        });
+      }
+    }
+    audit.clear();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kThreads * kOpsPerThread);
+}
+BENCHMARK(BM_ModeratedCheckoutSaga)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Hand-locked baseline: same three sequential components, one mutex each,
+// session check inline, compensation inline — everything the aspects do,
+// written by hand without the framework (and without its audit trail,
+// which E4 showed dominates — so this is a generous baseline).
+void BM_TangledCheckoutSaga(benchmark::State& state) {
+  runtime::CredentialStore sessions;
+  (void)sessions.add_user("buyer", "pw", {});
+  auto buyer = sessions.login("buyer", "pw").value();
+
+  for (auto _ : state) {
+    Inventory inventory;
+    PaymentLedger ledger;
+    OrderBook orders;
+    std::mutex inv_mu, ledger_mu, orders_mu;
+    inventory.add_stock("widget", kThreads * kOpsPerThread);
+    ledger.deposit("buyer", kThreads * kOpsPerThread);
+    {
+      std::vector<std::jthread> threads;
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+          for (int i = 0; i < kOpsPerThread; ++i) {
+            if (!sessions.valid_token(buyer.token)) continue;
+            bool reserved;
+            {
+              std::scoped_lock lock(inv_mu);
+              reserved = inventory.reserve("widget", 1);
+            }
+            if (!reserved) continue;
+            bool charged;
+            {
+              std::scoped_lock lock(ledger_mu);
+              charged = ledger.charge("buyer", 1);
+            }
+            if (!charged) {
+              std::scoped_lock lock(inv_mu);
+              inventory.release("widget", 1);
+              continue;
+            }
+            {
+              std::scoped_lock lock(orders_mu);
+              benchmark::DoNotOptimize(
+                  orders.record(Order{0, "buyer", "widget", 1, 1}));
+            }
+          }
+        });
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kThreads * kOpsPerThread);
+}
+BENCHMARK(BM_TangledCheckoutSaga)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

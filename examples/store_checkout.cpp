@@ -1,0 +1,84 @@
+// Online store: three sequential components (inventory, ledger, orders)
+// coordinated through one shared moderator, with a saga-style checkout
+// (reserve → charge → record, compensating on failure). Concurrent buyers
+// race for limited stock with limited funds; conservation of money and
+// stock is checked at the end.
+//
+// Run: ./build/examples/store_checkout [buyers] [stock]
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "apps/store/store.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amf;
+  using namespace amf::apps::store;
+
+  const int buyers = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::uint32_t stock_units =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 30;
+
+  runtime::CredentialStore sessions;
+  runtime::EventLog audit;
+  (void)sessions.add_user("merchant", "pw", {"merchant"});
+  for (int b = 0; b < buyers; ++b) {
+    (void)sessions.add_user("buyer" + std::to_string(b), "pw", {});
+  }
+
+  Store store(sessions, audit);
+  auto merchant = sessions.login("merchant", "pw").value();
+  if (!store.stock_item(merchant, "widget", stock_units, 10).ok()) return 1;
+
+  long total_deposited = 0;
+  std::vector<runtime::Principal> accounts;
+  for (int b = 0; b < buyers; ++b) {
+    auto me = sessions.login("buyer" + std::to_string(b), "pw").value();
+    const long funds = 100 + b * 40;  // uneven budgets
+    (void)store.deposit(me, funds);
+    total_deposited += funds;
+    accounts.push_back(me);
+  }
+
+  std::atomic<int> sold{0}, out_of_stock{0}, out_of_funds{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int b = 0; b < buyers; ++b) {
+      threads.emplace_back([&, b] {
+        for (int i = 0; i < 20; ++i) {
+          auto r = store.checkout(accounts[b], "widget", 1);
+          if (r.ok()) {
+            sold.fetch_add(1);
+          } else if (r.error().message.find("stock") != std::string::npos) {
+            out_of_stock.fetch_add(1);
+          } else {
+            out_of_funds.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+
+  long balances = 0;
+  for (const auto& me : accounts) balances += store.balance(me.name);
+
+  std::cout << "sold " << sold.load() << " widgets ("
+            << out_of_stock.load() << " stock refusals, "
+            << out_of_funds.load() << " fund refusals)\n"
+            << "stock left:  " << store.stock("widget") << '\n'
+            << "revenue:     " << store.revenue() << '\n'
+            << "audit trail: " << audit.by_category("store").size()
+            << " events\n";
+
+  const bool stock_conserved =
+      store.stock("widget") + static_cast<std::uint32_t>(sold.load()) ==
+      stock_units;
+  const bool money_conserved =
+      balances + store.revenue() == total_deposited;
+  std::cout << "stock conserved: " << (stock_conserved ? "yes" : "NO")
+            << ", money conserved: " << (money_conserved ? "yes" : "NO")
+            << '\n';
+  return stock_conserved && money_conserved ? 0 : 1;
+}

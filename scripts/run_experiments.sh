@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerates every experiment series reported in EXPERIMENTS.md.
+#
+# Usage:  scripts/run_experiments.sh [build-dir]
+#
+# Runs each bench binary (E1–E9) and prints the rows EXPERIMENTS.md quotes,
+# in the same order. Absolute numbers vary with the machine; the shapes
+# (who wins, by what factor) are what the document's claims rest on.
+set -euo pipefail
+
+BUILD=${1:-build}
+BENCH="$BUILD/bench"
+
+if [[ ! -d "$BENCH" ]]; then
+  echo "error: $BENCH not found — configure and build first:" >&2
+  echo "  cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+  exit 1
+fi
+
+run() { # run <binary> <header>
+  local bin="$BENCH/$1"
+  shift
+  echo
+  echo "==================== $* ===================="
+  "$bin" --benchmark_color=false 2>/dev/null | grep -E "^BM_|^-{10}|^Benchmark"
+}
+
+run bench_invocation_overhead "E1 — moderation overhead per invocation"
+run bench_aspect_scaling      "E2 — cost vs number of aspects"
+run bench_contention          "E3 — contention: framework vs tangled"
+run bench_extension_cost      "E4 — cost of adding a concern"
+run bench_factory             "E5 — creation/registration rates"
+run bench_scheduling          "E6 — scheduling: throughput + tail wait per class"
+run bench_distribution        "E7 — local vs RPC vs simulated link"
+run bench_readers_writer      "E8 — RW aspect vs shared_mutex"
+run bench_ablation            "E9 — ablations (notification plan, kind order)"
+run bench_store_saga          "E10 — multi-component saga vs hand-locked baseline"
+
+echo
+echo "All experiment series regenerated. Compare shapes against EXPERIMENTS.md."

@@ -1,0 +1,73 @@
+#include "apps/auction/auction_house.hpp"
+
+namespace amf::apps::auction {
+
+std::uint64_t AuctionHouse::list_item(std::string title,
+                                      std::int64_t reserve_price,
+                                      std::string seller) {
+  const auto id = next_id_++;
+  Item item;
+  item.id = id;
+  item.title = std::move(title);
+  item.seller = std::move(seller);
+  item.reserve_price = reserve_price;
+  items_.emplace(id, std::move(item));
+  return id;
+}
+
+bool AuctionHouse::place_bid(std::uint64_t item_id, const std::string& bidder,
+                             std::int64_t amount) {
+  Item& item = live_item(item_id);
+  if (amount <= item.highest_bid) return false;
+  item.highest_bid = amount;
+  item.highest_bidder = bidder;
+  return true;
+}
+
+Sale AuctionHouse::close_auction(std::uint64_t item_id) {
+  Item& item = live_item(item_id);
+  item.closed = true;
+  Sale sale;
+  sale.item_id = item_id;
+  sale.reserve_met = item.highest_bid >= item.reserve_price &&
+                     !item.highest_bidder.empty();
+  if (sale.reserve_met) {
+    sale.winner = item.highest_bidder;
+    sale.amount = item.highest_bid;
+  }
+  return sale;
+}
+
+std::optional<Item> AuctionHouse::item(std::uint64_t item_id) const {
+  auto it = items_.find(item_id);
+  if (it == items_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t AuctionHouse::open_items() const {
+  std::size_t n = 0;
+  for (const auto& [_, item] : items_) {
+    if (!item.closed) ++n;
+  }
+  return n;
+}
+
+std::vector<std::uint64_t> AuctionHouse::item_ids() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(items_.size());
+  for (const auto& [id, _] : items_) out.push_back(id);
+  return out;
+}
+
+Item& AuctionHouse::live_item(std::uint64_t item_id) {
+  auto it = items_.find(item_id);
+  if (it == items_.end()) {
+    throw std::invalid_argument("unknown item: " + std::to_string(item_id));
+  }
+  if (it->second.closed) {
+    throw std::logic_error("auction closed: " + std::to_string(item_id));
+  }
+  return it->second;
+}
+
+}  // namespace amf::apps::auction

@@ -1,0 +1,67 @@
+// AuctionHouse: sequential functional component for the online-auction
+// scenario the paper's §2 motivates ("online auctions are becoming
+// increasingly popular").
+//
+// Like TicketServer, this class is single-threaded by construction; the
+// interaction concerns (exclusion, authentication, authorization, audit)
+// are composed around it by make_auction_proxy().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace amf::apps::auction {
+
+/// A listed item with its bid state.
+struct Item {
+  std::uint64_t id = 0;
+  std::string title;
+  std::string seller;
+  std::int64_t reserve_price = 0;
+  std::int64_t highest_bid = 0;
+  std::string highest_bidder;
+  bool closed = false;
+};
+
+/// Outcome of closing an auction.
+struct Sale {
+  std::uint64_t item_id = 0;
+  std::string winner;        // empty when the reserve was not met
+  std::int64_t amount = 0;
+  bool reserve_met = false;
+};
+
+/// In-memory auction book. No synchronization, no security — pure domain
+/// logic.
+class AuctionHouse {
+ public:
+  /// Lists a new item; returns its id.
+  std::uint64_t list_item(std::string title, std::int64_t reserve_price,
+                          std::string seller);
+
+  /// Places a bid. Returns true when it becomes the highest bid; false when
+  /// it does not outbid. Throws on unknown or closed items.
+  bool place_bid(std::uint64_t item_id, const std::string& bidder,
+                 std::int64_t amount);
+
+  /// Closes the auction and returns the sale outcome. Throws on unknown or
+  /// already-closed items.
+  Sale close_auction(std::uint64_t item_id);
+
+  /// Read-side queries.
+  std::optional<Item> item(std::uint64_t item_id) const;
+  std::size_t open_items() const;
+  std::vector<std::uint64_t> item_ids() const;
+
+ private:
+  Item& live_item(std::uint64_t item_id);
+
+  std::map<std::uint64_t, Item> items_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace amf::apps::auction

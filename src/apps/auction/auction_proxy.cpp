@@ -1,0 +1,52 @@
+#include "apps/auction/auction_proxy.hpp"
+
+#include "aspects/audit.hpp"
+#include "aspects/authentication.hpp"
+#include "aspects/authorization.hpp"
+#include "aspects/synchronization.hpp"
+
+namespace amf::apps::auction {
+
+runtime::MethodId list_method() { return runtime::MethodId::of("list_item"); }
+runtime::MethodId bid_method() { return runtime::MethodId::of("place_bid"); }
+runtime::MethodId close_method() {
+  return runtime::MethodId::of("close_auction");
+}
+runtime::MethodId query_method() { return runtime::MethodId::of("query"); }
+
+std::shared_ptr<AuctionProxy> make_auction_proxy(
+    const runtime::CredentialStore& store, runtime::EventLog& audit_log,
+    core::ModeratorOptions options) {
+  auto proxy = std::make_shared<AuctionProxy>(AuctionHouse{}, options);
+  auto& moderator = proxy->moderator();
+
+  moderator.bank().set_kind_order(
+      {runtime::kinds::authentication(), runtime::kinds::authorization(),
+       runtime::kinds::synchronization(), runtime::kinds::audit()});
+
+  const auto writers = {list_method(), bid_method(), close_method()};
+  const auto readers = {query_method()};
+
+  auto rw = std::make_shared<aspects::ReadersWriterAspect>();
+  for (const auto m : writers) rw->add_writer(m);
+  for (const auto m : readers) rw->add_reader(m);
+
+  auto auth = std::make_shared<aspects::AuthenticationAspect>(store);
+  auto roles = std::make_shared<aspects::RoleAuthorizationAspect>();
+  roles->require(close_method(), "auctioneer");
+  auto audit = std::make_shared<aspects::AuditAspect>(audit_log, "audit");
+
+  for (const auto m : writers) {
+    moderator.register_aspect(m, runtime::kinds::authentication(), auth);
+    moderator.register_aspect(m, runtime::kinds::authorization(), roles);
+    moderator.register_aspect(m, runtime::kinds::synchronization(), rw);
+    moderator.register_aspect(m, runtime::kinds::audit(), audit);
+  }
+  for (const auto m : readers) {
+    moderator.register_aspect(m, runtime::kinds::synchronization(), rw);
+    moderator.register_aspect(m, runtime::kinds::audit(), audit);
+  }
+  return proxy;
+}
+
+}  // namespace amf::apps::auction

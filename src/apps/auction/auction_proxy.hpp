@@ -1,0 +1,33 @@
+// Concern wiring for the auction application.
+//
+// Composition (kind order = authenticate, authorize, sync, audit):
+//   list/bid/close  — writers under one ReadersWriterAspect
+//   item/open_items — readers under the same aspect
+//   bid/close/list  — require a live session (AuthenticationAspect)
+//   close           — additionally requires the "auctioneer" role
+//   everything      — audited into the shared event log
+#pragma once
+
+#include <memory>
+
+#include "apps/auction/auction_house.hpp"
+#include "core/framework.hpp"
+#include "runtime/event_log.hpp"
+#include "runtime/identity.hpp"
+
+namespace amf::apps::auction {
+
+using AuctionProxy = core::ComponentProxy<AuctionHouse>;
+
+/// Participating-method ids.
+runtime::MethodId list_method();    // "list_item"
+runtime::MethodId bid_method();     // "place_bid"
+runtime::MethodId close_method();   // "close_auction"
+runtime::MethodId query_method();   // "query"
+
+/// Builds the moderated auction cluster.
+std::shared_ptr<AuctionProxy> make_auction_proxy(
+    const runtime::CredentialStore& store, runtime::EventLog& audit_log,
+    core::ModeratorOptions options = {});
+
+}  // namespace amf::apps::auction

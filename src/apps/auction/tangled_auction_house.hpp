@@ -1,0 +1,115 @@
+// TangledAuctionHouse: the auction service with every interaction concern
+// written inline — shared_mutex locking, session checks, role checks and
+// audit calls interleaved with the domain logic in every method.
+//
+// Baseline for benchmark E4 and the qualitative tangling comparison in
+// EXPERIMENTS.md. Intentionally repetitive: that repetition IS the
+// phenomenon the paper calls code-tangling.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+
+#include "apps/auction/auction_house.hpp"
+#include "runtime/event_log.hpp"
+#include "runtime/identity.hpp"
+#include "runtime/result.hpp"
+
+namespace amf::apps::auction {
+
+/// Hand-tangled, thread-safe, authenticated auction service.
+class TangledAuctionHouse {
+ public:
+  TangledAuctionHouse(const runtime::CredentialStore& store,
+                      runtime::EventLog& audit_log)
+      : store_(&store), audit_(&audit_log) {}
+
+  runtime::Result<std::uint64_t> list_item(const runtime::Principal& caller,
+                                           std::string title,
+                                           std::int64_t reserve_price) {
+    // security concern, inline:
+    if (!caller.authenticated() || !store_->valid_token(caller.token)) {
+      audit_->append("audit", "deny:list_item:" + caller.name);
+      return runtime::make_error(runtime::ErrorCode::kUnauthenticated,
+                                 "invalid session");
+    }
+    // synchronization concern, inline:
+    std::unique_lock lock(mu_);
+    const auto id =
+        book_.list_item(std::move(title), reserve_price, caller.name);
+    lock.unlock();
+    // audit concern, inline:
+    audit_->append("audit", "list_item:" + caller.name);
+    return id;
+  }
+
+  runtime::Result<bool> place_bid(const runtime::Principal& caller,
+                                  std::uint64_t item_id, std::int64_t amount) {
+    if (!caller.authenticated() || !store_->valid_token(caller.token)) {
+      audit_->append("audit", "deny:place_bid:" + caller.name);
+      return runtime::make_error(runtime::ErrorCode::kUnauthenticated,
+                                 "invalid session");
+    }
+    std::unique_lock lock(mu_);
+    bool accepted = false;
+    try {
+      accepted = book_.place_bid(item_id, caller.name, amount);
+    } catch (const std::exception& e) {
+      lock.unlock();
+      audit_->append("audit", "fail:place_bid:" + caller.name);
+      return runtime::make_error(runtime::ErrorCode::kInvalidArgument,
+                                 e.what());
+    }
+    lock.unlock();
+    audit_->append("audit", "place_bid:" + caller.name);
+    return accepted;
+  }
+
+  runtime::Result<Sale> close_auction(const runtime::Principal& caller,
+                                      std::uint64_t item_id) {
+    if (!caller.authenticated() || !store_->valid_token(caller.token)) {
+      audit_->append("audit", "deny:close_auction:" + caller.name);
+      return runtime::make_error(runtime::ErrorCode::kUnauthenticated,
+                                 "invalid session");
+    }
+    // authorization concern, inline:
+    if (!caller.has_role("auctioneer")) {
+      audit_->append("audit", "deny:close_auction:" + caller.name);
+      return runtime::make_error(runtime::ErrorCode::kPermissionDenied,
+                                 "requires role 'auctioneer'");
+    }
+    std::unique_lock lock(mu_);
+    Sale sale;
+    try {
+      sale = book_.close_auction(item_id);
+    } catch (const std::exception& e) {
+      lock.unlock();
+      audit_->append("audit", "fail:close_auction:" + caller.name);
+      return runtime::make_error(runtime::ErrorCode::kInvalidArgument,
+                                 e.what());
+    }
+    lock.unlock();
+    audit_->append("audit", "close_auction:" + caller.name);
+    return sale;
+  }
+
+  std::optional<Item> item(std::uint64_t item_id) const {
+    std::shared_lock lock(mu_);
+    return book_.item(item_id);
+  }
+
+  std::size_t open_items() const {
+    std::shared_lock lock(mu_);
+    return book_.open_items();
+  }
+
+ private:
+  const runtime::CredentialStore* store_;
+  runtime::EventLog* audit_;
+  mutable std::shared_mutex mu_;
+  AuctionHouse book_;
+};
+
+}  // namespace amf::apps::auction

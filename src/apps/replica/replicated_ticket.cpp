@@ -1,0 +1,248 @@
+#include "apps/replica/replicated_ticket.hpp"
+
+#include <thread>
+
+namespace amf::apps::replica {
+
+using ticket::assign_method;
+using ticket::open_method;
+using ticket::Ticket;
+
+namespace {
+// Short: a dead backup must not stall the primary past the coordinator's
+// call timeout (availability over strict durability — documented).
+constexpr auto kForwardTimeout = std::chrono::milliseconds(100);
+// Longer than any coordinator call timeout so a "crashed" node reads as
+// silence, short enough that test teardown stays snappy.
+constexpr auto kCrashSilence = std::chrono::milliseconds(500);
+constexpr auto kServiceName = "tickets";
+}  // namespace
+
+ReplicaNode::ReplicaNode(net::Transport& transport, std::string endpoint,
+                         std::size_t capacity)
+    : transport_(&transport),
+      endpoint_(std::move(endpoint)),
+      proxy_(ticket::make_ticket_proxy(capacity)),
+      // Single dispatcher worker: backups must observe ops in the exact
+      // order the primary applied them.
+      server_(transport, endpoint_, /*workers=*/1) {
+  forwarder_ = std::make_unique<net::RpcClient>(
+      transport, endpoint_ + ".fwd");
+  // Every entry point dedups on the logical request id: coordinator
+  // retries and primary forwards therefore apply at most once per replica.
+  server_.register_method(
+      "open", net::with_dedup(dedup_, [this](const net::Envelope& req) {
+        return handle_open(req, /*replicate=*/true);
+      }));
+  server_.register_method(
+      "assign", net::with_dedup(dedup_, [this](const net::Envelope& req) {
+        return handle_assign(req, /*replicate=*/true);
+      }));
+  server_.register_method(
+      "replicate-open",
+      net::with_dedup(dedup_, [this](const net::Envelope& req) {
+        return handle_open(req, /*replicate=*/false);
+      }));
+  server_.register_method(
+      "replicate-assign",
+      net::with_dedup(dedup_, [this](const net::Envelope& req) {
+        return handle_assign(req, /*replicate=*/false);
+      }));
+}
+
+void ReplicaNode::start() { server_.start(); }
+void ReplicaNode::stop() { server_.stop(); }
+
+void ReplicaNode::set_backups(std::vector<std::string> backups) {
+  std::scoped_lock lock(backups_mu_);
+  backups_ = std::move(backups);
+}
+
+net::Envelope ReplicaNode::handle_open(const net::Envelope& req,
+                                       bool replicate) {
+  net::Envelope resp;
+  if (failed_.load()) {
+    // A crashed node is silent. A handler must return something, so the
+    // crash is simulated by sleeping past every coordinator timeout — the
+    // caller observes exactly what a dropped response looks like. The
+    // single dispatcher worker also stalls, making the whole node
+    // unresponsive, as a crash should.
+    std::this_thread::sleep_for(kCrashSilence);
+    resp.put("error", "node failed");
+    return resp;
+  }
+  Ticket t;
+  t.id = req.get_u64("id").value_or(0);
+  t.description = req.get("description").value_or("");
+  t.opened_by = req.get("opened_by").value_or("");
+  auto r = proxy_->call(open_method())
+               .within(std::chrono::milliseconds(100))
+               .run([&t](ticket::TicketServer& s) { s.open(t); });
+  if (!r.ok()) {
+    resp.put("error", r.error.to_string());
+    return resp;
+  }
+  if (replicate) forward("replicate-open", req);
+  return resp;
+}
+
+net::Envelope ReplicaNode::handle_assign(const net::Envelope& req,
+                                         bool replicate) {
+  net::Envelope resp;
+  if (failed_.load()) {
+    std::this_thread::sleep_for(kCrashSilence);  // see handle_open
+    resp.put("error", "node failed");
+    return resp;
+  }
+  auto r = proxy_->call(assign_method())
+               .within(std::chrono::milliseconds(100))
+               .run([](ticket::TicketServer& s) { return s.assign(); });
+  if (!r.ok()) {
+    resp.put("error", r.error.to_string());
+    resp.put("error.code", "empty");
+    return resp;
+  }
+  resp.put_u64("id", r.value->id);
+  resp.put("description", r.value->description);
+  if (replicate) forward("replicate-assign", req);
+  return resp;
+}
+
+void ReplicaNode::forward(const std::string& method,
+                          const net::Envelope& original) {
+  std::vector<std::string> backups;
+  {
+    std::scoped_lock lock(backups_mu_);
+    backups = backups_;
+  }
+  for (const auto& backup : backups) {
+    net::Envelope copy = original;
+    copy.method = method;
+    // Synchronous replication: wait for the ack; a dead backup simply
+    // times out (the primary stays available — availability over strict
+    // durability, documented).
+    (void)forwarder_->call(backup, std::move(copy), kForwardTimeout);
+  }
+}
+
+std::vector<std::uint64_t> ReplicaNode::pending_ids() {
+  // Drain-and-refill through the moderated proxy so the read is guarded.
+  std::vector<std::uint64_t> ids;
+  std::vector<Ticket> drained;
+  while (proxy_->component().pending() > 0) {
+    auto r = proxy_->call(assign_method())
+                 .within(std::chrono::milliseconds(50))
+                 .run([](ticket::TicketServer& s) { return s.assign(); });
+    if (!r.ok()) break;
+    ids.push_back(r.value->id);
+    drained.push_back(*r.value);
+  }
+  for (auto& t : drained) {
+    (void)proxy_->call(open_method())
+        .within(std::chrono::milliseconds(50))
+        .run([&t](ticket::TicketServer& s) { s.open(t); });
+  }
+  return ids;
+}
+
+Coordinator::Coordinator(net::Transport& transport,
+                         net::NameRegistry& registry,
+                         std::vector<ReplicaNode*> replicas, Options options)
+    : transport_(&transport),
+      registry_(&registry),
+      replicas_(std::move(replicas)),
+      options_(options),
+      client_(transport, "coordinator") {
+  registry_->bind(kServiceName, replicas_.front()->endpoint());
+  rewire_primary();
+}
+
+runtime::Result<void> Coordinator::open(Ticket t) {
+  net::Envelope req;
+  req.method = "open";
+  req.put_u64("id", t.id);
+  req.put("description", t.description);
+  req.put("opened_by", t.opened_by);
+  auto r = call(std::move(req));
+  if (!r.ok()) return r.error();
+  if (r.value().is_error()) {
+    return runtime::make_error(runtime::ErrorCode::kAborted,
+                               *r.value().get("error"));
+  }
+  return {};
+}
+
+runtime::Result<Ticket> Coordinator::assign() {
+  net::Envelope req;
+  req.method = "assign";
+  auto r = call(std::move(req));
+  if (!r.ok()) return r.error();
+  if (r.value().is_error()) {
+    return runtime::make_error(runtime::ErrorCode::kNotFound,
+                               *r.value().get("error"));
+  }
+  Ticket t;
+  t.id = r.value().get_u64("id").value_or(0);
+  t.description = r.value().get("description").value_or("");
+  return t;
+}
+
+runtime::Result<net::Envelope> Coordinator::call(net::Envelope request) {
+  {
+    // One logical request id per operation: all retries (including those
+    // that land on a promoted backup that already saw the replicated op)
+    // dedup to a single application.
+    std::scoped_lock lock(request_mu_);
+    request.put("request.id", "coord#" + std::to_string(next_request_++));
+  }
+  for (int attempt = 0;
+       attempt < static_cast<int>(replicas_.size()) *
+                     options_.failover_threshold +
+                 1;
+       ++attempt) {
+    const auto binding = registry_->resolve(kServiceName);
+    if (!binding) {
+      return runtime::make_error(runtime::ErrorCode::kUnavailable,
+                                 "no primary bound");
+    }
+    net::Envelope copy = request;
+    auto r = client_.call(binding->endpoint, std::move(copy),
+                          options_.call_timeout);
+    if (r.ok()) {
+      consecutive_timeouts_.store(0);
+      return r;
+    }
+    if (r.error().code != runtime::ErrorCode::kTimeout) return r;
+    if (consecutive_timeouts_.fetch_add(1) + 1 >=
+        options_.failover_threshold) {
+      promote_next();
+      consecutive_timeouts_.store(0);
+    }
+  }
+  return runtime::make_error(runtime::ErrorCode::kUnavailable,
+                             "all replicas unresponsive");
+}
+
+void Coordinator::promote_next() {
+  std::scoped_lock lock(failover_mu_);
+  const auto next = (primary_.load() + 1) % replicas_.size();
+  primary_.store(next);
+  failovers_.fetch_add(1);
+  registry_->bind(kServiceName, replicas_[next]->endpoint());
+  rewire_primary();
+}
+
+void Coordinator::rewire_primary() {
+  // The primary forwards to everyone else; backups forward to nobody.
+  const auto p = primary_.load();
+  std::vector<std::string> backups;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (i != p) backups.push_back(replicas_[i]->endpoint());
+  }
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    replicas_[i]->set_backups(i == p ? backups
+                                     : std::vector<std::string>{});
+  }
+}
+
+}  // namespace amf::apps::replica

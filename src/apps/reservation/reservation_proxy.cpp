@@ -1,0 +1,51 @@
+#include "apps/reservation/reservation_proxy.hpp"
+
+#include "aspects/scheduling.hpp"
+#include "aspects/synchronization.hpp"
+#include "aspects/timing.hpp"
+
+namespace amf::apps::reservation {
+
+runtime::MethodId reserve_method() {
+  return runtime::MethodId::of("reserve");
+}
+runtime::MethodId cancel_method() { return runtime::MethodId::of("cancel"); }
+runtime::MethodId query_method() { return runtime::MethodId::of("query"); }
+
+std::shared_ptr<ReservationProxy> make_reservation_proxy(
+    std::size_t rows, std::size_t cols, runtime::Registry* metrics,
+    core::ModeratorOptions options) {
+  auto proxy = std::make_shared<ReservationProxy>(
+      ReservationSystem(rows, cols), options);
+  auto& moderator = proxy->moderator();
+
+  moderator.bank().set_kind_order({runtime::kinds::scheduling(),
+                                   runtime::kinds::synchronization(),
+                                   runtime::kinds::timing()});
+
+  auto rw = std::make_shared<aspects::ReadersWriterAspect>();
+  rw->add_writer(reserve_method());
+  rw->add_writer(cancel_method());
+  rw->add_reader(query_method());
+
+  auto sched = std::make_shared<aspects::PrioritySchedulingAspect>();
+
+  for (const auto m : {reserve_method(), cancel_method()}) {
+    moderator.register_aspect(m, runtime::kinds::scheduling(), sched);
+    moderator.register_aspect(m, runtime::kinds::synchronization(), rw);
+  }
+  moderator.register_aspect(query_method(),
+                            runtime::kinds::synchronization(), rw);
+
+  if (metrics != nullptr) {
+    auto timing = std::make_shared<aspects::TimingAspect>(
+        *metrics, *options.clock, "reservation");
+    for (const auto m :
+         {reserve_method(), cancel_method(), query_method()}) {
+      moderator.register_aspect(m, runtime::kinds::timing(), timing);
+    }
+  }
+  return proxy;
+}
+
+}  // namespace amf::apps::reservation

@@ -1,0 +1,33 @@
+// Concern wiring for the reservation application.
+//
+// Composition (kind order = schedule, sync, timing):
+//   reserve/cancel — writers under a ReadersWriterAspect, admitted in
+//                    priority order (PrioritySchedulingAspect shared across
+//                    both writer methods): premium bookings overtake
+//                    waiting standard ones.
+//   holder/available — readers (shared admission).
+//   all methods — timing histograms for the E8 benchmark.
+#pragma once
+
+#include <memory>
+
+#include "apps/reservation/reservation_system.hpp"
+#include "core/framework.hpp"
+#include "runtime/metrics.hpp"
+
+namespace amf::apps::reservation {
+
+using ReservationProxy = core::ComponentProxy<ReservationSystem>;
+
+/// Participating-method ids.
+runtime::MethodId reserve_method();   // "reserve"
+runtime::MethodId cancel_method();    // "cancel"
+runtime::MethodId query_method();     // "query"
+
+/// Builds the moderated reservation cluster over a rows × cols grid.
+/// `metrics` may be nullptr to skip the timing aspect.
+std::shared_ptr<ReservationProxy> make_reservation_proxy(
+    std::size_t rows, std::size_t cols, runtime::Registry* metrics = nullptr,
+    core::ModeratorOptions options = {});
+
+}  // namespace amf::apps::reservation

@@ -1,0 +1,95 @@
+// ReservationSystem: sequential functional component for the online
+// reservation scenario from the paper's §2 ("on-line reservation systems").
+//
+// A rows × cols seat grid with reserve/cancel/query operations. Again: no
+// locking here — concurrency discipline (readers-writer + priority
+// scheduling) is composed by make_reservation_proxy().
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace amf::apps::reservation {
+
+/// Seat coordinates.
+struct Seat {
+  std::size_t row = 0;
+  std::size_t col = 0;
+
+  friend bool operator==(const Seat&, const Seat&) = default;
+};
+
+/// In-memory seat map.
+class ReservationSystem {
+ public:
+  ReservationSystem(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), holders_(rows * cols) {
+    if (rows == 0 || cols == 0) {
+      throw std::invalid_argument("grid must be non-empty");
+    }
+  }
+
+  /// Reserves the seat for `who`; false when already held.
+  bool reserve(Seat seat, const std::string& who) {
+    auto& holder = slot(seat);
+    if (!holder.empty()) return false;
+    holder = who;
+    --available_;
+    return true;
+  }
+
+  /// Cancels `who`'s reservation; false when the seat is not held by them.
+  bool cancel(Seat seat, const std::string& who) {
+    auto& holder = slot(seat);
+    if (holder != who || holder.empty()) return false;
+    holder.clear();
+    ++available_;
+    return true;
+  }
+
+  /// Current holder of a seat (empty optional = free).
+  std::optional<std::string> holder(Seat seat) const {
+    const auto& h = slot_const(seat);
+    if (h.empty()) return std::nullopt;
+    return h;
+  }
+
+  /// Number of free seats.
+  std::size_t available() const { return available_; }
+
+  /// All seats held by `who`.
+  std::vector<Seat> seats_of(const std::string& who) const {
+    std::vector<Seat> out;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (holders_[r * cols_ + c] == who) out.push_back(Seat{r, c});
+      }
+    }
+    return out;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  const std::string& slot_const(Seat seat) const {
+    if (seat.row >= rows_ || seat.col >= cols_) {
+      throw std::out_of_range("seat out of range");
+    }
+    return holders_[seat.row * cols_ + seat.col];
+  }
+
+  std::string& slot(Seat seat) {
+    return const_cast<std::string&>(slot_const(seat));
+  }
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::string> holders_;
+  std::size_t available_ = rows_ * cols_;
+};
+
+}  // namespace amf::apps::reservation

@@ -1,0 +1,153 @@
+// Online store (e-commerce, the first domain §2 names): three sequential
+// components — Inventory, PaymentLedger, OrderBook — coordinated through
+// ONE shared AspectModerator.
+//
+// This application demonstrates the part of the paper's architecture the
+// single-component examples cannot: a concurrent object as a *cluster of
+// co-operating classes*. A checkout touches all three components; because
+// their write methods share one MutualExclusionAspect instance in the
+// shared moderator, the multi-step operation is atomic with respect to
+// every other moderated write — no component contains a lock.
+//
+// Failure handling is saga-style compensation: if the charge fails after
+// stock was reserved, the reservation is released (and both steps are
+// audited). The compensation runs inside the same exclusive region, so no
+// caller ever observes the intermediate state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "runtime/event_log.hpp"
+#include "runtime/identity.hpp"
+
+namespace amf::apps::store {
+
+/// Stock ledger. Sequential.
+class Inventory {
+ public:
+  void add_stock(const std::string& item, std::uint32_t qty) {
+    stock_[item] += qty;
+  }
+  /// Reserves qty units; false (no change) when not enough stock.
+  bool reserve(const std::string& item, std::uint32_t qty) {
+    auto it = stock_.find(item);
+    if (it == stock_.end() || it->second < qty) return false;
+    it->second -= qty;
+    return true;
+  }
+  /// Returns previously reserved units to stock (compensation).
+  void release(const std::string& item, std::uint32_t qty) {
+    stock_[item] += qty;
+  }
+  std::uint32_t stock(const std::string& item) const {
+    auto it = stock_.find(item);
+    return it == stock_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::map<std::string, std::uint32_t> stock_;
+};
+
+/// Customer balances. Sequential.
+class PaymentLedger {
+ public:
+  void deposit(const std::string& customer, std::int64_t amount) {
+    balances_[customer] += amount;
+  }
+  /// Charges the customer; false (no change) on insufficient funds.
+  bool charge(const std::string& customer, std::int64_t amount) {
+    auto it = balances_.find(customer);
+    if (it == balances_.end() || it->second < amount) return false;
+    it->second -= amount;
+    revenue_ += amount;
+    return true;
+  }
+  std::int64_t balance(const std::string& customer) const {
+    auto it = balances_.find(customer);
+    return it == balances_.end() ? 0 : it->second;
+  }
+  std::int64_t revenue() const { return revenue_; }
+
+ private:
+  std::map<std::string, std::int64_t> balances_;
+  std::int64_t revenue_ = 0;
+};
+
+/// Completed orders. Sequential.
+struct Order {
+  std::uint64_t id = 0;
+  std::string customer;
+  std::string item;
+  std::uint32_t qty = 0;
+  std::int64_t paid = 0;
+};
+
+class OrderBook {
+ public:
+  std::uint64_t record(Order order) {
+    order.id = next_id_++;
+    const auto id = order.id;
+    orders_.emplace(id, std::move(order));
+    return id;
+  }
+  std::optional<Order> order(std::uint64_t id) const {
+    auto it = orders_.find(id);
+    if (it == orders_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::size_t size() const { return orders_.size(); }
+
+ private:
+  std::map<std::uint64_t, Order> orders_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// The moderated cluster: three proxies over ONE moderator, plus the
+/// checkout saga.
+class Store {
+ public:
+  /// Price is per unit and fixed per item at stocking time.
+  Store(const runtime::CredentialStore& sessions,
+        runtime::EventLog& audit_log);
+
+  /// Adds sellable stock (back office; requires the "merchant" role).
+  runtime::Result<void> stock_item(const runtime::Principal& who,
+                                   const std::string& item,
+                                   std::uint32_t qty, std::int64_t price);
+
+  /// Adds funds to a customer account (requires any valid session).
+  runtime::Result<void> deposit(const runtime::Principal& who,
+                                std::int64_t amount);
+
+  /// The saga: reserve stock → charge → record order; compensates the
+  /// reservation when the charge fails. Returns the order id.
+  runtime::Result<std::uint64_t> checkout(const runtime::Principal& who,
+                                          const std::string& item,
+                                          std::uint32_t qty);
+
+  // Moderated read-side queries (open to anonymous callers).
+  std::uint32_t stock(const std::string& item);
+  std::int64_t balance(const std::string& customer);
+  std::int64_t revenue();
+  std::optional<Order> order(std::uint64_t id);
+
+  core::AspectModerator& moderator() { return *moderator_; }
+
+ private:
+  std::int64_t price_of(const std::string& item) const;
+
+  std::shared_ptr<core::AspectModerator> moderator_;
+  core::ComponentProxy<Inventory> inventory_;
+  core::ComponentProxy<PaymentLedger> ledger_;
+  core::ComponentProxy<OrderBook> orders_;
+  std::map<std::string, std::int64_t> prices_;  // guarded by checkout mutex
+  mutable std::mutex prices_mu_;
+};
+
+}  // namespace amf::apps::store

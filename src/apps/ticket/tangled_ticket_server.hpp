@@ -1,0 +1,110 @@
+// TangledTicketServer: the counterfactual the paper argues against.
+//
+// Functionality and synchronization interleaved in one class, Java-monitor
+// style (mutex + two condition variables + counters inline with the ring
+// buffer logic). Semantically equivalent to make_ticket_proxy()'s cluster;
+// exists as the baseline for benchmarks E1/E3 and for differential tests
+// (framework and tangled versions must agree on every observable).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "apps/ticket/ticket_server.hpp"
+#include "runtime/clock.hpp"
+
+namespace amf::apps::ticket {
+
+/// Hand-synchronized bounded ticket buffer (the "code tangling" baseline).
+class TangledTicketServer {
+ public:
+  explicit TangledTicketServer(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity) {}
+
+  /// Blocks while full, then places the ticket.
+  void open(Ticket t) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return count_ < capacity_; });
+    slots_[tail_] = std::move(t);
+    tail_ = (tail_ + 1) % capacity_;
+    ++count_;
+    ++total_opened_;
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  /// Blocks while empty, then retrieves the oldest ticket.
+  Ticket assign() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return count_ > 0; });
+    Ticket t = std::move(slots_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    ++total_assigned_;
+    lock.unlock();
+    not_full_.notify_one();
+    return t;
+  }
+
+  /// Deadline-bounded variants (parity with the framework's deadlines).
+  bool open_until(Ticket t, runtime::TimePoint deadline) {
+    std::unique_lock lock(mu_);
+    if (!not_full_.wait_until(lock, deadline,
+                              [&] { return count_ < capacity_; })) {
+      return false;
+    }
+    slots_[tail_] = std::move(t);
+    tail_ = (tail_ + 1) % capacity_;
+    ++count_;
+    ++total_opened_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  std::optional<Ticket> assign_until(runtime::TimePoint deadline) {
+    std::unique_lock lock(mu_);
+    if (!not_empty_.wait_until(lock, deadline, [&] { return count_ > 0; })) {
+      return std::nullopt;
+    }
+    Ticket t = std::move(slots_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    ++total_assigned_;
+    lock.unlock();
+    not_full_.notify_one();
+    return t;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t pending() const {
+    std::scoped_lock lock(mu_);
+    return count_;
+  }
+  std::uint64_t total_opened() const {
+    std::scoped_lock lock(mu_);
+    return total_opened_;
+  }
+  std::uint64_t total_assigned() const {
+    std::scoped_lock lock(mu_);
+    return total_assigned_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<Ticket> slots_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t total_opened_ = 0;
+  std::uint64_t total_assigned_ = 0;
+};
+
+}  // namespace amf::apps::ticket

@@ -1,0 +1,77 @@
+// Wiring of the trouble-ticketing cluster (paper §4–§5).
+//
+//   make_ticket_proxy()            — Fig. 5: proxy + moderator + the two
+//                                    synchronization aspects, cross-method
+//                                    notification plan (open↔assign)
+//   make_ticket_aspect_factory()   — Figs. 4/6: Factory Method creating the
+//                                    Open/AssignSynchronizationAspect pair
+//   extend_with_authentication()   — §5.3 / Figs. 13–16: adds the
+//                                    authentication concern at RUN TIME,
+//                                    ordered OUTSIDE synchronization, never
+//                                    touching TicketServer
+#pragma once
+
+#include <memory>
+
+#include "apps/ticket/ticket_server.hpp"
+#include "aspects/synchronization.hpp"
+#include "core/framework.hpp"
+#include "runtime/identity.hpp"
+
+namespace amf::apps::ticket {
+
+using TicketProxy = core::ComponentProxy<TicketServer>;
+
+/// Participating-method ids ("open", "assign").
+runtime::MethodId open_method();
+runtime::MethodId assign_method();
+
+/// Builds the full cluster of Fig. 1 for a server with `capacity` pending
+/// slots: component, moderator, registered sync aspects, notification plan.
+std::shared_ptr<TicketProxy> make_ticket_proxy(
+    std::size_t capacity, core::ModeratorOptions options = {});
+
+/// The Fig. 4–6 factory: creates the producer aspect for "open"/sync and
+/// the consumer aspect for "assign"/sync over one shared resource state.
+std::shared_ptr<core::AspectFactory> make_ticket_aspect_factory(
+    std::shared_ptr<aspects::BoundedResourceState> state);
+
+/// §5.3: registers AuthenticationAspect on both participating methods and
+/// re-orders kinds so authentication wraps synchronization (Fig. 14).
+/// Callable while the system is live.
+void extend_with_authentication(TicketProxy& proxy,
+                                const runtime::CredentialStore& store);
+
+/// Literal transcription of the paper's TicketServerProxy (Figs. 5 and 10):
+/// a class whose constructor requests aspect creation from a factory and
+/// registers the results with the moderator, and whose open()/assign()
+/// methods are the guarded participating methods. The rest of this repo
+/// prefers the generic ComponentProxy; this facade exists so the paper's
+/// code shape is reproduced one-to-one (and tested).
+class PaperStyleTicketProxy {
+ public:
+  /// Fig. 5: `moderator.registerAspect(OPEN, SYNC, factory.create(...))`.
+  PaperStyleTicketProxy(std::size_t capacity,
+                        core::ModeratorOptions options = {});
+
+  /// Fig. 10: guarded open().
+  core::InvocationResult<void> open(Ticket t);
+  /// Fig. 10: guarded assign().
+  core::InvocationResult<Ticket> assign();
+
+  core::AspectModerator& moderator() { return inner_->moderator(); }
+  const TicketServer& server() const { return inner_->component(); }
+
+ private:
+  std::shared_ptr<TicketProxy> inner_;
+};
+
+/// Convenience wrappers over the guarded methods (Fig. 10 shape).
+core::InvocationResult<void> open_ticket(TicketProxy& proxy, Ticket t);
+core::InvocationResult<void> open_ticket_as(TicketProxy& proxy, Ticket t,
+                                            runtime::Principal principal);
+core::InvocationResult<Ticket> assign_ticket(TicketProxy& proxy);
+core::InvocationResult<Ticket> assign_ticket_as(TicketProxy& proxy,
+                                                runtime::Principal principal);
+
+}  // namespace amf::apps::ticket

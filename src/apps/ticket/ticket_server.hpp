@@ -1,0 +1,113 @@
+// TicketServer: the paper's functional component (§4).
+//
+// "Clients open (place) tickets on a server, and assign (retrieve) tickets
+// from a server … based on the producer-consumer protocol with the use of a
+// bounded buffer."
+//
+// Deliberately SEQUENTIAL in its logic: no locks, no waiting — that is the
+// paper's whole point. Safety under concurrent use comes entirely from the
+// synchronization aspects its proxy registers. Note the concurrency model
+// those aspects establish: ONE active producer and ONE active consumer may
+// overlap (the paper's ActiveOpen/ActiveAssign rules are per side), so the
+// component is written SPSC-style — `tail_` is touched only by producers,
+// `head_` only by consumers, and a guarded producer/consumer pair always
+// addresses disjoint slots. The shared counters are relaxed atomics purely
+// so the self-check oracle and diagnostics are data-race-free; they impose
+// no ordering (every ordering guarantee comes from the moderator).
+//
+// The logic_error throws double as the test suite's detector for
+// synchronization-aspect bugs: if a guard ever admits an open() on a full
+// buffer, the component itself reports the violation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace amf::apps::ticket {
+
+/// One trouble ticket.
+struct Ticket {
+  std::uint64_t id = 0;
+  std::string description;
+  std::string opened_by;
+
+  friend bool operator==(const Ticket&, const Ticket&) = default;
+};
+
+/// Bounded ring buffer of tickets; open() produces, assign() consumes.
+class TicketServer {
+ public:
+  /// Creates a server able to hold `capacity` (>= 1) pending tickets.
+  explicit TicketServer(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("capacity must be >= 1");
+  }
+
+  // The slot vector is moved, not the atomics' values: a TicketServer is
+  // only moved at wiring time, before any concurrent use.
+  TicketServer(TicketServer&& other) noexcept
+      : capacity_(other.capacity_),
+        slots_(std::move(other.slots_)),
+        head_(other.head_),
+        tail_(other.tail_),
+        count_(other.count_.load(std::memory_order_relaxed)),
+        total_opened_(other.total_opened_.load(std::memory_order_relaxed)),
+        total_assigned_(
+            other.total_assigned_.load(std::memory_order_relaxed)) {}
+
+  /// Places a ticket. External guard required: buffer must not be full.
+  void open(Ticket t) {
+    if (count_.load(std::memory_order_relaxed) == capacity_) {
+      throw std::logic_error("TicketServer::open on full buffer "
+                             "(synchronization aspect violated)");
+    }
+    slots_[tail_] = std::move(t);
+    tail_ = (tail_ + 1) % capacity_;
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_opened_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Retrieves the oldest ticket. External guard: buffer must not be empty.
+  Ticket assign() {
+    if (count_.load(std::memory_order_relaxed) == 0) {
+      throw std::logic_error("TicketServer::assign on empty buffer "
+                             "(synchronization aspect violated)");
+    }
+    Ticket t = std::move(slots_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    count_.fetch_sub(1, std::memory_order_relaxed);
+    total_assigned_.fetch_add(1, std::memory_order_relaxed);
+    return t;
+  }
+
+  /// The paper's `capacity` / `noItems`. `pending()` is exact at
+  /// quiescence; while producers/consumers are in flight it is a snapshot.
+  std::size_t capacity() const { return capacity_; }
+  std::size_t pending() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Lifetime counters (test oracles; exact at quiescence).
+  std::uint64_t total_opened() const {
+    return total_opened_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_assigned() const {
+    return total_assigned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::vector<Ticket> slots_;
+  std::size_t head_ = 0;  // consumer-side only
+  std::size_t tail_ = 0;  // producer-side only
+  std::atomic<std::size_t> count_{0};
+  std::atomic<std::uint64_t> total_opened_{0};
+  std::atomic<std::uint64_t> total_assigned_{0};
+};
+
+}  // namespace amf::apps::ticket

@@ -1,0 +1,56 @@
+#include "apps/timecard/timecard_proxy.hpp"
+
+#include "aspects/audit.hpp"
+#include "aspects/authentication.hpp"
+#include "aspects/authorization.hpp"
+#include "aspects/quota.hpp"
+#include "aspects/synchronization.hpp"
+
+namespace amf::apps::timecard {
+
+runtime::MethodId submit_method() { return runtime::MethodId::of("submit"); }
+runtime::MethodId approve_method() {
+  return runtime::MethodId::of("approve");
+}
+runtime::MethodId report_method() { return runtime::MethodId::of("report"); }
+
+std::shared_ptr<TimecardProxy> make_timecard_proxy(
+    const runtime::CredentialStore& store, runtime::EventLog& audit_log,
+    TimecardQuota quota, core::ModeratorOptions options) {
+  auto proxy = std::make_shared<TimecardProxy>(TimecardSystem{}, options);
+  auto& moderator = proxy->moderator();
+
+  moderator.bank().set_kind_order(
+      {runtime::kinds::authentication(), runtime::kinds::authorization(),
+       runtime::kinds::quota(), runtime::kinds::synchronization(),
+       runtime::kinds::audit()});
+
+  auto auth = std::make_shared<aspects::AuthenticationAspect>(store);
+  auto roles = std::make_shared<aspects::RoleAuthorizationAspect>();
+  roles->require(approve_method(), "manager");
+  auto limiter = std::make_shared<aspects::RateLimitAspect>(
+      *options.clock,
+      aspects::RateLimitAspect::Options{quota.submits_per_second, quota.burst,
+                                        false});
+  auto rw = std::make_shared<aspects::ReadersWriterAspect>();
+  rw->add_writer(submit_method());
+  rw->add_writer(approve_method());
+  rw->add_reader(report_method());
+  auto audit = std::make_shared<aspects::AuditAspect>(audit_log, "audit");
+
+  for (const auto m : {submit_method(), approve_method()}) {
+    moderator.register_aspect(m, runtime::kinds::authentication(), auth);
+    moderator.register_aspect(m, runtime::kinds::synchronization(), rw);
+    moderator.register_aspect(m, runtime::kinds::audit(), audit);
+  }
+  moderator.register_aspect(approve_method(),
+                            runtime::kinds::authorization(), roles);
+  moderator.register_aspect(submit_method(), runtime::kinds::quota(),
+                            limiter);
+  moderator.register_aspect(report_method(),
+                            runtime::kinds::synchronization(), rw);
+  moderator.register_aspect(report_method(), runtime::kinds::audit(), audit);
+  return proxy;
+}
+
+}  // namespace amf::apps::timecard

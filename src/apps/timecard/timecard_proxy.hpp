@@ -1,0 +1,37 @@
+// Concern wiring for the timecard application.
+//
+// Composition (kind order = authenticate, authorize, quota, sync, audit):
+//   submit          — authenticated + rate limited (token bucket)
+//   approve         — authenticated + requires role "manager"
+//   report/pending  — readers; submit/approve — writers (one RW aspect)
+//   everything      — audited
+#pragma once
+
+#include <memory>
+
+#include "apps/timecard/timecard_system.hpp"
+#include "core/framework.hpp"
+#include "runtime/event_log.hpp"
+#include "runtime/identity.hpp"
+
+namespace amf::apps::timecard {
+
+using TimecardProxy = core::ComponentProxy<TimecardSystem>;
+
+/// Participating-method ids.
+runtime::MethodId submit_method();   // "submit"
+runtime::MethodId approve_method();  // "approve"
+runtime::MethodId report_method();   // "report"
+
+/// Rate limit applied to submit() (tokens per second / burst).
+struct TimecardQuota {
+  double submits_per_second = 50.0;
+  double burst = 10.0;
+};
+
+/// Builds the moderated timecard cluster.
+std::shared_ptr<TimecardProxy> make_timecard_proxy(
+    const runtime::CredentialStore& store, runtime::EventLog& audit_log,
+    TimecardQuota quota = {}, core::ModeratorOptions options = {});
+
+}  // namespace amf::apps::timecard

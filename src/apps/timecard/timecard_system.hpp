@@ -1,0 +1,89 @@
+// TimecardSystem: sequential functional component for the timecard
+// reporting scenario from the paper's §2.
+//
+// Employees submit weekly timecards; managers approve them; reports sum
+// approved hours. Interaction concerns (authentication, role-based
+// authorization, rate limiting, audit) are composed by
+// make_timecard_proxy().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace amf::apps::timecard {
+
+/// One submitted timecard.
+struct Timecard {
+  std::uint64_t id = 0;
+  std::string employee;
+  std::uint32_t week = 0;   // ISO week number
+  double hours = 0.0;
+  bool approved = false;
+  std::string approved_by;
+};
+
+/// In-memory timecard book.
+class TimecardSystem {
+ public:
+  /// Records a submission; returns the card id. Rejects non-positive or
+  /// implausible (> 24*7) hours.
+  std::uint64_t submit(const std::string& employee, std::uint32_t week,
+                       double hours) {
+    if (hours <= 0.0 || hours > 24.0 * 7) {
+      throw std::invalid_argument("implausible hours: " +
+                                  std::to_string(hours));
+    }
+    const auto id = next_id_++;
+    cards_.emplace(id, Timecard{id, employee, week, hours, false, {}});
+    return id;
+  }
+
+  /// Approves a pending card. Throws on unknown ids; false when already
+  /// approved.
+  bool approve(std::uint64_t card_id, const std::string& manager) {
+    auto it = cards_.find(card_id);
+    if (it == cards_.end()) {
+      throw std::invalid_argument("unknown card: " + std::to_string(card_id));
+    }
+    if (it->second.approved) return false;
+    it->second.approved = true;
+    it->second.approved_by = manager;
+    return true;
+  }
+
+  /// Sum of approved hours for an employee.
+  double approved_hours(const std::string& employee) const {
+    double total = 0.0;
+    for (const auto& [_, card] : cards_) {
+      if (card.approved && card.employee == employee) total += card.hours;
+    }
+    return total;
+  }
+
+  /// Cards awaiting approval.
+  std::vector<std::uint64_t> pending() const {
+    std::vector<std::uint64_t> out;
+    for (const auto& [id, card] : cards_) {
+      if (!card.approved) out.push_back(id);
+    }
+    return out;
+  }
+
+  std::optional<Timecard> card(std::uint64_t id) const {
+    auto it = cards_.find(id);
+    if (it == cards_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t size() const { return cards_.size(); }
+
+ private:
+  std::map<std::uint64_t, Timecard> cards_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace amf::apps::timecard

@@ -1,0 +1,2 @@
+// Ensures every aspect header compiles standalone.
+#include "aspects/aspects.hpp"

@@ -1,0 +1,14 @@
+// Umbrella header for the bundled aspect library.
+#pragma once
+
+#include "aspects/audit.hpp"            // IWYU pragma: export
+#include "aspects/bulkhead.hpp"         // IWYU pragma: export
+#include "aspects/authentication.hpp"   // IWYU pragma: export
+#include "aspects/authorization.hpp"    // IWYU pragma: export
+#include "aspects/cohort.hpp"           // IWYU pragma: export
+#include "aspects/fault_tolerance.hpp"  // IWYU pragma: export
+#include "aspects/observability.hpp"    // IWYU pragma: export
+#include "aspects/quota.hpp"            // IWYU pragma: export
+#include "aspects/scheduling.hpp"       // IWYU pragma: export
+#include "aspects/synchronization.hpp"  // IWYU pragma: export
+#include "aspects/timing.hpp"           // IWYU pragma: export

@@ -1,0 +1,58 @@
+// Audit aspect: records the lifecycle of every moderated invocation in an
+// EventLog — the "audits" requirement from §2 of the paper.
+//
+// Event messages (all tagged with the invocation id):
+//   arrive:<method>            caller entered preactivation
+//   enter:<method>[:user]      admission (after all guards passed)
+//   exit:<method>:ok|fail      postactivation (body outcome included)
+//   cancel:<method>            never admitted (abort/timeout/cancel)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/aspect.hpp"
+#include "runtime/event_log.hpp"
+
+namespace amf::aspects {
+
+/// Writes one audit trail entry per lifecycle phase.
+class AuditAspect final : public core::Aspect {
+ public:
+  explicit AuditAspect(runtime::EventLog& log, std::string category = "audit")
+      : log_(&log), category_(std::move(category)) {}
+
+  std::string_view name() const override { return "audit"; }
+
+  void on_arrive(core::InvocationContext& ctx) override {
+    log_->append(category_, "arrive:" + std::string(ctx.method().name()),
+                 ctx.id());
+  }
+
+  void entry(core::InvocationContext& ctx) override {
+    std::string msg = "enter:" + std::string(ctx.method().name());
+    if (!ctx.principal().name.empty()) {
+      msg += ':';
+      msg += ctx.principal().name;
+    }
+    log_->append(category_, msg, ctx.id());
+  }
+
+  void postaction(core::InvocationContext& ctx) override {
+    log_->append(category_,
+                 "exit:" + std::string(ctx.method().name()) +
+                     (ctx.body_succeeded() ? ":ok" : ":fail"),
+                 ctx.id());
+  }
+
+  void on_cancel(core::InvocationContext& ctx) override {
+    log_->append(category_, "cancel:" + std::string(ctx.method().name()),
+                 ctx.id());
+  }
+
+ private:
+  runtime::EventLog* log_;
+  std::string category_;
+};
+
+}  // namespace amf::aspects

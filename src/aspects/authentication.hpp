@@ -1,0 +1,44 @@
+// Authentication aspect — the concern §5.3 of the paper adds to the
+// trouble-ticketing system to demonstrate adaptability.
+//
+// The guard verifies that the calling principal carries a live session
+// token in the credential store; otherwise the invocation is vetoed with a
+// typed kUnauthenticated error (the paper printed "ABORT"). On success the
+// aspect resolves the token back to the stored principal and notes the
+// authenticated user for downstream aspects (authorization, audit).
+#pragma once
+
+#include <string_view>
+
+#include "core/aspect.hpp"
+#include "runtime/identity.hpp"
+#include "runtime/result.hpp"
+
+namespace amf::aspects {
+
+/// Vetoes invocations whose principal has no valid session token.
+class AuthenticationAspect final : public core::Aspect {
+ public:
+  explicit AuthenticationAspect(const runtime::CredentialStore& store)
+      : store_(&store) {}
+
+  std::string_view name() const override { return "authenticate"; }
+
+  core::Decision precondition(core::InvocationContext& ctx) override {
+    const auto& principal = ctx.principal();
+    if (!principal.authenticated() || !store_->valid_token(principal.token)) {
+      ctx.set_abort_error(runtime::make_error(
+          runtime::ErrorCode::kUnauthenticated,
+          principal.name.empty() ? "anonymous caller"
+                                 : "invalid session for " + principal.name));
+      return core::Decision::kAbort;
+    }
+    ctx.set_note("auth.user", principal.name);
+    return core::Decision::kResume;
+  }
+
+ private:
+  const runtime::CredentialStore* store_;
+};
+
+}  // namespace amf::aspects

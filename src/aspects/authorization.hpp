@@ -1,0 +1,46 @@
+// Role-based authorization aspect.
+//
+// Complements AuthenticationAspect: where authentication asks "is this a
+// live session", authorization asks "may this principal call this method".
+// One instance is shared across methods and carries the method→role map.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/aspect.hpp"
+#include "runtime/ids.hpp"
+#include "runtime/result.hpp"
+
+namespace amf::aspects {
+
+/// Vetoes invocations whose principal lacks the role required for the
+/// invoked method. Methods with no requirement pass freely.
+class RoleAuthorizationAspect final : public core::Aspect {
+ public:
+  /// Requires callers of `method` to carry `role`.
+  void require(runtime::MethodId method, std::string role) {
+    required_[method] = std::move(role);
+  }
+
+  std::string_view name() const override { return "authorize"; }
+
+  core::Decision precondition(core::InvocationContext& ctx) override {
+    auto it = required_.find(ctx.method());
+    if (it == required_.end()) return core::Decision::kResume;
+    if (ctx.principal().has_role(it->second)) {
+      return core::Decision::kResume;
+    }
+    ctx.set_abort_error(runtime::make_error(
+        runtime::ErrorCode::kPermissionDenied,
+        "method " + std::string(ctx.method().name()) + " requires role '" +
+            it->second + "'"));
+    return core::Decision::kAbort;
+  }
+
+ private:
+  std::unordered_map<runtime::MethodId, std::string> required_;
+};
+
+}  // namespace amf::aspects

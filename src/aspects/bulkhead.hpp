@@ -1,0 +1,66 @@
+// Bulkhead aspect: per-caller-class concurrency isolation — the "load
+// balancing" interaction property of §2 as an admission concern.
+//
+// Each class (by default the principal's name) gets its own concurrency
+// budget; one class saturating its budget blocks only itself, never its
+// neighbors. Share one instance across a method group to isolate classes
+// across the whole group.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/aspect.hpp"
+
+namespace amf::aspects {
+
+/// Limits concurrent admissions per caller class.
+class BulkheadAspect final : public core::Aspect {
+ public:
+  /// Maps an invocation to its isolation class.
+  using Classifier = std::function<std::string(const core::InvocationContext&)>;
+
+  /// `per_class_limit` concurrent invocations per class; default classifier
+  /// is the principal's name (anonymous callers share one class).
+  explicit BulkheadAspect(std::size_t per_class_limit,
+                          Classifier classifier = nullptr)
+      : limit_(per_class_limit),
+        classify_(classifier ? std::move(classifier)
+                             : [](const core::InvocationContext& ctx) {
+                                 return ctx.principal().name;
+                               }) {}
+
+  std::string_view name() const override { return "bulkhead"; }
+
+  core::Decision precondition(core::InvocationContext& ctx) override {
+    const auto it = active_.find(classify_(ctx));
+    const std::size_t active = it == active_.end() ? 0 : it->second;
+    return active < limit_ ? core::Decision::kResume
+                           : core::Decision::kBlock;
+  }
+
+  void entry(core::InvocationContext& ctx) override {
+    ++active_[classify_(ctx)];
+  }
+
+  void postaction(core::InvocationContext& ctx) override {
+    auto it = active_.find(classify_(ctx));
+    if (it != active_.end() && --it->second == 0) active_.erase(it);
+  }
+
+  /// Currently admitted invocations of `cls` (diagnostics/tests).
+  std::size_t active(std::string_view cls) const {
+    auto it = active_.find(std::string(cls));
+    return it == active_.end() ? 0 : it->second;
+  }
+
+ private:
+  const std::size_t limit_;
+  Classifier classify_;
+  std::unordered_map<std::string, std::size_t> active_;
+};
+
+}  // namespace amf::aspects

@@ -1,0 +1,61 @@
+// Cohort (batch-admission) aspect: callers are admitted in groups of N.
+//
+// Useful for coordination patterns the paper's domain implies (batched
+// processing, gang admission): the first N-1 arrivals wait; the Nth
+// arrival releases the whole cohort, which then proceeds through the rest
+// of the guard chain individually.
+//
+// Semantics note (documented, tested): release happens at ADMISSION level.
+// Cohort members do not rendezvous inside their bodies — the Nth member may
+// finish before the first is scheduled. Combine with application logic if
+// body-level rendezvous is needed (std::barrier in the body).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <unordered_set>
+
+#include "core/aspect.hpp"
+
+namespace amf::aspects {
+
+/// Admits waiters in cohorts of exactly `n`.
+class CohortAspect final : public core::Aspect {
+ public:
+  explicit CohortAspect(std::size_t n) : n_(n) {}
+
+  std::string_view name() const override { return "cohort"; }
+
+  void on_arrive(core::InvocationContext& ctx) override {
+    waiting_.insert(ctx.id());
+    if (waiting_.size() >= n_) {
+      released_.merge(waiting_);
+      waiting_.clear();
+    }
+  }
+
+  core::Decision precondition(core::InvocationContext& ctx) override {
+    return released_.contains(ctx.id()) ? core::Decision::kResume
+                                        : core::Decision::kBlock;
+  }
+
+  void entry(core::InvocationContext& ctx) override {
+    released_.erase(ctx.id());
+  }
+
+  void on_cancel(core::InvocationContext& ctx) override {
+    waiting_.erase(ctx.id());
+    released_.erase(ctx.id());
+  }
+
+  std::size_t waiting() const { return waiting_.size(); }
+  std::size_t released_pending() const { return released_.size(); }
+
+ private:
+  const std::size_t n_;
+  std::unordered_set<std::uint64_t> waiting_;
+  std::unordered_set<std::uint64_t> released_;
+};
+
+}  // namespace amf::aspects

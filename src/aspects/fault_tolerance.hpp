@@ -1,0 +1,99 @@
+// Fault-tolerance aspect: a circuit breaker — the §1/§2 "fault tolerance"
+// interaction property as a composable concern.
+//
+// Classic three-state breaker:
+//   closed    → calls pass; consecutive body failures are counted
+//   open      → calls are vetoed (kUnavailable) until the cooldown elapses
+//   half-open → exactly one probe call passes; success closes the breaker,
+//               failure re-opens it
+//
+// Failure = the functional body threw (ctx.body_succeeded() == false).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "core/aspect.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/result.hpp"
+
+namespace amf::aspects {
+
+/// Circuit breaker over the guarded method(s); share one instance to treat
+/// several methods as one dependency.
+class CircuitBreakerAspect final : public core::Aspect {
+ public:
+  struct Options {
+    std::size_t failure_threshold = 3;   // consecutive failures to open
+    runtime::Duration cooldown{std::chrono::milliseconds(100)};
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreakerAspect(const runtime::Clock& clock)
+      : CircuitBreakerAspect(clock, Options{}) {}
+  CircuitBreakerAspect(const runtime::Clock& clock, Options options)
+      : clock_(&clock), options_(options) {}
+
+  std::string_view name() const override { return "circuit-breaker"; }
+
+  core::Decision precondition(core::InvocationContext& ctx) override {
+    if (state_ == State::kOpen) {
+      if (clock_->now() < reopen_at_) {
+        ctx.set_abort_error(runtime::make_error(
+            runtime::ErrorCode::kUnavailable, "circuit open"));
+        return core::Decision::kAbort;
+      }
+      // Cooldown elapsed: transition happens at entry of the first probe.
+      // (precondition must not mutate; flag the transition via admission.)
+    }
+    if (state_ == State::kHalfOpen && probe_in_flight_) {
+      ctx.set_abort_error(runtime::make_error(
+          runtime::ErrorCode::kUnavailable, "circuit half-open, probing"));
+      return core::Decision::kAbort;
+    }
+    return core::Decision::kResume;
+  }
+
+  void entry(core::InvocationContext& ctx) override {
+    (void)ctx;
+    if (state_ == State::kOpen) {
+      // First admission after cooldown: become the half-open probe.
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+    } else if (state_ == State::kHalfOpen) {
+      probe_in_flight_ = true;
+    }
+  }
+
+  void postaction(core::InvocationContext& ctx) override {
+    if (ctx.body_succeeded()) {
+      consecutive_failures_ = 0;
+      if (state_ == State::kHalfOpen) {
+        state_ = State::kClosed;
+        probe_in_flight_ = false;
+      }
+    } else {
+      ++consecutive_failures_;
+      if (state_ == State::kHalfOpen ||
+          consecutive_failures_ >= options_.failure_threshold) {
+        state_ = State::kOpen;
+        probe_in_flight_ = false;
+        reopen_at_ = clock_->now() + options_.cooldown;
+        consecutive_failures_ = 0;
+      }
+    }
+  }
+
+  State state() const { return state_; }
+
+ private:
+  const runtime::Clock* clock_;
+  const Options options_;
+  State state_ = State::kClosed;
+  bool probe_in_flight_ = false;
+  std::size_t consecutive_failures_ = 0;
+  runtime::TimePoint reopen_at_{};
+};
+
+}  // namespace amf::aspects

@@ -1,0 +1,73 @@
+// Quota aspect: token-bucket rate limiting — the "load balancing /
+// throughput" interaction properties of §2 as a composable concern.
+//
+// Default policy is to VETO over-limit calls (kResourceExhausted) so the
+// caller can back off. Blocking mode exists but is only sensible when other
+// traffic keeps postactivations (and thus guard re-evaluations) flowing, or
+// when callers set deadlines — the moderator wakes waiters on completions,
+// not on wall-clock refills.
+#pragma once
+
+#include <algorithm>
+#include <string_view>
+
+#include "core/aspect.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/result.hpp"
+
+namespace amf::aspects {
+
+/// Token-bucket limiter over the guarded method(s).
+class RateLimitAspect final : public core::Aspect {
+ public:
+  struct Options {
+    double tokens_per_second = 100.0;
+    double burst = 10.0;  // bucket capacity
+    /// false (default): over-limit calls abort; true: they block.
+    bool block_when_limited = false;
+  };
+
+  RateLimitAspect(const runtime::Clock& clock, Options options)
+      : clock_(&clock),
+        options_(options),
+        tokens_(options.burst),
+        last_refill_(clock.now()) {}
+
+  std::string_view name() const override { return "rate-limit"; }
+
+  core::Decision precondition(core::InvocationContext& ctx) override {
+    // Refill is idempotent-by-time: recomputing on every evaluation is
+    // safe, so doing it in the guard does not violate the no-state-commit
+    // contract in spirit (the bucket depends only on the clock).
+    refill();
+    if (tokens_ >= 1.0) return core::Decision::kResume;
+    if (options_.block_when_limited) return core::Decision::kBlock;
+    ctx.set_abort_error(runtime::make_error(
+        runtime::ErrorCode::kResourceExhausted, "rate limit exceeded"));
+    return core::Decision::kAbort;
+  }
+
+  void entry(core::InvocationContext& ctx) override {
+    (void)ctx;
+    tokens_ -= 1.0;
+  }
+
+  /// Tokens currently available (diagnostics/tests).
+  double tokens() const { return tokens_; }
+
+ private:
+  void refill() {
+    const auto now = clock_->now();
+    const auto elapsed = std::chrono::duration<double>(now - last_refill_);
+    tokens_ = std::min(options_.burst,
+                       tokens_ + elapsed.count() * options_.tokens_per_second);
+    last_refill_ = now;
+  }
+
+  const runtime::Clock* clock_;
+  const Options options_;
+  double tokens_;
+  runtime::TimePoint last_refill_;
+};
+
+}  // namespace amf::aspects

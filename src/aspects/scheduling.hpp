@@ -1,0 +1,86 @@
+// Scheduling aspects: control the ORDER in which blocked callers are
+// admitted — the "scheduling" interaction property promised in the paper's
+// abstract but never elaborated there.
+//
+// Both aspects order *admission* only; they do not limit concurrency
+// (combine with MutualExclusionAspect for that). Register one instance
+// across all methods whose admissions should be ordered together.
+//
+// Known property (documented, tested): admission order is strict — if the
+// front waiter is blocked by ANOTHER aspect's guard, later waiters wait too.
+// That is the price of a total admission order; use separate instances per
+// method when strictness is not wanted.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string_view>
+#include <utility>
+
+#include "core/aspect.hpp"
+
+namespace amf::aspects {
+
+/// Admits callers strictly in arrival order (fair FIFO).
+class FifoFairnessAspect final : public core::Aspect {
+ public:
+  std::string_view name() const override { return "fifo"; }
+
+  void on_arrive(core::InvocationContext& ctx) override {
+    waiting_.insert(ctx.arrival_seq());
+  }
+
+  core::Decision precondition(core::InvocationContext& ctx) override {
+    return (!waiting_.empty() && *waiting_.begin() == ctx.arrival_seq())
+               ? core::Decision::kResume
+               : core::Decision::kBlock;
+  }
+
+  void entry(core::InvocationContext& ctx) override {
+    waiting_.erase(ctx.arrival_seq());
+  }
+
+  void on_cancel(core::InvocationContext& ctx) override {
+    waiting_.erase(ctx.arrival_seq());
+  }
+
+  std::size_t waiting() const { return waiting_.size(); }
+
+ private:
+  std::set<std::uint64_t> waiting_;
+};
+
+/// Admits the highest-priority waiter first (ties broken by arrival order).
+class PrioritySchedulingAspect final : public core::Aspect {
+ public:
+  std::string_view name() const override { return "priority"; }
+
+  void on_arrive(core::InvocationContext& ctx) override {
+    waiting_.insert(key(ctx));
+  }
+
+  core::Decision precondition(core::InvocationContext& ctx) override {
+    return (!waiting_.empty() && *waiting_.begin() == key(ctx))
+               ? core::Decision::kResume
+               : core::Decision::kBlock;
+  }
+
+  void entry(core::InvocationContext& ctx) override { waiting_.erase(key(ctx)); }
+
+  void on_cancel(core::InvocationContext& ctx) override {
+    waiting_.erase(key(ctx));
+  }
+
+  std::size_t waiting() const { return waiting_.size(); }
+
+ private:
+  // Ordered so that begin() = highest priority, then earliest arrival.
+  using Key = std::pair<int, std::uint64_t>;
+  static Key key(const core::InvocationContext& ctx) {
+    return {-ctx.priority(), ctx.arrival_seq()};
+  }
+
+  std::set<Key> waiting_;
+};
+
+}  // namespace amf::aspects

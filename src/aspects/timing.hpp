@@ -1,0 +1,69 @@
+// Timing aspect: measures, per method, how long callers wait for admission
+// and how long the functional body takes — the instrumentation concern
+// ("throughput" in §2) composed like any other aspect.
+//
+// Two histograms are registered per guarded method:
+//   <prefix>.<method>.wait_ns     enqueued → admitted
+//   <prefix>.<method>.service_ns  admitted → postactivation
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/aspect.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/ids.hpp"
+#include "runtime/metrics.hpp"
+
+namespace amf::aspects {
+
+/// Records wait/service time distributions into a metrics registry.
+class TimingAspect final : public core::Aspect {
+ public:
+  TimingAspect(runtime::Registry& registry, const runtime::Clock& clock,
+               std::string prefix = "timing")
+      : registry_(&registry), clock_(&clock), prefix_(std::move(prefix)) {}
+
+  std::string_view name() const override { return "timing"; }
+
+  void entry(core::InvocationContext& ctx) override {
+    hist(ctx.method(), ".wait_ns")
+        .record((ctx.admitted_at() - ctx.enqueued_at()).count());
+  }
+
+  void postaction(core::InvocationContext& ctx) override {
+    hist(ctx.method(), ".service_ns")
+        .record((clock_->now() - ctx.admitted_at()).count());
+  }
+
+ private:
+  runtime::Histogram& hist(runtime::MethodId method, std::string_view which) {
+    // Cache the registry lookups; aspect hooks run under the moderator lock
+    // so the local map needs no further synchronization.
+    const auto key = std::make_pair(method, std::string(which));
+    auto it = cache_.find(key.first);
+    if (it == cache_.end()) {
+      it = cache_.emplace(key.first, PerMethod{}).first;
+    }
+    auto& slot = which == ".wait_ns" ? it->second.wait : it->second.service;
+    if (slot == nullptr) {
+      slot = &registry_->histogram(prefix_ + "." +
+                                   std::string(method.name()) +
+                                   std::string(which));
+    }
+    return *slot;
+  }
+
+  struct PerMethod {
+    runtime::Histogram* wait = nullptr;
+    runtime::Histogram* service = nullptr;
+  };
+
+  runtime::Registry* registry_;
+  const runtime::Clock* clock_;
+  std::string prefix_;
+  std::unordered_map<runtime::MethodId, PerMethod> cache_;
+};
+
+}  // namespace amf::aspects

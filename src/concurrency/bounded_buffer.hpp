@@ -1,0 +1,128 @@
+// Classic monitor-style bounded buffer.
+//
+// This is the *tangled* version of the paper's producer/consumer protocol:
+// synchronization interleaved with functionality in one class. It serves as
+// (a) the baseline every benchmark compares the framework against, and
+// (b) a reusable utility for other substrates.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "runtime/clock.hpp"
+
+namespace amf::concurrency {
+
+/// Fixed-capacity FIFO with blocking put/take.
+template <typename T>
+class BoundedBuffer {
+ public:
+  /// `capacity` must be >= 1.
+  explicit BoundedBuffer(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("capacity must be >= 1");
+  }
+
+  /// Blocks while full, then enqueues.
+  void put(T value) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return count_ < capacity_; });
+    slots_[tail_] = std::move(value);
+    tail_ = (tail_ + 1) % capacity_;
+    ++count_;
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  /// Blocks while empty, then dequeues.
+  T take() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return count_ > 0; });
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking put; false if full.
+  bool try_put(T value) {
+    {
+      std::scoped_lock lock(mu_);
+      if (count_ == capacity_) return false;
+      slots_[tail_] = std::move(value);
+      tail_ = (tail_ + 1) % capacity_;
+      ++count_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking take; nullopt if empty.
+  std::optional<T> try_take() {
+    std::optional<T> out;
+    {
+      std::scoped_lock lock(mu_);
+      if (count_ == 0) return std::nullopt;
+      out = std::move(slots_[head_]);
+      head_ = (head_ + 1) % capacity_;
+      --count_;
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Deadline-bounded put; false on timeout.
+  bool put_until(T value, runtime::TimePoint deadline) {
+    std::unique_lock lock(mu_);
+    if (!not_full_.wait_until(lock, deadline,
+                              [&] { return count_ < capacity_; })) {
+      return false;
+    }
+    slots_[tail_] = std::move(value);
+    tail_ = (tail_ + 1) % capacity_;
+    ++count_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Deadline-bounded take; nullopt on timeout.
+  std::optional<T> take_until(runtime::TimePoint deadline) {
+    std::unique_lock lock(mu_);
+    if (!not_empty_.wait_until(lock, deadline, [&] { return count_ > 0; })) {
+      return std::nullopt;
+    }
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return count_;
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace amf::concurrency

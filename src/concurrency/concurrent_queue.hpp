@@ -1,0 +1,91 @@
+// Unbounded MPMC queue with close semantics.
+//
+// Substrate for the thread pool (task queue) and the transport (endpoint
+// inboxes). `close()` lets consumers drain remaining items and then observe
+// end-of-stream, which gives clean shutdown without sentinel values.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "runtime/clock.hpp"
+
+namespace amf::concurrency {
+
+/// FIFO queue; any number of producers and consumers.
+template <typename T>
+class ConcurrentQueue {
+ public:
+  /// Enqueues unless the queue is closed; returns false if closed.
+  bool push(T value) {
+    {
+      std::scoped_lock lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for an item; nullopt when the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Blocks for an item until `deadline`; nullopt on timeout or on
+  /// closed-and-drained.
+  std::optional<T> pop_until(runtime::TimePoint deadline) {
+    std::unique_lock lock(mu_);
+    cv_.wait_until(lock, deadline,
+                   [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Non-blocking pop; nullopt when empty.
+  std::optional<T> try_pop() {
+    std::scoped_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Closes the queue: further pushes fail, consumers drain then see
+  /// end-of-stream.
+  void close() {
+    {
+      std::scoped_lock lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace amf::concurrency

@@ -1,0 +1,71 @@
+// Monitor<T>: data bundled with the mutex that guards it (CP.50) plus
+// condition waiting — the C++ rendering of the Java monitors the paper's
+// listings rely on.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+namespace amf::concurrency {
+
+/// Wraps a value of type `T`; all access goes through `with()` /
+/// `wait_then()`, so the data can never be touched without its lock.
+template <typename T>
+class Monitor {
+ public:
+  Monitor() = default;
+  explicit Monitor(T initial) : value_(std::move(initial)) {}
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Runs `fn(T&)` under the lock and returns its result. Waiters are
+  /// notified afterwards (the common case is a mutation).
+  template <typename Fn>
+  auto with(Fn&& fn) {
+    std::unique_lock lock(mu_);
+    if constexpr (std::is_void_v<decltype(fn(value_))>) {
+      fn(value_);
+      lock.unlock();
+      cv_.notify_all();
+    } else {
+      auto result = fn(value_);
+      lock.unlock();
+      cv_.notify_all();
+      return result;
+    }
+  }
+
+  /// Runs `fn(const T&)` under the lock without notifying (pure read).
+  template <typename Fn>
+  auto read(Fn&& fn) const {
+    std::scoped_lock lock(mu_);
+    return fn(value_);
+  }
+
+  /// Blocks until `pred(T&)` holds, then runs `fn(T&)` under the same lock
+  /// acquisition (atomic check-then-act), notifying afterwards.
+  template <typename Pred, typename Fn>
+  auto wait_then(Pred&& pred, Fn&& fn) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return pred(value_); });
+    if constexpr (std::is_void_v<decltype(fn(value_))>) {
+      fn(value_);
+      lock.unlock();
+      cv_.notify_all();
+    } else {
+      auto result = fn(value_);
+      lock.unlock();
+      cv_.notify_all();
+      return result;
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  T value_{};
+};
+
+}  // namespace amf::concurrency

@@ -1,0 +1,32 @@
+#include "concurrency/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace amf::concurrency {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads = std::max<std::size_t>(threads, 1);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] {
+      while (auto task = tasks_.pop()) {
+        (*task)();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> task) {
+  return tasks_.push(std::move(task));
+}
+
+void ThreadPool::shutdown() {
+  tasks_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+}  // namespace amf::concurrency

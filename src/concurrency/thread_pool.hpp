@@ -1,0 +1,53 @@
+// Fixed-size thread pool over jthreads.
+//
+// Used by workload drivers (benchmarks, examples) and the RPC server stub.
+// Tasks are type-erased `std::function<void()>`; the pool joins on
+// destruction after draining (CP.23/25: threads are scoped containers).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "concurrency/concurrent_queue.hpp"
+
+namespace amf::concurrency {
+
+/// A pool of `n` worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns false if the pool is already shutting down.
+  bool submit(std::function<void()> task);
+
+  /// Enqueues a callable and returns a future for its result.
+  template <typename Fn>
+  auto async(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    auto future = task->get_future();
+    submit([task] { (*task)(); });
+    return future;
+  }
+
+  /// Stops accepting tasks; workers drain the queue and exit. Idempotent.
+  void shutdown();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  ConcurrentQueue<std::function<void()>> tasks_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace amf::concurrency

@@ -1,0 +1,102 @@
+// WaitQueue: the paper's per-method waiting queues as a reusable primitive.
+//
+// In the paper, blocked callers loop on `queue.wait()` re-evaluating
+// preconditions (Fig. 11). This class packages a mutex + condition variable
+// with predicate-based waiting (Core Guidelines CP.42), deadline support,
+// and wake statistics so experiments can count futile wakeups.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "runtime/clock.hpp"
+
+namespace amf::concurrency {
+
+/// Outcome of a predicate wait.
+enum class WaitResult {
+  kSatisfied,  // predicate became true
+  kTimedOut,   // deadline hit while predicate still false
+};
+
+/// A monitor-style wait queue. All waiting is predicate-based; spurious
+/// wakeups are absorbed internally.
+class WaitQueue {
+ public:
+  /// Blocks until `pred()` (evaluated under the internal lock) is true.
+  template <typename Pred>
+  void wait(Pred&& pred) {
+    std::unique_lock lock(mu_);
+    waiters_ += 1;
+    cv_.wait(lock, [&] {
+      wakeups_ += 1;
+      return pred();
+    });
+    waiters_ -= 1;
+  }
+
+  /// Blocks until `pred()` is true or `deadline` passes.
+  template <typename Pred>
+  WaitResult wait_until(runtime::TimePoint deadline, Pred&& pred) {
+    std::unique_lock lock(mu_);
+    waiters_ += 1;
+    const bool ok = cv_.wait_until(lock, deadline, [&] {
+      wakeups_ += 1;
+      return pred();
+    });
+    waiters_ -= 1;
+    if (!ok) timeouts_ += 1;
+    return ok ? WaitResult::kSatisfied : WaitResult::kTimedOut;
+  }
+
+  /// Runs `fn` under the queue's lock (mutate the guarded state here),
+  /// then wakes all waiters to re-evaluate their predicates.
+  template <typename Fn>
+  void update_and_notify(Fn&& fn) {
+    {
+      std::scoped_lock lock(mu_);
+      fn();
+    }
+    cv_.notify_all();
+  }
+
+  /// Runs `fn` under the queue's lock and returns its result, without
+  /// notifying (pure reads).
+  template <typename Fn>
+  auto with_lock(Fn&& fn) {
+    std::scoped_lock lock(mu_);
+    return fn();
+  }
+
+  /// Wakes all waiters (predicates will be re-checked).
+  void notify_all() { cv_.notify_all(); }
+  /// Wakes one waiter.
+  void notify_one() { cv_.notify_one(); }
+
+  /// Number of threads currently blocked in a wait (racy; diagnostics only).
+  std::uint64_t waiters() const {
+    std::scoped_lock lock(mu_);
+    return waiters_;
+  }
+  /// Total predicate evaluations triggered by wakeups (incl. futile ones).
+  std::uint64_t wakeups() const {
+    std::scoped_lock lock(mu_);
+    return wakeups_;
+  }
+  /// Total deadline expirations observed.
+  std::uint64_t timeouts() const {
+    std::scoped_lock lock(mu_);
+    return timeouts_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t waiters_ = 0;
+  std::uint64_t wakeups_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace amf::concurrency

@@ -1,0 +1,103 @@
+// Aspect: the framework's first-class concern object (the paper's AspectIF).
+//
+// Protocol (design repair D1 — see DESIGN.md §3): the paper's single
+// `precondition()` both tested the guard and committed state, which is
+// unsound once several aspects guard one method. We split it:
+//
+//   on_arrive()     once, when the invocation enters preactivation
+//   precondition()  pure guard: Resume / Block / Abort — may run many times
+//   entry()         state commit; runs once, only after EVERY guard of the
+//                   method returned Resume, atomically with that evaluation
+//   postaction()    after the functional body (even if the body threw —
+//                   check ctx.body_succeeded()); reverse registration order
+//   on_cancel()     once, if the invocation leaves preactivation without
+//                   admission (abort / timeout / cancellation)
+//
+// Threading contract: ALL hooks run under the moderator's state lock. They
+// must be short, must not block, and must not call back into the moderator
+// (Core Guidelines CP.22 applies — these are guard bodies, not user code).
+// Aspect state therefore needs no locking of its own.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/context.hpp"
+#include "core/decision.hpp"
+
+namespace amf::core {
+
+/// Base class for all aspects. Every hook has a no-op default so concrete
+/// aspects override only what their concern needs.
+class Aspect {
+ public:
+  virtual ~Aspect() = default;
+
+  /// Short diagnostic name ("sync", "authenticate", ...).
+  virtual std::string_view name() const { return "aspect"; }
+
+  /// Called once when `ctx` enters preactivation.
+  virtual void on_arrive(InvocationContext& ctx) { (void)ctx; }
+
+  /// Guard; called (possibly many times) until the whole chain resumes,
+  /// the aspect aborts, or the caller gives up. Must be idempotent and must
+  /// not mutate aspect state (commit belongs in entry()); it MAY annotate
+  /// the context (notes, abort_error) — e.g. an authentication aspect sets
+  /// a typed kUnauthenticated abort error before vetoing.
+  virtual Decision precondition(InvocationContext& ctx) {
+    (void)ctx;
+    return Decision::kResume;
+  }
+
+  /// State commit after unanimous admission.
+  virtual void entry(InvocationContext& ctx) { (void)ctx; }
+
+  /// Post-activation (the paper's postaction).
+  virtual void postaction(InvocationContext& ctx) { (void)ctx; }
+
+  /// Cleanup when the invocation is never admitted.
+  virtual void on_cancel(InvocationContext& ctx) { (void)ctx; }
+};
+
+/// Adapter building an aspect out of lambdas; heavily used by tests and by
+/// one-off concerns that do not merit a class.
+class LambdaAspect final : public Aspect {
+ public:
+  using GuardFn = std::function<Decision(InvocationContext&)>;
+  using HookFn = std::function<void(InvocationContext&)>;
+
+  /// All parts optional; missing parts default to no-ops / Resume.
+  explicit LambdaAspect(std::string name, GuardFn guard = {}, HookFn entry = {},
+                        HookFn post = {})
+      : name_(std::move(name)),
+        guard_(std::move(guard)),
+        entry_(std::move(entry)),
+        post_(std::move(post)) {}
+
+  std::string_view name() const override { return name_; }
+
+  Decision precondition(InvocationContext& ctx) override {
+    return guard_ ? guard_(ctx) : Decision::kResume;
+  }
+
+  void entry(InvocationContext& ctx) override {
+    if (entry_) entry_(ctx);
+  }
+
+  void postaction(InvocationContext& ctx) override {
+    if (post_) post_(ctx);
+  }
+
+ private:
+  std::string name_;
+  GuardFn guard_;
+  HookFn entry_;
+  HookFn post_;
+};
+
+using AspectPtr = std::shared_ptr<Aspect>;
+
+}  // namespace amf::core

@@ -1,0 +1,121 @@
+#include "core/bank.hpp"
+
+#include <algorithm>
+
+namespace amf::core {
+
+const AspectChain AspectBank::kEmptyChain =
+    std::make_shared<const std::vector<BankEntry>>();
+
+void AspectBank::set_kind_order(std::vector<runtime::AspectKind> order) {
+  std::scoped_lock lock(mu_);
+  order_ = std::move(order);
+  for (const auto& [method, _] : cells_) rebuild_chain_locked(method);
+}
+
+std::vector<runtime::AspectKind> AspectBank::kind_order() const {
+  std::scoped_lock lock(mu_);
+  return order_;
+}
+
+void AspectBank::register_aspect(runtime::MethodId method,
+                                 runtime::AspectKind kind, AspectPtr aspect) {
+  std::scoped_lock lock(mu_);
+  if (std::find(order_.begin(), order_.end(), kind) == order_.end()) {
+    order_.push_back(kind);
+  }
+  cells_[method][kind] = std::move(aspect);
+  rebuild_chain_locked(method);
+}
+
+bool AspectBank::remove_aspect(runtime::MethodId method,
+                               runtime::AspectKind kind) {
+  std::scoped_lock lock(mu_);
+  auto it = cells_.find(method);
+  if (it == cells_.end()) return false;
+  if (it->second.erase(kind) == 0) return false;
+  rebuild_chain_locked(method);
+  return true;
+}
+
+AspectPtr AspectBank::find(runtime::MethodId method,
+                           runtime::AspectKind kind) const {
+  std::scoped_lock lock(mu_);
+  auto it = cells_.find(method);
+  if (it == cells_.end()) return nullptr;
+  auto jt = it->second.find(kind);
+  return jt == it->second.end() ? nullptr : jt->second;
+}
+
+AspectChain AspectBank::chain(runtime::MethodId method) const {
+  std::scoped_lock lock(mu_);
+  auto it = chains_.find(method);
+  return it == chains_.end() ? kEmptyChain : it->second;
+}
+
+std::vector<runtime::MethodId> AspectBank::methods() const {
+  std::scoped_lock lock(mu_);
+  std::vector<runtime::MethodId> out;
+  out.reserve(cells_.size());
+  for (const auto& [method, kinds] : cells_) {
+    if (!kinds.empty()) out.push_back(method);
+  }
+  return out;
+}
+
+std::size_t AspectBank::size() const {
+  std::scoped_lock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [_, kinds] : cells_) n += kinds.size();
+  return n;
+}
+
+std::string AspectBank::describe() const {
+  std::scoped_lock lock(mu_);
+  std::string out = "kind order:";
+  for (const auto kind : order_) {
+    out += ' ';
+    out += kind.name();
+  }
+  out += '\n';
+  // Sort methods by name for a stable, diff-friendly dump.
+  std::vector<runtime::MethodId> methods;
+  for (const auto& [method, kinds] : cells_) {
+    if (!kinds.empty()) methods.push_back(method);
+  }
+  std::sort(methods.begin(), methods.end(),
+            [](runtime::MethodId a, runtime::MethodId b) {
+              return a.name() < b.name();
+            });
+  for (const auto method : methods) {
+    out += std::string(method.name()) + ":";
+    auto it = chains_.find(method);
+    if (it != chains_.end()) {
+      for (const auto& entry : *it->second) {
+        out += " [";
+        out += entry.kind.name();
+        out += '/';
+        out += entry.aspect->name();
+        out += ']';
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void AspectBank::rebuild_chain_locked(runtime::MethodId method) {
+  auto it = cells_.find(method);
+  auto next = std::make_shared<std::vector<BankEntry>>();
+  if (it != cells_.end()) {
+    next->reserve(it->second.size());
+    for (const auto kind : order_) {
+      if (auto jt = it->second.find(kind); jt != it->second.end()) {
+        next->push_back(BankEntry{kind, jt->second});
+      }
+    }
+  }
+  chains_[method] = AspectChain(std::move(next));
+}
+
+}  // namespace amf::core

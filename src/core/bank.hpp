@@ -1,0 +1,86 @@
+// AspectBank: the paper's two-dimensional composition structure
+// (methods × aspect kinds → aspect objects, Figs. 1 and 9).
+//
+// The paper stores aspects in a literal 2-D array indexed by hard-coded
+// constants; we keep the same hierarchical model but make both dimensions
+// open: methods and kinds are interned ids created at run time, and the
+// *kind order* — which the §5.3 extension relies on (authentication wraps
+// synchronization) — is explicit and queryable.
+//
+// Reads on the moderation hot path take an RCU-style snapshot: each
+// method's chain is an immutable shared vector replaced wholesale on
+// registration, so `chain()` costs one shared_ptr copy.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/aspect.hpp"
+#include "runtime/ids.hpp"
+
+namespace amf::core {
+
+/// One (kind, aspect) cell of the bank.
+struct BankEntry {
+  runtime::AspectKind kind;
+  AspectPtr aspect;
+};
+
+/// Immutable snapshot of a method's ordered aspect chain.
+using AspectChain = std::shared_ptr<const std::vector<BankEntry>>;
+
+/// Thread-safe registry of aspects per (method, kind).
+class AspectBank {
+ public:
+  /// Fixes the evaluation order of kinds. Kinds registered later but absent
+  /// from the list are appended in first-registration order. Preconditions
+  /// and entries run in this order; postactions run in reverse (Fig. 14:
+  /// auth-pre, sync-pre, body, sync-post, auth-post).
+  void set_kind_order(std::vector<runtime::AspectKind> order);
+
+  /// Current kind order (explicit + appended).
+  std::vector<runtime::AspectKind> kind_order() const;
+
+  /// Registers (or replaces) the aspect in cell (method, kind) — the
+  /// paper's `registerAspect`. Replacing is what makes the system adaptable
+  /// at run time.
+  void register_aspect(runtime::MethodId method, runtime::AspectKind kind,
+                       AspectPtr aspect);
+
+  /// Removes a cell; returns false if it was empty.
+  bool remove_aspect(runtime::MethodId method, runtime::AspectKind kind);
+
+  /// The aspect in cell (method, kind), or nullptr.
+  AspectPtr find(runtime::MethodId method, runtime::AspectKind kind) const;
+
+  /// Snapshot of `method`'s chain in kind order (possibly empty).
+  AspectChain chain(runtime::MethodId method) const;
+
+  /// All methods that have at least one registered aspect.
+  std::vector<runtime::MethodId> methods() const;
+
+  /// Total number of occupied cells.
+  std::size_t size() const;
+
+  /// Human-readable dump of the two-dimensional composition (Fig. 1's
+  /// aspect bank): one line per method listing its chain in kind order.
+  /// The operator's view of "what concerns guard what".
+  std::string describe() const;
+
+ private:
+  void rebuild_chain_locked(runtime::MethodId method);
+
+  mutable std::mutex mu_;
+  std::vector<runtime::AspectKind> order_;
+  std::unordered_map<runtime::MethodId,
+                     std::unordered_map<runtime::AspectKind, AspectPtr>>
+      cells_;
+  std::unordered_map<runtime::MethodId, AspectChain> chains_;
+  static const AspectChain kEmptyChain;
+};
+
+}  // namespace amf::core

@@ -1,0 +1,125 @@
+// Aspect composition operators.
+//
+// The paper composes concerns one-per-kind in the bank's second dimension.
+// Real systems also need composition *within* a cell — e.g. "synchronization
+// for premium traffic only" or "these three checks are one concern". These
+// operators keep the bank model intact while making cells composable:
+//
+//   CompositeAspect    — a fixed sequence of sub-aspects acting as one cell
+//                        (guards AND-combined, postactions reversed)
+//   ConditionalAspect  — applies an inner aspect only to invocations
+//                        matching a predicate; others pass through
+//
+// Both follow the moderator's hook contract, so they nest arbitrarily.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/aspect.hpp"
+
+namespace amf::core {
+
+/// Several aspects occupying ONE bank cell as a unit.
+/// Guard semantics: first non-Resume verdict wins (like the moderator's
+/// chain); entries run in order; postactions in reverse.
+class CompositeAspect final : public Aspect {
+ public:
+  explicit CompositeAspect(std::vector<AspectPtr> parts,
+                           std::string name = "composite")
+      : parts_(std::move(parts)), name_(std::move(name)) {}
+
+  std::string_view name() const override { return name_; }
+
+  void on_arrive(InvocationContext& ctx) override {
+    for (const auto& p : parts_) p->on_arrive(ctx);
+  }
+
+  Decision precondition(InvocationContext& ctx) override {
+    for (const auto& p : parts_) {
+      const Decision d = p->precondition(ctx);
+      if (d != Decision::kResume) return d;
+    }
+    return Decision::kResume;
+  }
+
+  void entry(InvocationContext& ctx) override {
+    for (const auto& p : parts_) p->entry(ctx);
+  }
+
+  void postaction(InvocationContext& ctx) override {
+    for (auto it = parts_.rbegin(); it != parts_.rend(); ++it) {
+      (*it)->postaction(ctx);
+    }
+  }
+
+  void on_cancel(InvocationContext& ctx) override {
+    for (const auto& p : parts_) p->on_cancel(ctx);
+  }
+
+  std::size_t size() const { return parts_.size(); }
+
+ private:
+  std::vector<AspectPtr> parts_;
+  std::string name_;
+};
+
+/// Applies `inner` only when `applies(ctx)` holds; other invocations pass
+/// the cell untouched. The predicate must be a pure function of the
+/// context (it is consulted in every hook and must agree across phases of
+/// one invocation).
+class ConditionalAspect final : public Aspect {
+ public:
+  using Predicate = std::function<bool(const InvocationContext&)>;
+
+  ConditionalAspect(Predicate applies, AspectPtr inner,
+                    std::string name = "conditional")
+      : applies_(std::move(applies)),
+        inner_(std::move(inner)),
+        name_(std::move(name)) {}
+
+  std::string_view name() const override { return name_; }
+
+  void on_arrive(InvocationContext& ctx) override {
+    if (applies_(ctx)) inner_->on_arrive(ctx);
+  }
+
+  Decision precondition(InvocationContext& ctx) override {
+    return applies_(ctx) ? inner_->precondition(ctx) : Decision::kResume;
+  }
+
+  void entry(InvocationContext& ctx) override {
+    if (applies_(ctx)) inner_->entry(ctx);
+  }
+
+  void postaction(InvocationContext& ctx) override {
+    if (applies_(ctx)) inner_->postaction(ctx);
+  }
+
+  void on_cancel(InvocationContext& ctx) override {
+    if (applies_(ctx)) inner_->on_cancel(ctx);
+  }
+
+ private:
+  Predicate applies_;
+  AspectPtr inner_;
+  std::string name_;
+};
+
+/// Convenience builders.
+inline AspectPtr compose(std::vector<AspectPtr> parts,
+                         std::string name = "composite") {
+  return std::make_shared<CompositeAspect>(std::move(parts), std::move(name));
+}
+
+inline AspectPtr only_when(ConditionalAspect::Predicate pred, AspectPtr inner,
+                           std::string name = "conditional") {
+  return std::make_shared<ConditionalAspect>(std::move(pred),
+                                             std::move(inner),
+                                             std::move(name));
+}
+
+}  // namespace amf::core

@@ -1,0 +1,141 @@
+// InvocationContext: everything the moderation pipeline knows about one
+// call to a participating method.
+//
+// The paper passes only a `methodID` string through the moderator; an open
+// system needs more (who is calling, with what priority, until when — §1's
+// open issues), so the context carries caller identity, priority, deadline
+// and a small note map through which aspects communicate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stop_token>
+#include <string>
+#include <string_view>
+
+#include <memory>
+#include <vector>
+
+#include "core/decision.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/identity.hpp"
+#include "runtime/ids.hpp"
+#include "runtime/result.hpp"
+
+namespace amf::core {
+
+struct BankEntry;  // core/bank.hpp
+
+/// Per-invocation state threaded through preactivation → body →
+/// postactivation. Created by the proxy (or directly in tests), mutated by
+/// the moderator and by aspects.
+class InvocationContext {
+ public:
+  /// Creates a context for a call to `method` with a process-unique id.
+  explicit InvocationContext(runtime::MethodId method)
+      : id_(next_id()), method_(method) {}
+
+  /// Process-unique invocation id (used to correlate log events).
+  std::uint64_t id() const { return id_; }
+
+  /// The participating method being invoked.
+  runtime::MethodId method() const { return method_; }
+
+  /// Caller identity; anonymous by default.
+  const runtime::Principal& principal() const { return principal_; }
+  void set_principal(runtime::Principal p) { principal_ = std::move(p); }
+
+  /// Scheduling priority (higher = more urgent; 0 default).
+  int priority() const { return priority_; }
+  void set_priority(int p) { priority_ = p; }
+
+  /// Absolute deadline for admission; waiting past it times the call out.
+  const std::optional<runtime::TimePoint>& deadline() const {
+    return deadline_;
+  }
+  void set_deadline(runtime::TimePoint d) { deadline_ = d; }
+
+  /// Optional cooperative-cancellation token.
+  const std::optional<std::stop_token>& stop() const { return stop_; }
+  void set_stop(std::stop_token t) { stop_ = std::move(t); }
+
+  // --- fields maintained by the moderator -------------------------------
+
+  /// Global arrival order among invocations at the same moderator
+  /// (assigned at preactivation entry; basis for FIFO scheduling).
+  std::uint64_t arrival_seq() const { return arrival_seq_; }
+  void set_arrival_seq(std::uint64_t s) { arrival_seq_ = s; }
+
+  /// When preactivation started / when the guards finally admitted the call.
+  runtime::TimePoint enqueued_at() const { return enqueued_at_; }
+  void set_enqueued_at(runtime::TimePoint t) { enqueued_at_ = t; }
+  runtime::TimePoint admitted_at() const { return admitted_at_; }
+  void set_admitted_at(runtime::TimePoint t) { admitted_at_ = t; }
+
+  /// Number of times this caller blocked before admission.
+  std::uint64_t blocked_count() const { return blocked_count_; }
+  void note_blocked() { ++blocked_count_; }
+
+  /// Whether the functional body ran to completion without throwing;
+  /// consulted by postactions (e.g. audit logs success/failure).
+  bool body_succeeded() const { return body_succeeded_; }
+  void set_body_succeeded(bool ok) { body_succeeded_ = ok; }
+
+  /// Set by an aspect that returns Decision::kAbort (or by the moderator on
+  /// timeout/cancel) to explain the veto to the caller.
+  const std::optional<runtime::Error>& abort_error() const {
+    return abort_error_;
+  }
+  void set_abort_error(runtime::Error e) { abort_error_ = std::move(e); }
+
+  /// The aspect chain this invocation was admitted under. Set by the
+  /// moderator at admission so postactivation pairs exactly with the
+  /// entries that ran, even if the bank is reconfigured mid-call.
+  const std::shared_ptr<const std::vector<BankEntry>>& admitted_chain() const {
+    return admitted_chain_;
+  }
+  void set_admitted_chain(std::shared_ptr<const std::vector<BankEntry>> c) {
+    admitted_chain_ = std::move(c);
+  }
+
+  // --- free-form notes ---------------------------------------------------
+
+  /// Attaches/overwrites a note. Aspects use notes to pass facts down the
+  /// chain (e.g. authentication stores the resolved principal name).
+  void set_note(std::string_view key, std::string_view value) {
+    notes_[std::string(key)] = std::string(value);
+  }
+
+  /// Reads a note if present.
+  std::optional<std::string> note(std::string_view key) const {
+    auto it = notes_.find(std::string(key));
+    if (it == notes_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  static std::uint64_t next_id() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t id_;
+  runtime::MethodId method_;
+  runtime::Principal principal_ = runtime::Principal::anonymous();
+  int priority_ = 0;
+  std::optional<runtime::TimePoint> deadline_;
+  std::optional<std::stop_token> stop_;
+
+  std::uint64_t arrival_seq_ = 0;
+  runtime::TimePoint enqueued_at_{};
+  runtime::TimePoint admitted_at_{};
+  std::uint64_t blocked_count_ = 0;
+  bool body_succeeded_ = false;
+  std::optional<runtime::Error> abort_error_;
+  std::shared_ptr<const std::vector<BankEntry>> admitted_chain_;
+  std::map<std::string, std::string> notes_;
+};
+
+}  // namespace amf::core

@@ -1,0 +1,33 @@
+#include "core/decision.hpp"
+
+namespace amf::core {
+
+std::string_view to_string(Decision d) {
+  switch (d) {
+    case Decision::kResume:
+      return "resume";
+    case Decision::kBlock:
+      return "block";
+    case Decision::kAbort:
+      return "abort";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(InvocationStatus s) {
+  switch (s) {
+    case InvocationStatus::kCompleted:
+      return "completed";
+    case InvocationStatus::kAborted:
+      return "aborted";
+    case InvocationStatus::kTimedOut:
+      return "timed-out";
+    case InvocationStatus::kCancelled:
+      return "cancelled";
+    case InvocationStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+}  // namespace amf::core

@@ -1,0 +1,278 @@
+#include "core/moderator.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace amf::core {
+
+namespace {
+using runtime::ErrorCode;
+
+// Polling quantum for deadline waits under simulated clocks.
+constexpr std::chrono::microseconds kManualClockPoll{200};
+
+bool contains_aspect(const std::vector<BankEntry>& chain,
+                     const Aspect* aspect) {
+  return std::any_of(chain.begin(), chain.end(), [&](const BankEntry& e) {
+    return e.aspect.get() == aspect;
+  });
+}
+}  // namespace
+
+AspectModerator::AspectModerator(ModeratorOptions options)
+    : clock_(options.clock), log_(options.log) {}
+
+Decision AspectModerator::preactivation(InvocationContext& ctx) {
+  std::unique_lock lock(mu_);
+  ctx.set_arrival_seq(++arrival_counter_);
+  ctx.set_enqueued_at(clock_->now());
+  log_event("preactivation", ctx);
+
+  auto& ms = method_state_locked(ctx.method());
+
+  AspectChain chain = bank_.chain(ctx.method());
+  for (const auto& e : *chain) e.aspect->on_arrive(ctx);
+
+  // Re-snapshots the chain so that aspects registered/removed while this
+  // caller is blocked take effect (run-time adaptability, §5.3); newly
+  // appearing aspects get their on_arrive() retroactively.
+  auto refresh_chain = [&] {
+    AspectChain current = bank_.chain(ctx.method());
+    if (current != chain) {
+      for (const auto& e : *current) {
+        if (!contains_aspect(*chain, e.aspect.get())) {
+          e.aspect->on_arrive(ctx);
+        }
+      }
+      chain = std::move(current);
+    }
+  };
+
+  Decision verdict = Decision::kBlock;
+  // Guard predicate for the condition-variable wait (CP.42): true when the
+  // caller should stop waiting (admitted, vetoed, or shutdown).
+  auto done_waiting = [&]() -> bool {
+    if (shutdown_) {
+      verdict = Decision::kAbort;
+      ctx.set_abort_error(runtime::make_error(ErrorCode::kCancelled,
+                                              "moderator shut down"));
+      return true;
+    }
+    refresh_chain();
+    verdict = evaluate_chain_locked(*chain, ctx);
+    if (verdict == Decision::kBlock) ctx.note_blocked();
+    return verdict != Decision::kBlock;
+  };
+
+  if (!done_waiting()) {
+    ms.stats.block_events += 1;
+    log_event("blocked", ctx);
+    ms.waiters += 1;
+    bool satisfied = true;
+    bool stop_requested = false;
+
+    const bool has_deadline = ctx.deadline().has_value();
+    const bool steady_deadline =
+        has_deadline && clock_->is_steady_compatible();
+    if (steady_deadline) {
+      if (ctx.stop()) {
+        satisfied = ms.cv.wait_until(lock, *ctx.stop(), *ctx.deadline(),
+                                     done_waiting);
+        stop_requested = ctx.stop()->stop_requested();
+      } else {
+        satisfied = ms.cv.wait_until(lock, *ctx.deadline(), done_waiting);
+      }
+    } else if (has_deadline) {
+      // Simulated clock: poll the deadline against the moderator's clock.
+      for (;;) {
+        if (done_waiting()) break;
+        if (clock_->now() >= *ctx.deadline()) {
+          satisfied = false;
+          break;
+        }
+        if (ctx.stop() && ctx.stop()->stop_requested()) {
+          satisfied = false;
+          stop_requested = true;
+          break;
+        }
+        ms.cv.wait_for(lock, kManualClockPoll);
+      }
+    } else if (ctx.stop()) {
+      satisfied = ms.cv.wait(lock, *ctx.stop(), done_waiting);
+      stop_requested = ctx.stop()->stop_requested();
+    } else {
+      ms.cv.wait(lock, done_waiting);
+    }
+    ms.waiters -= 1;
+
+    if (!satisfied) {
+      for (const auto& e : *chain) e.aspect->on_cancel(ctx);
+      if (stop_requested) {
+        ctx.set_abort_error(runtime::make_error(ErrorCode::kCancelled,
+                                                "stop requested while blocked"));
+        ms.stats.cancelled += 1;
+        log_event("cancelled", ctx);
+      } else {
+        ctx.set_abort_error(runtime::make_error(
+            ErrorCode::kTimeout, "deadline expired during preactivation"));
+        ms.stats.timed_out += 1;
+        log_event("timeout", ctx);
+      }
+      return Decision::kAbort;
+    }
+  }
+
+  if (verdict == Decision::kAbort) {
+    for (const auto& e : *chain) e.aspect->on_cancel(ctx);
+    if (!ctx.abort_error()) {
+      std::string by = ctx.note("vetoed.by").value_or("unknown aspect");
+      ctx.set_abort_error(
+          runtime::make_error(ErrorCode::kAborted, "vetoed by " + by));
+    }
+    if (ctx.abort_error()->code == ErrorCode::kCancelled) {
+      // Refused by shutdown (or a cancellation-flavored veto), not by a
+      // concern's own decision.
+      ms.stats.cancelled += 1;
+      log_event("cancelled", ctx);
+    } else {
+      ms.stats.aborted += 1;
+      log_event("abort", ctx);
+    }
+    return Decision::kAbort;
+  }
+
+  // Admission: commit every aspect's state atomically with the guards.
+  // admitted_at is stamped first so entry() hooks (e.g. timing) can read it.
+  ctx.set_admitted_at(clock_->now());
+  for (const auto& e : *chain) e.aspect->entry(ctx);
+  ctx.set_admitted_chain(chain);
+  ms.stats.admitted += 1;
+  log_event("admitted", ctx);
+  return Decision::kResume;
+}
+
+void AspectModerator::postactivation(InvocationContext& ctx) {
+  {
+    std::scoped_lock lock(mu_);
+    // Defensive: postactivation without a matching admission is a driver
+    // bug (the proxy never does this). Running postactions for entries
+    // that never happened would corrupt aspect state, so refuse and log.
+    if (ctx.admitted_at() == runtime::TimePoint{}) {
+      log_event("spurious-postactivation", ctx);
+      return;
+    }
+    AspectChain chain = ctx.admitted_chain() ? ctx.admitted_chain()
+                                             : bank_.chain(ctx.method());
+    for (auto it = chain->rbegin(); it != chain->rend(); ++it) {
+      it->aspect->postaction(ctx);
+    }
+    method_state_locked(ctx.method()).stats.completed += 1;
+    log_event("postactivation", ctx);
+    wake_after_locked(ctx.method());
+  }
+}
+
+void AspectModerator::set_notification_plan(
+    runtime::MethodId completed, std::vector<runtime::MethodId> wake) {
+  std::scoped_lock lock(mu_);
+  notification_plan_[completed] = std::move(wake);
+}
+
+void AspectModerator::shutdown() {
+  std::scoped_lock lock(mu_);
+  shutdown_ = true;
+  for (auto& [_, state] : methods_) state->cv.notify_all();
+}
+
+bool AspectModerator::is_shutdown() const {
+  std::scoped_lock lock(mu_);
+  return shutdown_;
+}
+
+MethodStats AspectModerator::stats(runtime::MethodId method) const {
+  std::scoped_lock lock(mu_);
+  auto it = methods_.find(method);
+  return it == methods_.end() ? MethodStats{} : it->second->stats;
+}
+
+std::uint64_t AspectModerator::blocked_waiters() const {
+  std::scoped_lock lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [_, state] : methods_) n += state->waiters;
+  return n;
+}
+
+std::string AspectModerator::report() const {
+  std::string out = bank_.describe();
+  std::scoped_lock lock(mu_);
+  // Stable order for diff-friendly output.
+  std::vector<runtime::MethodId> methods;
+  methods.reserve(methods_.size());
+  for (const auto& [method, _] : methods_) methods.push_back(method);
+  std::sort(methods.begin(), methods.end(),
+            [](runtime::MethodId a, runtime::MethodId b) {
+              return a.name() < b.name();
+            });
+  for (const auto method : methods) {
+    const auto& s = methods_.at(method)->stats;
+    out += std::string(method.name()) + ": admitted=" +
+           std::to_string(s.admitted) +
+           " completed=" + std::to_string(s.completed) +
+           " aborted=" + std::to_string(s.aborted) +
+           " timed_out=" + std::to_string(s.timed_out) +
+           " cancelled=" + std::to_string(s.cancelled) +
+           " block_events=" + std::to_string(s.block_events) + '\n';
+  }
+  return out;
+}
+
+AspectModerator::MethodState& AspectModerator::method_state_locked(
+    runtime::MethodId method) {
+  auto it = methods_.find(method);
+  if (it == methods_.end()) {
+    it = methods_.emplace(method, std::make_unique<MethodState>()).first;
+  }
+  return *it->second;
+}
+
+Decision AspectModerator::evaluate_chain_locked(
+    const std::vector<BankEntry>& chain, InvocationContext& ctx) {
+  for (const auto& e : chain) {
+    const Decision d = e.aspect->precondition(ctx);
+    if (d == Decision::kBlock) {
+      ctx.set_note("blocked.by", e.aspect->name());
+      return d;
+    }
+    if (d == Decision::kAbort) {
+      ctx.set_note("vetoed.by", e.aspect->name());
+      return d;
+    }
+  }
+  return Decision::kResume;
+}
+
+void AspectModerator::wake_after_locked(runtime::MethodId completed) {
+  auto plan = notification_plan_.find(completed);
+  if (plan != notification_plan_.end()) {
+    for (const auto m : plan->second) {
+      if (auto it = methods_.find(m); it != methods_.end()) {
+        it->second->cv.notify_all();
+      }
+    }
+    return;
+  }
+  for (auto& [_, state] : methods_) {
+    if (state->waiters > 0) state->cv.notify_all();
+  }
+}
+
+void AspectModerator::log_event(std::string_view message,
+                                const InvocationContext& ctx) {
+  if (log_ == nullptr) return;
+  std::string msg(message);
+  msg += ':';
+  msg += ctx.method().name();
+  log_->append("moderator", msg, ctx.id());
+}
+
+}  // namespace amf::core

@@ -1,0 +1,143 @@
+// AspectModerator: the framework's coordination kernel (Figs. 1, 3, 11).
+//
+// Responsibilities, exactly as in the paper:
+//   * hold the aspect bank and accept `register_aspect` calls,
+//   * `preactivation(ctx)`: evaluate the ordered guard chain of the
+//     invoked method; BLOCK the caller while any guard says so; ABORT the
+//     invocation if a guard vetoes; otherwise admit it,
+//   * `postactivation(ctx)`: run postactions in reverse order and wake the
+//     waiters whose guards may now pass.
+//
+// Design repair D2 (see DESIGN.md §3): the paper takes one Java monitor per
+// wait queue and the extended moderator locks the auth queue and the sync
+// queue independently, which breaks the atomicity of the combined guard.
+// Here a single state mutex makes each full chain evaluation (and the
+// subsequent entry commits) atomic; blocking still uses one condition
+// variable per method, and a *notification plan* can narrow which methods a
+// completed method wakes (the paper hard-codes open→assign, assign→open).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bank.hpp"
+#include "core/context.hpp"
+#include "core/decision.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/event_log.hpp"
+#include "runtime/ids.hpp"
+
+namespace amf::core {
+
+/// Per-method moderation statistics (all monotonically increasing).
+struct MethodStats {
+  std::uint64_t admitted = 0;    // invocations that passed preactivation
+  std::uint64_t completed = 0;   // postactivations performed
+  std::uint64_t aborted = 0;     // guard vetoes
+  std::uint64_t timed_out = 0;   // deadline expiries while blocked
+  std::uint64_t cancelled = 0;   // stop-token cancellations while blocked
+  std::uint64_t block_events = 0;  // times some caller went to sleep
+};
+
+/// Moderator configuration.
+struct ModeratorOptions {
+  /// Clock used for timestamps and deadlines.
+  const runtime::Clock* clock = &runtime::RealClock::instance();
+  /// Optional event log; when set, the moderator records the protocol
+  /// phases ("preactivation", "admitted", "postactivation", ...) so tests
+  /// can replay the paper's sequence diagrams.
+  runtime::EventLog* log = nullptr;
+};
+
+/// The coordination kernel. Thread-safe; one instance moderates one
+/// component cluster (one proxy), as in the paper, but nothing prevents
+/// sharing an instance across components that must coordinate.
+class AspectModerator {
+ public:
+  explicit AspectModerator(ModeratorOptions options = {});
+
+  /// The bank (for direct registration, kind ordering, inspection).
+  AspectBank& bank() { return bank_; }
+  const AspectBank& bank() const { return bank_; }
+
+  /// Paper-style convenience: registerAspect(methodID, aspect, object).
+  void register_aspect(runtime::MethodId method, runtime::AspectKind kind,
+                       AspectPtr aspect) {
+    bank_.register_aspect(method, kind, std::move(aspect));
+  }
+
+  /// Pre-activation phase. Blocks until the guard chain admits the call,
+  /// a guard aborts it, the deadline passes, stop is requested, or the
+  /// moderator shuts down. Returns kResume (admitted — the caller MUST
+  /// later call `postactivation` with the same context) or kAbort
+  /// (ctx.abort_error() explains why; never call postactivation).
+  Decision preactivation(InvocationContext& ctx);
+
+  /// Post-activation phase: runs postactions of the chain the invocation
+  /// was admitted under, in reverse order, then wakes affected waiters.
+  void postactivation(InvocationContext& ctx);
+
+  /// Restricts which methods' waiters are woken when `completed` finishes.
+  /// Without a plan, every method with waiters is woken (always safe).
+  /// Plans are an optimization that reproduces the paper's hand-wired
+  /// open→assign / assign→open notifications.
+  void set_notification_plan(runtime::MethodId completed,
+                             std::vector<runtime::MethodId> wake);
+
+  /// Wakes everything and makes all current and future preactivations
+  /// return kAbort(kCancelled). Used for orderly shutdown.
+  void shutdown();
+
+  /// True once shutdown() has been called.
+  bool is_shutdown() const;
+
+  /// Snapshot of the statistics of `method`.
+  MethodStats stats(runtime::MethodId method) const;
+
+  /// Total number of threads currently blocked in preactivation (racy;
+  /// diagnostics only).
+  std::uint64_t blocked_waiters() const;
+
+  /// Multi-line operational report: the bank's composition table followed
+  /// by per-method moderation statistics.
+  std::string report() const;
+
+ private:
+  struct MethodState {
+    std::condition_variable_any cv;
+    MethodStats stats;
+    std::uint64_t waiters = 0;
+  };
+
+  // Requires state lock. Creates on demand.
+  MethodState& method_state_locked(runtime::MethodId method);
+
+  // Requires state lock. First non-Resume verdict of the chain, with the
+  // vetoing/blocking aspect recorded in the context notes.
+  Decision evaluate_chain_locked(const std::vector<BankEntry>& chain,
+                                 InvocationContext& ctx);
+
+  // Requires state lock held by caller releasing it around notify.
+  void wake_after_locked(runtime::MethodId completed);
+
+  void log_event(std::string_view message, const InvocationContext& ctx);
+
+  AspectBank bank_;
+  const runtime::Clock* clock_;
+  runtime::EventLog* log_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<runtime::MethodId, std::unique_ptr<MethodState>>
+      methods_;
+  std::unordered_map<runtime::MethodId, std::vector<runtime::MethodId>>
+      notification_plan_;
+  std::uint64_t arrival_counter_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace amf::core

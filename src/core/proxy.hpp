@@ -1,0 +1,215 @@
+// ComponentProxy<C>: the paper's per-class proxy boilerplate (Fig. 10 /
+// Fig. 14) as one reusable template.
+//
+// The functional component `C` stays a plain sequential object; the proxy
+// owns it together with a moderator, and every participating call goes
+//
+//   preactivation → body(component) → postactivation
+//
+// with the outcome reported as a typed `InvocationResult` (design repair
+// D4: the paper printed "ABORT" and dropped the result).
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "core/context.hpp"
+#include "core/decision.hpp"
+#include "core/moderator.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/identity.hpp"
+#include "runtime/ids.hpp"
+#include "runtime/result.hpp"
+
+namespace amf::core {
+
+/// Outcome of one moderated invocation.
+template <typename R>
+struct InvocationResult {
+  InvocationStatus status = InvocationStatus::kAborted;
+  std::optional<R> value;       // set iff status == kCompleted
+  runtime::Error error;         // set iff status != kCompleted
+  std::uint64_t invocation_id = 0;
+  runtime::Duration wait_time{0};  // time spent blocked in preactivation
+
+  bool ok() const { return status == InvocationStatus::kCompleted; }
+  explicit operator bool() const { return ok(); }
+};
+
+/// void-returning bodies carry no value.
+template <>
+struct InvocationResult<void> {
+  InvocationStatus status = InvocationStatus::kAborted;
+  runtime::Error error;
+  std::uint64_t invocation_id = 0;
+  runtime::Duration wait_time{0};
+
+  bool ok() const { return status == InvocationStatus::kCompleted; }
+  explicit operator bool() const { return ok(); }
+};
+
+/// Owns a functional component plus the moderator that guards it.
+template <typename C>
+class ComponentProxy {
+ public:
+  /// Wraps `component`; creates a fresh moderator unless one is supplied
+  /// (sharing a moderator lets several components coordinate).
+  explicit ComponentProxy(C component,
+                          std::shared_ptr<AspectModerator> moderator = nullptr)
+      : component_(std::move(component)),
+        moderator_(moderator ? std::move(moderator)
+                             : std::make_shared<AspectModerator>()) {}
+
+  ComponentProxy(C component, ModeratorOptions options)
+      : component_(std::move(component)),
+        moderator_(std::make_shared<AspectModerator>(options)) {}
+
+  /// The guarded functional component. Direct access bypasses moderation —
+  /// intended for wiring and tests only.
+  C& component() { return component_; }
+  const C& component() const { return component_; }
+
+  /// Design-by-contract hook: `inv(component)` is checked after every
+  /// successfully executed body, before postactivation, while the
+  /// invocation still owns whatever exclusivity its aspects granted. A
+  /// false return downgrades the invocation to kFailed (the body's effect
+  /// is NOT rolled back — the framework surfaces, it does not undo).
+  using Invariant = std::function<bool(const C&)>;
+  void set_invariant(Invariant inv) { invariant_ = std::move(inv); }
+
+  AspectModerator& moderator() { return *moderator_; }
+  const AspectModerator& moderator() const { return *moderator_; }
+  std::shared_ptr<AspectModerator> moderator_ptr() { return moderator_; }
+
+  /// Fluent per-call configuration. Obtain via `call(method)`, chain
+  /// `.as()/.priority()/.deadline()/...`, finish with `.run(body)` where
+  /// `body` is callable as `body(C&)`.
+  class CallBuilder {
+   public:
+    CallBuilder(ComponentProxy& proxy, runtime::MethodId method)
+        : proxy_(proxy), ctx_(method) {}
+
+    /// Sets the caller identity.
+    CallBuilder& as(runtime::Principal p) {
+      ctx_.set_principal(std::move(p));
+      return *this;
+    }
+    /// Sets the scheduling priority (higher = more urgent).
+    CallBuilder& priority(int p) {
+      ctx_.set_priority(p);
+      return *this;
+    }
+    /// Absolute admission deadline.
+    CallBuilder& deadline(runtime::TimePoint d) {
+      ctx_.set_deadline(d);
+      return *this;
+    }
+    /// Relative admission deadline (measured on the real clock).
+    CallBuilder& within(runtime::Duration d) {
+      ctx_.set_deadline(runtime::RealClock::instance().now() + d);
+      return *this;
+    }
+    /// Cooperative cancellation token.
+    CallBuilder& stoppable(std::stop_token t) {
+      ctx_.set_stop(std::move(t));
+      return *this;
+    }
+    /// Attaches a note visible to aspects.
+    CallBuilder& note(std::string_view key, std::string_view value) {
+      ctx_.set_note(key, value);
+      return *this;
+    }
+
+    /// Executes the moderated call.
+    template <typename F>
+    auto run(F&& body) -> InvocationResult<std::invoke_result_t<F, C&>> {
+      return proxy_.execute(ctx_, std::forward<F>(body));
+    }
+
+   private:
+    ComponentProxy& proxy_;
+    InvocationContext ctx_;
+  };
+
+  /// Starts building a call to `method`.
+  CallBuilder call(runtime::MethodId method) {
+    return CallBuilder(*this, method);
+  }
+
+  /// Shorthand for `call(method).run(body)`.
+  template <typename F>
+  auto invoke(runtime::MethodId method, F&& body)
+      -> InvocationResult<std::invoke_result_t<F, C&>> {
+    InvocationContext ctx(method);
+    return execute(ctx, std::forward<F>(body));
+  }
+
+ private:
+  template <typename F>
+  auto execute(InvocationContext& ctx, F&& body)
+      -> InvocationResult<std::invoke_result_t<F, C&>> {
+    using R = std::invoke_result_t<F, C&>;
+    InvocationResult<R> result;
+    result.invocation_id = ctx.id();
+
+    if (moderator_->preactivation(ctx) != Decision::kResume) {
+      result.error = ctx.abort_error().value_or(runtime::make_error(
+          runtime::ErrorCode::kAborted, "preactivation refused"));
+      switch (result.error.code) {
+        case runtime::ErrorCode::kTimeout:
+          result.status = InvocationStatus::kTimedOut;
+          break;
+        case runtime::ErrorCode::kCancelled:
+          result.status = InvocationStatus::kCancelled;
+          break;
+        default:
+          result.status = InvocationStatus::kAborted;
+      }
+      return result;
+    }
+    result.wait_time = ctx.admitted_at() - ctx.enqueued_at();
+
+    // Postactivation MUST run now that entries have committed, even when
+    // the body throws — otherwise aspect state (e.g. a held slot) leaks.
+    try {
+      if constexpr (std::is_void_v<R>) {
+        body(component_);
+      } else {
+        result.value.emplace(body(component_));
+      }
+      if (invariant_ && !invariant_(component_)) {
+        ctx.set_body_succeeded(false);
+        result.status = InvocationStatus::kFailed;
+        result.error = runtime::make_error(
+            runtime::ErrorCode::kInternal,
+            "component invariant violated after body");
+        if constexpr (!std::is_void_v<R>) result.value.reset();
+      } else {
+        ctx.set_body_succeeded(true);
+        result.status = InvocationStatus::kCompleted;
+      }
+    } catch (const std::exception& e) {
+      ctx.set_body_succeeded(false);
+      result.status = InvocationStatus::kFailed;
+      result.error = runtime::make_error(runtime::ErrorCode::kInternal,
+                                         e.what());
+    } catch (...) {
+      ctx.set_body_succeeded(false);
+      result.status = InvocationStatus::kFailed;
+      result.error = runtime::make_error(runtime::ErrorCode::kInternal,
+                                         "non-standard exception from body");
+    }
+    moderator_->postactivation(ctx);
+    return result;
+  }
+
+  C component_;
+  std::shared_ptr<AspectModerator> moderator_;
+  Invariant invariant_;
+};
+
+}  // namespace amf::core

@@ -1,0 +1,68 @@
+// ScopedAspect: RAII registration of a temporary concern.
+//
+// The adaptability story (§5.3) cuts both ways — concerns leave as well as
+// arrive. A ScopedAspect registers on construction and, on destruction,
+// restores whatever occupied the cell before (or empties it), making
+// "extra auditing during the incident" a block-scoped notion.
+#pragma once
+
+#include <utility>
+
+#include "core/moderator.hpp"
+
+namespace amf::core {
+
+/// Registers an aspect for the lifetime of the object; restores the cell's
+/// previous occupant (if any) on destruction. Move-only.
+class ScopedAspect {
+ public:
+  ScopedAspect(AspectModerator& moderator, runtime::MethodId method,
+               runtime::AspectKind kind, AspectPtr aspect)
+      : moderator_(&moderator),
+        method_(method),
+        kind_(kind),
+        previous_(moderator.bank().find(method, kind)) {
+    moderator_->register_aspect(method_, kind_, std::move(aspect));
+  }
+
+  ScopedAspect(ScopedAspect&& other) noexcept
+      : moderator_(std::exchange(other.moderator_, nullptr)),
+        method_(other.method_),
+        kind_(other.kind_),
+        previous_(std::move(other.previous_)) {}
+
+  ScopedAspect& operator=(ScopedAspect&& other) noexcept {
+    if (this != &other) {
+      release();
+      moderator_ = std::exchange(other.moderator_, nullptr);
+      method_ = other.method_;
+      kind_ = other.kind_;
+      previous_ = std::move(other.previous_);
+    }
+    return *this;
+  }
+
+  ScopedAspect(const ScopedAspect&) = delete;
+  ScopedAspect& operator=(const ScopedAspect&) = delete;
+
+  ~ScopedAspect() { release(); }
+
+  /// Restores the cell immediately (idempotent).
+  void release() {
+    if (moderator_ == nullptr) return;
+    if (previous_) {
+      moderator_->register_aspect(method_, kind_, std::move(previous_));
+    } else {
+      moderator_->bank().remove_aspect(method_, kind_);
+    }
+    moderator_ = nullptr;
+  }
+
+ private:
+  AspectModerator* moderator_;
+  runtime::MethodId method_;
+  runtime::AspectKind kind_;
+  AspectPtr previous_;
+};
+
+}  // namespace amf::core

@@ -1,0 +1,124 @@
+#include "core/verify.hpp"
+
+#include <map>
+
+namespace amf::core {
+
+namespace {
+
+// States of the per-invocation Fig. 3 automaton.
+enum class TraceState { kStart, kPending, kAdmitted, kDone };
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+std::vector<ProtocolViolation> TraceValidator::validate(
+    const runtime::EventLog& log) {
+  std::vector<ProtocolViolation> out;
+  std::map<std::uint64_t, TraceState> states;
+
+  for (const auto& e : log.by_category("moderator")) {
+    if (e.invocation_id == 0) {
+      out.push_back({0, "moderator event without invocation id: " + e.message});
+      continue;
+    }
+    auto& st = states.try_emplace(e.invocation_id, TraceState::kStart)
+                   .first->second;
+    const auto& msg = e.message;
+
+    auto bad = [&](std::string_view why) {
+      out.push_back({e.invocation_id,
+                     std::string(why) + " (event '" + msg + "')"});
+    };
+
+    if (starts_with(msg, "preactivation:")) {
+      if (st != TraceState::kStart) bad("duplicate preactivation");
+      st = TraceState::kPending;
+    } else if (starts_with(msg, "blocked:")) {
+      if (st != TraceState::kPending) bad("blocked outside preactivation");
+    } else if (starts_with(msg, "admitted:")) {
+      if (st != TraceState::kPending) bad("admitted without preactivation");
+      st = TraceState::kAdmitted;
+    } else if (starts_with(msg, "postactivation:")) {
+      if (st != TraceState::kAdmitted) bad("postactivation without admission");
+      st = TraceState::kDone;
+    } else if (starts_with(msg, "abort:") || starts_with(msg, "timeout:") ||
+               starts_with(msg, "cancelled:")) {
+      if (st != TraceState::kPending) bad("refusal outside preactivation");
+      st = TraceState::kDone;
+    } else {
+      bad("unknown moderator event");
+    }
+  }
+
+  // Every invocation that was admitted must have completed; pending ones
+  // may legitimately still be blocked, so only kAdmitted dangling is an
+  // error for a quiescent log.
+  for (const auto& [id, st] : states) {
+    if (st == TraceState::kAdmitted) {
+      out.push_back({id, "admitted invocation never postactivated"});
+    }
+  }
+  return out;
+}
+
+void HookOrderGuard::on_arrive(InvocationContext& ctx) {
+  auto [it, inserted] = live_.try_emplace(ctx.id(), Phase::kArrived);
+  if (!inserted) record(ctx.id(), "duplicate on_arrive");
+  inner_->on_arrive(ctx);
+}
+
+Decision HookOrderGuard::precondition(InvocationContext& ctx) {
+  auto it = live_.find(ctx.id());
+  if (it == live_.end()) {
+    record(ctx.id(), "precondition before on_arrive");
+  } else if (it->second == Phase::kEntered ||
+             it->second == Phase::kFinished) {
+    record(ctx.id(), "precondition after admission");
+  } else {
+    it->second = Phase::kEvaluating;
+  }
+  return inner_->precondition(ctx);
+}
+
+void HookOrderGuard::entry(InvocationContext& ctx) {
+  auto it = live_.find(ctx.id());
+  if (it == live_.end()) {
+    record(ctx.id(), "entry without on_arrive");
+  } else if (it->second == Phase::kEntered) {
+    record(ctx.id(), "duplicate entry");
+  } else if (it->second != Phase::kEvaluating) {
+    record(ctx.id(), "entry without a passing precondition");
+  } else {
+    it->second = Phase::kEntered;
+  }
+  inner_->entry(ctx);
+}
+
+void HookOrderGuard::postaction(InvocationContext& ctx) {
+  auto it = live_.find(ctx.id());
+  if (it == live_.end() || it->second != Phase::kEntered) {
+    record(ctx.id(), "postaction without matching entry");
+  } else {
+    live_.erase(it);
+  }
+  inner_->postaction(ctx);
+}
+
+void HookOrderGuard::on_cancel(InvocationContext& ctx) {
+  auto it = live_.find(ctx.id());
+  if (it == live_.end()) {
+    record(ctx.id(), "on_cancel without on_arrive");
+  } else if (it->second == Phase::kEntered) {
+    record(ctx.id(), "on_cancel after entry (should be postaction)");
+    live_.erase(it);
+  } else {
+    live_.erase(it);
+  }
+  inner_->on_cancel(ctx);
+}
+
+}  // namespace amf::core

@@ -1,0 +1,82 @@
+// Protocol conformance checking.
+//
+// The paper asks whether an aspect-oriented architecture should "enable
+// formal verification of system properties" (§1). This module provides the
+// runtime half of that story: the moderation protocol of Fig. 3 is a small
+// automaton per invocation, and both the moderator's event log and any
+// individual aspect can be checked against it mechanically.
+//
+//   TraceValidator       — replays a moderator event log and verifies every
+//                          invocation followed
+//                            preactivation (blocked)* (admitted
+//                            postactivation | abort|timeout|cancelled)
+//   HookOrderGuard       — decorator around an aspect that verifies the
+//                          moderator honors the hook contract for it:
+//                          arrive ≺ precondition* ≺ (entry ≺ postaction |
+//                          cancel), exactly-once pairing
+//
+// Violations are collected, not thrown: checks run under the moderator
+// lock, where throwing would poison unrelated callers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/aspect.hpp"
+#include "runtime/event_log.hpp"
+
+namespace amf::core {
+
+/// One detected protocol violation.
+struct ProtocolViolation {
+  std::uint64_t invocation_id = 0;
+  std::string description;
+};
+
+/// Validates a moderator event log (ModeratorOptions::log) against the
+/// Fig. 3 invocation automaton.
+class TraceValidator {
+ public:
+  /// Checks every invocation in `log` (category "moderator"). Returns all
+  /// violations; empty means the trace conforms.
+  static std::vector<ProtocolViolation> validate(
+      const runtime::EventLog& log);
+};
+
+/// Wraps an aspect and verifies the moderator drives its hooks in the
+/// contractual order for every invocation. Delegates all behavior to the
+/// wrapped aspect.
+class HookOrderGuard final : public Aspect {
+ public:
+  explicit HookOrderGuard(AspectPtr inner) : inner_(std::move(inner)) {}
+
+  std::string_view name() const override { return inner_->name(); }
+
+  void on_arrive(InvocationContext& ctx) override;
+  Decision precondition(InvocationContext& ctx) override;
+  void entry(InvocationContext& ctx) override;
+  void postaction(InvocationContext& ctx) override;
+  void on_cancel(InvocationContext& ctx) override;
+
+  /// Violations observed so far. Read after quiescence (hooks run under
+  /// the moderator lock; this accessor is unsynchronized by design).
+  const std::vector<ProtocolViolation>& violations() const {
+    return violations_;
+  }
+
+ private:
+  enum class Phase { kArrived, kEvaluating, kEntered, kFinished };
+
+  void record(std::uint64_t id, std::string what) {
+    violations_.push_back(ProtocolViolation{id, std::move(what)});
+  }
+
+  AspectPtr inner_;
+  std::unordered_map<std::uint64_t, Phase> live_;
+  std::vector<ProtocolViolation> violations_;
+};
+
+}  // namespace amf::core

@@ -1,0 +1,63 @@
+// Message envelope for the simulated distribution layer.
+//
+// ICDCS context: the paper's objects "may reside on the same host or
+// distributed across the network". This environment has no real network, so
+// the substrate exercises the same code path in-process: calls are
+// marshaled into string-keyed envelopes, routed between named endpoints,
+// correlated by id, and unmarshaled on the far side (see DESIGN.md §8).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace amf::net {
+
+/// A routable message. Payload is a flat string map — deliberately crude
+/// marshaling, matching the fidelity this substrate needs.
+struct Envelope {
+  enum class Kind { kRequest, kResponse };
+
+  Kind kind = Kind::kRequest;
+  std::uint64_t correlation_id = 0;
+  std::string sender;  // reply-to endpoint
+  std::string target;  // destination endpoint
+  std::string method;  // requested participating method (requests)
+  std::map<std::string, std::string> payload;
+
+  /// Sets a string field.
+  Envelope& put(std::string_view key, std::string_view value) {
+    payload[std::string(key)] = std::string(value);
+    return *this;
+  }
+
+  /// Sets an integer field (decimal encoding).
+  Envelope& put_u64(std::string_view key, std::uint64_t value) {
+    return put(key, std::to_string(value));
+  }
+
+  /// Reads a string field.
+  std::optional<std::string> get(std::string_view key) const {
+    auto it = payload.find(std::string(key));
+    if (it == payload.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Reads an integer field; nullopt when absent or malformed.
+  std::optional<std::uint64_t> get_u64(std::string_view key) const {
+    auto s = get(key);
+    if (!s) return std::nullopt;
+    try {
+      return std::stoull(*s);
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+
+  /// True when the payload carries the conventional "error" field.
+  bool is_error() const { return payload.contains("error"); }
+};
+
+}  // namespace amf::net

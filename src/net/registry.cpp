@@ -1,0 +1,52 @@
+#include "net/registry.hpp"
+
+#include <algorithm>
+
+namespace amf::net {
+
+std::uint64_t NameRegistry::bind(const std::string& name,
+                                 const std::string& endpoint) {
+  std::scoped_lock lock(mu_);
+  auto& binding = bindings_[name];
+  binding.endpoint = endpoint;
+  binding.version += 1;
+  binding.healthy = true;
+  return binding.version;
+}
+
+std::optional<Binding> NameRegistry::resolve(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  auto it = bindings_.find(name);
+  if (it == bindings_.end() || !it->second.healthy) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Binding> NameRegistry::resolve_any(
+    const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  auto it = bindings_.find(name);
+  if (it == bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+void NameRegistry::set_healthy(const std::string& name, bool healthy) {
+  std::scoped_lock lock(mu_);
+  auto it = bindings_.find(name);
+  if (it != bindings_.end()) it->second.healthy = healthy;
+}
+
+bool NameRegistry::unbind(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  return bindings_.erase(name) > 0;
+}
+
+std::vector<std::string> NameRegistry::names() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(bindings_.size());
+  for (const auto& [name, _] : bindings_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace amf::net

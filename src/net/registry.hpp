@@ -1,0 +1,54 @@
+// NameRegistry: service discovery for the distribution substrate.
+//
+// Services register logical names ("tickets") for endpoints
+// ("ticket-server-2"); clients resolve names instead of hard-coding
+// endpoints, which is what lets the replicated service fail over without
+// client reconfiguration. Deliberately a local object rather than a remote
+// service: the interesting behavior (versioned rebinding, health marking)
+// is the same, without bootstrapping noise.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace amf::net {
+
+/// One resolved binding.
+struct Binding {
+  std::string endpoint;
+  std::uint64_t version = 0;  // bumped on every rebind of the name
+  bool healthy = true;
+};
+
+/// Thread-safe name → endpoint registry with health marking.
+class NameRegistry {
+ public:
+  /// Binds (or rebinds) `name` to `endpoint`; returns the new version.
+  std::uint64_t bind(const std::string& name, const std::string& endpoint);
+
+  /// Resolves a name; nullopt when unbound or marked unhealthy.
+  std::optional<Binding> resolve(const std::string& name) const;
+
+  /// Resolves even when unhealthy (diagnostics).
+  std::optional<Binding> resolve_any(const std::string& name) const;
+
+  /// Marks the current binding of `name` (un)healthy. Unknown names are
+  /// ignored.
+  void set_healthy(const std::string& name, bool healthy);
+
+  /// Removes a binding; false when it did not exist.
+  bool unbind(const std::string& name);
+
+  /// All bound names (sorted).
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Binding> bindings_;
+};
+
+}  // namespace amf::net

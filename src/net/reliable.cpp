@@ -1,0 +1,40 @@
+#include "net/reliable.hpp"
+
+#include <thread>
+
+namespace amf::net {
+
+RpcServer::Handler with_dedup(DedupCache& cache, RpcServer::Handler handler) {
+  return [&cache, handler = std::move(handler)](const Envelope& request) {
+    const auto id = request.get("request.id");
+    if (!id) return handler(request);
+    if (auto memo = cache.lookup(*id)) return *memo;
+    Envelope response = handler(request);
+    // Only successful executions are memoized; see header.
+    if (!response.is_error()) cache.remember(*id, response);
+    return response;
+  };
+}
+
+runtime::Result<Envelope> RetryingClient::call(const std::string& server,
+                                               Envelope request) {
+  request.put("request.id",
+              endpoint_ + "#" + std::to_string(next_request_++));
+  runtime::Error last =
+      runtime::make_error(runtime::ErrorCode::kInternal, "no attempts made");
+  last_attempts_ = 0;
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    last_attempts_ = attempt;
+    Envelope copy = request;
+    auto r = client_.call(server, std::move(copy), options_.attempt_timeout);
+    if (r.ok()) return r;
+    last = r.error();
+    if (last.code != runtime::ErrorCode::kTimeout) break;  // not retryable
+    if (attempt < options_.max_attempts) {
+      std::this_thread::sleep_for(options_.backoff * attempt);
+    }
+  }
+  return last;
+}
+
+}  // namespace amf::net

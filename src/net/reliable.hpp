@@ -1,0 +1,105 @@
+// Reliable request/response over a lossy transport.
+//
+// Two halves, composable with the plain RPC layer:
+//   RetryingClient — at-least-once delivery: stamps every logical request
+//                    with a unique request id and retries timed-out calls
+//                    with backoff.
+//   DedupCache     — at-most-once execution: the server remembers responses
+//                    by request id and replays them for retried duplicates
+//                    instead of re-running the handler.
+// Together they give exactly-once *effect* for idempotently-keyed requests,
+// which is what the fault-tolerance concern needs from the substrate.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "net/rpc.hpp"
+#include "runtime/result.hpp"
+
+namespace amf::net {
+
+/// Server-side response memo keyed by request id, with FIFO eviction.
+class DedupCache {
+ public:
+  explicit DedupCache(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Returns the memoized response for `request_id`, if present.
+  std::optional<Envelope> lookup(const std::string& request_id) const {
+    std::scoped_lock lock(mu_);
+    auto it = memo_.find(request_id);
+    if (it == memo_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Memoizes a response (evicting the oldest entry when full).
+  void remember(const std::string& request_id, Envelope response) {
+    std::scoped_lock lock(mu_);
+    if (!memo_.contains(request_id)) {
+      order_.push_back(request_id);
+      if (order_.size() > capacity_) {
+        memo_.erase(order_.front());
+        order_.pop_front();
+      }
+    }
+    memo_[request_id] = std::move(response);
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return memo_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Envelope> memo_;
+  std::deque<std::string> order_;
+};
+
+/// Wraps a handler with request-id deduplication. The handler runs at most
+/// once SUCCESSFULLY per distinct "request.id" payload field; duplicates
+/// get the memoized response. Error responses (envelopes carrying the
+/// conventional "error" field) are NOT memoized — a failed execution is
+/// assumed to have had no effect, so a retry must be allowed to run the
+/// handler again. Requests without the field pass straight through.
+RpcServer::Handler with_dedup(DedupCache& cache, RpcServer::Handler handler);
+
+/// Client issuing retried, request-id-stamped calls.
+class RetryingClient {
+ public:
+  struct Options {
+    int max_attempts = 4;
+    runtime::Duration attempt_timeout{std::chrono::milliseconds(100)};
+    runtime::Duration backoff{std::chrono::milliseconds(5)};  // per attempt
+  };
+
+  RetryingClient(Transport& transport, std::string endpoint)
+      : RetryingClient(transport, std::move(endpoint), Options{}) {}
+  RetryingClient(Transport& transport, std::string endpoint, Options options)
+      : client_(transport, endpoint),
+        endpoint_(std::move(endpoint)),
+        options_(options) {}
+
+  /// Calls `server`, retrying timeouts. The request is stamped with a
+  /// process-unique "request.id" so server-side dedup can suppress
+  /// double execution. Returns the last error when all attempts fail.
+  runtime::Result<Envelope> call(const std::string& server, Envelope request);
+
+  /// Attempts used by the most recent call (diagnostics/tests).
+  int last_attempts() const { return last_attempts_; }
+
+ private:
+  RpcClient client_;
+  std::string endpoint_;
+  Options options_;
+  std::uint64_t next_request_ = 1;
+  int last_attempts_ = 0;
+};
+
+}  // namespace amf::net

@@ -1,0 +1,150 @@
+#include "net/rpc.hpp"
+
+namespace amf::net {
+
+RpcServer::RpcServer(Transport& transport, std::string endpoint,
+                     std::size_t workers)
+    : transport_(&transport),
+      endpoint_(std::move(endpoint)),
+      mailbox_(transport.open(endpoint_)),
+      worker_count_(workers) {}
+
+RpcServer::~RpcServer() { stop(); }
+
+void RpcServer::register_method(const std::string& method, Handler handler) {
+  std::scoped_lock lock(handlers_mu_);
+  handlers_[method] = std::move(handler);
+}
+
+void RpcServer::start() {
+  if (started_) return;
+  started_ = true;
+  pool_ = std::make_unique<concurrency::ThreadPool>(worker_count_);
+  dispatcher_ = std::jthread([this](std::stop_token st) { serve_loop(st); });
+}
+
+void RpcServer::stop() {
+  if (!started_) return;
+  started_ = false;
+  dispatcher_.request_stop();
+  // Closing our mailbox unblocks the dispatcher deterministically even on
+  // a lossy transport (a self-addressed poke could be dropped).
+  mailbox_->close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_.reset();  // drains and joins workers
+}
+
+void RpcServer::serve_loop(std::stop_token st) {
+  while (!st.stop_requested()) {
+    auto msg = mailbox_->receive();
+    if (!msg) break;  // transport shut down
+    if (st.stop_requested()) break;
+    if (msg->kind != Envelope::Kind::kRequest) continue;
+    Envelope request = std::move(*msg);
+    pool_->submit([this, request = std::move(request)] {
+      Envelope response = handle(request);
+      response.kind = Envelope::Kind::kResponse;
+      response.correlation_id = request.correlation_id;
+      response.sender = endpoint_;
+      response.target = request.sender;
+      served_.fetch_add(1, std::memory_order_relaxed);
+      transport_->send(std::move(response));
+    });
+  }
+}
+
+Envelope RpcServer::handle(const Envelope& request) {
+  Handler handler;
+  {
+    std::scoped_lock lock(handlers_mu_);
+    auto it = handlers_.find(request.method);
+    if (it != handlers_.end()) handler = it->second;
+  }
+  if (!handler) {
+    Envelope err;
+    err.put("error", "no such method: " + request.method);
+    err.put("error.code", "not-found");
+    return err;
+  }
+  try {
+    return handler(request);
+  } catch (const std::exception& e) {
+    Envelope err;
+    err.put("error", e.what());
+    err.put("error.code", "internal");
+    return err;
+  }
+}
+
+RpcClient::RpcClient(Transport& transport, std::string endpoint)
+    : transport_(&transport),
+      endpoint_(std::move(endpoint)),
+      mailbox_(transport.open(endpoint_)),
+      receiver_([this](std::stop_token) { receive_loop(); }) {}
+
+RpcClient::~RpcClient() {
+  receiver_.request_stop();
+  // Closing our mailbox unblocks the receiver deterministically even on a
+  // lossy transport (a self-addressed poke could be dropped).
+  mailbox_->close();
+  if (receiver_.joinable()) receiver_.join();
+  // Fail any still-pending calls.
+  std::scoped_lock lock(mu_);
+  for (auto& [_, promise] : pending_) {
+    Envelope err;
+    err.put("error", "client destroyed");
+    err.put("error.code", "cancelled");
+    promise.set_value(std::move(err));
+  }
+  pending_.clear();
+}
+
+runtime::Result<Envelope> RpcClient::call(const std::string& server,
+                                          Envelope request,
+                                          runtime::Duration timeout) {
+  std::future<Envelope> future;
+  std::uint64_t correlation = 0;
+  {
+    std::scoped_lock lock(mu_);
+    correlation = next_correlation_++;
+    future = pending_[correlation].get_future();
+  }
+  request.kind = Envelope::Kind::kRequest;
+  request.correlation_id = correlation;
+  request.sender = endpoint_;
+  request.target = server;
+  if (!transport_->send(std::move(request))) {
+    std::scoped_lock lock(mu_);
+    pending_.erase(correlation);
+    return runtime::make_error(runtime::ErrorCode::kUnavailable,
+                               "no route to endpoint: " + server);
+  }
+  if (future.wait_for(timeout) != std::future_status::ready) {
+    std::scoped_lock lock(mu_);
+    // Re-check under the lock: the receiver may have fulfilled it just now.
+    if (future.wait_for(runtime::Duration{0}) != std::future_status::ready) {
+      pending_.erase(correlation);
+      return runtime::make_error(runtime::ErrorCode::kTimeout,
+                                 "rpc timeout calling " + server);
+    }
+  }
+  return future.get();
+}
+
+void RpcClient::receive_loop() {
+  while (auto msg = mailbox_->receive()) {
+    if (receiver_.get_stop_token().stop_requested()) break;
+    if (msg->kind != Envelope::Kind::kResponse) continue;
+    std::promise<Envelope> promise;
+    {
+      std::scoped_lock lock(mu_);
+      auto it = pending_.find(msg->correlation_id);
+      if (it == pending_.end()) continue;  // late/unknown response: drop
+      promise = std::move(it->second);
+      pending_.erase(it);
+    }
+    promise.set_value(std::move(*msg));
+  }
+}
+
+}  // namespace amf::net

@@ -1,0 +1,122 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+
+namespace amf::net {
+
+Transport::Transport(Options options)
+    : options_(options), rng_(options.seed) {
+  if (options_.min_latency > runtime::Duration{0} ||
+      options_.jitter > runtime::Duration{0}) {
+    delivery_thread_ =
+        std::jthread([this](std::stop_token st) { delivery_loop(st); });
+  }
+}
+
+Transport::~Transport() { shutdown(); }
+
+std::shared_ptr<Mailbox> Transport::open(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto it = endpoints_.find(name);
+  if (it == endpoints_.end()) {
+    it = endpoints_.emplace(name, std::make_shared<Mailbox>(name)).first;
+  }
+  return it->second;
+}
+
+bool Transport::send(Envelope env) {
+  const bool delayed_path = options_.min_latency > runtime::Duration{0} ||
+                            options_.jitter > runtime::Duration{0};
+  if (!delayed_path) return deliver_now(std::move(env));
+
+  std::scoped_lock lock(mu_);
+  if (shutdown_) return false;
+  if (!endpoints_.contains(env.target)) return false;
+  if (options_.drop_probability > 0.0 &&
+      rng_.bernoulli(options_.drop_probability)) {
+    dropped_ += 1;
+    return true;  // lost on the wire; the sender cannot tell
+  }
+  auto delay = options_.min_latency;
+  if (options_.jitter > runtime::Duration{0}) {
+    delay += runtime::Duration(static_cast<std::int64_t>(
+        rng_.uniform() * static_cast<double>(options_.jitter.count())));
+  }
+  delayed_.push(Delayed{std::chrono::steady_clock::now() + delay,
+                        std::move(env)});
+  cv_.notify_one();
+  return true;
+}
+
+void Transport::shutdown() {
+  std::vector<std::shared_ptr<Mailbox>> boxes;
+  {
+    std::scoped_lock lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    boxes.reserve(endpoints_.size());
+    for (auto& [_, box] : endpoints_) boxes.push_back(box);
+  }
+  cv_.notify_all();
+  if (delivery_thread_.joinable()) {
+    delivery_thread_.request_stop();
+    delivery_thread_.join();
+  }
+  for (auto& box : boxes) box->inbox_.close();
+}
+
+std::uint64_t Transport::delivered() const {
+  std::scoped_lock lock(mu_);
+  return delivered_;
+}
+
+std::uint64_t Transport::dropped() const {
+  std::scoped_lock lock(mu_);
+  return dropped_;
+}
+
+bool Transport::deliver_now(Envelope env) {
+  std::shared_ptr<Mailbox> box;
+  {
+    std::scoped_lock lock(mu_);
+    if (shutdown_) return false;
+    auto it = endpoints_.find(env.target);
+    if (it == endpoints_.end()) return false;
+    if (options_.drop_probability > 0.0 &&
+        rng_.bernoulli(options_.drop_probability)) {
+      dropped_ += 1;
+      return true;  // lost on the wire; the sender cannot tell
+    }
+    box = it->second;
+    delivered_ += 1;
+  }
+  return box->inbox_.push(std::move(env));
+}
+
+void Transport::delivery_loop(std::stop_token st) {
+  std::unique_lock lock(mu_);
+  while (!st.stop_requested() && !shutdown_) {
+    if (delayed_.empty()) {
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+      continue;
+    }
+    const auto due = delayed_.top().due;
+    const auto now = std::chrono::steady_clock::now();
+    if (due > now) {
+      cv_.wait_until(lock, due);
+      continue;
+    }
+    Envelope env = delayed_.top().env;
+    delayed_.pop();
+    auto it = endpoints_.find(env.target);
+    if (it != endpoints_.end()) {
+      auto box = it->second;
+      delivered_ += 1;
+      lock.unlock();  // never push into a mailbox while holding our lock
+      box->inbox_.push(std::move(env));
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace amf::net

@@ -1,0 +1,121 @@
+// In-process transport with simulated link latency.
+//
+// Named endpoints own mailboxes (MPMC inboxes). `send()` routes an envelope
+// to its target mailbox either directly (zero-latency configuration) or via
+// a delivery thread that holds each message for min_latency (+ jitter) —
+// enough to give benchmarks a realistic local/remote cost gap without a
+// real network.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "concurrency/concurrent_queue.hpp"
+#include "net/message.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/random.hpp"
+
+namespace amf::net {
+
+/// Receiving side of an endpoint. Obtained from Transport::open(); receive
+/// drains messages in delivery order and returns nullopt after shutdown.
+class Mailbox {
+ public:
+  explicit Mailbox(std::string name) : name_(std::move(name)) {}
+
+  /// Blocking receive; nullopt once the transport is shut down and the
+  /// inbox is drained.
+  std::optional<Envelope> receive() { return inbox_.pop(); }
+
+  /// Deadline-bounded receive.
+  std::optional<Envelope> receive_until(runtime::TimePoint deadline) {
+    return inbox_.pop_until(deadline);
+  }
+
+  std::string_view name() const { return name_; }
+  std::size_t pending() const { return inbox_.size(); }
+
+  /// Closes the mailbox: receivers drain queued messages and then observe
+  /// end-of-stream; subsequent deliveries to this endpoint are refused.
+  /// Used by owners tearing down their receive loop — a "poke" message
+  /// cannot do this job on a lossy link.
+  void close() { inbox_.close(); }
+
+ private:
+  friend class Transport;
+  std::string name_;
+  concurrency::ConcurrentQueue<Envelope> inbox_;
+};
+
+/// Message router between named endpoints.
+class Transport {
+ public:
+  struct Options {
+    /// Fixed one-way delivery delay; zero selects the direct fast path.
+    runtime::Duration min_latency{0};
+    /// Extra uniformly random delay in [0, jitter].
+    runtime::Duration jitter{0};
+    /// Probability that a routed message is silently lost (the sender
+    /// still sees success — as on a real lossy link). Fault injection for
+    /// the reliable-delivery layer; 0 = reliable.
+    double drop_probability = 0.0;
+    /// Seed for the jitter/loss PRNG (deterministic runs).
+    std::uint64_t seed = 1;
+  };
+
+  Transport() : Transport(Options{}) {}
+  explicit Transport(Options options);
+
+  /// Joins the delivery thread and closes every mailbox.
+  ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Creates (or returns) the endpoint named `name`.
+  std::shared_ptr<Mailbox> open(const std::string& name);
+
+  /// Routes `env` to `env.target`. Returns false when the target endpoint
+  /// does not exist or the transport is shut down.
+  bool send(Envelope env);
+
+  /// Stops delivery: in-flight delayed messages are dropped, mailboxes are
+  /// closed so receivers drain and exit. Idempotent.
+  void shutdown();
+
+  /// Messages successfully routed so far.
+  std::uint64_t delivered() const;
+
+  /// Messages dropped by loss injection so far.
+  std::uint64_t dropped() const;
+
+ private:
+  struct Delayed {
+    runtime::TimePoint due;
+    Envelope env;
+    bool operator>(const Delayed& other) const { return due > other.due; }
+  };
+
+  bool deliver_now(Envelope env);
+  void delivery_loop(std::stop_token st);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Mailbox>> endpoints_;
+  std::priority_queue<Delayed, std::vector<Delayed>, std::greater<>> delayed_;
+  std::condition_variable cv_;
+  runtime::Rng rng_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool shutdown_ = false;
+  std::jthread delivery_thread_;  // last member: joins before the rest dies
+};
+
+}  // namespace amf::net

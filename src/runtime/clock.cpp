@@ -1,0 +1,10 @@
+#include "runtime/clock.hpp"
+
+namespace amf::runtime {
+
+RealClock& RealClock::instance() {
+  static RealClock clock;
+  return clock;
+}
+
+}  // namespace amf::runtime

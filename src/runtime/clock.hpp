@@ -1,0 +1,75 @@
+// Clock abstraction.
+//
+// Aspects that reason about time (rate limiting, circuit breaking, timing
+// histograms, deadlines) take a `Clock&` so tests and benchmarks can drive
+// them deterministically with `ManualClock` instead of sleeping.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace amf::runtime {
+
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::steady_clock::time_point;
+
+/// Monotonic clock interface.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current monotonic time.
+  virtual TimePoint now() const = 0;
+  /// True when time points from this clock are genuine
+  /// std::chrono::steady_clock values and can be handed to
+  /// condition_variable::wait_until; false for simulated clocks, for which
+  /// deadline waiters must poll.
+  virtual bool is_steady_compatible() const { return false; }
+};
+
+/// Wall (steady) clock; the production default.
+class RealClock final : public Clock {
+ public:
+  TimePoint now() const override { return std::chrono::steady_clock::now(); }
+  bool is_steady_compatible() const override { return true; }
+
+  /// Shared process-wide instance.
+  static RealClock& instance();
+};
+
+/// Fully manual clock for deterministic tests: time moves only when told to.
+class ManualClock final : public Clock {
+ public:
+  /// Starts at an arbitrary fixed epoch.
+  ManualClock() = default;
+
+  TimePoint now() const override {
+    return TimePoint(Duration(ns_.load(std::memory_order_acquire)));
+  }
+
+  /// Advances the clock by `d` (may be called from any thread).
+  void advance(Duration d) {
+    ns_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<std::int64_t> ns_{1};  // non-zero so TimePoint{} reads as "past"
+};
+
+/// Convenience: a stopwatch over an abstract clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock) : clock_(&clock), start_(clock.now()) {}
+
+  /// Time elapsed since construction or the last `reset()`.
+  Duration elapsed() const { return clock_->now() - start_; }
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock_->now(); }
+
+ private:
+  const Clock* clock_;
+  TimePoint start_;
+};
+
+}  // namespace amf::runtime

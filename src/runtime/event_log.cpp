@@ -1,0 +1,76 @@
+#include "runtime/event_log.hpp"
+
+#include <algorithm>
+
+namespace amf::runtime {
+
+std::uint64_t EventLog::append(std::string_view category,
+                               std::string_view message,
+                               std::uint64_t invocation_id) {
+  std::scoped_lock lock(mu_);
+  const auto seq = next_seq_++;
+  events_.push_back(Event{seq, clock_->now(), std::string(category),
+                          std::string(message), invocation_id});
+  return seq;
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::scoped_lock lock(mu_);
+  return events_;
+}
+
+std::vector<Event> EventLog::by_category(std::string_view category) const {
+  std::scoped_lock lock(mu_);
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.category == category) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Event> EventLog::by_invocation(std::uint64_t invocation_id) const {
+  std::scoped_lock lock(mu_);
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.invocation_id == invocation_id) out.push_back(e);
+  }
+  return out;
+}
+
+std::optional<Event> EventLog::find(std::string_view category,
+                                    std::string_view message) const {
+  std::scoped_lock lock(mu_);
+  for (const auto& e : events_) {
+    if (e.category == category && e.message == message) return e;
+  }
+  return std::nullopt;
+}
+
+std::size_t EventLog::count(std::string_view category,
+                            std::string_view message) const {
+  std::scoped_lock lock(mu_);
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(), [&](const Event& e) {
+        return e.category == category && e.message == message;
+      }));
+}
+
+bool EventLog::happened_before(std::string_view cat_a, std::string_view msg_a,
+                               std::string_view cat_b,
+                               std::string_view msg_b) const {
+  const auto a = find(cat_a, msg_a);
+  const auto b = find(cat_b, msg_b);
+  return a.has_value() && b.has_value() && a->seq < b->seq;
+}
+
+std::size_t EventLog::size() const {
+  std::scoped_lock lock(mu_);
+  return events_.size();
+}
+
+void EventLog::clear() {
+  std::scoped_lock lock(mu_);
+  events_.clear();
+}
+
+}  // namespace amf::runtime

@@ -1,0 +1,77 @@
+// Structured, thread-safe, append-only event log.
+//
+// This is the audit substrate and, just as importantly, the instrument the
+// test suite uses to reproduce the paper's sequence diagrams: every phase of
+// the moderation protocol can emit an event, and tests assert the global
+// order (e.g. authenticate.pre happens-before sync.pre happens-before the
+// functional method, Figs. 3/17/18).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/clock.hpp"
+
+namespace amf::runtime {
+
+/// One log record. `seq` is a process-unique, strictly increasing sequence
+/// number assigned under the log's lock, so it totally orders events even
+/// when timestamps collide.
+struct Event {
+  std::uint64_t seq = 0;
+  TimePoint time{};
+  std::string category;        // e.g. "aspect.sync", "rpc", "app.ticket"
+  std::string message;         // e.g. "pre:open", "post:assign"
+  std::uint64_t invocation_id = 0;  // 0 when not tied to an invocation
+};
+
+/// Thread-safe append-only event log with simple query helpers.
+class EventLog {
+ public:
+  explicit EventLog(const Clock& clock = RealClock::instance())
+      : clock_(&clock) {}
+
+  /// Appends an event and returns its sequence number.
+  std::uint64_t append(std::string_view category, std::string_view message,
+                       std::uint64_t invocation_id = 0);
+
+  /// Copy of all events in append order.
+  std::vector<Event> snapshot() const;
+
+  /// All events whose category equals `category`.
+  std::vector<Event> by_category(std::string_view category) const;
+
+  /// All events tied to `invocation_id`, in append order.
+  std::vector<Event> by_invocation(std::uint64_t invocation_id) const;
+
+  /// First event matching both fields, if any.
+  std::optional<Event> find(std::string_view category,
+                            std::string_view message) const;
+
+  /// Number of events matching both fields.
+  std::size_t count(std::string_view category, std::string_view message) const;
+
+  /// True iff an event matching (cat_a, msg_a) appears in the log strictly
+  /// before one matching (cat_b, msg_b). Used to assert protocol ordering.
+  bool happened_before(std::string_view cat_a, std::string_view msg_a,
+                       std::string_view cat_b, std::string_view msg_b) const;
+
+  /// Total number of events.
+  std::size_t size() const;
+
+  /// Drops all events (sequence numbers keep increasing).
+  void clear();
+
+ private:
+  const Clock* clock_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace amf::runtime

@@ -1,0 +1,91 @@
+#include "runtime/identity.hpp"
+
+#include <algorithm>
+
+namespace amf::runtime {
+
+namespace {
+// FNV-1a with a salt prefix. Good enough for a simulation substrate.
+std::uint64_t hash_password(std::string_view password, std::uint64_t salt) {
+  std::uint64_t h = 14695981039346656037ull ^ salt;
+  for (unsigned char c : password) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+bool Principal::has_role(std::string_view role) const {
+  return std::any_of(roles.begin(), roles.end(),
+                     [&](const std::string& r) { return r == role; });
+}
+
+Result<void> CredentialStore::add_user(std::string_view name,
+                                       std::string_view password,
+                                       std::vector<std::string> roles) {
+  std::scoped_lock lock(mu_);
+  if (users_.contains(std::string(name))) {
+    return make_error(ErrorCode::kAlreadyExists,
+                      "user already exists: " + std::string(name));
+  }
+  UserRecord rec;
+  rec.salt = std::hash<std::string_view>{}(name) | 1;
+  rec.password_hash = hash_password(password, rec.salt);
+  rec.roles = std::move(roles);
+  users_.emplace(std::string(name), std::move(rec));
+  return {};
+}
+
+Result<Principal> CredentialStore::login(std::string_view name,
+                                         std::string_view password) {
+  std::scoped_lock lock(mu_);
+  auto it = users_.find(std::string(name));
+  if (it == users_.end()) {
+    return make_error(ErrorCode::kUnauthenticated,
+                      "unknown user: " + std::string(name));
+  }
+  if (hash_password(password, it->second.salt) != it->second.password_hash) {
+    return make_error(ErrorCode::kUnauthenticated,
+                      "bad password for user: " + std::string(name));
+  }
+  std::string token =
+      "tok-" + std::to_string(next_token_++) + "-" + std::string(name);
+  sessions_.emplace(token, std::string(name));
+  Principal p;
+  p.name = name;
+  p.roles = it->second.roles;
+  p.token = std::move(token);
+  return p;
+}
+
+bool CredentialStore::valid_token(std::string_view token) const {
+  std::scoped_lock lock(mu_);
+  return sessions_.contains(std::string(token));
+}
+
+std::optional<Principal> CredentialStore::principal_for(
+    std::string_view token) const {
+  std::scoped_lock lock(mu_);
+  auto it = sessions_.find(std::string(token));
+  if (it == sessions_.end()) return std::nullopt;
+  auto user = users_.find(it->second);
+  if (user == users_.end()) return std::nullopt;
+  Principal p;
+  p.name = it->second;
+  p.roles = user->second.roles;
+  p.token = std::string(token);
+  return p;
+}
+
+void CredentialStore::revoke(std::string_view token) {
+  std::scoped_lock lock(mu_);
+  sessions_.erase(std::string(token));
+}
+
+std::size_t CredentialStore::live_sessions() const {
+  std::scoped_lock lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace amf::runtime

@@ -1,0 +1,75 @@
+// Identity substrate for the authentication / authorization aspects (§5.3).
+//
+// The paper adds an authentication concern to the trouble-ticketing system
+// but leaves the mechanism unspecified. We provide the minimum credible
+// substrate: principals with roles, a credential store with salted password
+// hashing (FNV-based — intentionally simple, this is a simulation substrate,
+// not a production KDF), and opaque session tokens.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/result.hpp"
+
+namespace amf::runtime {
+
+/// An authenticated (or anonymous) caller identity carried in every
+/// invocation context.
+struct Principal {
+  std::string name;
+  std::vector<std::string> roles;
+  std::string token;  // session token; empty for unauthenticated callers
+
+  /// True if the principal carries `role`.
+  bool has_role(std::string_view role) const;
+
+  /// True if the principal has a (purported) session token.
+  bool authenticated() const { return !token.empty(); }
+
+  /// The anonymous caller: no name, no roles, no token.
+  static Principal anonymous() { return {}; }
+};
+
+/// User database + session-token issuer. All operations are thread-safe.
+class CredentialStore {
+ public:
+  /// Registers a user. Returns kAlreadyExists if the name is taken.
+  Result<void> add_user(std::string_view name, std::string_view password,
+                        std::vector<std::string> roles);
+
+  /// Verifies the password and issues a session token; the returned
+  /// Principal carries the token and the user's roles.
+  Result<Principal> login(std::string_view name, std::string_view password);
+
+  /// True iff `token` is a live session token.
+  bool valid_token(std::string_view token) const;
+
+  /// The principal a live token belongs to, if any.
+  std::optional<Principal> principal_for(std::string_view token) const;
+
+  /// Invalidates a session token (logout). Unknown tokens are ignored.
+  void revoke(std::string_view token);
+
+  /// Number of live sessions (tests).
+  std::size_t live_sessions() const;
+
+ private:
+  struct UserRecord {
+    std::uint64_t password_hash = 0;
+    std::uint64_t salt = 0;
+    std::vector<std::string> roles;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, UserRecord> users_;
+  std::unordered_map<std::string, std::string> sessions_;  // token -> user
+  std::uint64_t next_token_ = 1;
+};
+
+}  // namespace amf::runtime

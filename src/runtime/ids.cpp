@@ -1,0 +1,42 @@
+#include "runtime/ids.hpp"
+
+namespace amf::runtime {
+
+std::uint32_t Interner::intern(std::string_view s) {
+  std::scoped_lock lock(mu_);
+  if (auto it = index_.find(s); it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(s);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+std::uint32_t Interner::lookup(std::string_view s) const {
+  std::scoped_lock lock(mu_);
+  if (auto it = index_.find(s); it != index_.end()) return it->second;
+  return kInvalid;
+}
+
+std::string_view Interner::name(std::uint32_t id) const {
+  std::scoped_lock lock(mu_);
+  if (id >= names_.size()) return {};
+  return names_[id];
+}
+
+std::size_t Interner::size() const {
+  std::scoped_lock lock(mu_);
+  return names_.size();
+}
+
+namespace kinds {
+AspectKind synchronization() { return AspectKind::of("sync"); }
+AspectKind authentication() { return AspectKind::of("authenticate"); }
+AspectKind authorization() { return AspectKind::of("authorize"); }
+AspectKind scheduling() { return AspectKind::of("schedule"); }
+AspectKind audit() { return AspectKind::of("audit"); }
+AspectKind timing() { return AspectKind::of("timing"); }
+AspectKind fault_tolerance() { return AspectKind::of("fault-tolerance"); }
+AspectKind quota() { return AspectKind::of("quota"); }
+}  // namespace kinds
+
+}  // namespace amf::runtime

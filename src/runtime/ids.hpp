@@ -1,0 +1,114 @@
+// Interned identifier types used throughout the Aspect Moderator Framework.
+//
+// The paper dispatches on raw strings ("open", "Sync", ...). We keep the
+// run-time openness (ids are created from names at any time) but intern the
+// names into dense integers so that comparisons and hashing on the
+// moderation hot path are O(1) and allocation-free.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace amf::runtime {
+
+/// Thread-safe string interner: maps each distinct string to a stable dense
+/// integer id and back. Interned strings are never removed, so the
+/// `string_view`s returned by `name()` remain valid for the interner's
+/// lifetime.
+class Interner {
+ public:
+  /// Sentinel returned for ids that were never interned.
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+
+  /// Returns the id for `s`, interning it on first use.
+  std::uint32_t intern(std::string_view s);
+
+  /// Returns the id for `s` if it has been interned, `kInvalid` otherwise.
+  std::uint32_t lookup(std::string_view s) const;
+
+  /// Returns the name for `id`; empty view if `id` is unknown.
+  std::string_view name(std::uint32_t id) const;
+
+  /// Number of distinct strings interned so far.
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+  std::deque<std::string> names_;  // deque: stable addresses for the views
+};
+
+namespace detail {
+/// Strong typedef over an interned id. `Tag` distinguishes unrelated id
+/// spaces (methods vs. aspect kinds) at compile time.
+template <typename Tag>
+class InternedId {
+ public:
+  /// Default-constructed ids are invalid and compare equal to each other.
+  constexpr InternedId() = default;
+
+  /// Interns `name` in the tag's id space and returns the id.
+  static InternedId of(std::string_view name) {
+    return InternedId(interner().intern(name));
+  }
+
+  /// The interned name, or an empty view for invalid ids.
+  std::string_view name() const { return interner().name(value_); }
+
+  /// True unless the id is default-constructed.
+  constexpr bool valid() const { return value_ != Interner::kInvalid; }
+
+  /// Dense integer value (useful as an array index).
+  constexpr std::uint32_t value() const { return value_; }
+
+  friend constexpr auto operator<=>(InternedId, InternedId) = default;
+
+ private:
+  explicit constexpr InternedId(std::uint32_t v) : value_(v) {}
+  static Interner& interner() {
+    static Interner instance;
+    return instance;
+  }
+  std::uint32_t value_ = Interner::kInvalid;
+};
+}  // namespace detail
+
+struct MethodTag {};
+struct AspectKindTag {};
+
+/// Identifier of a participating method (the paper's `methodID`).
+using MethodId = detail::InternedId<MethodTag>;
+
+/// Identifier of an aspect kind / concern dimension (the paper's "Sync",
+/// "Authenticate", ... column of the aspect bank).
+using AspectKind = detail::InternedId<AspectKindTag>;
+
+/// Well-known aspect kinds used by the bundled aspect library. Nothing in
+/// the core framework treats these specially; they are ordinary interned
+/// kinds that applications may extend or ignore.
+namespace kinds {
+AspectKind synchronization();
+AspectKind authentication();
+AspectKind authorization();
+AspectKind scheduling();
+AspectKind audit();
+AspectKind timing();
+AspectKind fault_tolerance();
+AspectKind quota();
+}  // namespace kinds
+
+}  // namespace amf::runtime
+
+template <typename Tag>
+struct std::hash<amf::runtime::detail::InternedId<Tag>> {
+  std::size_t operator()(
+      amf::runtime::detail::InternedId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,122 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace amf::runtime {
+
+namespace {
+std::size_t bucket_for(std::int64_t value) {
+  if (value <= 0) return 0;
+  return static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(value)));
+}
+
+std::int64_t bucket_upper_bound(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= 63) return std::numeric_limits<std::int64_t>::max();
+  return (std::int64_t{1} << i) - 1;
+}
+}  // namespace
+
+void Histogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[std::min(bucket_for(value), kBuckets - 1)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // CAS loops for min/max; contention here is rare and bounded.
+  auto lo = min_.load(std::memory_order_relaxed);
+  while (value < lo &&
+         !min_.compare_exchange_weak(lo, value, std::memory_order_relaxed)) {
+  }
+  auto hi = max_.load(std::memory_order_relaxed);
+  while (value > hi &&
+         !max_.compare_exchange_weak(hi, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const auto n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::int64_t Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  const auto n = count();
+  if (n == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(p * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > rank) return std::min(bucket_upper_bound(i), max());
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<std::int64_t>::max(),
+             std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Registry::report() const {
+  std::scoped_lock lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << "counter " << name << " = " << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "gauge " << name << " = " << g->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "histogram " << name << " count=" << h->count()
+       << " mean=" << h->mean() << " min=" << h->min() << " max=" << h->max()
+       << " p50=" << h->percentile(0.50) << " p99=" << h->percentile(0.99)
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace amf::runtime

@@ -1,0 +1,99 @@
+// Lightweight metrics: counters, gauges and log-bucketed histograms.
+//
+// Used by the timing aspect, the moderator's per-method statistics, and the
+// benchmark harness. Everything is lock-free on the record path (atomics)
+// so instrumenting the moderation hot path does not perturb contention
+// experiments.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace amf::runtime {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  /// Adds `n` (default 1).
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  /// Current value.
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  /// Resets to zero (tests/benches only).
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous signed value.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Histogram of non-negative values with power-of-two buckets
+/// (bucket i counts values in [2^(i-1), 2^i); bucket 0 counts value 0).
+/// Percentiles are approximate (bucket upper bound), which is plenty for
+/// the latency-shape comparisons in EXPERIMENTS.md.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Records one sample. Negative samples are clamped to 0.
+  void record(std::int64_t value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Sum of all recorded samples.
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Mean of samples (0 when empty).
+  double mean() const;
+  /// Smallest / largest recorded sample (0 when empty).
+  std::int64_t min() const;
+  std::int64_t max() const;
+  /// Approximate p-quantile, p in [0, 1]; returns the upper bound of the
+  /// bucket containing the quantile sample.
+  std::int64_t percentile(double p) const;
+
+  /// Clears all samples.
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Named metric registry. Lookup is mutex-protected and intended to happen
+/// once at wiring time; the returned references are stable and lock-free to
+/// update.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Multi-line human-readable dump ("name value" / histogram summaries).
+  std::string report() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace amf::runtime

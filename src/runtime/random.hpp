@@ -1,0 +1,42 @@
+// Deterministic PRNG for workload generators (SplitMix64 core).
+//
+// Benchmarks and property tests need reproducible randomness that is
+// identical across runs and platforms; <random> distributions are not
+// portable across standard libraries, so we implement the little we need.
+#pragma once
+
+#include <cstdint>
+
+namespace amf::runtime {
+
+/// SplitMix64: tiny, fast, well-distributed; perfect for workload shaping.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  constexpr std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next() % (hi - lo + 1);
+  }
+
+  /// True with probability `p`.
+  constexpr bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace amf::runtime

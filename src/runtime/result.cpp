@@ -1,0 +1,44 @@
+#include "runtime/result.hpp"
+
+namespace amf::runtime {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kNotFound:
+      return "not-found";
+    case ErrorCode::kAlreadyExists:
+      return "already-exists";
+    case ErrorCode::kPermissionDenied:
+      return "permission-denied";
+    case ErrorCode::kUnauthenticated:
+      return "unauthenticated";
+    case ErrorCode::kResourceExhausted:
+      return "resource-exhausted";
+    case ErrorCode::kAborted:
+      return "aborted";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out{amf::runtime::to_string(code)};
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace amf::runtime

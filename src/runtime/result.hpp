@@ -1,0 +1,115 @@
+// A small expected-style result type (C++20 predates std::expected).
+//
+// Framework operations that can fail (authentication, RPC, moderated
+// invocations) return `Result<T>` instead of throwing across the moderation
+// boundary, so that ABORT outcomes — which the paper merely prints — are
+// first-class values the caller can branch on (design repair D4).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace amf::runtime {
+
+/// Canonical error codes used across the framework.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kUnauthenticated,
+  kResourceExhausted,
+  kAborted,
+  kTimeout,
+  kCancelled,
+  kUnavailable,
+  kInternal,
+};
+
+/// Human-readable name for an error code ("timeout", "aborted", ...).
+std::string_view to_string(ErrorCode code);
+
+/// An error: a code plus a free-form message.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  /// "code: message" rendering for logs and test failure output.
+  std::string to_string() const;
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+/// Value-or-error discriminated union.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit success construction from a value.
+  Result(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  /// Implicit failure construction from an error.
+  Result(Error error) : state_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const { return state_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  /// The contained value; must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(state_));
+  }
+
+  /// The contained value, or `fallback` on error.
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+  /// The contained error; must only be called when `!ok()`.
+  const Error& error() const {
+    assert(!ok());
+    return std::get<1>(state_);
+  }
+
+  /// Error code, or kOk on success (handy in tests).
+  ErrorCode code() const { return ok() ? ErrorCode::kOk : error().code; }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// void specialization: success carries no value.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)), ok_(false) {}
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  const Error& error() const {
+    assert(!ok_);
+    return error_;
+  }
+  ErrorCode code() const { return ok_ ? ErrorCode::kOk : error_.code; }
+
+ private:
+  Error error_;
+  bool ok_ = true;
+};
+
+/// Shorthand constructors.
+inline Error make_error(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace amf::runtime

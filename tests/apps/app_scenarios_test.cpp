@@ -1,0 +1,197 @@
+// Larger end-to-end scenarios across the bundled applications — the
+// workloads §2 of the paper motivates, exercised through the full concern
+// stacks rather than method-by-method.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "apps/auction/auction_proxy.hpp"
+#include "apps/reservation/reservation_proxy.hpp"
+#include "apps/timecard/timecard_proxy.hpp"
+#include "runtime/random.hpp"
+
+namespace amf {
+namespace {
+
+TEST(AuctionScenarioTest, MultiItemConcurrentMarket) {
+  using namespace apps::auction;
+  runtime::CredentialStore store;
+  runtime::EventLog log;
+  ASSERT_TRUE(store.add_user("boss", "pw", {"auctioneer"}).ok());
+  constexpr int kSellers = 3, kBidders = 5, kItemsPerSeller = 4;
+  for (int s = 0; s < kSellers; ++s) {
+    ASSERT_TRUE(store.add_user("seller" + std::to_string(s), "pw", {}).ok());
+  }
+  for (int b = 0; b < kBidders; ++b) {
+    ASSERT_TRUE(store.add_user("bidder" + std::to_string(b), "pw", {}).ok());
+  }
+  auto proxy = make_auction_proxy(store, log);
+
+  // Sellers list items concurrently.
+  std::mutex items_mu;
+  std::vector<std::uint64_t> items;
+  {
+    std::vector<std::jthread> threads;
+    for (int s = 0; s < kSellers; ++s) {
+      threads.emplace_back([&, s] {
+        auto me = store.login("seller" + std::to_string(s), "pw").value();
+        for (int i = 0; i < kItemsPerSeller; ++i) {
+          auto r = proxy->call(list_method()).as(me).run(
+              [&](AuctionHouse& h) {
+                return h.list_item("item", 10, me.name);
+              });
+          ASSERT_TRUE(r.ok());
+          std::scoped_lock lock(items_mu);
+          items.push_back(*r.value);
+        }
+      });
+    }
+  }
+  ASSERT_EQ(items.size(),
+            static_cast<std::size_t>(kSellers * kItemsPerSeller));
+
+  // Bidders race across all items.
+  {
+    std::vector<std::jthread> threads;
+    for (int b = 0; b < kBidders; ++b) {
+      threads.emplace_back([&, b] {
+        auto me = store.login("bidder" + std::to_string(b), "pw").value();
+        runtime::Rng rng(static_cast<std::uint64_t>(b) + 7);
+        for (int i = 0; i < 100; ++i) {
+          const auto item = items[rng.uniform_int(0, items.size() - 1)];
+          (void)proxy->call(bid_method()).as(me).run([&](AuctionHouse& h) {
+            return h.place_bid(item, me.name,
+                               static_cast<std::int64_t>(i * kBidders + b));
+          });
+        }
+      });
+    }
+  }
+
+  // The auctioneer closes everything; every item has a consistent result.
+  auto boss = store.login("boss", "pw").value();
+  std::size_t sold = 0;
+  for (const auto item : items) {
+    auto sale = proxy->call(close_method()).as(boss).run(
+        [&](AuctionHouse& h) { return h.close_auction(item); });
+    ASSERT_TRUE(sale.ok());
+    if (sale.value->reserve_met) {
+      ++sold;
+      // Winner's bid must match the item's recorded high bid.
+      auto snapshot = proxy->invoke(query_method(), [&](AuctionHouse& h) {
+        return h.item(item);
+      });
+      EXPECT_EQ(snapshot.value.value()->highest_bidder, sale.value->winner);
+      EXPECT_EQ(snapshot.value.value()->highest_bid, sale.value->amount);
+    }
+  }
+  EXPECT_GT(sold, 0u);
+  auto open_left = proxy->invoke(query_method(), [](AuctionHouse& h) {
+    return h.open_items();
+  });
+  EXPECT_EQ(open_left.value.value(), 0u);
+}
+
+TEST(ReservationScenarioTest, CancelRebookStormKeepsGridConsistent) {
+  using namespace apps::reservation;
+  auto proxy = make_reservation_proxy(6, 6);
+  constexpr int kClients = 6;
+  {
+    std::vector<std::jthread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        const std::string who = "c" + std::to_string(c);
+        runtime::Rng rng(static_cast<std::uint64_t>(c) + 11);
+        for (int i = 0; i < 400; ++i) {
+          Seat seat{rng.uniform_int(0, 5), rng.uniform_int(0, 5)};
+          if (rng.bernoulli(0.6)) {
+            (void)proxy->invoke(reserve_method(), [&](ReservationSystem& s) {
+              return s.reserve(seat, who);
+            });
+          } else {
+            (void)proxy->invoke(cancel_method(), [&](ReservationSystem& s) {
+              return s.cancel(seat, who);
+            });
+          }
+        }
+      });
+    }
+  }
+  // Consistency: available() equals the number of unheld seats, and each
+  // held seat has exactly one holder.
+  auto check = proxy->invoke(query_method(), [](ReservationSystem& s) {
+    std::size_t held = 0;
+    for (std::size_t r = 0; r < s.rows(); ++r) {
+      for (std::size_t c = 0; c < s.cols(); ++c) {
+        if (s.holder({r, c}).has_value()) ++held;
+      }
+    }
+    return std::pair{held, s.available()};
+  });
+  const auto [held, available] = check.value.value();
+  EXPECT_EQ(held + available, 36u);
+}
+
+TEST(TimecardScenarioTest, PayrollWeekEndToEnd) {
+  using namespace apps::timecard;
+  runtime::CredentialStore store;
+  runtime::EventLog log;
+  ASSERT_TRUE(store.add_user("meg", "pw", {"manager"}).ok());
+  constexpr int kEmployees = 4;
+  for (int e = 0; e < kEmployees; ++e) {
+    ASSERT_TRUE(
+        store.add_user("emp" + std::to_string(e), "pw", {"employee"}).ok());
+  }
+  TimecardQuota quota;
+  quota.submits_per_second = 10'000;  // quota not under test here
+  quota.burst = 10'000;
+  auto proxy = make_timecard_proxy(store, log, quota);
+
+  // Four employees submit four weeks each, concurrently.
+  {
+    std::vector<std::jthread> threads;
+    for (int e = 0; e < kEmployees; ++e) {
+      threads.emplace_back([&, e] {
+        auto me = store.login("emp" + std::to_string(e), "pw").value();
+        for (std::uint32_t week = 1; week <= 4; ++week) {
+          auto r = proxy->call(submit_method()).as(me).run(
+              [&](TimecardSystem& s) {
+                return s.submit(me.name, week, 40.0);
+              });
+          ASSERT_TRUE(r.ok());
+        }
+      });
+    }
+  }
+
+  // The manager approves everything pending.
+  auto meg = store.login("meg", "pw").value();
+  auto pending = proxy->invoke(report_method(), [](TimecardSystem& s) {
+    return s.pending();
+  });
+  ASSERT_EQ(pending.value->size(), static_cast<std::size_t>(kEmployees * 4));
+  for (const auto id : *pending.value) {
+    ASSERT_TRUE(proxy->call(approve_method())
+                    .as(meg)
+                    .run([&](TimecardSystem& s) {
+                      return s.approve(id, "meg");
+                    })
+                    .ok());
+  }
+
+  // Reports add up and the audit trail names both sides.
+  for (int e = 0; e < kEmployees; ++e) {
+    const auto name = "emp" + std::to_string(e);
+    auto hours = proxy->invoke(report_method(), [&](TimecardSystem& s) {
+      return s.approved_hours(name);
+    });
+    EXPECT_DOUBLE_EQ(hours.value.value(), 160.0);
+  }
+  EXPECT_EQ(log.count("audit", "enter:approve:meg"),
+            static_cast<std::size_t>(kEmployees * 4));
+}
+
+}  // namespace
+}  // namespace amf

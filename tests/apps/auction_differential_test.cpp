@@ -1,0 +1,93 @@
+// Differential fuzzing for the auction: the moderated cluster and the
+// hand-tangled implementation are driven with identical random operation
+// sequences (single-threaded) and must agree on every outcome — acceptance
+// of each bid, authorization verdicts, sale results and final book state.
+#include <gtest/gtest.h>
+
+#include "apps/auction/auction_proxy.hpp"
+#include "apps/auction/tangled_auction_house.hpp"
+#include "runtime/random.hpp"
+
+namespace amf::apps::auction {
+namespace {
+
+class AuctionDifferentialSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AuctionDifferentialSweep, ModeratedAgreesWithTangled) {
+  const auto seed = GetParam();
+  runtime::CredentialStore store;
+  runtime::EventLog log_framework, log_tangled;
+  ASSERT_TRUE(store.add_user("sue", "pw", {}).ok());
+  ASSERT_TRUE(store.add_user("bob", "pw", {}).ok());
+  ASSERT_TRUE(store.add_user("boss", "pw", {"auctioneer"}).ok());
+
+  auto proxy = make_auction_proxy(store, log_framework);
+  TangledAuctionHouse tangled(store, log_tangled);
+
+  const runtime::Principal users[] = {
+      store.login("sue", "pw").value(),
+      store.login("bob", "pw").value(),
+      store.login("boss", "pw").value(),
+      runtime::Principal::anonymous(),
+  };
+
+  runtime::Rng rng(seed);
+  std::vector<std::uint64_t> open_items;
+
+  for (int step = 0; step < 1000; ++step) {
+    const auto& who = users[rng.uniform_int(0, std::size(users) - 1)];
+    const auto op = rng.uniform_int(0, 9);
+    if (op <= 2 || open_items.empty()) {
+      // list (framework) vs list (tangled): both succeed or both refuse.
+      auto fr = proxy->call(list_method()).as(who).run([&](AuctionHouse& h) {
+        return h.list_item("thing", 20, who.name);
+      });
+      auto tr = tangled.list_item(who, "thing", 20);
+      ASSERT_EQ(fr.ok(), tr.ok()) << "list divergence at step " << step;
+      if (fr.ok()) {
+        ASSERT_EQ(*fr.value, tr.value()) << "item id divergence";
+        open_items.push_back(*fr.value);
+      }
+    } else if (op <= 7) {
+      const auto item = open_items[rng.uniform_int(0, open_items.size() - 1)];
+      const auto amount = static_cast<std::int64_t>(rng.uniform_int(1, 200));
+      auto fr = proxy->call(bid_method()).as(who).run([&](AuctionHouse& h) {
+        return h.place_bid(item, who.name, amount);
+      });
+      auto tr = tangled.place_bid(who, item, amount);
+      ASSERT_EQ(fr.ok(), tr.ok()) << "bid auth divergence at step " << step;
+      if (fr.ok()) {
+        ASSERT_EQ(*fr.value, tr.value()) << "bid outcome divergence";
+      }
+    } else {
+      const auto idx = rng.uniform_int(0, open_items.size() - 1);
+      const auto item = open_items[idx];
+      auto fr = proxy->call(close_method()).as(who).run([&](AuctionHouse& h) {
+        return h.close_auction(item);
+      });
+      auto tr = tangled.close_auction(who, item);
+      ASSERT_EQ(fr.ok(), tr.ok()) << "close verdict divergence at step "
+                                  << step;
+      if (fr.ok()) {
+        ASSERT_EQ(fr.value->reserve_met, tr.value().reserve_met);
+        ASSERT_EQ(fr.value->winner, tr.value().winner);
+        ASSERT_EQ(fr.value->amount, tr.value().amount);
+        open_items.erase(open_items.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+      }
+    }
+  }
+
+  // Final book state agrees.
+  auto f_open = proxy->invoke(query_method(), [](AuctionHouse& h) {
+    return h.open_items();
+  });
+  EXPECT_EQ(*f_open.value, tangled.open_items());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuctionDifferentialSweep,
+                         ::testing::Values(3u, 99u, 2026u, 555u));
+
+}  // namespace
+}  // namespace amf::apps::auction

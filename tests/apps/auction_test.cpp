@@ -1,0 +1,184 @@
+#include "apps/auction/auction_proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "apps/auction/tangled_auction_house.hpp"
+
+namespace amf::apps::auction {
+namespace {
+
+using core::InvocationStatus;
+
+TEST(AuctionHouseTest, ListBidClose) {
+  AuctionHouse house;
+  const auto id = house.list_item("lamp", 50, "sue");
+  EXPECT_TRUE(house.place_bid(id, "bob", 60));
+  EXPECT_FALSE(house.place_bid(id, "joe", 55));  // not outbidding
+  const auto sale = house.close_auction(id);
+  EXPECT_TRUE(sale.reserve_met);
+  EXPECT_EQ(sale.winner, "bob");
+  EXPECT_EQ(sale.amount, 60);
+}
+
+TEST(AuctionHouseTest, ReserveNotMet) {
+  AuctionHouse house;
+  const auto id = house.list_item("lamp", 100, "sue");
+  EXPECT_TRUE(house.place_bid(id, "bob", 60));
+  const auto sale = house.close_auction(id);
+  EXPECT_FALSE(sale.reserve_met);
+  EXPECT_TRUE(sale.winner.empty());
+}
+
+TEST(AuctionHouseTest, UnknownAndClosedItemsThrow) {
+  AuctionHouse house;
+  EXPECT_THROW(house.place_bid(99, "bob", 10), std::invalid_argument);
+  const auto id = house.list_item("lamp", 0, "sue");
+  (void)house.close_auction(id);
+  EXPECT_THROW(house.place_bid(id, "bob", 10), std::logic_error);
+  EXPECT_THROW(house.close_auction(id), std::logic_error);
+}
+
+TEST(AuctionHouseTest, OpenItemsCountsUnclosed) {
+  AuctionHouse house;
+  const auto a = house.list_item("a", 0, "s");
+  (void)house.list_item("b", 0, "s");
+  EXPECT_EQ(house.open_items(), 2u);
+  (void)house.close_auction(a);
+  EXPECT_EQ(house.open_items(), 1u);
+}
+
+class AuctionProxyFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store.add_user("sue", "pw", {}).ok());
+    ASSERT_TRUE(store.add_user("bob", "pw", {}).ok());
+    ASSERT_TRUE(store.add_user("boss", "pw", {"auctioneer"}).ok());
+    proxy = make_auction_proxy(store, log);
+    sue = store.login("sue", "pw").value();
+    bob = store.login("bob", "pw").value();
+    boss = store.login("boss", "pw").value();
+  }
+
+  std::uint64_t list_as(const runtime::Principal& who) {
+    auto r = proxy->call(list_method()).as(who).run([&](AuctionHouse& h) {
+      return h.list_item("thing", 10, who.name);
+    });
+    return r.value.value();
+  }
+
+  runtime::CredentialStore store;
+  runtime::EventLog log;
+  std::shared_ptr<AuctionProxy> proxy;
+  runtime::Principal sue, bob, boss;
+};
+
+TEST_F(AuctionProxyFixture, AnonymousCannotList) {
+  auto r = proxy->invoke(list_method(), [](AuctionHouse& h) {
+    return h.list_item("x", 0, "anon");
+  });
+  EXPECT_EQ(r.status, InvocationStatus::kAborted);
+  EXPECT_EQ(r.error.code, runtime::ErrorCode::kUnauthenticated);
+}
+
+TEST_F(AuctionProxyFixture, NonAuctioneerCannotClose) {
+  const auto id = list_as(sue);
+  auto r = proxy->call(close_method()).as(bob).run([&](AuctionHouse& h) {
+    return h.close_auction(id);
+  });
+  EXPECT_EQ(r.status, InvocationStatus::kAborted);
+  EXPECT_EQ(r.error.code, runtime::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(AuctionProxyFixture, AuctioneerCloses) {
+  const auto id = list_as(sue);
+  ASSERT_TRUE(proxy->call(bid_method()).as(bob).run([&](AuctionHouse& h) {
+    return h.place_bid(id, "bob", 99);
+  }).ok());
+  auto r = proxy->call(close_method()).as(boss).run([&](AuctionHouse& h) {
+    return h.close_auction(id);
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value->winner, "bob");
+}
+
+TEST_F(AuctionProxyFixture, QueriesNeedNoSession) {
+  const auto id = list_as(sue);
+  auto r = proxy->invoke(query_method(), [&](AuctionHouse& h) {
+    return h.item(id);
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value.value()->title, "thing");
+}
+
+TEST_F(AuctionProxyFixture, AuditTrailRecordsDecisions) {
+  const auto id = list_as(sue);
+  (void)proxy->call(close_method()).as(bob).run([&](AuctionHouse& h) {
+    return h.close_auction(id);
+  });
+  EXPECT_GE(log.count("audit", "enter:list_item:sue"), 1u);
+  EXPECT_GE(log.count("audit", "cancel:close_auction"), 1u);
+}
+
+TEST_F(AuctionProxyFixture, HighestConcurrentBidWins) {
+  const auto id = list_as(sue);
+  constexpr int kBidders = 6, kBids = 100;
+  std::vector<runtime::Principal> sessions;
+  for (int b = 0; b < kBidders; ++b) {
+    const auto name = "bidder" + std::to_string(b);
+    ASSERT_TRUE(store.add_user(name, "pw", {}).ok());
+    sessions.push_back(store.login(name, "pw").value());
+  }
+  {
+    std::vector<std::jthread> threads;
+    for (int b = 0; b < kBidders; ++b) {
+      threads.emplace_back([&, b] {
+        for (int i = 1; i <= kBids; ++i) {
+          const std::int64_t amount = b + 1 + i * kBidders;
+          (void)proxy->call(bid_method())
+              .as(sessions[b])
+              .run([&](AuctionHouse& h) {
+                return h.place_bid(id, sessions[b].name, amount);
+              });
+        }
+      });
+    }
+  }
+  auto r = proxy->call(close_method()).as(boss).run([&](AuctionHouse& h) {
+    return h.close_auction(id);
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value->amount, kBidders + kBids * kBidders);
+}
+
+// Differential check: the tangled implementation enforces the same rules.
+TEST(TangledAuctionTest, MatchesModeratedSemantics) {
+  runtime::CredentialStore store;
+  runtime::EventLog log;
+  ASSERT_TRUE(store.add_user("sue", "pw", {}).ok());
+  ASSERT_TRUE(store.add_user("boss", "pw", {"auctioneer"}).ok());
+  TangledAuctionHouse tangled(store, log);
+
+  const auto anon = runtime::Principal::anonymous();
+  EXPECT_EQ(tangled.list_item(anon, "x", 0).code(),
+            runtime::ErrorCode::kUnauthenticated);
+
+  auto sue = store.login("sue", "pw").value();
+  auto boss = store.login("boss", "pw").value();
+  auto listed = tangled.list_item(sue, "lamp", 10);
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(tangled.close_auction(sue, listed.value()).code(),
+            runtime::ErrorCode::kPermissionDenied);
+  ASSERT_TRUE(tangled.place_bid(sue, listed.value(), 20).ok());
+  auto sale = tangled.close_auction(boss, listed.value());
+  ASSERT_TRUE(sale.ok());
+  EXPECT_EQ(sale.value().winner, "sue");
+  EXPECT_EQ(tangled.close_auction(boss, listed.value()).code(),
+            runtime::ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace amf::apps::auction

@@ -1,0 +1,129 @@
+#include "apps/dispatch/dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace amf::apps::dispatch {
+namespace {
+
+using ticket::Ticket;
+
+TEST(DispatcherTest, RoundRobinSpreadsLoad) {
+  TicketDispatcher dispatcher(3, 8);
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(dispatcher.open(Ticket{static_cast<std::uint64_t>(i), "", ""})
+                    .ok());
+  }
+  const auto routes = dispatcher.route_counts();
+  // 9 opens over 3 backends round-robin: 3 each (all first-candidate hits).
+  EXPECT_EQ(routes, (std::vector<std::uint64_t>{3, 3, 3}));
+  EXPECT_EQ(dispatcher.pending(), 9u);
+}
+
+TEST(DispatcherTest, AssignDrainsWhatOpenFilled) {
+  TicketDispatcher dispatcher(2, 4);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(dispatcher.open(Ticket{static_cast<std::uint64_t>(i), "", ""})
+                    .ok());
+  }
+  std::size_t drained = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (dispatcher.assign().ok()) ++drained;
+  }
+  EXPECT_EQ(drained, 6u);
+  EXPECT_EQ(dispatcher.pending(), 0u);
+}
+
+TEST(DispatcherTest, FailsOverWhenBackendFull) {
+  TicketDispatcher dispatcher(2, 1);  // tiny backends
+  // Three opens: backend0, backend1, then failover past a full backend.
+  EXPECT_TRUE(dispatcher.open(Ticket{1, "", ""}).ok());
+  EXPECT_TRUE(dispatcher.open(Ticket{2, "", ""}).ok());
+  auto r = dispatcher.open(Ticket{3, "", ""});
+  EXPECT_FALSE(r.ok()) << "both backends full: every candidate times out";
+  EXPECT_EQ(dispatcher.pending(), 2u);
+}
+
+TEST(DispatcherTest, LeastPendingPrefersIdleBackend) {
+  TicketDispatcher::Options options;
+  options.policy = Policy::kLeastPending;
+  TicketDispatcher dispatcher(2, 8, options);
+  // Preload backend 0 directly so its pending estimate rises via the
+  // dispatcher API.
+  ASSERT_TRUE(dispatcher.open(Ticket{1, "", ""}).ok());
+  ASSERT_TRUE(dispatcher.open(Ticket{2, "", ""}).ok());
+  // With least-pending both backends should now hold one ticket each.
+  EXPECT_EQ(dispatcher.backend(0).component().pending() +
+                dispatcher.backend(1).component().pending(),
+            2u);
+  EXPECT_EQ(dispatcher.backend(0).component().pending(), 1u);
+  EXPECT_EQ(dispatcher.backend(1).component().pending(), 1u);
+}
+
+TEST(DispatcherTest, EmptyAssignReportsError) {
+  TicketDispatcher dispatcher(2, 4);
+  auto r = dispatcher.assign();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status, core::InvocationStatus::kTimedOut);
+}
+
+TEST(DispatcherTest, ConcurrentTrafficConserved) {
+  TicketDispatcher dispatcher(3, 16);
+  constexpr int kThreads = 6, kOps = 300;
+  std::atomic<long> opened{0}, assigned{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kOps; ++i) {
+          if (t % 2 == 0) {
+            if (dispatcher.open(Ticket{1, "", ""}).ok()) opened.fetch_add(1);
+          } else {
+            if (dispatcher.assign().ok()) assigned.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(opened.load() - assigned.load(),
+            static_cast<long>(dispatcher.pending()));
+}
+
+TEST(DispatcherTest, BreakerTripsOnFailingBackend) {
+  aspects::CircuitBreakerAspect::Options breaker;
+  breaker.failure_threshold = 2;
+  breaker.cooldown = std::chrono::seconds(10);
+  TicketDispatcher::Options options;
+  options.breaker = breaker;
+  TicketDispatcher dispatcher(2, 4, options);
+
+  // Make backend 0 fail: its functional component throws when poked via a
+  // body that always throws. We drive failures through the backend proxy
+  // directly (the dispatcher's candidate order would mask which backend
+  // got hit).
+  auto& sick = dispatcher.backend(0);
+  for (int i = 0; i < 2; ++i) {
+    auto r = sick.call(ticket::open_method())
+                 .run([](ticket::TicketServer&) {
+                   throw std::runtime_error("disk on fire");
+                 });
+    EXPECT_EQ(r.status, core::InvocationStatus::kFailed);
+  }
+  EXPECT_EQ(dispatcher.breaker(0).state(),
+            aspects::CircuitBreakerAspect::State::kOpen);
+
+  // The dispatcher now routes everything to backend 1.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(dispatcher.open(Ticket{static_cast<std::uint64_t>(i), "", ""})
+                    .ok());
+  }
+  EXPECT_EQ(dispatcher.backend(0).component().pending(), 0u);
+  EXPECT_EQ(dispatcher.backend(1).component().pending(), 4u);
+}
+
+}  // namespace
+}  // namespace amf::apps::dispatch

@@ -1,0 +1,136 @@
+#include "apps/reservation/reservation_proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace amf::apps::reservation {
+namespace {
+
+TEST(ReservationSystemTest, ReserveAndCancel) {
+  ReservationSystem sys(2, 2);
+  EXPECT_EQ(sys.available(), 4u);
+  EXPECT_TRUE(sys.reserve({0, 0}, "ann"));
+  EXPECT_FALSE(sys.reserve({0, 0}, "bob"));  // taken
+  EXPECT_EQ(sys.available(), 3u);
+  EXPECT_EQ(sys.holder({0, 0}), "ann");
+  EXPECT_FALSE(sys.cancel({0, 0}, "bob"));  // not the holder
+  EXPECT_TRUE(sys.cancel({0, 0}, "ann"));
+  EXPECT_EQ(sys.available(), 4u);
+  EXPECT_EQ(sys.holder({0, 0}), std::nullopt);
+}
+
+TEST(ReservationSystemTest, SeatsOfLists) {
+  ReservationSystem sys(3, 3);
+  ASSERT_TRUE(sys.reserve({0, 1}, "ann"));
+  ASSERT_TRUE(sys.reserve({2, 2}, "ann"));
+  ASSERT_TRUE(sys.reserve({1, 1}, "bob"));
+  const auto seats = sys.seats_of("ann");
+  ASSERT_EQ(seats.size(), 2u);
+  EXPECT_EQ(seats[0], (Seat{0, 1}));
+  EXPECT_EQ(seats[1], (Seat{2, 2}));
+}
+
+TEST(ReservationSystemTest, OutOfRangeThrows) {
+  ReservationSystem sys(2, 2);
+  EXPECT_THROW(sys.reserve({5, 0}, "x"), std::out_of_range);
+  EXPECT_THROW((void)sys.holder({0, 9}), std::out_of_range);
+  EXPECT_THROW(ReservationSystem(0, 3), std::invalid_argument);
+}
+
+TEST(ReservationProxyTest, WiringRegistersAspects) {
+  auto proxy = make_reservation_proxy(2, 2);
+  const auto& bank = proxy->moderator().bank();
+  EXPECT_NE(bank.find(reserve_method(), runtime::kinds::scheduling()),
+            nullptr);
+  EXPECT_NE(bank.find(reserve_method(), runtime::kinds::synchronization()),
+            nullptr);
+  EXPECT_NE(bank.find(query_method(), runtime::kinds::synchronization()),
+            nullptr);
+  // No metrics registry passed: no timing aspect.
+  EXPECT_EQ(bank.find(reserve_method(), runtime::kinds::timing()), nullptr);
+}
+
+TEST(ReservationProxyTest, EverySuccessfulReserveOwnsOneSeat) {
+  auto proxy = make_reservation_proxy(8, 8);
+  constexpr int kClients = 6;
+  std::atomic<int> accepted{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        const std::string who = "c" + std::to_string(c);
+        for (std::size_t r = 0; r < 8; ++r) {
+          for (std::size_t col = 0; col < 8; ++col) {
+            auto res = proxy->invoke(
+                reserve_method(), [&](ReservationSystem& sys) {
+                  return sys.reserve({r, col}, who);
+                });
+            if (res.ok() && *res.value) accepted.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  // Exactly 64 seats exist; every seat accepted exactly one claimant.
+  EXPECT_EQ(accepted.load(), 64);
+  auto avail = proxy->invoke(query_method(), [](ReservationSystem& sys) {
+    return sys.available();
+  });
+  EXPECT_EQ(avail.value.value(), 0u);
+}
+
+TEST(ReservationProxyTest, CancelFreesForOthers) {
+  auto proxy = make_reservation_proxy(2, 2);
+  ASSERT_TRUE(proxy->invoke(reserve_method(), [](ReservationSystem& s) {
+                return s.reserve({1, 1}, "ann");
+              }).value.value());
+  ASSERT_TRUE(proxy->invoke(cancel_method(), [](ReservationSystem& s) {
+                return s.cancel({1, 1}, "ann");
+              }).value.value());
+  EXPECT_TRUE(proxy->invoke(reserve_method(), [](ReservationSystem& s) {
+                return s.reserve({1, 1}, "bob");
+              }).value.value());
+}
+
+TEST(ReservationProxyTest, TimingAspectFillsRegistry) {
+  runtime::Registry metrics;
+  auto proxy = make_reservation_proxy(2, 2, &metrics);
+  for (int i = 0; i < 10; ++i) {
+    (void)proxy->invoke(query_method(), [](ReservationSystem& s) {
+      return s.available();
+    });
+  }
+  EXPECT_EQ(metrics.histogram("reservation.query.service_ns").count(), 10u);
+}
+
+TEST(ReservationProxyTest, QueriesRunConcurrently) {
+  auto proxy = make_reservation_proxy(4, 4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_seen{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 20; ++i) {
+          (void)proxy->invoke(query_method(), [&](ReservationSystem& s) {
+            const int now = concurrent.fetch_add(1) + 1;
+            int prev = max_seen.load();
+            while (prev < now &&
+                   !max_seen.compare_exchange_weak(prev, now)) {
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(300));
+            concurrent.fetch_sub(1);
+            return s.available();
+          });
+        }
+      });
+    }
+  }
+  EXPECT_GE(max_seen.load(), 2) << "readers must overlap";
+}
+
+}  // namespace
+}  // namespace amf::apps::reservation

@@ -1,0 +1,164 @@
+#include "apps/store/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/random.hpp"
+
+namespace amf::apps::store {
+namespace {
+
+class StoreFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(sessions.add_user("merchant", "pw", {"merchant"}).ok());
+    ASSERT_TRUE(sessions.add_user("ann", "pw", {}).ok());
+    ASSERT_TRUE(sessions.add_user("bob", "pw", {}).ok());
+    store = std::make_unique<Store>(sessions, audit);
+    merchant = sessions.login("merchant", "pw").value();
+    ann = sessions.login("ann", "pw").value();
+    bob = sessions.login("bob", "pw").value();
+  }
+
+  runtime::CredentialStore sessions;
+  runtime::EventLog audit;
+  std::unique_ptr<Store> store;
+  runtime::Principal merchant, ann, bob;
+};
+
+TEST_F(StoreFixture, HappyPathCheckout) {
+  ASSERT_TRUE(store->stock_item(merchant, "gizmo", 10, 25).ok());
+  ASSERT_TRUE(store->deposit(ann, 100).ok());
+  auto order_id = store->checkout(ann, "gizmo", 3);
+  ASSERT_TRUE(order_id.ok());
+  EXPECT_EQ(store->stock("gizmo"), 7u);
+  EXPECT_EQ(store->balance("ann"), 25);
+  EXPECT_EQ(store->revenue(), 75);
+  const auto order = store->order(order_id.value());
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->customer, "ann");
+  EXPECT_EQ(order->qty, 3u);
+  EXPECT_EQ(order->paid, 75);
+}
+
+TEST_F(StoreFixture, OnlyMerchantsStockItems) {
+  auto r = store->stock_item(ann, "gizmo", 5, 10);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), runtime::ErrorCode::kPermissionDenied);
+  EXPECT_EQ(store->stock("gizmo"), 0u);
+}
+
+TEST_F(StoreFixture, AnonymousCannotWrite) {
+  auto r = store->deposit(runtime::Principal::anonymous(), 10);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), runtime::ErrorCode::kUnauthenticated);
+}
+
+TEST_F(StoreFixture, UnknownItemRejectedBeforeAnyEffect) {
+  ASSERT_TRUE(store->deposit(ann, 100).ok());
+  auto r = store->checkout(ann, "vapor", 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), runtime::ErrorCode::kNotFound);
+  EXPECT_EQ(store->balance("ann"), 100);
+}
+
+TEST_F(StoreFixture, InsufficientStockLeavesLedgerUntouched) {
+  ASSERT_TRUE(store->stock_item(merchant, "gizmo", 2, 10).ok());
+  ASSERT_TRUE(store->deposit(ann, 1000).ok());
+  auto r = store->checkout(ann, "gizmo", 5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), runtime::ErrorCode::kResourceExhausted);
+  EXPECT_EQ(store->stock("gizmo"), 2u);
+  EXPECT_EQ(store->balance("ann"), 1000);
+  EXPECT_EQ(store->revenue(), 0);
+}
+
+TEST_F(StoreFixture, InsufficientFundsCompensatesReservation) {
+  // The saga's step 2 fails: step 1's reservation must be released.
+  ASSERT_TRUE(store->stock_item(merchant, "gizmo", 5, 100).ok());
+  ASSERT_TRUE(store->deposit(ann, 50).ok());
+  auto r = store->checkout(ann, "gizmo", 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(store->stock("gizmo"), 5u) << "compensation must restore stock";
+  EXPECT_EQ(store->balance("ann"), 50);
+  // The audit trail shows the compensating release.
+  EXPECT_EQ(audit.count("store", "enter:store.release:ann"), 1u);
+}
+
+TEST_F(StoreFixture, ConcurrentCheckoutsNeverOversellOrOverspend) {
+  constexpr std::uint32_t kStock = 50;
+  constexpr int kBuyers = 2, kAttemptsEach = 60;  // 120 attempts for 50 units
+  ASSERT_TRUE(store->stock_item(merchant, "gizmo", kStock, 10).ok());
+  ASSERT_TRUE(store->deposit(ann, 400).ok());  // funds 40 units
+  ASSERT_TRUE(store->deposit(bob, 10'000).ok());
+
+  std::atomic<int> sold{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int b = 0; b < kBuyers; ++b) {
+      threads.emplace_back([&, b] {
+        const auto& who = b == 0 ? ann : bob;
+        for (int i = 0; i < kAttemptsEach; ++i) {
+          if (store->checkout(who, "gizmo", 1).ok()) sold.fetch_add(1);
+        }
+      });
+    }
+  }
+  // Conservation: every sold unit left stock exactly once and was paid for
+  // exactly once.
+  EXPECT_EQ(store->stock("gizmo") + static_cast<std::uint32_t>(sold.load()),
+            kStock);
+  EXPECT_EQ(store->revenue(), sold.load() * 10);
+  // Ann cannot have spent more than her deposit.
+  EXPECT_GE(store->balance("ann"), 0);
+  EXPECT_EQ(store->balance("ann") + store->balance("bob") + store->revenue(),
+            400 + 10'000);
+}
+
+TEST_F(StoreFixture, MixedWorkloadConservesMoneyAndStock) {
+  ASSERT_TRUE(store->stock_item(merchant, "a", 100, 5).ok());
+  ASSERT_TRUE(store->stock_item(merchant, "b", 100, 7).ok());
+  for (const auto* who : {"ann", "bob"}) {
+    ASSERT_TRUE(
+        store->deposit(sessions.login(who, "pw").value(), 500).ok());
+  }
+  std::atomic<long> deposited{1000};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        auto me = sessions.login(t % 2 == 0 ? "ann" : "bob", "pw").value();
+        runtime::Rng rng(static_cast<std::uint64_t>(t) + 3);
+        for (int i = 0; i < 100; ++i) {
+          if (rng.bernoulli(0.2)) {
+            const long amount = static_cast<long>(rng.uniform_int(1, 20));
+            if (store->deposit(me, amount).ok()) {
+              deposited.fetch_add(amount);
+            }
+          } else {
+            (void)store->checkout(me, rng.bernoulli(0.5) ? "a" : "b", 1);
+          }
+        }
+      });
+    }
+  }
+  const long money_now =
+      store->balance("ann") + store->balance("bob") + store->revenue();
+  EXPECT_EQ(money_now, deposited.load()) << "money is conserved";
+  const long units_sold = (100 - store->stock("a")) + (100 - store->stock("b"));
+  EXPECT_GE(units_sold, 0);
+}
+
+TEST_F(StoreFixture, SharedModeratorSeesWholeCluster) {
+  ASSERT_TRUE(store->stock_item(merchant, "gizmo", 1, 1).ok());
+  const auto report = store->moderator().report();
+  EXPECT_NE(report.find("store.stock"), std::string::npos);
+  EXPECT_NE(report.find("store.charge"), std::string::npos);
+  EXPECT_NE(report.find("store.record"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amf::apps::store

@@ -1,0 +1,143 @@
+#include "apps/timecard/timecard_proxy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amf::apps::timecard {
+namespace {
+
+using core::InvocationStatus;
+
+TEST(TimecardSystemTest, SubmitApproveReport) {
+  TimecardSystem sys;
+  const auto id = sys.submit("bob", 12, 38.5);
+  EXPECT_EQ(sys.approved_hours("bob"), 0.0);
+  EXPECT_TRUE(sys.approve(id, "meg"));
+  EXPECT_FALSE(sys.approve(id, "meg"));  // already approved
+  EXPECT_DOUBLE_EQ(sys.approved_hours("bob"), 38.5);
+  EXPECT_EQ(sys.card(id)->approved_by, "meg");
+}
+
+TEST(TimecardSystemTest, RejectsImplausibleHours) {
+  TimecardSystem sys;
+  EXPECT_THROW(sys.submit("bob", 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(sys.submit("bob", 1, 200.0), std::invalid_argument);
+}
+
+TEST(TimecardSystemTest, PendingTracksUnapproved) {
+  TimecardSystem sys;
+  const auto a = sys.submit("bob", 1, 40);
+  const auto b = sys.submit("ann", 1, 35);
+  EXPECT_EQ(sys.pending().size(), 2u);
+  ASSERT_TRUE(sys.approve(a, "meg"));
+  const auto pending = sys.pending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0], b);
+  EXPECT_THROW(sys.approve(999, "meg"), std::invalid_argument);
+}
+
+class TimecardProxyFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store.add_user("bob", "pw", {"employee"}).ok());
+    ASSERT_TRUE(store.add_user("meg", "pw", {"employee", "manager"}).ok());
+    clock = std::make_unique<runtime::ManualClock>();
+    core::ModeratorOptions options;
+    options.clock = clock.get();
+    TimecardQuota quota;
+    quota.submits_per_second = 10;
+    quota.burst = 2;
+    proxy = make_timecard_proxy(store, log, quota, options);
+    bob = store.login("bob", "pw").value();
+    meg = store.login("meg", "pw").value();
+  }
+
+  core::InvocationResult<std::uint64_t> submit_as(
+      const runtime::Principal& who, double hours) {
+    return proxy->call(submit_method()).as(who).run([&](TimecardSystem& s) {
+      return s.submit(who.name, 1, hours);
+    });
+  }
+
+  runtime::CredentialStore store;
+  runtime::EventLog log;
+  std::unique_ptr<runtime::ManualClock> clock;
+  std::shared_ptr<TimecardProxy> proxy;
+  runtime::Principal bob, meg;
+};
+
+TEST_F(TimecardProxyFixture, AnonymousSubmitVetoed) {
+  auto r = proxy->invoke(submit_method(), [](TimecardSystem& s) {
+    return s.submit("ghost", 1, 40);
+  });
+  EXPECT_EQ(r.status, InvocationStatus::kAborted);
+  EXPECT_EQ(r.error.code, runtime::ErrorCode::kUnauthenticated);
+}
+
+TEST_F(TimecardProxyFixture, EmployeeCannotApprove) {
+  auto submitted = submit_as(bob, 40);
+  ASSERT_TRUE(submitted.ok());
+  auto r = proxy->call(approve_method()).as(bob).run([&](TimecardSystem& s) {
+    return s.approve(*submitted.value, "bob");
+  });
+  EXPECT_EQ(r.status, InvocationStatus::kAborted);
+  EXPECT_EQ(r.error.code, runtime::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(TimecardProxyFixture, ManagerApprovesAndReports) {
+  auto submitted = submit_as(bob, 40);
+  ASSERT_TRUE(submitted.ok());
+  auto approved =
+      proxy->call(approve_method()).as(meg).run([&](TimecardSystem& s) {
+        return s.approve(*submitted.value, "meg");
+      });
+  ASSERT_TRUE(approved.ok());
+  auto total = proxy->invoke(report_method(), [](TimecardSystem& s) {
+    return s.approved_hours("bob");
+  });
+  EXPECT_DOUBLE_EQ(total.value.value(), 40.0);
+}
+
+TEST_F(TimecardProxyFixture, SubmitRateLimited) {
+  ASSERT_TRUE(submit_as(bob, 10).ok());
+  ASSERT_TRUE(submit_as(bob, 10).ok());  // burst of 2 exhausted
+  auto r = submit_as(bob, 10);
+  EXPECT_EQ(r.status, InvocationStatus::kAborted);
+  EXPECT_EQ(r.error.code, runtime::ErrorCode::kResourceExhausted);
+  clock->advance(std::chrono::milliseconds(150));  // 1.5 tokens refilled
+  EXPECT_TRUE(submit_as(bob, 10).ok());
+}
+
+TEST_F(TimecardProxyFixture, ApproveIsNotRateLimited) {
+  // Exhaust the submit bucket, then approve repeatedly — quota binds only
+  // to the method it was registered on.
+  auto c1 = submit_as(bob, 10);
+  auto c2 = submit_as(bob, 10);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  (void)submit_as(bob, 10);  // over limit
+  for (const auto id : {*c1.value, *c2.value}) {
+    ASSERT_TRUE(proxy->call(approve_method())
+                    .as(meg)
+                    .run([&](TimecardSystem& s) {
+                      return s.approve(id, "meg");
+                    })
+                    .ok());
+  }
+}
+
+TEST_F(TimecardProxyFixture, InvalidHoursReportAsFailedNotAborted) {
+  auto r = submit_as(bob, 10'000.0);
+  EXPECT_EQ(r.status, InvocationStatus::kFailed);  // body threw
+  EXPECT_EQ(r.error.code, runtime::ErrorCode::kInternal);
+}
+
+TEST_F(TimecardProxyFixture, AuditDistinguishesUsers) {
+  ASSERT_TRUE(submit_as(bob, 10).ok());
+  auto submitted = submit_as(meg, 12);
+  ASSERT_TRUE(submitted.ok());
+  EXPECT_EQ(log.count("audit", "enter:submit:bob"), 1u);
+  EXPECT_EQ(log.count("audit", "enter:submit:meg"), 1u);
+}
+
+}  // namespace
+}  // namespace amf::apps::timecard

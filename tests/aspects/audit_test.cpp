@@ -1,0 +1,94 @@
+#include "aspects/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+
+namespace amf::aspects {
+namespace {
+
+using core::ComponentProxy;
+using core::Decision;
+using core::InvocationContext;
+using runtime::AspectKind;
+using runtime::MethodId;
+
+struct Dummy {
+  void boom() { throw std::runtime_error("x"); }
+};
+
+TEST(AuditAspectTest, SuccessfulCallLeavesArriveEnterExit) {
+  runtime::EventLog log;
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("audited");
+  proxy.moderator().register_aspect(m, runtime::kinds::audit(),
+                                    std::make_shared<AuditAspect>(log));
+  auto r = proxy.call(m)
+               .as(runtime::Principal{"ann", {}, "tok"})
+               .run([](Dummy&) {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(log.count("audit", "arrive:audited"), 1u);
+  EXPECT_EQ(log.count("audit", "enter:audited:ann"), 1u);
+  EXPECT_EQ(log.count("audit", "exit:audited:ok"), 1u);
+  EXPECT_TRUE(log.happened_before("audit", "arrive:audited", "audit",
+                                  "enter:audited:ann"));
+  EXPECT_TRUE(log.happened_before("audit", "enter:audited:ann", "audit",
+                                  "exit:audited:ok"));
+  // All tied to the same invocation id.
+  EXPECT_EQ(log.by_invocation(r.invocation_id).size(), 3u);
+}
+
+TEST(AuditAspectTest, FailedBodyLogsExitFail) {
+  runtime::EventLog log;
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("audited-fail");
+  proxy.moderator().register_aspect(m, runtime::kinds::audit(),
+                                    std::make_shared<AuditAspect>(log));
+  auto r = proxy.invoke(m, [](Dummy& d) { d.boom(); });
+  EXPECT_EQ(r.status, core::InvocationStatus::kFailed);
+  EXPECT_EQ(log.count("audit", "exit:audited-fail:fail"), 1u);
+}
+
+TEST(AuditAspectTest, VetoedCallLogsCancel) {
+  runtime::EventLog log;
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("audited-veto");
+  proxy.moderator().bank().set_kind_order(
+      {runtime::kinds::audit(), AspectKind::of("veto")});
+  proxy.moderator().register_aspect(m, runtime::kinds::audit(),
+                                    std::make_shared<AuditAspect>(log));
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("veto"),
+      std::make_shared<core::LambdaAspect>(
+          "veto", [](InvocationContext&) { return Decision::kAbort; }));
+  auto r = proxy.invoke(m, [](Dummy&) {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(log.count("audit", "arrive:audited-veto"), 1u);
+  EXPECT_EQ(log.count("audit", "cancel:audited-veto"), 1u);
+  EXPECT_EQ(log.count("audit", "enter:audited-veto"), 0u);
+}
+
+TEST(AuditAspectTest, AnonymousEnterOmitsUser) {
+  runtime::EventLog log;
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("audited-anon");
+  proxy.moderator().register_aspect(m, runtime::kinds::audit(),
+                                    std::make_shared<AuditAspect>(log));
+  ASSERT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  EXPECT_EQ(log.count("audit", "enter:audited-anon"), 1u);
+}
+
+TEST(AuditAspectTest, CustomCategory) {
+  runtime::EventLog log;
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("audited-cat");
+  proxy.moderator().register_aspect(
+      m, runtime::kinds::audit(),
+      std::make_shared<AuditAspect>(log, "security"));
+  ASSERT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  EXPECT_EQ(log.by_category("security").size(), 3u);
+  EXPECT_TRUE(log.by_category("audit").empty());
+}
+
+}  // namespace
+}  // namespace amf::aspects

@@ -1,0 +1,83 @@
+#include "aspects/authentication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+
+namespace amf::aspects {
+namespace {
+
+using core::ComponentProxy;
+using core::Decision;
+using core::InvocationContext;
+using core::InvocationStatus;
+using runtime::AspectKind;
+using runtime::MethodId;
+
+struct Dummy {
+  int calls = 0;
+};
+
+class AuthFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store.add_user("ann", "pw", {"support"}).ok());
+  }
+  runtime::CredentialStore store;
+};
+
+TEST_F(AuthFixture, AnonymousCallerVetoed) {
+  AuthenticationAspect aspect(store);
+  InvocationContext ctx(MethodId::of("m"));
+  EXPECT_EQ(aspect.precondition(ctx), Decision::kAbort);
+  ASSERT_TRUE(ctx.abort_error().has_value());
+  EXPECT_EQ(ctx.abort_error()->code, runtime::ErrorCode::kUnauthenticated);
+}
+
+TEST_F(AuthFixture, ValidSessionResumes) {
+  AuthenticationAspect aspect(store);
+  InvocationContext ctx(MethodId::of("m"));
+  ctx.set_principal(store.login("ann", "pw").value());
+  EXPECT_EQ(aspect.precondition(ctx), Decision::kResume);
+  EXPECT_EQ(ctx.note("auth.user"), "ann");
+}
+
+TEST_F(AuthFixture, ForgedTokenVetoed) {
+  AuthenticationAspect aspect(store);
+  InvocationContext ctx(MethodId::of("m"));
+  ctx.set_principal(runtime::Principal{"ann", {"support"}, "tok-forged"});
+  EXPECT_EQ(aspect.precondition(ctx), Decision::kAbort);
+}
+
+TEST_F(AuthFixture, RevokedTokenVetoed) {
+  AuthenticationAspect aspect(store);
+  auto session = store.login("ann", "pw").value();
+  InvocationContext ctx(MethodId::of("m"));
+  ctx.set_principal(session);
+  EXPECT_EQ(aspect.precondition(ctx), Decision::kResume);
+  store.revoke(session.token);
+  InvocationContext ctx2(MethodId::of("m"));
+  ctx2.set_principal(session);
+  EXPECT_EQ(aspect.precondition(ctx2), Decision::kAbort);
+}
+
+TEST_F(AuthFixture, EndToEndVetoNeverReachesComponent) {
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("auth-e2e");
+  proxy.moderator().register_aspect(
+      m, runtime::kinds::authentication(),
+      std::make_shared<AuthenticationAspect>(store));
+  auto denied = proxy.invoke(m, [](Dummy& d) { ++d.calls; });
+  EXPECT_EQ(denied.status, InvocationStatus::kAborted);
+  EXPECT_EQ(denied.error.code, runtime::ErrorCode::kUnauthenticated);
+  EXPECT_EQ(proxy.component().calls, 0);
+
+  auto ok = proxy.call(m)
+                .as(store.login("ann", "pw").value())
+                .run([](Dummy& d) { ++d.calls; });
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(proxy.component().calls, 1);
+}
+
+}  // namespace
+}  // namespace amf::aspects

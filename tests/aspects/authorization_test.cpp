@@ -1,0 +1,59 @@
+#include "aspects/authorization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+
+namespace amf::aspects {
+namespace {
+
+using core::Decision;
+using core::InvocationContext;
+using runtime::MethodId;
+
+TEST(RoleAuthorizationTest, UnrestrictedMethodPasses) {
+  RoleAuthorizationAspect aspect;
+  InvocationContext ctx(MethodId::of("free"));
+  EXPECT_EQ(aspect.precondition(ctx), Decision::kResume);
+}
+
+TEST(RoleAuthorizationTest, MissingRoleVetoed) {
+  RoleAuthorizationAspect aspect;
+  const auto m = MethodId::of("approve");
+  aspect.require(m, "manager");
+  InvocationContext ctx(m);
+  ctx.set_principal(runtime::Principal{"bob", {"employee"}, "tok"});
+  EXPECT_EQ(aspect.precondition(ctx), Decision::kAbort);
+  EXPECT_EQ(ctx.abort_error()->code, runtime::ErrorCode::kPermissionDenied);
+  EXPECT_NE(ctx.abort_error()->message.find("manager"), std::string::npos);
+}
+
+TEST(RoleAuthorizationTest, MatchingRolePasses) {
+  RoleAuthorizationAspect aspect;
+  const auto m = MethodId::of("approve2");
+  aspect.require(m, "manager");
+  InvocationContext ctx(m);
+  ctx.set_principal(runtime::Principal{"meg", {"manager"}, "tok"});
+  EXPECT_EQ(aspect.precondition(ctx), Decision::kResume);
+}
+
+TEST(RoleAuthorizationTest, RequirementsArePerMethod) {
+  RoleAuthorizationAspect aspect;
+  const auto approve = MethodId::of("per-approve");
+  const auto submit = MethodId::of("per-submit");
+  aspect.require(approve, "manager");
+  InvocationContext ctx(submit);
+  ctx.set_principal(runtime::Principal{"bob", {}, "tok"});
+  EXPECT_EQ(aspect.precondition(ctx), Decision::kResume);
+}
+
+TEST(RoleAuthorizationTest, AnonymousFailsRestrictedMethod) {
+  RoleAuthorizationAspect aspect;
+  const auto m = MethodId::of("anon-approve");
+  aspect.require(m, "manager");
+  InvocationContext ctx(m);
+  EXPECT_EQ(aspect.precondition(ctx), Decision::kAbort);
+}
+
+}  // namespace
+}  // namespace amf::aspects

@@ -1,0 +1,110 @@
+#include "aspects/bulkhead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/framework.hpp"
+
+namespace amf::aspects {
+namespace {
+
+using core::ComponentProxy;
+using core::Decision;
+using core::InvocationContext;
+using runtime::AspectKind;
+using runtime::MethodId;
+
+struct Dummy {};
+
+InvocationContext ctx_for(std::string user) {
+  InvocationContext ctx(MethodId::of("bh"));
+  ctx.set_principal(runtime::Principal{std::move(user), {}, "tok"});
+  return ctx;
+}
+
+TEST(BulkheadTest, PerClassLimitEnforced) {
+  BulkheadAspect bulkhead(2);
+  auto a1 = ctx_for("ann"), a2 = ctx_for("ann"), a3 = ctx_for("ann");
+  ASSERT_EQ(bulkhead.precondition(a1), Decision::kResume);
+  bulkhead.entry(a1);
+  ASSERT_EQ(bulkhead.precondition(a2), Decision::kResume);
+  bulkhead.entry(a2);
+  EXPECT_EQ(bulkhead.precondition(a3), Decision::kBlock);
+  EXPECT_EQ(bulkhead.active("ann"), 2u);
+}
+
+TEST(BulkheadTest, ClassesAreIsolated) {
+  BulkheadAspect bulkhead(1);
+  auto ann = ctx_for("ann"), bob = ctx_for("bob"), ann2 = ctx_for("ann");
+  ASSERT_EQ(bulkhead.precondition(ann), Decision::kResume);
+  bulkhead.entry(ann);
+  EXPECT_EQ(bulkhead.precondition(ann2), Decision::kBlock)
+      << "ann saturated her budget";
+  EXPECT_EQ(bulkhead.precondition(bob), Decision::kResume)
+      << "bob must be unaffected by ann's saturation";
+}
+
+TEST(BulkheadTest, PostactionReleasesBudget) {
+  BulkheadAspect bulkhead(1);
+  auto a1 = ctx_for("ann"), a2 = ctx_for("ann");
+  bulkhead.entry(a1);
+  EXPECT_EQ(bulkhead.precondition(a2), Decision::kBlock);
+  bulkhead.postaction(a1);
+  EXPECT_EQ(bulkhead.precondition(a2), Decision::kResume);
+  EXPECT_EQ(bulkhead.active("ann"), 0u);
+}
+
+TEST(BulkheadTest, CustomClassifier) {
+  // Isolate by a context note instead of the principal.
+  BulkheadAspect bulkhead(1, [](const InvocationContext& ctx) {
+    return ctx.note("tenant").value_or("default");
+  });
+  InvocationContext t1(MethodId::of("bh"));
+  t1.set_note("tenant", "acme");
+  InvocationContext t2(MethodId::of("bh"));
+  t2.set_note("tenant", "globex");
+  bulkhead.entry(t1);
+  EXPECT_EQ(bulkhead.precondition(t2), Decision::kResume);
+  InvocationContext t3(MethodId::of("bh"));
+  t3.set_note("tenant", "acme");
+  EXPECT_EQ(bulkhead.precondition(t3), Decision::kBlock);
+}
+
+TEST(BulkheadIntegrationTest, NoisyNeighborCannotStarveOthers) {
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("bh-e2e");
+  proxy.moderator().register_aspect(m, AspectKind::of("bh"),
+                                    std::make_shared<BulkheadAspect>(1));
+
+  // A "noisy" caller holds its single slot for a long time; a different
+  // caller must get through immediately.
+  std::atomic<bool> noisy_in{false};
+  std::jthread noisy([&] {
+    (void)proxy.call(m)
+        .as(runtime::Principal{"noisy", {}, "t"})
+        .run([&](Dummy&) {
+          noisy_in.store(true);
+          std::this_thread::sleep_for(std::chrono::milliseconds(80));
+        });
+  });
+  while (!noisy_in.load()) std::this_thread::yield();
+
+  auto r = proxy.call(m)
+               .as(runtime::Principal{"quiet", {}, "t"})
+               .within(std::chrono::milliseconds(40))
+               .run([](Dummy&) {});
+  EXPECT_TRUE(r.ok()) << "quiet caller must not wait behind noisy's slot";
+
+  // But a second noisy call does wait behind the first.
+  auto r2 = proxy.call(m)
+                .as(runtime::Principal{"noisy", {}, "t"})
+                .within(std::chrono::milliseconds(10))
+                .run([](Dummy&) {});
+  EXPECT_EQ(r2.status, core::InvocationStatus::kTimedOut);
+}
+
+}  // namespace
+}  // namespace amf::aspects

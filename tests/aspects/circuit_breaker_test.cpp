@@ -1,0 +1,109 @@
+#include "aspects/fault_tolerance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+
+namespace amf::aspects {
+namespace {
+
+using core::ComponentProxy;
+using core::InvocationStatus;
+using runtime::ManualClock;
+using runtime::MethodId;
+
+struct Flaky {
+  bool healthy = false;
+  int calls = 0;
+  void work() {
+    ++calls;
+    if (!healthy) throw std::runtime_error("backend down");
+  }
+};
+
+class BreakerFixture : public ::testing::Test {
+ protected:
+  BreakerFixture() {
+    core::ModeratorOptions options;
+    options.clock = &clock;
+    proxy = std::make_unique<ComponentProxy<Flaky>>(Flaky{}, options);
+    CircuitBreakerAspect::Options bo;
+    bo.failure_threshold = 3;
+    bo.cooldown = std::chrono::milliseconds(100);
+    breaker = std::make_shared<CircuitBreakerAspect>(clock, bo);
+    proxy->moderator().register_aspect(m, runtime::kinds::fault_tolerance(),
+                                       breaker);
+  }
+
+  core::InvocationResult<void> call() {
+    return proxy->invoke(m, [](Flaky& f) { f.work(); });
+  }
+
+  ManualClock clock;
+  MethodId m = MethodId::of("breaker-work");
+  std::unique_ptr<ComponentProxy<Flaky>> proxy;
+  std::shared_ptr<CircuitBreakerAspect> breaker;
+};
+
+TEST_F(BreakerFixture, StaysClosedBelowThreshold) {
+  (void)call();
+  (void)call();
+  EXPECT_EQ(breaker->state(), CircuitBreakerAspect::State::kClosed);
+  proxy->component().healthy = true;
+  EXPECT_TRUE(call().ok());
+  // Success resets the streak; two more failures still below threshold.
+  proxy->component().healthy = false;
+  (void)call();
+  (void)call();
+  EXPECT_EQ(breaker->state(), CircuitBreakerAspect::State::kClosed);
+}
+
+TEST_F(BreakerFixture, OpensAfterConsecutiveFailures) {
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(call().status, InvocationStatus::kFailed);
+  }
+  EXPECT_EQ(breaker->state(), CircuitBreakerAspect::State::kOpen);
+  // Open circuit fails fast without touching the component.
+  const int calls_before = proxy->component().calls;
+  auto r = call();
+  EXPECT_EQ(r.status, InvocationStatus::kAborted);
+  EXPECT_EQ(r.error.code, runtime::ErrorCode::kUnavailable);
+  EXPECT_EQ(proxy->component().calls, calls_before);
+}
+
+TEST_F(BreakerFixture, HalfOpenProbeClosesOnSuccess) {
+  for (int i = 0; i < 3; ++i) (void)call();
+  ASSERT_EQ(breaker->state(), CircuitBreakerAspect::State::kOpen);
+  clock.advance(std::chrono::milliseconds(150));  // past cooldown
+  proxy->component().healthy = true;
+  EXPECT_TRUE(call().ok());  // the probe
+  EXPECT_EQ(breaker->state(), CircuitBreakerAspect::State::kClosed);
+  EXPECT_TRUE(call().ok());
+}
+
+TEST_F(BreakerFixture, HalfOpenProbeReopensOnFailure) {
+  for (int i = 0; i < 3; ++i) (void)call();
+  clock.advance(std::chrono::milliseconds(150));
+  EXPECT_EQ(call().status, InvocationStatus::kFailed);  // probe fails
+  EXPECT_EQ(breaker->state(), CircuitBreakerAspect::State::kOpen);
+  // And fails fast again until the next cooldown.
+  EXPECT_EQ(call().status, InvocationStatus::kAborted);
+  clock.advance(std::chrono::milliseconds(150));
+  proxy->component().healthy = true;
+  EXPECT_TRUE(call().ok());
+  EXPECT_EQ(breaker->state(), CircuitBreakerAspect::State::kClosed);
+}
+
+TEST_F(BreakerFixture, SharedBreakerGuardsMethodGroup) {
+  const auto m2 = MethodId::of("breaker-other");
+  proxy->moderator().register_aspect(m2, runtime::kinds::fault_tolerance(),
+                                     breaker);
+  for (int i = 0; i < 3; ++i) (void)call();
+  // Failures on m open the circuit for m2 as well (one dependency).
+  auto r = proxy->invoke(m2, [](Flaky&) {});
+  EXPECT_EQ(r.status, InvocationStatus::kAborted);
+  EXPECT_EQ(r.error.code, runtime::ErrorCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace amf::aspects

@@ -1,0 +1,107 @@
+#include "aspects/cohort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/framework.hpp"
+
+namespace amf::aspects {
+namespace {
+
+using core::ComponentProxy;
+using core::Decision;
+using core::InvocationContext;
+using runtime::AspectKind;
+using runtime::MethodId;
+
+struct Dummy {};
+
+TEST(CohortTest, FirstArrivalsBlockUntilNth) {
+  CohortAspect cohort(3);
+  InvocationContext a(MethodId::of("m")), b(MethodId::of("m")),
+      c(MethodId::of("m"));
+  cohort.on_arrive(a);
+  EXPECT_EQ(cohort.precondition(a), Decision::kBlock);
+  cohort.on_arrive(b);
+  EXPECT_EQ(cohort.precondition(b), Decision::kBlock);
+  cohort.on_arrive(c);  // cohort formed
+  EXPECT_EQ(cohort.precondition(a), Decision::kResume);
+  EXPECT_EQ(cohort.precondition(b), Decision::kResume);
+  EXPECT_EQ(cohort.precondition(c), Decision::kResume);
+}
+
+TEST(CohortTest, NextCohortStartsFresh) {
+  CohortAspect cohort(2);
+  InvocationContext a(MethodId::of("m")), b(MethodId::of("m")),
+      c(MethodId::of("m"));
+  cohort.on_arrive(a);
+  cohort.on_arrive(b);
+  cohort.entry(a);
+  cohort.entry(b);
+  EXPECT_EQ(cohort.released_pending(), 0u);
+  cohort.on_arrive(c);
+  EXPECT_EQ(cohort.precondition(c), Decision::kBlock)
+      << "third caller starts a new cohort";
+  EXPECT_EQ(cohort.waiting(), 1u);
+}
+
+TEST(CohortTest, CancelledWaiterShrinksCohort) {
+  CohortAspect cohort(2);
+  InvocationContext a(MethodId::of("m")), b(MethodId::of("m"));
+  cohort.on_arrive(a);
+  cohort.on_cancel(a);  // gave up
+  cohort.on_arrive(b);
+  EXPECT_EQ(cohort.precondition(b), Decision::kBlock)
+      << "a's departure must not count toward b's cohort";
+  EXPECT_EQ(cohort.waiting(), 1u);
+}
+
+TEST(CohortIntegrationTest, ThreadsAdmittedInBatches) {
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("cohort-e2e");
+  proxy.moderator().register_aspect(m, AspectKind::of("ch"),
+                                    std::make_shared<CohortAspect>(3));
+  std::atomic<int> done{0};
+  {
+    std::vector<std::jthread> threads;
+    // First two callers alone: must time out (cohort incomplete).
+    for (int i = 0; i < 2; ++i) {
+      threads.emplace_back([&] {
+        auto r = proxy.call(m)
+                     .within(std::chrono::milliseconds(60))
+                     .run([](Dummy&) {});
+        if (r.ok()) done.fetch_add(1);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    EXPECT_EQ(done.load(), 0);
+    // Third caller completes the cohort: all three proceed.
+    threads.emplace_back([&] {
+      auto r = proxy.call(m)
+                   .within(std::chrono::milliseconds(60))
+                   .run([](Dummy&) {});
+      if (r.ok()) done.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(done.load(), 3);
+}
+
+TEST(CohortIntegrationTest, TimeoutShrinksFormingCohort) {
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("cohort-timeout");
+  auto cohort = std::make_shared<CohortAspect>(2);
+  proxy.moderator().register_aspect(m, AspectKind::of("ch"), cohort);
+  // A lone caller times out; the cohort must be empty afterwards.
+  auto r = proxy.call(m)
+               .within(std::chrono::milliseconds(20))
+               .run([](Dummy&) {});
+  EXPECT_EQ(r.status, core::InvocationStatus::kTimedOut);
+  EXPECT_EQ(cohort->waiting(), 0u);
+  EXPECT_EQ(cohort->released_pending(), 0u);
+}
+
+}  // namespace
+}  // namespace amf::aspects

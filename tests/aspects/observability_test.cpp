@@ -1,0 +1,119 @@
+#include "aspects/observability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aspects/timing.hpp"
+#include "core/framework.hpp"
+
+namespace amf::aspects {
+namespace {
+
+using core::ComponentProxy;
+using core::Decision;
+using core::InvocationContext;
+using runtime::AspectKind;
+using runtime::MethodId;
+
+struct Dummy {
+  void boom() { throw std::runtime_error("x"); }
+};
+
+TEST(CounterAspectTest, CountsOutcomesPerMethod) {
+  runtime::Registry registry;
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("obs-work");
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("cnt"),
+      std::make_shared<CounterAspect>(registry));
+  ASSERT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  ASSERT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  (void)proxy.invoke(m, [](Dummy& d) { d.boom(); });
+  EXPECT_EQ(registry.counter("calls.obs-work.arrived").value(), 3u);
+  EXPECT_EQ(registry.counter("calls.obs-work.admitted").value(), 3u);
+  EXPECT_EQ(registry.counter("calls.obs-work.ok").value(), 2u);
+  EXPECT_EQ(registry.counter("calls.obs-work.failed").value(), 1u);
+  EXPECT_EQ(registry.counter("calls.obs-work.refused").value(), 0u);
+}
+
+TEST(CounterAspectTest, CountsRefusals) {
+  runtime::Registry registry;
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("obs-veto");
+  proxy.moderator().bank().set_kind_order(
+      {AspectKind::of("cnt"), AspectKind::of("veto")});
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("cnt"),
+      std::make_shared<CounterAspect>(registry));
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("veto"),
+      std::make_shared<core::LambdaAspect>(
+          "veto", [](InvocationContext&) { return Decision::kAbort; }));
+  (void)proxy.invoke(m, [](Dummy&) {});
+  EXPECT_EQ(registry.counter("calls.obs-veto.arrived").value(), 1u);
+  EXPECT_EQ(registry.counter("calls.obs-veto.refused").value(), 1u);
+  EXPECT_EQ(registry.counter("calls.obs-veto.admitted").value(), 0u);
+}
+
+TEST(SamplingAspectTest, AppliesInnerEveryNth) {
+  runtime::Registry registry;
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("obs-sampled");
+  auto counted = std::make_shared<CounterAspect>(registry, "sampled");
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("smp"),
+      std::make_shared<SamplingAspect>(counted, 4));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  }
+  // Arrivals 0, 4, 8, 12, 16 are sampled: 5 of 20.
+  EXPECT_EQ(registry.counter("sampled.obs-sampled.arrived").value(), 5u);
+  EXPECT_EQ(registry.counter("sampled.obs-sampled.ok").value(), 5u);
+}
+
+TEST(SamplingAspectTest, EveryOneMeansAlways) {
+  runtime::Registry registry;
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("obs-always");
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("smp"),
+      std::make_shared<SamplingAspect>(
+          std::make_shared<CounterAspect>(registry), 1));
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  }
+  EXPECT_EQ(registry.counter("calls.obs-always.ok").value(), 7u);
+}
+
+TEST(SamplingAspectTest, PhasesAgreeWithinOneInvocation) {
+  // A sampled stateful inner (entry/post pairing) must never see an
+  // unpaired phase, whatever the sampling rate.
+  runtime::Registry registry;
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("obs-paired");
+  auto depth = std::make_shared<int>(0);
+  auto max_depth = std::make_shared<int>(0);
+  auto inner = std::make_shared<core::LambdaAspect>(
+      "pair", nullptr,
+      [depth, max_depth](InvocationContext&) {
+        *max_depth = std::max(*max_depth, ++*depth);
+      },
+      [depth](InvocationContext&) { --*depth; });
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("smp"), std::make_shared<SamplingAspect>(inner, 3));
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  }
+  EXPECT_EQ(*depth, 0) << "every sampled entry must be paired";
+  EXPECT_EQ(*max_depth, 1);
+}
+
+TEST(SamplingAspectTest, ZeroNormalizedToOne) {
+  SamplingAspect aspect(std::make_shared<core::LambdaAspect>("x"), 0);
+  InvocationContext ctx(MethodId::of("m"));
+  aspect.on_arrive(ctx);
+  EXPECT_EQ(aspect.precondition(ctx), Decision::kResume);
+  EXPECT_EQ(aspect.arrivals(), 1u);
+}
+
+}  // namespace
+}  // namespace amf::aspects

@@ -1,0 +1,114 @@
+#include "aspects/quota.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+
+namespace amf::aspects {
+namespace {
+
+using core::ComponentProxy;
+using core::InvocationStatus;
+using runtime::ManualClock;
+using runtime::MethodId;
+
+struct Dummy {
+  int calls = 0;
+};
+
+RateLimitAspect::Options opts(double rate, double burst, bool block = false) {
+  RateLimitAspect::Options o;
+  o.tokens_per_second = rate;
+  o.burst = burst;
+  o.block_when_limited = block;
+  return o;
+}
+
+TEST(RateLimitTest, BurstThenExhaustion) {
+  ManualClock clock;
+  core::ModeratorOptions mo;
+  mo.clock = &clock;
+  ComponentProxy<Dummy> proxy{Dummy{}, mo};
+  const auto m = MethodId::of("rl-burst");
+  proxy.moderator().register_aspect(
+      m, runtime::kinds::quota(),
+      std::make_shared<RateLimitAspect>(clock, opts(10.0, 3.0)));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(proxy.invoke(m, [](Dummy& d) { ++d.calls; }).ok());
+  }
+  auto r = proxy.invoke(m, [](Dummy& d) { ++d.calls; });
+  EXPECT_EQ(r.status, InvocationStatus::kAborted);
+  EXPECT_EQ(r.error.code, runtime::ErrorCode::kResourceExhausted);
+  EXPECT_EQ(proxy.component().calls, 3);
+}
+
+TEST(RateLimitTest, TokensRefillWithTime) {
+  ManualClock clock;
+  core::ModeratorOptions mo;
+  mo.clock = &clock;
+  ComponentProxy<Dummy> proxy{Dummy{}, mo};
+  const auto m = MethodId::of("rl-refill");
+  proxy.moderator().register_aspect(
+      m, runtime::kinds::quota(),
+      std::make_shared<RateLimitAspect>(clock, opts(10.0, 1.0)));
+  EXPECT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  EXPECT_FALSE(proxy.invoke(m, [](Dummy&) {}).ok());
+  clock.advance(std::chrono::milliseconds(100));  // exactly one token
+  EXPECT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  EXPECT_FALSE(proxy.invoke(m, [](Dummy&) {}).ok());
+}
+
+TEST(RateLimitTest, BurstIsCapped) {
+  ManualClock clock;
+  RateLimitAspect aspect(clock, opts(10.0, 2.0));
+  clock.advance(std::chrono::hours(1));  // long idle: bucket caps at burst
+  core::InvocationContext ctx(MethodId::of("x"));
+  EXPECT_EQ(aspect.precondition(ctx), core::Decision::kResume);
+  aspect.entry(ctx);
+  EXPECT_EQ(aspect.precondition(ctx), core::Decision::kResume);
+  aspect.entry(ctx);
+  EXPECT_EQ(aspect.precondition(ctx), core::Decision::kAbort);
+}
+
+TEST(RateLimitTest, AbortCarriesResourceExhausted) {
+  ManualClock clock;
+  RateLimitAspect aspect(clock, opts(1.0, 1.0));
+  core::InvocationContext ctx(MethodId::of("x"));
+  ASSERT_EQ(aspect.precondition(ctx), core::Decision::kResume);
+  aspect.entry(ctx);
+  core::InvocationContext ctx2(MethodId::of("x"));
+  EXPECT_EQ(aspect.precondition(ctx2), core::Decision::kAbort);
+  EXPECT_EQ(ctx2.abort_error()->code,
+            runtime::ErrorCode::kResourceExhausted);
+}
+
+TEST(RateLimitTest, BlockModeReturnsBlock) {
+  ManualClock clock;
+  RateLimitAspect aspect(clock, opts(1.0, 1.0, /*block=*/true));
+  core::InvocationContext ctx(MethodId::of("x"));
+  ASSERT_EQ(aspect.precondition(ctx), core::Decision::kResume);
+  aspect.entry(ctx);
+  EXPECT_EQ(aspect.precondition(ctx), core::Decision::kBlock);
+  clock.advance(std::chrono::seconds(2));
+  EXPECT_EQ(aspect.precondition(ctx), core::Decision::kResume);
+}
+
+TEST(RateLimitTest, SteadyRateSustained) {
+  ManualClock clock;
+  core::ModeratorOptions mo;
+  mo.clock = &clock;
+  ComponentProxy<Dummy> proxy{Dummy{}, mo};
+  const auto m = MethodId::of("rl-steady");
+  proxy.moderator().register_aspect(
+      m, runtime::kinds::quota(),
+      std::make_shared<RateLimitAspect>(clock, opts(100.0, 1.0)));
+  int ok = 0;
+  for (int tick = 0; tick < 200; ++tick) {
+    clock.advance(std::chrono::milliseconds(10));  // 1 token per tick
+    if (proxy.invoke(m, [](Dummy&) {}).ok()) ++ok;
+  }
+  EXPECT_EQ(ok, 200);  // a compliant caller is never throttled
+}
+
+}  // namespace
+}  // namespace amf::aspects

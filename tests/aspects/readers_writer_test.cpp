@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "aspects/synchronization.hpp"
+#include "core/framework.hpp"
+
+namespace amf::aspects {
+namespace {
+
+using core::ComponentProxy;
+using core::Decision;
+using core::InvocationContext;
+using runtime::AspectKind;
+using runtime::MethodId;
+
+struct Dummy {};
+
+class RwFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reader_m = MethodId::of("rw-read");
+    writer_m = MethodId::of("rw-write");
+    rw = std::make_shared<ReadersWriterAspect>();
+    rw->add_reader(reader_m);
+    rw->add_writer(writer_m);
+  }
+
+  MethodId reader_m, writer_m;
+  std::shared_ptr<ReadersWriterAspect> rw;
+};
+
+TEST_F(RwFixture, ReadersShareWritersExclude) {
+  InvocationContext r1(reader_m), r2(reader_m), w(writer_m);
+  EXPECT_EQ(rw->precondition(r1), Decision::kResume);
+  rw->entry(r1);
+  EXPECT_EQ(rw->precondition(r2), Decision::kResume);
+  rw->entry(r2);
+  EXPECT_EQ(rw->active_readers(), 2u);
+  rw->on_arrive(w);
+  EXPECT_EQ(rw->precondition(w), Decision::kBlock);
+  rw->postaction(r1);
+  rw->postaction(r2);
+  EXPECT_EQ(rw->precondition(w), Decision::kResume);
+}
+
+TEST_F(RwFixture, WriterExcludesEveryone) {
+  InvocationContext w(writer_m), r(reader_m), w2(writer_m);
+  rw->on_arrive(w);
+  ASSERT_EQ(rw->precondition(w), Decision::kResume);
+  rw->entry(w);
+  EXPECT_EQ(rw->precondition(r), Decision::kBlock);
+  rw->on_arrive(w2);
+  EXPECT_EQ(rw->precondition(w2), Decision::kBlock);
+  rw->postaction(w);
+  EXPECT_EQ(rw->precondition(w2), Decision::kResume);
+}
+
+TEST_F(RwFixture, WriterPriorityBarsNewReaders) {
+  InvocationContext r1(reader_m), r2(reader_m), w(writer_m);
+  ASSERT_EQ(rw->precondition(r1), Decision::kResume);
+  rw->entry(r1);
+  rw->on_arrive(w);  // writer now waiting
+  EXPECT_EQ(rw->precondition(r2), Decision::kBlock)
+      << "writer-priority: reader must not overtake a waiting writer";
+  rw->postaction(r1);
+  ASSERT_EQ(rw->precondition(w), Decision::kResume);
+  rw->entry(w);
+  rw->postaction(w);
+  EXPECT_EQ(rw->precondition(r2), Decision::kResume);
+}
+
+TEST_F(RwFixture, CancelledWriterUnbarsReaders) {
+  InvocationContext r(reader_m), w(writer_m);
+  ASSERT_EQ(rw->precondition(r), Decision::kResume);
+  rw->entry(r);
+  rw->on_arrive(w);
+  InvocationContext r2(reader_m);
+  EXPECT_EQ(rw->precondition(r2), Decision::kBlock);
+  rw->on_cancel(w);  // writer timed out
+  EXPECT_EQ(rw->precondition(r2), Decision::kResume);
+}
+
+TEST(ReadersWriterNoPriorityTest, ReadersOvertakeWhenDisabled) {
+  ReadersWriterAspect::Options opts;
+  opts.writer_priority = false;
+  ReadersWriterAspect rw(opts);
+  const auto reader_m = MethodId::of("np-read");
+  const auto writer_m = MethodId::of("np-write");
+  rw.add_reader(reader_m);
+  rw.add_writer(writer_m);
+  InvocationContext r1(reader_m), r2(reader_m), w(writer_m);
+  ASSERT_EQ(rw.precondition(r1), Decision::kResume);
+  rw.entry(r1);
+  rw.on_arrive(w);
+  EXPECT_EQ(rw.precondition(r2), Decision::kResume);
+}
+
+// End-to-end invariant: no reader ever observes a writer mid-write.
+TEST(ReadersWriterIntegrationTest, InvariantUnderContention) {
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  auto rw = std::make_shared<ReadersWriterAspect>();
+  const auto read_m = MethodId::of("int-read");
+  const auto write_m = MethodId::of("int-write");
+  rw->add_reader(read_m);
+  rw->add_writer(write_m);
+  proxy.moderator().register_aspect(read_m, AspectKind::of("rw"), rw);
+  proxy.moderator().register_aspect(write_m, AspectKind::of("rw"), rw);
+
+  std::atomic<int> writers_in{0};
+  std::atomic<int> readers_in{0};
+  std::atomic<bool> violation{false};
+
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([&] {  // writers
+        for (int i = 0; i < 300; ++i) {
+          proxy.invoke(write_m, [&](Dummy&) {
+            if (writers_in.fetch_add(1) != 0) violation.store(true);
+            if (readers_in.load() != 0) violation.store(true);
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+            writers_in.fetch_sub(1);
+          });
+        }
+      });
+    }
+    for (int t = 0; t < 5; ++t) {
+      threads.emplace_back([&] {  // readers
+        for (int i = 0; i < 300; ++i) {
+          proxy.invoke(read_m, [&](Dummy&) {
+            readers_in.fetch_add(1);
+            if (writers_in.load() != 0) violation.store(true);
+            readers_in.fetch_sub(1);
+          });
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(rw->active_readers(), 0u);
+  EXPECT_EQ(rw->active_writers(), 0u);
+}
+
+}  // namespace
+}  // namespace amf::aspects

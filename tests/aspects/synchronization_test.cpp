@@ -1,0 +1,223 @@
+#include "aspects/synchronization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/framework.hpp"
+
+namespace amf::aspects {
+namespace {
+
+using core::ComponentProxy;
+using core::Decision;
+using core::InvocationContext;
+using runtime::AspectKind;
+using runtime::MethodId;
+
+struct Probe {
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  void enter_and_dwell(std::chrono::microseconds dwell) {
+    const int now = concurrent.fetch_add(1) + 1;
+    int prev = max_concurrent.load();
+    while (prev < now && !max_concurrent.compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::sleep_for(dwell);
+    concurrent.fetch_sub(1);
+  }
+};
+
+struct Dummy {};
+
+TEST(MutualExclusionAspectTest, GuardBlocksWhenSaturated) {
+  MutualExclusionAspect aspect(1);
+  InvocationContext ctx(MethodId::of("m"));
+  EXPECT_EQ(aspect.precondition(ctx), Decision::kResume);
+  aspect.entry(ctx);
+  EXPECT_EQ(aspect.active(), 1u);
+  EXPECT_EQ(aspect.precondition(ctx), Decision::kBlock);
+  aspect.postaction(ctx);
+  EXPECT_EQ(aspect.active(), 0u);
+  EXPECT_EQ(aspect.precondition(ctx), Decision::kResume);
+}
+
+TEST(MutualExclusionAspectTest, LimitNAllowsNConcurrent) {
+  MutualExclusionAspect aspect(3);
+  InvocationContext ctx(MethodId::of("m"));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(aspect.precondition(ctx), Decision::kResume);
+    aspect.entry(ctx);
+  }
+  EXPECT_EQ(aspect.precondition(ctx), Decision::kBlock);
+}
+
+class MutexConcurrencySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutexConcurrencySweep, NeverExceedsLimit) {
+  const int limit = GetParam();
+  auto probe = std::make_shared<Probe>();
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("sweep-" + std::to_string(limit));
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("mx"),
+      std::make_shared<MutualExclusionAspect>(limit));
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 50; ++i) {
+          proxy.invoke(m, [&](Dummy&) {
+            probe->enter_and_dwell(std::chrono::microseconds(200));
+          });
+        }
+      });
+    }
+  }
+  EXPECT_LE(probe->max_concurrent.load(), limit);
+  EXPECT_GE(probe->max_concurrent.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, MutexConcurrencySweep,
+                         ::testing::Values(1, 2, 4));
+
+TEST(MutualExclusionAspectTest, GroupExclusionAcrossMethods) {
+  auto probe = std::make_shared<Probe>();
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m1 = MethodId::of("grp-a");
+  const auto m2 = MethodId::of("grp-b");
+  auto shared = std::make_shared<MutualExclusionAspect>(1);
+  proxy.moderator().register_aspect(m1, AspectKind::of("mx"), shared);
+  proxy.moderator().register_aspect(m2, AspectKind::of("mx"), shared);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        const auto m = t % 2 == 0 ? m1 : m2;
+        for (int i = 0; i < 50; ++i) {
+          proxy.invoke(m, [&](Dummy&) {
+            probe->enter_and_dwell(std::chrono::microseconds(100));
+          });
+        }
+      });
+    }
+  }
+  EXPECT_EQ(probe->max_concurrent.load(), 1);
+}
+
+TEST(BoundedResourceAspectTest, ProducerGuardRespectsCapacity) {
+  auto state = std::make_shared<BoundedResourceState>(2);
+  BoundedResourceAspect producer(BoundedResourceAspect::Role::kProducer,
+                                 state);
+  InvocationContext ctx(MethodId::of("open"));
+  // Fill the two slots (entry+post pairs: produce to completion).
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(producer.precondition(ctx), Decision::kResume);
+    producer.entry(ctx);
+    producer.postaction(ctx);
+  }
+  EXPECT_EQ(state->committed, 2u);
+  EXPECT_EQ(producer.precondition(ctx), Decision::kBlock);
+}
+
+TEST(BoundedResourceAspectTest, ConsumerGuardRequiresCommittedItems) {
+  auto state = std::make_shared<BoundedResourceState>(4);
+  BoundedResourceAspect producer(BoundedResourceAspect::Role::kProducer,
+                                 state);
+  BoundedResourceAspect consumer(BoundedResourceAspect::Role::kConsumer,
+                                 state);
+  InvocationContext ctx(MethodId::of("x"));
+  EXPECT_EQ(consumer.precondition(ctx), Decision::kBlock);  // empty
+
+  // A producer that has ENTERED but not POSTED does not feed consumers.
+  ASSERT_EQ(producer.precondition(ctx), Decision::kResume);
+  producer.entry(ctx);
+  EXPECT_EQ(consumer.precondition(ctx), Decision::kBlock)
+      << "in-flight production must not be consumable (repair D1)";
+  producer.postaction(ctx);
+  EXPECT_EQ(consumer.precondition(ctx), Decision::kResume);
+}
+
+TEST(BoundedResourceAspectTest, SingleActiveProducerByDefault) {
+  auto state = std::make_shared<BoundedResourceState>(10);
+  BoundedResourceAspect producer(BoundedResourceAspect::Role::kProducer,
+                                 state);
+  InvocationContext ctx(MethodId::of("x"));
+  ASSERT_EQ(producer.precondition(ctx), Decision::kResume);
+  producer.entry(ctx);
+  EXPECT_EQ(producer.precondition(ctx), Decision::kBlock)
+      << "paper's ActiveOpen == 0 rule";
+  producer.postaction(ctx);
+  EXPECT_EQ(producer.precondition(ctx), Decision::kResume);
+}
+
+TEST(BoundedResourceAspectTest, ConsumerReleasesSlotOnlyAtPost) {
+  auto state = std::make_shared<BoundedResourceState>(1);
+  BoundedResourceAspect producer(BoundedResourceAspect::Role::kProducer,
+                                 state);
+  BoundedResourceAspect consumer(BoundedResourceAspect::Role::kConsumer,
+                                 state);
+  InvocationContext ctx(MethodId::of("x"));
+  ASSERT_EQ(producer.precondition(ctx), Decision::kResume);
+  producer.entry(ctx);
+  producer.postaction(ctx);  // 1 committed, slot full
+
+  ASSERT_EQ(consumer.precondition(ctx), Decision::kResume);
+  consumer.entry(ctx);
+  // Consumer claimed the item but still owns the slot: producer must wait.
+  EXPECT_EQ(producer.precondition(ctx), Decision::kBlock);
+  consumer.postaction(ctx);
+  EXPECT_EQ(producer.precondition(ctx), Decision::kResume);
+}
+
+TEST(BoundedResourceAspectTest, InvariantHoldsUnderRandomSchedule) {
+  auto state = std::make_shared<BoundedResourceState>(3);
+  BoundedResourceAspect producer(BoundedResourceAspect::Role::kProducer,
+                                 state, 2);
+  BoundedResourceAspect consumer(BoundedResourceAspect::Role::kConsumer,
+                                 state, 2);
+  InvocationContext ctx(MethodId::of("x"));
+  // Drive a random but legal single-threaded schedule and check the
+  // invariant after every step.
+  std::uint64_t seed = 42;
+  int in_flight_p = 0, in_flight_c = 0;
+  auto check = [&] {
+    EXPECT_LE(state->committed, state->reserved);
+    EXPECT_LE(state->reserved, state->capacity);
+  };
+  for (int step = 0; step < 2000; ++step) {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    switch ((seed >> 33) % 4) {
+      case 0:
+        if (producer.precondition(ctx) == Decision::kResume) {
+          producer.entry(ctx);
+          ++in_flight_p;
+        }
+        break;
+      case 1:
+        if (in_flight_p > 0) {
+          producer.postaction(ctx);
+          --in_flight_p;
+        }
+        break;
+      case 2:
+        if (consumer.precondition(ctx) == Decision::kResume) {
+          consumer.entry(ctx);
+          ++in_flight_c;
+        }
+        break;
+      default:
+        if (in_flight_c > 0) {
+          consumer.postaction(ctx);
+          --in_flight_c;
+        }
+    }
+    check();
+  }
+}
+
+}  // namespace
+}  // namespace amf::aspects

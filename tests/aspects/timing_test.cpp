@@ -1,0 +1,79 @@
+#include "aspects/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+
+namespace amf::aspects {
+namespace {
+
+using core::ComponentProxy;
+using core::InvocationContext;
+using runtime::ManualClock;
+using runtime::MethodId;
+
+struct Dummy {};
+
+TEST(TimingAspectTest, RecordsWaitAndServiceTime) {
+  ManualClock clock;
+  runtime::Registry registry;
+  core::ModeratorOptions options;
+  options.clock = &clock;
+  core::AspectModerator moderator(options);
+  const auto m = MethodId::of("timed");
+  moderator.register_aspect(
+      m, runtime::kinds::timing(),
+      std::make_shared<TimingAspect>(registry, clock, "t"));
+
+  InvocationContext ctx(m);
+  ASSERT_EQ(moderator.preactivation(ctx), core::Decision::kResume);
+  clock.advance(std::chrono::microseconds(500));  // body "runs"
+  moderator.postactivation(ctx);
+
+  auto& wait = registry.histogram("t.timed.wait_ns");
+  auto& service = registry.histogram("t.timed.service_ns");
+  EXPECT_EQ(wait.count(), 1u);
+  EXPECT_EQ(service.count(), 1u);
+  EXPECT_EQ(service.sum(), 500'000);
+  EXPECT_EQ(wait.sum(), 0);  // admitted instantly
+}
+
+TEST(TimingAspectTest, SeparateHistogramsPerMethod) {
+  ManualClock clock;
+  runtime::Registry registry;
+  core::ModeratorOptions options;
+  options.clock = &clock;
+  core::AspectModerator moderator(options);
+  auto timing = std::make_shared<TimingAspect>(registry, clock, "t2");
+  const auto m1 = MethodId::of("t2-a");
+  const auto m2 = MethodId::of("t2-b");
+  moderator.register_aspect(m1, runtime::kinds::timing(), timing);
+  moderator.register_aspect(m2, runtime::kinds::timing(), timing);
+
+  for (const auto m : {m1, m2}) {
+    InvocationContext ctx(m);
+    ASSERT_EQ(moderator.preactivation(ctx), core::Decision::kResume);
+    moderator.postactivation(ctx);
+  }
+  EXPECT_EQ(registry.histogram("t2.t2-a.service_ns").count(), 1u);
+  EXPECT_EQ(registry.histogram("t2.t2-b.service_ns").count(), 1u);
+}
+
+TEST(TimingAspectTest, ManySamplesAccumulate) {
+  runtime::Registry registry;
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("t3");
+  proxy.moderator().register_aspect(
+      m, runtime::kinds::timing(),
+      std::make_shared<TimingAspect>(registry,
+                                     runtime::RealClock::instance(), "t3"));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  }
+  EXPECT_EQ(registry.histogram("t3.t3.wait_ns").count(), 100u);
+  EXPECT_EQ(registry.histogram("t3.t3.service_ns").count(), 100u);
+  EXPECT_GE(registry.histogram("t3.t3.service_ns").max(), 0);
+}
+
+}  // namespace
+}  // namespace amf::aspects

@@ -1,0 +1,126 @@
+#include "concurrency/bounded_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+namespace amf::concurrency {
+namespace {
+
+TEST(BoundedBufferTest, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(BoundedBufferTest, FifoOrderSingleThread) {
+  BoundedBuffer<int> buf(4);
+  for (int i = 0; i < 4; ++i) buf.put(i);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(buf.take(), i);
+}
+
+TEST(BoundedBufferTest, TryPutFailsWhenFull) {
+  BoundedBuffer<int> buf(2);
+  EXPECT_TRUE(buf.try_put(1));
+  EXPECT_TRUE(buf.try_put(2));
+  EXPECT_FALSE(buf.try_put(3));
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(BoundedBufferTest, TryTakeFailsWhenEmpty) {
+  BoundedBuffer<int> buf(2);
+  EXPECT_EQ(buf.try_take(), std::nullopt);
+  buf.put(9);
+  EXPECT_EQ(buf.try_take(), 9);
+}
+
+TEST(BoundedBufferTest, PutUntilTimesOutWhenFull) {
+  BoundedBuffer<int> buf(1);
+  buf.put(1);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+  EXPECT_FALSE(buf.put_until(2, deadline));
+}
+
+TEST(BoundedBufferTest, TakeUntilTimesOutWhenEmpty) {
+  BoundedBuffer<int> buf(1);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+  EXPECT_EQ(buf.take_until(deadline), std::nullopt);
+}
+
+TEST(BoundedBufferTest, BlockedPutProceedsAfterTake) {
+  BoundedBuffer<int> buf(1);
+  buf.put(1);
+  std::atomic<bool> done{false};
+  std::jthread producer([&] {
+    buf.put(2);  // blocks until the take below
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(done.load());
+  EXPECT_EQ(buf.take(), 1);
+  producer.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(buf.take(), 2);
+}
+
+TEST(BoundedBufferTest, MoveOnlyElements) {
+  BoundedBuffer<std::unique_ptr<int>> buf(2);
+  buf.put(std::make_unique<int>(5));
+  auto p = buf.take();
+  EXPECT_EQ(*p, 5);
+}
+
+// Property sweep: no element lost or duplicated for any combination of
+// producers × consumers × capacity.
+class BoundedBufferSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::size_t>> {};
+
+TEST_P(BoundedBufferSweep, ConservationUnderContention) {
+  const auto [producers, consumers, capacity] = GetParam();
+  BoundedBuffer<int> buf(capacity);
+  constexpr int kPerProducer = 2'000;
+  const long expected_sum =
+      static_cast<long>(producers) * kPerProducer * (kPerProducer - 1) / 2;
+
+  std::atomic<long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  const int total = producers * kPerProducer;
+
+  {
+    std::vector<std::jthread> threads;
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kPerProducer; ++i) buf.put(i);
+      });
+    }
+    for (int c = 0; c < consumers; ++c) {
+      threads.emplace_back([&] {
+        for (;;) {
+          if (consumed_count.fetch_add(1) >= total) {
+            consumed_count.fetch_sub(1);
+            return;
+          }
+          consumed_sum.fetch_add(buf.take());
+        }
+      });
+    }
+  }
+
+  EXPECT_EQ(consumed_count.load(), total);
+  EXPECT_EQ(consumed_sum.load(), expected_sum);
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BoundedBufferSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(std::size_t{1}, std::size_t{7},
+                                         std::size_t{64})));
+
+}  // namespace
+}  // namespace amf::concurrency

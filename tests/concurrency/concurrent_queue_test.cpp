@@ -1,0 +1,96 @@
+#include "concurrency/concurrent_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace amf::concurrency {
+namespace {
+
+TEST(ConcurrentQueueTest, PushPopSingleThread) {
+  ConcurrentQueue<int> q;
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(ConcurrentQueueTest, TryPopEmptyReturnsNullopt) {
+  ConcurrentQueue<int> q;
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+  q.push(3);
+  EXPECT_EQ(q.try_pop(), 3);
+}
+
+TEST(ConcurrentQueueTest, PopUntilTimesOut) {
+  ConcurrentQueue<int> q;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+  EXPECT_EQ(q.pop_until(deadline), std::nullopt);
+}
+
+TEST(ConcurrentQueueTest, CloseRejectsFurtherPushes) {
+  ConcurrentQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(ConcurrentQueueTest, CloseDrainsThenEndsStream) {
+  ConcurrentQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);  // end of stream, no block
+}
+
+TEST(ConcurrentQueueTest, CloseWakesBlockedConsumer) {
+  ConcurrentQueue<int> q;
+  std::atomic<bool> ended{false};
+  std::jthread consumer([&] {
+    EXPECT_EQ(q.pop(), std::nullopt);
+    ended.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(ended.load());
+}
+
+TEST(ConcurrentQueueTest, MpmcConservation) {
+  ConcurrentQueue<int> q;
+  constexpr int kProducers = 4, kConsumers = 4, kEach = 5'000;
+  std::atomic<long> sum{0};
+  std::atomic<int> count{0};
+  {
+    std::vector<std::jthread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+      consumers.emplace_back([&] {
+        while (auto v = q.pop()) {
+          sum.fetch_add(*v);
+          count.fetch_add(1);
+        }
+      });
+    }
+    {
+      std::vector<std::jthread> producers;
+      for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&] {
+          for (int i = 0; i < kEach; ++i) q.push(i);
+        });
+      }
+    }
+    q.close();
+  }
+  EXPECT_EQ(count.load(), kProducers * kEach);
+  EXPECT_EQ(sum.load(),
+            static_cast<long>(kProducers) * kEach * (kEach - 1) / 2);
+}
+
+}  // namespace
+}  // namespace amf::concurrency

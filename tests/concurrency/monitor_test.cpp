@@ -1,0 +1,66 @@
+#include "concurrency/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace amf::concurrency {
+namespace {
+
+TEST(MonitorTest, WithMutatesUnderLock) {
+  Monitor<int> m(10);
+  m.with([](int& v) { v += 5; });
+  EXPECT_EQ(m.read([](const int& v) { return v; }), 15);
+}
+
+TEST(MonitorTest, WithReturnsValue) {
+  Monitor<std::string> m(std::string("abc"));
+  const auto len = m.with([](std::string& s) { return s.size(); });
+  EXPECT_EQ(len, 3u);
+}
+
+TEST(MonitorTest, WaitThenBlocksUntilPredicate) {
+  Monitor<int> m(0);
+  std::jthread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    m.with([](int& v) { v = 7; });
+  });
+  const int seen =
+      m.wait_then([](int& v) { return v == 7; }, [](int& v) { return v; });
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(MonitorTest, ConcurrentIncrementsAreAtomic) {
+  Monitor<long> m(0);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 10'000; ++i) m.with([](long& v) { ++v; });
+      });
+    }
+  }
+  EXPECT_EQ(m.read([](const long& v) { return v; }), 80'000);
+}
+
+TEST(MonitorTest, WaitThenChain) {
+  Monitor<std::vector<int>> m;
+  std::jthread consumer([&] {
+    for (int expect = 0; expect < 100; ++expect) {
+      m.wait_then([](std::vector<int>& v) { return !v.empty(); },
+                  [&](std::vector<int>& v) {
+                    EXPECT_EQ(v.front(), expect);
+                    v.erase(v.begin());
+                  });
+    }
+  });
+  for (int i = 0; i < 100; ++i) {
+    m.wait_then([](std::vector<int>& v) { return v.empty(); },
+                [&](std::vector<int>& v) { v.push_back(i); });
+  }
+}
+
+}  // namespace
+}  // namespace amf::concurrency

@@ -1,0 +1,77 @@
+#include "concurrency/wait_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace amf::concurrency {
+namespace {
+
+TEST(WaitQueueTest, WaitReturnsImmediatelyWhenPredicateTrue) {
+  WaitQueue q;
+  q.wait([] { return true; });  // must not block
+  EXPECT_EQ(q.waiters(), 0u);
+}
+
+TEST(WaitQueueTest, UpdateAndNotifyWakesWaiter) {
+  WaitQueue q;
+  std::atomic<bool> flag{false};
+  std::jthread waiter([&] { q.wait([&] { return flag.load(); }); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(q.waiters(), 1u);
+  q.update_and_notify([&] { flag.store(true); });
+  waiter.join();
+  EXPECT_EQ(q.waiters(), 0u);
+}
+
+TEST(WaitQueueTest, WaitUntilTimesOut) {
+  WaitQueue q;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  const auto result = q.wait_until(deadline, [] { return false; });
+  EXPECT_EQ(result, WaitResult::kTimedOut);
+  EXPECT_EQ(q.timeouts(), 1u);
+}
+
+TEST(WaitQueueTest, WaitUntilSatisfiedBeforeDeadline) {
+  WaitQueue q;
+  std::atomic<bool> flag{false};
+  std::jthread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.update_and_notify([&] { flag.store(true); });
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  EXPECT_EQ(q.wait_until(deadline, [&] { return flag.load(); }),
+            WaitResult::kSatisfied);
+}
+
+TEST(WaitQueueTest, WithLockReturnsValue) {
+  WaitQueue q;
+  int shared = 41;
+  const int seen = q.with_lock([&] { return shared + 1; });
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(WaitQueueTest, ManyWaitersAllReleased) {
+  WaitQueue q;
+  std::atomic<bool> open{false};
+  std::atomic<int> released{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int i = 0; i < 8; ++i) {
+      threads.emplace_back([&] {
+        q.wait([&] { return open.load(); });
+        released.fetch_add(1);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.update_and_notify([&] { open.store(true); });
+  }
+  EXPECT_EQ(released.load(), 8);
+  EXPECT_GE(q.wakeups(), 8u);
+}
+
+}  // namespace
+}  // namespace amf::concurrency

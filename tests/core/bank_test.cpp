@@ -1,0 +1,153 @@
+#include "core/bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace amf::core {
+namespace {
+
+using runtime::AspectKind;
+using runtime::MethodId;
+
+AspectPtr named(std::string name) {
+  return std::make_shared<LambdaAspect>(std::move(name));
+}
+
+std::vector<std::string> chain_names(const AspectBank& bank, MethodId m) {
+  std::vector<std::string> out;
+  for (const auto& e : *bank.chain(m)) {
+    out.emplace_back(e.aspect->name());
+  }
+  return out;
+}
+
+TEST(AspectBankTest, EmptyBankYieldsEmptyChain) {
+  AspectBank bank;
+  EXPECT_TRUE(bank.chain(MethodId::of("nothing"))->empty());
+  EXPECT_EQ(bank.size(), 0u);
+  EXPECT_TRUE(bank.methods().empty());
+}
+
+TEST(AspectBankTest, RegisterAndFind) {
+  AspectBank bank;
+  const auto m = MethodId::of("open");
+  const auto k = AspectKind::of("sync");
+  auto aspect = named("sync");
+  bank.register_aspect(m, k, aspect);
+  EXPECT_EQ(bank.find(m, k), aspect);
+  EXPECT_EQ(bank.find(m, AspectKind::of("other")), nullptr);
+  EXPECT_EQ(bank.size(), 1u);
+}
+
+TEST(AspectBankTest, RegisterReplacesCell) {
+  AspectBank bank;
+  const auto m = MethodId::of("open");
+  const auto k = AspectKind::of("sync");
+  bank.register_aspect(m, k, named("v1"));
+  auto v2 = named("v2");
+  bank.register_aspect(m, k, v2);
+  EXPECT_EQ(bank.find(m, k), v2);
+  EXPECT_EQ(bank.size(), 1u);
+}
+
+TEST(AspectBankTest, RemoveAspect) {
+  AspectBank bank;
+  const auto m = MethodId::of("open");
+  const auto k = AspectKind::of("sync");
+  bank.register_aspect(m, k, named("a"));
+  EXPECT_TRUE(bank.remove_aspect(m, k));
+  EXPECT_FALSE(bank.remove_aspect(m, k));
+  EXPECT_TRUE(bank.chain(m)->empty());
+}
+
+TEST(AspectBankTest, ChainFollowsRegistrationOrderByDefault) {
+  AspectBank bank;
+  const auto m = MethodId::of("m");
+  bank.register_aspect(m, AspectKind::of("k-first"), named("first"));
+  bank.register_aspect(m, AspectKind::of("k-second"), named("second"));
+  EXPECT_EQ(chain_names(bank, m),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(AspectBankTest, SetKindOrderReordersExistingChains) {
+  AspectBank bank;
+  const auto m = MethodId::of("m");
+  const auto sync = AspectKind::of("o-sync");
+  const auto auth = AspectKind::of("o-auth");
+  bank.register_aspect(m, sync, named("sync"));
+  bank.register_aspect(m, auth, named("auth"));
+  // Fig. 14: authentication must wrap synchronization.
+  bank.set_kind_order({auth, sync});
+  EXPECT_EQ(chain_names(bank, m), (std::vector<std::string>{"auth", "sync"}));
+}
+
+TEST(AspectBankTest, KindsAbsentFromExplicitOrderAppend) {
+  AspectBank bank;
+  const auto m = MethodId::of("m");
+  const auto a = AspectKind::of("ka");
+  const auto b = AspectKind::of("kb");
+  const auto c = AspectKind::of("kc");
+  bank.set_kind_order({b, a});
+  bank.register_aspect(m, a, named("a"));
+  bank.register_aspect(m, c, named("c"));  // appended after b, a
+  bank.register_aspect(m, b, named("b"));
+  EXPECT_EQ(chain_names(bank, m),
+            (std::vector<std::string>{"b", "a", "c"}));
+}
+
+TEST(AspectBankTest, ChainIsSnapshotNotLiveView) {
+  AspectBank bank;
+  const auto m = MethodId::of("m");
+  bank.register_aspect(m, AspectKind::of("k1"), named("one"));
+  const auto snapshot = bank.chain(m);
+  bank.register_aspect(m, AspectKind::of("k2"), named("two"));
+  EXPECT_EQ(snapshot->size(), 1u);        // old snapshot untouched
+  EXPECT_EQ(bank.chain(m)->size(), 2u);   // new snapshot sees both
+}
+
+TEST(AspectBankTest, SameAspectSharedAcrossMethods) {
+  AspectBank bank;
+  auto shared = named("group");
+  const auto k = AspectKind::of("kx");
+  bank.register_aspect(MethodId::of("m1"), k, shared);
+  bank.register_aspect(MethodId::of("m2"), k, shared);
+  EXPECT_EQ(bank.find(MethodId::of("m1"), k), bank.find(MethodId::of("m2"), k));
+  EXPECT_EQ(bank.size(), 2u);  // two cells, one object
+}
+
+TEST(AspectBankTest, DescribeShowsCompositionTable) {
+  AspectBank bank;
+  const auto open = MethodId::of("d-open");
+  const auto assign = MethodId::of("d-assign");
+  const auto sync = AspectKind::of("d-sync");
+  const auto auth = AspectKind::of("d-auth");
+  bank.set_kind_order({auth, sync});
+  bank.register_aspect(open, sync, named("producer"));
+  bank.register_aspect(open, auth, named("authenticate"));
+  bank.register_aspect(assign, sync, named("consumer"));
+  const auto dump = bank.describe();
+  EXPECT_NE(dump.find("kind order: d-auth d-sync"), std::string::npos);
+  EXPECT_NE(dump.find("d-open: [d-auth/authenticate] [d-sync/producer]"),
+            std::string::npos);
+  EXPECT_NE(dump.find("d-assign: [d-sync/consumer]"), std::string::npos);
+  // Methods sorted by name: d-assign before d-open.
+  EXPECT_LT(dump.find("d-assign:"), dump.find("d-open:"));
+}
+
+TEST(AspectBankTest, MethodsListsOnlyOccupied) {
+  AspectBank bank;
+  const auto m1 = MethodId::of("mm1");
+  const auto m2 = MethodId::of("mm2");
+  const auto k = AspectKind::of("kk");
+  bank.register_aspect(m1, k, named("a"));
+  bank.register_aspect(m2, k, named("b"));
+  bank.remove_aspect(m2, k);
+  const auto methods = bank.methods();
+  ASSERT_EQ(methods.size(), 1u);
+  EXPECT_EQ(methods[0], m1);
+}
+
+}  // namespace
+}  // namespace amf::core

@@ -1,0 +1,159 @@
+#include "core/composite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/framework.hpp"
+
+namespace amf::core {
+namespace {
+
+using runtime::AspectKind;
+using runtime::MethodId;
+
+// Shares the trace-recording idea of moderator_test.
+class Tracer final : public Aspect {
+ public:
+  Tracer(std::string name, std::vector<std::string>& trace,
+         Decision verdict = Decision::kResume)
+      : name_(std::move(name)), trace_(&trace), verdict_(verdict) {}
+
+  std::string_view name() const override { return name_; }
+  void on_arrive(InvocationContext&) override {
+    trace_->push_back(name_ + ".arrive");
+  }
+  Decision precondition(InvocationContext&) override {
+    trace_->push_back(name_ + ".pre");
+    return verdict_;
+  }
+  void entry(InvocationContext&) override {
+    trace_->push_back(name_ + ".entry");
+  }
+  void postaction(InvocationContext&) override {
+    trace_->push_back(name_ + ".post");
+  }
+  void on_cancel(InvocationContext&) override {
+    trace_->push_back(name_ + ".cancel");
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string>* trace_;
+  Decision verdict_;
+};
+
+struct Dummy {};
+
+TEST(CompositeAspectTest, GuardsAndCombineFirstVetoWins) {
+  std::vector<std::string> trace;
+  CompositeAspect composite(
+      {std::make_shared<Tracer>("a", trace),
+       std::make_shared<Tracer>("b", trace, Decision::kAbort),
+       std::make_shared<Tracer>("c", trace)});
+  InvocationContext ctx(MethodId::of("m"));
+  EXPECT_EQ(composite.precondition(ctx), Decision::kAbort);
+  // c was never consulted.
+  EXPECT_EQ(trace, (std::vector<std::string>{"a.pre", "b.pre"}));
+}
+
+TEST(CompositeAspectTest, EntriesForwardPostactionsReverse) {
+  std::vector<std::string> trace;
+  CompositeAspect composite({std::make_shared<Tracer>("a", trace),
+                             std::make_shared<Tracer>("b", trace)});
+  InvocationContext ctx(MethodId::of("m"));
+  composite.entry(ctx);
+  composite.postaction(ctx);
+  EXPECT_EQ(trace, (std::vector<std::string>{"a.entry", "b.entry", "b.post",
+                                             "a.post"}));
+}
+
+TEST(CompositeAspectTest, WorksAsOneBankCell) {
+  std::vector<std::string> trace;
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("composite-cell");
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("cc"),
+      compose({std::make_shared<Tracer>("x", trace),
+               std::make_shared<Tracer>("y", trace)}));
+  ASSERT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  EXPECT_EQ(trace, (std::vector<std::string>{"x.arrive", "y.arrive", "x.pre",
+                                             "y.pre", "x.entry", "y.entry",
+                                             "y.post", "x.post"}));
+}
+
+TEST(CompositeAspectTest, NestsInsideItself) {
+  std::vector<std::string> trace;
+  auto inner = compose({std::make_shared<Tracer>("i1", trace),
+                        std::make_shared<Tracer>("i2", trace)},
+                       "inner");
+  CompositeAspect outer({std::make_shared<Tracer>("o", trace), inner});
+  InvocationContext ctx(MethodId::of("m"));
+  EXPECT_EQ(outer.precondition(ctx), Decision::kResume);
+  outer.postaction(ctx);
+  EXPECT_EQ(trace, (std::vector<std::string>{"o.pre", "i1.pre", "i2.pre",
+                                             "i2.post", "i1.post", "o.post"}));
+}
+
+TEST(ConditionalAspectTest, AppliesOnlyWhenPredicateHolds) {
+  std::vector<std::string> trace;
+  ConditionalAspect cond(
+      [](const InvocationContext& ctx) { return ctx.priority() > 5; },
+      std::make_shared<Tracer>("vip", trace, Decision::kBlock));
+  InvocationContext low(MethodId::of("m"));
+  low.set_priority(0);
+  EXPECT_EQ(cond.precondition(low), Decision::kResume);
+  EXPECT_TRUE(trace.empty());
+  InvocationContext high(MethodId::of("m"));
+  high.set_priority(9);
+  EXPECT_EQ(cond.precondition(high), Decision::kBlock);
+  EXPECT_EQ(trace, (std::vector<std::string>{"vip.pre"}));
+}
+
+TEST(ConditionalAspectTest, EndToEndSelectiveVeto) {
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("cond-cell");
+  // Anonymous callers only are vetoed; named ones pass.
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("cd"),
+      only_when(
+          [](const InvocationContext& ctx) {
+            return ctx.principal().name.empty();
+          },
+          std::make_shared<LambdaAspect>(
+              "no-anon", [](InvocationContext& ctx) {
+                ctx.set_abort_error(runtime::make_error(
+                    runtime::ErrorCode::kUnauthenticated, "anonymous"));
+                return Decision::kAbort;
+              })));
+  EXPECT_FALSE(proxy.invoke(m, [](Dummy&) {}).ok());
+  auto named = proxy.call(m)
+                   .as(runtime::Principal{"ann", {}, "t"})
+                   .run([](Dummy&) {});
+  EXPECT_TRUE(named.ok());
+}
+
+TEST(ConditionalAspectTest, HooksPairedUnderCondition) {
+  // A conditional mutual-exclusion-style aspect must keep entry/post
+  // pairing for matching invocations only.
+  auto count = std::make_shared<int>(0);
+  ConditionalAspect cond(
+      [](const InvocationContext& ctx) { return ctx.priority() > 0; },
+      std::make_shared<LambdaAspect>(
+          "counter", nullptr,
+          [count](InvocationContext&) { ++*count; },
+          [count](InvocationContext&) { --*count; }));
+  InvocationContext hit(MethodId::of("m"));
+  hit.set_priority(1);
+  cond.entry(hit);
+  EXPECT_EQ(*count, 1);
+  cond.postaction(hit);
+  EXPECT_EQ(*count, 0);
+  InvocationContext miss(MethodId::of("m"));
+  cond.entry(miss);
+  cond.postaction(miss);
+  EXPECT_EQ(*count, 0);
+}
+
+}  // namespace
+}  // namespace amf::core

@@ -1,0 +1,91 @@
+#include "core/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/bank.hpp"  // completes BankEntry for the chain assertions
+#include "core/decision.hpp"
+
+namespace amf::core {
+namespace {
+
+using runtime::MethodId;
+
+TEST(InvocationContextTest, IdsAreProcessUnique) {
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.insert(InvocationContext(MethodId::of("m")).id());
+  }
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST(InvocationContextTest, IdsUniqueAcrossThreads) {
+  std::vector<std::vector<std::uint64_t>> per_thread(4);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < 1000; ++i) {
+          per_thread[t].push_back(InvocationContext(MethodId::of("m")).id());
+        }
+      });
+    }
+  }
+  std::set<std::uint64_t> all;
+  for (const auto& v : per_thread) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), 4000u);
+}
+
+TEST(InvocationContextTest, DefaultsAreAnonymousAndUnconstrained) {
+  InvocationContext ctx(MethodId::of("m"));
+  EXPECT_FALSE(ctx.principal().authenticated());
+  EXPECT_EQ(ctx.priority(), 0);
+  EXPECT_FALSE(ctx.deadline().has_value());
+  EXPECT_FALSE(ctx.stop().has_value());
+  EXPECT_FALSE(ctx.abort_error().has_value());
+  EXPECT_EQ(ctx.blocked_count(), 0u);
+  EXPECT_FALSE(ctx.body_succeeded());
+  EXPECT_EQ(ctx.admitted_chain(), nullptr);
+}
+
+TEST(InvocationContextTest, NotesOverwriteAndRead) {
+  InvocationContext ctx(MethodId::of("m"));
+  EXPECT_EQ(ctx.note("k"), std::nullopt);
+  ctx.set_note("k", "v1");
+  EXPECT_EQ(ctx.note("k"), "v1");
+  ctx.set_note("k", "v2");
+  EXPECT_EQ(ctx.note("k"), "v2");
+  ctx.set_note("other", "x");
+  EXPECT_EQ(ctx.note("k"), "v2");
+}
+
+TEST(InvocationContextTest, BlockedCountAccumulates) {
+  InvocationContext ctx(MethodId::of("m"));
+  ctx.note_blocked();
+  ctx.note_blocked();
+  EXPECT_EQ(ctx.blocked_count(), 2u);
+}
+
+TEST(InvocationContextTest, MethodIsFixedAtConstruction) {
+  const auto m = MethodId::of("fixed");
+  InvocationContext ctx(m);
+  EXPECT_EQ(ctx.method(), m);
+  EXPECT_EQ(ctx.method().name(), "fixed");
+}
+
+TEST(DecisionTest, NamesAreStable) {
+  EXPECT_EQ(to_string(Decision::kResume), "resume");
+  EXPECT_EQ(to_string(Decision::kBlock), "block");
+  EXPECT_EQ(to_string(Decision::kAbort), "abort");
+  EXPECT_EQ(to_string(InvocationStatus::kCompleted), "completed");
+  EXPECT_EQ(to_string(InvocationStatus::kAborted), "aborted");
+  EXPECT_EQ(to_string(InvocationStatus::kTimedOut), "timed-out");
+  EXPECT_EQ(to_string(InvocationStatus::kCancelled), "cancelled");
+  EXPECT_EQ(to_string(InvocationStatus::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace amf::core

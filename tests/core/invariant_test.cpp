@@ -1,0 +1,114 @@
+// ComponentProxy invariant checking (design-by-contract over the guarded
+// component) and the moderator's operational report.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "aspects/synchronization.hpp"
+#include "core/framework.hpp"
+
+namespace amf::core {
+namespace {
+
+using runtime::AspectKind;
+using runtime::MethodId;
+
+struct Vault {
+  long balance = 0;
+  void deposit(long v) { balance += v; }
+  void withdraw(long v) { balance -= v; }  // can go negative: the bug
+};
+
+TEST(InvariantTest, PassingInvariantLeavesCompleted) {
+  ComponentProxy<Vault> proxy{Vault{}};
+  proxy.set_invariant([](const Vault& v) { return v.balance >= 0; });
+  auto r = proxy.invoke(MethodId::of("dep"),
+                        [](Vault& v) { v.deposit(10); });
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(InvariantTest, ViolationDowngradesToFailed) {
+  ComponentProxy<Vault> proxy{Vault{}};
+  proxy.set_invariant([](const Vault& v) { return v.balance >= 0; });
+  auto r = proxy.invoke(MethodId::of("wd"),
+                        [](Vault& v) { v.withdraw(5); });
+  EXPECT_EQ(r.status, InvocationStatus::kFailed);
+  EXPECT_NE(r.error.message.find("invariant"), std::string::npos);
+}
+
+TEST(InvariantTest, ViolationDropsReturnValue) {
+  ComponentProxy<Vault> proxy{Vault{}};
+  proxy.set_invariant([](const Vault& v) { return v.balance >= 0; });
+  auto r = proxy.invoke(MethodId::of("wd"), [](Vault& v) {
+    v.withdraw(5);
+    return v.balance;
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.value.has_value());
+}
+
+TEST(InvariantTest, PostactionsSeeBodyFailedFlag) {
+  ComponentProxy<Vault> proxy{Vault{}};
+  proxy.set_invariant([](const Vault& v) { return v.balance >= 0; });
+  auto saw_failure = std::make_shared<bool>(false);
+  const auto m = MethodId::of("wd-flag");
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("inv"),
+      std::make_shared<LambdaAspect>(
+          "watch", nullptr, nullptr,
+          [saw_failure](InvocationContext& ctx) {
+            *saw_failure = !ctx.body_succeeded();
+          }));
+  (void)proxy.invoke(m, [](Vault& v) { v.withdraw(1); });
+  EXPECT_TRUE(*saw_failure);
+}
+
+TEST(InvariantTest, CheckedUnderExclusivityWithConcurrentCallers) {
+  // With a mutex aspect, the invariant check happens while the caller
+  // still owns the critical section, so it observes a consistent state.
+  ComponentProxy<Vault> proxy{Vault{}};
+  proxy.set_invariant([](const Vault& v) { return v.balance >= 0; });
+  const auto m = MethodId::of("inv-conc");
+  proxy.moderator().register_aspect(
+      m, runtime::kinds::synchronization(),
+      std::make_shared<aspects::MutualExclusionAspect>());
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 500; ++i) {
+          // deposit-then-withdraw keeps the invariant if (and only if)
+          // calls are exclusive.
+          auto r = proxy.invoke(m, [](Vault& v) {
+            v.deposit(1);
+            v.withdraw(1);
+          });
+          if (!r.ok()) failures.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(proxy.component().balance, 0);
+}
+
+TEST(ReportTest, ModeratorReportShowsBankAndStats) {
+  ComponentProxy<Vault> proxy{Vault{}};
+  const auto m = MethodId::of("rep-dep");
+  proxy.moderator().register_aspect(
+      m, runtime::kinds::synchronization(),
+      std::make_shared<aspects::MutualExclusionAspect>());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(proxy.invoke(m, [](Vault& v) { v.deposit(1); }).ok());
+  }
+  const auto report = proxy.moderator().report();
+  EXPECT_NE(report.find("rep-dep:"), std::string::npos);
+  EXPECT_NE(report.find("admitted=3"), std::string::npos);
+  EXPECT_NE(report.find("completed=3"), std::string::npos);
+  EXPECT_NE(report.find("[sync/mutex]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amf::core

@@ -1,0 +1,233 @@
+#include "core/proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/framework.hpp"
+
+namespace amf::core {
+namespace {
+
+using runtime::AspectKind;
+using runtime::MethodId;
+
+struct Service {
+  int calls = 0;
+  int work(int x) {
+    ++calls;
+    return x * 2;
+  }
+  void boom() { throw std::runtime_error("kaboom"); }
+};
+
+TEST(ProxyTest, InvokeReturnsBodyValue) {
+  ComponentProxy<Service> proxy{Service{}};
+  auto r = proxy.invoke(MethodId::of("work"),
+                        [](Service& s) { return s.work(21); });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value, 42);
+  EXPECT_EQ(r.status, InvocationStatus::kCompleted);
+  EXPECT_EQ(proxy.component().calls, 1);
+}
+
+TEST(ProxyTest, VoidBodySupported) {
+  ComponentProxy<Service> proxy{Service{}};
+  auto r = proxy.invoke(MethodId::of("work"),
+                        [](Service& s) { (void)s.work(1); });
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ProxyTest, InvocationIdsAreUnique) {
+  ComponentProxy<Service> proxy{Service{}};
+  auto r1 = proxy.invoke(MethodId::of("work"), [](Service&) {});
+  auto r2 = proxy.invoke(MethodId::of("work"), [](Service&) {});
+  EXPECT_NE(r1.invocation_id, r2.invocation_id);
+}
+
+TEST(ProxyTest, AbortedCallNeverTouchesComponent) {
+  ComponentProxy<Service> proxy{Service{}};
+  const auto m = MethodId::of("guarded");
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("p1"),
+      std::make_shared<LambdaAspect>(
+          "veto", [](InvocationContext&) { return Decision::kAbort; }));
+  auto r = proxy.invoke(m, [](Service& s) { return s.work(1); });
+  EXPECT_EQ(r.status, InvocationStatus::kAborted);
+  EXPECT_FALSE(r.value.has_value());
+  EXPECT_EQ(proxy.component().calls, 0);
+}
+
+TEST(ProxyTest, BodyExceptionYieldsFailedStatusAndRunsPostactions) {
+  ComponentProxy<Service> proxy{Service{}};
+  const auto m = MethodId::of("boom");
+  auto post_ran = std::make_shared<bool>(false);
+  auto saw_failure = std::make_shared<bool>(false);
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("p2"),
+      std::make_shared<LambdaAspect>(
+          "watch", nullptr, nullptr, [=](InvocationContext& ctx) {
+            *post_ran = true;
+            *saw_failure = !ctx.body_succeeded();
+          }));
+  auto r = proxy.invoke(m, [](Service& s) { s.boom(); });
+  EXPECT_EQ(r.status, InvocationStatus::kFailed);
+  EXPECT_EQ(r.error.code, runtime::ErrorCode::kInternal);
+  EXPECT_NE(r.error.message.find("kaboom"), std::string::npos);
+  EXPECT_TRUE(*post_ran) << "postactivation must pair with admission";
+  EXPECT_TRUE(*saw_failure);
+}
+
+TEST(ProxyTest, CallBuilderSetsPrincipalPriorityAndNotes) {
+  ComponentProxy<Service> proxy{Service{}};
+  const auto m = MethodId::of("ctx-check");
+  auto seen_principal = std::make_shared<std::string>();
+  auto seen_priority = std::make_shared<int>(0);
+  auto seen_note = std::make_shared<std::string>();
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("p3"),
+      std::make_shared<LambdaAspect>(
+          "inspect", [=](InvocationContext& ctx) {
+            *seen_principal = ctx.principal().name;
+            *seen_priority = ctx.priority();
+            *seen_note = ctx.note("color").value_or("");
+            return Decision::kResume;
+          }));
+  runtime::Principal alice{"alice", {"vip"}, "tok"};
+  auto r = proxy.call(m)
+               .as(alice)
+               .priority(7)
+               .note("color", "teal")
+               .run([](Service& s) { return s.work(3); });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*seen_principal, "alice");
+  EXPECT_EQ(*seen_priority, 7);
+  EXPECT_EQ(*seen_note, "teal");
+}
+
+TEST(ProxyTest, WithinDeadlineTimesOut) {
+  ComponentProxy<Service> proxy{Service{}};
+  const auto m = MethodId::of("stuck");
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("p4"),
+      std::make_shared<LambdaAspect>(
+          "never", [](InvocationContext&) { return Decision::kBlock; }));
+  auto r = proxy.call(m)
+               .within(std::chrono::milliseconds(20))
+               .run([](Service& s) { return s.work(1); });
+  EXPECT_EQ(r.status, InvocationStatus::kTimedOut);
+  EXPECT_EQ(r.error.code, runtime::ErrorCode::kTimeout);
+  EXPECT_EQ(proxy.component().calls, 0);
+}
+
+TEST(ProxyTest, StoppableCallIsCancelled) {
+  ComponentProxy<Service> proxy{Service{}};
+  const auto m = MethodId::of("stoppable");
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("p5"),
+      std::make_shared<LambdaAspect>(
+          "never", [](InvocationContext&) { return Decision::kBlock; }));
+  std::stop_source source;
+  std::jthread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    source.request_stop();
+  });
+  auto r = proxy.call(m).stoppable(source.get_token()).run([](Service& s) {
+    return s.work(1);
+  });
+  EXPECT_EQ(r.status, InvocationStatus::kCancelled);
+}
+
+TEST(ProxyTest, WaitTimeIsReported) {
+  ComponentProxy<Service> proxy{Service{}};
+  const auto m = MethodId::of("waity");
+  auto open = std::make_shared<bool>(false);
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("p6"),
+      std::make_shared<LambdaAspect>(
+          "gate", [open](InvocationContext&) {
+            return *open ? Decision::kResume : Decision::kBlock;
+          }));
+  const auto helper = MethodId::of("waity-helper");
+  proxy.moderator().register_aspect(
+      helper, AspectKind::of("p6"),
+      std::make_shared<LambdaAspect>(
+          "open-gate", nullptr, nullptr,
+          [open](InvocationContext&) { *open = true; }));  // under mod lock
+  std::jthread opener([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    auto r = proxy.invoke(helper, [](Service&) {});
+    ASSERT_TRUE(r.ok());
+  });
+  auto r = proxy.invoke(m, [](Service& s) { return s.work(1); });
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.wait_time, std::chrono::milliseconds(10));
+}
+
+TEST(ProxyTest, SharedModeratorCoordinatesTwoComponents) {
+  auto moderator = std::make_shared<AspectModerator>();
+  ComponentProxy<Service> a{Service{}, moderator};
+  ComponentProxy<Service> b{Service{}, moderator};
+  const auto ma = MethodId::of("shared-a");
+  const auto mb = MethodId::of("shared-b");
+  // One mutual-exclusion-style guard across both proxies.
+  auto active = std::make_shared<int>(0);
+  auto guard = std::make_shared<LambdaAspect>(
+      "xcl",
+      [active](InvocationContext&) {
+        return *active == 0 ? Decision::kResume : Decision::kBlock;
+      },
+      [active](InvocationContext&) { ++*active; },
+      [active](InvocationContext&) { --*active; });
+  moderator->register_aspect(ma, AspectKind::of("p7"), guard);
+  moderator->register_aspect(mb, AspectKind::of("p7"), guard);
+
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  auto body = [&](Service&) {
+    const int now = concurrent.fetch_add(1) + 1;
+    int prev = max_concurrent.load();
+    while (prev < now && !max_concurrent.compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    concurrent.fetch_sub(1);
+  };
+  {
+    std::vector<std::jthread> threads;
+    for (int i = 0; i < 4; ++i) {
+      threads.emplace_back([&] { a.invoke(ma, body); });
+      threads.emplace_back([&] { b.invoke(mb, body); });
+    }
+  }
+  EXPECT_EQ(max_concurrent.load(), 1)
+      << "shared moderator must serialize across components";
+}
+
+TEST(ProxyTest, ConcurrentInvokesAreAllAccounted) {
+  ComponentProxy<Service> proxy{Service{}};
+  const auto m = MethodId::of("counted");
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("p8"),
+      std::make_shared<LambdaAspect>("noop"));
+  constexpr int kThreads = 8, kEach = 500;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kEach; ++i) {
+          auto r = proxy.invoke(m, [](Service&) {});
+          ASSERT_TRUE(r.ok());
+        }
+      });
+    }
+  }
+  const auto stats = proxy.moderator().stats(m);
+  EXPECT_EQ(stats.admitted, static_cast<std::uint64_t>(kThreads * kEach));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kThreads * kEach));
+}
+
+}  // namespace
+}  // namespace amf::core

@@ -1,0 +1,71 @@
+#include "core/scoped.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+
+namespace amf::core {
+namespace {
+
+using runtime::AspectKind;
+using runtime::MethodId;
+
+struct Dummy {};
+
+AspectPtr veto_aspect() {
+  return std::make_shared<LambdaAspect>(
+      "veto", [](InvocationContext&) { return Decision::kAbort; });
+}
+
+TEST(ScopedAspectTest, RegistersForScopeThenEmptiesCell) {
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("sc-empty");
+  const auto k = AspectKind::of("sc1");
+  {
+    ScopedAspect scope(proxy.moderator(), m, k, veto_aspect());
+    EXPECT_FALSE(proxy.invoke(m, [](Dummy&) {}).ok());
+  }
+  EXPECT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  EXPECT_EQ(proxy.moderator().bank().find(m, k), nullptr);
+}
+
+TEST(ScopedAspectTest, RestoresPreviousOccupant) {
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("sc-restore");
+  const auto k = AspectKind::of("sc2");
+  auto original = std::make_shared<LambdaAspect>("original");
+  proxy.moderator().register_aspect(m, k, original);
+  {
+    ScopedAspect scope(proxy.moderator(), m, k, veto_aspect());
+    EXPECT_EQ(proxy.moderator().bank().find(m, k)->name(), "veto");
+  }
+  EXPECT_EQ(proxy.moderator().bank().find(m, k), original);
+}
+
+TEST(ScopedAspectTest, ReleaseIsIdempotent) {
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("sc-release");
+  const auto k = AspectKind::of("sc3");
+  ScopedAspect scope(proxy.moderator(), m, k, veto_aspect());
+  scope.release();
+  scope.release();
+  EXPECT_EQ(proxy.moderator().bank().find(m, k), nullptr);
+}
+
+TEST(ScopedAspectTest, MoveTransfersOwnership) {
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("sc-move");
+  const auto k = AspectKind::of("sc4");
+  {
+    ScopedAspect outer(proxy.moderator(), m, k, veto_aspect());
+    {
+      ScopedAspect inner = std::move(outer);
+      EXPECT_NE(proxy.moderator().bank().find(m, k), nullptr);
+    }  // inner restores here
+    EXPECT_EQ(proxy.moderator().bank().find(m, k), nullptr);
+  }  // moved-from outer must not double-restore
+  EXPECT_EQ(proxy.moderator().bank().find(m, k), nullptr);
+}
+
+}  // namespace
+}  // namespace amf::core

@@ -1,0 +1,166 @@
+#include "core/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "apps/ticket/ticket_proxy.hpp"
+#include "core/framework.hpp"
+
+namespace amf::core {
+namespace {
+
+using runtime::AspectKind;
+using runtime::MethodId;
+
+struct Dummy {};
+
+TEST(TraceValidatorTest, ConformingTracePasses) {
+  runtime::EventLog log;
+  ModeratorOptions options;
+  options.log = &log;
+  ComponentProxy<Dummy> proxy{Dummy{}, options};
+  const auto m = MethodId::of("tv-ok");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  }
+  EXPECT_TRUE(TraceValidator::validate(log).empty());
+}
+
+TEST(TraceValidatorTest, AbortedAndTimedOutTracesConform) {
+  runtime::EventLog log;
+  ModeratorOptions options;
+  options.log = &log;
+  ComponentProxy<Dummy> proxy{Dummy{}, options};
+  const auto veto_m = MethodId::of("tv-veto");
+  const auto block_m = MethodId::of("tv-block");
+  proxy.moderator().register_aspect(
+      veto_m, AspectKind::of("tv"),
+      std::make_shared<LambdaAspect>(
+          "veto", [](InvocationContext&) { return Decision::kAbort; }));
+  proxy.moderator().register_aspect(
+      block_m, AspectKind::of("tv"),
+      std::make_shared<LambdaAspect>(
+          "never", [](InvocationContext&) { return Decision::kBlock; }));
+  (void)proxy.invoke(veto_m, [](Dummy&) {});
+  (void)proxy.call(block_m)
+      .within(std::chrono::milliseconds(10))
+      .run([](Dummy&) {});
+  EXPECT_TRUE(TraceValidator::validate(log).empty());
+}
+
+TEST(TraceValidatorTest, ConcurrentTraceConforms) {
+  runtime::EventLog log;
+  apps::ticket::TicketProxy* raw = nullptr;
+  ModeratorOptions options;
+  options.log = &log;
+  auto proxy = apps::ticket::make_ticket_proxy(4, options);
+  raw = proxy.get();
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([raw, t] {
+        for (int i = 0; i < 200; ++i) {
+          if (t % 2 == 0) {
+            (void)apps::ticket::open_ticket(*raw, {1, "", ""});
+          } else {
+            (void)apps::ticket::assign_ticket(*raw);
+          }
+        }
+      });
+    }
+  }
+  const auto violations = TraceValidator::validate(log);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().description);
+}
+
+TEST(TraceValidatorTest, DetectsMissingPostactivation) {
+  runtime::EventLog log;
+  log.append("moderator", "preactivation:m", 1);
+  log.append("moderator", "admitted:m", 1);
+  // postactivation never recorded
+  const auto violations = TraceValidator::validate(log);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].description.find("never postactivated"),
+            std::string::npos);
+}
+
+TEST(TraceValidatorTest, DetectsAdmissionWithoutPreactivation) {
+  runtime::EventLog log;
+  log.append("moderator", "admitted:m", 2);
+  log.append("moderator", "postactivation:m", 2);
+  const auto violations = TraceValidator::validate(log);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].description.find("without preactivation"),
+            std::string::npos);
+}
+
+TEST(TraceValidatorTest, DetectsDoubleAdmission) {
+  runtime::EventLog log;
+  log.append("moderator", "preactivation:m", 3);
+  log.append("moderator", "admitted:m", 3);
+  log.append("moderator", "postactivation:m", 3);
+  log.append("moderator", "postactivation:m", 3);
+  EXPECT_FALSE(TraceValidator::validate(log).empty());
+}
+
+TEST(HookOrderGuardTest, CleanProtocolLeavesNoViolations) {
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("hog-clean");
+  auto guard =
+      std::make_shared<HookOrderGuard>(std::make_shared<LambdaAspect>("x"));
+  proxy.moderator().register_aspect(m, AspectKind::of("hog"), guard);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  }
+  EXPECT_TRUE(guard->violations().empty());
+}
+
+TEST(HookOrderGuardTest, BlockedThenAdmittedIsClean) {
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("hog-blocked");
+  auto open = std::make_shared<bool>(false);
+  auto guard = std::make_shared<HookOrderGuard>(std::make_shared<LambdaAspect>(
+      "gate", [open](InvocationContext&) {
+        return *open ? Decision::kResume : Decision::kBlock;
+      }));
+  proxy.moderator().register_aspect(m, AspectKind::of("hog"), guard);
+  const auto opener = MethodId::of("hog-opener");
+  proxy.moderator().register_aspect(
+      opener, AspectKind::of("hog"),
+      std::make_shared<LambdaAspect>("opener", nullptr, nullptr,
+                                     [open](InvocationContext&) {
+                                       *open = true;
+                                     }));
+  std::jthread blocked([&] {
+    ASSERT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  ASSERT_TRUE(proxy.invoke(opener, [](Dummy&) {}).ok());
+  blocked.join();
+  EXPECT_TRUE(guard->violations().empty());
+}
+
+TEST(HookOrderGuardTest, CancelledInvocationIsClean) {
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("hog-cancel");
+  auto guard = std::make_shared<HookOrderGuard>(std::make_shared<LambdaAspect>(
+      "never", [](InvocationContext&) { return Decision::kBlock; }));
+  proxy.moderator().register_aspect(m, AspectKind::of("hog"), guard);
+  (void)proxy.call(m).within(std::chrono::milliseconds(10)).run([](Dummy&) {});
+  EXPECT_TRUE(guard->violations().empty());
+}
+
+TEST(HookOrderGuardTest, DetectsBrokenDriver) {
+  // Drive the hooks out of order manually; the guard must flag each issue.
+  HookOrderGuard guard(std::make_shared<LambdaAspect>("x"));
+  InvocationContext ctx(MethodId::of("manual"));
+  guard.entry(ctx);  // entry without arrive
+  EXPECT_EQ(guard.violations().size(), 1u);
+  guard.postaction(ctx);  // post without matching entry state
+  EXPECT_EQ(guard.violations().size(), 2u);
+}
+
+}  // namespace
+}  // namespace amf::core

@@ -1,0 +1,146 @@
+// Randomized "chaos" integration test: a random concern graph (methods ×
+// aspects with random guard behavior) is hammered by concurrent callers
+// with random deadlines while the protocol verifier watches every cell and
+// the moderator trace is validated afterwards.
+//
+// The property under test is global: WHATEVER the aspect graph does
+// (resume/block/abort in any pattern), the framework never violates the
+// moderation protocol, never loses an admission/postaction pairing, and
+// never deadlocks with wake-all notification.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "runtime/random.hpp"
+
+namespace amf {
+namespace {
+
+using core::Decision;
+using core::InvocationContext;
+using runtime::AspectKind;
+using runtime::MethodId;
+
+// A guard whose verdict pattern is pseudo-random but deterministic:
+// Block verdicts flip to Resume on the next evaluation of the same
+// invocation (so nothing blocks forever), Abort appears with ~10% rate.
+class ChaoticAspect final : public core::Aspect {
+ public:
+  explicit ChaoticAspect(std::uint64_t seed) : rng_(seed) {}
+
+  std::string_view name() const override { return "chaotic"; }
+
+  Decision precondition(InvocationContext& ctx) override {
+    // Invocations that already blocked once under us are let through so
+    // the workload always drains.
+    if (ctx.note("chaos.blocked." + std::string(name()))) {
+      return Decision::kResume;
+    }
+    const double roll = rng_.uniform();
+    if (roll < 0.10) {
+      ctx.set_abort_error(runtime::make_error(runtime::ErrorCode::kAborted,
+                                              "chaotic veto"));
+      return Decision::kAbort;
+    }
+    if (roll < 0.25) {
+      ctx.set_note("chaos.blocked." + std::string(name()), "1");
+      return Decision::kBlock;
+    }
+    return Decision::kResume;
+  }
+
+  void entry(InvocationContext&) override { ++entered_; }
+  void postaction(InvocationContext&) override { ++posted_; }
+
+  std::uint64_t entered() const { return entered_; }
+  std::uint64_t posted() const { return posted_; }
+
+ private:
+  runtime::Rng rng_;
+  std::uint64_t entered_ = 0;
+  std::uint64_t posted_ = 0;
+};
+
+struct Dummy {};
+
+class ChaosSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ChaosSweep, ProtocolHoldsUnderRandomConcernGraphs) {
+  const auto [methods_n, aspects_per_method] = GetParam();
+  runtime::EventLog log;
+  core::ModeratorOptions options;
+  options.log = &log;
+  core::ComponentProxy<Dummy> proxy{Dummy{}, options};
+
+  std::vector<MethodId> methods;
+  std::vector<std::shared_ptr<ChaoticAspect>> chaotics;
+  std::vector<std::shared_ptr<core::HookOrderGuard>> guards;
+  for (int mi = 0; mi < methods_n; ++mi) {
+    const auto m = MethodId::of("chaos-" + std::to_string(methods_n) + "-" +
+                                std::to_string(aspects_per_method) + "-" +
+                                std::to_string(mi));
+    methods.push_back(m);
+    for (int ai = 0; ai < aspects_per_method; ++ai) {
+      auto chaotic = std::make_shared<ChaoticAspect>(
+          static_cast<std::uint64_t>(mi * 97 + ai * 31 + 5));
+      auto guard = std::make_shared<core::HookOrderGuard>(chaotic);
+      chaotics.push_back(chaotic);
+      guards.push_back(guard);
+      proxy.moderator().register_aspect(
+          m, AspectKind::of("chaos-k" + std::to_string(ai)), guard);
+    }
+  }
+
+  std::atomic<long> completed{0}, refused{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 6; ++t) {
+      threads.emplace_back([&, t] {
+        runtime::Rng rng(static_cast<std::uint64_t>(t) + 1000);
+        for (int i = 0; i < 400; ++i) {
+          const auto m = methods[rng.uniform_int(0, methods.size() - 1)];
+          // Chaotic guards change verdict spontaneously rather than on
+          // completions, which is outside the framework's wakeup model —
+          // so every call carries a deadline; the deadline wakeup itself
+          // re-evaluates the guard (and usually admits, see ChaoticAspect).
+          auto r = proxy.call(m)
+                       .within(std::chrono::milliseconds(
+                           rng.uniform_int(1, 20)))
+                       .run([](Dummy&) {});
+          (r.ok() ? completed : refused).fetch_add(1);
+        }
+      });
+    }
+  }
+
+  // Global accounting: every caller got a verdict.
+  EXPECT_EQ(completed.load() + refused.load(), 6 * 400);
+  EXPECT_GT(completed.load(), 0);
+
+  // Protocol verification: hook ordering clean for every aspect cell...
+  for (const auto& guard : guards) {
+    EXPECT_TRUE(guard->violations().empty())
+        << guard->violations().front().description;
+  }
+  // ...entry/postaction pairing exact...
+  for (const auto& chaotic : chaotics) {
+    EXPECT_EQ(chaotic->entered(), chaotic->posted());
+  }
+  // ...and the moderator trace conforms to the Fig. 3 automaton.
+  const auto violations = core::TraceValidator::validate(log);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().description);
+  // Nobody left behind.
+  EXPECT_EQ(proxy.moderator().blocked_waiters(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, ChaosSweep,
+                         ::testing::Combine(::testing::Values(1, 3, 6),
+                                            ::testing::Values(1, 2, 4)));
+
+}  // namespace
+}  // namespace amf

@@ -1,0 +1,118 @@
+// Integration reproduction of Figs. 14/17/18: the full phase ordering of an
+// extended (authentication + synchronization) participating method,
+// observed through the event log:
+//
+//   auth.pre → sync.pre → entry chain → BODY → sync.post → auth.post
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+#include "runtime/event_log.hpp"
+
+namespace amf {
+namespace {
+
+using core::ComponentProxy;
+using core::Decision;
+using core::InvocationContext;
+using runtime::AspectKind;
+using runtime::MethodId;
+
+struct Dummy {};
+
+// An aspect that writes every phase it participates in to the log.
+class TracingAspect final : public core::Aspect {
+ public:
+  TracingAspect(std::string name, runtime::EventLog& log)
+      : name_(std::move(name)), log_(&log) {}
+
+  std::string_view name() const override { return name_; }
+
+  Decision precondition(InvocationContext& ctx) override {
+    log_->append("trace", name_ + ".pre", ctx.id());
+    return Decision::kResume;
+  }
+  void entry(InvocationContext& ctx) override {
+    log_->append("trace", name_ + ".entry", ctx.id());
+  }
+  void postaction(InvocationContext& ctx) override {
+    log_->append("trace", name_ + ".post", ctx.id());
+  }
+
+ private:
+  std::string name_;
+  runtime::EventLog* log_;
+};
+
+TEST(ExtensionOrderTest, Figure14SequenceHolds) {
+  runtime::EventLog log;
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("ext-open");
+  const auto kAuth = AspectKind::of("ext-auth");
+  const auto kSync = AspectKind::of("ext-sync");
+  // Registration order is sync first (the base system), then the
+  // extension reorders: auth OUTSIDE sync.
+  proxy.moderator().register_aspect(
+      m, kSync, std::make_shared<TracingAspect>("sync", log));
+  proxy.moderator().register_aspect(
+      m, kAuth, std::make_shared<TracingAspect>("auth", log));
+  proxy.moderator().bank().set_kind_order({kAuth, kSync});
+
+  auto r = proxy.invoke(m, [&](Dummy&) { log.append("trace", "BODY"); });
+  ASSERT_TRUE(r.ok());
+
+  const char* expected[] = {"auth.pre",  "sync.pre", "auth.entry",
+                            "sync.entry", "BODY",     "sync.post",
+                            "auth.post"};
+  const auto events = log.by_category("trace");
+  ASSERT_EQ(events.size(), std::size(expected));
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(events[i].message, expected[i]) << "at position " << i;
+  }
+}
+
+TEST(ExtensionOrderTest, ThreeConcernStackUnwindsInReverse) {
+  runtime::EventLog log;
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("ext3");
+  const auto kA = AspectKind::of("ext3-a");
+  const auto kB = AspectKind::of("ext3-b");
+  const auto kC = AspectKind::of("ext3-c");
+  proxy.moderator().bank().set_kind_order({kA, kB, kC});
+  for (const auto& [kind, name] :
+       {std::pair{kA, "A"}, std::pair{kB, "B"}, std::pair{kC, "C"}}) {
+    proxy.moderator().register_aspect(
+        m, kind, std::make_shared<TracingAspect>(name, log));
+  }
+  ASSERT_TRUE(proxy.invoke(m, [&](Dummy&) {}).ok());
+  const auto events = log.by_category("trace");
+  std::vector<std::string> messages;
+  for (const auto& e : events) messages.push_back(e.message);
+  EXPECT_EQ(messages,
+            (std::vector<std::string>{"A.pre", "B.pre", "C.pre", "A.entry",
+                                      "B.entry", "C.entry", "C.post",
+                                      "B.post", "A.post"}));
+}
+
+TEST(ExtensionOrderTest, ReorderingKindsReordersLiveSystem) {
+  runtime::EventLog log;
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("ext-reorder");
+  const auto kX = AspectKind::of("exr-x");
+  const auto kY = AspectKind::of("exr-y");
+  proxy.moderator().register_aspect(
+      m, kX, std::make_shared<TracingAspect>("X", log));
+  proxy.moderator().register_aspect(
+      m, kY, std::make_shared<TracingAspect>("Y", log));
+
+  ASSERT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  auto first_pre = log.by_category("trace")[0].message;
+  EXPECT_EQ(first_pre, "X.pre");  // registration order
+
+  log.clear();
+  proxy.moderator().bank().set_kind_order({kY, kX});
+  ASSERT_TRUE(proxy.invoke(m, [](Dummy&) {}).ok());
+  EXPECT_EQ(log.by_category("trace")[0].message, "Y.pre");
+}
+
+}  // namespace
+}  // namespace amf

@@ -1,0 +1,236 @@
+// Parameterized property sweeps: the core invariants of the bundled
+// synchronization concerns, exercised across a grid of shapes
+// (threads × limits × workloads) rather than at single points.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "aspects/bulkhead.hpp"
+#include "aspects/synchronization.hpp"
+#include "core/framework.hpp"
+#include "runtime/random.hpp"
+
+namespace amf {
+namespace {
+
+using core::ComponentProxy;
+using runtime::AspectKind;
+using runtime::MethodId;
+
+struct Dummy {};
+
+// ---------------------------------------------------------------------------
+// Property: MutualExclusionAspect(limit) never admits more than `limit`
+// concurrent bodies, for any thread count.
+// ---------------------------------------------------------------------------
+class MutexLimitSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MutexLimitSweep, ConcurrencyNeverExceedsLimit) {
+  const auto [threads_n, limit] = GetParam();
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("ps-mx-" + std::to_string(threads_n) + "-" +
+                              std::to_string(limit));
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("ps-mx"),
+      std::make_shared<aspects::MutualExclusionAspect>(limit));
+  std::atomic<int> in{0}, peak{0}, done{0};
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < threads_n; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < 150; ++i) {
+          auto r = proxy.invoke(m, [&](Dummy&) {
+            const int now = in.fetch_add(1) + 1;
+            int prev = peak.load();
+            while (prev < now && !peak.compare_exchange_weak(prev, now)) {
+            }
+            in.fetch_sub(1);
+          });
+          if (r.ok()) done.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_LE(peak.load(), limit);
+  EXPECT_EQ(done.load(), threads_n * 150);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MutexLimitSweep,
+                         ::testing::Combine(::testing::Values(2, 4, 8),
+                                            ::testing::Values(1, 2, 3)));
+
+// ---------------------------------------------------------------------------
+// Property: readers-writer — never a writer concurrent with anything, for
+// any reader/writer thread mix.
+// ---------------------------------------------------------------------------
+class RwMixSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RwMixSweep, WritersAlwaysExclusive) {
+  const auto [readers_n, writers_n] = GetParam();
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto rm = MethodId::of("ps-rw-r-" + std::to_string(readers_n) + "-" +
+                               std::to_string(writers_n));
+  const auto wm = MethodId::of("ps-rw-w-" + std::to_string(readers_n) + "-" +
+                               std::to_string(writers_n));
+  auto rw = std::make_shared<aspects::ReadersWriterAspect>();
+  rw->add_reader(rm);
+  rw->add_writer(wm);
+  proxy.moderator().register_aspect(rm, AspectKind::of("ps-rw"), rw);
+  proxy.moderator().register_aspect(wm, AspectKind::of("ps-rw"), rw);
+
+  std::atomic<int> readers_in{0}, writers_in{0};
+  std::atomic<bool> violation{false};
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < readers_n; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < 200; ++i) {
+          (void)proxy.invoke(rm, [&](Dummy&) {
+            readers_in.fetch_add(1);
+            if (writers_in.load() != 0) violation.store(true);
+            readers_in.fetch_sub(1);
+          });
+        }
+      });
+    }
+    for (int t = 0; t < writers_n; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < 200; ++i) {
+          (void)proxy.invoke(wm, [&](Dummy&) {
+            if (writers_in.fetch_add(1) != 0) violation.store(true);
+            if (readers_in.load() != 0) violation.store(true);
+            writers_in.fetch_sub(1);
+          });
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(rw->active_readers(), 0u);
+  EXPECT_EQ(rw->active_writers(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, RwMixSweep,
+                         ::testing::Combine(::testing::Values(1, 4, 7),
+                                            ::testing::Values(1, 3)));
+
+// ---------------------------------------------------------------------------
+// Property: bulkhead — per-class peaks never exceed the class budget AND
+// one class's saturation never blocks another (progress isolation).
+// ---------------------------------------------------------------------------
+class BulkheadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BulkheadSweep, ClassPeaksBounded) {
+  const int limit = GetParam();
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("ps-bh-" + std::to_string(limit));
+  proxy.moderator().register_aspect(
+      m, AspectKind::of("ps-bh"),
+      std::make_shared<aspects::BulkheadAspect>(limit));
+  constexpr int kClasses = 3;
+  std::atomic<int> in[kClasses] = {};
+  std::atomic<int> peak[kClasses] = {};
+  {
+    std::vector<std::jthread> workers;
+    for (int c = 0; c < kClasses; ++c) {
+      for (int t = 0; t < 4; ++t) {
+        workers.emplace_back([&, c] {
+          runtime::Principal who{"class" + std::to_string(c), {}, "tok"};
+          for (int i = 0; i < 100; ++i) {
+            (void)proxy.call(m).as(who).run([&](Dummy&) {
+              const int now = in[c].fetch_add(1) + 1;
+              int prev = peak[c].load();
+              while (prev < now &&
+                     !peak[c].compare_exchange_weak(prev, now)) {
+              }
+              in[c].fetch_sub(1);
+            });
+          }
+        });
+      }
+    }
+  }
+  for (int c = 0; c < kClasses; ++c) {
+    EXPECT_LE(peak[c].load(), limit) << "class " << c;
+  }
+  const auto stats = proxy.moderator().stats(m);
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kClasses * 4 * 100));
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, BulkheadSweep, ::testing::Values(1, 2, 4));
+
+// ---------------------------------------------------------------------------
+// Property: bounded resource — committed/reserved stay within capacity for
+// any producer/consumer multiplicity (max_active sweep).
+// ---------------------------------------------------------------------------
+class BoundedActiveSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(BoundedActiveSweep, InvariantHoldsWithMultipleActives) {
+  const auto [capacity, max_active] = GetParam();
+  auto state = std::make_shared<aspects::BoundedResourceState>(capacity);
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto pm = MethodId::of("ps-br-p-" + std::to_string(capacity) + "-" +
+                               std::to_string(max_active));
+  const auto cm = MethodId::of("ps-br-c-" + std::to_string(capacity) + "-" +
+                               std::to_string(max_active));
+  proxy.moderator().register_aspect(
+      pm, AspectKind::of("ps-br"),
+      std::make_shared<aspects::BoundedResourceAspect>(
+          aspects::BoundedResourceAspect::Role::kProducer, state,
+          max_active));
+  proxy.moderator().register_aspect(
+      cm, AspectKind::of("ps-br"),
+      std::make_shared<aspects::BoundedResourceAspect>(
+          aspects::BoundedResourceAspect::Role::kConsumer, state,
+          max_active));
+  // Observer aspect: checks the invariant at every admission, under the
+  // moderator lock (so it sees consistent state).
+  auto violated = std::make_shared<bool>(false);
+  for (const auto m : {pm, cm}) {
+    proxy.moderator().register_aspect(
+        m, AspectKind::of("ps-br-check"),
+        std::make_shared<core::LambdaAspect>(
+            "check", nullptr, [state, violated](core::InvocationContext&) {
+              if (state->committed > state->reserved ||
+                  state->reserved > state->capacity) {
+                *violated = true;
+              }
+            }));
+  }
+
+  constexpr int kOps = 400;
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < 3; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < kOps; ++i) {
+          (void)proxy.invoke(pm, [](Dummy&) {});
+        }
+      });
+      workers.emplace_back([&] {
+        for (int i = 0; i < kOps; ++i) {
+          (void)proxy.invoke(cm, [](Dummy&) {});
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(*violated);
+  EXPECT_EQ(state->active_producers, 0u);
+  EXPECT_EQ(state->active_consumers, 0u);
+  EXPECT_EQ(state->committed, 0u);  // equal produce/consume counts drained
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BoundedActiveSweep,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{8}),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3})));
+
+}  // namespace
+}  // namespace amf

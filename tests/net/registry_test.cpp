@@ -1,0 +1,81 @@
+#include "net/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace amf::net {
+namespace {
+
+TEST(NameRegistryTest, BindAndResolve) {
+  NameRegistry reg;
+  EXPECT_EQ(reg.resolve("svc"), std::nullopt);
+  EXPECT_EQ(reg.bind("svc", "ep-1"), 1u);
+  auto b = reg.resolve("svc");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->endpoint, "ep-1");
+  EXPECT_EQ(b->version, 1u);
+  EXPECT_TRUE(b->healthy);
+}
+
+TEST(NameRegistryTest, RebindBumpsVersion) {
+  NameRegistry reg;
+  (void)reg.bind("svc", "ep-1");
+  EXPECT_EQ(reg.bind("svc", "ep-2"), 2u);
+  EXPECT_EQ(reg.resolve("svc")->endpoint, "ep-2");
+}
+
+TEST(NameRegistryTest, UnhealthyHiddenFromResolve) {
+  NameRegistry reg;
+  (void)reg.bind("svc", "ep-1");
+  reg.set_healthy("svc", false);
+  EXPECT_EQ(reg.resolve("svc"), std::nullopt);
+  ASSERT_TRUE(reg.resolve_any("svc").has_value());
+  EXPECT_FALSE(reg.resolve_any("svc")->healthy);
+  reg.set_healthy("svc", true);
+  EXPECT_TRUE(reg.resolve("svc").has_value());
+}
+
+TEST(NameRegistryTest, RebindRestoresHealth) {
+  NameRegistry reg;
+  (void)reg.bind("svc", "ep-1");
+  reg.set_healthy("svc", false);
+  (void)reg.bind("svc", "ep-2");
+  EXPECT_TRUE(reg.resolve("svc").has_value());
+}
+
+TEST(NameRegistryTest, UnbindRemoves) {
+  NameRegistry reg;
+  (void)reg.bind("svc", "ep-1");
+  EXPECT_TRUE(reg.unbind("svc"));
+  EXPECT_FALSE(reg.unbind("svc"));
+  EXPECT_EQ(reg.resolve_any("svc"), std::nullopt);
+}
+
+TEST(NameRegistryTest, NamesSorted) {
+  NameRegistry reg;
+  (void)reg.bind("zeta", "e");
+  (void)reg.bind("alpha", "e");
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(NameRegistryTest, ConcurrentRebindsKeepMonotonicVersions) {
+  NameRegistry reg;
+  constexpr int kThreads = 8, kEach = 200;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kEach; ++i) {
+          (void)reg.bind("svc", "ep-" + std::to_string(t));
+        }
+      });
+    }
+  }
+  EXPECT_EQ(reg.resolve("svc")->version,
+            static_cast<std::uint64_t>(kThreads * kEach));
+}
+
+}  // namespace
+}  // namespace amf::net

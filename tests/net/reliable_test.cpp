@@ -1,0 +1,172 @@
+#include "net/reliable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace amf::net {
+namespace {
+
+TEST(DedupCacheTest, RemembersAndReplays) {
+  DedupCache cache;
+  EXPECT_EQ(cache.lookup("r1"), std::nullopt);
+  Envelope resp;
+  resp.put("x", "1");
+  cache.remember("r1", resp);
+  auto hit = cache.lookup("r1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->get("x"), "1");
+}
+
+TEST(DedupCacheTest, EvictsOldestAtCapacity) {
+  DedupCache cache(2);
+  cache.remember("a", Envelope{});
+  cache.remember("b", Envelope{});
+  cache.remember("c", Envelope{});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lookup("a"), std::nullopt);
+  EXPECT_TRUE(cache.lookup("b").has_value());
+  EXPECT_TRUE(cache.lookup("c").has_value());
+}
+
+TEST(WithDedupTest, HandlerRunsOncePerRequestId) {
+  DedupCache cache;
+  std::atomic<int> executions{0};
+  auto handler = with_dedup(cache, [&](const Envelope&) {
+    executions.fetch_add(1);
+    Envelope r;
+    r.put_u64("n", static_cast<std::uint64_t>(executions.load()));
+    return r;
+  });
+  Envelope req;
+  req.put("request.id", "dup-1");
+  EXPECT_EQ(handler(req).get_u64("n"), 1u);
+  EXPECT_EQ(handler(req).get_u64("n"), 1u) << "duplicate must replay memo";
+  EXPECT_EQ(executions.load(), 1);
+  Envelope req2;
+  req2.put("request.id", "dup-2");
+  EXPECT_EQ(handler(req2).get_u64("n"), 2u);
+}
+
+TEST(WithDedupTest, ErrorResponsesAreNotMemoized) {
+  // A handler that fails once then succeeds: the retry must re-execute
+  // (failed executions are assumed effect-free), and only the success is
+  // memoized.
+  DedupCache cache;
+  std::atomic<int> executions{0};
+  auto handler = with_dedup(cache, [&](const Envelope&) {
+    Envelope r;
+    if (executions.fetch_add(1) == 0) r.put("error", "transient");
+    return r;
+  });
+  Envelope req;
+  req.put("request.id", "flaky-1");
+  EXPECT_TRUE(handler(req).is_error());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(handler(req).is_error());  // re-executed
+  EXPECT_EQ(executions.load(), 2);
+  EXPECT_FALSE(handler(req).is_error());  // now memoized
+  EXPECT_EQ(executions.load(), 2);
+}
+
+TEST(WithDedupTest, UnstampedRequestsPassThrough) {
+  DedupCache cache;
+  std::atomic<int> executions{0};
+  auto handler = with_dedup(cache, [&](const Envelope&) {
+    executions.fetch_add(1);
+    return Envelope{};
+  });
+  Envelope req;  // no request.id
+  (void)handler(req);
+  (void)handler(req);
+  EXPECT_EQ(executions.load(), 2);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(RetryingClientTest, SucceedsFirstTryOnReliableLink) {
+  Transport transport;
+  RpcServer server(transport, "srv");
+  server.register_method("echo", [](const Envelope& req) {
+    Envelope r;
+    r.put("echo", req.get("msg").value_or(""));
+    return r;
+  });
+  server.start();
+  RetryingClient client(transport, "cli");
+  Envelope req;
+  req.method = "echo";
+  req.put("msg", "hi");
+  auto r = client.call("srv", std::move(req));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().get("echo"), "hi");
+  EXPECT_EQ(client.last_attempts(), 1);
+}
+
+TEST(RetryingClientTest, GivesUpAfterMaxAttempts) {
+  Transport::Options lossy;
+  lossy.drop_probability = 1.0;  // black hole
+  Transport transport(lossy);
+  (void)transport.open("srv");  // endpoint exists; messages vanish
+  RetryingClient::Options opts;
+  opts.max_attempts = 3;
+  opts.attempt_timeout = std::chrono::milliseconds(10);
+  opts.backoff = std::chrono::milliseconds(1);
+  RetryingClient client(transport, "cli", opts);
+  Envelope req;
+  req.method = "echo";
+  auto r = client.call("srv", std::move(req));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), runtime::ErrorCode::kTimeout);
+  EXPECT_EQ(client.last_attempts(), 3);
+  EXPECT_GE(transport.dropped(), 3u);
+}
+
+TEST(RetryingClientTest, NonTimeoutErrorsAreNotRetried) {
+  Transport transport;
+  RetryingClient client(transport, "cli");
+  Envelope req;
+  req.method = "echo";
+  auto r = client.call("ghost-endpoint", std::move(req));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), runtime::ErrorCode::kUnavailable);
+  EXPECT_EQ(client.last_attempts(), 1);
+}
+
+TEST(RetryingClientTest, ExactlyOnceEffectOverLossyLink) {
+  // 30% loss each way; with retries every logical request must execute
+  // EXACTLY once server-side (dedup) and eventually succeed client-side.
+  Transport::Options lossy;
+  lossy.drop_probability = 0.3;
+  lossy.seed = 7;
+  Transport transport(lossy);
+  RpcServer server(transport, "srv");
+  DedupCache cache;
+  std::atomic<int> executions{0};
+  server.register_method(
+      "inc", with_dedup(cache, [&](const Envelope&) {
+        executions.fetch_add(1);
+        return Envelope{};
+      }));
+  server.start();
+
+  RetryingClient::Options opts;
+  opts.max_attempts = 30;
+  opts.attempt_timeout = std::chrono::milliseconds(20);
+  opts.backoff = std::chrono::milliseconds(1);
+  RetryingClient client(transport, "cli", opts);
+
+  constexpr int kRequests = 50;
+  int succeeded = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    Envelope req;
+    req.method = "inc";
+    if (client.call("srv", std::move(req)).ok()) ++succeeded;
+  }
+  EXPECT_EQ(succeeded, kRequests);
+  EXPECT_EQ(executions.load(), kRequests)
+      << "dedup must suppress re-execution of retried requests";
+  EXPECT_GT(transport.dropped(), 0u) << "the link must actually be lossy";
+}
+
+}  // namespace
+}  // namespace amf::net

@@ -1,0 +1,188 @@
+#include "net/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace amf::net {
+namespace {
+
+constexpr auto kTimeout = std::chrono::seconds(5);
+
+TEST(RpcTest, EchoRoundTrip) {
+  Transport transport;
+  RpcServer server(transport, "server");
+  server.register_method("echo", [](const Envelope& req) {
+    Envelope resp;
+    resp.put("echo", req.get("msg").value_or(""));
+    return resp;
+  });
+  server.start();
+  RpcClient client(transport, "client");
+  Envelope req;
+  req.method = "echo";
+  req.put("msg", "hello");
+  auto r = client.call("server", std::move(req), kTimeout);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().get("echo"), "hello");
+  EXPECT_EQ(server.served(), 1u);
+}
+
+TEST(RpcTest, UnknownMethodReturnsErrorPayload) {
+  Transport transport;
+  RpcServer server(transport, "server");
+  server.start();
+  RpcClient client(transport, "client");
+  Envelope req;
+  req.method = "nope";
+  auto r = client.call("server", std::move(req), kTimeout);
+  ASSERT_TRUE(r.ok());  // transport-level success
+  EXPECT_TRUE(r.value().is_error());
+  EXPECT_EQ(r.value().get("error.code"), "not-found");
+}
+
+TEST(RpcTest, HandlerExceptionBecomesErrorPayload) {
+  Transport transport;
+  RpcServer server(transport, "server");
+  server.register_method("boom", [](const Envelope&) -> Envelope {
+    throw std::runtime_error("handler exploded");
+  });
+  server.start();
+  RpcClient client(transport, "client");
+  Envelope req;
+  req.method = "boom";
+  auto r = client.call("server", std::move(req), kTimeout);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().is_error());
+  EXPECT_NE(r.value().get("error")->find("handler exploded"),
+            std::string::npos);
+}
+
+TEST(RpcTest, CallToMissingEndpointFailsFast) {
+  Transport transport;
+  RpcClient client(transport, "client");
+  Envelope req;
+  req.method = "echo";
+  auto r = client.call("ghost", std::move(req), kTimeout);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), runtime::ErrorCode::kUnavailable);
+}
+
+TEST(RpcTest, SlowHandlerTimesOutClientSide) {
+  Transport transport;
+  RpcServer server(transport, "server");
+  server.register_method("slow", [](const Envelope&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return Envelope{};
+  });
+  server.start();
+  RpcClient client(transport, "client");
+  Envelope req;
+  req.method = "slow";
+  auto r = client.call("server", std::move(req),
+                       std::chrono::milliseconds(20));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), runtime::ErrorCode::kTimeout);
+}
+
+TEST(RpcTest, ConcurrentClientsAndRequests) {
+  Transport transport;
+  RpcServer server(transport, "server", /*workers=*/4);
+  std::atomic<int> handled{0};
+  server.register_method("inc", [&](const Envelope& req) {
+    handled.fetch_add(1);
+    Envelope resp;
+    resp.put_u64("n", req.get_u64("n").value_or(0) + 1);
+    return resp;
+  });
+  server.start();
+  constexpr int kClients = 4, kEach = 100;
+  std::atomic<int> correct{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        RpcClient client(transport, "client-" + std::to_string(c));
+        for (int i = 0; i < kEach; ++i) {
+          Envelope req;
+          req.method = "inc";
+          req.put_u64("n", static_cast<std::uint64_t>(i));
+          auto r = client.call("server", std::move(req), kTimeout);
+          if (r.ok() &&
+              r.value().get_u64("n") == static_cast<std::uint64_t>(i + 1)) {
+            correct.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(correct.load(), kClients * kEach);
+  EXPECT_EQ(handled.load(), kClients * kEach);
+}
+
+TEST(RpcTest, MultipleInFlightFromOneClient) {
+  Transport transport;
+  RpcServer server(transport, "server", /*workers=*/4);
+  server.register_method("delay-echo", [](const Envelope& req) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        req.get_u64("ms").value_or(0)));
+    Envelope resp;
+    resp.put("id", req.get("id").value_or(""));
+    return resp;
+  });
+  server.start();
+  RpcClient client(transport, "client");
+  std::atomic<int> ok{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int i = 0; i < 4; ++i) {
+      threads.emplace_back([&, i] {
+        Envelope req;
+        req.method = "delay-echo";
+        req.put("id", std::to_string(i));
+        req.put_u64("ms", static_cast<std::uint64_t>((4 - i) * 10));
+        auto r = client.call("server", std::move(req), kTimeout);
+        if (r.ok() && r.value().get("id") == std::to_string(i)) {
+          ok.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(ok.load(), 4) << "correlation must route out-of-order replies";
+}
+
+TEST(RpcTest, ServerStopIsClean) {
+  Transport transport;
+  RpcServer server(transport, "server");
+  server.register_method("echo", [](const Envelope&) { return Envelope{}; });
+  server.start();
+  server.stop();
+  server.stop();  // idempotent
+  RpcClient client(transport, "client");
+  Envelope req;
+  req.method = "echo";
+  auto r = client.call("server", std::move(req),
+                       std::chrono::milliseconds(50));
+  EXPECT_FALSE(r.ok());  // nobody serving anymore
+}
+
+TEST(RpcTest, OverSimulatedLatencyLink) {
+  Transport::Options opts;
+  opts.min_latency = std::chrono::milliseconds(10);
+  Transport transport(opts);
+  RpcServer server(transport, "server");
+  server.register_method("echo", [](const Envelope&) { return Envelope{}; });
+  server.start();
+  RpcClient client(transport, "client");
+  Envelope req;
+  req.method = "echo";
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = client.call("server", std::move(req), kTimeout);
+  const auto rtt = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(rtt, std::chrono::milliseconds(18)) << "two one-way hops";
+}
+
+}  // namespace
+}  // namespace amf::net

@@ -1,0 +1,123 @@
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace amf::net {
+namespace {
+
+TEST(EnvelopeTest, PayloadHelpers) {
+  Envelope env;
+  env.put("name", "x").put_u64("count", 42);
+  EXPECT_EQ(env.get("name"), "x");
+  EXPECT_EQ(env.get_u64("count"), 42u);
+  EXPECT_EQ(env.get("missing"), std::nullopt);
+  EXPECT_EQ(env.get_u64("name"), std::nullopt);  // malformed int
+  EXPECT_FALSE(env.is_error());
+  env.put("error", "boom");
+  EXPECT_TRUE(env.is_error());
+}
+
+TEST(TransportTest, DirectDelivery) {
+  Transport transport;
+  auto inbox = transport.open("dst");
+  Envelope env;
+  env.target = "dst";
+  env.put("k", "v");
+  ASSERT_TRUE(transport.send(std::move(env)));
+  auto msg = inbox->receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->get("k"), "v");
+  EXPECT_EQ(transport.delivered(), 1u);
+}
+
+TEST(TransportTest, SendToUnknownEndpointFails) {
+  Transport transport;
+  Envelope env;
+  env.target = "nobody";
+  EXPECT_FALSE(transport.send(std::move(env)));
+}
+
+TEST(TransportTest, OpenIsIdempotent) {
+  Transport transport;
+  auto a = transport.open("ep");
+  auto b = transport.open("ep");
+  EXPECT_EQ(a, b);
+}
+
+TEST(TransportTest, ShutdownClosesMailboxes) {
+  Transport transport;
+  auto inbox = transport.open("dst");
+  std::atomic<bool> drained{false};
+  std::jthread receiver([&] {
+    EXPECT_EQ(inbox->receive(), std::nullopt);
+    drained.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  transport.shutdown();
+  receiver.join();
+  EXPECT_TRUE(drained.load());
+  Envelope env;
+  env.target = "dst";
+  EXPECT_FALSE(transport.send(std::move(env)));
+}
+
+TEST(TransportTest, DelayedDeliveryRespectsLatency) {
+  Transport::Options opts;
+  opts.min_latency = std::chrono::milliseconds(30);
+  Transport transport(opts);
+  auto inbox = transport.open("dst");
+  Envelope env;
+  env.target = "dst";
+  const auto sent_at = std::chrono::steady_clock::now();
+  ASSERT_TRUE(transport.send(std::move(env)));
+  auto msg = inbox->receive();
+  const auto elapsed = std::chrono::steady_clock::now() - sent_at;
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+}
+
+TEST(TransportTest, DelayedDeliveryPreservesPerLinkOrderWithFixedLatency) {
+  Transport::Options opts;
+  opts.min_latency = std::chrono::milliseconds(5);
+  Transport transport(opts);
+  auto inbox = transport.open("dst");
+  for (int i = 0; i < 10; ++i) {
+    Envelope env;
+    env.target = "dst";
+    env.put_u64("seq", static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(transport.send(std::move(env)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto msg = inbox->receive();
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->get_u64("seq"), static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(TransportTest, ManySendersOneReceiver) {
+  Transport transport;
+  auto inbox = transport.open("sink");
+  constexpr int kSenders = 8, kEach = 500;
+  {
+    std::vector<std::jthread> senders;
+    for (int s = 0; s < kSenders; ++s) {
+      senders.emplace_back([&] {
+        for (int i = 0; i < kEach; ++i) {
+          Envelope env;
+          env.target = "sink";
+          ASSERT_TRUE(transport.send(std::move(env)));
+        }
+      });
+    }
+  }
+  for (int i = 0; i < kSenders * kEach; ++i) {
+    ASSERT_TRUE(inbox->receive().has_value());
+  }
+  EXPECT_EQ(inbox->pending(), 0u);
+}
+
+}  // namespace
+}  // namespace amf::net

@@ -1,0 +1,66 @@
+#include "runtime/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace amf::runtime {
+namespace {
+
+TEST(RealClockTest, IsMonotonic) {
+  RealClock clock;
+  const auto a = clock.now();
+  const auto b = clock.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(RealClockTest, AdvancesWithWallTime) {
+  RealClock clock;
+  const auto a = clock.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(clock.now() - a, std::chrono::milliseconds(1));
+}
+
+TEST(RealClockTest, SingletonIsSteadyCompatible) {
+  EXPECT_TRUE(RealClock::instance().is_steady_compatible());
+}
+
+TEST(ManualClockTest, OnlyMovesWhenAdvanced) {
+  ManualClock clock;
+  const auto a = clock.now();
+  EXPECT_EQ(clock.now(), a);
+  clock.advance(std::chrono::seconds(5));
+  EXPECT_EQ(clock.now() - a, std::chrono::seconds(5));
+}
+
+TEST(ManualClockTest, NotSteadyCompatible) {
+  ManualClock clock;
+  EXPECT_FALSE(clock.is_steady_compatible());
+}
+
+TEST(ManualClockTest, ConcurrentAdvancesAccumulate) {
+  ManualClock clock;
+  const auto start = clock.now();
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 1000; ++i) clock.advance(std::chrono::nanoseconds(1));
+      });
+    }
+  }
+  EXPECT_EQ((clock.now() - start).count(), 4000);
+}
+
+TEST(StopwatchTest, MeasuresManualTime) {
+  ManualClock clock;
+  Stopwatch sw(clock);
+  clock.advance(std::chrono::milliseconds(30));
+  EXPECT_EQ(sw.elapsed(), std::chrono::milliseconds(30));
+  sw.reset();
+  EXPECT_EQ(sw.elapsed(), Duration{0});
+}
+
+}  // namespace
+}  // namespace amf::runtime

@@ -1,0 +1,121 @@
+#include "runtime/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace amf::runtime {
+namespace {
+
+TEST(EventLogTest, AppendAssignsIncreasingSequenceNumbers) {
+  EventLog log;
+  const auto s1 = log.append("cat", "one");
+  const auto s2 = log.append("cat", "two");
+  EXPECT_LT(s1, s2);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(EventLogTest, SnapshotPreservesAppendOrder) {
+  EventLog log;
+  log.append("a", "1");
+  log.append("b", "2");
+  log.append("a", "3");
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].message, "1");
+  EXPECT_EQ(events[1].message, "2");
+  EXPECT_EQ(events[2].message, "3");
+}
+
+TEST(EventLogTest, ByCategoryFilters) {
+  EventLog log;
+  log.append("audit", "x");
+  log.append("moderator", "y");
+  log.append("audit", "z");
+  const auto audit = log.by_category("audit");
+  ASSERT_EQ(audit.size(), 2u);
+  EXPECT_EQ(audit[0].message, "x");
+  EXPECT_EQ(audit[1].message, "z");
+}
+
+TEST(EventLogTest, ByInvocationFilters) {
+  EventLog log;
+  log.append("m", "a", 7);
+  log.append("m", "b", 8);
+  log.append("m", "c", 7);
+  const auto inv7 = log.by_invocation(7);
+  ASSERT_EQ(inv7.size(), 2u);
+  EXPECT_EQ(inv7[0].message, "a");
+  EXPECT_EQ(inv7[1].message, "c");
+}
+
+TEST(EventLogTest, FindReturnsFirstMatch) {
+  EventLog log;
+  log.append("c", "m", 1);
+  log.append("c", "m", 2);
+  const auto e = log.find("c", "m");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->invocation_id, 1u);
+  EXPECT_FALSE(log.find("c", "nope").has_value());
+}
+
+TEST(EventLogTest, CountMatches) {
+  EventLog log;
+  log.append("c", "m");
+  log.append("c", "m");
+  log.append("c", "other");
+  EXPECT_EQ(log.count("c", "m"), 2u);
+  EXPECT_EQ(log.count("c", "missing"), 0u);
+}
+
+TEST(EventLogTest, HappenedBeforeOrdersEvents) {
+  EventLog log;
+  log.append("p", "first");
+  log.append("p", "second");
+  EXPECT_TRUE(log.happened_before("p", "first", "p", "second"));
+  EXPECT_FALSE(log.happened_before("p", "second", "p", "first"));
+  EXPECT_FALSE(log.happened_before("p", "first", "p", "missing"));
+}
+
+TEST(EventLogTest, ClearKeepsSequenceMonotonic) {
+  EventLog log;
+  const auto s1 = log.append("c", "a");
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  const auto s2 = log.append("c", "b");
+  EXPECT_GT(s2, s1);
+}
+
+TEST(EventLogTest, ManualClockTimestamps) {
+  ManualClock clock;
+  EventLog log(clock);
+  log.append("c", "early");
+  clock.advance(std::chrono::seconds(1));
+  log.append("c", "late");
+  const auto events = log.snapshot();
+  EXPECT_EQ(events[1].time - events[0].time, std::chrono::seconds(1));
+}
+
+TEST(EventLogTest, ConcurrentAppendsAllRecorded) {
+  EventLog log;
+  constexpr int kThreads = 8;
+  constexpr int kEach = 500;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kEach; ++i) log.append("stress", "e");
+      });
+    }
+  }
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(kThreads * kEach));
+  // Sequence numbers must be unique and dense.
+  auto events = log.snapshot();
+  std::set<std::uint64_t> seqs;
+  for (const auto& e : events) seqs.insert(e.seq);
+  EXPECT_EQ(seqs.size(), events.size());
+}
+
+}  // namespace
+}  // namespace amf::runtime

@@ -1,0 +1,111 @@
+#include "runtime/identity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace amf::runtime {
+namespace {
+
+TEST(PrincipalTest, AnonymousHasNothing) {
+  const auto p = Principal::anonymous();
+  EXPECT_TRUE(p.name.empty());
+  EXPECT_FALSE(p.authenticated());
+  EXPECT_FALSE(p.has_role("any"));
+}
+
+TEST(PrincipalTest, HasRole) {
+  Principal p{"ann", {"manager", "auditor"}, "tok"};
+  EXPECT_TRUE(p.has_role("manager"));
+  EXPECT_TRUE(p.has_role("auditor"));
+  EXPECT_FALSE(p.has_role("admin"));
+  EXPECT_TRUE(p.authenticated());
+}
+
+TEST(CredentialStoreTest, AddUserRejectsDuplicates) {
+  CredentialStore store;
+  EXPECT_TRUE(store.add_user("ann", "pw", {}).ok());
+  const auto dup = store.add_user("ann", "other", {});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(CredentialStoreTest, LoginHappyPath) {
+  CredentialStore store;
+  ASSERT_TRUE(store.add_user("ann", "pw", {"manager"}).ok());
+  auto session = store.login("ann", "pw");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session.value().name, "ann");
+  EXPECT_TRUE(session.value().has_role("manager"));
+  EXPECT_TRUE(store.valid_token(session.value().token));
+}
+
+TEST(CredentialStoreTest, LoginRejectsUnknownUser) {
+  CredentialStore store;
+  const auto r = store.login("ghost", "pw");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kUnauthenticated);
+}
+
+TEST(CredentialStoreTest, LoginRejectsWrongPassword) {
+  CredentialStore store;
+  ASSERT_TRUE(store.add_user("ann", "right", {}).ok());
+  const auto r = store.login("ann", "wrong");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kUnauthenticated);
+}
+
+TEST(CredentialStoreTest, TokensAreUniquePerLogin) {
+  CredentialStore store;
+  ASSERT_TRUE(store.add_user("ann", "pw", {}).ok());
+  const auto t1 = store.login("ann", "pw").value().token;
+  const auto t2 = store.login("ann", "pw").value().token;
+  EXPECT_NE(t1, t2);
+  EXPECT_EQ(store.live_sessions(), 2u);
+}
+
+TEST(CredentialStoreTest, PrincipalForResolvesToken) {
+  CredentialStore store;
+  ASSERT_TRUE(store.add_user("bob", "pw", {"support"}).ok());
+  const auto token = store.login("bob", "pw").value().token;
+  const auto p = store.principal_for(token);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->name, "bob");
+  EXPECT_TRUE(p->has_role("support"));
+  EXPECT_FALSE(store.principal_for("bogus").has_value());
+}
+
+TEST(CredentialStoreTest, RevokeInvalidatesToken) {
+  CredentialStore store;
+  ASSERT_TRUE(store.add_user("ann", "pw", {}).ok());
+  const auto token = store.login("ann", "pw").value().token;
+  store.revoke(token);
+  EXPECT_FALSE(store.valid_token(token));
+  EXPECT_EQ(store.live_sessions(), 0u);
+  store.revoke("never-existed");  // must not throw
+}
+
+TEST(CredentialStoreTest, ConcurrentLoginsAreSafe) {
+  CredentialStore store;
+  ASSERT_TRUE(store.add_user("ann", "pw", {}).ok());
+  constexpr int kThreads = 8;
+  constexpr int kEach = 100;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kEach; ++i) {
+          auto s = store.login("ann", "pw");
+          ASSERT_TRUE(s.ok());
+          EXPECT_TRUE(store.valid_token(s.value().token));
+        }
+      });
+    }
+  }
+  EXPECT_EQ(store.live_sessions(),
+            static_cast<std::size_t>(kThreads * kEach));
+}
+
+}  // namespace
+}  // namespace amf::runtime

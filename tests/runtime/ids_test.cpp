@@ -1,0 +1,122 @@
+#include "runtime/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace amf::runtime {
+namespace {
+
+TEST(InternerTest, InternReturnsStableIds) {
+  Interner interner;
+  const auto a = interner.intern("alpha");
+  const auto b = interner.intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.intern("alpha"), a);
+  EXPECT_EQ(interner.intern("beta"), b);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, NameRoundTrips) {
+  Interner interner;
+  const auto id = interner.intern("round-trip");
+  EXPECT_EQ(interner.name(id), "round-trip");
+}
+
+TEST(InternerTest, LookupWithoutInterning) {
+  Interner interner;
+  EXPECT_EQ(interner.lookup("ghost"), Interner::kInvalid);
+  (void)interner.intern("ghost");
+  EXPECT_NE(interner.lookup("ghost"), Interner::kInvalid);
+}
+
+TEST(InternerTest, UnknownIdYieldsEmptyName) {
+  Interner interner;
+  EXPECT_EQ(interner.name(12345), "");
+}
+
+TEST(InternerTest, ViewsRemainValidAcrossGrowth) {
+  Interner interner;
+  const auto first = interner.intern("first");
+  const std::string_view view = interner.name(first);
+  for (int i = 0; i < 1000; ++i) {
+    (void)interner.intern("filler-" + std::to_string(i));
+  }
+  EXPECT_EQ(view, "first");  // deque storage must not move
+}
+
+TEST(InternerTest, ConcurrentInterningIsConsistent) {
+  Interner interner;
+  constexpr int kThreads = 8;
+  constexpr int kNames = 200;
+  std::vector<std::vector<std::uint32_t>> ids(kThreads);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kNames; ++i) {
+          ids[t].push_back(interner.intern("name-" + std::to_string(i)));
+        }
+      });
+    }
+  }
+  // Every thread must have observed identical ids for identical names.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[t], ids[0]);
+  }
+  EXPECT_EQ(interner.size(), static_cast<std::size_t>(kNames));
+}
+
+TEST(MethodIdTest, DefaultIsInvalid) {
+  MethodId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.name(), "");
+}
+
+TEST(MethodIdTest, OfInternsAndCompares) {
+  const auto open = MethodId::of("open");
+  const auto assign = MethodId::of("assign");
+  EXPECT_TRUE(open.valid());
+  EXPECT_NE(open, assign);
+  EXPECT_EQ(open, MethodId::of("open"));
+  EXPECT_EQ(open.name(), "open");
+}
+
+TEST(MethodIdTest, MethodAndKindSpacesAreIndependent) {
+  const auto m = MethodId::of("sync");
+  const auto k = AspectKind::of("sync");
+  // Same spelling, different id spaces; both resolve their own names.
+  EXPECT_EQ(m.name(), "sync");
+  EXPECT_EQ(k.name(), "sync");
+}
+
+TEST(MethodIdTest, HashIsUsableInUnorderedContainers) {
+  std::set<std::size_t> hashes;
+  for (int i = 0; i < 50; ++i) {
+    hashes.insert(
+        std::hash<MethodId>{}(MethodId::of("m" + std::to_string(i))));
+  }
+  EXPECT_GT(hashes.size(), 40u);  // dense ids, distinct hashes
+}
+
+TEST(WellKnownKindsTest, AreDistinct) {
+  const AspectKind all[] = {
+      kinds::synchronization(), kinds::authentication(),
+      kinds::authorization(),   kinds::scheduling(),
+      kinds::audit(),           kinds::timing(),
+      kinds::fault_tolerance(), kinds::quota()};
+  std::set<std::uint32_t> values;
+  for (const auto k : all) values.insert(k.value());
+  EXPECT_EQ(values.size(), std::size(all));
+}
+
+TEST(WellKnownKindsTest, AreStableAcrossCalls) {
+  EXPECT_EQ(kinds::synchronization(), kinds::synchronization());
+  EXPECT_EQ(kinds::audit().name(), "audit");
+}
+
+}  // namespace
+}  // namespace amf::runtime

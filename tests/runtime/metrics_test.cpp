@@ -1,0 +1,139 @@
+#include "runtime/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace amf::runtime {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsDoNotLoseUpdates) {
+  Counter c;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 10'000; ++i) c.add();
+      });
+    }
+  }
+  EXPECT_EQ(c.value(), 80'000u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.set(5);
+  g.add(-8);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+TEST(HistogramTest, BasicStatistics) {
+  Histogram h;
+  for (int v : {1, 2, 3, 4, 100}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 110);
+  EXPECT_DOUBLE_EQ(h.mean(), 22.0);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.sum(), 0);
+}
+
+TEST(HistogramTest, PercentileIsBucketUpperBound) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(10);  // bucket [8,16) -> bound 15
+  const auto p50 = h.percentile(0.5);
+  EXPECT_GE(p50, 10);
+  EXPECT_LE(p50, 15);
+}
+
+TEST(HistogramTest, PercentileOrdering) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i);
+  EXPECT_LE(h.percentile(0.1), h.percentile(0.5));
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.99));
+  EXPECT_LE(h.percentile(0.99), h.max());
+}
+
+TEST(HistogramTest, PercentileClampsP) {
+  Histogram h;
+  h.record(7);
+  EXPECT_EQ(h.percentile(-1.0), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.record(4);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, ConcurrentRecords) {
+  Histogram h;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 25'000; ++i) h.record(i % 64);
+      });
+    }
+  }
+  EXPECT_EQ(h.count(), 100'000u);
+  EXPECT_EQ(h.max(), 63);
+}
+
+TEST(RegistryTest, SameNameYieldsSameMetric) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(RegistryTest, DistinctNamesDistinctMetrics) {
+  Registry reg;
+  EXPECT_NE(&reg.counter("a"), &reg.counter("b"));
+  EXPECT_NE(&reg.histogram("a"), &reg.histogram("b"));
+}
+
+TEST(RegistryTest, ReportListsAllMetrics) {
+  Registry reg;
+  reg.counter("requests").add(3);
+  reg.gauge("depth").set(2);
+  reg.histogram("latency").record(10);
+  const auto report = reg.report();
+  EXPECT_NE(report.find("counter requests = 3"), std::string::npos);
+  EXPECT_NE(report.find("gauge depth = 2"), std::string::npos);
+  EXPECT_NE(report.find("histogram latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amf::runtime

@@ -1,0 +1,66 @@
+#include "runtime/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace amf::runtime {
+namespace {
+
+TEST(ResultTest, SuccessCarriesValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.code(), ErrorCode::kOk);
+}
+
+TEST(ResultTest, ErrorCarriesCodeAndMessage) {
+  Result<int> r(make_error(ErrorCode::kNotFound, "missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message, "missing");
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok(7);
+  Result<int> bad(make_error(ErrorCode::kTimeout, ""));
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValueSupported) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(ResultTest, VoidSuccessByDefault) {
+  Result<void> r;
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kOk);
+}
+
+TEST(ResultTest, VoidError) {
+  Result<void> r(make_error(ErrorCode::kAborted, "vetoed"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kAborted);
+}
+
+TEST(ErrorTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(make_error(ErrorCode::kTimeout, "too slow").to_string(),
+            "timeout: too slow");
+  EXPECT_EQ(make_error(ErrorCode::kAborted, "").to_string(), "aborted");
+}
+
+TEST(ErrorTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(to_string(static_cast<ErrorCode>(c)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace amf::runtime
