@@ -10,7 +10,7 @@ const AspectChain AspectBank::kEmptyChain =
 void AspectBank::set_kind_order(std::vector<runtime::AspectKind> order) {
   std::scoped_lock lock(mu_);
   order_ = std::move(order);
-  for (const auto& [method, _] : cells_) rebuild_chain_locked(method);
+  publish_locked();
 }
 
 std::vector<runtime::AspectKind> AspectBank::kind_order() const {
@@ -25,7 +25,7 @@ void AspectBank::register_aspect(runtime::MethodId method,
     order_.push_back(kind);
   }
   cells_[method][kind] = std::move(aspect);
-  rebuild_chain_locked(method);
+  publish_locked();
 }
 
 bool AspectBank::remove_aspect(runtime::MethodId method,
@@ -34,7 +34,7 @@ bool AspectBank::remove_aspect(runtime::MethodId method,
   auto it = cells_.find(method);
   if (it == cells_.end()) return false;
   if (it->second.erase(kind) == 0) return false;
-  rebuild_chain_locked(method);
+  publish_locked();
   return true;
 }
 
@@ -48,9 +48,29 @@ AspectPtr AspectBank::find(runtime::MethodId method,
 }
 
 AspectChain AspectBank::chain(runtime::MethodId method) const {
-  std::scoped_lock lock(mu_);
-  auto it = chains_.find(method);
-  return it == chains_.end() ? kEmptyChain : it->second;
+  const auto snap = snapshot();
+  auto it = snap->chains.find(method);
+  return it == snap->chains.end() ? kEmptyChain : it->second;
+}
+
+LockGroup AspectBank::lock_group(runtime::MethodId method) const {
+  const auto snap = snapshot();
+  auto it = snap->groups.find(method);
+  return it == snap->groups.end() ? nullptr : it->second;
+}
+
+void AspectBank::snapshot_for(runtime::MethodId method, AspectChain* chain,
+                              LockGroup* group) const {
+  const auto snap = snapshot();
+  auto ct = snap->chains.find(method);
+  *chain = ct == snap->chains.end() ? kEmptyChain : ct->second;
+  auto gt = snap->groups.find(method);
+  *group = gt == snap->groups.end() ? nullptr : gt->second;
+}
+
+std::shared_ptr<const AspectBank::Composition> AspectBank::snapshot() const {
+  std::scoped_lock lock(snapshot_mu_);
+  return snapshot_;
 }
 
 std::vector<runtime::MethodId> AspectBank::methods() const {
@@ -72,6 +92,7 @@ std::size_t AspectBank::size() const {
 
 std::string AspectBank::describe() const {
   std::scoped_lock lock(mu_);
+  const auto snap = snapshot();
   std::string out = "kind order:";
   for (const auto kind : order_) {
     out += ' ';
@@ -89,8 +110,8 @@ std::string AspectBank::describe() const {
             });
   for (const auto method : methods) {
     out += std::string(method.name()) + ":";
-    auto it = chains_.find(method);
-    if (it != chains_.end()) {
+    auto it = snap->chains.find(method);
+    if (it != snap->chains.end()) {
       for (const auto& entry : *it->second) {
         out += " [";
         out += entry.kind.name();
@@ -104,18 +125,52 @@ std::string AspectBank::describe() const {
   return out;
 }
 
-void AspectBank::rebuild_chain_locked(runtime::MethodId method) {
-  auto it = cells_.find(method);
-  auto next = std::make_shared<std::vector<BankEntry>>();
-  if (it != cells_.end()) {
-    next->reserve(it->second.size());
+void AspectBank::publish_locked() {
+  auto next = std::make_shared<Composition>();
+
+  // Chains, in kind order.
+  next->chains.reserve(cells_.size());
+  for (const auto& [method, kinds] : cells_) {
+    auto chain = std::make_shared<std::vector<BankEntry>>();
+    chain->reserve(kinds.size());
     for (const auto kind : order_) {
-      if (auto jt = it->second.find(kind); jt != it->second.end()) {
-        next->push_back(BankEntry{kind, jt->second});
+      if (auto jt = kinds.find(kind); jt != kinds.end()) {
+        chain->push_back(BankEntry{kind, jt->second});
       }
     }
+    next->chains[method] = AspectChain(std::move(chain));
   }
-  chains_[method] = AspectChain(std::move(next));
+
+  // Lock groups: invert the bank into aspect-object → holder methods, then
+  // union the holder sets of each method's aspects. Methods whose aspects
+  // are all exclusively theirs get no entry (lock_group → nullptr), which
+  // the moderator reads as "own lock suffices".
+  std::unordered_map<const Aspect*, std::vector<runtime::MethodId>> holders;
+  for (const auto& [method, kinds] : cells_) {
+    for (const auto& [_, aspect] : kinds) {
+      holders[aspect.get()].push_back(method);
+    }
+  }
+  for (const auto& [method, kinds] : cells_) {
+    std::vector<runtime::MethodId> group{method};
+    for (const auto& [_, aspect] : kinds) {
+      const auto& sharing = holders[aspect.get()];
+      group.insert(group.end(), sharing.begin(), sharing.end());
+    }
+    std::sort(group.begin(), group.end());
+    group.erase(std::unique(group.begin(), group.end()), group.end());
+    if (group.size() > 1) {
+      next->groups[method] =
+          std::make_shared<const std::vector<runtime::MethodId>>(
+              std::move(group));
+    }
+  }
+
+  {
+    std::scoped_lock lock(snapshot_mu_);
+    snapshot_ = std::move(next);
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 }  // namespace amf::core

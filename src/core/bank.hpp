@@ -7,12 +7,17 @@
 // *kind order* — which the §5.3 extension relies on (authentication wraps
 // synchronization) — is explicit and queryable.
 //
-// Reads on the moderation hot path take an RCU-style snapshot: each
-// method's chain is an immutable shared vector replaced wholesale on
-// registration, so `chain()` costs one shared_ptr copy.
+// Reads on the moderation hot path are epoch-versioned RCU: every mutation
+// publishes a fresh immutable Composition snapshot (all chains plus the
+// lock groups derived from aspect sharing) and bumps `version()`. Readers
+// pay one pointer copy under a leaf mutex — and callers that cached a
+// chain at epoch E skip even that while `version()` (lock-free) still
+// reads E, which is what keeps re-evaluations of blocked callers cheap.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,6 +37,14 @@ struct BankEntry {
 
 /// Immutable snapshot of a method's ordered aspect chain.
 using AspectChain = std::shared_ptr<const std::vector<BankEntry>>;
+
+/// Immutable, sorted-by-id set of methods whose guard chains share at least
+/// one aspect OBJECT with the keyed method (the keyed method included).
+/// Evaluating one method's chain atomically requires exactly these methods'
+/// locks: a shared aspect instance (e.g. one MutualExclusionAspect forming
+/// an exclusion group) is the only bank-visible channel through which one
+/// method's entry/postaction can change another method's guard verdict.
+using LockGroup = std::shared_ptr<const std::vector<runtime::MethodId>>;
 
 /// Thread-safe registry of aspects per (method, kind).
 class AspectBank {
@@ -60,6 +73,23 @@ class AspectBank {
   /// Snapshot of `method`'s chain in kind order (possibly empty).
   AspectChain chain(runtime::MethodId method) const;
 
+  /// Composition epoch: bumps on every register/remove/set_kind_order.
+  /// A caller holding a chain (or lock group) obtained at epoch E may keep
+  /// using it without re-reading while `version() == E`.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// The lock group of `method` (see LockGroup). Returns nullptr when the
+  /// method shares no aspect with any other method — callers then need only
+  /// the method's own lock.
+  LockGroup lock_group(runtime::MethodId method) const;
+
+  /// Fetches chain and lock group from ONE consistent snapshot (a single
+  /// pointer copy); what preactivation uses per composition epoch.
+  void snapshot_for(runtime::MethodId method, AspectChain* chain,
+                    LockGroup* group) const;
+
   /// All methods that have at least one registered aspect.
   std::vector<runtime::MethodId> methods() const;
 
@@ -72,14 +102,29 @@ class AspectBank {
   std::string describe() const;
 
  private:
-  void rebuild_chain_locked(runtime::MethodId method);
+  /// The unit of publication: everything a hot-path reader needs, rebuilt
+  /// wholesale under mu_ on every mutation and swapped in atomically.
+  struct Composition {
+    std::unordered_map<runtime::MethodId, AspectChain> chains;
+    std::unordered_map<runtime::MethodId, LockGroup> groups;
+  };
+
+  // Requires mu_. Rebuilds the snapshot from cells_/order_ and publishes it.
+  void publish_locked();
+
+  std::shared_ptr<const Composition> snapshot() const;
 
   mutable std::mutex mu_;
   std::vector<runtime::AspectKind> order_;
   std::unordered_map<runtime::MethodId,
                      std::unordered_map<runtime::AspectKind, AspectPtr>>
       cells_;
-  std::unordered_map<runtime::MethodId, AspectChain> chains_;
+  // Leaf lock guarding only the snapshot pointer swap/copy (never held
+  // together with mu_ by readers; writers take mu_ then snapshot_mu_).
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Composition> snapshot_ =
+      std::make_shared<const Composition>();
+  std::atomic<std::uint64_t> version_{1};
   static const AspectChain kEmptyChain;
 };
 

@@ -100,6 +100,16 @@ class InvocationContext {
     admitted_chain_ = std::move(c);
   }
 
+  /// Opaque moderator-owned hint (the Moderation record preactivation
+  /// resolved) handed back at postactivation to skip a registry lookup.
+  /// The moderator revalidates it — a stale hint is never trusted.
+  const std::shared_ptr<const void>& moderation_hint() const {
+    return moderation_hint_;
+  }
+  void set_moderation_hint(std::shared_ptr<const void> h) {
+    moderation_hint_ = std::move(h);
+  }
+
   // --- free-form notes ---------------------------------------------------
 
   /// Attaches/overwrites a note. Aspects use notes to pass facts down the
@@ -135,6 +145,7 @@ class InvocationContext {
   bool body_succeeded_ = false;
   std::optional<runtime::Error> abort_error_;
   std::shared_ptr<const std::vector<BankEntry>> admitted_chain_;
+  std::shared_ptr<const void> moderation_hint_;
   std::map<std::string, std::string> notes_;
 };
 

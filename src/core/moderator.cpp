@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <type_traits>
 
 namespace amf::core {
 
@@ -10,212 +11,322 @@ using runtime::ErrorCode;
 
 // Polling quantum for deadline waits under simulated clocks.
 constexpr std::chrono::microseconds kManualClockPoll{200};
-
-bool contains_aspect(const std::vector<BankEntry>& chain,
-                     const Aspect* aspect) {
-  return std::any_of(chain.begin(), chain.end(), [&](const BankEntry& e) {
-    return e.aspect.get() == aspect;
-  });
-}
 }  // namespace
 
 AspectModerator::AspectModerator(ModeratorOptions options)
     : clock_(options.clock), log_(options.log) {}
 
 Decision AspectModerator::preactivation(InvocationContext& ctx) {
-  std::unique_lock lock(mu_);
-  ctx.set_arrival_seq(++arrival_counter_);
+  ctx.set_arrival_seq(
+      arrival_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
   ctx.set_enqueued_at(clock_->now());
   log_event("preactivation", ctx);
 
-  auto& ms = method_state_locked(ctx.method());
+  // Aspects that already received on_arrive for this invocation — persists
+  // across composition epochs so retroactive arrivals fire exactly once.
+  SmallVec<const Aspect*, 8> arrived;
 
-  AspectChain chain = bank_.chain(ctx.method());
-  for (const auto& e : *chain) e.aspect->on_arrive(ctx);
+  // Each outer iteration evaluates against one composition epoch. A bank
+  // reconfiguration invalidates the chain AND possibly the lock group, so
+  // the waiter falls out of the wait, releases its shard set, and restarts
+  // with the fresh composition (run-time adaptability, §5.3).
+  enum class Outcome { kAdmitted, kAborted, kRecompose };
 
-  // Re-snapshots the chain so that aspects registered/removed while this
-  // caller is blocked take effect (run-time adaptability, §5.3); newly
-  // appearing aspects get their on_arrive() retroactively.
-  auto refresh_chain = [&] {
-    AspectChain current = bank_.chain(ctx.method());
-    if (current != chain) {
-      for (const auto& e : *current) {
-        if (!contains_aspect(*chain, e.aspect.get())) {
+  for (;;) {
+    const std::shared_ptr<const Moderation> mod = moderation_for(ctx.method());
+    const std::uint64_t epoch = mod->epoch;
+    const AspectChain& chain = mod->chain;
+    MethodState& ms = *mod->self;
+
+    // The moderation body, parameterized over the lock/condvar pair it
+    // waits with. `lk` holds the WHOLE eval shard set of this epoch; `cv`
+    // is the shard's native condition_variable (single-shard, no stop
+    // token) or its condition_variable_any (group waits release the whole
+    // LockSet; stop-token waits only exist on cv_any).
+    auto moderate = [&](auto& lk, auto& cv) -> Outcome {
+      constexpr bool kStopCapable =
+          std::is_same_v<std::remove_reference_t<decltype(cv)>,
+                         std::condition_variable_any>;
+
+      for (const auto& e : *chain) {
+        if (std::find(arrived.begin(), arrived.end(), e.aspect.get()) ==
+            arrived.end()) {
           e.aspect->on_arrive(ctx);
+          arrived.push_back(e.aspect.get());
         }
       }
-      chain = std::move(current);
-    }
-  };
 
-  Decision verdict = Decision::kBlock;
-  // Guard predicate for the condition-variable wait (CP.42): true when the
-  // caller should stop waiting (admitted, vetoed, or shutdown).
-  auto done_waiting = [&]() -> bool {
-    if (shutdown_) {
-      verdict = Decision::kAbort;
-      ctx.set_abort_error(runtime::make_error(ErrorCode::kCancelled,
-                                              "moderator shut down"));
-      return true;
-    }
-    refresh_chain();
-    verdict = evaluate_chain_locked(*chain, ctx);
-    if (verdict == Decision::kBlock) ctx.note_blocked();
-    return verdict != Decision::kBlock;
-  };
-
-  if (!done_waiting()) {
-    ms.stats.block_events += 1;
-    log_event("blocked", ctx);
-    ms.waiters += 1;
-    bool satisfied = true;
-    bool stop_requested = false;
-
-    const bool has_deadline = ctx.deadline().has_value();
-    const bool steady_deadline =
-        has_deadline && clock_->is_steady_compatible();
-    if (steady_deadline) {
-      if (ctx.stop()) {
-        satisfied = ms.cv.wait_until(lock, *ctx.stop(), *ctx.deadline(),
-                                     done_waiting);
-        stop_requested = ctx.stop()->stop_requested();
-      } else {
-        satisfied = ms.cv.wait_until(lock, *ctx.deadline(), done_waiting);
-      }
-    } else if (has_deadline) {
-      // Simulated clock: poll the deadline against the moderator's clock.
-      for (;;) {
-        if (done_waiting()) break;
-        if (clock_->now() >= *ctx.deadline()) {
-          satisfied = false;
-          break;
+      Decision verdict = Decision::kBlock;
+      bool recompose = false;
+      // Guard predicate for the condition-variable wait (CP.42): true when
+      // the caller should stop waiting (admitted, vetoed, shutdown, or the
+      // composition changed under it).
+      auto done_waiting = [&]() -> bool {
+        if (shutdown_.load(std::memory_order_acquire)) {
+          verdict = Decision::kAbort;
+          ctx.set_abort_error(runtime::make_error(ErrorCode::kCancelled,
+                                                  "moderator shut down"));
+          return true;
         }
-        if (ctx.stop() && ctx.stop()->stop_requested()) {
-          satisfied = false;
-          stop_requested = true;
-          break;
+        if (bank_.version() != epoch) {
+          recompose = true;
+          return true;
         }
-        ms.cv.wait_for(lock, kManualClockPoll);
+        verdict = evaluate_chain_under_locks(*chain, ctx);
+        if (verdict == Decision::kBlock) ctx.note_blocked();
+        return verdict != Decision::kBlock;
+      };
+
+      if (!done_waiting()) {
+        ms.stats.block_events += 1;
+        log_event("blocked", ctx);
+        ms.waiters += 1;
+        if constexpr (kStopCapable) ms.waiters_any += 1;
+        bool satisfied = true;
+        bool stop_requested = false;
+
+        const bool has_deadline = ctx.deadline().has_value();
+        const bool steady_deadline =
+            has_deadline && clock_->is_steady_compatible();
+        if (steady_deadline) {
+          if constexpr (kStopCapable) {
+            if (ctx.stop()) {
+              satisfied = cv.wait_until(lk, *ctx.stop(), *ctx.deadline(),
+                                        done_waiting);
+              stop_requested = ctx.stop()->stop_requested();
+            } else {
+              satisfied = cv.wait_until(lk, *ctx.deadline(), done_waiting);
+            }
+          } else {
+            satisfied = cv.wait_until(lk, *ctx.deadline(), done_waiting);
+          }
+        } else if (has_deadline) {
+          // Simulated clock: poll the deadline against the moderator's
+          // clock.
+          for (;;) {
+            if (done_waiting()) break;
+            if (clock_->now() >= *ctx.deadline()) {
+              satisfied = false;
+              break;
+            }
+            if (ctx.stop() && ctx.stop()->stop_requested()) {
+              satisfied = false;
+              stop_requested = true;
+              break;
+            }
+            cv.wait_for(lk, kManualClockPoll);
+          }
+        } else if (ctx.stop()) {
+          if constexpr (kStopCapable) {
+            satisfied = cv.wait(lk, *ctx.stop(), done_waiting);
+            stop_requested = ctx.stop()->stop_requested();
+          }
+        } else {
+          cv.wait(lk, done_waiting);
+        }
+        ms.waiters -= 1;
+        if constexpr (kStopCapable) ms.waiters_any -= 1;
+
+        if (!satisfied) {
+          for (const auto& e : *chain) e.aspect->on_cancel(ctx);
+          if (stop_requested) {
+            ctx.set_abort_error(runtime::make_error(
+                ErrorCode::kCancelled, "stop requested while blocked"));
+            ms.stats.cancelled += 1;
+            log_event("cancelled", ctx);
+          } else {
+            ctx.set_abort_error(runtime::make_error(
+                ErrorCode::kTimeout,
+                "deadline expired during preactivation"));
+            ms.stats.timed_out += 1;
+            log_event("timeout", ctx);
+          }
+          return Outcome::kAborted;
+        }
       }
-    } else if (ctx.stop()) {
-      satisfied = ms.cv.wait(lock, *ctx.stop(), done_waiting);
-      stop_requested = ctx.stop()->stop_requested();
+
+      if (recompose) return Outcome::kRecompose;  // re-read chain and group
+
+      if (verdict == Decision::kAbort) {
+        for (const auto& e : *chain) e.aspect->on_cancel(ctx);
+        if (!ctx.abort_error()) {
+          std::string by = ctx.note("vetoed.by").value_or("unknown aspect");
+          ctx.set_abort_error(
+              runtime::make_error(ErrorCode::kAborted, "vetoed by " + by));
+        }
+        if (ctx.abort_error()->code == ErrorCode::kCancelled) {
+          // Refused by shutdown (or a cancellation-flavored veto), not by
+          // a concern's own decision.
+          ms.stats.cancelled += 1;
+          log_event("cancelled", ctx);
+        } else {
+          ms.stats.aborted += 1;
+          log_event("abort", ctx);
+        }
+        return Outcome::kAborted;
+      }
+
+      // Admission: commit every aspect's state atomically with the guards
+      // — the shard set held here is exactly the set of methods whose
+      // guards can observe these entries (repair D2 under sharding).
+      // admitted_at is stamped first so entry() hooks (e.g. timing) can
+      // read it.
+      ctx.set_admitted_at(clock_->now());
+      for (const auto& e : *chain) e.aspect->entry(ctx);
+      ctx.set_admitted_chain(chain);
+      ctx.set_moderation_hint(mod);
+      ms.stats.admitted += 1;
+      log_event("admitted", ctx);
+      return Outcome::kAdmitted;
+    };
+
+    Outcome out;
+    if (mod->eval_shards.size() == 1 && !ctx.stop()) {
+      std::unique_lock lk(ms.mu);
+      out = moderate(lk, ms.cv);
+    } else if (mod->eval_shards.size() == 1) {
+      std::unique_lock lk(ms.mu);
+      out = moderate(lk, ms.cv_any);
     } else {
-      ms.cv.wait(lock, done_waiting);
+      LockSet locks(mod->eval_shards.data(), mod->eval_shards.size());
+      out = moderate(locks, ms.cv_any);
     }
-    ms.waiters -= 1;
-
-    if (!satisfied) {
-      for (const auto& e : *chain) e.aspect->on_cancel(ctx);
-      if (stop_requested) {
-        ctx.set_abort_error(runtime::make_error(ErrorCode::kCancelled,
-                                                "stop requested while blocked"));
-        ms.stats.cancelled += 1;
-        log_event("cancelled", ctx);
-      } else {
-        ctx.set_abort_error(runtime::make_error(
-            ErrorCode::kTimeout, "deadline expired during preactivation"));
-        ms.stats.timed_out += 1;
-        log_event("timeout", ctx);
-      }
-      return Decision::kAbort;
-    }
+    if (out == Outcome::kRecompose) continue;
+    return out == Outcome::kAdmitted ? Decision::kResume : Decision::kAbort;
   }
-
-  if (verdict == Decision::kAbort) {
-    for (const auto& e : *chain) e.aspect->on_cancel(ctx);
-    if (!ctx.abort_error()) {
-      std::string by = ctx.note("vetoed.by").value_or("unknown aspect");
-      ctx.set_abort_error(
-          runtime::make_error(ErrorCode::kAborted, "vetoed by " + by));
-    }
-    if (ctx.abort_error()->code == ErrorCode::kCancelled) {
-      // Refused by shutdown (or a cancellation-flavored veto), not by a
-      // concern's own decision.
-      ms.stats.cancelled += 1;
-      log_event("cancelled", ctx);
-    } else {
-      ms.stats.aborted += 1;
-      log_event("abort", ctx);
-    }
-    return Decision::kAbort;
-  }
-
-  // Admission: commit every aspect's state atomically with the guards.
-  // admitted_at is stamped first so entry() hooks (e.g. timing) can read it.
-  ctx.set_admitted_at(clock_->now());
-  for (const auto& e : *chain) e.aspect->entry(ctx);
-  ctx.set_admitted_chain(chain);
-  ms.stats.admitted += 1;
-  log_event("admitted", ctx);
-  return Decision::kResume;
 }
 
 void AspectModerator::postactivation(InvocationContext& ctx) {
-  {
-    std::scoped_lock lock(mu_);
-    // Defensive: postactivation without a matching admission is a driver
-    // bug (the proxy never does this). Running postactions for entries
-    // that never happened would corrupt aspect state, so refuse and log.
-    if (ctx.admitted_at() == runtime::TimePoint{}) {
-      log_event("spurious-postactivation", ctx);
+  // Defensive: postactivation without a matching admission is a driver
+  // bug (the proxy never does this). Running postactions for entries
+  // that never happened would corrupt aspect state, so refuse and log.
+  if (ctx.admitted_at() == runtime::TimePoint{}) {
+    log_event("spurious-postactivation", ctx);
+    return;
+  }
+  AspectChain chain = ctx.admitted_chain() ? ctx.admitted_chain()
+                                           : bank_.chain(ctx.method());
+
+  // Preactivation handed us its Moderation record; reuse it if it still
+  // describes the current composition (revalidated — never trusted blind).
+  std::shared_ptr<const Moderation> hinted =
+      std::static_pointer_cast<const Moderation>(ctx.moderation_hint());
+  if (hinted && !moderation_valid(*hinted)) hinted = nullptr;
+
+  for (;;) {
+    const std::shared_ptr<const Moderation> mod =
+        hinted ? hinted : moderation_for(ctx.method());
+    hinted = nullptr;  // a recompose loop must re-resolve
+
+    if (mod->has_plan) {
+      // Sharded completion: hold the completed method, its lock group (the
+      // postactions may touch aspects shared with those methods) and the
+      // plan's wake targets (the plan declares whose guards this completion
+      // can enable). Ordered acquisition, then notify the targets.
+      LockSet locks(mod->completion_shards.data(),
+                    mod->completion_shards.size());
+      for (auto it = chain->rbegin(); it != chain->rend(); ++it) {
+        it->aspect->postaction(ctx);
+      }
+      mod->self->stats.completed += 1;
+      log_event("postactivation", ctx);
+      for (std::size_t i = 0; i < mod->completion_shards.size(); ++i) {
+        // waiters is guarded by the shard's mutex (held): skipping idle
+        // shards cannot lose a wakeup — any future waiter re-evaluates
+        // before sleeping.
+        MethodState* s = mod->completion_shards[i];
+        if (mod->completion_wake[i] && s->waiters > 0) {
+          if (s->waiters > s->waiters_any) s->cv.notify_all();
+          if (s->waiters_any > 0) s->cv_any.notify_all();
+        }
+      }
       return;
     }
-    AspectChain chain = ctx.admitted_chain() ? ctx.admitted_chain()
-                                             : bank_.chain(ctx.method());
+
+    // No plan: the always-safe fallback. Holding EVERY shard makes these
+    // postactions atomic against every guard evaluation — cross-method
+    // state coupling that bypasses the bank (shared captures) stays
+    // race-free, exactly as under the old global mutex. The shared
+    // registry lock freezes the shard map so no method can appear (and
+    // start evaluating on an unheld shard) mid-completion; a shard created
+    // since this Moderation was built forces a rebuild.
+    std::shared_lock registry(registry_mu_);
+    if (mod->shard_rev != shard_rev_.load(std::memory_order_relaxed)) {
+      continue;  // a shard appeared since this record was built
+    }
+    LockSet locks(mod->completion_shards.data(),
+                  mod->completion_shards.size());
     for (auto it = chain->rbegin(); it != chain->rend(); ++it) {
       it->aspect->postaction(ctx);
     }
-    method_state_locked(ctx.method()).stats.completed += 1;
+    mod->self->stats.completed += 1;
     log_event("postactivation", ctx);
-    wake_after_locked(ctx.method());
+    for (auto* s : mod->completion_shards) {
+      if (s->waiters > 0) {
+        if (s->waiters > s->waiters_any) s->cv.notify_all();
+        if (s->waiters_any > 0) s->cv_any.notify_all();
+      }
+    }
+    return;
   }
 }
 
 void AspectModerator::set_notification_plan(
     runtime::MethodId completed, std::vector<runtime::MethodId> wake) {
-  std::scoped_lock lock(mu_);
+  std::unique_lock registry(registry_mu_);
   notification_plan_[completed] = std::move(wake);
+  moderation_cache_.erase(completed);
 }
 
 void AspectModerator::shutdown() {
-  std::scoped_lock lock(mu_);
-  shutdown_ = true;
-  for (auto& [_, state] : methods_) state->cv.notify_all();
-}
-
-bool AspectModerator::is_shutdown() const {
-  std::scoped_lock lock(mu_);
-  return shutdown_;
+  shutdown_.store(true, std::memory_order_release);
+  std::shared_lock registry(registry_mu_);
+  for (auto& [_, state] : methods_) {
+    // Taking the shard lock orders this notify after any in-flight guard
+    // check that missed the flag, so no waiter can sleep through shutdown.
+    std::scoped_lock shard(state->mu);
+    state->cv.notify_all();
+    state->cv_any.notify_all();
+  }
 }
 
 MethodStats AspectModerator::stats(runtime::MethodId method) const {
-  std::scoped_lock lock(mu_);
-  auto it = methods_.find(method);
-  return it == methods_.end() ? MethodStats{} : it->second->stats;
+  MethodState* state = nullptr;
+  {
+    std::shared_lock registry(registry_mu_);
+    auto it = methods_.find(method);
+    if (it == methods_.end()) return MethodStats{};
+    state = it->second.get();
+  }
+  std::scoped_lock shard(state->mu);
+  return state->stats;
 }
 
 std::uint64_t AspectModerator::blocked_waiters() const {
-  std::scoped_lock lock(mu_);
+  std::shared_lock registry(registry_mu_);
   std::uint64_t n = 0;
-  for (const auto& [_, state] : methods_) n += state->waiters;
+  for (const auto& [_, state] : methods_) {
+    std::scoped_lock shard(state->mu);
+    n += state->waiters;
+  }
   return n;
 }
 
 std::string AspectModerator::report() const {
   std::string out = bank_.describe();
-  std::scoped_lock lock(mu_);
+  std::shared_lock registry(registry_mu_);
   // Stable order for diff-friendly output.
-  std::vector<runtime::MethodId> methods;
-  methods.reserve(methods_.size());
-  for (const auto& [method, _] : methods_) methods.push_back(method);
-  std::sort(methods.begin(), methods.end(),
-            [](runtime::MethodId a, runtime::MethodId b) {
-              return a.name() < b.name();
+  std::vector<MethodState*> states;
+  states.reserve(methods_.size());
+  for (const auto& [_, state] : methods_) states.push_back(state.get());
+  std::sort(states.begin(), states.end(),
+            [](const MethodState* a, const MethodState* b) {
+              return a->id.name() < b->id.name();
             });
-  for (const auto method : methods) {
-    const auto& s = methods_.at(method)->stats;
-    out += std::string(method.name()) + ": admitted=" +
+  for (auto* state : states) {
+    std::scoped_lock shard(state->mu);
+    const auto& s = state->stats;
+    out += std::string(state->id.name()) + ": admitted=" +
            std::to_string(s.admitted) +
            " completed=" + std::to_string(s.completed) +
            " aborted=" + std::to_string(s.aborted) +
@@ -226,16 +337,89 @@ std::string AspectModerator::report() const {
   return out;
 }
 
-AspectModerator::MethodState& AspectModerator::method_state_locked(
-    runtime::MethodId method) {
-  auto it = methods_.find(method);
-  if (it == methods_.end()) {
-    it = methods_.emplace(method, std::make_unique<MethodState>()).first;
+std::shared_ptr<const AspectModerator::Moderation>
+AspectModerator::moderation_for(runtime::MethodId method) {
+  const std::uint64_t epoch = bank_.version();
+  {
+    std::shared_lock registry(registry_mu_);
+    auto it = moderation_cache_.find(method);
+    if (it != moderation_cache_.end() && it->second->epoch == epoch &&
+        (it->second->has_plan ||
+         it->second->shard_rev ==
+             shard_rev_.load(std::memory_order_relaxed))) {
+      return it->second;
+    }
   }
-  return *it->second;
+
+  // (Re)build. Chain and lock group come from ONE bank snapshot, so the
+  // group always covers exactly the sharing this chain has.
+  AspectChain chain;
+  LockGroup group;
+  bank_.snapshot_for(method, &chain, &group);
+
+  auto mod = std::make_shared<Moderation>();
+  mod->epoch = epoch;  // conservative: if the bank already moved past
+                       // `epoch`, the next lookup simply rebuilds
+  mod->chain = std::move(chain);
+
+  std::unique_lock registry(registry_mu_);
+  auto ensure = [&](runtime::MethodId id) -> MethodState* {
+    auto [it, inserted] = methods_.try_emplace(id, nullptr);
+    if (inserted) {
+      it->second = std::make_unique<MethodState>(id);
+      shard_rev_.fetch_add(1, std::memory_order_release);
+    }
+    return it->second.get();
+  };
+
+  if (group) {
+    mod->eval_shards.reserve(group->size());
+    for (const auto id : *group) mod->eval_shards.push_back(ensure(id));
+  } else {
+    mod->eval_shards.push_back(ensure(method));
+  }
+  for (auto* s : mod->eval_shards) {
+    if (s->id == method) mod->self = s;
+  }
+
+  auto plan_it = notification_plan_.find(method);
+  mod->has_plan = plan_it != notification_plan_.end();
+  if (mod->has_plan) {
+    const std::vector<runtime::MethodId>& targets = plan_it->second;
+    SmallVec<runtime::MethodId, 8> ids;
+    ids.push_back(method);
+    if (group) {
+      for (const auto id : *group) ids.push_back(id);
+    }
+    for (const auto id : targets) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    ids.truncate(static_cast<std::size_t>(
+        std::unique(ids.begin(), ids.end()) - ids.begin()));
+    mod->completion_shards.reserve(ids.size());
+    mod->completion_wake.reserve(ids.size());
+    for (const auto id : ids) {
+      mod->completion_shards.push_back(ensure(id));
+      mod->completion_wake.push_back(
+          std::find(targets.begin(), targets.end(), id) != targets.end() ? 1
+                                                                         : 0);
+    }
+  } else {
+    mod->completion_shards.reserve(methods_.size());
+    for (auto& [_, state] : methods_) {
+      mod->completion_shards.push_back(state.get());
+    }
+    std::sort(mod->completion_shards.begin(), mod->completion_shards.end(),
+              [](const MethodState* a, const MethodState* b) {
+                return a->id < b->id;
+              });
+    mod->completion_wake.assign(mod->completion_shards.size(), 1);
+  }
+  mod->shard_rev = shard_rev_.load(std::memory_order_relaxed);
+  moderation_cache_[method] = mod;
+  return mod;
 }
 
-Decision AspectModerator::evaluate_chain_locked(
+Decision AspectModerator::evaluate_chain_under_locks(
     const std::vector<BankEntry>& chain, InvocationContext& ctx) {
   for (const auto& e : chain) {
     const Decision d = e.aspect->precondition(ctx);
@@ -249,21 +433,6 @@ Decision AspectModerator::evaluate_chain_locked(
     }
   }
   return Decision::kResume;
-}
-
-void AspectModerator::wake_after_locked(runtime::MethodId completed) {
-  auto plan = notification_plan_.find(completed);
-  if (plan != notification_plan_.end()) {
-    for (const auto m : plan->second) {
-      if (auto it = methods_.find(m); it != methods_.end()) {
-        it->second->cv.notify_all();
-      }
-    }
-    return;
-  }
-  for (auto& [_, state] : methods_) {
-    if (state->waiters > 0) state->cv.notify_all();
-  }
 }
 
 void AspectModerator::log_event(std::string_view message,

@@ -8,19 +8,26 @@
 //   * `postactivation(ctx)`: run postactions in reverse order and wake the
 //     waiters whose guards may now pass.
 //
-// Design repair D2 (see DESIGN.md §3): the paper takes one Java monitor per
-// wait queue and the extended moderator locks the auth queue and the sync
-// queue independently, which breaks the atomicity of the combined guard.
-// Here a single state mutex makes each full chain evaluation (and the
-// subsequent entry commits) atomic; blocking still uses one condition
-// variable per method, and a *notification plan* can narrow which methods a
-// completed method wakes (the paper hard-codes open→assign, assign→open).
+// Locking model (sharded; see DESIGN.md §3 D2 and §9). Every method has its
+// own mutex + condition variable. A chain evaluation (guards + entry
+// commits) holds, in one ordered acquisition, the locks of exactly the
+// methods whose chains share an aspect OBJECT with the invoked method (the
+// bank's lock group) — so an exclusion group stays atomic (repair D2) while
+// unrelated methods never contend. Postactivation holds the completed
+// method's group plus its notification-plan targets: the plan is both the
+// paper's wake wiring (open→assign / assign→open) AND the declaration of
+// which methods' guards the completing postactions may influence through
+// shared captured state. Without a plan the moderator falls back to locking
+// every method — always safe, never required once plans are set.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -65,6 +72,9 @@ class AspectModerator {
   AspectBank& bank() { return bank_; }
   const AspectBank& bank() const { return bank_; }
 
+  /// The clock this moderator stamps and resolves deadlines against.
+  const runtime::Clock& clock() const { return *clock_; }
+
   /// Paper-style convenience: registerAspect(methodID, aspect, object).
   void register_aspect(runtime::MethodId method, runtime::AspectKind kind,
                        AspectPtr aspect) {
@@ -84,8 +94,11 @@ class AspectModerator {
 
   /// Restricts which methods' waiters are woken when `completed` finishes.
   /// Without a plan, every method with waiters is woken (always safe).
-  /// Plans are an optimization that reproduces the paper's hand-wired
-  /// open→assign / assign→open notifications.
+  /// Plans reproduce the paper's hand-wired open→assign / assign→open
+  /// notifications, and under the sharded lock they additionally bound
+  /// which methods a postactivation synchronizes with: guards of methods
+  /// OUTSIDE the plan (and outside the completed method's lock group) must
+  /// not read state the completing postactions write.
   void set_notification_plan(runtime::MethodId completed,
                              std::vector<runtime::MethodId> wake);
 
@@ -94,7 +107,9 @@ class AspectModerator {
   void shutdown();
 
   /// True once shutdown() has been called.
-  bool is_shutdown() const;
+  bool is_shutdown() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
 
   /// Snapshot of the statistics of `method`.
   MethodStats stats(runtime::MethodId method) const;
@@ -109,21 +124,127 @@ class AspectModerator {
 
  private:
   struct MethodState {
-    std::condition_variable_any cv;
-    MethodStats stats;
-    std::uint64_t waiters = 0;
+    explicit MethodState(runtime::MethodId m) : id(m) {}
+    const runtime::MethodId id;
+    std::mutex mu;
+    // Two wait channels with one notify protocol (signal both, guarded by
+    // `waiters`): the native cv serves the common wait — single-shard lock
+    // group, no stop token — at pthread cost; cv_any serves group waits
+    // (it releases a whole LockSet) and stop-token waits (only
+    // condition_variable_any has the std::stop_token overloads).
+    std::condition_variable cv;
+    std::condition_variable_any cv_any;
+    MethodStats stats;          // guarded by mu
+    std::uint64_t waiters = 0;      // guarded by mu; all blocked callers
+    std::uint64_t waiters_any = 0;  // guarded by mu; the cv_any subset
   };
 
-  // Requires state lock. Creates on demand.
-  MethodState& method_state_locked(runtime::MethodId method);
+  /// Tiny inline-storage vector for the moderation hot path: lock groups
+  /// and chains are almost always small, and a malloc per invocation is
+  /// what the sharded design is meant to be cheaper than. Spills to the
+  /// heap past N elements. Only what the moderator needs — trivial T.
+  template <typename T, std::size_t N>
+  class SmallVec {
+   public:
+    void push_back(T v) {
+      if (size_ < N) {
+        inline_[size_++] = v;
+        return;
+      }
+      if (spill_.empty()) spill_.assign(inline_.begin(), inline_.end());
+      spill_.push_back(v);
+      ++size_;
+    }
+    T* begin() { return spill_.empty() ? inline_.data() : spill_.data(); }
+    T* end() { return begin() + size_; }
+    const T* begin() const {
+      return spill_.empty() ? inline_.data() : spill_.data();
+    }
+    const T* end() const { return begin() + size_; }
+    T* data() { return begin(); }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    /// Drops elements past `n` (used after std::unique).
+    void truncate(std::size_t n) {
+      size_ = n;
+      if (!spill_.empty()) spill_.resize(n);
+    }
 
-  // Requires state lock. First non-Resume verdict of the chain, with the
-  // vetoing/blocking aspect recorded in the context notes.
-  Decision evaluate_chain_locked(const std::vector<BankEntry>& chain,
-                                 InvocationContext& ctx);
+   private:
+    std::array<T, N> inline_{};
+    std::vector<T> spill_;
+    std::size_t size_ = 0;
+  };
 
-  // Requires state lock held by caller releasing it around notify.
-  void wake_after_locked(runtime::MethodId completed);
+  using ShardVec = SmallVec<MethodState*, 8>;
+
+  /// Ordered multi-lock over a caller-owned span of method shards: locks
+  /// ascending by MethodId (the caller sorts), unlocks in reverse.
+  /// Satisfies BasicLockable so a waiter can hand it to
+  /// condition_variable_any — the wait releases the WHOLE group while
+  /// sleeping and reacquires it (in order) on wake. Non-owning: the span
+  /// must outlive the LockSet.
+  class LockSet {
+   public:
+    LockSet(MethodState* const* states, std::size_t n)
+        : states_(states), n_(n) {
+      lock();
+    }
+    ~LockSet() {
+      if (locked_) unlock();
+    }
+    LockSet(const LockSet&) = delete;
+    LockSet& operator=(const LockSet&) = delete;
+
+    void lock() {
+      for (std::size_t i = 0; i < n_; ++i) states_[i]->mu.lock();
+      locked_ = true;
+    }
+    void unlock() {
+      for (std::size_t i = n_; i-- > 0;) states_[i]->mu.unlock();
+      locked_ = false;
+    }
+
+   private:
+    MethodState* const* states_;
+    std::size_t n_;
+    bool locked_ = false;
+  };
+
+  /// Everything one invocation of a method needs, precomputed: the chain,
+  /// the shard set evaluation must lock (the lock group, self included,
+  /// sorted by id) and the shard set completion must lock (group ∪ plan
+  /// targets, or every shard when no plan is set). Immutable once cached;
+  /// rebuilt when the bank's composition epoch moves, a plan changes, or —
+  /// for the no-plan completion set — a new method shard appears. Keeps
+  /// the hot path at one registry read-lock plus the shard locks.
+  struct Moderation {
+    std::uint64_t epoch = 0;       // bank_.version() this was built at
+    std::uint64_t shard_rev = 0;   // shard_rev_ this was built at
+    AspectChain chain;
+    MethodState* self = nullptr;
+    std::vector<MethodState*> eval_shards;        // sorted by id
+    std::vector<MethodState*> completion_shards;  // sorted by id
+    std::vector<std::uint8_t> completion_wake;    // parallel: notify it?
+    bool has_plan = false;
+  };
+
+  // The cached (or freshly built) Moderation of `method` for the current
+  // composition epoch. Never call while holding a shard mutex (the
+  // registry precedes shards in the lock hierarchy).
+  std::shared_ptr<const Moderation> moderation_for(runtime::MethodId method);
+
+  // Whether `mod` still describes the current composition and shard map.
+  bool moderation_valid(const Moderation& mod) const {
+    return mod.epoch == bank_.version() &&
+           (mod.has_plan ||
+            mod.shard_rev == shard_rev_.load(std::memory_order_acquire));
+  }
+
+  // Requires the evaluating shard locks. First non-Resume verdict of the
+  // chain, with the vetoing/blocking aspect recorded in the context notes.
+  Decision evaluate_chain_under_locks(const std::vector<BankEntry>& chain,
+                                      InvocationContext& ctx);
 
   void log_event(std::string_view message, const InvocationContext& ctx);
 
@@ -131,13 +252,20 @@ class AspectModerator {
   const runtime::Clock* clock_;
   runtime::EventLog* log_;
 
-  mutable std::mutex mu_;
+  // Lock hierarchy: registry_mu_ (shard map + plans) may be held while
+  // acquiring shard mutexes; never the reverse.
+  mutable std::shared_mutex registry_mu_;
   std::unordered_map<runtime::MethodId, std::unique_ptr<MethodState>>
       methods_;
+  // Bumps when methods_ gains a shard. Written under the exclusive
+  // registry lock; atomic so hint revalidation can read it lock-free.
+  std::atomic<std::uint64_t> shard_rev_{1};
   std::unordered_map<runtime::MethodId, std::vector<runtime::MethodId>>
       notification_plan_;
-  std::uint64_t arrival_counter_ = 0;
-  bool shutdown_ = false;
+  std::unordered_map<runtime::MethodId, std::shared_ptr<const Moderation>>
+      moderation_cache_;
+  std::atomic<std::uint64_t> arrival_counter_{0};
+  std::atomic<bool> shutdown_{false};
 };
 
 }  // namespace amf::core

@@ -108,9 +108,11 @@ class ComponentProxy {
       ctx_.set_deadline(d);
       return *this;
     }
-    /// Relative admission deadline (measured on the real clock).
+    /// Relative admission deadline, resolved against the moderator's
+    /// clock — so simulated-clock moderators time out on simulated time,
+    /// not wall time.
     CallBuilder& within(runtime::Duration d) {
-      ctx_.set_deadline(runtime::RealClock::instance().now() + d);
+      ctx_.set_deadline(proxy_.moderator().clock().now() + d);
       return *this;
     }
     /// Cooperative cancellation token.

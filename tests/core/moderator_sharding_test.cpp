@@ -1,0 +1,305 @@
+// Tests for the sharded moderator lock (one mutex + condvar per method).
+//
+// What must hold after the refactor:
+//   * methods sharing an aspect OBJECT still admit atomically as a group
+//     (repair D2 — the bank-derived lock group),
+//   * cross-method wake plans still work: postactions and the guards they
+//     enable are serialized via ordered acquisition of the completed
+//     method's shard plus its wake targets,
+//   * shutdown reaches waiters parked on DIFFERENT methods' condvars,
+//   * independent methods make progress concurrently (no global mutex).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/aspect.hpp"
+#include "core/moderator.hpp"
+#include "aspects/synchronization.hpp"
+
+namespace amf::core {
+namespace {
+
+using runtime::AspectKind;
+using runtime::MethodId;
+
+// --- lock-group atomicity (D2 across shards) -----------------------------
+
+TEST(ModeratorShardingTest, SharedAspectGroupStaysMutuallyExclusive) {
+  // ONE MutualExclusionAspect on two methods forms an exclusion group; the
+  // sharded moderator must admit across BOTH methods atomically, never two
+  // bodies at once. A max-concurrency probe would race if admission were
+  // per-method only.
+  AspectModerator moderator;
+  const auto a = MethodId::of("shard-group-a");
+  const auto b = MethodId::of("shard-group-b");
+  auto excl = std::make_shared<aspects::MutualExclusionAspect>(1);
+  moderator.register_aspect(a, AspectKind::of("shard-excl"), excl);
+  moderator.register_aspect(b, AspectKind::of("shard-excl"), excl);
+  moderator.set_notification_plan(a, {a, b});
+  moderator.set_notification_plan(b, {a, b});
+
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::atomic<int> completed{0};
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        const auto method = (t % 2 == 0) ? a : b;
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          InvocationContext ctx(method);
+          ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+          const int now = inside.fetch_add(1) + 1;
+          int seen = max_inside.load();
+          while (now > seen && !max_inside.compare_exchange_weak(seen, now)) {
+          }
+          inside.fetch_sub(1);
+          moderator.postactivation(ctx);
+          completed.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(max_inside.load(), 1) << "exclusion group admitted two bodies";
+  EXPECT_EQ(completed.load(), kThreads * kOpsPerThread);
+  EXPECT_EQ(moderator.stats(a).admitted + moderator.stats(b).admitted,
+            static_cast<std::uint64_t>(kThreads * kOpsPerThread));
+}
+
+// --- cross-method wake plans under concurrency ---------------------------
+
+TEST(ModeratorShardingTest, PlannedProducerConsumerAcrossTwoMethods) {
+  // The paper's open→assign / assign→open shape, concurrently: producers
+  // blocked on "full" are woken only by consumer completions and vice
+  // versa. State is coupled through shared captures (invisible to the
+  // bank), so correctness rests on the plan-target lock acquisition.
+  AspectModerator moderator;
+  const auto produce = MethodId::of("shard-produce");
+  const auto consume = MethodId::of("shard-consume");
+  auto state = std::make_shared<aspects::BoundedResourceState>(4);
+  moderator.register_aspect(
+      produce, AspectKind::of("shard-sync"),
+      std::make_shared<aspects::BoundedResourceAspect>(
+          aspects::BoundedResourceAspect::Role::kProducer, state));
+  moderator.register_aspect(
+      consume, AspectKind::of("shard-sync"),
+      std::make_shared<aspects::BoundedResourceAspect>(
+          aspects::BoundedResourceAspect::Role::kConsumer, state));
+  moderator.set_notification_plan(produce, {consume, produce});
+  moderator.set_notification_plan(consume, {produce, consume});
+
+  constexpr int kPairs = 4;
+  constexpr int kOps = 500;
+  std::atomic<int> produced{0};
+  std::atomic<int> consumed{0};
+  {
+    std::vector<std::jthread> workers;
+    for (int p = 0; p < kPairs; ++p) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < kOps; ++i) {
+          InvocationContext ctx(produce);
+          ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+          produced.fetch_add(1);
+          moderator.postactivation(ctx);
+        }
+      });
+      workers.emplace_back([&] {
+        for (int i = 0; i < kOps; ++i) {
+          InvocationContext ctx(consume);
+          ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+          consumed.fetch_add(1);
+          moderator.postactivation(ctx);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(produced.load(), kPairs * kOps);
+  EXPECT_EQ(consumed.load(), kPairs * kOps);
+  // All slots drained: every reservation was matched by a consumption.
+  EXPECT_EQ(state->reserved, 0u);
+  EXPECT_EQ(state->committed, 0u);
+  EXPECT_EQ(moderator.stats(produce).completed,
+            static_cast<std::uint64_t>(kPairs * kOps));
+  EXPECT_EQ(moderator.stats(consume).completed,
+            static_cast<std::uint64_t>(kPairs * kOps));
+}
+
+TEST(ModeratorShardingTest, PlanWakesWaiterOnOtherMethodsShard) {
+  // A waiter parked on method X's condvar must be woken by a completion of
+  // method Y when Y's plan names X — across two different shard mutexes.
+  AspectModerator moderator;
+  const auto waiting = MethodId::of("shard-waiting");
+  const auto releasing = MethodId::of("shard-releasing");
+  auto gate = std::make_shared<bool>(false);
+  moderator.register_aspect(
+      waiting, AspectKind::of("shard-gate"),
+      std::make_shared<LambdaAspect>("gate", [gate](InvocationContext&) {
+        return *gate ? Decision::kResume : Decision::kBlock;
+      }));
+  moderator.register_aspect(
+      releasing, AspectKind::of("shard-open"),
+      std::make_shared<LambdaAspect>("open", nullptr, nullptr,
+                                     [gate](InvocationContext&) {
+                                       *gate = true;
+                                     }));
+  moderator.set_notification_plan(releasing, {waiting});
+
+  std::atomic<bool> admitted{false};
+  std::jthread waiter([&] {
+    InvocationContext ctx(waiting);
+    EXPECT_EQ(moderator.preactivation(ctx), Decision::kResume);
+    admitted.store(true);
+    moderator.postactivation(ctx);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(admitted.load());
+  EXPECT_EQ(moderator.blocked_waiters(), 1u);
+
+  InvocationContext ctx(releasing);
+  ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+  moderator.postactivation(ctx);
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+}
+
+// --- shutdown across shards ----------------------------------------------
+
+TEST(ModeratorShardingTest, ShutdownReachesWaitersOnDifferentMethods) {
+  AspectModerator moderator;
+  constexpr int kMethods = 4;
+  constexpr int kWaitersPerMethod = 3;
+  std::vector<MethodId> methods;
+  for (int m = 0; m < kMethods; ++m) {
+    const auto id = MethodId::of("shard-shut-" + std::to_string(m));
+    methods.push_back(id);
+    moderator.register_aspect(
+        id, AspectKind::of("shard-never"),
+        std::make_shared<LambdaAspect>(
+            "never", [](InvocationContext&) { return Decision::kBlock; }));
+  }
+
+  std::atomic<int> refused{0};
+  {
+    std::vector<std::jthread> waiters;
+    for (const auto method : methods) {
+      for (int w = 0; w < kWaitersPerMethod; ++w) {
+        waiters.emplace_back([&, method] {
+          InvocationContext ctx(method);
+          if (moderator.preactivation(ctx) == Decision::kAbort &&
+              ctx.abort_error()->code == runtime::ErrorCode::kCancelled) {
+            refused.fetch_add(1);
+          }
+        });
+      }
+    }
+    // Let the waiters park on their respective shard condvars.
+    while (moderator.blocked_waiters() <
+           static_cast<std::uint64_t>(kMethods * kWaitersPerMethod)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    moderator.shutdown();
+  }
+  EXPECT_EQ(refused.load(), kMethods * kWaitersPerMethod);
+  EXPECT_TRUE(moderator.is_shutdown());
+  InvocationContext late(methods.front());
+  EXPECT_EQ(moderator.preactivation(late), Decision::kAbort);
+}
+
+// --- independence of unrelated methods -----------------------------------
+
+TEST(ModeratorShardingTest, IndependentMethodsAllComplete) {
+  // Methods with disjoint aspects and self-only plans share no shard; the
+  // heavy cross-thread hammering must preserve each method's own guard
+  // invariant (its private exclusion limit) and lose no completion.
+  AspectModerator moderator;
+  constexpr int kMethods = 4;
+  constexpr int kThreadsPerMethod = 2;
+  constexpr int kOps = 300;
+  std::vector<MethodId> methods;
+  std::vector<std::shared_ptr<aspects::MutualExclusionAspect>> aspects_;
+  for (int m = 0; m < kMethods; ++m) {
+    const auto id = MethodId::of("shard-ind-" + std::to_string(m));
+    methods.push_back(id);
+    auto excl = std::make_shared<aspects::MutualExclusionAspect>(1);
+    aspects_.push_back(excl);
+    moderator.register_aspect(id, AspectKind::of("shard-ind-excl"), excl);
+    moderator.set_notification_plan(id, {id});
+  }
+
+  std::vector<std::atomic<int>> inside(kMethods);
+  std::atomic<int> violations{0};
+  {
+    std::vector<std::jthread> workers;
+    for (int m = 0; m < kMethods; ++m) {
+      for (int t = 0; t < kThreadsPerMethod; ++t) {
+        workers.emplace_back([&, m] {
+          for (int i = 0; i < kOps; ++i) {
+            InvocationContext ctx(methods[m]);
+            ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+            if (inside[m].fetch_add(1) + 1 > 1) violations.fetch_add(1);
+            inside[m].fetch_sub(1);
+            moderator.postactivation(ctx);
+          }
+        });
+      }
+    }
+  }
+  EXPECT_EQ(violations.load(), 0);
+  for (int m = 0; m < kMethods; ++m) {
+    EXPECT_EQ(moderator.stats(methods[m]).completed,
+              static_cast<std::uint64_t>(kThreadsPerMethod * kOps));
+    EXPECT_EQ(aspects_[m]->active(), 0u);
+  }
+}
+
+// --- adaptability across shard regrouping --------------------------------
+
+TEST(ModeratorShardingTest, RegroupingWhileBlockedTakesEffect) {
+  // Registering a SHARED aspect while a caller is blocked changes the
+  // caller's lock group mid-wait; the waiter must re-acquire the larger
+  // group and still honor both aspects.
+  AspectModerator moderator;
+  const auto m1 = MethodId::of("shard-regroup-1");
+  const auto m2 = MethodId::of("shard-regroup-2");
+  auto gate = std::make_shared<std::atomic<bool>>(false);
+  moderator.register_aspect(
+      m1, AspectKind::of("shard-regate"),
+      std::make_shared<LambdaAspect>("gate", [gate](InvocationContext&) {
+        return gate->load() ? Decision::kResume : Decision::kBlock;
+      }));
+
+  std::atomic<bool> admitted{false};
+  std::jthread waiter([&] {
+    InvocationContext ctx(m1);
+    EXPECT_EQ(moderator.preactivation(ctx), Decision::kResume);
+    admitted.store(true);
+    moderator.postactivation(ctx);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(admitted.load());
+
+  // Join m1 and m2 into one exclusion group while the waiter sleeps.
+  auto excl = std::make_shared<aspects::MutualExclusionAspect>(1);
+  moderator.register_aspect(m1, AspectKind::of("shard-rejoin"), excl);
+  moderator.register_aspect(m2, AspectKind::of("shard-rejoin"), excl);
+  gate->store(true);
+
+  // A completion on m2 (same group, default plan wakes everything) must
+  // reach the regrouped waiter.
+  InvocationContext ctx(m2);
+  ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+  moderator.postactivation(ctx);
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(excl->active(), 0u);
+}
+
+}  // namespace
+}  // namespace amf::core
