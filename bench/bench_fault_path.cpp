@@ -1,0 +1,105 @@
+// E12 — Cost of the failure-containment machinery (single thread).
+//
+// Claims checked:
+//   * the exception firewall (try/catch around every hook) and the
+//     recomposition-barrier burst accounting cost little on the fault-free
+//     hot path,
+//   * a disarmed injector adds only a relaxed load per decision point,
+//   * the structured fault path itself (throwing guard → kAspectFault
+//     abort) is bounded — throwing is allowed to cost, but not absurdly.
+//
+// Reported series:
+//
+//   baseline   — proxy + one pass-through aspect, no injector, no watchdog
+//   injector   — same, with a wired-but-disarmed FaultInjector
+//   watchdog   — same, with the watchdog enabled (registry bookkeeping
+//                only touches BLOCKED calls; admitted fast path unchanged)
+//   guard-throw— every call aborts through a throwing precondition
+//
+// Compare `baseline` against an AMF_FAULT_INJECTION=OFF build to price the
+// compiled-in (null-injector) hooks themselves.
+#include <benchmark/benchmark.h>
+
+#include <stdexcept>
+
+#include "core/framework.hpp"
+#include "runtime/fault.hpp"
+
+namespace {
+
+using namespace amf;
+
+struct Dummy {};
+
+core::AspectPtr pass_through() {
+  return std::make_shared<core::LambdaAspect>(
+      "pass", [](core::InvocationContext&) { return core::Decision::kResume; },
+      [](core::InvocationContext&) {}, [](core::InvocationContext&) {});
+}
+
+void BM_FaultFreeBaseline(benchmark::State& state) {
+  core::ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = runtime::MethodId::of("e12-baseline");
+  proxy.moderator().register_aspect(m, runtime::AspectKind::of("e12-k"),
+                                    pass_through());
+  for (auto _ : state) {
+    auto r = proxy.invoke(m, [](Dummy&) {});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FaultFreeBaseline);
+
+void BM_DisarmedInjector(benchmark::State& state) {
+  runtime::FaultInjector injector(1);  // wired, never armed
+  core::ModeratorOptions options;
+  options.fault = &injector;
+  core::ComponentProxy<Dummy> proxy{Dummy{}, options};
+  const auto m = runtime::MethodId::of("e12-disarmed");
+  proxy.moderator().register_aspect(m, runtime::AspectKind::of("e12-k"),
+                                    pass_through());
+  for (auto _ : state) {
+    auto r = proxy.invoke(m, [](Dummy&) {});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DisarmedInjector);
+
+void BM_WatchdogEnabled(benchmark::State& state) {
+  core::WatchdogOptions wd;
+  wd.stall_after = std::chrono::seconds(10);  // never trips here
+  core::ModeratorOptions options;
+  options.watchdog = wd;
+  core::ComponentProxy<Dummy> proxy{Dummy{}, options};
+  const auto m = runtime::MethodId::of("e12-watchdog");
+  proxy.moderator().register_aspect(m, runtime::AspectKind::of("e12-k"),
+                                    pass_through());
+  for (auto _ : state) {
+    auto r = proxy.invoke(m, [](Dummy&) {});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WatchdogEnabled);
+
+void BM_GuardThrowAbort(benchmark::State& state) {
+  core::ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = runtime::MethodId::of("e12-throw");
+  proxy.moderator().register_aspect(
+      m, runtime::AspectKind::of("e12-k"),
+      std::make_shared<core::LambdaAspect>(
+          "broken", [](core::InvocationContext&) -> core::Decision {
+            throw std::runtime_error("guard broke");
+          }));
+  for (auto _ : state) {
+    auto r = proxy.invoke(m, [](Dummy&) {});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GuardThrowAbort);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -24,6 +24,12 @@ class AuditAspect final : public core::Aspect {
 
   std::string_view name() const override { return "audit"; }
 
+  /// Audit is an observer: losing trail entries from a broken sink beats
+  /// refusing the traffic being audited, so repeated faults eject it.
+  core::FaultPolicy fault_policy() const override {
+    return core::FaultPolicy::quarantine(3);
+  }
+
   void on_arrive(core::InvocationContext& ctx) override {
     log_->append(category_, "arrive:" + std::string(ctx.method().name()),
                  ctx.id());

@@ -28,6 +28,12 @@ class CounterAspect final : public core::Aspect {
 
   std::string_view name() const override { return "counter"; }
 
+  /// Instrumentation is expendable: a counter that keeps throwing should be
+  /// ejected rather than abort (or crash) the traffic it merely observes.
+  core::FaultPolicy fault_policy() const override {
+    return core::FaultPolicy::quarantine(3);
+  }
+
   void on_arrive(core::InvocationContext& ctx) override {
     counter(ctx, "arrived").add();
   }
@@ -65,6 +71,12 @@ class SamplingAspect final : public core::Aspect {
         note_key_("sampled." + std::string(inner_->name())) {}
 
   std::string_view name() const override { return "sampling"; }
+
+  /// Inherits the observer stance: the decorator exists to cheapen
+  /// instrumentation, so a faulting inner aspect gets quarantined too.
+  core::FaultPolicy fault_policy() const override {
+    return core::FaultPolicy::quarantine(3);
+  }
 
   void on_arrive(core::InvocationContext& ctx) override {
     if (arrivals_++ % every_n_ == 0) {

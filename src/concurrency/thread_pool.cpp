@@ -4,12 +4,17 @@
 
 namespace amf::concurrency {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, runtime::FaultInjector* fault)
+    : fault_(fault) {
   threads = std::max<std::size_t>(threads, 1);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] {
       while (auto task = tasks_.pop()) {
+        if (AMF_FAULT_FIRE(fault_, runtime::FaultPoint::kDelay)) {
+          std::this_thread::sleep_for(
+              fault_->delay(runtime::FaultPoint::kDelay));
+        }
         (*task)();
       }
     });

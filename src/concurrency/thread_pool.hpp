@@ -12,14 +12,19 @@
 #include <vector>
 
 #include "concurrency/concurrent_queue.hpp"
+#include "runtime/fault.hpp"
 
 namespace amf::concurrency {
 
 /// A pool of `n` worker threads executing submitted tasks FIFO.
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (>= 1).
-  explicit ThreadPool(std::size_t threads);
+  /// Spawns `threads` workers (>= 1). When `fault` is non-null, its kDelay
+  /// point stalls a worker for a deterministic interval before it runs the
+  /// next task — perturbing cross-thread interleavings reproducibly from
+  /// one seed without touching the tasks themselves.
+  explicit ThreadPool(std::size_t threads,
+                      runtime::FaultInjector* fault = nullptr);
 
   /// Drains outstanding tasks, then joins all workers.
   ~ThreadPool();
@@ -47,6 +52,7 @@ class ThreadPool {
 
  private:
   ConcurrentQueue<std::function<void()>> tasks_;
+  runtime::FaultInjector* fault_ = nullptr;
   std::vector<std::jthread> workers_;
 };
 

@@ -19,6 +19,7 @@
 // Aspect state therefore needs no locking of its own.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -29,6 +30,33 @@
 #include "core/decision.hpp"
 
 namespace amf::core {
+
+/// What the moderator's exception firewall does with an aspect whose hook
+/// throws (DESIGN.md §10). Faults are always contained per-invocation (a
+/// precondition throw aborts only that call with kAspectFault; entry and
+/// postaction throws are recorded and the pipeline continues); the policy
+/// decides the aspect's fate across invocations.
+struct FaultPolicy {
+  enum class Mode {
+    /// Every fault surfaces; the aspect stays composed however often it
+    /// throws. The default: removing a concern silently changes semantics,
+    /// so only aspects that opt in are ever quarantined.
+    kPropagate,
+    /// After `threshold` faults the bank quarantines the aspect: it is
+    /// dropped from composition snapshots (epoch bump, so blocked callers
+    /// re-evaluate without it) until an operator un-quarantines it.
+    kQuarantine,
+  };
+
+  Mode mode = Mode::kPropagate;
+  /// Fault count that triggers quarantine (kQuarantine only; >= 1).
+  std::uint32_t threshold = 1;
+
+  static constexpr FaultPolicy propagate() { return {}; }
+  static constexpr FaultPolicy quarantine(std::uint32_t threshold) {
+    return {Mode::kQuarantine, threshold < 1 ? 1u : threshold};
+  }
+};
 
 /// Base class for all aspects. Every hook has a no-op default so concrete
 /// aspects override only what their concern needs.
@@ -60,6 +88,11 @@ class Aspect {
 
   /// Cleanup when the invocation is never admitted.
   virtual void on_cancel(InvocationContext& ctx) { (void)ctx; }
+
+  /// How the moderator treats this aspect when its hooks throw. Observers
+  /// (counters, audits) typically opt into quarantine — they are expendable
+  /// relative to the methods they watch; guards keep the propagate default.
+  virtual FaultPolicy fault_policy() const { return FaultPolicy::propagate(); }
 };
 
 /// Adapter building an aspect out of lambdas; heavily used by tests and by
@@ -91,11 +124,18 @@ class LambdaAspect final : public Aspect {
     if (post_) post_(ctx);
   }
 
+  FaultPolicy fault_policy() const override { return policy_; }
+  LambdaAspect& set_fault_policy(FaultPolicy policy) {
+    policy_ = policy;
+    return *this;
+  }
+
  private:
   std::string name_;
   GuardFn guard_;
   HookFn entry_;
   HookFn post_;
+  FaultPolicy policy_ = FaultPolicy::propagate();
 };
 
 using AspectPtr = std::shared_ptr<Aspect>;

@@ -8,9 +8,12 @@ const AspectChain AspectBank::kEmptyChain =
     std::make_shared<const std::vector<BankEntry>>();
 
 void AspectBank::set_kind_order(std::vector<runtime::AspectKind> order) {
-  std::scoped_lock lock(mu_);
-  order_ = std::move(order);
-  publish_locked();
+  {
+    std::scoped_lock lock(mu_);
+    order_ = std::move(order);
+    publish_locked();
+  }
+  run_barrier();
 }
 
 std::vector<runtime::AspectKind> AspectBank::kind_order() const {
@@ -20,22 +23,73 @@ std::vector<runtime::AspectKind> AspectBank::kind_order() const {
 
 void AspectBank::register_aspect(runtime::MethodId method,
                                  runtime::AspectKind kind, AspectPtr aspect) {
-  std::scoped_lock lock(mu_);
-  if (std::find(order_.begin(), order_.end(), kind) == order_.end()) {
-    order_.push_back(kind);
+  {
+    std::scoped_lock lock(mu_);
+    if (std::find(order_.begin(), order_.end(), kind) == order_.end()) {
+      order_.push_back(kind);
+    }
+    cells_[method][kind] = std::move(aspect);
+    publish_locked();
   }
-  cells_[method][kind] = std::move(aspect);
-  publish_locked();
+  run_barrier();
 }
 
 bool AspectBank::remove_aspect(runtime::MethodId method,
                                runtime::AspectKind kind) {
-  std::scoped_lock lock(mu_);
-  auto it = cells_.find(method);
-  if (it == cells_.end()) return false;
-  if (it->second.erase(kind) == 0) return false;
-  publish_locked();
+  {
+    std::scoped_lock lock(mu_);
+    auto it = cells_.find(method);
+    if (it == cells_.end()) return false;
+    if (it->second.erase(kind) == 0) return false;
+    publish_locked();
+  }
+  run_barrier();
   return true;
+}
+
+bool AspectBank::quarantine(const Aspect* aspect) {
+  {
+    std::scoped_lock lock(mu_);
+    bool holds_cell = false;
+    for (const auto& [_, kinds] : cells_) {
+      for (const auto& [_k, a] : kinds) {
+        if (a.get() == aspect) {
+          holds_cell = true;
+          break;
+        }
+      }
+      if (holds_cell) break;
+    }
+    if (!holds_cell) return false;
+    if (!quarantined_.insert(aspect).second) return false;
+    publish_locked();
+  }
+  run_barrier();
+  return true;
+}
+
+bool AspectBank::unquarantine(const Aspect* aspect) {
+  {
+    std::scoped_lock lock(mu_);
+    if (quarantined_.erase(aspect) == 0) return false;
+    publish_locked();
+  }
+  run_barrier();
+  return true;
+}
+
+bool AspectBank::is_quarantined(const Aspect* aspect) const {
+  std::scoped_lock lock(mu_);
+  return quarantined_.contains(aspect);
+}
+
+std::vector<std::string> AspectBank::quarantined() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(quarantined_.size());
+  for (const Aspect* a : quarantined_) out.emplace_back(a->name());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 AspectPtr AspectBank::find(runtime::MethodId method,
@@ -99,6 +153,18 @@ std::string AspectBank::describe() const {
     out += kind.name();
   }
   out += '\n';
+  if (!quarantined_.empty()) {
+    std::vector<std::string> names;
+    names.reserve(quarantined_.size());
+    for (const Aspect* a : quarantined_) names.emplace_back(a->name());
+    std::sort(names.begin(), names.end());
+    out += "quarantined:";
+    for (const auto& n : names) {
+      out += ' ';
+      out += n;
+    }
+    out += '\n';
+  }
   // Sort methods by name for a stable, diff-friendly dump.
   std::vector<runtime::MethodId> methods;
   for (const auto& [method, kinds] : cells_) {
@@ -128,13 +194,29 @@ std::string AspectBank::describe() const {
 void AspectBank::publish_locked() {
   auto next = std::make_shared<Composition>();
 
-  // Chains, in kind order.
+  // Prune quarantine entries whose object no longer holds any cell, so a
+  // removed-then-reregistered address cannot inherit a stale quarantine.
+  if (!quarantined_.empty()) {
+    std::unordered_set<const Aspect*> live;
+    for (const auto& [_, kinds] : cells_) {
+      for (const auto& [_k, aspect] : kinds) live.insert(aspect.get());
+    }
+    std::erase_if(quarantined_,
+                  [&](const Aspect* a) { return !live.contains(a); });
+  }
+  const auto excluded = [&](const AspectPtr& a) {
+    return quarantined_.contains(a.get());
+  };
+
+  // Chains, in kind order. Quarantined aspects keep their cells but vanish
+  // from what the moderator sees.
   next->chains.reserve(cells_.size());
   for (const auto& [method, kinds] : cells_) {
     auto chain = std::make_shared<std::vector<BankEntry>>();
     chain->reserve(kinds.size());
     for (const auto kind : order_) {
-      if (auto jt = kinds.find(kind); jt != kinds.end()) {
+      if (auto jt = kinds.find(kind); jt != kinds.end() &&
+                                      !excluded(jt->second)) {
         chain->push_back(BankEntry{kind, jt->second});
       }
     }
@@ -148,12 +230,14 @@ void AspectBank::publish_locked() {
   std::unordered_map<const Aspect*, std::vector<runtime::MethodId>> holders;
   for (const auto& [method, kinds] : cells_) {
     for (const auto& [_, aspect] : kinds) {
+      if (excluded(aspect)) continue;
       holders[aspect.get()].push_back(method);
     }
   }
   for (const auto& [method, kinds] : cells_) {
     std::vector<runtime::MethodId> group{method};
     for (const auto& [_, aspect] : kinds) {
+      if (excluded(aspect)) continue;
       const auto& sharing = holders[aspect.get()];
       group.insert(group.end(), sharing.begin(), sharing.end());
     }

@@ -18,10 +18,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/aspect.hpp"
@@ -67,6 +69,28 @@ class AspectBank {
   /// Removes a cell; returns false if it was empty.
   bool remove_aspect(runtime::MethodId method, runtime::AspectKind kind);
 
+  // --- quarantine (DESIGN.md §10) ---------------------------------------
+  // A quarantined aspect OBJECT keeps its cells (the composition intent is
+  // preserved) but is excluded from published chains and lock groups, so
+  // from the moderator's point of view it stops existing: blocked callers
+  // re-evaluate without it at the next epoch. The moderator triggers this
+  // for aspects whose FaultPolicy threshold is exceeded; operators can also
+  // call it directly, and un-quarantine restores the aspect wholesale.
+
+  /// Excludes `aspect` from all published chains. Returns false if the
+  /// object holds no cell or is already quarantined.
+  bool quarantine(const Aspect* aspect);
+
+  /// Restores a quarantined aspect into every cell it still occupies.
+  /// Returns false if it was not quarantined.
+  bool unquarantine(const Aspect* aspect);
+
+  /// Whether `aspect` is currently quarantined.
+  bool is_quarantined(const Aspect* aspect) const;
+
+  /// Names of currently quarantined aspects (sorted; diagnostics).
+  std::vector<std::string> quarantined() const;
+
   /// The aspect in cell (method, kind), or nullptr.
   AspectPtr find(runtime::MethodId method, runtime::AspectKind kind) const;
 
@@ -101,6 +125,17 @@ class AspectBank {
   /// The operator's view of "what concerns guard what".
   std::string describe() const;
 
+  /// Installs a hook invoked after every mutation publishes (all bank locks
+  /// released). The moderator uses it as a recomposition barrier: the hook
+  /// wakes blocked waiters and quiesces in-flight evaluations of the OLD
+  /// composition before the mutator returns, which closes the
+  /// aspect-migration window (two rapid mutations can otherwise race an
+  /// evaluation still holding the old lock group). Set once at wiring time,
+  /// before traffic.
+  void set_recompose_barrier(std::function<void()> barrier) {
+    barrier_ = std::move(barrier);
+  }
+
  private:
   /// The unit of publication: everything a hot-path reader needs, rebuilt
   /// wholesale under mu_ on every mutation and swapped in atomically.
@@ -114,11 +149,20 @@ class AspectBank {
 
   std::shared_ptr<const Composition> snapshot() const;
 
+  // Runs `barrier_` (when set) after the calling mutation released mu_.
+  void run_barrier() const {
+    if (barrier_) barrier_();
+  }
+
   mutable std::mutex mu_;
   std::vector<runtime::AspectKind> order_;
   std::unordered_map<runtime::MethodId,
                      std::unordered_map<runtime::AspectKind, AspectPtr>>
       cells_;
+  // Aspect objects excluded from published snapshots. Guarded by mu_;
+  // entries whose last cell disappears are pruned by publish_locked().
+  std::unordered_set<const Aspect*> quarantined_;
+  std::function<void()> barrier_;
   // Leaf lock guarding only the snapshot pointer swap/copy (never held
   // together with mu_ by readers; writers take mu_ then snapshot_mu_).
   mutable std::mutex snapshot_mu_;

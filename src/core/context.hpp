@@ -100,6 +100,11 @@ class InvocationContext {
     admitted_chain_ = std::move(c);
   }
 
+  /// Recomposition-barrier parity of the span opened at admission
+  /// (moderator-internal bookkeeping; -1 before admission / after close).
+  int span_parity() const { return span_parity_; }
+  void set_span_parity(int p) { span_parity_ = p; }
+
   /// Opaque moderator-owned hint (the Moderation record preactivation
   /// resolved) handed back at postactivation to skip a registry lookup.
   /// The moderator revalidates it — a stale hint is never trusted.
@@ -143,6 +148,7 @@ class InvocationContext {
   runtime::TimePoint admitted_at_{};
   std::uint64_t blocked_count_ = 0;
   bool body_succeeded_ = false;
+  int span_parity_ = -1;
   std::optional<runtime::Error> abort_error_;
   std::shared_ptr<const std::vector<BankEntry>> admitted_chain_;
   std::shared_ptr<const void> moderation_hint_;

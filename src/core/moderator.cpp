@@ -1,6 +1,7 @@
 #include "core/moderator.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <string>
 #include <type_traits>
 
@@ -8,13 +9,79 @@ namespace amf::core {
 
 namespace {
 using runtime::ErrorCode;
+using runtime::FaultPoint;
 
 // Polling quantum for deadline waits under simulated clocks.
 constexpr std::chrono::microseconds kManualClockPoll{200};
+
+// Parity a burst registers under at gen `g`: even gens map to their own
+// half; odd gens (a barrier is draining) map to the NEXT half, so gate
+// bypassers never inflate the side being drained.
+constexpr int burst_parity(std::uint64_t g) {
+  return static_cast<int>(((g + 1) >> 1) & 1);
+}
+
+// Per-thread open-span counts, per moderator, per parity. Spans must open
+// and close on the same thread (the proxy runs the whole invocation on the
+// caller's thread). Keyed by address; entries are pruned at zero so
+// short-lived moderators don't accumulate.
+struct TlSpanCount {
+  const void* moderator;
+  std::int64_t count[2];
+};
+
+std::vector<TlSpanCount>& tl_span_counts() {
+  static thread_local std::vector<TlSpanCount> counts;
+  return counts;
+}
+
+TlSpanCount* tl_find(const void* moderator) {
+  for (auto& e : tl_span_counts()) {
+    if (e.moderator == moderator) return &e;
+  }
+  return nullptr;
+}
+
+std::string join_chain_names(const std::vector<BankEntry>& chain) {
+  std::string out;
+  for (const auto& e : chain) {
+    if (!out.empty()) out += " < ";
+    out += e.aspect->name();
+  }
+  return out;
+}
 }  // namespace
 
 AspectModerator::AspectModerator(ModeratorOptions options)
-    : clock_(options.clock), log_(options.log) {}
+    : clock_(options.clock),
+      log_(options.log),
+      fault_(options.fault),
+      watchdog_(options.watchdog) {
+  if (options.metrics != nullptr) {
+    fault_counter_ = &options.metrics->counter("moderator.aspect_faults");
+    quarantine_counter_ = &options.metrics->counter("moderator.quarantines");
+    stall_counter_ = &options.metrics->counter("moderator.stalls");
+  }
+  // Every bank mutation quiesces in-flight moderation of the old
+  // composition before returning to the mutator (closes the
+  // aspect-migration window, DESIGN.md §10).
+  bank_.set_recompose_barrier([this] { recompose_barrier(); });
+  if (watchdog_ && watchdog_->poll.count() > 0) {
+    watchdog_thread_ = std::jthread([this](std::stop_token st) {
+      std::unique_lock lk(wd_mu_);
+      while (!st.stop_requested()) {
+        if (wd_cv_.wait_for(lk, st, watchdog_->poll, [] { return false; })) {
+          break;  // stop requested
+        }
+        lk.unlock();
+        scan_stalls();
+        lk.lock();
+      }
+    });
+  }
+}
+
+AspectModerator::~AspectModerator() = default;
 
 Decision AspectModerator::preactivation(InvocationContext& ctx) {
   ctx.set_arrival_seq(
@@ -33,10 +100,15 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
   enum class Outcome { kAdmitted, kAborted, kRecompose };
 
   for (;;) {
+    const std::uint64_t burst_gen = enter_burst();
+    const int parity = burst_parity(burst_gen);
     const std::shared_ptr<const Moderation> mod = moderation_for(ctx.method());
     const std::uint64_t epoch = mod->epoch;
     const AspectChain& chain = mod->chain;
     MethodState& ms = *mod->self;
+
+    // Watchdog record of the current blocked episode, if any.
+    std::shared_ptr<StallRecord> stall_rec;
 
     // The moderation body, parameterized over the lock/condvar pair it
     // waits with. `lk` holds the WHOLE eval shard set of this epoch; `cv`
@@ -51,7 +123,7 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
       for (const auto& e : *chain) {
         if (std::find(arrived.begin(), arrived.end(), e.aspect.get()) ==
             arrived.end()) {
-          e.aspect->on_arrive(ctx);
+          guarded_on_arrive(e, ctx);
           arrived.push_back(e.aspect.get());
         }
       }
@@ -59,13 +131,27 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
       Decision verdict = Decision::kBlock;
       bool recompose = false;
       // Guard predicate for the condition-variable wait (CP.42): true when
-      // the caller should stop waiting (admitted, vetoed, shutdown, or the
-      // composition changed under it).
+      // the caller should stop waiting (admitted, vetoed, shutdown, evicted
+      // by the watchdog, or the composition changed under it).
       auto done_waiting = [&]() -> bool {
         if (shutdown_.load(std::memory_order_acquire)) {
           verdict = Decision::kAbort;
           ctx.set_abort_error(runtime::make_error(ErrorCode::kCancelled,
                                                   "moderator shut down"));
+          return true;
+        }
+        if (stall_rec &&
+            stall_rec->evicted.load(std::memory_order_acquire)) {
+          verdict = Decision::kAbort;
+          ctx.set_abort_error(runtime::make_error(
+              ErrorCode::kDeadlineExceeded,
+              "evicted by stall watchdog while blocked"));
+          return true;
+        }
+        // A gen move means a recomposition barrier is (or was) draining
+        // this burst's side; fall out so the barrier can complete.
+        if (gen_.load(std::memory_order_seq_cst) != burst_gen) {
+          recompose = true;
           return true;
         }
         if (bank_.version() != epoch) {
@@ -80,6 +166,17 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
       if (!done_waiting()) {
         ms.stats.block_events += 1;
         log_event("blocked", ctx);
+        if (watchdog_) {
+          stall_rec = std::make_shared<StallRecord>();
+          stall_rec->invocation_id = ctx.id();
+          stall_rec->method = ctx.method();
+          stall_rec->blocked_since = clock_->now();
+          stall_rec->deadline = ctx.deadline();
+          stall_rec->chain = join_chain_names(*chain);
+          stall_rec->blocked_by = ctx.note("blocked.by").value_or("?");
+          stall_rec->shard = &ms;
+          register_stall_record(stall_rec);
+        }
         ms.waiters += 1;
         if constexpr (kStopCapable) ms.waiters_any += 1;
         bool satisfied = true;
@@ -126,9 +223,13 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
         }
         ms.waiters -= 1;
         if constexpr (kStopCapable) ms.waiters_any -= 1;
+        if (stall_rec) {
+          unregister_stall_record(ctx.id());
+          stall_rec.reset();
+        }
 
         if (!satisfied) {
-          for (const auto& e : *chain) e.aspect->on_cancel(ctx);
+          guarded_on_cancel(chain, ctx);
           if (stop_requested) {
             ctx.set_abort_error(runtime::make_error(
                 ErrorCode::kCancelled, "stop requested while blocked"));
@@ -148,7 +249,7 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
       if (recompose) return Outcome::kRecompose;  // re-read chain and group
 
       if (verdict == Decision::kAbort) {
-        for (const auto& e : *chain) e.aspect->on_cancel(ctx);
+        guarded_on_cancel(chain, ctx);
         if (!ctx.abort_error()) {
           std::string by = ctx.note("vetoed.by").value_or("unknown aspect");
           ctx.set_abort_error(
@@ -170,11 +271,13 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
       // — the shard set held here is exactly the set of methods whose
       // guards can observe these entries (repair D2 under sharding).
       // admitted_at is stamped first so entry() hooks (e.g. timing) can
-      // read it.
+      // read it. Entry throws are contained (the admission stands — entry
+      // and postaction stay paired); precondition throws never reach here.
       ctx.set_admitted_at(clock_->now());
-      for (const auto& e : *chain) e.aspect->entry(ctx);
+      for (const auto& e : *chain) guarded_entry(e, ctx);
       ctx.set_admitted_chain(chain);
       ctx.set_moderation_hint(mod);
+      open_span(ctx, parity);
       ms.stats.admitted += 1;
       log_event("admitted", ctx);
       return Outcome::kAdmitted;
@@ -191,8 +294,16 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
       LockSet locks(mod->eval_shards.data(), mod->eval_shards.size());
       out = moderate(locks, ms.cv_any);
     }
+    exit_burst(parity);
     if (out == Outcome::kRecompose) continue;
-    return out == Outcome::kAdmitted ? Decision::kResume : Decision::kAbort;
+    if (out == Outcome::kAborted) {
+      // Safe point: no burst, no span. Admitted callers defer their drain
+      // to the end of postactivation (their open span would deadlock a
+      // barrier run from this thread).
+      drain_quarantine();
+      return Decision::kAbort;
+    }
+    return Decision::kResume;
   }
 }
 
@@ -207,40 +318,97 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
   AspectChain chain = ctx.admitted_chain() ? ctx.admitted_chain()
                                            : bank_.chain(ctx.method());
 
-  // Preactivation handed us its Moderation record; reuse it if it still
-  // describes the current composition (revalidated — never trusted blind).
+  // Preactivation handed us its Moderation record. If it still describes
+  // the current composition we use it as-is; if the bank recomposed
+  // mid-call we PIN it — the completion locks cover the admitted chain's
+  // group (strict G4 pairing) UNIONED with the current composition's
+  // completion set, so postactions of the admitted chain stay atomic
+  // against both old sharing (what the entries synchronized with) and new
+  // sharing (what concurrent evaluations lock now).
   std::shared_ptr<const Moderation> hinted =
       std::static_pointer_cast<const Moderation>(ctx.moderation_hint());
-  if (hinted && !moderation_valid(*hinted)) hinted = nullptr;
+  std::shared_ptr<const Moderation> pinned;
+  if (hinted && !moderation_valid(*hinted)) {
+    pinned = std::move(hinted);
+    hinted = nullptr;
+  }
+
+  // Postactivation always proceeds (an open span bypasses a draining
+  // barrier's gate, so completions can never deadlock against it).
+  const std::uint64_t burst_gen = enter_burst();
+  const int parity = burst_parity(burst_gen);
 
   for (;;) {
     const std::shared_ptr<const Moderation> mod =
         hinted ? hinted : moderation_for(ctx.method());
     hinted = nullptr;  // a recompose loop must re-resolve
 
-    if (mod->has_plan) {
+    if (mod->has_plan || (pinned && pinned->has_plan)) {
       // Sharded completion: hold the completed method, its lock group (the
       // postactions may touch aspects shared with those methods) and the
       // plan's wake targets (the plan declares whose guards this completion
-      // can enable). Ordered acquisition, then notify the targets.
-      LockSet locks(mod->completion_shards.data(),
-                    mod->completion_shards.size());
-      for (auto it = chain->rbegin(); it != chain->rend(); ++it) {
-        it->aspect->postaction(ctx);
+      // can enable). When the composition moved mid-call, the pinned
+      // record's set is merged in. Ordered acquisition, then notify.
+      ShardVec shards;
+      SmallVec<std::uint8_t, 8> wake;
+      auto append = [&](const Moderation& m) {
+        for (std::size_t i = 0; i < m.completion_shards.size(); ++i) {
+          shards.push_back(m.completion_shards[i]);
+          wake.push_back(m.completion_wake[i]);
+        }
+      };
+      const Moderation* stats_owner = mod.get();
+      if (pinned) {
+        append(*pinned);
+        stats_owner = pinned.get();
       }
-      mod->self->stats.completed += 1;
+      append(*mod);
+      if (pinned) {
+        // Merge by shard id: sort, OR the wake flags of duplicates, unique.
+        std::vector<std::pair<MethodState*, std::uint8_t>> merged;
+        merged.reserve(shards.size());
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+          merged.emplace_back(shards.begin()[i], wake.begin()[i]);
+        }
+        std::sort(merged.begin(), merged.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first->id < b.first->id;
+                  });
+        ShardVec uniq_shards;
+        SmallVec<std::uint8_t, 8> uniq_wake;
+        for (std::size_t i = 0; i < merged.size(); ++i) {
+          if (!uniq_shards.empty() &&
+              uniq_shards.begin()[uniq_shards.size() - 1] ==
+                  merged[i].first) {
+            auto* flags = uniq_wake.begin();
+            flags[uniq_wake.size() - 1] =
+                static_cast<std::uint8_t>(flags[uniq_wake.size() - 1] |
+                                          merged[i].second);
+            continue;
+          }
+          uniq_shards.push_back(merged[i].first);
+          uniq_wake.push_back(merged[i].second);
+        }
+        shards = uniq_shards;
+        wake = uniq_wake;
+      }
+      LockSet locks(shards.data(), shards.size());
+      for (auto it = chain->rbegin(); it != chain->rend(); ++it) {
+        guarded_postaction(*it, ctx);
+      }
+      stats_owner->self->stats.completed += 1;
       log_event("postactivation", ctx);
-      for (std::size_t i = 0; i < mod->completion_shards.size(); ++i) {
+      for (std::size_t i = 0; i < shards.size(); ++i) {
         // waiters is guarded by the shard's mutex (held): skipping idle
         // shards cannot lose a wakeup — any future waiter re-evaluates
         // before sleeping.
-        MethodState* s = mod->completion_shards[i];
-        if (mod->completion_wake[i] && s->waiters > 0) {
+        MethodState* s = shards.begin()[i];
+        if (wake.begin()[i] && s->waiters > 0) {
           if (s->waiters > s->waiters_any) s->cv.notify_all();
           if (s->waiters_any > 0) s->cv_any.notify_all();
         }
       }
-      return;
+      break;
     }
 
     // No plan: the always-safe fallback. Holding EVERY shard makes these
@@ -249,7 +417,9 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
     // race-free, exactly as under the old global mutex. The shared
     // registry lock freezes the shard map so no method can appear (and
     // start evaluating on an unheld shard) mid-completion; a shard created
-    // since this Moderation was built forces a rebuild.
+    // since this Moderation was built forces a rebuild. The all-shards set
+    // is a superset of any pinned record's set, so stale hints need no
+    // merging here.
     std::shared_lock registry(registry_mu_);
     if (mod->shard_rev != shard_rev_.load(std::memory_order_relaxed)) {
       continue;  // a shard appeared since this record was built
@@ -257,9 +427,9 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
     LockSet locks(mod->completion_shards.data(),
                   mod->completion_shards.size());
     for (auto it = chain->rbegin(); it != chain->rend(); ++it) {
-      it->aspect->postaction(ctx);
+      guarded_postaction(*it, ctx);
     }
-    mod->self->stats.completed += 1;
+    (pinned ? pinned->self : mod->self)->stats.completed += 1;
     log_event("postactivation", ctx);
     for (auto* s : mod->completion_shards) {
       if (s->waiters > 0) {
@@ -267,27 +437,41 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
         if (s->waiters_any > 0) s->cv_any.notify_all();
       }
     }
-    return;
+    break;
   }
+
+  exit_burst(parity);
+  close_span(ctx);
+  drain_quarantine();
 }
 
 void AspectModerator::set_notification_plan(
     runtime::MethodId completed, std::vector<runtime::MethodId> wake) {
-  std::unique_lock registry(registry_mu_);
-  notification_plan_[completed] = std::move(wake);
-  moderation_cache_.erase(completed);
+  {
+    std::unique_lock registry(registry_mu_);
+    notification_plan_[completed] = std::move(wake);
+    moderation_cache_.erase(completed);
+  }
+  // Plan changes alter completion semantics; quiesce like a bank mutation
+  // so in-flight waiters pick up records with the new plan.
+  recompose_barrier();
 }
 
 void AspectModerator::shutdown() {
   shutdown_.store(true, std::memory_order_release);
-  std::shared_lock registry(registry_mu_);
-  for (auto& [_, state] : methods_) {
-    // Taking the shard lock orders this notify after any in-flight guard
-    // check that missed the flag, so no waiter can sleep through shutdown.
-    std::scoped_lock shard(state->mu);
-    state->cv.notify_all();
-    state->cv_any.notify_all();
+  {
+    std::shared_lock registry(registry_mu_);
+    for (auto& [_, state] : methods_) {
+      // Taking the shard lock orders this notify after any in-flight guard
+      // check that missed the flag, so no waiter can sleep through
+      // shutdown.
+      std::scoped_lock shard(state->mu);
+      state->cv.notify_all();
+      state->cv_any.notify_all();
+    }
   }
+  // Gate-parked arrivals check the shutdown flag in their wait predicate.
+  signal_barrier();
 }
 
 MethodStats AspectModerator::stats(runtime::MethodId method) const {
@@ -336,6 +520,302 @@ std::string AspectModerator::report() const {
   }
   return out;
 }
+
+// --- failure containment ---------------------------------------------------
+
+std::uint64_t AspectModerator::fault_count(const Aspect* aspect) const {
+  std::scoped_lock lock(fault_mu_);
+  auto it = fault_counts_.find(aspect);
+  return it == fault_counts_.end() ? 0 : it->second;
+}
+
+bool AspectModerator::unquarantine(const Aspect* aspect) {
+  {
+    std::scoped_lock lock(fault_mu_);
+    fault_counts_.erase(aspect);
+    // A still-pending entry would re-quarantine on the next drain.
+    std::erase_if(pending_quarantine_,
+                  [&](const AspectPtr& p) { return p.get() == aspect; });
+  }
+  if (!bank_.unquarantine(aspect)) return false;
+  if (log_ != nullptr) {
+    log_->append("bank", std::string("unquarantine:") +
+                             std::string(aspect->name()));
+  }
+  return true;
+}
+
+void AspectModerator::record_fault(const AspectPtr& aspect,
+                                   std::string_view phase,
+                                   InvocationContext& ctx) {
+  if (fault_counter_ != nullptr) fault_counter_->add();
+  ctx.set_note("faulted.by", aspect->name());
+  ctx.set_note("faulted.phase", phase);
+  log_event("aspect-fault", ctx);
+  const FaultPolicy policy = aspect->fault_policy();
+  std::scoped_lock lock(fault_mu_);
+  const std::uint64_t count = ++fault_counts_[aspect.get()];
+  if (policy.mode == FaultPolicy::Mode::kQuarantine &&
+      count >= policy.threshold) {
+    const bool pending =
+        std::find_if(pending_quarantine_.begin(), pending_quarantine_.end(),
+                     [&](const AspectPtr& p) {
+                       return p.get() == aspect.get();
+                     }) != pending_quarantine_.end();
+    if (!pending) {
+      pending_quarantine_.push_back(aspect);
+      quarantine_pending_.store(true, std::memory_order_release);
+    }
+  }
+}
+
+void AspectModerator::drain_quarantine() {
+  if (!quarantine_pending_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  std::vector<AspectPtr> batch;
+  {
+    std::scoped_lock lock(fault_mu_);
+    batch.swap(pending_quarantine_);
+  }
+  for (const AspectPtr& aspect : batch) {
+    // quarantine() publishes a new composition and runs the recomposition
+    // barrier, so blocked callers re-evaluate without the aspect.
+    if (bank_.quarantine(aspect.get())) {
+      if (quarantine_counter_ != nullptr) quarantine_counter_->add();
+      if (log_ != nullptr) {
+        log_->append("bank", std::string("quarantine:") +
+                                 std::string(aspect->name()));
+      }
+    }
+  }
+}
+
+void AspectModerator::guarded_on_arrive(const BankEntry& e,
+                                        InvocationContext& ctx) {
+  try {
+    e.aspect->on_arrive(ctx);
+  } catch (...) {
+    record_fault(e.aspect, "on_arrive", ctx);
+  }
+}
+
+void AspectModerator::guarded_on_cancel(const AspectChain& chain,
+                                        InvocationContext& ctx) {
+  for (const auto& e : *chain) {
+    try {
+      e.aspect->on_cancel(ctx);
+    } catch (...) {
+      record_fault(e.aspect, "on_cancel", ctx);
+    }
+  }
+}
+
+void AspectModerator::guarded_entry(const BankEntry& e,
+                                    InvocationContext& ctx) {
+  try {
+    e.aspect->entry(ctx);
+  } catch (...) {
+    record_fault(e.aspect, "entry", ctx);
+  }
+  // Injected entry faults fire AFTER the real hook (a throw at its end):
+  // the aspect's phase bookkeeping stays consistent either way, and the
+  // admission stands so entry ≺ postaction pairing is preserved.
+  if (AMF_FAULT_FIRE(fault_, FaultPoint::kEntry)) {
+    record_fault(e.aspect, "entry", ctx);
+  }
+}
+
+void AspectModerator::guarded_postaction(const BankEntry& e,
+                                         InvocationContext& ctx) {
+  try {
+    e.aspect->postaction(ctx);
+  } catch (...) {
+    record_fault(e.aspect, "postaction", ctx);
+  }
+  if (AMF_FAULT_FIRE(fault_, FaultPoint::kPostaction)) {
+    record_fault(e.aspect, "postaction", ctx);
+  }
+}
+
+// --- recomposition barrier -------------------------------------------------
+
+std::uint64_t AspectModerator::enter_burst() {
+  for (;;) {
+    const std::uint64_t g = gen_.load(std::memory_order_seq_cst);
+    if ((g & 1) != 0 && !holds_open_span()) {
+      // A barrier is draining and this thread has no stake in the old
+      // composition: park until the gate reopens.
+      std::unique_lock lk(bar_mu_);
+      bar_cv_.wait(lk, [&] {
+        return (gen_.load(std::memory_order_seq_cst) & 1) == 0 ||
+               shutdown_.load(std::memory_order_acquire);
+      });
+      continue;
+    }
+    const int p = burst_parity(g);
+    bursts_[static_cast<std::size_t>(p)].fetch_add(
+        1, std::memory_order_seq_cst);
+    const std::uint64_t g2 = gen_.load(std::memory_order_seq_cst);
+    if (burst_parity(g2) == p) return g2;
+    // The world flipped parity between the load and the increment: this
+    // registration may have been missed by the draining barrier. Undo
+    // (waking the barrier if it saw the transient count) and retry.
+    exit_burst(p);
+  }
+}
+
+void AspectModerator::exit_burst(int parity) {
+  bursts_[static_cast<std::size_t>(parity)].fetch_sub(
+      1, std::memory_order_seq_cst);
+  if ((gen_.load(std::memory_order_seq_cst) & 1) != 0) signal_barrier();
+}
+
+void AspectModerator::open_span(InvocationContext& ctx, int parity) {
+  spans_[static_cast<std::size_t>(parity)].fetch_add(
+      1, std::memory_order_seq_cst);
+  TlSpanCount* e = tl_find(this);
+  if (e == nullptr) {
+    tl_span_counts().push_back(TlSpanCount{this, {0, 0}});
+    e = &tl_span_counts().back();
+  }
+  e->count[parity] += 1;
+  ctx.set_span_parity(parity);
+}
+
+void AspectModerator::close_span(InvocationContext& ctx) {
+  const int parity = ctx.span_parity();
+  if (parity < 0) return;
+  ctx.set_span_parity(-1);
+  if (TlSpanCount* e = tl_find(this)) {
+    e->count[parity] -= 1;
+    if (e->count[0] == 0 && e->count[1] == 0) {
+      auto& v = tl_span_counts();
+      v.erase(v.begin() + (e - v.data()));
+    }
+  }
+  spans_[static_cast<std::size_t>(parity)].fetch_sub(
+      1, std::memory_order_seq_cst);
+  if ((gen_.load(std::memory_order_seq_cst) & 1) != 0) signal_barrier();
+}
+
+bool AspectModerator::holds_open_span() const {
+  const TlSpanCount* e = tl_find(this);
+  return e != nullptr && (e->count[0] > 0 || e->count[1] > 0);
+}
+
+std::int64_t AspectModerator::own_spans(int parity) const {
+  const TlSpanCount* e = tl_find(this);
+  return e == nullptr ? 0 : e->count[parity];
+}
+
+void AspectModerator::signal_barrier() {
+  std::scoped_lock lk(bar_mu_);
+  bar_cv_.notify_all();
+}
+
+void AspectModerator::recompose_barrier() {
+  std::scoped_lock serial(barrier_serial_mu_);
+  // Close the gate. Bursts registered before this flip belong to the old
+  // parity; new arrivals park (or, holding an open span, register on the
+  // new side).
+  const std::uint64_t g = gen_.fetch_add(1, std::memory_order_seq_cst);
+  const auto old_parity = static_cast<std::size_t>(burst_parity(g));
+  // Wake every sleeping waiter: each observes the gen flip under its shard
+  // lock and falls out of its burst to recompose. Taking the shard lock
+  // orders the notify after any pre-sleep predicate check that missed the
+  // flip, so no waiter can sleep through the barrier.
+  {
+    std::shared_lock registry(registry_mu_);
+    for (auto& [_, state] : methods_) {
+      std::scoped_lock shard(state->mu);
+      state->cv.notify_all();
+      state->cv_any.notify_all();
+    }
+  }
+  // Drain: no old-parity burst may still be evaluating, and every old
+  // admission must have completed its postactivation — except this
+  // thread's own spans (an aspect-migration barrier triggered from within
+  // a body, e.g. a self-reconfiguring component, must not wait on itself).
+  {
+    std::unique_lock lk(bar_mu_);
+    bar_cv_.wait(lk, [&] {
+      return bursts_[old_parity].load(std::memory_order_seq_cst) == 0 &&
+             spans_[old_parity].load(std::memory_order_seq_cst) ==
+                 own_spans(static_cast<int>(old_parity));
+    });
+  }
+  // Reopen the gate and release parked arrivals.
+  gen_.fetch_add(1, std::memory_order_seq_cst);
+  signal_barrier();
+}
+
+// --- stall watchdog --------------------------------------------------------
+
+void AspectModerator::register_stall_record(
+    const std::shared_ptr<StallRecord>& rec) {
+  std::scoped_lock lock(stalls_mu_);
+  stalls_[rec->invocation_id] = rec;
+}
+
+void AspectModerator::unregister_stall_record(std::uint64_t invocation_id) {
+  std::scoped_lock lock(stalls_mu_);
+  stalls_.erase(invocation_id);
+}
+
+std::size_t AspectModerator::scan_stalls() {
+  if (!watchdog_) return 0;
+  const runtime::TimePoint now = clock_->now();
+  // Two-phase to respect the lock hierarchy: collect candidates under the
+  // leaf stalls_mu_, then (lock-free of it) dump and evict. Records are
+  // shared_ptrs, so a waiter unregistering concurrently is harmless.
+  std::vector<std::shared_ptr<StallRecord>> stalled;
+  {
+    std::scoped_lock lock(stalls_mu_);
+    for (const auto& [_, rec] : stalls_) {
+      if (rec->evicted.load(std::memory_order_acquire)) continue;
+      const bool is_stalled =
+          rec->deadline
+              ? now > *rec->deadline + watchdog_->grace
+              : (watchdog_->stall_after.count() > 0 &&
+                 now - rec->blocked_since > watchdog_->stall_after);
+      if (is_stalled) stalled.push_back(rec);
+    }
+  }
+  std::size_t fresh = 0;
+  for (const auto& rec : stalled) {
+    if (!rec->reported.exchange(true, std::memory_order_acq_rel)) {
+      fresh += 1;
+      if (stall_counter_ != nullptr) stall_counter_->add();
+      if (log_ != nullptr) {
+        const auto waited = now - rec->blocked_since;
+        std::string msg = "stall:";
+        msg += rec->method.name();
+        msg += " blocked_by=";
+        msg += rec->blocked_by;
+        msg += " chain=[";
+        msg += rec->chain;
+        msg += "] waited_ns=";
+        msg += std::to_string(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                .count());
+        log_->append("watchdog", msg, rec->invocation_id);
+      }
+    }
+    if (watchdog_->abort_stalled) {
+      rec->evicted.store(true, std::memory_order_release);
+      // Shard lock orders the notify after the waiter's predicate check,
+      // exactly like shutdown(); the waiter aborts with
+      // kDeadlineExceeded.
+      std::scoped_lock shard(rec->shard->mu);
+      rec->shard->cv.notify_all();
+      rec->shard->cv_any.notify_all();
+    }
+  }
+  return fresh;
+}
+
+// ---------------------------------------------------------------------------
 
 std::shared_ptr<const AspectModerator::Moderation>
 AspectModerator::moderation_for(runtime::MethodId method) {
@@ -414,6 +894,13 @@ AspectModerator::moderation_for(runtime::MethodId method) {
               });
     mod->completion_wake.assign(mod->completion_shards.size(), 1);
   }
+  // G6: admission holds the SAME shard set as completion. Entries commit
+  // state the plan (or the no-plan lock-everything default) declares other
+  // methods' guards may read — holding only the lock group would let a
+  // plan-coupled guard evaluation race an entry() on shared captures the
+  // bank cannot see. completion_shards is a superset of the group, so
+  // nothing is lost; self-plans keep single-shard admission.
+  mod->eval_shards = mod->completion_shards;
   mod->shard_rev = shard_rev_.load(std::memory_order_relaxed);
   moderation_cache_[method] = mod;
   return mod;
@@ -422,7 +909,38 @@ AspectModerator::moderation_for(runtime::MethodId method) {
 Decision AspectModerator::evaluate_chain_under_locks(
     const std::vector<BankEntry>& chain, InvocationContext& ctx) {
   for (const auto& e : chain) {
-    const Decision d = e.aspect->precondition(ctx);
+    Decision d = Decision::kResume;
+    if (AMF_FAULT_FIRE(fault_, FaultPoint::kPrecondition)) {
+      // Injected guard faults fire INSTEAD of the hook (preconditions are
+      // pure, so skipping one is indistinguishable from it throwing on
+      // entry). Structured abort, exactly like the catch path below.
+      record_fault(e.aspect, "precondition", ctx);
+      ctx.set_note("vetoed.by", e.aspect->name());
+      ctx.set_abort_error(runtime::make_error(
+          ErrorCode::kAspectFault,
+          "injected fault in precondition of '" +
+              std::string(e.aspect->name()) + "'"));
+      return Decision::kAbort;
+    }
+    try {
+      d = e.aspect->precondition(ctx);
+    } catch (const std::exception& ex) {
+      record_fault(e.aspect, "precondition", ctx);
+      ctx.set_note("vetoed.by", e.aspect->name());
+      ctx.set_abort_error(runtime::make_error(
+          ErrorCode::kAspectFault,
+          "precondition of '" + std::string(e.aspect->name()) +
+              "' threw: " + ex.what()));
+      return Decision::kAbort;
+    } catch (...) {
+      record_fault(e.aspect, "precondition", ctx);
+      ctx.set_note("vetoed.by", e.aspect->name());
+      ctx.set_abort_error(runtime::make_error(
+          ErrorCode::kAspectFault,
+          "precondition of '" + std::string(e.aspect->name()) +
+              "' threw a non-exception"));
+      return Decision::kAbort;
+    }
     if (d == Decision::kBlock) {
       ctx.set_note("blocked.by", e.aspect->name());
       return d;

@@ -27,8 +27,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -37,7 +39,9 @@
 #include "core/decision.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/event_log.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/ids.hpp"
+#include "runtime/metrics.hpp"
 
 namespace amf::core {
 
@@ -51,6 +55,26 @@ struct MethodStats {
   std::uint64_t block_events = 0;  // times some caller went to sleep
 };
 
+/// Stall-watchdog configuration (DESIGN.md §10). The watchdog reads the
+/// MODERATOR clock, so simulated-clock tests can stage stalls and scan
+/// deterministically via `scan_stalls()`; `poll` adds a real-time scanner
+/// thread for production clocks.
+struct WatchdogOptions {
+  /// Slack past a waiter's deadline before it counts as stalled — waiters
+  /// normally time themselves out; the watchdog catches the ones that
+  /// can't (wedged cv, pathological wake storms, lost notify).
+  runtime::Duration grace{std::chrono::milliseconds(50)};
+  /// Stall bound for waiters WITHOUT a deadline (0 = such waiters may
+  /// block forever, which is legitimate for pure producer/consumer guards).
+  runtime::Duration stall_after{0};
+  /// When true, a stalled waiter is evicted: its preactivation aborts with
+  /// kDeadlineExceeded. When false the watchdog only reports.
+  bool abort_stalled = false;
+  /// Scan period of the background scanner thread (0 = no thread; call
+  /// `scan_stalls()` manually, e.g. from simulated-clock tests).
+  runtime::Duration poll{0};
+};
+
 /// Moderator configuration.
 struct ModeratorOptions {
   /// Clock used for timestamps and deadlines.
@@ -59,6 +83,15 @@ struct ModeratorOptions {
   /// phases ("preactivation", "admitted", "postactivation", ...) so tests
   /// can replay the paper's sequence diagrams.
   runtime::EventLog* log = nullptr;
+  /// Optional metrics registry; when set, the moderator maintains
+  /// "moderator.aspect_faults", "moderator.quarantines" and
+  /// "moderator.stalls" counters.
+  runtime::Registry* metrics = nullptr;
+  /// Optional fault injector: arms throw-in-precondition /
+  /// throw-in-entry / throw-in-postaction chaos in this moderator.
+  runtime::FaultInjector* fault = nullptr;
+  /// Optional stall watchdog.
+  std::optional<WatchdogOptions> watchdog;
 };
 
 /// The coordination kernel. Thread-safe; one instance moderates one
@@ -67,6 +100,10 @@ struct ModeratorOptions {
 class AspectModerator {
  public:
   explicit AspectModerator(ModeratorOptions options = {});
+  ~AspectModerator();
+
+  AspectModerator(const AspectModerator&) = delete;
+  AspectModerator& operator=(const AspectModerator&) = delete;
 
   /// The bank (for direct registration, kind ordering, inspection).
   AspectBank& bank() { return bank_; }
@@ -117,6 +154,24 @@ class AspectModerator {
   /// Total number of threads currently blocked in preactivation (racy;
   /// diagnostics only).
   std::uint64_t blocked_waiters() const;
+
+  // --- failure containment (DESIGN.md §10) ------------------------------
+
+  /// Faults recorded against `aspect` (hooks that threw, real or injected).
+  std::uint64_t fault_count(const Aspect* aspect) const;
+
+  /// Restores a quarantined aspect and resets its fault count, so one more
+  /// burst of faults is needed to re-quarantine it. Returns false if the
+  /// aspect was not quarantined.
+  bool unquarantine(const Aspect* aspect);
+
+  /// One watchdog sweep against the moderator clock: reports (and, when
+  /// configured, evicts) every waiter blocked past its deadline + grace or
+  /// past stall_after. Returns the number of stalled waiters found. No-op
+  /// without ModeratorOptions::watchdog. Simulated-clock tests advance the
+  /// clock and call this directly; with WatchdogOptions::poll a background
+  /// thread calls it periodically.
+  std::size_t scan_stalls();
 
   /// Multi-line operational report: the bank's composition table followed
   /// by per-method moderation statistics.
@@ -243,14 +298,117 @@ class AspectModerator {
 
   // Requires the evaluating shard locks. First non-Resume verdict of the
   // chain, with the vetoing/blocking aspect recorded in the context notes.
+  // A throwing (or injected-fault) precondition yields kAbort with a
+  // kAspectFault error already set on the context.
   Decision evaluate_chain_under_locks(const std::vector<BankEntry>& chain,
                                       InvocationContext& ctx);
 
   void log_event(std::string_view message, const InvocationContext& ctx);
 
+  // --- exception firewall ----------------------------------------------
+
+  // Books a fault against `aspect` (metrics, event log, per-object count)
+  // and, when its FaultPolicy threshold trips, schedules quarantine. Safe
+  // under shard locks (fault_mu_ is a leaf); the actual bank mutation is
+  // deferred to drain_quarantine().
+  void record_fault(const AspectPtr& aspect, std::string_view phase,
+                    InvocationContext& ctx);
+
+  // Applies pending quarantines. Must be called OUTSIDE bursts (it runs
+  // the recomposition barrier); preactivation/postactivation call it at
+  // their exits.
+  void drain_quarantine();
+
+  // Contained hook invocations: a throw is recorded and swallowed.
+  void guarded_on_arrive(const BankEntry& e, InvocationContext& ctx);
+  void guarded_on_cancel(const AspectChain& chain, InvocationContext& ctx);
+  void guarded_entry(const BankEntry& e, InvocationContext& ctx);
+  void guarded_postaction(const BankEntry& e, InvocationContext& ctx);
+
+  // --- recomposition barrier (DESIGN.md §10) ----------------------------
+  //
+  // Two-parity draining. gen_ even = gate open; odd = a barrier is
+  // draining the OLD parity. A "burst" is one lock-holding moderation
+  // section (one preactivation epoch-iteration, incl. its cv sleeps, or
+  // one postactivation); a "span" runs from admission to the end of
+  // postactivation (covers the body). The barrier — run after every bank
+  // mutation — closes the gate, wakes all sleeping waiters (they observe
+  // the gen flip and recompose), waits until old-parity bursts and spans
+  // drain, then reopens. Threads holding an open span of THIS moderator
+  // bypass the closed gate (nested moderated calls, postactivation, and
+  // the self-mutation case where the barrier-running thread is inside its
+  // own span — its spans are exempted via a thread-local count).
+
+  // Registers a burst and returns the gen it was registered under (its
+  // parity derives from it; a later gen change tells sleeping waiters to
+  // recompose). Blocks at the gate while a barrier is draining unless this
+  // thread holds an open span.
+  std::uint64_t enter_burst();
+  void exit_burst(int parity);
+  // Span bookkeeping; parity is stowed in the context at admission.
+  void open_span(InvocationContext& ctx, int parity);
+  void close_span(InvocationContext& ctx);
+  // The barrier itself (bank recompose hook; also run on plan changes).
+  void recompose_barrier();
+  // Wakes a draining barrier / gate waiters if one is active.
+  void signal_barrier();
+  // This thread's open spans of this moderator (total / per parity).
+  bool holds_open_span() const;
+  std::int64_t own_spans(int parity) const;
+
+  // --- stall watchdog ---------------------------------------------------
+
+  struct StallRecord {
+    std::uint64_t invocation_id = 0;
+    runtime::MethodId method;
+    runtime::TimePoint blocked_since{};
+    std::optional<runtime::TimePoint> deadline;
+    std::string chain;       // "a < b < c" at block time
+    std::string blocked_by;  // guard that refused, at block time
+    MethodState* shard = nullptr;
+    // Set by the watchdog; the waiter aborts with kDeadlineExceeded.
+    std::atomic<bool> evicted{false};
+    // Guards against double-reporting one stalled episode.
+    std::atomic<bool> reported{false};
+  };
+
+  void register_stall_record(const std::shared_ptr<StallRecord>& rec);
+  void unregister_stall_record(std::uint64_t invocation_id);
+
   AspectBank bank_;
   const runtime::Clock* clock_;
   runtime::EventLog* log_;
+  runtime::FaultInjector* fault_;
+  const std::optional<WatchdogOptions> watchdog_;
+  // Resolved once at construction; null without a metrics registry.
+  runtime::Counter* fault_counter_ = nullptr;
+  runtime::Counter* quarantine_counter_ = nullptr;
+  runtime::Counter* stall_counter_ = nullptr;
+
+  // Firewall bookkeeping. fault_mu_ is a LEAF lock (taken under shard
+  // locks); bank mutations never run under it.
+  mutable std::mutex fault_mu_;
+  std::unordered_map<const Aspect*, std::uint64_t> fault_counts_;
+  std::vector<AspectPtr> pending_quarantine_;
+  std::atomic<bool> quarantine_pending_{false};
+
+  // Recomposition barrier state (see comment block above).
+  std::atomic<std::uint64_t> gen_{0};
+  std::array<std::atomic<std::int64_t>, 2> bursts_{};
+  std::array<std::atomic<std::int64_t>, 2> spans_{};
+  std::mutex bar_mu_;
+  std::condition_variable bar_cv_;
+  std::mutex barrier_serial_mu_;  // one barrier at a time
+
+  // Watchdog registry of currently blocked waiters (only populated when
+  // the watchdog is enabled). stalls_mu_ is a leaf like fault_mu_.
+  mutable std::mutex stalls_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<StallRecord>> stalls_;
+  // Scanner-thread sleep channel (stop-token aware, so destruction is
+  // prompt). Declared last: the jthread joins before members are torn down.
+  std::mutex wd_mu_;
+  std::condition_variable_any wd_cv_;
+  std::jthread watchdog_thread_;
 
   // Lock hierarchy: registry_mu_ (shard map + plans) may be held while
   // acquiring shard mutexes; never the reverse.

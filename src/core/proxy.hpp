@@ -163,6 +163,7 @@ class ComponentProxy {
           runtime::ErrorCode::kAborted, "preactivation refused"));
       switch (result.error.code) {
         case runtime::ErrorCode::kTimeout:
+        case runtime::ErrorCode::kDeadlineExceeded:
           result.status = InvocationStatus::kTimedOut;
           break;
         case runtime::ErrorCode::kCancelled:

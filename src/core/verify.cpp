@@ -49,6 +49,15 @@ std::vector<ProtocolViolation> TraceValidator::validate(
                starts_with(msg, "cancelled:")) {
       if (st != TraceState::kPending) bad("refusal outside preactivation");
       st = TraceState::kDone;
+    } else if (starts_with(msg, "aspect-fault:")) {
+      // The exception firewall (DESIGN.md §10) records contained hook
+      // throws. Legal while pending (on_arrive / precondition / entry /
+      // on_cancel faults) and while admitted (postaction faults); never
+      // after the invocation closed. No state change — containment means
+      // the automaton proceeds as if the hook had returned.
+      if (st != TraceState::kPending && st != TraceState::kAdmitted) {
+        bad("aspect fault outside a live invocation");
+      }
     } else {
       bad("unknown moderator event");
     }

@@ -1,5 +1,6 @@
 #include "net/reliable.hpp"
 
+#include <algorithm>
 #include <thread>
 
 namespace amf::net {
@@ -31,10 +32,18 @@ runtime::Result<Envelope> RetryingClient::call(const std::string& server,
     last = r.error();
     if (last.code != runtime::ErrorCode::kTimeout) break;  // not retryable
     if (attempt < options_.max_attempts) {
-      std::this_thread::sleep_for(options_.backoff * attempt);
+      std::this_thread::sleep_for(backoff_for(attempt));
     }
   }
   return last;
+}
+
+runtime::Duration RetryingClient::backoff_for(int attempt) {
+  const auto full = options_.backoff * attempt;
+  const double jitter =
+      std::clamp(options_.backoff_jitter, 0.0, 1.0) * jitter_rng_.uniform();
+  return runtime::Duration(static_cast<std::int64_t>(
+      static_cast<double>(full.count()) * (1.0 - jitter)));
 }
 
 }  // namespace amf::net

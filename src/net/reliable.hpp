@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "net/rpc.hpp"
+#include "runtime/random.hpp"
 #include "runtime/result.hpp"
 
 namespace amf::net {
@@ -77,6 +78,13 @@ class RetryingClient {
     int max_attempts = 4;
     runtime::Duration attempt_timeout{std::chrono::milliseconds(100)};
     runtime::Duration backoff{std::chrono::milliseconds(5)};  // per attempt
+    /// Fraction of each backoff randomized away, in [0, 1]: attempt n
+    /// sleeps uniformly in [backoff*n*(1-jitter), backoff*n]. Non-zero by
+    /// default so a burst of clients that timed out together does not
+    /// retry as a synchronized storm against the recovering server.
+    double backoff_jitter = 0.5;
+    /// Seed for the jitter draw (deterministic tests).
+    std::uint64_t jitter_seed = 1;
   };
 
   RetryingClient(Transport& transport, std::string endpoint)
@@ -84,7 +92,8 @@ class RetryingClient {
   RetryingClient(Transport& transport, std::string endpoint, Options options)
       : client_(transport, endpoint),
         endpoint_(std::move(endpoint)),
-        options_(options) {}
+        options_(options),
+        jitter_rng_(options.jitter_seed) {}
 
   /// Calls `server`, retrying timeouts. The request is stamped with a
   /// process-unique "request.id" so server-side dedup can suppress
@@ -94,10 +103,16 @@ class RetryingClient {
   /// Attempts used by the most recent call (diagnostics/tests).
   int last_attempts() const { return last_attempts_; }
 
+  /// The jittered sleep before retrying after `attempt` (1-based) failed:
+  /// uniform in [backoff*attempt*(1-jitter), backoff*attempt]. Exposed so
+  /// tests can check the desynchronization envelope without sleeping.
+  runtime::Duration backoff_for(int attempt);
+
  private:
   RpcClient client_;
   std::string endpoint_;
   Options options_;
+  runtime::Rng jitter_rng_;
   std::uint64_t next_request_ = 1;
   int last_attempts_ = 0;
 };

@@ -37,10 +37,17 @@ bool Transport::send(Envelope env) {
     dropped_ += 1;
     return true;  // lost on the wire; the sender cannot tell
   }
+  if (AMF_FAULT_FIRE(options_.fault, runtime::FaultPoint::kDropMessage)) {
+    dropped_ += 1;
+    return true;
+  }
   auto delay = options_.min_latency;
   if (options_.jitter > runtime::Duration{0}) {
     delay += runtime::Duration(static_cast<std::int64_t>(
         rng_.uniform() * static_cast<double>(options_.jitter.count())));
+  }
+  if (AMF_FAULT_FIRE(options_.fault, runtime::FaultPoint::kDelay)) {
+    delay += options_.fault->delay(runtime::FaultPoint::kDelay);
   }
   delayed_.push(Delayed{std::chrono::steady_clock::now() + delay,
                         std::move(env)});
@@ -86,6 +93,10 @@ bool Transport::deliver_now(Envelope env) {
         rng_.bernoulli(options_.drop_probability)) {
       dropped_ += 1;
       return true;  // lost on the wire; the sender cannot tell
+    }
+    if (AMF_FAULT_FIRE(options_.fault, runtime::FaultPoint::kDropMessage)) {
+      dropped_ += 1;
+      return true;
     }
     box = it->second;
     delivered_ += 1;

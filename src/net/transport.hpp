@@ -20,6 +20,7 @@
 #include "concurrency/concurrent_queue.hpp"
 #include "net/message.hpp"
 #include "runtime/clock.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/random.hpp"
 
 namespace amf::net {
@@ -68,6 +69,11 @@ class Transport {
     double drop_probability = 0.0;
     /// Seed for the jitter/loss PRNG (deterministic runs).
     std::uint64_t seed = 1;
+    /// Optional shared fault injector. Its kDropMessage point drops routed
+    /// envelopes (on top of drop_probability) and its kDelay point adds a
+    /// deterministic extra hold on the delayed path, so one seed schedules
+    /// faults across the moderator, the pool AND the wire.
+    runtime::FaultInjector* fault = nullptr;
   };
 
   Transport() : Transport(Options{}) {}

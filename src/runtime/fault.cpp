@@ -1,0 +1,109 @@
+#include "runtime/fault.hpp"
+
+#include <cstdlib>
+
+namespace amf::runtime {
+
+namespace {
+
+// SplitMix64 finalizer: decorrelates (seed, point, decision index) into a
+// uniform 64-bit value. Stateless, so the verdict of decision k at a point
+// never depends on other points' traffic or on thread interleaving.
+constexpr std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t stream(std::uint64_t seed, FaultPoint point,
+                               std::uint64_t n) {
+  return mix(seed + 0x9E3779B97F4A7C15ull *
+                        (static_cast<std::uint64_t>(point) * 2654435761ull +
+                         n + 1));
+}
+
+}  // namespace
+
+std::string_view to_string(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kPrecondition:
+      return "throw-in-precondition";
+    case FaultPoint::kEntry:
+      return "throw-in-entry";
+    case FaultPoint::kPostaction:
+      return "throw-in-postaction";
+    case FaultPoint::kDropMessage:
+      return "drop-message";
+    case FaultPoint::kDelay:
+      return "delay";
+    case FaultPoint::kClockSkew:
+      return "clock-skew";
+  }
+  return "unknown";
+}
+
+void FaultInjector::arm(FaultPoint point, double probability,
+                        std::uint64_t max_fires) {
+  Slot& s = slot(point);
+  s.max_fires.store(max_fires, std::memory_order_relaxed);
+  s.probability.store(probability, std::memory_order_release);
+}
+
+void FaultInjector::disarm(FaultPoint point) {
+  slot(point).probability.store(0.0, std::memory_order_release);
+}
+
+bool FaultInjector::fire(FaultPoint point) {
+  Slot& s = slot(point);
+  const double p = s.probability.load(std::memory_order_acquire);
+  if (p <= 0.0) return false;
+
+  const std::uint64_t n = s.decisions.fetch_add(1, std::memory_order_relaxed);
+  if (to_unit(stream(options_.seed, point, n)) >= p) return false;
+
+  // Fire cap. The set of hash-passing decision indices is deterministic;
+  // which of them land under the cap follows fire order, which under
+  // concurrency can differ from index order by a bounded reshuffle —
+  // schedule-determinism tests use kUnlimited.
+  const std::uint64_t cap = s.max_fires.load(std::memory_order_relaxed);
+  if (s.fires.fetch_add(1, std::memory_order_relaxed) >= cap) {
+    s.fires.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+Duration FaultInjector::delay(FaultPoint point) {
+  Slot& s = slot(point);
+  const std::uint64_t k = s.fires.load(std::memory_order_relaxed);
+  const auto max_ns =
+      static_cast<std::uint64_t>(options_.max_delay.count());
+  if (max_ns == 0) return Duration::zero();
+  // Offset the stream so delay draws don't mirror fire verdicts.
+  const std::uint64_t h = stream(~options_.seed, point, k);
+  return Duration(static_cast<std::int64_t>(h % max_ns) + 1);
+}
+
+std::uint64_t FaultInjector::env_seed(std::uint64_t fallback) {
+  const char* raw = std::getenv("AMF_FAULT_SEED");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+TimePoint SkewedClock::now() const {
+  if (fault_->fire(FaultPoint::kClockSkew)) {
+    skew_ns_.fetch_add(fault_->delay(FaultPoint::kClockSkew).count(),
+                       std::memory_order_relaxed);
+  }
+  return base_->now() +
+         Duration(skew_ns_.load(std::memory_order_relaxed));
+}
+
+}  // namespace amf::runtime

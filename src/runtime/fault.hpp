@@ -1,0 +1,155 @@
+// Deterministic fault injection.
+//
+// Chaos testing with ad-hoc randomness (the transport's drop_probability,
+// the chaos test's per-aspect RNGs) reproduces *distributions* but not
+// *schedules*: a failure seen in CI cannot be replayed locally. This module
+// centralizes injected failure into one seeded decision source with named
+// injection points, threaded through the moderator, the transport and the
+// thread pool. The contract that makes runs reproducible:
+//
+//   The k-th decision at an injection point fires iff
+//   hash(seed, point, k) < probability — independent of which thread asks.
+//
+// Thread interleaving may reorder *who* receives the k-th fault, but the
+// fault schedule per point (which decision indices fire, and how many) is a
+// pure function of the seed, so `AMF_FAULT_SEED=7 ctest -R chaos` re-runs
+// the same storm.
+//
+// Hooks compile away: with AMF_FAULT_INJECTION defined to 0 at build time
+// (cmake -DAMF_FAULT_INJECTION=OFF), AMF_FAULT_FIRE expands to a constant
+// false and the hot paths carry no injector test at all — benchmark numbers
+// are those of a fault-free build.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "runtime/clock.hpp"
+
+#ifndef AMF_FAULT_INJECTION
+#define AMF_FAULT_INJECTION 1
+#endif
+
+namespace amf::runtime {
+
+/// Injection points. Each is a distinct decision stream.
+enum class FaultPoint : std::uint8_t {
+  kPrecondition,  // moderator: aspect guard throws
+  kEntry,         // moderator: aspect entry commit throws
+  kPostaction,    // moderator: aspect postaction throws
+  kDropMessage,   // transport: routed envelope silently lost
+  kDelay,         // thread pool / transport: extra latency before work
+  kClockSkew,     // SkewedClock: now() jumps forward
+};
+
+/// Number of distinct FaultPoint values (array sizing).
+inline constexpr std::size_t kFaultPointCount = 6;
+
+/// Human-readable point name ("throw-in-precondition", ...).
+std::string_view to_string(FaultPoint point);
+
+/// Seeded, thread-safe fault decision source. Disarmed points never fire,
+/// so an injector wired everywhere but never armed is (almost) free: one
+/// relaxed load per decision.
+class FaultInjector {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    /// Magnitude cap for delay()/skew() draws.
+    Duration max_delay{std::chrono::microseconds(500)};
+  };
+
+  explicit FaultInjector(std::uint64_t seed) : FaultInjector(Options{seed}) {}
+  explicit FaultInjector(Options options) : options_(options) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms `point`: each decision fires with `probability`, up to
+  /// `max_fires` total fires. Re-arming resets the cap but NOT the decision
+  /// counter — the schedule continues from where it was.
+  void arm(FaultPoint point, double probability,
+           std::uint64_t max_fires = kUnlimited);
+
+  /// Disarms `point` (subsequent decisions never fire).
+  void disarm(FaultPoint point);
+
+  /// One decision at `point`. Deterministic per (seed, point, decision
+  /// index); see file comment.
+  bool fire(FaultPoint point);
+
+  /// Deterministic delay magnitude in (0, max_delay] for the most recent
+  /// fire at `point` (used by kDelay / kClockSkew sites).
+  Duration delay(FaultPoint point);
+
+  /// Decisions taken / faults fired at `point` so far.
+  std::uint64_t decisions(FaultPoint point) const {
+    return slot(point).decisions.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fires(FaultPoint point) const {
+    return slot(point).fires.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t seed() const { return options_.seed; }
+
+  /// Reads the AMF_FAULT_SEED environment variable; `fallback` when unset
+  /// or malformed. The hook CI's seed matrix uses to parameterize chaos
+  /// runs without a rebuild.
+  static std::uint64_t env_seed(std::uint64_t fallback);
+
+  static constexpr std::uint64_t kUnlimited = ~0ull;
+
+ private:
+  struct Slot {
+    std::atomic<double> probability{0.0};
+    std::atomic<std::uint64_t> max_fires{0};
+    std::atomic<std::uint64_t> decisions{0};
+    std::atomic<std::uint64_t> fires{0};
+  };
+
+  Slot& slot(FaultPoint p) { return slots_[static_cast<std::size_t>(p)]; }
+  const Slot& slot(FaultPoint p) const {
+    return slots_[static_cast<std::size_t>(p)];
+  }
+
+  const Options options_;
+  std::array<Slot, kFaultPointCount> slots_{};
+};
+
+/// Clock decorator for the kClockSkew point: every reading may fire a
+/// forward jump, so time-based aspects (rate limits, breakers, deadlines)
+/// can be tested against a clock that misbehaves on schedule. Skew only
+/// accumulates forward — the result is still monotonic.
+class SkewedClock final : public Clock {
+ public:
+  SkewedClock(const Clock& base, FaultInjector& fault)
+      : base_(&base), fault_(&fault) {}
+
+  TimePoint now() const override;
+
+  /// Skewed time cannot be handed to condition_variable::wait_until.
+  bool is_steady_compatible() const override { return false; }
+
+  /// Total injected skew so far.
+  Duration skew() const {
+    return Duration(skew_ns_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  const Clock* base_;
+  FaultInjector* fault_;
+  mutable std::atomic<std::int64_t> skew_ns_{0};
+};
+
+}  // namespace amf::runtime
+
+/// Decision hook: false constant when fault injection is compiled out,
+/// null-safe single decision otherwise. Usable in any boolean context.
+#if AMF_FAULT_INJECTION
+#define AMF_FAULT_FIRE(injector, point) \
+  ((injector) != nullptr && (injector)->fire(point))
+#else
+#define AMF_FAULT_FIRE(injector, point) false
+#endif

@@ -28,6 +28,10 @@ std::string_view to_string(ErrorCode code) {
       return "unavailable";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kAspectFault:
+      return "aspect-fault";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "unknown";
 }

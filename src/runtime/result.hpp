@@ -28,6 +28,11 @@ enum class ErrorCode {
   kCancelled,
   kUnavailable,
   kInternal,
+  /// An aspect hook threw during moderation; the invocation was aborted by
+  /// the framework's exception firewall, not by a concern's verdict.
+  kAspectFault,
+  /// The stall watchdog evicted a waiter blocked past deadline + grace.
+  kDeadlineExceeded,
 };
 
 /// Human-readable name for an error code ("timeout", "aborted", ...).

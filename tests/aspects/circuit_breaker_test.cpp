@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "core/framework.hpp"
 
 namespace amf::aspects {
@@ -92,6 +95,50 @@ TEST_F(BreakerFixture, HalfOpenProbeReopensOnFailure) {
   proxy->component().healthy = true;
   EXPECT_TRUE(call().ok());
   EXPECT_EQ(breaker->state(), CircuitBreakerAspect::State::kClosed);
+}
+
+TEST_F(BreakerFixture, HalfOpenAdmitsExactlyOneProbe) {
+  // The probe race: two callers arrive after the cooldown expires. The
+  // guard sees kOpen-past-cooldown for BOTH (preconditions are pure), so
+  // single-admission rests on the D1 split — the first caller's entry()
+  // flips the breaker to half-open/probe-in-flight atomically with its
+  // guard evaluation, and the second caller's re-evaluation must then be
+  // refused. Deterministic forcing: the probe's body is held open on a
+  // flag while the second call is issued.
+  for (int i = 0; i < 3; ++i) (void)call();
+  ASSERT_EQ(breaker->state(), CircuitBreakerAspect::State::kOpen);
+  clock.advance(std::chrono::milliseconds(150));  // cooldown elapsed
+  proxy->component().healthy = true;
+
+  std::atomic<bool> probe_in_body{false};
+  std::atomic<bool> release_probe{false};
+  std::jthread prober([&] {
+    auto r = proxy->invoke(m, [&](Flaky& f) {
+      probe_in_body.store(true);
+      while (!release_probe.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      f.work();
+    });
+    EXPECT_TRUE(r.ok());
+  });
+  while (!probe_in_body.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The breaker is now probing; a second arrival must fail fast, not
+  // become a second probe against the still-suspect dependency.
+  EXPECT_EQ(breaker->state(), CircuitBreakerAspect::State::kHalfOpen);
+  const int calls_before = proxy->component().calls;
+  auto refused = call();
+  EXPECT_EQ(refused.status, InvocationStatus::kAborted);
+  EXPECT_EQ(refused.error.code, runtime::ErrorCode::kUnavailable);
+  EXPECT_EQ(proxy->component().calls, calls_before)
+      << "second caller must not reach the component";
+
+  release_probe.store(true);
+  prober.join();
+  EXPECT_EQ(breaker->state(), CircuitBreakerAspect::State::kClosed);
+  EXPECT_TRUE(call().ok());
 }
 
 TEST_F(BreakerFixture, SharedBreakerGuardsMethodGroup) {

@@ -10,6 +10,7 @@
 //   * independent methods make progress concurrently (no global mutex).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
@@ -299,6 +300,172 @@ TEST(ModeratorShardingTest, RegroupingWhileBlockedTakesEffect) {
   waiter.join();
   EXPECT_TRUE(admitted.load());
   EXPECT_EQ(excl->active(), 0u);
+}
+
+// --- recomposition barrier (DESIGN.md §10) -------------------------------
+
+TEST(ModeratorShardingTest, RecompositionWaitsForInFlightBodies) {
+  // Registering an aspect while a caller is between admission and
+  // completion must quiesce: the mutation blocks until the in-flight span
+  // closes, and the in-flight call's postactions come from its ADMITTED
+  // chain — the late aspect never sees half an invocation.
+  AspectModerator moderator;
+  const auto m = MethodId::of("shard-bar-quiesce");
+  std::atomic<int> late_entries{0};
+  std::atomic<int> late_posts{0};
+  auto late = std::make_shared<LambdaAspect>(
+      "late", nullptr,
+      [&](InvocationContext&) { late_entries.fetch_add(1); },
+      [&](InvocationContext&) { late_posts.fetch_add(1); });
+  moderator.register_aspect(
+      m, AspectKind::of("shard-bar-base"),
+      std::make_shared<aspects::MutualExclusionAspect>(1));
+
+  std::atomic<bool> in_body{false};
+  std::atomic<bool> release{false};
+  std::jthread caller([&] {
+    InvocationContext ctx(m);
+    ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+    in_body.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    moderator.postactivation(ctx);
+  });
+  while (!in_body.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::atomic<bool> registered{false};
+  std::jthread registrar([&] {
+    moderator.register_aspect(m, AspectKind::of("shard-bar-late"), late);
+    registered.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(registered.load())
+      << "registration must wait for the open span";
+
+  release.store(true);
+  caller.join();
+  registrar.join();
+  EXPECT_TRUE(registered.load());
+  EXPECT_EQ(late_entries.load(), 0) << "late aspect saw the old admission";
+  EXPECT_EQ(late_posts.load(), 0);
+
+  // Subsequent invocations run the full lifecycle of the new composition.
+  InvocationContext ctx(m);
+  ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+  moderator.postactivation(ctx);
+  EXPECT_EQ(late_entries.load(), 1);
+  EXPECT_EQ(late_posts.load(), 1);
+}
+
+TEST(ModeratorShardingTest, SelfMutationPinsPostactivationLockSet) {
+  // A body that recomposes its OWN method (allowed: the mutating thread's
+  // open span is exempt from the barrier) changes the lock group between
+  // admission and completion. Postactivation must pin the admission-time
+  // set — strict entry ≺ postaction pairing on the admitted chain — while
+  // locking the union with the current composition's completion set.
+  AspectModerator moderator;
+  const auto m = MethodId::of("shard-pin-self");
+  const auto other = MethodId::of("shard-pin-other");
+  std::atomic<int> old_posts{0};
+  moderator.register_aspect(
+      m, AspectKind::of("shard-pin-base"),
+      std::make_shared<LambdaAspect>("old", nullptr, nullptr,
+                                     [&](InvocationContext&) {
+                                       old_posts.fetch_add(1);
+                                     }));
+  moderator.set_notification_plan(m, {m});
+
+  std::atomic<int> joined_posts{0};
+  auto joined = std::make_shared<LambdaAspect>(
+      "joined", nullptr, nullptr,
+      [&](InvocationContext&) { joined_posts.fetch_add(1); });
+
+  InvocationContext ctx(m);
+  ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+  // Mid-call: join m with another method through a shared aspect, growing
+  // m's lock group under the admitted invocation.
+  moderator.register_aspect(m, AspectKind::of("shard-pin-join"), joined);
+  moderator.register_aspect(other, AspectKind::of("shard-pin-join"), joined);
+  moderator.postactivation(ctx);
+
+  EXPECT_EQ(old_posts.load(), 1);
+  EXPECT_EQ(joined_posts.load(), 0)
+      << "postaction must follow the admitted chain, not the new one";
+
+  // The regrouped composition works for fresh calls on both methods.
+  InvocationContext c1(m);
+  ASSERT_EQ(moderator.preactivation(c1), Decision::kResume);
+  moderator.postactivation(c1);
+  InvocationContext c2(other);
+  ASSERT_EQ(moderator.preactivation(c2), Decision::kResume);
+  moderator.postactivation(c2);
+  EXPECT_EQ(joined_posts.load(), 2);
+}
+
+TEST(ModeratorShardingTest, AspectMigrationHammer) {
+  // Forced-interleaving regression for the aspect-migration window: while
+  // callers hammer two methods, a mutator repeatedly registers and removes
+  // a SHARED aspect that merges and splits their lock groups. Whatever the
+  // interleaving, per-method exclusion must hold, every invocation must
+  // complete, and the migrating aspect's entry/postaction pairing must be
+  // exact (a torn migration would strand one side of a pair).
+  AspectModerator moderator;
+  const auto a = MethodId::of("shard-mig-a");
+  const auto b = MethodId::of("shard-mig-b");
+  auto excl_a = std::make_shared<aspects::MutualExclusionAspect>(1);
+  auto excl_b = std::make_shared<aspects::MutualExclusionAspect>(1);
+  moderator.register_aspect(a, AspectKind::of("shard-mig-excl"), excl_a);
+  moderator.register_aspect(b, AspectKind::of("shard-mig-excl"), excl_b);
+  moderator.set_notification_plan(a, {a});
+  moderator.set_notification_plan(b, {b});
+
+  std::atomic<int> link_entries{0};
+  std::atomic<int> link_posts{0};
+  auto link = std::make_shared<LambdaAspect>(
+      "link", nullptr,
+      [&](InvocationContext&) { link_entries.fetch_add(1); },
+      [&](InvocationContext&) { link_posts.fetch_add(1); });
+
+  std::array<std::atomic<int>, 2> inside{};
+  std::atomic<int> violations{0};
+  std::atomic<int> completed{0};
+  constexpr int kOps = 150;
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([&, t] {
+        const int mi = t % 2;
+        const auto method = (mi == 0) ? a : b;
+        for (int i = 0; i < kOps; ++i) {
+          InvocationContext ctx(method);
+          ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+          if (inside[mi].fetch_add(1) + 1 > 1) violations.fetch_add(1);
+          inside[mi].fetch_sub(1);
+          moderator.postactivation(ctx);
+          completed.fetch_add(1);
+        }
+      });
+    }
+    workers.emplace_back([&] {
+      // Migrate the link in and out until the callers are done.
+      while (completed.load() < 4 * kOps) {
+        moderator.register_aspect(a, AspectKind::of("shard-mig-link"), link);
+        moderator.register_aspect(b, AspectKind::of("shard-mig-link"), link);
+        moderator.bank().remove_aspect(a, AspectKind::of("shard-mig-link"));
+        moderator.bank().remove_aspect(b, AspectKind::of("shard-mig-link"));
+      }
+    });
+  }
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(completed.load(), 4 * kOps);
+  EXPECT_EQ(link_entries.load(), link_posts.load())
+      << "migration tore an entry/postaction pair";
+  EXPECT_EQ(excl_a->active(), 0u);
+  EXPECT_EQ(excl_b->active(), 0u);
+  EXPECT_EQ(moderator.blocked_waiters(), 0u);
 }
 
 }  // namespace

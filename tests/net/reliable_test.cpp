@@ -29,6 +29,54 @@ TEST(DedupCacheTest, EvictsOldestAtCapacity) {
   EXPECT_TRUE(cache.lookup("c").has_value());
 }
 
+TEST(DedupCacheTest, EvictionForgetsDuplicatesNotJustEntries) {
+  // Stale-replay regression: once FIFO eviction drops a request id, a
+  // late duplicate of that id is indistinguishable from a fresh request
+  // and EXECUTES AGAIN. That is the documented at-most-once boundary —
+  // dedup only holds while the id is within the cache window — and the
+  // re-execution must produce (and re-memoize) a fresh response rather
+  // than replay garbage or crash.
+  DedupCache cache(2);
+  std::atomic<int> executions{0};
+  auto handler = with_dedup(cache, [&](const Envelope&) {
+    Envelope r;
+    r.put_u64("n", static_cast<std::uint64_t>(executions.fetch_add(1) + 1));
+    return r;
+  });
+  Envelope old_req;
+  old_req.put("request.id", "stale-a");
+  EXPECT_EQ(handler(old_req).get_u64("n"), 1u);
+  // Two newer ids push "stale-a" out of the FIFO window.
+  Envelope b, c;
+  b.put("request.id", "stale-b");
+  c.put("request.id", "stale-c");
+  (void)handler(b);
+  (void)handler(c);
+  EXPECT_EQ(cache.lookup("stale-a"), std::nullopt) << "must be evicted";
+
+  // The late duplicate re-executes (n=4, not the stale n=1)...
+  EXPECT_EQ(handler(old_req).get_u64("n"), 4u);
+  EXPECT_EQ(executions.load(), 4);
+  // ...and is memoized afresh, so an immediate retry replays n=4.
+  EXPECT_EQ(handler(old_req).get_u64("n"), 4u);
+  EXPECT_EQ(executions.load(), 4);
+}
+
+TEST(DedupCacheTest, OverwriteDoesNotDoubleCountEviction) {
+  // remember() for an id already in the window must not re-push it onto
+  // the FIFO: a duplicate would later evict the map entry of a DIFFERENT
+  // request sharing the deque slot's id, shrinking the effective window.
+  DedupCache cache(2);
+  cache.remember("x", Envelope{});
+  cache.remember("x", Envelope{});  // overwrite, not a second FIFO slot
+  cache.remember("y", Envelope{});
+  EXPECT_EQ(cache.size(), 2u);
+  cache.remember("z", Envelope{});  // evicts x (oldest), keeps y and z
+  EXPECT_EQ(cache.lookup("x"), std::nullopt);
+  EXPECT_TRUE(cache.lookup("y").has_value());
+  EXPECT_TRUE(cache.lookup("z").has_value());
+}
+
 TEST(WithDedupTest, HandlerRunsOncePerRequestId) {
   DedupCache cache;
   std::atomic<int> executions{0};
@@ -166,6 +214,44 @@ TEST(RetryingClientTest, ExactlyOnceEffectOverLossyLink) {
   EXPECT_EQ(executions.load(), kRequests)
       << "dedup must suppress re-execution of retried requests";
   EXPECT_GT(transport.dropped(), 0u) << "the link must actually be lossy";
+}
+
+TEST(RetryingClientTest, BackoffJitterStaysInEnvelope) {
+  Transport transport;
+  RetryingClient::Options opts;
+  opts.backoff = std::chrono::milliseconds(10);
+  opts.backoff_jitter = 0.5;
+  RetryingClient client(transport, "cli", opts);
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const auto full = opts.backoff * attempt;
+    const auto sleep = client.backoff_for(attempt);
+    EXPECT_LE(sleep, full) << "attempt " << attempt;
+    EXPECT_GE(sleep, full / 2) << "attempt " << attempt;
+  }
+}
+
+TEST(RetryingClientTest, JitterDesynchronizesClients) {
+  // The point of the jitter: clients that timed out together must not
+  // sleep identically and re-collide. Distinct seeds ⇒ distinct draws.
+  Transport transport;
+  RetryingClient::Options a_opts, b_opts;
+  a_opts.jitter_seed = 1;
+  b_opts.jitter_seed = 2;
+  RetryingClient a(transport, "a", a_opts), b(transport, "b", b_opts);
+  bool diverged = false;
+  for (int attempt = 1; attempt <= 8 && !diverged; ++attempt) {
+    diverged = a.backoff_for(attempt) != b.backoff_for(attempt);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RetryingClientTest, ZeroJitterIsExact) {
+  Transport transport;
+  RetryingClient::Options opts;
+  opts.backoff = std::chrono::milliseconds(4);
+  opts.backoff_jitter = 0.0;
+  RetryingClient client(transport, "cli", opts);
+  EXPECT_EQ(client.backoff_for(3), std::chrono::milliseconds(12));
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+// Tests for the deterministic fault injector (DESIGN.md §10).
+//
+// The property everything else rests on: the verdict of the k-th decision
+// at a point is a pure function of (seed, point, k) — not of threads,
+// timing, or which component asked. Plus the operational knobs: arming,
+// fire caps, env-seed override, and the skewed clock decorator.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "runtime/clock.hpp"
+#include "runtime/fault.hpp"
+
+namespace amf::runtime {
+namespace {
+
+std::vector<bool> verdicts(FaultInjector& inj, FaultPoint point, int n) {
+  std::vector<bool> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(inj.fire(point));
+  return out;
+}
+
+TEST(FaultInjectorTest, DisarmedPointsNeverFire) {
+  FaultInjector inj(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.fire(FaultPoint::kPrecondition));
+  }
+  EXPECT_EQ(inj.fires(FaultPoint::kPrecondition), 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultInjector a(7);
+  FaultInjector b(7);
+  a.arm(FaultPoint::kPostaction, 0.3);
+  b.arm(FaultPoint::kPostaction, 0.3);
+  EXPECT_EQ(verdicts(a, FaultPoint::kPostaction, 500),
+            verdicts(b, FaultPoint::kPostaction, 500));
+  EXPECT_EQ(a.fires(FaultPoint::kPostaction),
+            b.fires(FaultPoint::kPostaction));
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultInjector a(7);
+  FaultInjector b(8);
+  a.arm(FaultPoint::kDropMessage, 0.5);
+  b.arm(FaultPoint::kDropMessage, 0.5);
+  EXPECT_NE(verdicts(a, FaultPoint::kDropMessage, 500),
+            verdicts(b, FaultPoint::kDropMessage, 500));
+}
+
+TEST(FaultInjectorTest, PointsAreIndependentStreams) {
+  // Same seed, two points: distinct schedules (a shared stream would let
+  // one subsystem's probe rate shift another's fault pattern).
+  FaultInjector a(11);
+  FaultInjector b(11);
+  a.arm(FaultPoint::kPrecondition, 0.5);
+  b.arm(FaultPoint::kDelay, 0.5);
+  EXPECT_NE(verdicts(a, FaultPoint::kPrecondition, 500),
+            verdicts(b, FaultPoint::kDelay, 500));
+}
+
+TEST(FaultInjectorTest, ProbabilityExtremes) {
+  FaultInjector inj(3);
+  inj.arm(FaultPoint::kEntry, 1.0);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(inj.fire(FaultPoint::kEntry));
+  inj.arm(FaultPoint::kClockSkew, 0.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(inj.fire(FaultPoint::kClockSkew));
+  }
+}
+
+TEST(FaultInjectorTest, FireCapStopsTheStorm) {
+  FaultInjector inj(5);
+  inj.arm(FaultPoint::kDropMessage, 1.0, 3);
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (inj.fire(FaultPoint::kDropMessage)) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(inj.fires(FaultPoint::kDropMessage), 3u);
+  EXPECT_EQ(inj.decisions(FaultPoint::kDropMessage), 100u);
+}
+
+TEST(FaultInjectorTest, DisarmStopsFiring) {
+  FaultInjector inj(5);
+  inj.arm(FaultPoint::kDelay, 1.0);
+  EXPECT_TRUE(inj.fire(FaultPoint::kDelay));
+  inj.disarm(FaultPoint::kDelay);
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(inj.fire(FaultPoint::kDelay));
+}
+
+TEST(FaultInjectorTest, ScheduleIsThreadCountInvariant) {
+  // The SET of firing decision indices must not depend on how many threads
+  // share the injector — only their distribution across threads may.
+  FaultInjector serial(13);
+  serial.arm(FaultPoint::kPostaction, 0.25);
+  constexpr int kDecisions = 800;
+  int serial_fires = 0;
+  for (int i = 0; i < kDecisions; ++i) {
+    if (serial.fire(FaultPoint::kPostaction)) ++serial_fires;
+  }
+
+  FaultInjector shared(13);
+  shared.arm(FaultPoint::kPostaction, 0.25);
+  std::atomic<int> parallel_fires{0};
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < kDecisions / 4; ++i) {
+          if (shared.fire(FaultPoint::kPostaction)) {
+            parallel_fires.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(parallel_fires.load(), serial_fires);
+  EXPECT_EQ(shared.decisions(FaultPoint::kPostaction),
+            static_cast<std::uint64_t>(kDecisions));
+}
+
+TEST(FaultInjectorTest, DelayIsPositiveAndBounded) {
+  FaultInjector::Options opts;
+  opts.seed = 9;
+  opts.max_delay = std::chrono::microseconds(200);
+  FaultInjector inj(opts);
+  inj.arm(FaultPoint::kDelay, 1.0);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(inj.fire(FaultPoint::kDelay));
+    const auto d = inj.delay(FaultPoint::kDelay);
+    EXPECT_GT(d, Duration{0});
+    EXPECT_LE(d, opts.max_delay);
+  }
+}
+
+TEST(FaultInjectorTest, EnvSeedOverridesFallback) {
+  ASSERT_EQ(setenv("AMF_FAULT_SEED", "12345", 1), 0);
+  EXPECT_EQ(FaultInjector::env_seed(1), 12345u);
+  ASSERT_EQ(setenv("AMF_FAULT_SEED", "not-a-number", 1), 0);
+  EXPECT_EQ(FaultInjector::env_seed(77), 77u);
+  ASSERT_EQ(unsetenv("AMF_FAULT_SEED"), 0);
+  EXPECT_EQ(FaultInjector::env_seed(77), 77u);
+}
+
+TEST(SkewedClockTest, NoSkewWhenDisarmed) {
+  ManualClock base;
+  FaultInjector inj(2);
+  SkewedClock clock(base, inj);
+  const auto t0 = clock.now();
+  base.advance(std::chrono::milliseconds(5));
+  EXPECT_EQ(clock.now() - t0, Duration(std::chrono::milliseconds(5)));
+  EXPECT_EQ(clock.skew(), Duration{0});
+}
+
+TEST(SkewedClockTest, SkewAccumulatesForwardOnly) {
+  ManualClock base;
+  FaultInjector inj(2);
+  inj.arm(FaultPoint::kClockSkew, 1.0);
+  SkewedClock clock(base, inj);
+  auto prev = clock.now();
+  for (int i = 0; i < 20; ++i) {
+    const auto t = clock.now();
+    EXPECT_GE(t, prev) << "skewed clock went backwards";
+    prev = t;
+  }
+  EXPECT_GT(clock.skew(), Duration{0});
+  EXPECT_FALSE(clock.is_steady_compatible());
+}
+
+}  // namespace
+}  // namespace amf::runtime
