@@ -7,11 +7,17 @@
 //   direct   — raw sequential TicketServer (no locks, no framework)
 //   tangled  — hand-written monitor (mutex + condvars inline)
 //   bare     — ComponentProxy with an EMPTY aspect chain (framework skeleton)
+//   observed — ComponentProxy with a non-blocking observer chain, admitted
+//              on the moderator's optimistic lock-free fast path (§11)
 //   moderated— ComponentProxy with the paper's two sync aspects
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <memory>
+
 #include "apps/ticket/tangled_ticket_server.hpp"
 #include "apps/ticket/ticket_proxy.hpp"
+#include "core/aspect.hpp"
 
 namespace {
 
@@ -53,6 +59,43 @@ void BM_BareProxy(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
 }
 BENCHMARK(BM_BareProxy);
+
+void BM_ObservedProxy(benchmark::State& state) {
+  // Two fast-capable lambda aspects per method: a guard that always
+  // resumes plus entry/postaction counters — the full three-hook pipeline
+  // with zero blocking potential, so every call should admit and complete
+  // on the optimistic path.
+  core::ComponentProxy<TicketServer> proxy{TicketServer(2)};
+  const auto open = runtime::MethodId::of("obs-open");
+  const auto assign = runtime::MethodId::of("obs-assign");
+  std::atomic<std::uint64_t> entries{0}, posts{0};
+  for (const auto m : {open, assign}) {
+    auto observe = std::make_shared<core::LambdaAspect>(
+        "observe",
+        [](core::InvocationContext&) { return core::Decision::kResume; },
+        [&entries](core::InvocationContext&) {
+          entries.fetch_add(1, std::memory_order_relaxed);
+        },
+        [&posts](core::InvocationContext&) {
+          posts.fetch_add(1, std::memory_order_relaxed);
+        });
+    observe->set_nonblocking(true);
+    proxy.moderator().register_aspect(
+        m, runtime::AspectKind::of("observe"), observe);
+  }
+  for (auto _ : state) {
+    (void)proxy.invoke(open,
+                       [](TicketServer& s) { s.open(make_ticket()); });
+    auto r = proxy.invoke(assign, [](TicketServer& s) { return s.assign(); });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+  state.counters["fast_admissions"] =
+      static_cast<double>(proxy.moderator().fast_admissions());
+  state.counters["fast_completions"] =
+      static_cast<double>(proxy.moderator().fast_completions());
+}
+BENCHMARK(BM_ObservedProxy);
 
 void BM_ModeratedProxy(benchmark::State& state) {
   auto proxy = make_ticket_proxy(2);

@@ -91,6 +91,32 @@ void BM_IndependentMethodsNoPlan(benchmark::State& state) {
   state.counters["methods"] = n;
 }
 
+void BM_IndependentMethodsFastPath(benchmark::State& state) {
+  // Non-blocking observer chains (always-resume guard + entry/postaction
+  // counters declared fast-capable): every call should admit and complete
+  // on the optimistic lock-free path, skipping the shard mutex entirely.
+  const int n = static_cast<int>(state.range(0));
+  const auto methods = make_methods(n);
+  std::uint64_t fast = 0;
+  for (auto _ : state) {
+    core::AspectModerator moderator;
+    for (const auto method : methods) {
+      auto observe = std::make_shared<core::LambdaAspect>(
+          "mm-observe",
+          [](core::InvocationContext&) { return core::Decision::kResume; });
+      observe->set_nonblocking(true);
+      moderator.register_aspect(method, runtime::AspectKind::of("mm-obs"),
+                                std::move(observe));
+    }
+    run_workload(moderator, methods);
+    fast += moderator.fast_admissions();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n *
+                          kWorkersPerMethod * kOpsPerWorker);
+  state.counters["methods"] = n;
+  state.counters["fast_admissions"] = static_cast<double>(fast);
+}
+
 void BM_ExclusionGroupSharded(benchmark::State& state) {
   // Control: ONE shared MutualExclusionAspect across all methods merges
   // their lock group — throughput must NOT scale (the group is genuinely
@@ -119,6 +145,7 @@ void shapes(benchmark::internal::Benchmark* b) {
 
 BENCHMARK(BM_IndependentMethodsSharded)->Apply(shapes);
 BENCHMARK(BM_IndependentMethodsNoPlan)->Apply(shapes);
+BENCHMARK(BM_IndependentMethodsFastPath)->Apply(shapes);
 BENCHMARK(BM_ExclusionGroupSharded)->Apply(shapes);
 
 }  // namespace

@@ -5,15 +5,20 @@
 // a constant per call, not a loss of the read-side scaling shape.
 //
 // Args: (threads, read%). Each iteration drives `threads` workers over a
-// reservation grid with the given read/write mix.
+// reservation grid with the given read/write mix. Per-op latencies land in
+// lock-free histograms (runtime/metrics.hpp) and surface as read/write
+// p50/p99 counters next to the throughput number, for both the framework
+// and the shared_mutex baseline.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <shared_mutex>
 #include <thread>
 #include <vector>
 
 #include "apps/reservation/reservation_proxy.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/random.hpp"
 
 namespace {
@@ -24,9 +29,43 @@ using namespace amf::apps::reservation;
 constexpr int kOpsPerThread = 3'000;
 constexpr std::size_t kRows = 16, kCols = 16;
 
+// Sampling 1-in-16 keeps the two clock reads from dominating the baseline's
+// ~35 ns ops (timing every op halved its throughput); uniform sampling
+// leaves the percentiles unbiased and both series pay the identical tax.
+constexpr unsigned kLatencySampleMask = 15;
+
+/// Runs `op()`; on sampled iterations records its wall latency in `hist`.
+template <typename F>
+void timed(runtime::Histogram& hist, unsigned seq, F&& op) {
+  if ((seq & kLatencySampleMask) != 0) {
+    op();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  op();
+  const auto t1 = std::chrono::steady_clock::now();
+  hist.record(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+/// Publishes read/write latency percentiles as benchmark counters.
+void report_latency(benchmark::State& state, const runtime::Histogram& reads,
+                    const runtime::Histogram& writes) {
+  state.counters["read_p50_ns"] =
+      static_cast<double>(reads.percentile(0.50));
+  state.counters["read_p99_ns"] =
+      static_cast<double>(reads.percentile(0.99));
+  state.counters["write_p50_ns"] =
+      static_cast<double>(writes.percentile(0.50));
+  state.counters["write_p99_ns"] =
+      static_cast<double>(writes.percentile(0.99));
+}
+
 void BM_FrameworkRw(benchmark::State& state) {
   const int threads_n = static_cast<int>(state.range(0));
   const int read_pct = static_cast<int>(state.range(1));
+  runtime::Histogram read_lat, write_lat;
+  std::uint64_t fast_admissions = 0;
   for (auto _ : state) {
     auto proxy = make_reservation_proxy(kRows, kCols);
     {
@@ -39,32 +78,44 @@ void BM_FrameworkRw(benchmark::State& state) {
             const Seat seat{rng.uniform_int(0, kRows - 1),
                             rng.uniform_int(0, kCols - 1)};
             if (rng.uniform_int(1, 100) <= static_cast<unsigned>(read_pct)) {
-              benchmark::DoNotOptimize(proxy->invoke(
-                  query_method(),
-                  [&](ReservationSystem& s) { return s.holder(seat); }));
+              timed(read_lat, static_cast<unsigned>(i), [&] {
+                benchmark::DoNotOptimize(proxy->invoke(
+                    query_method(),
+                    [&](ReservationSystem& s) { return s.holder(seat); }));
+              });
             } else if (rng.bernoulli(0.5)) {
-              benchmark::DoNotOptimize(proxy->invoke(
-                  reserve_method(),
-                  [&](ReservationSystem& s) { return s.reserve(seat, who); }));
+              timed(write_lat, static_cast<unsigned>(i), [&] {
+                benchmark::DoNotOptimize(proxy->invoke(
+                    reserve_method(), [&](ReservationSystem& s) {
+                      return s.reserve(seat, who);
+                    }));
+              });
             } else {
-              benchmark::DoNotOptimize(proxy->invoke(
-                  cancel_method(),
-                  [&](ReservationSystem& s) { return s.cancel(seat, who); }));
+              timed(write_lat, static_cast<unsigned>(i), [&] {
+                benchmark::DoNotOptimize(proxy->invoke(
+                    cancel_method(), [&](ReservationSystem& s) {
+                      return s.cancel(seat, who);
+                    }));
+              });
             }
           }
         });
       }
     }
+    fast_admissions += proxy->moderator().fast_admissions();
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           threads_n * kOpsPerThread);
   state.counters["threads"] = threads_n;
   state.counters["read_pct"] = read_pct;
+  state.counters["fast_admissions"] = static_cast<double>(fast_admissions);
+  report_latency(state, read_lat, write_lat);
 }
 
 void BM_SharedMutexBaseline(benchmark::State& state) {
   const int threads_n = static_cast<int>(state.range(0));
   const int read_pct = static_cast<int>(state.range(1));
+  runtime::Histogram read_lat, write_lat;
   for (auto _ : state) {
     ReservationSystem grid(kRows, kCols);
     std::shared_mutex mu;
@@ -78,14 +129,20 @@ void BM_SharedMutexBaseline(benchmark::State& state) {
             const Seat seat{rng.uniform_int(0, kRows - 1),
                             rng.uniform_int(0, kCols - 1)};
             if (rng.uniform_int(1, 100) <= static_cast<unsigned>(read_pct)) {
-              std::shared_lock lock(mu);
-              benchmark::DoNotOptimize(grid.holder(seat));
+              timed(read_lat, static_cast<unsigned>(i), [&] {
+                std::shared_lock lock(mu);
+                benchmark::DoNotOptimize(grid.holder(seat));
+              });
             } else if (rng.bernoulli(0.5)) {
-              std::unique_lock lock(mu);
-              benchmark::DoNotOptimize(grid.reserve(seat, who));
+              timed(write_lat, static_cast<unsigned>(i), [&] {
+                std::unique_lock lock(mu);
+                benchmark::DoNotOptimize(grid.reserve(seat, who));
+              });
             } else {
-              std::unique_lock lock(mu);
-              benchmark::DoNotOptimize(grid.cancel(seat, who));
+              timed(write_lat, static_cast<unsigned>(i), [&] {
+                std::unique_lock lock(mu);
+                benchmark::DoNotOptimize(grid.cancel(seat, who));
+              });
             }
           }
         });
@@ -96,6 +153,7 @@ void BM_SharedMutexBaseline(benchmark::State& state) {
                           threads_n * kOpsPerThread);
   state.counters["threads"] = threads_n;
   state.counters["read_pct"] = read_pct;
+  report_latency(state, read_lat, write_lat);
 }
 
 void shapes(benchmark::internal::Benchmark* b) {

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Converts google-benchmark JSON (stdin) into the compact BENCH_*.json shape.
+
+Usage: bench_to_json.py EXPERIMENT OUTFILE [--set-baseline]
+
+Reads a full --benchmark_format=json report on stdin and writes OUTFILE:
+
+    {
+      "experiment": "E8",
+      "generated_by": "scripts/run_experiments.sh",
+      "num_cpus": 1,
+      "series": [
+        {"name": "BM_FrameworkRw/2/90/real_time",
+         "items_per_second": 1720000.0,
+         "read_p50_ns": 410, "read_p99_ns": 2100, ...}, ...
+      ],
+      "baseline": { ... }   # preserved from a previous OUTFILE, see below
+    }
+
+Each series entry carries items_per_second plus every user counter the
+bench reported (latency percentiles, fast-path hit counts, mix shape).
+
+The "baseline" key pins the pre-optimization numbers a regression check
+compares against. It is PRESERVED verbatim from an existing OUTFILE on
+every normal run; --set-baseline instead re-pins it to the numbers being
+written now. Delete the file to start over.
+"""
+import json
+import sys
+from pathlib import Path
+
+
+def compact(report):
+    """Full google-benchmark report -> {num_cpus, series:[...]}."""
+    series = []
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {"name": b["name"]}
+        if "items_per_second" in b:
+            entry["items_per_second"] = round(b["items_per_second"], 1)
+        entry["real_time_ms"] = round(
+            b["real_time"] if b.get("time_unit") == "ms"
+            else b["real_time"] / 1e6, 4)
+        for key, value in b.items():
+            # User counters are top-level float fields not in the standard
+            # schema; keep the useful ones (percentiles, mix, fast-path).
+            if key in ("threads", "read_pct", "methods", "fast_admissions",
+                       "fast_completions") or key.endswith("_ns"):
+                entry[key] = round(float(value), 1)
+        series.append(entry)
+    return {
+        "num_cpus": report.get("context", {}).get("num_cpus"),
+        "series": series,
+    }
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--set-baseline"]
+    set_baseline = "--set-baseline" in sys.argv[1:]
+    if len(args) != 2:
+        sys.exit("usage: bench_to_json.py EXPERIMENT OUTFILE [--set-baseline]")
+    experiment, outfile = args[0], Path(args[1])
+
+    report = json.load(sys.stdin)
+    out = {
+        "experiment": experiment,
+        "generated_by": "scripts/run_experiments.sh",
+    }
+    out.update(compact(report))
+
+    if set_baseline:
+        out["baseline"] = {"num_cpus": out["num_cpus"],
+                           "series": out["series"]}
+    elif outfile.exists():
+        try:
+            prev = json.loads(outfile.read_text())
+            if "baseline" in prev:
+                out["baseline"] = prev["baseline"]
+        except (json.JSONDecodeError, OSError):
+            pass  # corrupt old file: just rewrite without a baseline
+
+    outfile.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {outfile} ({len(out['series'])} series)")
+
+
+if __name__ == "__main__":
+    main()

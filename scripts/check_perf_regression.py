@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Ratio-based perf regression guard over a BENCH_*.json snapshot.
+
+Compares the freshly generated "series" block of a snapshot (written by
+scripts/bench_to_json.py) against the pinned "baseline" block committed in
+the same file. Absolute items/s are machine-dependent, so the guard checks a
+RATIO of two series from the same run — e.g. moderated-proxy throughput over
+direct-call throughput — which cancels the machine out. The check fails when
+the current ratio is worse than the baseline ratio by more than
+--max-regression (default 2.0, i.e. the relative cost of moderation at most
+doubled).
+
+Usage:
+  check_perf_regression.py BENCH_E1.json BM_ModeratedProxy BM_DirectCall
+  check_perf_regression.py BENCH_E8.json \
+      "BM_FrameworkRw/2/90/real_time" \
+      "BM_SharedMutexBaseline/2/90/real_time" --max-regression 2.0
+"""
+
+import argparse
+import json
+import sys
+
+
+def find_series(block, name, where):
+    for s in block.get("series", []):
+        if s.get("name") == name:
+            ips = s.get("items_per_second")
+            if not ips:
+                sys.exit(f"error: series '{name}' in {where} has no "
+                         "items_per_second")
+            return float(ips)
+    sys.exit(f"error: series '{name}' not found in {where}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("snapshot", help="BENCH_*.json file")
+    ap.add_argument("numerator", help="series name under test")
+    ap.add_argument("denominator", help="reference series name from same run")
+    ap.add_argument("--max-regression", type=float, default=2.0,
+                    help="fail when baseline_ratio/current_ratio exceeds "
+                         "this (default: 2.0)")
+    args = ap.parse_args()
+
+    with open(args.snapshot) as f:
+        snap = json.load(f)
+    baseline = snap.get("baseline")
+    if not baseline:
+        sys.exit(f"error: {args.snapshot} has no pinned baseline — run "
+                 "scripts/run_experiments.sh --set-baseline once and commit")
+
+    cur = (find_series(snap, args.numerator, "current run") /
+           find_series(snap, args.denominator, "current run"))
+    base = (find_series(baseline, args.numerator, "baseline") /
+            find_series(baseline, args.denominator, "baseline"))
+    regression = base / cur if cur > 0 else float("inf")
+
+    print(f"{args.snapshot}: {args.numerator} / {args.denominator}")
+    print(f"  baseline ratio: {base:.4f}")
+    print(f"  current  ratio: {cur:.4f}")
+    print(f"  regression factor: {regression:.2f}x "
+          f"(limit {args.max_regression:.2f}x)")
+    if regression > args.max_regression:
+        sys.exit("FAIL: ratio regressed beyond the allowed factor")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

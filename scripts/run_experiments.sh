@@ -3,13 +3,26 @@
 #
 # Usage:  scripts/run_experiments.sh [build-dir]
 #
-# Runs each bench binary (E1–E9) and prints the rows EXPERIMENTS.md quotes,
+# Runs each bench binary (E1–E12) and prints the rows EXPERIMENTS.md quotes,
 # in the same order. Absolute numbers vary with the machine; the shapes
 # (who wins, by what factor) are what the document's claims rest on.
+#
+# For the experiments the CI perf gate and the optimisation history track
+# (E1, E8, E11), the run additionally emits machine-readable snapshots —
+# BENCH_E1.json / BENCH_E8.json / BENCH_E11.json in the repo root — with
+# items/s and the per-op latency percentiles. An existing "baseline" key in
+# those files (the pinned pre-optimisation numbers) survives re-runs; pass
+# --set-baseline to re-pin it to the numbers being generated now.
 set -euo pipefail
 
+SET_BASELINE=""
+if [[ "${1:-}" == "--set-baseline" ]]; then
+  SET_BASELINE="--set-baseline"
+  shift
+fi
 BUILD=${1:-build}
 BENCH="$BUILD/bench"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 if [[ ! -d "$BENCH" ]]; then
   echo "error: $BENCH not found — configure and build first:" >&2
@@ -25,16 +38,45 @@ run() { # run <binary> <header>
   "$bin" --benchmark_color=false 2>/dev/null | grep -E "^BM_|^-{10}|^Benchmark"
 }
 
-run bench_invocation_overhead "E1 — moderation overhead per invocation"
+run_json() { # run_json <binary> <experiment> <outfile> <header>
+  local bin="$BENCH/$1" experiment="$2" outfile="$3"
+  shift 3
+  echo
+  echo "==================== $* ===================="
+  local tmp
+  tmp="$(mktemp)"
+  "$bin" --benchmark_color=false --benchmark_format=json \
+      --benchmark_out_format=json 2>/dev/null > "$tmp"
+  python3 "$ROOT/scripts/bench_to_json.py" "$experiment" "$outfile" \
+      $SET_BASELINE < "$tmp"
+  # Human-readable echo of the same numbers for the terminal log.
+  python3 - "$tmp" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+for b in report.get("benchmarks", []):
+    ips = b.get("items_per_second")
+    rate = f"{ips/1e6:10.2f}M items/s" if ips else " " * 18
+    print(f"{b['name']:<50} {rate}")
+EOF
+  rm -f "$tmp"
+}
+
+run_json bench_invocation_overhead E1 "$ROOT/BENCH_E1.json" \
+  "E1 — moderation overhead per invocation"
 run bench_aspect_scaling      "E2 — cost vs number of aspects"
 run bench_contention          "E3 — contention: framework vs tangled"
 run bench_extension_cost      "E4 — cost of adding a concern"
 run bench_factory             "E5 — creation/registration rates"
 run bench_scheduling          "E6 — scheduling: throughput + tail wait per class"
 run bench_distribution        "E7 — local vs RPC vs simulated link"
-run bench_readers_writer      "E8 — RW aspect vs shared_mutex"
+run_json bench_readers_writer E8 "$ROOT/BENCH_E8.json" \
+  "E8 — RW aspect vs shared_mutex"
 run bench_ablation            "E9 — ablations (notification plan, kind order)"
 run bench_store_saga          "E10 — multi-component saga vs hand-locked baseline"
+run_json bench_multimethod E11 "$ROOT/BENCH_E11.json" \
+  "E11 — multi-method scaling under the sharded lock"
+run bench_fault_path          "E12 — fault-path overhead"
 
 echo
-echo "All experiment series regenerated. Compare shapes against EXPERIMENTS.md."
+echo "All experiment series regenerated. Compare shapes against EXPERIMENTS.md;"
+echo "machine-readable snapshots: BENCH_E1.json BENCH_E8.json BENCH_E11.json."

@@ -30,6 +30,10 @@ class AuditAspect final : public core::Aspect {
     return core::FaultPolicy::quarantine(3);
   }
 
+  /// Pure observer appending to an internally synchronized EventLog; no
+  /// guard state at all, so safe on the lock-free fast path.
+  bool nonblocking(runtime::MethodId) const override { return true; }
+
   void on_arrive(core::InvocationContext& ctx) override {
     log_->append(category_, "arrive:" + std::string(ctx.method().name()),
                  ctx.id());

@@ -24,6 +24,10 @@ class AuthenticationAspect final : public core::Aspect {
 
   std::string_view name() const override { return "authenticate"; }
 
+  /// Stateless guard over a thread-safe CredentialStore that only ever
+  /// RESUMEs or ABORTs: safe on the lock-free fast path.
+  bool nonblocking(runtime::MethodId) const override { return true; }
+
   core::Decision precondition(core::InvocationContext& ctx) override {
     const auto& principal = ctx.principal();
     if (!principal.authenticated() || !store_->valid_token(principal.token)) {

@@ -19,12 +19,18 @@ namespace amf::aspects {
 /// invoked method. Methods with no requirement pass freely.
 class RoleAuthorizationAspect final : public core::Aspect {
  public:
-  /// Requires callers of `method` to carry `role`.
+  /// Requires callers of `method` to carry `role`. Wiring-time only: the
+  /// map must be complete before traffic starts (hooks read it without
+  /// synchronization).
   void require(runtime::MethodId method, std::string role) {
     required_[method] = std::move(role);
   }
 
   std::string_view name() const override { return "authorize"; }
+
+  /// Guard over an immutable-after-wiring role map that only RESUMEs or
+  /// ABORTs: safe on the lock-free fast path.
+  bool nonblocking(runtime::MethodId) const override { return true; }
 
   core::Decision precondition(core::InvocationContext& ctx) override {
     auto it = required_.find(ctx.method());

@@ -8,6 +8,7 @@
 // (quantified in E4: the event-log append dominates the composed stack).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -33,6 +34,11 @@ class CounterAspect final : public core::Aspect {
   core::FaultPolicy fault_policy() const override {
     return core::FaultPolicy::quarantine(3);
   }
+
+  /// Pure observer over a thread-safe sink (Registry lookups are mutex
+  /// protected, Counter::add is atomic) with no cross-method guard state:
+  /// safe on the lock-free fast path for any method.
+  bool nonblocking(runtime::MethodId) const override { return true; }
 
   void on_arrive(core::InvocationContext& ctx) override {
     counter(ctx, "arrived").add();
@@ -78,8 +84,14 @@ class SamplingAspect final : public core::Aspect {
     return core::FaultPolicy::quarantine(3);
   }
 
+  /// As non-blocking as the decorated aspect: the decorator's own state is
+  /// one atomic counter, so eligibility is exactly the inner aspect's.
+  bool nonblocking(runtime::MethodId method) const override {
+    return inner_->nonblocking(method);
+  }
+
   void on_arrive(core::InvocationContext& ctx) override {
-    if (arrivals_++ % every_n_ == 0) {
+    if (arrivals_.fetch_add(1, std::memory_order_relaxed) % every_n_ == 0) {
       ctx.set_note(note_key_, "1");
       inner_->on_arrive(ctx);
     }
@@ -98,7 +110,9 @@ class SamplingAspect final : public core::Aspect {
     if (sampled(ctx)) inner_->on_cancel(ctx);
   }
 
-  std::uint64_t arrivals() const { return arrivals_; }
+  std::uint64_t arrivals() const {
+    return arrivals_.load(std::memory_order_relaxed);
+  }
 
  private:
   bool sampled(const core::InvocationContext& ctx) const {
@@ -108,7 +122,8 @@ class SamplingAspect final : public core::Aspect {
   core::AspectPtr inner_;
   const std::uint64_t every_n_;
   const std::string note_key_;
-  std::uint64_t arrivals_ = 0;
+  // Atomic so the sampling dial keeps working on the lock-free fast path.
+  std::atomic<std::uint64_t> arrivals_{0};
 };
 
 }  // namespace amf::aspects

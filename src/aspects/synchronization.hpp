@@ -11,9 +11,15 @@
 //
 // All state is mutated only inside entry()/postaction()/on_arrive()/
 // on_cancel(), which the moderator runs under its state lock, so these
-// classes need no locks of their own.
+// classes need no locks of their own — except ReadersWriterAspect, whose
+// counters are atomics: its READ side declares the non-blocking capability
+// (Aspect::nonblocking), so reader hooks may run on the moderator's
+// lock-free fast path, concurrently with each other. Writer hooks always
+// run under the shard locks, and the moderator's admission handshake keeps
+// them mutually ordered with reader hook windows (DESIGN.md §11).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -69,25 +75,45 @@ class ReadersWriterAspect final : public core::Aspect {
   ReadersWriterAspect() : ReadersWriterAspect(Options{}) {}
   explicit ReadersWriterAspect(Options options) : options_(options) {}
 
-  /// Declares `method` a reader (shared access).
+  /// Declares `method` a reader (shared access). Wiring-time only: the
+  /// reader/writer sets must be complete before traffic starts (they are
+  /// read without synchronization by every hook).
   void add_reader(runtime::MethodId method) { readers_.insert(method); }
   /// Declares `method` a writer (exclusive access).
   void add_writer(runtime::MethodId method) { writers_.insert(method); }
 
   std::string_view name() const override { return "readers-writer"; }
 
+  /// Reader methods are the non-blocking side: their hooks touch only the
+  /// atomic counters, so concurrent lock-free execution is safe, and the
+  /// guard merely REFUSES (kBlock) under an active writer — parking is
+  /// the moderator's fallback. Writer methods stay on the locked path.
+  bool nonblocking(runtime::MethodId method) const override {
+    return readers_.contains(method);
+  }
+
   void on_arrive(core::InvocationContext& ctx) override {
-    if (is_writer(ctx)) ++waiting_writers_;
+    if (is_writer(ctx)) {
+      waiting_writers_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   core::Decision precondition(core::InvocationContext& ctx) override {
+    // Relaxed loads: ordering against concurrent hook windows is the
+    // moderator's job (its Dekker handshake makes every committed entry /
+    // postaction happen-before the guard evaluations that must see it);
+    // coherence alone keeps each counter's reads monotone.
     if (is_writer(ctx)) {
-      return (active_readers_ == 0 && active_writers_ == 0)
+      return (active_readers_.load(std::memory_order_relaxed) == 0 &&
+              active_writers_.load(std::memory_order_relaxed) == 0)
                  ? core::Decision::kResume
                  : core::Decision::kBlock;
     }
-    if (active_writers_ > 0) return core::Decision::kBlock;
-    if (options_.writer_priority && waiting_writers_ > 0) {
+    if (active_writers_.load(std::memory_order_relaxed) > 0) {
+      return core::Decision::kBlock;
+    }
+    if (options_.writer_priority &&
+        waiting_writers_.load(std::memory_order_relaxed) > 0) {
       return core::Decision::kBlock;
     }
     return core::Decision::kResume;
@@ -95,27 +121,35 @@ class ReadersWriterAspect final : public core::Aspect {
 
   void entry(core::InvocationContext& ctx) override {
     if (is_writer(ctx)) {
-      --waiting_writers_;
-      ++active_writers_;
+      waiting_writers_.fetch_sub(1, std::memory_order_relaxed);
+      active_writers_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      ++active_readers_;
+      active_readers_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   void postaction(core::InvocationContext& ctx) override {
     if (is_writer(ctx)) {
-      --active_writers_;
+      active_writers_.fetch_sub(1, std::memory_order_relaxed);
     } else {
-      --active_readers_;
+      active_readers_.fetch_sub(1, std::memory_order_relaxed);
     }
   }
 
   void on_cancel(core::InvocationContext& ctx) override {
-    if (is_writer(ctx)) --waiting_writers_;
+    if (is_writer(ctx)) {
+      waiting_writers_.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
 
-  std::size_t active_readers() const { return active_readers_; }
-  std::size_t active_writers() const { return active_writers_; }
+  std::size_t active_readers() const {
+    return static_cast<std::size_t>(
+        active_readers_.load(std::memory_order_relaxed));
+  }
+  std::size_t active_writers() const {
+    return static_cast<std::size_t>(
+        active_writers_.load(std::memory_order_relaxed));
+  }
 
  private:
   bool is_writer(const core::InvocationContext& ctx) const {
@@ -125,9 +159,9 @@ class ReadersWriterAspect final : public core::Aspect {
   Options options_;
   std::unordered_set<runtime::MethodId> readers_;
   std::unordered_set<runtime::MethodId> writers_;
-  std::size_t active_readers_ = 0;
-  std::size_t active_writers_ = 0;
-  std::size_t waiting_writers_ = 0;
+  std::atomic<std::uint64_t> active_readers_{0};
+  std::atomic<std::uint64_t> active_writers_{0};
+  std::atomic<std::uint64_t> waiting_writers_{0};
 };
 
 /// Shared state of one bounded resource (the paper's `noItems`/`capacity`

@@ -7,6 +7,7 @@
 //   <prefix>.<method>.service_ns  admitted → postactivation
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -27,6 +28,11 @@ class TimingAspect final : public core::Aspect {
 
   std::string_view name() const override { return "timing"; }
 
+  /// Observer writing into lock-free histograms; the only shared mutable
+  /// state (the lookup cache) carries its own leaf mutex, so hooks are
+  /// safe to run concurrently on the lock-free fast path.
+  bool nonblocking(runtime::MethodId) const override { return true; }
+
   void entry(core::InvocationContext& ctx) override {
     hist(ctx.method(), ".wait_ns")
         .record((ctx.admitted_at() - ctx.enqueued_at()).count());
@@ -39,12 +45,13 @@ class TimingAspect final : public core::Aspect {
 
  private:
   runtime::Histogram& hist(runtime::MethodId method, std::string_view which) {
-    // Cache the registry lookups; aspect hooks run under the moderator lock
-    // so the local map needs no further synchronization.
-    const auto key = std::make_pair(method, std::string(which));
-    auto it = cache_.find(key.first);
+    // Cache the registry lookups under a leaf mutex: hooks may run on the
+    // moderator's lock-free fast path, where concurrent invocations of the
+    // same method race on this map. Histogram recording itself is atomic.
+    std::scoped_lock lock(cache_mu_);
+    auto it = cache_.find(method);
     if (it == cache_.end()) {
-      it = cache_.emplace(key.first, PerMethod{}).first;
+      it = cache_.emplace(method, PerMethod{}).first;
     }
     auto& slot = which == ".wait_ns" ? it->second.wait : it->second.service;
     if (slot == nullptr) {
@@ -63,6 +70,7 @@ class TimingAspect final : public core::Aspect {
   runtime::Registry* registry_;
   const runtime::Clock* clock_;
   std::string prefix_;
+  std::mutex cache_mu_;
   std::unordered_map<runtime::MethodId, PerMethod> cache_;
 };
 

@@ -13,10 +13,14 @@
 //   on_cancel()     once, if the invocation leaves preactivation without
 //                   admission (abort / timeout / cancellation)
 //
-// Threading contract: ALL hooks run under the moderator's state lock. They
-// must be short, must not block, and must not call back into the moderator
-// (Core Guidelines CP.22 applies — these are guard bodies, not user code).
-// Aspect state therefore needs no locking of its own.
+// Threading contract: by default ALL hooks run under the moderator's state
+// lock, so aspect state needs no locking of its own. An aspect that
+// overrides nonblocking() to return true opts OUT of that protection for
+// the named method: its hooks may then run concurrently on the lock-free
+// fast path (DESIGN.md §11) and must synchronize internally. Either way,
+// hooks must be short, must not block, and must not call back into the
+// moderator (Core Guidelines CP.22 applies — these are guard bodies, not
+// user code).
 #pragma once
 
 #include <cstdint>
@@ -93,6 +97,33 @@ class Aspect {
   /// (counters, audits) typically opt into quarantine — they are expendable
   /// relative to the methods they watch; guards keep the propagate default.
   virtual FaultPolicy fault_policy() const { return FaultPolicy::propagate(); }
+
+  /// Optimistic-admission capability (DESIGN.md §11). Returning true for
+  /// `method` is a three-part promise about invocations of that method:
+  ///
+  ///   1. Every hook is safe to run WITHOUT the moderator's shard locks,
+  ///      concurrently with any number of other lock-free invocations and
+  ///      with locked invocations of other methods — i.e. the state the
+  ///      hooks touch is internally synchronized (atomics, or a sink with
+  ///      its own lock) or immutable after wiring.
+  ///   2. The aspect's state influences ONLY the guards of methods this
+  ///      aspect object is registered on (bank-visible sharing). No hidden
+  ///      coupling through captured variables the bank cannot see — that
+  ///      coupling is what notification plans declare, and plans force the
+  ///      locked path.
+  ///   3. precondition() does not need to park the caller as part of
+  ///      normal operation. It MAY still return kBlock (e.g. the RW read
+  ///      side while a writer is active); the moderator then falls back to
+  ///      the locked slow path, which sleeps and wakes correctly.
+  ///
+  /// When EVERY aspect of a method's published chain returns true, the
+  /// bank classifies the composition as non-blocking and the moderator may
+  /// admit and complete invocations on a seqlock-validated fast path that
+  /// takes no mutex. Default false: correctness first, opt in explicitly.
+  virtual bool nonblocking(runtime::MethodId method) const {
+    (void)method;
+    return false;
+  }
 };
 
 /// Adapter building an aspect out of lambdas; heavily used by tests and by
@@ -130,12 +161,25 @@ class LambdaAspect final : public Aspect {
     return *this;
   }
 
+  /// Declares the lambda hooks safe for optimistic admission (see
+  /// Aspect::nonblocking). The caller vouches for the lambdas' thread
+  /// safety — the framework cannot inspect captures.
+  bool nonblocking(runtime::MethodId method) const override {
+    (void)method;
+    return nonblocking_;
+  }
+  LambdaAspect& set_nonblocking(bool nb) {
+    nonblocking_ = nb;
+    return *this;
+  }
+
  private:
   std::string name_;
   GuardFn guard_;
   HookFn entry_;
   HookFn post_;
   FaultPolicy policy_ = FaultPolicy::propagate();
+  bool nonblocking_ = false;
 };
 
 using AspectPtr = std::shared_ptr<Aspect>;

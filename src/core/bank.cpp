@@ -114,12 +114,27 @@ LockGroup AspectBank::lock_group(runtime::MethodId method) const {
 }
 
 void AspectBank::snapshot_for(runtime::MethodId method, AspectChain* chain,
-                              LockGroup* group) const {
+                              LockGroup* group, bool* nonblocking) const {
   const auto snap = snapshot();
   auto ct = snap->chains.find(method);
   *chain = ct == snap->chains.end() ? kEmptyChain : ct->second;
   auto gt = snap->groups.find(method);
   *group = gt == snap->groups.end() ? nullptr : gt->second;
+  if (nonblocking != nullptr) {
+    // No chain ⇒ trivially non-blocking (nothing can block or be raced).
+    *nonblocking =
+        ct == snap->chains.end() || snap->nonblocking.contains(method);
+  }
+}
+
+bool AspectBank::nonblocking(runtime::MethodId method) const {
+  const auto snap = snapshot();
+  return !snap->chains.contains(method) ||
+         snap->nonblocking.contains(method);
+}
+
+bool AspectBank::any_nonblocking() const {
+  return !snapshot()->nonblocking.empty();
 }
 
 std::shared_ptr<const AspectBank::Composition> AspectBank::snapshot() const {
@@ -220,6 +235,18 @@ void AspectBank::publish_locked() {
         chain->push_back(BankEntry{kind, jt->second});
       }
     }
+    // Classify: the chain is non-blocking iff EVERY surviving aspect
+    // declares the capability for this method (vacuously true when empty).
+    // Classification happens here — not per call — so the moderation hot
+    // path learns eligibility with one set lookup per epoch.
+    bool all_nonblocking = true;
+    for (const auto& entry : *chain) {
+      if (!entry.aspect->nonblocking(method)) {
+        all_nonblocking = false;
+        break;
+      }
+    }
+    if (all_nonblocking) next->nonblocking.insert(method);
     next->chains[method] = AspectChain(std::move(chain));
   }
 

@@ -110,9 +110,26 @@ class AspectBank {
   LockGroup lock_group(runtime::MethodId method) const;
 
   /// Fetches chain and lock group from ONE consistent snapshot (a single
-  /// pointer copy); what preactivation uses per composition epoch.
+  /// pointer copy); what preactivation uses per composition epoch. When
+  /// `nonblocking` is non-null it receives the snapshot's classification of
+  /// the method's chain (see nonblocking()).
   void snapshot_for(runtime::MethodId method, AspectChain* chain,
-                    LockGroup* group) const;
+                    LockGroup* group, bool* nonblocking = nullptr) const;
+
+  /// Whether `method`'s currently published chain is classified
+  /// *non-blocking*: every composed aspect (after quarantine exclusion)
+  /// declares Aspect::nonblocking(method), so the whole guard chain is safe
+  /// to evaluate without shard locks. An empty chain is trivially
+  /// non-blocking. Recomputed on every publish — quarantining the one
+  /// blocking aspect of a chain can flip the method to non-blocking at the
+  /// next epoch, and vice versa.
+  bool nonblocking(runtime::MethodId method) const;
+
+  /// True when the current composition classifies at least one REGISTERED
+  /// method's chain as fully non-blocking. The moderator arms its Dekker
+  /// handshake on this transition; methods with no registered aspects
+  /// (trivially non-blocking, but hook-free) do not count.
+  bool any_nonblocking() const;
 
   /// All methods that have at least one registered aspect.
   std::vector<runtime::MethodId> methods() const;
@@ -142,6 +159,10 @@ class AspectBank {
   struct Composition {
     std::unordered_map<runtime::MethodId, AspectChain> chains;
     std::unordered_map<runtime::MethodId, LockGroup> groups;
+    // Methods whose published chain is entirely non-blocking-capable
+    // (methods with an empty/no chain are trivially non-blocking and are
+    // NOT listed — absence from `chains` implies eligibility).
+    std::unordered_set<runtime::MethodId> nonblocking;
   };
 
   // Requires mu_. Rebuilds the snapshot from cells_/order_ and publishes it.

@@ -50,13 +50,26 @@ std::string join_chain_names(const std::vector<BankEntry>& chain) {
   }
   return out;
 }
+
+// Process-unique moderator identity (thread-local cache key): a destroyed
+// moderator's address may be reused, its nonce never is.
+std::uint64_t next_instance_nonce() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Thread-local Moderation cache capacity; small and scanned linearly —
+// a process rarely touches more than a handful of (moderator, method)
+// pairs per thread, and eviction only costs a rebuild.
+constexpr std::size_t kTlModerationCap = 32;
 }  // namespace
 
 AspectModerator::AspectModerator(ModeratorOptions options)
     : clock_(options.clock),
       log_(options.log),
       fault_(options.fault),
-      watchdog_(options.watchdog) {
+      watchdog_(options.watchdog),
+      nonce_(next_instance_nonce()) {
   if (options.metrics != nullptr) {
     fault_counter_ = &options.metrics->counter("moderator.aspect_faults");
     quarantine_counter_ = &options.metrics->counter("moderator.quarantines");
@@ -64,8 +77,18 @@ AspectModerator::AspectModerator(ModeratorOptions options)
   }
   // Every bank mutation quiesces in-flight moderation of the old
   // composition before returning to the mutator (closes the
-  // aspect-migration window, DESIGN.md §10).
-  bank_.set_recompose_barrier([this] { recompose_barrier(); });
+  // aspect-migration window, DESIGN.md §10). The same hook performs the
+  // two-stage Dekker arming: `arming` turns on before the barrier so every
+  // post-barrier slow section elevates lockers, and `armed` (which permits
+  // hook-bearing fast records) only after the barrier has drained every
+  // section that skipped the handshake.
+  bank_.set_recompose_barrier([this] {
+    const bool arming = !dekker_arming_.load(std::memory_order_relaxed) &&
+                        bank_.any_nonblocking();
+    if (arming) dekker_arming_.store(true, std::memory_order_seq_cst);
+    recompose_barrier();
+    if (arming) dekker_armed_.store(true, std::memory_order_seq_cst);
+  });
   if (watchdog_ && watchdog_->poll.count() > 0) {
     watchdog_thread_ = std::jthread([this](std::stop_token st) {
       std::unique_lock lk(wd_mu_);
@@ -91,7 +114,15 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
 
   // Aspects that already received on_arrive for this invocation — persists
   // across composition epochs so retroactive arrivals fire exactly once.
-  SmallVec<const Aspect*, 8> arrived;
+  ArrivedVec arrived;
+
+  // Optimistic fast path: one lock-free attempt before any mutex. Falls
+  // through to the slow loop on ineligibility, validation failure, or a
+  // kBlock verdict (on_arrive hooks that fired carry over via `arrived`).
+  {
+    Decision fast{};
+    if (try_fast_admission(ctx, arrived, &fast)) return fast;
+  }
 
   // Each outer iteration evaluates against one composition epoch. A bank
   // reconfiguration invalidates the chain AND possibly the lock group, so
@@ -102,7 +133,11 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
   for (;;) {
     const std::uint64_t burst_gen = enter_burst();
     const int parity = burst_parity(burst_gen);
-    const std::shared_ptr<const Moderation> mod = moderation_for(ctx.method());
+    // Thread-local lookup: the fast attempt above primed this thread's
+    // cache, so the common (no-recompose) iteration resolves the record
+    // without touching the registry lock.
+    const std::shared_ptr<const Moderation> mod =
+        cached_moderation(ctx.method());
     const std::uint64_t epoch = mod->epoch;
     const AspectChain& chain = mod->chain;
     MethodState& ms = *mod->self;
@@ -164,7 +199,14 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
       };
 
       if (!done_waiting()) {
-        ms.stats.block_events += 1;
+        // Register as a sleeper BEFORE the cv wait (whose predicate
+        // re-evaluates the guards after this point): a fast completion
+        // that validates sleepers_ == 0 afterwards is ordered before this
+        // increment, and our re-check inside the wait then runs after the
+        // full fence of the seq_cst RMW — so we either see its effects or
+        // it sees us and takes the broadcasting slow path.
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        ms.stats.block_events.fetch_add(1, std::memory_order_relaxed);
         log_event("blocked", ctx);
         if (watchdog_) {
           stall_rec = std::make_shared<StallRecord>();
@@ -223,6 +265,7 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
         }
         ms.waiters -= 1;
         if constexpr (kStopCapable) ms.waiters_any -= 1;
+        sleepers_.fetch_sub(1, std::memory_order_seq_cst);
         if (stall_rec) {
           unregister_stall_record(ctx.id());
           stall_rec.reset();
@@ -233,13 +276,13 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
           if (stop_requested) {
             ctx.set_abort_error(runtime::make_error(
                 ErrorCode::kCancelled, "stop requested while blocked"));
-            ms.stats.cancelled += 1;
+            ms.stats.cancelled.fetch_add(1, std::memory_order_relaxed);
             log_event("cancelled", ctx);
           } else {
             ctx.set_abort_error(runtime::make_error(
                 ErrorCode::kTimeout,
                 "deadline expired during preactivation"));
-            ms.stats.timed_out += 1;
+            ms.stats.timed_out.fetch_add(1, std::memory_order_relaxed);
             log_event("timeout", ctx);
           }
           return Outcome::kAborted;
@@ -258,10 +301,10 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
         if (ctx.abort_error()->code == ErrorCode::kCancelled) {
           // Refused by shutdown (or a cancellation-flavored veto), not by
           // a concern's own decision.
-          ms.stats.cancelled += 1;
+          ms.stats.cancelled.fetch_add(1, std::memory_order_relaxed);
           log_event("cancelled", ctx);
         } else {
-          ms.stats.aborted += 1;
+          ms.stats.aborted.fetch_add(1, std::memory_order_relaxed);
           log_event("abort", ctx);
         }
         return Outcome::kAborted;
@@ -278,22 +321,41 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
       ctx.set_admitted_chain(chain);
       ctx.set_moderation_hint(mod);
       open_span(ctx, parity);
-      ms.stats.admitted += 1;
+      ms.stats.admitted.fetch_add(1, std::memory_order_relaxed);
       log_event("admitted", ctx);
       return Outcome::kAdmitted;
     };
 
+    // Dekker handshake with the fast path: raise `lockers` on the whole
+    // shard set BEFORE locking (and keep it raised across cv sleeps —
+    // a sleeping waiter still claims its shards, which is what lets fast
+    // completions skip the notify safely), then drain open fast windows
+    // under the locks before any hook runs. Skipped entirely while no
+    // fast-capable aspect exists (dekker: loaded AFTER enter_burst, so the
+    // arming barrier's gen flip orders this section after the store).
     Outcome out;
+    const bool dekker = dekker_arming_.load(std::memory_order_seq_cst);
+    if (dekker) lockers_add(mod->eval_shards.data(), mod->eval_shards.size());
     if (mod->eval_shards.size() == 1 && !ctx.stop()) {
       std::unique_lock lk(ms.mu);
+      if (dekker) {
+        drain_fast_windows(mod->eval_shards.data(), mod->eval_shards.size());
+      }
       out = moderate(lk, ms.cv);
     } else if (mod->eval_shards.size() == 1) {
       std::unique_lock lk(ms.mu);
+      if (dekker) {
+        drain_fast_windows(mod->eval_shards.data(), mod->eval_shards.size());
+      }
       out = moderate(lk, ms.cv_any);
     } else {
       LockSet locks(mod->eval_shards.data(), mod->eval_shards.size());
+      if (dekker) {
+        drain_fast_windows(mod->eval_shards.data(), mod->eval_shards.size());
+      }
       out = moderate(locks, ms.cv_any);
     }
+    if (dekker) lockers_sub(mod->eval_shards.data(), mod->eval_shards.size());
     exit_burst(parity);
     if (out == Outcome::kRecompose) continue;
     if (out == Outcome::kAborted) {
@@ -318,15 +380,26 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
   AspectChain chain = ctx.admitted_chain() ? ctx.admitted_chain()
                                            : bank_.chain(ctx.method());
 
-  // Preactivation handed us its Moderation record. If it still describes
-  // the current composition we use it as-is; if the bank recomposed
-  // mid-call we PIN it — the completion locks cover the admitted chain's
-  // group (strict G4 pairing) UNIONED with the current composition's
-  // completion set, so postactions of the admitted chain stay atomic
-  // against both old sharing (what the entries synchronized with) and new
-  // sharing (what concurrent evaluations lock now).
+  // Preactivation handed us its Moderation record (one cast; both the fast
+  // attempt and the locked fallback below reuse it).
   std::shared_ptr<const Moderation> hinted =
       std::static_pointer_cast<const Moderation>(ctx.moderation_hint());
+
+  // Optimistic fast path: an invocation admitted under a fast-eligible
+  // record tries to complete lock-free. Validation failure (a waiter
+  // appeared, the composition or a plan moved, a barrier is draining)
+  // falls through to the locked completion below, pinning included.
+  if (hinted && hinted->fast_eligible &&
+      try_fast_completion(hinted, chain, ctx)) {
+    return;
+  }
+
+  // If the record still describes the current composition we use it as-is;
+  // if the bank recomposed mid-call we PIN it — the completion locks cover
+  // the admitted chain's group (strict G4 pairing) UNIONED with the current
+  // composition's completion set, so postactions of the admitted chain stay
+  // atomic against both old sharing (what the entries synchronized with)
+  // and new sharing (what concurrent evaluations lock now).
   std::shared_ptr<const Moderation> pinned;
   if (hinted && !moderation_valid(*hinted)) {
     pinned = std::move(hinted);
@@ -337,10 +410,13 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
   // barrier's gate, so completions can never deadlock against it).
   const std::uint64_t burst_gen = enter_burst();
   const int parity = burst_parity(burst_gen);
+  // Same gating as preactivation: the Dekker traffic is pure overhead while
+  // no fast-capable composition exists (load ordered after enter_burst).
+  const bool dekker = dekker_arming_.load(std::memory_order_seq_cst);
 
   for (;;) {
     const std::shared_ptr<const Moderation> mod =
-        hinted ? hinted : moderation_for(ctx.method());
+        hinted ? hinted : cached_moderation(ctx.method());
     hinted = nullptr;  // a recompose loop must re-resolve
 
     if (mod->has_plan || (pinned && pinned->has_plan)) {
@@ -392,22 +468,28 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
         shards = uniq_shards;
         wake = uniq_wake;
       }
-      LockSet locks(shards.data(), shards.size());
-      for (auto it = chain->rbegin(); it != chain->rend(); ++it) {
-        guarded_postaction(*it, ctx);
-      }
-      stats_owner->self->stats.completed += 1;
-      log_event("postactivation", ctx);
-      for (std::size_t i = 0; i < shards.size(); ++i) {
-        // waiters is guarded by the shard's mutex (held): skipping idle
-        // shards cannot lose a wakeup — any future waiter re-evaluates
-        // before sleeping.
-        MethodState* s = shards.begin()[i];
-        if (wake.begin()[i] && s->waiters > 0) {
-          if (s->waiters > s->waiters_any) s->cv.notify_all();
-          if (s->waiters_any > 0) s->cv_any.notify_all();
+      if (dekker) lockers_add(shards.data(), shards.size());
+      {
+        LockSet locks(shards.data(), shards.size());
+        if (dekker) drain_fast_windows(shards.data(), shards.size());
+        for (auto it = chain->rbegin(); it != chain->rend(); ++it) {
+          guarded_postaction(*it, ctx);
+        }
+        stats_owner->self->stats.completed.fetch_add(
+            1, std::memory_order_relaxed);
+        log_event("postactivation", ctx);
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+          // waiters is guarded by the shard's mutex (held): skipping idle
+          // shards cannot lose a wakeup — any future waiter re-evaluates
+          // before sleeping.
+          MethodState* s = shards.begin()[i];
+          if (wake.begin()[i] && s->waiters > 0) {
+            if (s->waiters > s->waiters_any) s->cv.notify_all();
+            if (s->waiters_any > 0) s->cv_any.notify_all();
+          }
         }
       }
+      if (dekker) lockers_sub(shards.data(), shards.size());
       break;
     }
 
@@ -424,18 +506,33 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
     if (mod->shard_rev != shard_rev_.load(std::memory_order_relaxed)) {
       continue;  // a shard appeared since this record was built
     }
-    LockSet locks(mod->completion_shards.data(),
+    if (dekker) {
+      lockers_add(mod->completion_shards.data(),
                   mod->completion_shards.size());
-    for (auto it = chain->rbegin(); it != chain->rend(); ++it) {
-      guarded_postaction(*it, ctx);
     }
-    (pinned ? pinned->self : mod->self)->stats.completed += 1;
-    log_event("postactivation", ctx);
-    for (auto* s : mod->completion_shards) {
-      if (s->waiters > 0) {
-        if (s->waiters > s->waiters_any) s->cv.notify_all();
-        if (s->waiters_any > 0) s->cv_any.notify_all();
+    {
+      LockSet locks(mod->completion_shards.data(),
+                    mod->completion_shards.size());
+      if (dekker) {
+        drain_fast_windows(mod->completion_shards.data(),
+                           mod->completion_shards.size());
       }
+      for (auto it = chain->rbegin(); it != chain->rend(); ++it) {
+        guarded_postaction(*it, ctx);
+      }
+      (pinned ? pinned->self : mod->self)
+          ->stats.completed.fetch_add(1, std::memory_order_relaxed);
+      log_event("postactivation", ctx);
+      for (auto* s : mod->completion_shards) {
+        if (s->waiters > 0) {
+          if (s->waiters > s->waiters_any) s->cv.notify_all();
+          if (s->waiters_any > 0) s->cv_any.notify_all();
+        }
+      }
+    }
+    if (dekker) {
+      lockers_sub(mod->completion_shards.data(),
+                  mod->completion_shards.size());
     }
     break;
   }
@@ -450,7 +547,12 @@ void AspectModerator::set_notification_plan(
   {
     std::unique_lock registry(registry_mu_);
     notification_plan_[completed] = std::move(wake);
-    moderation_cache_.erase(completed);
+    // A plan changes the completer's completion set AND the wake-target
+    // side of fast-path eligibility for arbitrary other methods, so every
+    // cached record (shared and thread-local) must be rebuilt: bump the
+    // plan revision and drop the shared cache wholesale.
+    plan_rev_.fetch_add(1, std::memory_order_release);
+    moderation_cache_.clear();
   }
   // Plan changes alter completion semantics; quiesce like a bank mutation
   // so in-flight waiters pick up records with the new plan.
@@ -475,15 +577,12 @@ void AspectModerator::shutdown() {
 }
 
 MethodStats AspectModerator::stats(runtime::MethodId method) const {
-  MethodState* state = nullptr;
-  {
-    std::shared_lock registry(registry_mu_);
-    auto it = methods_.find(method);
-    if (it == methods_.end()) return MethodStats{};
-    state = it->second.get();
-  }
-  std::scoped_lock shard(state->mu);
-  return state->stats;
+  std::shared_lock registry(registry_mu_);
+  auto it = methods_.find(method);
+  if (it == methods_.end()) return MethodStats{};
+  // Atomic cells: no shard lock needed (and none would make the snapshot
+  // more consistent — the fast path updates outside it anyway).
+  return it->second->stats.snapshot();
 }
 
 std::uint64_t AspectModerator::blocked_waiters() const {
@@ -508,8 +607,7 @@ std::string AspectModerator::report() const {
               return a->id.name() < b->id.name();
             });
   for (auto* state : states) {
-    std::scoped_lock shard(state->mu);
-    const auto& s = state->stats;
+    const MethodStats s = state->stats.snapshot();
     out += std::string(state->id.name()) + ": admitted=" +
            std::to_string(s.admitted) +
            " completed=" + std::to_string(s.completed) +
@@ -824,6 +922,8 @@ AspectModerator::moderation_for(runtime::MethodId method) {
     std::shared_lock registry(registry_mu_);
     auto it = moderation_cache_.find(method);
     if (it != moderation_cache_.end() && it->second->epoch == epoch &&
+        it->second->plan_rev ==
+            plan_rev_.load(std::memory_order_relaxed) &&
         (it->second->has_plan ||
          it->second->shard_rev ==
              shard_rev_.load(std::memory_order_relaxed))) {
@@ -831,11 +931,13 @@ AspectModerator::moderation_for(runtime::MethodId method) {
     }
   }
 
-  // (Re)build. Chain and lock group come from ONE bank snapshot, so the
-  // group always covers exactly the sharing this chain has.
+  // (Re)build. Chain, lock group and the non-blocking classification come
+  // from ONE bank snapshot, so the group always covers exactly the
+  // sharing this chain has.
   AspectChain chain;
   LockGroup group;
-  bank_.snapshot_for(method, &chain, &group);
+  bool chain_nonblocking = false;
+  bank_.snapshot_for(method, &chain, &group, &chain_nonblocking);
 
   auto mod = std::make_shared<Moderation>();
   mod->epoch = epoch;  // conservative: if the bank already moved past
@@ -902,8 +1004,245 @@ AspectModerator::moderation_for(runtime::MethodId method) {
   // nothing is lost; self-plans keep single-shard admission.
   mod->eval_shards = mod->completion_shards;
   mod->shard_rev = shard_rev_.load(std::memory_order_relaxed);
+  mod->plan_rev = plan_rev_.load(std::memory_order_relaxed);
+  // Fast-path eligibility (DESIGN.md §11): non-blocking chain, no plan as
+  // completer, and not a wake target in ANY plan (being named a target
+  // declares that other methods' completions influence this guard — keep
+  // such methods on the locked path). Scanned here, once per rebuild.
+  bool wake_target = false;
+  for (const auto& [_, targets] : notification_plan_) {
+    if (std::find(targets.begin(), targets.end(), method) !=
+        targets.end()) {
+      wake_target = true;
+      break;
+    }
+  }
+  // Hook-bearing records additionally require the Dekker handshake to be
+  // ARMED (second stage): only after the arming barrier drained every slow
+  // section that skipped the lockers elevation may a fast op run hooks
+  // outside the locks. Empty chains run no hooks, so they stay eligible
+  // regardless — their fast ops skip the handshake entirely.
+  mod->fast_eligible =
+      chain_nonblocking && !mod->has_plan && !wake_target &&
+      (mod->chain->empty() || dekker_armed_.load(std::memory_order_seq_cst));
   moderation_cache_[method] = mod;
   return mod;
+}
+
+// --- optimistic fast path (DESIGN.md §11) ----------------------------------
+
+std::shared_ptr<const AspectModerator::Moderation>
+AspectModerator::cached_moderation(runtime::MethodId method) {
+  struct TlEntry {
+    std::uint64_t nonce;
+    runtime::MethodId method;
+    std::shared_ptr<const Moderation> mod;
+  };
+  static thread_local std::vector<TlEntry> cache;
+
+  for (auto& e : cache) {
+    if (e.nonce != nonce_ || !(e.method == method)) continue;
+    const Moderation& m = *e.mod;
+    if (m.epoch == bank_.version() &&
+        m.plan_rev == plan_rev_.load(std::memory_order_acquire) &&
+        (m.has_plan ||
+         m.shard_rev == shard_rev_.load(std::memory_order_acquire))) {
+      return e.mod;
+    }
+    e.mod = moderation_for(method);
+    return e.mod;
+  }
+  auto mod = moderation_for(method);
+  if (cache.size() >= kTlModerationCap) cache.erase(cache.begin());
+  cache.push_back(TlEntry{nonce_, method, mod});
+  return mod;
+}
+
+void AspectModerator::lockers_add(MethodState* const* shards,
+                                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    shards[i]->lockers.fetch_add(1, std::memory_order_seq_cst);
+  }
+}
+
+void AspectModerator::lockers_sub(MethodState* const* shards,
+                                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    shards[i]->lockers.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+void AspectModerator::drain_fast_windows(MethodState* const* shards,
+                                         std::size_t n) {
+  // One pass suffices: any window that VALIDATED (and so may be running
+  // hooks) opened before our lockers increment and is caught here; a
+  // window opened after it fails validation and closes without hooks.
+  // Reading 0 through the seq_cst release sequence of the closing
+  // fetch_subs makes every fast hook's writes visible to the locked
+  // section that follows.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (shards[i]->fast_windows.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+bool AspectModerator::try_fast_admission(InvocationContext& ctx,
+                                         ArrivedVec& arrived,
+                                         Decision* decision) {
+  // Cheap pre-checks outside the window: shutdown and drain bookkeeping
+  // belong to the slow path; a raised lockers count or a draining barrier
+  // would fail validation anyway, so don't even open a window.
+  if (shutdown_.load(std::memory_order_acquire)) return false;
+  const std::shared_ptr<const Moderation> mod =
+      cached_moderation(ctx.method());
+  if (!mod->fast_eligible) return false;
+  MethodState* self = mod->self;
+  // Hook-free ops (empty chain) skip the whole Dekker handshake: they read
+  // and write nothing an elevated slow section could be protecting, so
+  // neither the lockers check nor a fast window is needed for them.
+  const bool hooked = !mod->chain->empty();
+  if (hooked && self->lockers.load(std::memory_order_seq_cst) != 0) {
+    return false;
+  }
+  if ((gen_.load(std::memory_order_seq_cst) & 1) != 0) return false;
+
+  // Register the burst first (the barrier's quiescence wait covers every
+  // open fast window through it), then open the window, then validate.
+  const std::uint64_t g = enter_burst();
+  const int parity = burst_parity(g);
+  if ((g & 1) != 0) {
+    exit_burst(parity);
+    return false;
+  }
+  if (hooked) self->fast_windows.fetch_add(1, std::memory_order_seq_cst);
+  const bool valid =
+      (!hooked ||
+       self->lockers.load(std::memory_order_seq_cst) == 0) &&
+      gen_.load(std::memory_order_seq_cst) == g &&
+      bank_.version() == mod->epoch &&
+      plan_rev_.load(std::memory_order_acquire) == mod->plan_rev &&
+      !shutdown_.load(std::memory_order_acquire);
+  if (!valid) {
+    if (hooked) self->fast_windows.fetch_sub(1, std::memory_order_seq_cst);
+    exit_burst(parity);
+    return false;
+  }
+
+  const AspectChain& chain = mod->chain;
+  for (const auto& e : *chain) {
+    if (std::find(arrived.begin(), arrived.end(), e.aspect.get()) ==
+        arrived.end()) {
+      guarded_on_arrive(e, ctx);
+      arrived.push_back(e.aspect.get());
+    }
+  }
+  const Decision verdict = evaluate_chain_under_locks(*chain, ctx);
+  if (verdict == Decision::kBlock) {
+    // Non-blocking classifies the chain's NORMAL operation; a guard may
+    // still refuse (RW read side under an active writer). Parking and
+    // waking is the slow path's job.
+    if (hooked) self->fast_windows.fetch_sub(1, std::memory_order_seq_cst);
+    exit_burst(parity);
+    return false;
+  }
+  if (verdict == Decision::kAbort) {
+    guarded_on_cancel(chain, ctx);
+    if (!ctx.abort_error()) {
+      std::string by = ctx.note("vetoed.by").value_or("unknown aspect");
+      ctx.set_abort_error(
+          runtime::make_error(ErrorCode::kAborted, "vetoed by " + by));
+    }
+    if (ctx.abort_error()->code == ErrorCode::kCancelled) {
+      self->stats.cancelled.fetch_add(1, std::memory_order_relaxed);
+      log_event("cancelled", ctx);
+    } else {
+      self->stats.aborted.fetch_add(1, std::memory_order_relaxed);
+      log_event("abort", ctx);
+    }
+    if (hooked) self->fast_windows.fetch_sub(1, std::memory_order_seq_cst);
+    exit_burst(parity);
+    drain_quarantine();
+    *decision = Decision::kAbort;
+    return true;
+  }
+
+  // Admission. The fast path never waited, so admitted_at == enqueued_at
+  // by construction (and one clock read is saved). The span opens while
+  // the burst is still registered: no instant exists where a barrier
+  // could drain between admission and span registration.
+  ctx.set_admitted_at(ctx.enqueued_at());
+  for (const auto& e : *chain) guarded_entry(e, ctx);
+  ctx.set_admitted_chain(chain);
+  ctx.set_moderation_hint(mod);
+  open_span(ctx, parity);
+  self->stats.admitted.fetch_add(1, std::memory_order_relaxed);
+  fast_admissions_.fetch_add(1, std::memory_order_relaxed);
+  log_event("admitted", ctx);
+  if (hooked) self->fast_windows.fetch_sub(1, std::memory_order_seq_cst);
+  exit_burst(parity);
+  *decision = Decision::kResume;
+  return true;
+}
+
+bool AspectModerator::try_fast_completion(
+    const std::shared_ptr<const Moderation>& mod, const AspectChain& chain,
+    InvocationContext& ctx) {
+  MethodState* self = mod->self;
+  // Same hook-free shortcut as admission. The sleepers_ checks stay
+  // UNCONDITIONAL: the no-notify argument below needs them even for empty
+  // chains (skipping the broadcast is about waiters, not hooks).
+  const bool hooked = !chain->empty();
+  if (hooked && self->lockers.load(std::memory_order_seq_cst) != 0) {
+    return false;
+  }
+  if (sleepers_.load(std::memory_order_seq_cst) != 0) return false;
+
+  // The open span bypasses a draining barrier's gate, so enter_burst
+  // cannot park here; an odd gen still means "drain in progress" and the
+  // locked path should handle the completion.
+  const std::uint64_t g = enter_burst();
+  const int parity = burst_parity(g);
+  if ((g & 1) != 0) {
+    exit_burst(parity);
+    return false;
+  }
+  if (hooked) self->fast_windows.fetch_add(1, std::memory_order_seq_cst);
+  const bool valid =
+      (!hooked ||
+       self->lockers.load(std::memory_order_seq_cst) == 0) &&
+      sleepers_.load(std::memory_order_seq_cst) == 0 &&
+      gen_.load(std::memory_order_seq_cst) == g && moderation_valid(*mod) &&
+      plan_rev_.load(std::memory_order_acquire) == mod->plan_rev;
+  if (!valid) {
+    if (hooked) self->fast_windows.fetch_sub(1, std::memory_order_seq_cst);
+    exit_burst(parity);
+    return false;
+  }
+
+  for (auto it = chain->rbegin(); it != chain->rend(); ++it) {
+    guarded_postaction(*it, ctx);
+  }
+  self->stats.completed.fetch_add(1, std::memory_order_relaxed);
+  fast_completions_.fetch_add(1, std::memory_order_relaxed);
+  log_event("postactivation", ctx);
+  // No notify — justified on two axes, both validated inside the window:
+  //  * lockers == 0: no slow section (including a sleeping waiter, which
+  //    keeps its whole shard set elevated across the cv sleep) holds this
+  //    shard. By the capability contract plus lock-group symmetry, every
+  //    guard these postactions could enable belongs to a method whose
+  //    eval set includes this shard, so no COUPLED waiter exists.
+  //  * sleepers_ == 0: the no-plan default is a broadcast to ALL methods
+  //    (waiters may depend on state outside any aspect hook), so we also
+  //    require that no thread anywhere in the moderator is blocked. A
+  //    waiter registering after our check re-evaluates its guards inside
+  //    the cv wait, past the full fence of its seq_cst increment.
+  // Either way, nobody needs the wakeup.
+  if (hooked) self->fast_windows.fetch_sub(1, std::memory_order_seq_cst);
+  exit_burst(parity);
+  close_span(ctx);
+  drain_quarantine();
+  return true;
 }
 
 Decision AspectModerator::evaluate_chain_under_locks(

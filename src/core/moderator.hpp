@@ -19,6 +19,16 @@
 // which methods' guards the completing postactions may influence through
 // shared captured state. Without a plan the moderator falls back to locking
 // every method — always safe, never required once plans are set.
+//
+// On top of the sharded slow path sits an OPTIMISTIC FAST PATH (DESIGN.md
+// §11): when the bank classifies a method's chain as non-blocking (every
+// aspect declares the capability) and no notification plan involves the
+// method, admission and completion run the hook chain with no mutex at
+// all, under seqlock-style validation against the composition epoch, the
+// plan revision, the recomposition-barrier generation and a per-shard
+// Dekker handshake with locked sections. Any validation failure — or a
+// kBlock verdict — falls back to the slow path, so blocking semantics,
+// G4 pairing, quarantine safe points and the barrier are untouched.
 #pragma once
 
 #include <array>
@@ -177,7 +187,37 @@ class AspectModerator {
   /// by per-method moderation statistics.
   std::string report() const;
 
+  /// Invocations admitted / completed on the optimistic fast path
+  /// (DESIGN.md §11); monotone, for tests and perf diagnostics.
+  std::uint64_t fast_admissions() const {
+    return fast_admissions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fast_completions() const {
+    return fast_completions_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Atomic mirror of MethodStats. Relaxed updates: the optimistic fast
+  /// path bumps counters without the shard mutex, and exact cross-field
+  /// consistency was never promised (stats() is a racy snapshot anyway).
+  struct StatsCells {
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> aborted{0};
+    std::atomic<std::uint64_t> timed_out{0};
+    std::atomic<std::uint64_t> cancelled{0};
+    std::atomic<std::uint64_t> block_events{0};
+
+    MethodStats snapshot() const {
+      return MethodStats{admitted.load(std::memory_order_relaxed),
+                         completed.load(std::memory_order_relaxed),
+                         aborted.load(std::memory_order_relaxed),
+                         timed_out.load(std::memory_order_relaxed),
+                         cancelled.load(std::memory_order_relaxed),
+                         block_events.load(std::memory_order_relaxed)};
+    }
+  };
+
   struct MethodState {
     explicit MethodState(runtime::MethodId m) : id(m) {}
     const runtime::MethodId id;
@@ -189,9 +229,22 @@ class AspectModerator {
     // condition_variable_any has the std::stop_token overloads).
     std::condition_variable cv;
     std::condition_variable_any cv_any;
-    MethodStats stats;          // guarded by mu
+    StatsCells stats;               // relaxed atomics (see StatsCells)
     std::uint64_t waiters = 0;      // guarded by mu; all blocked callers
     std::uint64_t waiters_any = 0;  // guarded by mu; the cv_any subset
+    // Dekker-style handshake with the optimistic fast path (DESIGN.md
+    // §11). `lockers` counts slow moderation sections whose LOCKED shard
+    // set includes this shard: incremented before the mutexes are taken,
+    // held elevated across cv sleeps, decremented only after the final
+    // unlock — so "some slow section (or sleeping waiter) covers this
+    // shard" is visible without its mutex. `fast_windows` counts open
+    // lock-free hook windows on this shard. Fast opens a window then
+    // checks lockers == 0; slow raises lockers then (under the locks)
+    // spins until fast_windows == 0. Both sides seq_cst: the total order
+    // guarantees at least one side observes the other, so lock-free hooks
+    // never overlap a locked section that covers the same shard.
+    std::atomic<std::int64_t> lockers{0};
+    std::atomic<std::int64_t> fast_windows{0};
   };
 
   /// Tiny inline-storage vector for the moderation hot path: lock groups
@@ -276,12 +329,18 @@ class AspectModerator {
   struct Moderation {
     std::uint64_t epoch = 0;       // bank_.version() this was built at
     std::uint64_t shard_rev = 0;   // shard_rev_ this was built at
+    std::uint64_t plan_rev = 0;    // plan_rev_ this was built at
     AspectChain chain;
     MethodState* self = nullptr;
     std::vector<MethodState*> eval_shards;        // sorted by id
     std::vector<MethodState*> completion_shards;  // sorted by id
     std::vector<std::uint8_t> completion_wake;    // parallel: notify it?
     bool has_plan = false;
+    // Optimistic-admission eligibility (DESIGN.md §11): the bank classed
+    // the chain non-blocking AND the method neither owns a notification
+    // plan nor appears as a wake target in any plan. Guarded by plan_rev:
+    // a later plan change invalidates the record wholesale.
+    bool fast_eligible = false;
   };
 
   // The cached (or freshly built) Moderation of `method` for the current
@@ -296,12 +355,51 @@ class AspectModerator {
             mod.shard_rev == shard_rev_.load(std::memory_order_acquire));
   }
 
-  // Requires the evaluating shard locks. First non-Resume verdict of the
-  // chain, with the vetoing/blocking aspect recorded in the context notes.
-  // A throwing (or injected-fault) precondition yields kAbort with a
-  // kAspectFault error already set on the context.
+  // Requires the evaluating shard locks — or, on the optimistic fast
+  // path, an open fast window whose validation excludes every locked
+  // section covering this shard (the guards themselves are pure). First
+  // non-Resume verdict of the chain, with the vetoing/blocking aspect
+  // recorded in the context notes. A throwing (or injected-fault)
+  // precondition yields kAbort with a kAspectFault error already set on
+  // the context.
   Decision evaluate_chain_under_locks(const std::vector<BankEntry>& chain,
                                       InvocationContext& ctx);
+
+  // --- optimistic fast path (DESIGN.md §11) -----------------------------
+
+  using ArrivedVec = SmallVec<const Aspect*, 8>;
+
+  // One lock-free admission attempt. Returns true when it fully handled
+  // the invocation (*decision is kResume or kAbort); false means "take
+  // the locked slow path" (not eligible, validation failed, or a guard
+  // said kBlock — the slow path sleeps and wakes correctly). on_arrive
+  // hooks that already fired are recorded in `arrived` either way.
+  bool try_fast_admission(InvocationContext& ctx, ArrivedVec& arrived,
+                          Decision* decision);
+
+  // One lock-free completion attempt for an invocation admitted under the
+  // fast-eligible record `mod`. Runs the postactions of `chain` (the
+  // admitted chain) with no mutex and NO notify: validated lockers == 0
+  // means no sleeping waiter anywhere holds this shard in its locked set,
+  // and the nonblocking capability contract (bank-visible coupling only)
+  // makes that set cover every guard these postactions could enable.
+  bool try_fast_completion(const std::shared_ptr<const Moderation>& mod,
+                           const AspectChain& chain, InvocationContext& ctx);
+
+  // Thread-local Moderation lookup for the fast path: avoids the shared
+  // registry lock on cache hits. Entries are keyed by (instance nonce,
+  // method) so a reused moderator address can never resurrect a record.
+  std::shared_ptr<const Moderation> cached_moderation(
+      runtime::MethodId method);
+
+  // Slow-side half of the Dekker handshake (see MethodState::lockers).
+  static void lockers_add(MethodState* const* shards, std::size_t n);
+  static void lockers_sub(MethodState* const* shards, std::size_t n);
+  // Requires the shards' mutexes AND an elevated lockers count on each:
+  // spins until every open fast window has closed. New windows cannot
+  // validate once lockers is raised, so the wait is bounded by the
+  // (non-blocking, short) hook chains already in flight.
+  static void drain_fast_windows(MethodState* const* shards, std::size_t n);
 
   void log_event(std::string_view message, const InvocationContext& ctx);
 
@@ -420,10 +518,43 @@ class AspectModerator {
   std::atomic<std::uint64_t> shard_rev_{1};
   std::unordered_map<runtime::MethodId, std::vector<runtime::MethodId>>
       notification_plan_;
+  // Bumps on every set_notification_plan. Plans change both completion
+  // shard sets and fast-path eligibility (wake targets), but move neither
+  // the bank epoch nor shard_rev — this is the version that catches them.
+  // Written under the exclusive registry lock; atomic for lock-free reads.
+  std::atomic<std::uint64_t> plan_rev_{1};
   std::unordered_map<runtime::MethodId, std::shared_ptr<const Moderation>>
       moderation_cache_;
   std::atomic<std::uint64_t> arrival_counter_{0};
   std::atomic<bool> shutdown_{false};
+  // Fast-path introspection (relaxed; see fast_admissions()).
+  std::atomic<std::uint64_t> fast_admissions_{0};
+  std::atomic<std::uint64_t> fast_completions_{0};
+  // Number of threads currently inside a blocked-wait section anywhere in
+  // this moderator (raised before the cv wait loop's first predicate
+  // re-check, lowered on wake). The no-plan completion contract is a
+  // broadcast to EVERY method; the per-shard `lockers` handshake only
+  // proves quiescence for waiters COUPLED to the completer's shard. A fast
+  // completion therefore also validates sleepers_ == 0 (seq_cst) and
+  // defers to the locked, broadcasting slow path whenever any thread in
+  // the process is blocked — even on an unrelated shard.
+  std::atomic<std::int64_t> sleepers_{0};
+  // Two-stage, sticky arming of the Dekker handshake, so compositions with
+  // no fast-capable aspect pay NOTHING for the fast path's existence:
+  //   arming — set (before the recompose barrier) the first time the bank
+  //            classifies any registered chain as fully non-blocking. Slow
+  //            sections read it after enter_burst (seq_cst: the gen flip
+  //            orders post-barrier sections after the store) and skip the
+  //            lockers/window traffic while false.
+  //   armed  — set after that barrier completes, i.e. once every section
+  //            that skipped the handshake has drained. Only then may
+  //            moderation_for mark hook-bearing records fast-eligible.
+  // Empty chains run no hooks, so their fast ops need neither stage.
+  std::atomic<bool> dekker_arming_{false};
+  std::atomic<bool> dekker_armed_{false};
+  // Process-unique identity of this instance; thread-local moderation
+  // caches key on it so address reuse cannot alias two moderators.
+  const std::uint64_t nonce_;
 };
 
 }  // namespace amf::core

@@ -34,7 +34,10 @@ struct InvocationResult {
   std::optional<R> value;       // set iff status == kCompleted
   runtime::Error error;         // set iff status != kCompleted
   std::uint64_t invocation_id = 0;
-  runtime::Duration wait_time{0};  // time spent blocked in preactivation
+  // Time spent blocked in preactivation. Exactly zero when the moderator
+  // admitted the call on its optimistic fast path (which by construction
+  // never waits — see DESIGN.md §11).
+  runtime::Duration wait_time{0};
 
   bool ok() const { return status == InvocationStatus::kCompleted; }
   explicit operator bool() const { return ok(); }

@@ -7,6 +7,7 @@ namespace amf::runtime {
 std::uint64_t EventLog::append(std::string_view category,
                                std::string_view message,
                                std::uint64_t invocation_id) {
+  if (!enabled_.load(std::memory_order_relaxed)) return 0;
   std::scoped_lock lock(mu_);
   const auto seq = next_seq_++;
   events_.push_back(Event{seq, clock_->now(), std::string(category),

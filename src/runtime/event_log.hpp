@@ -7,6 +7,7 @@
 // functional method, Figs. 3/17/18).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -36,9 +37,20 @@ class EventLog {
   explicit EventLog(const Clock& clock = RealClock::instance())
       : clock_(&clock) {}
 
-  /// Appends an event and returns its sequence number.
+  /// Appends an event and returns its sequence number. When the log is
+  /// disabled the call is a single relaxed atomic load and returns 0 (no
+  /// sequence number is consumed) — the early-out keeps a composed-but-
+  /// muted log nearly free on the moderation hot path.
   std::uint64_t append(std::string_view category, std::string_view message,
                        std::uint64_t invocation_id = 0);
+
+  /// Runtime mute switch. Disabling drops subsequent append() calls (the
+  /// recorded history stays queryable); re-enabling resumes recording.
+  /// Relaxed semantics: appends racing a toggle may land on either side.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Copy of all events in append order.
   std::vector<Event> snapshot() const;
@@ -69,6 +81,9 @@ class EventLog {
 
  private:
   const Clock* clock_;
+  // Checked before mu_ is touched: a disabled log must not serialize the
+  // (possibly lock-free) moderation paths that call append().
+  std::atomic<bool> enabled_{true};
   mutable std::mutex mu_;
   std::vector<Event> events_;
   std::uint64_t next_seq_ = 1;

@@ -117,5 +117,22 @@ TEST(EventLogTest, ConcurrentAppendsAllRecorded) {
   EXPECT_EQ(seqs.size(), events.size());
 }
 
+TEST(EventLogTest, DisabledLogDropsAppendsWithoutConsumingSequence) {
+  EventLog log;
+  const auto before = log.append("cat", "kept");
+  log.set_enabled(false);
+  EXPECT_FALSE(log.enabled());
+  EXPECT_EQ(log.append("cat", "dropped"), 0u);
+  EXPECT_EQ(log.size(), 1u);
+  // History recorded while enabled stays queryable.
+  EXPECT_TRUE(log.find("cat", "kept").has_value());
+  log.set_enabled(true);
+  const auto after = log.append("cat", "resumed");
+  // No sequence number was consumed by the dropped append.
+  EXPECT_EQ(after, before + 1);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_FALSE(log.find("cat", "dropped").has_value());
+}
+
 }  // namespace
 }  // namespace amf::runtime
