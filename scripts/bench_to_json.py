@@ -46,7 +46,10 @@ def compact(report):
             # User counters are top-level float fields not in the standard
             # schema; keep the useful ones (percentiles, mix, fast-path).
             if key in ("threads", "read_pct", "methods", "fast_admissions",
-                       "fast_completions") or key.endswith("_ns"):
+                       "fast_completions", "shed", "offered", "completed",
+                       "sheds", "timeouts", "final_limit", "refused",
+                       "rejected", "expired", "suppressed") \
+                    or key.endswith("_ns"):
                 entry[key] = round(float(value), 1)
         series.append(entry)
     return {

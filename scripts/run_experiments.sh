@@ -3,13 +3,14 @@
 #
 # Usage:  scripts/run_experiments.sh [build-dir]
 #
-# Runs each bench binary (E1–E12) and prints the rows EXPERIMENTS.md quotes,
+# Runs each bench binary (E1–E13) and prints the rows EXPERIMENTS.md quotes,
 # in the same order. Absolute numbers vary with the machine; the shapes
 # (who wins, by what factor) are what the document's claims rest on.
 #
 # For the experiments the CI perf gate and the optimisation history track
-# (E1, E8, E11), the run additionally emits machine-readable snapshots —
-# BENCH_E1.json / BENCH_E8.json / BENCH_E11.json in the repo root — with
+# (E1, E8, E11, E13), the run additionally emits machine-readable snapshots —
+# BENCH_E1.json / BENCH_E8.json / BENCH_E11.json / BENCH_E13.json in the
+# repo root — with
 # items/s and the per-op latency percentiles. An existing "baseline" key in
 # those files (the pinned pre-optimisation numbers) survives re-runs; pass
 # --set-baseline to re-pin it to the numbers being generated now.
@@ -76,7 +77,10 @@ run bench_store_saga          "E10 — multi-component saga vs hand-locked basel
 run_json bench_multimethod E11 "$ROOT/BENCH_E11.json" \
   "E11 — multi-method scaling under the sharded lock"
 run bench_fault_path          "E12 — fault-path overhead"
+run_json bench_overload E13 "$ROOT/BENCH_E13.json" \
+  "E13 — overload: goodput vs offered load, block vs shed"
 
 echo
 echo "All experiment series regenerated. Compare shapes against EXPERIMENTS.md;"
-echo "machine-readable snapshots: BENCH_E1.json BENCH_E8.json BENCH_E11.json."
+echo "machine-readable snapshots: BENCH_E1.json BENCH_E8.json BENCH_E11.json"
+echo "BENCH_E13.json."

@@ -8,6 +8,7 @@
 #include "aspects/cohort.hpp"           // IWYU pragma: export
 #include "aspects/fault_tolerance.hpp"  // IWYU pragma: export
 #include "aspects/observability.hpp"    // IWYU pragma: export
+#include "aspects/overload.hpp"         // IWYU pragma: export
 #include "aspects/quota.hpp"            // IWYU pragma: export
 #include "aspects/scheduling.hpp"       // IWYU pragma: export
 #include "aspects/synchronization.hpp"  // IWYU pragma: export

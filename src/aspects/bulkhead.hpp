@@ -13,6 +13,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "aspects/overload.hpp"
 #include "core/aspect.hpp"
 
 namespace amf::aspects {
@@ -27,7 +28,14 @@ class BulkheadAspect final : public core::Aspect {
   /// is the principal's name (anonymous callers share one class).
   explicit BulkheadAspect(std::size_t per_class_limit,
                           Classifier classifier = nullptr)
+      : BulkheadAspect(per_class_limit, ShedPolicy{}, std::move(classifier)) {}
+
+  /// With `shed` enabled, an over-budget class's low-priority callers get
+  /// a kOverloaded abort instead of waiting (DESIGN.md §12).
+  BulkheadAspect(std::size_t per_class_limit, ShedPolicy shed,
+                 Classifier classifier = nullptr)
       : limit_(per_class_limit),
+        shed_(shed),
         classify_(classifier ? std::move(classifier)
                              : [](const core::InvocationContext& ctx) {
                                  return ctx.principal().name;
@@ -38,8 +46,11 @@ class BulkheadAspect final : public core::Aspect {
   core::Decision precondition(core::InvocationContext& ctx) override {
     const auto it = active_.find(classify_(ctx));
     const std::size_t active = it == active_.end() ? 0 : it->second;
-    return active < limit_ ? core::Decision::kResume
-                           : core::Decision::kBlock;
+    if (active < limit_) return core::Decision::kResume;
+    if (shed_applies(shed_, ctx)) {
+      return shed_invocation(ctx, name(), "class-budget");
+    }
+    return core::Decision::kBlock;
   }
 
   void entry(core::InvocationContext& ctx) override {
@@ -59,6 +70,7 @@ class BulkheadAspect final : public core::Aspect {
 
  private:
   const std::size_t limit_;
+  const ShedPolicy shed_;
   Classifier classify_;
   std::unordered_map<std::string, std::size_t> active_;
 };

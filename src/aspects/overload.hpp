@@ -1,0 +1,191 @@
+// Overload control as composable concerns (DESIGN.md §12).
+//
+// The paper's §1 lists caller priority and deadlines as open issues of the
+// pre/post-activation model; this header turns them into survival under
+// load. The core observation: a guard that answers kBlock to overload
+// QUEUES the overload — waiters pile up, latency grows without bound, and
+// by the time a call is admitted nobody wants its result. Graceful
+// degradation instead SHEDS: a structured, immediate kOverloaded abort
+// (`shed.by` / `shed.reason` notes, `on_cancel` runs, G4 pairing is the
+// moderator's usual abort path), taken for the lowest-priority callers
+// first, so goodput stays flat past saturation instead of collapsing.
+//
+// Everything here is an ordinary aspect — no moderator changes. That is
+// the framework-adaptability claim made concrete: admission control
+// composed from the same pre/post-activation hooks as every other concern.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "core/aspect.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/result.hpp"
+
+namespace amf::aspects {
+
+/// Opt-in load-shedding policy, shared by the overload-control aspects
+/// (AdaptiveLimiterAspect, BulkheadAspect, RateLimitAspect). Disabled, an
+/// over-limit caller blocks (the pre-§12 behavior); enabled, callers BELOW
+/// `protect_priority` are shed with a structured kOverloaded abort while
+/// callers at or above it still block (they keep their place in line —
+/// priority buys patience, not queue-jumping).
+struct ShedPolicy {
+  bool enabled = false;
+  /// Invocations with ctx.priority() >= this are never shed by policy.
+  int protect_priority = 1;
+};
+
+/// True when `policy` says this invocation is shed rather than blocked.
+inline bool shed_applies(const ShedPolicy& policy,
+                         const core::InvocationContext& ctx) {
+  return policy.enabled && ctx.priority() < policy.protect_priority;
+}
+
+/// The structured shed verdict: annotates the context (`shed.by`,
+/// `shed.reason`), sets a typed kOverloaded abort error and vetoes. Pure
+/// with respect to aspect state (G2) — bookkeeping belongs in on_cancel,
+/// which the moderator runs exactly once for a never-admitted invocation.
+inline core::Decision shed_invocation(core::InvocationContext& ctx,
+                                      std::string_view by,
+                                      std::string_view reason) {
+  ctx.set_note("shed.by", by);
+  ctx.set_note("shed.reason", reason);
+  ctx.set_abort_error(runtime::make_error(
+      runtime::ErrorCode::kOverloaded,
+      std::string(by) + " shed invocation: " + std::string(reason)));
+  return core::Decision::kAbort;
+}
+
+/// Adaptive concurrency limiter: AIMD on observed end-to-end latency.
+///
+/// The limit tracks the largest concurrency the component sustains while
+/// keeping observed latency (enqueue → completion, i.e. queueing + service
+/// on the moderator clock) under `latency_target`:
+///
+///   * every completion with the latency EWMA at or under target grows the
+///     limit additively (+`increase_per_completion`),
+///   * an EWMA above target shrinks it multiplicatively
+///     (×`decrease_factor`), at most once per `latency_target` window so
+///     one burst of queued completions cannot crash the limit to the
+///     floor.
+///
+/// Over-limit callers block, or — with `shed` enabled — low-priority
+/// callers are refused immediately with kOverloaded. Share one instance
+/// across a method group to give the group one capacity budget.
+///
+/// Hooks run under the moderator's shard locks (nonblocking() stays
+/// false), so the mutable state below needs no locking of its own.
+class AdaptiveLimiterAspect final : public core::Aspect {
+ public:
+  struct Options {
+    std::size_t initial_limit = 8;
+    std::size_t min_limit = 1;
+    std::size_t max_limit = 1024;
+    /// Latency the limiter defends (end-to-end on the moderator clock).
+    runtime::Duration latency_target{std::chrono::milliseconds(5)};
+    /// EWMA smoothing factor for latency samples, in (0, 1].
+    double ewma_alpha = 0.3;
+    /// Multiplicative decrease on sustained over-target latency.
+    double decrease_factor = 0.7;
+    /// Additive increase per under-target completion.
+    double increase_per_completion = 0.1;
+    /// Shedding mode (disabled = pure blocking limiter).
+    ShedPolicy shed{};
+    /// Optional registry: maintains the "overload.shed" counter and the
+    /// "overload.limit" gauge.
+    runtime::Registry* metrics = nullptr;
+  };
+
+  /// A default-configured limiter. (Two overloads rather than a `= {}`
+  /// default argument: GCC rejects brace-init defaults for aggregates with
+  /// member initializers inside the enclosing class — PR 88165.)
+  explicit AdaptiveLimiterAspect(const runtime::Clock& clock)
+      : AdaptiveLimiterAspect(clock, Options()) {}
+
+  AdaptiveLimiterAspect(const runtime::Clock& clock, Options options)
+      : clock_(&clock),
+        options_(options),
+        limit_(static_cast<double>(
+            std::clamp(options.initial_limit, options.min_limit,
+                       options.max_limit))),
+        last_decrease_(clock.now()) {
+    if (options_.metrics) {
+      shed_counter_ = &options_.metrics->counter("overload.shed");
+      limit_gauge_ = &options_.metrics->gauge("overload.limit");
+      limit_gauge_->set(static_cast<std::int64_t>(limit_));
+    }
+  }
+
+  std::string_view name() const override { return "adaptive-limiter"; }
+
+  core::Decision precondition(core::InvocationContext& ctx) override {
+    if (in_flight_ < static_cast<std::size_t>(limit_)) {
+      return core::Decision::kResume;
+    }
+    if (shed_applies(options_.shed, ctx)) {
+      return shed_invocation(ctx, name(), "adaptive-limit");
+    }
+    return core::Decision::kBlock;
+  }
+
+  void entry(core::InvocationContext&) override { ++in_flight_; }
+
+  void postaction(core::InvocationContext& ctx) override {
+    if (in_flight_ > 0) --in_flight_;
+    const auto now = clock_->now();
+    const auto sample = std::chrono::duration<double, std::nano>(
+                            now - ctx.enqueued_at())
+                            .count();
+    ewma_ns_ = ewma_ns_ <= 0.0
+                   ? sample
+                   : options_.ewma_alpha * sample +
+                         (1.0 - options_.ewma_alpha) * ewma_ns_;
+    const double target_ns =
+        std::chrono::duration<double, std::nano>(options_.latency_target)
+            .count();
+    if (ewma_ns_ > target_ns) {
+      if (now - last_decrease_ >= options_.latency_target) {
+        limit_ = std::max(static_cast<double>(options_.min_limit),
+                          limit_ * options_.decrease_factor);
+        last_decrease_ = now;
+      }
+    } else {
+      limit_ = std::min(static_cast<double>(options_.max_limit),
+                        limit_ + options_.increase_per_completion);
+    }
+    if (limit_gauge_) limit_gauge_->set(static_cast<std::int64_t>(limit_));
+  }
+
+  void on_cancel(core::InvocationContext& ctx) override {
+    if (ctx.note("shed.by") == std::string(name())) {
+      ++sheds_;
+      if (shed_counter_) shed_counter_->add();
+    }
+  }
+
+  /// Current concurrency limit (floor of the fractional AIMD state).
+  std::size_t limit() const { return static_cast<std::size_t>(limit_); }
+  /// Invocations currently admitted under this limiter.
+  std::size_t in_flight() const { return in_flight_; }
+  /// Invocations shed by this limiter (counted in on_cancel, once each).
+  std::uint64_t sheds() const { return sheds_; }
+  /// Smoothed observed latency (diagnostics/tests).
+  double latency_ewma_ns() const { return ewma_ns_; }
+
+ private:
+  const runtime::Clock* clock_;
+  const Options options_;
+  double limit_;
+  std::size_t in_flight_ = 0;
+  double ewma_ns_ = 0.0;
+  runtime::TimePoint last_decrease_;
+  std::uint64_t sheds_ = 0;
+  runtime::Counter* shed_counter_ = nullptr;
+  runtime::Gauge* limit_gauge_ = nullptr;
+};
+
+}  // namespace amf::aspects

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <string_view>
 
+#include "aspects/overload.hpp"
 #include "core/aspect.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/result.hpp"
@@ -25,6 +26,11 @@ class RateLimitAspect final : public core::Aspect {
     double burst = 10.0;  // bucket capacity
     /// false (default): over-limit calls abort; true: they block.
     bool block_when_limited = false;
+    /// In blocking mode, shed (kOverloaded) rather than block callers the
+    /// policy leaves unprotected — waiting for a wall-clock refill under a
+    /// moderator that only wakes on completions is the worst kind of
+    /// blocking, so storm-prone paths opt in here (DESIGN.md §12).
+    ShedPolicy shed{};
   };
 
   RateLimitAspect(const runtime::Clock& clock, Options options)
@@ -41,7 +47,12 @@ class RateLimitAspect final : public core::Aspect {
     // contract in spirit (the bucket depends only on the clock).
     refill();
     if (tokens_ >= 1.0) return core::Decision::kResume;
-    if (options_.block_when_limited) return core::Decision::kBlock;
+    if (options_.block_when_limited) {
+      if (shed_applies(options_.shed, ctx)) {
+        return shed_invocation(ctx, name(), "rate-limit");
+      }
+      return core::Decision::kBlock;
+    }
     ctx.set_abort_error(runtime::make_error(
         runtime::ErrorCode::kResourceExhausted, "rate limit exceeded"));
     return core::Decision::kAbort;

@@ -15,15 +15,43 @@
 
 namespace amf::concurrency {
 
-/// FIFO queue; any number of producers and consumers.
+/// FIFO queue; any number of producers and consumers. Optionally bounded:
+/// a non-zero `capacity` makes `push` BLOCK while full (backpressure) and
+/// `try_push` refuse, which is what admission control needs from a
+/// submission queue — unbounded growth just converts overload into memory
+/// exhaustion and unbounded latency.
 template <typename T>
 class ConcurrentQueue {
  public:
-  /// Enqueues unless the queue is closed; returns false if closed.
+  /// `capacity` 0 (default) = unbounded, preserving the original
+  /// always-accepting behavior for inbox-style uses.
+  explicit ConcurrentQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Enqueues unless the queue is closed; returns false if closed. On a
+  /// bounded queue this blocks while full (until a consumer pops or the
+  /// queue closes).
   bool push(T value) {
+    {
+      std::unique_lock lock(mu_);
+      if (capacity_ > 0) {
+        not_full_.wait(lock,
+                       [&] { return items_.size() < capacity_ || closed_; });
+      }
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking enqueue; returns false when closed or (bounded) full.
+  /// Takes an rvalue reference so a REFUSED value is left intact in the
+  /// caller's hands (kCallerRuns saturation needs to run it itself).
+  bool try_push(T&& value) {
     {
       std::scoped_lock lock(mu_);
       if (closed_) return false;
+      if (capacity_ > 0 && items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
     }
     cv_.notify_one();
@@ -34,10 +62,7 @@ class ConcurrentQueue {
   std::optional<T> pop() {
     std::unique_lock lock(mu_);
     cv_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    T value = std::move(items_.front());
-    items_.pop_front();
-    return value;
+    return pop_locked();
   }
 
   /// Blocks for an item until `deadline`; nullopt on timeout or on
@@ -46,22 +71,17 @@ class ConcurrentQueue {
     std::unique_lock lock(mu_);
     cv_.wait_until(lock, deadline,
                    [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    T value = std::move(items_.front());
-    items_.pop_front();
-    return value;
+    return pop_locked();
   }
 
   /// Non-blocking pop; nullopt when empty.
   std::optional<T> try_pop() {
     std::scoped_lock lock(mu_);
-    if (items_.empty()) return std::nullopt;
-    T value = std::move(items_.front());
-    items_.pop_front();
-    return value;
+    return pop_locked();
   }
 
-  /// Closes the queue: further pushes fail, consumers drain then see
+  /// Closes the queue: further pushes fail (including blocked bounded
+  /// pushes, which wake and return false), consumers drain then see
   /// end-of-stream.
   void close() {
     {
@@ -69,6 +89,7 @@ class ConcurrentQueue {
       closed_ = true;
     }
     cv_.notify_all();
+    not_full_.notify_all();
   }
 
   bool closed() const {
@@ -82,8 +103,20 @@ class ConcurrentQueue {
   }
 
  private:
+  // Requires mu_ held. Pops the head (if any) and, on a bounded queue,
+  // releases one blocked producer.
+  std::optional<T> pop_locked() {
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    if (capacity_ > 0) not_full_.notify_one();
+    return value;
+  }
+
+  const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable not_full_;
   std::deque<T> items_;
   bool closed_ = false;
 };

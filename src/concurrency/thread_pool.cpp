@@ -1,21 +1,28 @@
 #include "concurrency/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace amf::concurrency {
 
-ThreadPool::ThreadPool(std::size_t threads, runtime::FaultInjector* fault)
-    : fault_(fault) {
-  threads = std::max<std::size_t>(threads, 1);
+ThreadPool::ThreadPool(Options options)
+    : options_(options), tasks_(options.queue_capacity) {
+  const std::size_t threads = std::max<std::size_t>(options_.threads, 1);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] {
-      while (auto task = tasks_.pop()) {
-        if (AMF_FAULT_FIRE(fault_, runtime::FaultPoint::kDelay)) {
+      while (auto entry = tasks_.pop()) {
+        if (AMF_FAULT_FIRE(options_.fault, runtime::FaultPoint::kDelay)) {
           std::this_thread::sleep_for(
-              fault_->delay(runtime::FaultPoint::kDelay));
+              options_.fault->delay(runtime::FaultPoint::kDelay));
         }
-        (*task)();
+        if (entry->expires_at &&
+            options_.clock->now() >= *entry->expires_at) {
+          expired_.fetch_add(1, std::memory_order_relaxed);
+          if (entry->on_expire) entry->on_expire();
+          continue;
+        }
+        entry->run();
       }
     });
   }
@@ -23,8 +30,42 @@ ThreadPool::ThreadPool(std::size_t threads, runtime::FaultInjector* fault)
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
+bool ThreadPool::enqueue(Entry entry) {
+  switch (options_.saturation) {
+    case Saturation::kBlock:
+      return tasks_.push(std::move(entry));
+    case Saturation::kReject:
+      if (tasks_.try_push(std::move(entry))) return true;
+      if (tasks_.closed()) return false;
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    case Saturation::kCallerRuns: {
+      // try_push moves from `entry` only on success, so running it on
+      // failure is safe.
+      Entry local = std::move(entry);
+      if (tasks_.try_push(std::move(local))) return true;
+      if (tasks_.closed()) return false;
+      caller_ran_.fetch_add(1, std::memory_order_relaxed);
+      if (local.expires_at && options_.clock->now() >= *local.expires_at) {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        if (local.on_expire) local.on_expire();
+      } else {
+        local.run();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
 bool ThreadPool::submit(std::function<void()> task) {
-  return tasks_.push(std::move(task));
+  return enqueue(Entry{std::move(task), std::nullopt, nullptr});
+}
+
+bool ThreadPool::submit_with_deadline(std::function<void()> task,
+                                      runtime::TimePoint expires_at,
+                                      std::function<void()> on_expire) {
+  return enqueue(Entry{std::move(task), expires_at, std::move(on_expire)});
 }
 
 void ThreadPool::shutdown() {

@@ -3,15 +3,29 @@
 // Used by workload drivers (benchmarks, examples) and the RPC server stub.
 // Tasks are type-erased `std::function<void()>`; the pool joins on
 // destruction after draining (CP.23/25: threads are scoped containers).
+//
+// Overload control (DESIGN.md §12): the submission queue can be BOUNDED.
+// An unbounded queue converts overload into unbounded latency — every
+// queued task still runs, long after anyone wants its result. A bounded
+// pool instead applies a saturation policy at submit (block / reject /
+// caller-runs) and can drop stale entries at DEQUEUE: a task submitted
+// with an expiry that has passed by the time a worker picks it up is not
+// run — its `on_expire` callback runs instead, so the submitter can still
+// produce a structured refusal (e.g. an RPC error reply) rather than
+// silence.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "concurrency/concurrent_queue.hpp"
+#include "runtime/clock.hpp"
 #include "runtime/fault.hpp"
 
 namespace amf::concurrency {
@@ -19,12 +33,34 @@ namespace amf::concurrency {
 /// A pool of `n` worker threads executing submitted tasks FIFO.
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (>= 1). When `fault` is non-null, its kDelay
-  /// point stalls a worker for a deterministic interval before it runs the
-  /// next task — perturbing cross-thread interleavings reproducibly from
-  /// one seed without touching the tasks themselves.
+  /// What `submit` does when the bounded queue is full.
+  enum class Saturation {
+    kBlock,       // wait for space (backpressure onto the submitter)
+    kReject,      // return false immediately (the submitter sheds)
+    kCallerRuns,  // run the task on the submitting thread (self-throttling)
+  };
+
+  struct Options {
+    std::size_t threads = 1;
+    /// 0 = unbounded (the original behavior); otherwise the maximum number
+    /// of queued-but-not-yet-running tasks.
+    std::size_t queue_capacity = 0;
+    Saturation saturation = Saturation::kBlock;
+    /// Clock used to judge queue-entry expiry at dequeue.
+    const runtime::Clock* clock = &runtime::RealClock::instance();
+    /// When non-null, its kDelay point stalls a worker for a deterministic
+    /// interval before it runs the next task — perturbing cross-thread
+    /// interleavings reproducibly from one seed.
+    runtime::FaultInjector* fault = nullptr;
+  };
+
+  /// Spawns `threads` workers (>= 1); unbounded queue, as before.
   explicit ThreadPool(std::size_t threads,
-                      runtime::FaultInjector* fault = nullptr);
+                      runtime::FaultInjector* fault = nullptr)
+      : ThreadPool(Options{.threads = threads, .fault = fault}) {}
+
+  /// Full configuration.
+  explicit ThreadPool(Options options);
 
   /// Drains outstanding tasks, then joins all workers.
   ~ThreadPool();
@@ -32,8 +68,18 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; returns false if the pool is already shutting down.
+  /// Enqueues a task; returns false if the pool is shutting down or the
+  /// saturation policy is kReject and the queue is full. Under
+  /// kCallerRuns a full queue executes the task inline and returns true.
   bool submit(std::function<void()> task);
+
+  /// Like submit, but the entry is dropped at dequeue when `expires_at`
+  /// has passed on the pool's clock: `on_expire` (may be null) runs on the
+  /// worker instead of the task. Stale work is thereby shed at the last
+  /// admission point instead of executed for nobody.
+  bool submit_with_deadline(std::function<void()> task,
+                            runtime::TimePoint expires_at,
+                            std::function<void()> on_expire = nullptr);
 
   /// Enqueues a callable and returns a future for its result.
   template <typename Fn>
@@ -50,9 +96,33 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// Submissions refused by the kReject saturation policy.
+  std::uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  /// Queue entries dropped (expired) at dequeue.
+  std::uint64_t expired() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
+  /// Tasks executed on the submitting thread under kCallerRuns.
+  std::uint64_t caller_ran() const {
+    return caller_ran_.load(std::memory_order_relaxed);
+  }
+
  private:
-  ConcurrentQueue<std::function<void()>> tasks_;
-  runtime::FaultInjector* fault_ = nullptr;
+  struct Entry {
+    std::function<void()> run;
+    std::optional<runtime::TimePoint> expires_at;
+    std::function<void()> on_expire;
+  };
+
+  bool enqueue(Entry entry);
+
+  Options options_;
+  ConcurrentQueue<Entry> tasks_;
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> caller_ran_{0};
   std::vector<std::jthread> workers_;
 };
 

@@ -38,6 +38,11 @@ struct Envelope {
     return put(key, std::to_string(value));
   }
 
+  /// Sets a signed integer field (decimal encoding).
+  Envelope& put_i64(std::string_view key, std::int64_t value) {
+    return put(key, std::to_string(value));
+  }
+
   /// Reads a string field.
   std::optional<std::string> get(std::string_view key) const {
     auto it = payload.find(std::string(key));
@@ -51,6 +56,17 @@ struct Envelope {
     if (!s) return std::nullopt;
     try {
       return std::stoull(*s);
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+
+  /// Reads a signed integer field; nullopt when absent or malformed.
+  std::optional<std::int64_t> get_i64(std::string_view key) const {
+    auto s = get(key);
+    if (!s) return std::nullopt;
+    try {
+      return std::stoll(*s);
     } catch (...) {
       return std::nullopt;
     }

@@ -1,0 +1,79 @@
+// Deadline & priority propagation across the RPC boundary (DESIGN.md §12).
+//
+// The paper's §1 names caller priority and deadlines as open issues; our
+// InvocationContext carries both — but a deadline is an absolute point on
+// ONE clock, and the far side of an RPC has its own. The wire therefore
+// carries the REMAINING budget (relative, "ctx.budget_ns") plus the
+// priority ("ctx.priority"); the receiver re-anchors the budget on its own
+// clock at receipt. The hop itself is assumed cheap (in-process transport);
+// a real network stack would additionally subtract an RTT estimate.
+//
+// Conventions, used by RpcServer (server-side enforcement — expired work
+// is refused before it reaches the moderator) and RetryingClient (the
+// budget shrinks across attempts):
+//
+//   ctx.budget_ns   remaining deadline budget at send time, decimal ns
+//   ctx.priority    caller priority, decimal signed int (higher = more
+//                   urgent; absent = 0)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "net/message.hpp"
+#include "runtime/clock.hpp"
+
+namespace amf::net {
+
+inline constexpr std::string_view kBudgetKey = "ctx.budget_ns";
+inline constexpr std::string_view kPriorityKey = "ctx.priority";
+
+/// Writes the remaining budget header. Negative budgets are clamped to 0
+/// (the request is already dead — the receiver refuses it without work).
+inline Envelope& put_budget(Envelope& env, runtime::Duration remaining) {
+  const auto ns = remaining.count();
+  env.put_u64(kBudgetKey, ns > 0 ? static_cast<std::uint64_t>(ns) : 0u);
+  return env;
+}
+
+/// Writes the budget header from an absolute deadline on `clock`.
+inline Envelope& put_deadline(Envelope& env, runtime::TimePoint deadline,
+                              const runtime::Clock& clock) {
+  return put_budget(env, deadline - clock.now());
+}
+
+/// Reads the remaining budget; nullopt when the request carries none.
+inline std::optional<runtime::Duration> budget_of(const Envelope& env) {
+  auto ns = env.get_u64(kBudgetKey);
+  if (!ns) return std::nullopt;
+  return runtime::Duration(static_cast<std::int64_t>(*ns));
+}
+
+/// Writes the priority header.
+inline Envelope& put_priority(Envelope& env, int priority) {
+  env.put_i64(kPriorityKey, priority);
+  return env;
+}
+
+/// Reads the priority; `fallback` (default 0) when absent or malformed.
+inline int priority_of(const Envelope& env, int fallback = 0) {
+  auto p = env.get_i64(kPriorityKey);
+  return p ? static_cast<int>(*p) : fallback;
+}
+
+/// Reconstructs the propagated context onto a server-side call builder
+/// (any object with `.priority(int)` and `.within(Duration)` — e.g.
+/// core::ComponentProxy<C>::CallBuilder; duck-typed so this header stays
+/// free of a core dependency). The budget is re-anchored on the BUILDER's
+/// moderator clock by `.within`, which is the point of shipping a relative
+/// budget: the server enforces the caller's remaining patience, not the
+/// caller's clock.
+template <typename Builder>
+Builder& apply_context(const Envelope& request, Builder& call) {
+  call.priority(priority_of(request));
+  if (auto budget = budget_of(request)) call.within(*budget);
+  return call;
+}
+
+}  // namespace amf::net

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "net/propagation.hpp"
+
 namespace amf::net {
 
 RpcServer::Handler with_dedup(DedupCache& cache, RpcServer::Handler handler) {
@@ -19,23 +21,69 @@ RpcServer::Handler with_dedup(DedupCache& cache, RpcServer::Handler handler) {
 
 runtime::Result<Envelope> RetryingClient::call(const std::string& server,
                                                Envelope request) {
+  return call_impl(server, std::move(request), std::nullopt);
+}
+
+runtime::Result<Envelope> RetryingClient::call(const std::string& server,
+                                               Envelope request,
+                                               runtime::TimePoint deadline) {
+  return call_impl(server, std::move(request), deadline);
+}
+
+runtime::Result<Envelope> RetryingClient::call_impl(
+    const std::string& server, Envelope request,
+    std::optional<runtime::TimePoint> deadline) {
   request.put("request.id",
               endpoint_ + "#" + std::to_string(next_request_++));
   runtime::Error last =
       runtime::make_error(runtime::ErrorCode::kInternal, "no attempts made");
   last_attempts_ = 0;
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    auto timeout = options_.attempt_timeout;
+    if (deadline) {
+      const auto remaining = *deadline - options_.clock->now();
+      if (remaining <= runtime::Duration{0}) {
+        if (attempt > 1) ++retries_suppressed_;
+        return attempt > 1
+                   ? last
+                   : runtime::make_error(runtime::ErrorCode::kDeadlineExceeded,
+                                         "deadline exhausted before first "
+                                         "attempt to " + server);
+      }
+      timeout = std::min(timeout, remaining);
+      // The server sees the shrinking budget, so work the caller is about
+      // to give up on is refused rather than executed.
+      put_budget(request, remaining);
+    }
     last_attempts_ = attempt;
     Envelope copy = request;
-    auto r = client_.call(server, std::move(copy), options_.attempt_timeout);
+    auto r = client_.call(server, std::move(copy), timeout);
     if (r.ok()) return r;
     last = r.error();
     if (last.code != runtime::ErrorCode::kTimeout) break;  // not retryable
     if (attempt < options_.max_attempts) {
+      if (!spend_retry_token()) {
+        ++retries_suppressed_;
+        break;
+      }
       std::this_thread::sleep_for(backoff_for(attempt));
     }
   }
   return last;
+}
+
+bool RetryingClient::spend_retry_token() {
+  if (options_.retry_budget <= 0.0) return true;  // budgeting disabled
+  const auto now = options_.clock->now();
+  const auto elapsed = std::chrono::duration<double>(now - last_refill_);
+  retry_tokens_ =
+      std::min(options_.retry_budget,
+               retry_tokens_ + elapsed.count() *
+                                   options_.retry_tokens_per_second);
+  last_refill_ = now;
+  if (retry_tokens_ < 1.0) return false;
+  retry_tokens_ -= 1.0;
+  return true;
 }
 
 runtime::Duration RetryingClient::backoff_for(int attempt) {

@@ -72,6 +72,18 @@ class DedupCache {
 RpcServer::Handler with_dedup(DedupCache& cache, RpcServer::Handler handler);
 
 /// Client issuing retried, request-id-stamped calls.
+///
+/// Overload control (DESIGN.md §12): unbudgeted retries AMPLIFY overload —
+/// a server at 2× capacity facing clients that retry 4× sees 8× offered
+/// load. Two opt-in brakes:
+///   * a token-bucket RETRY BUDGET shared across this client's calls:
+///     each retry (not first attempts) spends one token; an empty bucket
+///     suppresses the retry and surfaces the last error immediately;
+///   * a per-call DEADLINE: retries stop once the caller's remaining
+///     budget is exhausted, each attempt's timeout is clipped to what
+///     remains, and the shrinking budget is propagated to the server in
+///     the "ctx.budget_ns" header (net/propagation.hpp) so the far side
+///     can refuse work the caller has already given up on.
 class RetryingClient {
  public:
   struct Options {
@@ -85,6 +97,15 @@ class RetryingClient {
     double backoff_jitter = 0.5;
     /// Seed for the jitter draw (deterministic tests).
     std::uint64_t jitter_seed = 1;
+    /// Retry-budget bucket capacity; 0 (default) disables budgeting —
+    /// retries behave exactly as before. Opt in on storm-prone paths.
+    double retry_budget = 0.0;
+    /// Bucket refill rate. A budget of e.g. {10, 1.0} tolerates a burst
+    /// of 10 retries, then sustains at most one retry per second however
+    /// hard the callers push.
+    double retry_tokens_per_second = 1.0;
+    /// Clock for budget refill and deadline arithmetic.
+    const runtime::Clock* clock = &runtime::RealClock::instance();
   };
 
   RetryingClient(Transport& transport, std::string endpoint)
@@ -93,15 +114,27 @@ class RetryingClient {
       : client_(transport, endpoint),
         endpoint_(std::move(endpoint)),
         options_(options),
-        jitter_rng_(options.jitter_seed) {}
+        jitter_rng_(options.jitter_seed),
+        retry_tokens_(options.retry_budget),
+        last_refill_(options.clock->now()) {}
 
   /// Calls `server`, retrying timeouts. The request is stamped with a
   /// process-unique "request.id" so server-side dedup can suppress
   /// double execution. Returns the last error when all attempts fail.
   runtime::Result<Envelope> call(const std::string& server, Envelope request);
 
+  /// As above, bounded by an absolute `deadline` on the options clock:
+  /// every attempt carries the remaining budget on the wire, attempt
+  /// timeouts never overshoot it, and no retry starts past it.
+  runtime::Result<Envelope> call(const std::string& server, Envelope request,
+                                 runtime::TimePoint deadline);
+
   /// Attempts used by the most recent call (diagnostics/tests).
   int last_attempts() const { return last_attempts_; }
+
+  /// Retries that max_attempts allowed but the retry budget or the
+  /// caller's deadline suppressed (monotone; storm diagnostics).
+  std::uint64_t retries_suppressed() const { return retries_suppressed_; }
 
   /// The jittered sleep before retrying after `attempt` (1-based) failed:
   /// uniform in [backoff*attempt*(1-jitter), backoff*attempt]. Exposed so
@@ -109,12 +142,22 @@ class RetryingClient {
   runtime::Duration backoff_for(int attempt);
 
  private:
+  runtime::Result<Envelope> call_impl(
+      const std::string& server, Envelope request,
+      std::optional<runtime::TimePoint> deadline);
+
+  /// Takes one token from the retry bucket; false = suppress the retry.
+  bool spend_retry_token();
+
   RpcClient client_;
   std::string endpoint_;
   Options options_;
   runtime::Rng jitter_rng_;
   std::uint64_t next_request_ = 1;
   int last_attempts_ = 0;
+  double retry_tokens_ = 0.0;
+  runtime::TimePoint last_refill_{};
+  std::uint64_t retries_suppressed_ = 0;
 };
 
 }  // namespace amf::net

@@ -1,13 +1,19 @@
 #include "net/rpc.hpp"
 
+#include "net/propagation.hpp"
+
 namespace amf::net {
 
 RpcServer::RpcServer(Transport& transport, std::string endpoint,
                      std::size_t workers)
+    : RpcServer(transport, std::move(endpoint), Options{.workers = workers}) {}
+
+RpcServer::RpcServer(Transport& transport, std::string endpoint,
+                     Options options)
     : transport_(&transport),
       endpoint_(std::move(endpoint)),
       mailbox_(transport.open(endpoint_)),
-      worker_count_(workers) {}
+      options_(options) {}
 
 RpcServer::~RpcServer() { stop(); }
 
@@ -19,7 +25,17 @@ void RpcServer::register_method(const std::string& method, Handler handler) {
 void RpcServer::start() {
   if (started_) return;
   started_ = true;
-  pool_ = std::make_unique<concurrency::ThreadPool>(worker_count_);
+  concurrency::ThreadPool::Options pool_options;
+  pool_options.threads = options_.workers;
+  pool_options.queue_capacity = options_.queue_capacity;
+  // A bounded server must refuse, not block: the dispatcher blocking on a
+  // full queue would stall receipt of EVERY request, including the
+  // high-priority ones a handler may want to favor.
+  pool_options.saturation = options_.queue_capacity > 0
+                                ? concurrency::ThreadPool::Saturation::kReject
+                                : concurrency::ThreadPool::Saturation::kBlock;
+  pool_options.clock = options_.clock;
+  pool_ = std::make_unique<concurrency::ThreadPool>(pool_options);
   dispatcher_ = std::jthread([this](std::stop_token st) { serve_loop(st); });
 }
 
@@ -40,17 +56,68 @@ void RpcServer::serve_loop(std::stop_token st) {
     if (!msg) break;  // transport shut down
     if (st.stop_requested()) break;
     if (msg->kind != Envelope::Kind::kRequest) continue;
-    Envelope request = std::move(*msg);
-    pool_->submit([this, request = std::move(request)] {
-      Envelope response = handle(request);
-      response.kind = Envelope::Kind::kResponse;
-      response.correlation_id = request.correlation_id;
-      response.sender = endpoint_;
-      response.target = request.sender;
-      served_.fetch_add(1, std::memory_order_relaxed);
-      transport_->send(std::move(response));
-    });
+    // Re-anchor the propagated budget on OUR clock at receipt; everything
+    // downstream (queue expiry, pre-handler check) compares against it.
+    std::optional<runtime::TimePoint> expires_at;
+    if (options_.enforce_deadlines) {
+      if (auto budget = budget_of(*msg)) {
+        expires_at = options_.clock->now() + *budget;
+      }
+    }
+    auto request = std::make_shared<Envelope>(std::move(*msg));
+    auto task = [this, request, expires_at] {
+      if (expires_at && options_.clock->now() >= *expires_at) {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        refuse(*request, "deadline-exceeded",
+               "deadline budget exhausted before handler ran",
+               "budget-exhausted");
+        return;
+      }
+      respond(*request, handle(*request));
+    };
+    bool accepted;
+    if (expires_at) {
+      // Stale entries are dropped at dequeue; the expiry callback still
+      // answers the caller — a refusal is structured, never silence.
+      accepted = pool_->submit_with_deadline(task, *expires_at,
+                                             [this, request] {
+                                               expired_.fetch_add(
+                                                   1,
+                                                   std::memory_order_relaxed);
+                                               refuse(*request,
+                                                      "deadline-exceeded",
+                                                      "deadline budget "
+                                                      "exhausted in queue",
+                                                      "budget-exhausted");
+                                             });
+    } else {
+      accepted = pool_->submit(task);
+    }
+    if (!accepted && started_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      refuse(*request, "overloaded", "server overloaded: dispatch queue full",
+             "queue-full");
+    }
   }
+}
+
+void RpcServer::respond(const Envelope& request, Envelope response) {
+  response.kind = Envelope::Kind::kResponse;
+  response.correlation_id = request.correlation_id;
+  response.sender = endpoint_;
+  response.target = request.sender;
+  served_.fetch_add(1, std::memory_order_relaxed);
+  transport_->send(std::move(response));
+}
+
+void RpcServer::refuse(const Envelope& request, std::string_view code,
+                       std::string_view message, std::string_view reason) {
+  Envelope err;
+  err.put("error", message);
+  err.put("error.code", code);
+  err.put("shed.by", "rpc-server");
+  err.put("shed.reason", reason);
+  respond(request, std::move(err));
 }
 
 Envelope RpcServer::handle(const Envelope& request) {

@@ -21,21 +21,46 @@
 #include "concurrency/thread_pool.hpp"
 #include "net/message.hpp"
 #include "net/transport.hpp"
+#include "runtime/clock.hpp"
 #include "runtime/result.hpp"
 
 namespace amf::net {
 
 /// Serves requests arriving at one endpoint, dispatching each method to a
 /// registered handler on a worker pool.
+///
+/// Overload control (DESIGN.md §12): with a bounded `queue_capacity` the
+/// server REFUSES requests that do not fit the dispatch queue — an
+/// immediate structured "overloaded" reply instead of unbounded queueing —
+/// and with `enforce_deadlines` (default on) a request whose propagated
+/// budget ("ctx.budget_ns", see net/propagation.hpp) is exhausted is
+/// answered "deadline-exceeded" WITHOUT invoking the handler: checked when
+/// a worker dequeues it (stale entries shed via the pool's expiry) and
+/// again immediately before the handler runs. Expired work never reaches
+/// the moderator.
 class RpcServer {
  public:
   /// A handler receives the request and fills in the response payload.
   /// Correlation/routing fields are managed by the server.
   using Handler = std::function<Envelope(const Envelope& request)>;
 
+  struct Options {
+    std::size_t workers = 1;
+    /// 0 = unbounded dispatch queue (the original behavior); otherwise
+    /// requests beyond capacity get an immediate "overloaded" error reply.
+    std::size_t queue_capacity = 0;
+    /// Clock that propagated deadline budgets are re-anchored against.
+    const runtime::Clock* clock = &runtime::RealClock::instance();
+    /// Refuse budget-exhausted requests before the handler runs.
+    bool enforce_deadlines = true;
+  };
+
   /// Opens `endpoint` on `transport` and serves with `workers` threads.
   RpcServer(Transport& transport, std::string endpoint,
             std::size_t workers = 1);
+
+  /// Full configuration.
+  RpcServer(Transport& transport, std::string endpoint, Options options);
 
   /// Stops dispatching and joins workers.
   ~RpcServer();
@@ -55,9 +80,19 @@ class RpcServer {
   /// Requests served so far (including error replies).
   std::uint64_t served() const { return served_.load(); }
 
+  /// Requests refused because the bounded dispatch queue was full.
+  std::uint64_t rejected() const { return rejected_.load(); }
+
+  /// Requests refused because their propagated deadline budget was
+  /// exhausted before the handler could run.
+  std::uint64_t expired() const { return expired_.load(); }
+
  private:
   void serve_loop(std::stop_token st);
   Envelope handle(const Envelope& request);
+  void respond(const Envelope& request, Envelope response);
+  void refuse(const Envelope& request, std::string_view code,
+              std::string_view message, std::string_view reason);
 
   Transport* transport_;
   std::string endpoint_;
@@ -65,8 +100,10 @@ class RpcServer {
   std::mutex handlers_mu_;
   std::unordered_map<std::string, Handler> handlers_;
   std::unique_ptr<concurrency::ThreadPool> pool_;
-  std::size_t worker_count_;
+  Options options_;
   std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> expired_{0};
   std::jthread dispatcher_;
   bool started_ = false;
 };

@@ -32,6 +32,8 @@ std::string_view to_string(ErrorCode code) {
       return "aspect-fault";
     case ErrorCode::kDeadlineExceeded:
       return "deadline-exceeded";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
   }
   return "unknown";
 }

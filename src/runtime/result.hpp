@@ -33,6 +33,11 @@ enum class ErrorCode {
   kAspectFault,
   /// The stall watchdog evicted a waiter blocked past deadline + grace.
   kDeadlineExceeded,
+  /// Admission refused by load shedding: the system is past its capacity
+  /// and chose a structured, immediate refusal over unbounded queueing.
+  /// Retryable — but only with backoff and a retry budget (see
+  /// net::RetryingClient), or the retries re-create the overload.
+  kOverloaded,
 };
 
 /// Human-readable name for an error code ("timeout", "aborted", ...).

@@ -1,0 +1,245 @@
+#include "aspects/overload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "aspects/bulkhead.hpp"
+#include "aspects/quota.hpp"
+#include "core/framework.hpp"
+
+namespace amf::aspects {
+namespace {
+
+using core::ComponentProxy;
+using core::Decision;
+using core::InvocationContext;
+using core::InvocationStatus;
+using runtime::AspectKind;
+using runtime::ManualClock;
+using runtime::MethodId;
+
+struct Dummy {
+  int calls = 0;
+};
+
+AdaptiveLimiterAspect::Options limiter_opts(std::size_t initial,
+                                            runtime::Duration target) {
+  AdaptiveLimiterAspect::Options o;
+  o.initial_limit = initial;
+  o.latency_target = target;
+  return o;
+}
+
+// One admitted invocation whose observed latency is `latency`: the context
+// is enqueued at the current manual time, the clock advances, and the
+// entry/postaction pair runs the way the moderator would run it.
+void complete_one(AdaptiveLimiterAspect& aspect, ManualClock& clock,
+                  runtime::Duration latency) {
+  InvocationContext ctx(MethodId::of("ol"));
+  ctx.set_enqueued_at(clock.now());
+  ASSERT_EQ(aspect.precondition(ctx), Decision::kResume);
+  aspect.entry(ctx);
+  clock.advance(latency);
+  aspect.postaction(ctx);
+}
+
+TEST(AdaptiveLimiterTest, UnderTargetLatencyGrowsLimitAdditively) {
+  ManualClock clock;
+  auto o = limiter_opts(4, std::chrono::milliseconds(10));
+  o.increase_per_completion = 0.5;
+  AdaptiveLimiterAspect aspect(clock, o);
+  ASSERT_EQ(aspect.limit(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    complete_one(aspect, clock, std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(aspect.limit(), 6u) << "4 fast completions at +0.5 each";
+  EXPECT_LT(aspect.latency_ewma_ns(), 10e6);
+}
+
+TEST(AdaptiveLimiterTest, OverTargetLatencyShrinksLimitMultiplicatively) {
+  ManualClock clock;
+  auto o = limiter_opts(10, std::chrono::milliseconds(5));
+  o.decrease_factor = 0.5;
+  AdaptiveLimiterAspect aspect(clock, o);
+  complete_one(aspect, clock, std::chrono::milliseconds(50));
+  EXPECT_EQ(aspect.limit(), 5u) << "one over-target EWMA halves the limit";
+}
+
+TEST(AdaptiveLimiterTest, DecreaseIsRateLimitedToOnePerTargetWindow) {
+  ManualClock clock;
+  auto o = limiter_opts(16, std::chrono::milliseconds(100));
+  o.decrease_factor = 0.5;
+  AdaptiveLimiterAspect aspect(clock, o);
+  // Two slow completions land inside one latency_target window: the first
+  // decrease fires, the second is suppressed so a burst of queued
+  // completions cannot crash the limit straight to the floor.
+  InvocationContext a(MethodId::of("ol")), b(MethodId::of("ol"));
+  a.set_enqueued_at(clock.now());
+  b.set_enqueued_at(clock.now());
+  aspect.entry(a);
+  aspect.entry(b);
+  clock.advance(std::chrono::milliseconds(500));
+  aspect.postaction(a);
+  EXPECT_EQ(aspect.limit(), 8u);
+  clock.advance(std::chrono::milliseconds(10));  // still inside the window
+  aspect.postaction(b);
+  EXPECT_EQ(aspect.limit(), 8u) << "second decrease suppressed";
+  EXPECT_EQ(aspect.in_flight(), 0u);
+}
+
+TEST(AdaptiveLimiterTest, LimitStaysWithinConfiguredBounds) {
+  ManualClock clock;
+  auto o = limiter_opts(2, std::chrono::milliseconds(1));
+  o.min_limit = 2;
+  o.max_limit = 3;
+  o.decrease_factor = 0.1;
+  o.increase_per_completion = 10.0;
+  AdaptiveLimiterAspect aspect(clock, o);
+  complete_one(aspect, clock, std::chrono::milliseconds(100));
+  EXPECT_EQ(aspect.limit(), 2u) << "clamped at min_limit";
+  // Let the EWMA recover below target, then grow: clamped at max_limit.
+  // (alpha = 0.3: decaying a 100ms sample under the 1ms target takes
+  // ceil(log(0.01)/log(0.7)) = 13 fast completions; 20 leaves room to grow.)
+  for (int i = 0; i < 20; ++i) {
+    complete_one(aspect, clock, std::chrono::microseconds(1));
+  }
+  EXPECT_EQ(aspect.limit(), 3u) << "clamped at max_limit";
+}
+
+TEST(AdaptiveLimiterTest, BlocksAtLimitWithoutShedPolicy) {
+  ManualClock clock;
+  AdaptiveLimiterAspect aspect(clock, limiter_opts(1, std::chrono::seconds(1)));
+  InvocationContext in(MethodId::of("ol"));
+  ASSERT_EQ(aspect.precondition(in), Decision::kResume);
+  aspect.entry(in);
+  InvocationContext waiting(MethodId::of("ol"));
+  EXPECT_EQ(aspect.precondition(waiting), Decision::kBlock);
+  aspect.postaction(in);
+  EXPECT_EQ(aspect.precondition(waiting), Decision::kResume);
+}
+
+TEST(AdaptiveLimiterTest, ShedsLowPriorityButBlocksProtectedPriority) {
+  ManualClock clock;
+  auto o = limiter_opts(1, std::chrono::seconds(1));
+  o.shed = ShedPolicy{.enabled = true, .protect_priority = 1};
+  AdaptiveLimiterAspect aspect(clock, o);
+  InvocationContext in(MethodId::of("ol"));
+  aspect.entry(in);
+
+  InvocationContext low(MethodId::of("ol"));
+  low.set_priority(0);
+  EXPECT_EQ(aspect.precondition(low), Decision::kAbort);
+  EXPECT_EQ(low.abort_error()->code, runtime::ErrorCode::kOverloaded);
+  EXPECT_EQ(low.note("shed.by"), "adaptive-limiter");
+  EXPECT_EQ(low.note("shed.reason"), "adaptive-limit");
+
+  InvocationContext high(MethodId::of("ol"));
+  high.set_priority(1);
+  EXPECT_EQ(aspect.precondition(high), Decision::kBlock)
+      << "protected priority waits instead of being shed";
+}
+
+TEST(AdaptiveLimiterTest, ShedsAreCountedOncePerCancelledInvocation) {
+  ManualClock clock;
+  auto o = limiter_opts(1, std::chrono::seconds(1));
+  o.shed = ShedPolicy{.enabled = true};
+  runtime::Registry metrics;
+  o.metrics = &metrics;
+  AdaptiveLimiterAspect aspect(clock, o);
+  InvocationContext in(MethodId::of("ol"));
+  aspect.entry(in);
+
+  InvocationContext shed_ctx(MethodId::of("ol"));
+  ASSERT_EQ(aspect.precondition(shed_ctx), Decision::kAbort);
+  aspect.on_cancel(shed_ctx);
+  EXPECT_EQ(aspect.sheds(), 1u);
+  EXPECT_EQ(metrics.counter("overload.shed").value(), 1u);
+
+  // A cancel the limiter did NOT cause (another aspect's veto, a timeout)
+  // must not inflate the shed count.
+  InvocationContext other(MethodId::of("ol"));
+  aspect.on_cancel(other);
+  EXPECT_EQ(aspect.sheds(), 1u);
+  EXPECT_EQ(metrics.gauge("overload.limit").value(), 1);
+}
+
+TEST(AdaptiveLimiterIntegrationTest, ShedIsStructuredEndToEnd) {
+  ComponentProxy<Dummy> proxy{Dummy{}};
+  const auto m = MethodId::of("ol-e2e");
+  auto o = limiter_opts(1, std::chrono::seconds(1));
+  o.shed = ShedPolicy{.enabled = true, .protect_priority = 1};
+  auto limiter = std::make_shared<AdaptiveLimiterAspect>(
+      runtime::RealClock::instance(), o);
+  proxy.moderator().register_aspect(m, AspectKind::of("overload"), limiter);
+
+  std::atomic<bool> holder_in{false};
+  std::atomic<bool> release{false};
+  std::jthread holder([&] {
+    (void)proxy.call(m).priority(1).run([&](Dummy& d) {
+      ++d.calls;
+      holder_in.store(true);
+      while (!release.load()) std::this_thread::yield();
+    });
+  });
+  while (!holder_in.load()) std::this_thread::yield();
+
+  // The limit is saturated: a low-priority caller is refused immediately
+  // with the structured overload verdict — no waiting, body never runs.
+  auto r = proxy.call(m).priority(0).run([](Dummy& d) { ++d.calls; });
+  EXPECT_EQ(r.status, InvocationStatus::kAborted);
+  EXPECT_EQ(r.error.code, runtime::ErrorCode::kOverloaded);
+  EXPECT_EQ(limiter->sheds(), 1u);
+  release.store(true);
+  holder.join();
+  EXPECT_EQ(proxy.component().calls, 1) << "shed body must not execute";
+  EXPECT_EQ(limiter->in_flight(), 0u);
+}
+
+TEST(BulkheadShedTest, OverBudgetClassShedsUnprotectedCallers) {
+  BulkheadAspect bulkhead(1, ShedPolicy{.enabled = true,
+                                        .protect_priority = 1});
+  InvocationContext in(MethodId::of("bh"));
+  ASSERT_EQ(bulkhead.precondition(in), Decision::kResume);
+  bulkhead.entry(in);
+
+  InvocationContext low(MethodId::of("bh"));
+  EXPECT_EQ(bulkhead.precondition(low), Decision::kAbort);
+  EXPECT_EQ(low.abort_error()->code, runtime::ErrorCode::kOverloaded);
+  EXPECT_EQ(low.note("shed.by"), "bulkhead");
+  EXPECT_EQ(low.note("shed.reason"), "class-budget");
+
+  InvocationContext high(MethodId::of("bh"));
+  high.set_priority(2);
+  EXPECT_EQ(bulkhead.precondition(high), Decision::kBlock);
+}
+
+TEST(RateLimitShedTest, BlockModeShedsUnprotectedCallers) {
+  ManualClock clock;
+  RateLimitAspect::Options o;
+  o.tokens_per_second = 1.0;
+  o.burst = 1.0;
+  o.block_when_limited = true;
+  o.shed = ShedPolicy{.enabled = true, .protect_priority = 1};
+  RateLimitAspect aspect(clock, o);
+
+  InvocationContext first(MethodId::of("rl"));
+  ASSERT_EQ(aspect.precondition(first), Decision::kResume);
+  aspect.entry(first);  // bucket now empty
+
+  InvocationContext low(MethodId::of("rl"));
+  EXPECT_EQ(aspect.precondition(low), Decision::kAbort);
+  EXPECT_EQ(low.abort_error()->code, runtime::ErrorCode::kOverloaded);
+  EXPECT_EQ(low.note("shed.by"), "rate-limit");
+
+  InvocationContext high(MethodId::of("rl"));
+  high.set_priority(3);
+  EXPECT_EQ(aspect.precondition(high), Decision::kBlock)
+      << "protected callers keep the pre-shed blocking behavior";
+}
+
+}  // namespace
+}  // namespace amf::aspects

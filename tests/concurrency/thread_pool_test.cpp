@@ -5,8 +5,26 @@
 #include <atomic>
 #include <chrono>
 
+#include "runtime/clock.hpp"
+#include "runtime/fault.hpp"
+
 namespace amf::concurrency {
 namespace {
+
+// Occupies the pool's single worker until released, so tests can fill the
+// bounded queue deterministically.
+struct WorkerGate {
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+
+  void hold(ThreadPool& pool) {
+    ASSERT_TRUE(pool.submit([this] {
+      entered.store(true);
+      while (!release.load()) std::this_thread::yield();
+    }));
+    while (!entered.load()) std::this_thread::yield();
+  }
+};
 
 TEST(ThreadPoolTest, RunsSubmittedTasks) {
   std::atomic<int> ran{0};
@@ -79,6 +97,111 @@ TEST(ThreadPoolTest, DrainsQueueBeforeJoin) {
     }
   }
   EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(BoundedThreadPoolTest, RejectPolicyRefusesWhenQueueFull) {
+  ThreadPool pool(ThreadPool::Options{
+      .threads = 1,
+      .queue_capacity = 1,
+      .saturation = ThreadPool::Saturation::kReject});
+  WorkerGate gate;
+  gate.hold(pool);
+
+  std::atomic<bool> queued_ran{false};
+  EXPECT_TRUE(pool.submit([&] { queued_ran.store(true); }));
+  EXPECT_FALSE(pool.submit([] { FAIL() << "rejected task must not run"; }));
+  EXPECT_FALSE(pool.submit([] { FAIL() << "rejected task must not run"; }));
+  EXPECT_EQ(pool.rejected(), 2u);
+
+  gate.release.store(true);
+  pool.shutdown();
+  EXPECT_TRUE(queued_ran.load()) << "accepted work still drains";
+}
+
+TEST(BoundedThreadPoolTest, CallerRunsPolicyExecutesInline) {
+  ThreadPool pool(ThreadPool::Options{
+      .threads = 1,
+      .queue_capacity = 1,
+      .saturation = ThreadPool::Saturation::kCallerRuns});
+  WorkerGate gate;
+  gate.hold(pool);
+
+  EXPECT_TRUE(pool.submit([] {}));  // fills the queue
+  std::atomic<bool> inline_ran{false};
+  const auto submitter = std::this_thread::get_id();
+  std::thread::id ran_on;
+  EXPECT_TRUE(pool.submit([&] {
+    inline_ran.store(true);
+    ran_on = std::this_thread::get_id();
+  }));
+  EXPECT_TRUE(inline_ran.load()) << "overflow work runs on the submitter";
+  EXPECT_EQ(ran_on, submitter);
+  EXPECT_EQ(pool.caller_ran(), 1u);
+
+  gate.release.store(true);
+}
+
+TEST(BoundedThreadPoolTest, ExpiredEntryIsDroppedAtDequeue) {
+  runtime::ManualClock clock;
+  ThreadPool pool(ThreadPool::Options{.threads = 1, .clock = &clock});
+  WorkerGate gate;
+  gate.hold(pool);
+
+  std::atomic<bool> task_ran{false};
+  std::atomic<bool> expiry_ran{false};
+  EXPECT_TRUE(pool.submit_with_deadline(
+      [&] { task_ran.store(true); },
+      clock.now() + std::chrono::milliseconds(10),
+      [&] { expiry_ran.store(true); }));
+  // The deadline passes while the entry waits in the queue.
+  clock.advance(std::chrono::milliseconds(20));
+  gate.release.store(true);
+  pool.shutdown();
+
+  EXPECT_FALSE(task_ran.load()) << "stale work must not execute";
+  EXPECT_TRUE(expiry_ran.load()) << "expiry callback answers for the drop";
+  EXPECT_EQ(pool.expired(), 1u);
+}
+
+TEST(BoundedThreadPoolTest, FreshEntryWithDeadlineStillRuns) {
+  runtime::ManualClock clock;
+  ThreadPool pool(ThreadPool::Options{.threads = 1, .clock = &clock});
+  std::atomic<bool> task_ran{false};
+  EXPECT_TRUE(pool.submit_with_deadline(
+      [&] { task_ran.store(true); },
+      clock.now() + std::chrono::seconds(10),
+      [] { FAIL() << "unexpired entry must not trigger expiry"; }));
+  pool.shutdown();
+  EXPECT_TRUE(task_ran.load());
+  EXPECT_EQ(pool.expired(), 0u);
+}
+
+TEST(BoundedThreadPoolTest, InjectedDelayPushesQueuedWorkPastItsDeadline) {
+  // The kDelay fault point stalls the worker between dequeue and the expiry
+  // check — exactly the window where real schedulers lose; the deadline
+  // must still be honored.
+  runtime::FaultInjector::Options fo;
+  fo.seed = 7;
+  fo.max_delay = std::chrono::milliseconds(5);
+  runtime::FaultInjector fault(fo);
+  fault.arm(runtime::FaultPoint::kDelay, 1.0);
+
+  ThreadPool pool(ThreadPool::Options{.threads = 1, .fault = &fault});
+  std::atomic<int> expired_cb{0};
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    // Already expired at submission: after the injected delay the worker
+    // must shed every one of them.
+    EXPECT_TRUE(pool.submit_with_deadline(
+        [&] { ran.fetch_add(1); },
+        runtime::RealClock::instance().now() - std::chrono::milliseconds(1),
+        [&] { expired_cb.fetch_add(1); }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(expired_cb.load(), 8);
+  EXPECT_EQ(pool.expired(), 8u);
+  EXPECT_GT(fault.fires(runtime::FaultPoint::kDelay), 0u);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <tuple>
 #include <vector>
 
+#include "aspects/overload.hpp"
 #include "concurrency/thread_pool.hpp"
 #include "core/framework.hpp"
 #include "net/transport.hpp"
@@ -297,6 +298,114 @@ TEST(SeededChaosTest, OneSeedDrivesModeratorTransportAndPool) {
             static_cast<std::size_t>(kTasks));
   EXPECT_EQ(proxy.moderator().stats(m).completed,
             static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(OverloadStormTest, HighPriorityRetainsServiceWhileLowPrioritySheds) {
+  // Overload storm (DESIGN.md §12): seeded burst arrivals through a
+  // delay-injected caller pool hammer one method guarded by the adaptive
+  // limiter in shed mode. The survival properties under test:
+  //   * nobody hangs — every caller gets a verdict, and every refused
+  //     low-priority caller gets the STRUCTURED kOverloaded abort;
+  //   * priority ordering — high-priority callers keep at least their
+  //     no-storm success rate while low priority sheds first;
+  //   * the moderation protocol stays clean throughout (hook order, trace,
+  //     no leftover waiters).
+  runtime::FaultInjector injector(runtime::FaultInjector::env_seed(11));
+  injector.arm(runtime::FaultPoint::kDelay, 0.3);
+
+  runtime::EventLog log;
+  core::ModeratorOptions options;
+  options.log = &log;
+  core::ComponentProxy<Dummy> proxy{Dummy{}, options};
+  const auto m = MethodId::of("overload-storm");
+
+  aspects::AdaptiveLimiterAspect::Options lo;
+  lo.initial_limit = 2;
+  lo.min_limit = 1;
+  lo.latency_target = std::chrono::milliseconds(2);
+  lo.increase_per_completion = 0.01;  // the storm must stay overloaded
+  lo.shed = aspects::ShedPolicy{.enabled = true, .protect_priority = 1};
+  auto limiter = std::make_shared<aspects::AdaptiveLimiterAspect>(
+      runtime::RealClock::instance(), lo);
+  auto guard = std::make_shared<core::HookOrderGuard>(limiter);
+  proxy.moderator().register_aspect(m, AspectKind::of("overload-storm-k"),
+                                    guard);
+
+  const auto body = [](Dummy&) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  };
+
+  // Phase A — no storm: the high-priority baseline success rate.
+  constexpr int kBaseline = 40;
+  int baseline_ok = 0;
+  for (int i = 0; i < kBaseline; ++i) {
+    if (proxy.call(m)
+            .priority(1)
+            .within(std::chrono::seconds(5))
+            .run(body)
+            .ok()) {
+      ++baseline_ok;
+    }
+  }
+  const double baseline_rate =
+      static_cast<double>(baseline_ok) / kBaseline;
+
+  // Phase B — the storm: one burst of mixed-priority arrivals, callers
+  // jittered by the seeded delay injection.
+  constexpr int kStorm = 300;
+  std::atomic<int> high_total{0}, high_ok{0};
+  std::atomic<int> low_ok{0}, low_shed{0}, unexpected{0};
+  {
+    concurrency::ThreadPool pool(8, &injector);
+    for (int i = 0; i < kStorm; ++i) {
+      const bool high = (i % 8 == 0);
+      pool.submit([&, high] {
+        if (high) {
+          high_total.fetch_add(1);
+          auto r = proxy.call(m)
+                       .priority(1)
+                       .within(std::chrono::seconds(5))
+                       .run(body);
+          if (r.ok()) high_ok.fetch_add(1);
+        } else {
+          auto r = proxy.call(m).priority(0).run(body);
+          if (r.ok()) {
+            low_ok.fetch_add(1);
+          } else if (r.status == core::InvocationStatus::kAborted &&
+                     r.error.code == runtime::ErrorCode::kOverloaded) {
+            low_shed.fetch_add(1);
+          } else {
+            unexpected.fetch_add(1);
+          }
+        }
+      });
+    }
+  }  // pool drains: every storm caller has returned
+
+  // Global accounting: a shed is a verdict, never a hang.
+  EXPECT_EQ(high_total.load(), kStorm / 8 + (kStorm % 8 ? 1 : 0));
+  EXPECT_EQ(low_ok.load() + low_shed.load(),
+            kStorm - high_total.load());
+  EXPECT_EQ(unexpected.load(), 0)
+      << "low-priority refusals must be structured kOverloaded aborts";
+  EXPECT_GT(low_shed.load(), 0) << "the storm must actually overload";
+  EXPECT_EQ(limiter->sheds(), static_cast<std::uint64_t>(low_shed.load()));
+
+  // Priority ordering: the storm must not degrade high-priority service
+  // below its quiet-hours baseline.
+  const double storm_rate =
+      static_cast<double>(high_ok.load()) / high_total.load();
+  EXPECT_GE(storm_rate, baseline_rate)
+      << "low priority must shed FIRST — high priority keeps its rate";
+
+  // Protocol hygiene end to end.
+  EXPECT_TRUE(guard->violations().empty())
+      << guard->violations().front().description;
+  const auto violations = core::TraceValidator::validate(log);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().description);
+  EXPECT_EQ(proxy.moderator().blocked_waiters(), 0u);
+  EXPECT_EQ(limiter->in_flight(), 0u);
 }
 
 #endif  // AMF_FAULT_INJECTION

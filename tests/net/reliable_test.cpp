@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <optional>
+
+#include "net/propagation.hpp"
+#include "runtime/clock.hpp"
 
 namespace amf::net {
 namespace {
@@ -252,6 +257,125 @@ TEST(RetryingClientTest, ZeroJitterIsExact) {
   opts.backoff_jitter = 0.0;
   RetryingClient client(transport, "cli", opts);
   EXPECT_EQ(client.backoff_for(3), std::chrono::milliseconds(12));
+}
+
+TEST(RetryBudgetTest, EmptyBucketSuppressesRetries) {
+  Transport::Options lossy;
+  lossy.drop_probability = 1.0;  // black hole: every attempt times out
+  Transport transport(lossy);
+  (void)transport.open("srv");
+  RetryingClient::Options opts;
+  opts.max_attempts = 5;
+  opts.attempt_timeout = std::chrono::milliseconds(10);
+  opts.backoff = std::chrono::milliseconds(1);
+  opts.retry_budget = 1.0;  // one retry, then the bucket is dry
+  opts.retry_tokens_per_second = 0.0001;  // effectively no refill in-test
+  RetryingClient client(transport, "cli", opts);
+
+  Envelope req;
+  req.method = "echo";
+  auto r = client.call("srv", std::move(req));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(client.last_attempts(), 2)
+      << "first attempt + the single budgeted retry";
+  EXPECT_EQ(client.retries_suppressed(), 1u);
+
+  // The next call gets NO retry at all — storms cannot amplify.
+  Envelope req2;
+  req2.method = "echo";
+  ASSERT_FALSE(client.call("srv", std::move(req2)).ok());
+  EXPECT_EQ(client.last_attempts(), 1);
+  EXPECT_EQ(client.retries_suppressed(), 2u);
+}
+
+TEST(RetryBudgetTest, BucketRefillsOverTime) {
+  Transport::Options lossy;
+  lossy.drop_probability = 1.0;
+  Transport transport(lossy);
+  (void)transport.open("srv");
+  runtime::ManualClock clock;
+  RetryingClient::Options opts;
+  opts.max_attempts = 4;
+  opts.attempt_timeout = std::chrono::milliseconds(5);
+  opts.backoff = std::chrono::milliseconds(1);
+  opts.retry_budget = 1.0;
+  opts.retry_tokens_per_second = 0.1;
+  opts.clock = &clock;
+  RetryingClient client(transport, "cli", opts);
+
+  Envelope req;
+  req.method = "echo";
+  ASSERT_FALSE(client.call("srv", std::move(req)).ok());
+  EXPECT_EQ(client.last_attempts(), 2) << "budget spent";
+
+  clock.advance(std::chrono::seconds(10));  // 10s × 0.1/s = 1 token back
+  Envelope req2;
+  req2.method = "echo";
+  ASSERT_FALSE(client.call("srv", std::move(req2)).ok());
+  EXPECT_EQ(client.last_attempts(), 2) << "refilled token buys one retry";
+}
+
+TEST(RetryDeadlineTest, ExhaustedDeadlineFailsWithoutAnAttempt) {
+  Transport transport;
+  (void)transport.open("srv");
+  runtime::ManualClock clock;
+  RetryingClient::Options opts;
+  opts.clock = &clock;
+  RetryingClient client(transport, "cli", opts);
+  Envelope req;
+  req.method = "echo";
+  auto r = client.call("srv", std::move(req),
+                       clock.now() - std::chrono::milliseconds(1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), runtime::ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(client.last_attempts(), 0) << "no wire traffic for dead work";
+}
+
+TEST(RetryDeadlineTest, DeadlineClipsAttemptTimeoutAndStopsRetries) {
+  Transport::Options lossy;
+  lossy.drop_probability = 1.0;
+  Transport transport(lossy);
+  (void)transport.open("srv");
+  RetryingClient::Options opts;
+  opts.max_attempts = 10;
+  opts.attempt_timeout = std::chrono::seconds(10);  // way past the deadline
+  opts.backoff = std::chrono::milliseconds(1);
+  RetryingClient client(transport, "cli", opts);
+
+  Envelope req;
+  req.method = "echo";
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = client.call(
+      "srv", std::move(req),
+      runtime::RealClock::instance().now() + std::chrono::milliseconds(100));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(r.ok());
+  EXPECT_LT(elapsed, std::chrono::seconds(5))
+      << "attempt timeouts must be clipped to the remaining budget";
+  EXPECT_LT(client.last_attempts(), 10);
+  EXPECT_GE(client.retries_suppressed(), 1u)
+      << "retries past the deadline are suppressed, not attempted";
+}
+
+TEST(RetryDeadlineTest, RemainingBudgetRidesEveryAttempt) {
+  Transport transport;
+  RpcServer server(transport, "srv");
+  std::optional<runtime::Duration> seen_budget;
+  server.register_method("probe", [&](const Envelope& request) {
+    seen_budget = budget_of(request);
+    return Envelope{};
+  });
+  server.start();
+  RetryingClient client(transport, "cli");
+  Envelope req;
+  req.method = "probe";
+  const auto budget = std::chrono::seconds(5);
+  auto r = client.call("srv", std::move(req),
+                       runtime::RealClock::instance().now() + budget);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(seen_budget.has_value()) << "budget header must propagate";
+  EXPECT_GT(*seen_budget, runtime::Duration{0});
+  EXPECT_LE(*seen_budget, budget) << "the wire carries the REMAINING budget";
 }
 
 }  // namespace

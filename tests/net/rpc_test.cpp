@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <optional>
 #include <thread>
+
+#include "net/propagation.hpp"
 
 namespace amf::net {
 namespace {
@@ -182,6 +185,160 @@ TEST(RpcTest, OverSimulatedLatencyLink) {
   const auto rtt = std::chrono::steady_clock::now() - t0;
   ASSERT_TRUE(r.ok());
   EXPECT_GE(rtt, std::chrono::milliseconds(18)) << "two one-way hops";
+}
+
+TEST(RpcOverloadTest, ExpiredBudgetRefusedWithoutInvokingHandler) {
+  Transport transport;
+  RpcServer server(transport, "server", RpcServer::Options{});
+  std::atomic<int> handler_ran{0};
+  server.register_method("work", [&](const Envelope&) {
+    handler_ran.fetch_add(1);
+    return Envelope{};
+  });
+  server.start();
+  RpcClient client(transport, "client");
+  Envelope req;
+  req.method = "work";
+  put_budget(req, runtime::Duration{0});  // caller's patience already spent
+  auto r = client.call("server", std::move(req), kTimeout);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().is_error());
+  EXPECT_EQ(r.value().get("error.code"), "deadline-exceeded");
+  EXPECT_EQ(r.value().get("shed.by"), "rpc-server");
+  EXPECT_EQ(handler_ran.load(), 0)
+      << "expired work must be refused BEFORE the handler";
+  EXPECT_GE(server.expired(), 1u);
+}
+
+TEST(RpcOverloadTest, EnforcementCanBeDisabled) {
+  Transport transport;
+  RpcServer::Options options;
+  options.enforce_deadlines = false;
+  RpcServer server(transport, "server", options);
+  std::atomic<int> handler_ran{0};
+  server.register_method("work", [&](const Envelope&) {
+    handler_ran.fetch_add(1);
+    return Envelope{};
+  });
+  server.start();
+  RpcClient client(transport, "client");
+  Envelope req;
+  req.method = "work";
+  put_budget(req, runtime::Duration{0});
+  auto r = client.call("server", std::move(req), kTimeout);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().is_error());
+  EXPECT_EQ(handler_ran.load(), 1);
+  EXPECT_EQ(server.expired(), 0u);
+}
+
+TEST(RpcOverloadTest, GenerousBudgetAndPriorityReachTheHandler) {
+  Transport transport;
+  RpcServer server(transport, "server", RpcServer::Options{});
+  std::optional<runtime::Duration> seen_budget;
+  int seen_priority = -1;
+  server.register_method("work", [&](const Envelope& request) {
+    seen_budget = budget_of(request);
+    seen_priority = priority_of(request);
+    return Envelope{};
+  });
+  server.start();
+  RpcClient client(transport, "client");
+  Envelope req;
+  req.method = "work";
+  put_budget(req, std::chrono::seconds(5));
+  put_priority(req, 7);
+  auto r = client.call("server", std::move(req), kTimeout);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().is_error());
+  ASSERT_TRUE(seen_budget.has_value());
+  EXPECT_EQ(*seen_budget, std::chrono::seconds(5));
+  EXPECT_EQ(seen_priority, 7);
+  EXPECT_EQ(server.expired(), 0u);
+}
+
+TEST(RpcOverloadTest, FullDispatchQueueAnswersOverloaded) {
+  Transport transport;
+  RpcServer::Options options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  RpcServer server(transport, "server", options);
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  server.register_method("work", [&](const Envelope&) {
+    entered.store(true);
+    while (!release.load()) std::this_thread::yield();
+    return Envelope{};
+  });
+  server.start();
+
+  std::atomic<int> ok_replies{0};
+  std::atomic<int> overloaded_replies{0};
+  auto call_work = [&](const std::string& name, runtime::Duration timeout) {
+    RpcClient c(transport, name);
+    Envelope req;
+    req.method = "work";
+    auto r = c.call("server", std::move(req), timeout);
+    if (!r.ok()) return;  // probe parked in the queue and timed out
+    if (!r.value().is_error()) {
+      ok_replies.fetch_add(1);
+    } else if (r.value().get("error.code") == "overloaded") {
+      EXPECT_EQ(r.value().get("shed.by"), "rpc-server");
+      EXPECT_EQ(r.value().get("shed.reason"), "queue-full");
+      overloaded_replies.fetch_add(1);
+    }
+  };
+
+  std::jthread occupier(
+      [&] { call_work("occupier", kTimeout); });  // holds the worker
+  while (!entered.load()) std::this_thread::yield();
+  std::jthread queued(
+      [&] { call_work("queued", kTimeout); });  // fills the 1-slot queue
+  // Probe until SOME request is refused — whichever of `queued` or a probe
+  // wins the single queue slot, the loser must get a structured refusal,
+  // never silence.
+  int probe = 0;
+  while (server.rejected() == 0) {
+    call_work("probe-" + std::to_string(probe++),
+              std::chrono::milliseconds(100));
+  }
+  release.store(true);
+  occupier.join();
+  queued.join();
+  EXPECT_GE(server.rejected(), 1u);
+  EXPECT_GE(overloaded_replies.load(), 1)
+      << "a refused caller must see the overloaded reply";
+  EXPECT_GE(ok_replies.load(), 1) << "accepted requests still complete";
+}
+
+TEST(RpcOverloadTest, ApplyContextMapsHeadersOntoCallBuilder) {
+  struct FakeBuilder {
+    int priority_seen = -1;
+    std::optional<runtime::Duration> within_seen;
+    FakeBuilder& priority(int p) {
+      priority_seen = p;
+      return *this;
+    }
+    FakeBuilder& within(runtime::Duration d) {
+      within_seen = d;
+      return *this;
+    }
+  };
+  Envelope req;
+  put_budget(req, std::chrono::milliseconds(250));
+  put_priority(req, 3);
+  FakeBuilder call;
+  apply_context(req, call);
+  EXPECT_EQ(call.priority_seen, 3);
+  ASSERT_TRUE(call.within_seen.has_value());
+  EXPECT_EQ(*call.within_seen, std::chrono::milliseconds(250));
+
+  Envelope bare;
+  FakeBuilder untouched;
+  apply_context(bare, untouched);
+  EXPECT_EQ(untouched.priority_seen, 0) << "absent priority defaults to 0";
+  EXPECT_FALSE(untouched.within_seen.has_value())
+      << "absent budget must not invent a deadline";
 }
 
 }  // namespace
