@@ -1,0 +1,240 @@
+// E14 — Hot-path cost teardown (single thread).
+//
+// E1 reports the END-TO-END overhead of one moderated call; this bench
+// attributes it. Each series isolates one stage of the invocation
+// pipeline, so a regression (or an optimization claim) can be pinned to
+// the stage that moved:
+//
+//   context      — constructing one InvocationContext (id block + inline
+//                  note store; the per-call object)
+//   notes        — three set_note/note_view round trips on one context
+//                  (aspect communication cost)
+//   id           — runtime::next_invocation_id() alone (thread-local block
+//                  allocation; the shared counter is touched 1/256 calls)
+//   clock        — one runtime::fast_now() stamp (the admission timestamp)
+//   admission    — preactivation + postactivation on a bare moderator,
+//                  reusing one context (validation + completion, no proxy,
+//                  no body, no result packaging)
+//   fastpath     — full proxy.invoke with an empty chain (adds context
+//                  construction and result packaging = the E1 "bare" shape
+//                  for ONE method)
+//   observed2    — full proxy.invoke through two non-blocking aspects
+//                  (adds compiled guard/entry/postaction execution)
+//
+// Every series also reports `allocs_per_op`: global operator-new count per
+// iteration, measured inside the timed loop. The zero-allocation claim of
+// DESIGN.md §13 is the assertion that context, notes, id, clock, admission
+// and fastpath all report 0.0 in steady state.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "core/aspect.hpp"
+#include "core/moderator.hpp"
+#include "core/proxy.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/ids.hpp"
+
+// --- allocation counter ----------------------------------------------------
+// Counts every global operator new. Replacing these in the bench binary is
+// enough: the framework never calls malloc directly on the paths measured
+// here, and the replacement is process-wide.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+// GCC pattern-matches new/delete pairs through the inlined replacements
+// and objects to the malloc/free plumbing; the pairing here is exact
+// (every new maps to malloc-family, every delete to free).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (n + static_cast<std::size_t>(al) - 1) &
+                                       ~(static_cast<std::size_t>(al) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#pragma GCC diagnostic pop
+
+namespace {
+
+using namespace amf;
+
+// Books the allocations of the timed region into an `allocs_per_op`
+// counter. Construct after setup, call done() before counters are read.
+class AllocMeter {
+ public:
+  AllocMeter() : start_(g_allocs.load(std::memory_order_relaxed)) {}
+  void report(benchmark::State& state) const {
+    const auto total = g_allocs.load(std::memory_order_relaxed) - start_;
+    state.counters["allocs_per_op"] = benchmark::Counter(
+        static_cast<double>(total) /
+        static_cast<double>(state.iterations() ? state.iterations() : 1));
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+void BM_Stage_Context(benchmark::State& state) {
+  const auto method = runtime::MethodId::of("e14-ctx");
+  AllocMeter meter;
+  for (auto _ : state) {
+    core::InvocationContext ctx(method);
+    benchmark::DoNotOptimize(ctx.id());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  meter.report(state);
+}
+BENCHMARK(BM_Stage_Context);
+
+void BM_Stage_Notes(benchmark::State& state) {
+  const auto method = runtime::MethodId::of("e14-notes");
+  core::InvocationContext ctx(method);
+  AllocMeter meter;
+  for (auto _ : state) {
+    ctx.set_note("shed.by", "limiter");
+    ctx.set_note("vetoed.by", "auth");
+    ctx.set_note("blocked.by", "rw");
+    auto v = ctx.note_view("vetoed.by");
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 3);
+  meter.report(state);
+}
+BENCHMARK(BM_Stage_Notes);
+
+void BM_Stage_Id(benchmark::State& state) {
+  AllocMeter meter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::next_invocation_id());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  meter.report(state);
+}
+BENCHMARK(BM_Stage_Id);
+
+void BM_Stage_Clock(benchmark::State& state) {
+  const runtime::Clock& clock = runtime::RealClock::instance();
+  AllocMeter meter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::fast_now(clock));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  meter.report(state);
+}
+BENCHMARK(BM_Stage_Clock);
+
+void BM_Stage_Admission(benchmark::State& state) {
+  // Bare moderator, empty chain, one context per iteration but no proxy
+  // and no body: isolates admission validation + completion bookkeeping.
+  core::AspectModerator moderator;
+  const auto method = runtime::MethodId::of("e14-admit");
+  // Prime the thread-local moderation cache outside the timed region.
+  {
+    core::InvocationContext warm(method);
+    (void)moderator.preactivation(warm);
+    moderator.postactivation(warm);
+  }
+  AllocMeter meter;
+  for (auto _ : state) {
+    core::InvocationContext ctx(method);
+    if (moderator.preactivation(ctx) == core::Decision::kResume) {
+      moderator.postactivation(ctx);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["fast_admissions"] =
+      static_cast<double>(moderator.fast_admissions());
+  state.counters["fast_completions"] =
+      static_cast<double>(moderator.fast_completions());
+  meter.report(state);
+}
+BENCHMARK(BM_Stage_Admission);
+
+struct NullComponent {
+  int poke() { return 42; }
+};
+
+void BM_Stage_FastPathEmpty(benchmark::State& state) {
+  core::ComponentProxy<NullComponent> proxy{NullComponent{}};
+  const auto method = runtime::MethodId::of("e14-fast");
+  (void)proxy.invoke(method, [](NullComponent& c) { return c.poke(); });
+  AllocMeter meter;
+  for (auto _ : state) {
+    auto r = proxy.invoke(method, [](NullComponent& c) { return c.poke(); });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["fast_admissions"] =
+      static_cast<double>(proxy.moderator().fast_admissions());
+  meter.report(state);
+}
+BENCHMARK(BM_Stage_FastPathEmpty);
+
+void BM_Stage_Observed2(benchmark::State& state) {
+  core::ComponentProxy<NullComponent> proxy{NullComponent{}};
+  const auto method = runtime::MethodId::of("e14-observed");
+  std::atomic<std::uint64_t> entries{0}, posts{0};
+  for (const char* kind : {"observe-a", "observe-b"}) {
+    auto observe = std::make_shared<core::LambdaAspect>(
+        kind,
+        [](core::InvocationContext&) { return core::Decision::kResume; },
+        [&entries](core::InvocationContext&) {
+          entries.fetch_add(1, std::memory_order_relaxed);
+        },
+        [&posts](core::InvocationContext&) {
+          posts.fetch_add(1, std::memory_order_relaxed);
+        });
+    observe->set_nonblocking(true);
+    proxy.moderator().register_aspect(method, runtime::AspectKind::of(kind),
+                                      observe);
+  }
+  (void)proxy.invoke(method, [](NullComponent& c) { return c.poke(); });
+  AllocMeter meter;
+  for (auto _ : state) {
+    auto r = proxy.invoke(method, [](NullComponent& c) { return c.poke(); });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["fast_admissions"] =
+      static_cast<double>(proxy.moderator().fast_admissions());
+  state.counters["fast_completions"] =
+      static_cast<double>(proxy.moderator().fast_completions());
+  meter.report(state);
+}
+BENCHMARK(BM_Stage_Observed2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

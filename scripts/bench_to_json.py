@@ -48,7 +48,8 @@ def compact(report):
             if key in ("threads", "read_pct", "methods", "fast_admissions",
                        "fast_completions", "shed", "offered", "completed",
                        "sheds", "timeouts", "final_limit", "refused",
-                       "rejected", "expired", "suppressed") \
+                       "rejected", "expired", "suppressed",
+                       "allocs_per_op") \
                     or key.endswith("_ns"):
                 entry[key] = round(float(value), 1)
         series.append(entry)

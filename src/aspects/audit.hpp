@@ -24,6 +24,10 @@ class AuditAspect final : public core::Aspect {
 
   std::string_view name() const override { return "audit"; }
 
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<AuditAspect>();
+  }
+
   /// Audit is an observer: losing trail entries from a broken sink beats
   /// refusing the traffic being audited, so repeated faults eject it.
   core::FaultPolicy fault_policy() const override {

@@ -24,6 +24,10 @@ class AuthenticationAspect final : public core::Aspect {
 
   std::string_view name() const override { return "authenticate"; }
 
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<AuthenticationAspect>();
+  }
+
   /// Stateless guard over a thread-safe CredentialStore that only ever
   /// RESUMEs or ABORTs: safe on the lock-free fast path.
   bool nonblocking(runtime::MethodId) const override { return true; }

@@ -28,6 +28,10 @@ class RoleAuthorizationAspect final : public core::Aspect {
 
   std::string_view name() const override { return "authorize"; }
 
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<RoleAuthorizationAspect>();
+  }
+
   /// Guard over an immutable-after-wiring role map that only RESUMEs or
   /// ABORTs: safe on the lock-free fast path.
   bool nonblocking(runtime::MethodId) const override { return true; }

@@ -43,6 +43,10 @@ class BulkheadAspect final : public core::Aspect {
 
   std::string_view name() const override { return "bulkhead"; }
 
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<BulkheadAspect>();
+  }
+
   core::Decision precondition(core::InvocationContext& ctx) override {
     const auto it = active_.find(classify_(ctx));
     const std::size_t active = it == active_.end() ? 0 : it->second;

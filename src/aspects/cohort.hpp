@@ -27,6 +27,10 @@ class CohortAspect final : public core::Aspect {
 
   std::string_view name() const override { return "cohort"; }
 
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<CohortAspect>();
+  }
+
   void on_arrive(core::InvocationContext& ctx) override {
     waiting_.insert(ctx.id());
     if (waiting_.size() >= n_) {

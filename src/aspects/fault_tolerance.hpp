@@ -37,6 +37,10 @@ class CircuitBreakerAspect final : public core::Aspect {
 
   std::string_view name() const override { return "circuit-breaker"; }
 
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<CircuitBreakerAspect>();
+  }
+
   core::Decision precondition(core::InvocationContext& ctx) override {
     if (state_ == State::kOpen) {
       if (clock_->now() < reopen_at_) {

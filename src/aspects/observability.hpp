@@ -29,6 +29,10 @@ class CounterAspect final : public core::Aspect {
 
   std::string_view name() const override { return "counter"; }
 
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<CounterAspect>();
+  }
+
   /// Instrumentation is expendable: a counter that keeps throwing should be
   /// ejected rather than abort (or crash) the traffic it merely observes.
   core::FaultPolicy fault_policy() const override {
@@ -78,6 +82,10 @@ class SamplingAspect final : public core::Aspect {
 
   std::string_view name() const override { return "sampling"; }
 
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<SamplingAspect>();
+  }
+
   /// Inherits the observer stance: the decorator exists to cheapen
   /// instrumentation, so a faulting inner aspect gets quarantined too.
   core::FaultPolicy fault_policy() const override {
@@ -116,7 +124,7 @@ class SamplingAspect final : public core::Aspect {
 
  private:
   bool sampled(const core::InvocationContext& ctx) const {
-    return ctx.note(note_key_).has_value();
+    return ctx.note_view(note_key_).has_value();
   }
 
   core::AspectPtr inner_;

@@ -122,6 +122,10 @@ class AdaptiveLimiterAspect final : public core::Aspect {
 
   std::string_view name() const override { return "adaptive-limiter"; }
 
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<AdaptiveLimiterAspect>();
+  }
+
   core::Decision precondition(core::InvocationContext& ctx) override {
     if (in_flight_ < static_cast<std::size_t>(limit_)) {
       return core::Decision::kResume;
@@ -161,7 +165,7 @@ class AdaptiveLimiterAspect final : public core::Aspect {
   }
 
   void on_cancel(core::InvocationContext& ctx) override {
-    if (ctx.note("shed.by") == std::string(name())) {
+    if (ctx.note_view("shed.by") == name()) {
       ++sheds_;
       if (shed_counter_) shed_counter_->add();
     }

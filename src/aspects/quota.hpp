@@ -41,6 +41,10 @@ class RateLimitAspect final : public core::Aspect {
 
   std::string_view name() const override { return "rate-limit"; }
 
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<RateLimitAspect>();
+  }
+
   core::Decision precondition(core::InvocationContext& ctx) override {
     // Refill is idempotent-by-time: recomputing on every evaluation is
     // safe, so doing it in the guard does not violate the no-state-commit

@@ -26,6 +26,10 @@ class FifoFairnessAspect final : public core::Aspect {
  public:
   std::string_view name() const override { return "fifo"; }
 
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<FifoFairnessAspect>();
+  }
+
   void on_arrive(core::InvocationContext& ctx) override {
     waiting_.insert(ctx.arrival_seq());
   }
@@ -54,6 +58,10 @@ class FifoFairnessAspect final : public core::Aspect {
 class PrioritySchedulingAspect final : public core::Aspect {
  public:
   std::string_view name() const override { return "priority"; }
+
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<PrioritySchedulingAspect>();
+  }
 
   void on_arrive(core::InvocationContext& ctx) override {
     waiting_.insert(key(ctx));

@@ -40,6 +40,10 @@ class MutualExclusionAspect final : public core::Aspect {
 
   std::string_view name() const override { return "mutex"; }
 
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<MutualExclusionAspect>();
+  }
+
   core::Decision precondition(core::InvocationContext& ctx) override {
     (void)ctx;
     return active_ < limit_ ? core::Decision::kResume : core::Decision::kBlock;
@@ -83,6 +87,10 @@ class ReadersWriterAspect final : public core::Aspect {
   void add_writer(runtime::MethodId method) { writers_.insert(method); }
 
   std::string_view name() const override { return "readers-writer"; }
+
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<ReadersWriterAspect>();
+  }
 
   /// Reader methods are the non-blocking side: their hooks touch only the
   /// atomic counters, so concurrent lock-free execution is safe, and the
@@ -191,6 +199,10 @@ class BoundedResourceAspect final : public core::Aspect {
 
   std::string_view name() const override {
     return role_ == Role::kProducer ? "sync-producer" : "sync-consumer";
+  }
+
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<BoundedResourceAspect>();
   }
 
   core::Decision precondition(core::InvocationContext& ctx) override {

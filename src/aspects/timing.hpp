@@ -28,6 +28,10 @@ class TimingAspect final : public core::Aspect {
 
   std::string_view name() const override { return "timing"; }
 
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<TimingAspect>();
+  }
+
   /// Observer writing into lock-free histograms; the only shared mutable
   /// state (the lookup cache) carries its own leaf mutex, so hooks are
   /// safe to run concurrently on the lock-free fast path.

@@ -28,12 +28,32 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <utility>
 
 #include "core/context.hpp"
 #include "core/decision.hpp"
 
 namespace amf::core {
+
+class Aspect;
+
+/// Pre-resolved hook table of one aspect, produced once at bank-publish
+/// time (see AspectBank::publish_locked) so the moderation hot path calls
+/// plain function pointers instead of virtual hooks. A null entry means
+/// "this aspect does not implement the hook" — the moderator skips it
+/// without any call at all, which is how hook-free positions of a chain
+/// become free at run time.
+struct CompiledHooks {
+  using GuardFn = Decision (*)(Aspect&, InvocationContext&);
+  using HookFn = void (*)(Aspect&, InvocationContext&);
+
+  GuardFn guard = nullptr;     // precondition(); null ⇒ always kResume
+  HookFn on_arrive = nullptr;  // null ⇒ no-op
+  HookFn entry = nullptr;
+  HookFn postaction = nullptr;
+  HookFn on_cancel = nullptr;
+};
 
 /// What the moderator's exception firewall does with an aspect whose hook
 /// throws (DESIGN.md §10). Faults are always contained per-invocation (a
@@ -124,7 +144,79 @@ class Aspect {
     (void)method;
     return false;
   }
+
+  /// Hook table the bank embeds in the method's compiled chain at publish
+  /// time. The default is fully conservative: every slot is populated with
+  /// a thunk that performs the normal virtual call, so overriding hooks
+  /// alone is always correct. Final aspect classes should instead return
+  /// `compiled_hooks_for<Self>()`, which devirtualizes each hook into a
+  /// direct call and drops the hooks the class does not override. Must be
+  /// consistent with the virtual hooks for the object's whole composed
+  /// lifetime (hook behavior fixed at construction, as all bundled aspects
+  /// do).
+  virtual CompiledHooks compile() const;
 };
+
+/// Devirtualized hook table for the final aspect class `D`: hooks that `D`
+/// overrides become direct (non-virtual) calls, hooks it inherits from
+/// Aspect are left null so the moderator skips them entirely. `D` must be
+/// final — the qualified calls would bypass overrides of a further-derived
+/// class.
+template <class D>
+CompiledHooks compiled_hooks_for() {
+  static_assert(std::is_base_of_v<Aspect, D>,
+                "compiled_hooks_for<D>: D must derive from Aspect");
+  static_assert(std::is_final_v<D>,
+                "compiled_hooks_for<D>: D must be final (qualified calls "
+                "bypass further overrides); non-final aspects should keep "
+                "the default Aspect::compile()");
+  CompiledHooks h;
+  // A hook is overridden iff taking its address through D yields a
+  // D-member pointer; inherited hooks keep the Aspect-member type.
+  if constexpr (!std::is_same_v<decltype(&D::precondition),
+                                Decision (Aspect::*)(InvocationContext&)>) {
+    h.guard = [](Aspect& a, InvocationContext& ctx) {
+      return static_cast<D&>(a).D::precondition(ctx);
+    };
+  }
+  if constexpr (!std::is_same_v<decltype(&D::on_arrive),
+                                void (Aspect::*)(InvocationContext&)>) {
+    h.on_arrive = [](Aspect& a, InvocationContext& ctx) {
+      static_cast<D&>(a).D::on_arrive(ctx);
+    };
+  }
+  if constexpr (!std::is_same_v<decltype(&D::entry),
+                                void (Aspect::*)(InvocationContext&)>) {
+    h.entry = [](Aspect& a, InvocationContext& ctx) {
+      static_cast<D&>(a).D::entry(ctx);
+    };
+  }
+  if constexpr (!std::is_same_v<decltype(&D::postaction),
+                                void (Aspect::*)(InvocationContext&)>) {
+    h.postaction = [](Aspect& a, InvocationContext& ctx) {
+      static_cast<D&>(a).D::postaction(ctx);
+    };
+  }
+  if constexpr (!std::is_same_v<decltype(&D::on_cancel),
+                                void (Aspect::*)(InvocationContext&)>) {
+    h.on_cancel = [](Aspect& a, InvocationContext& ctx) {
+      static_cast<D&>(a).D::on_cancel(ctx);
+    };
+  }
+  return h;
+}
+
+inline CompiledHooks Aspect::compile() const {
+  CompiledHooks h;
+  h.guard = [](Aspect& a, InvocationContext& ctx) {
+    return a.precondition(ctx);
+  };
+  h.on_arrive = [](Aspect& a, InvocationContext& ctx) { a.on_arrive(ctx); };
+  h.entry = [](Aspect& a, InvocationContext& ctx) { a.entry(ctx); };
+  h.postaction = [](Aspect& a, InvocationContext& ctx) { a.postaction(ctx); };
+  h.on_cancel = [](Aspect& a, InvocationContext& ctx) { a.on_cancel(ctx); };
+  return h;
+}
 
 /// Adapter building an aspect out of lambdas; heavily used by tests and by
 /// one-off concerns that do not merit a class.
@@ -171,6 +263,29 @@ class LambdaAspect final : public Aspect {
   LambdaAspect& set_nonblocking(bool nb) {
     nonblocking_ = nb;
     return *this;
+  }
+
+  /// Unset lambdas compile to null slots (skipped without a call); set ones
+  /// invoke the std::function directly, bypassing both the virtual hook and
+  /// its null check. on_arrive/on_cancel have no lambda parts — always null.
+  CompiledHooks compile() const override {
+    CompiledHooks h;
+    if (guard_) {
+      h.guard = [](Aspect& a, InvocationContext& ctx) {
+        return static_cast<LambdaAspect&>(a).guard_(ctx);
+      };
+    }
+    if (entry_) {
+      h.entry = [](Aspect& a, InvocationContext& ctx) {
+        static_cast<LambdaAspect&>(a).entry_(ctx);
+      };
+    }
+    if (post_) {
+      h.postaction = [](Aspect& a, InvocationContext& ctx) {
+        static_cast<LambdaAspect&>(a).post_(ctx);
+      };
+    }
+    return h;
   }
 
  private:

@@ -4,8 +4,35 @@
 
 namespace amf::core {
 
+namespace {
+// Flattens a published chain into its compiled execution plan. Each
+// aspect's hook table comes from its compile() override (devirtualized
+// thunks for final classes, generic virtual thunks otherwise); the
+// presence bits let the moderator skip whole phases no aspect implements.
+CompiledChain compile_chain(const AspectChain& chain) {
+  auto cc = std::make_shared<CompiledChainData>();
+  cc->source = chain;
+  cc->ops.reserve(chain->size());
+  for (const BankEntry& e : *chain) {
+    CompiledOp op;
+    op.aspect = e.aspect.get();
+    op.owner = &e.aspect;
+    op.hooks = e.aspect->compile();
+    cc->any_guard |= op.hooks.guard != nullptr;
+    cc->any_arrive |= op.hooks.on_arrive != nullptr;
+    cc->any_entry |= op.hooks.entry != nullptr;
+    cc->any_post |= op.hooks.postaction != nullptr;
+    cc->any_cancel |= op.hooks.on_cancel != nullptr;
+    cc->ops.push_back(op);
+  }
+  return cc;
+}
+}  // namespace
+
 const AspectChain AspectBank::kEmptyChain =
     std::make_shared<const std::vector<BankEntry>>();
+const CompiledChain AspectBank::kEmptyCompiled =
+    compile_chain(AspectBank::kEmptyChain);
 
 void AspectBank::set_kind_order(std::vector<runtime::AspectKind> order) {
   {
@@ -107,6 +134,12 @@ AspectChain AspectBank::chain(runtime::MethodId method) const {
   return it == snap->chains.end() ? kEmptyChain : it->second;
 }
 
+CompiledChain AspectBank::compiled_chain(runtime::MethodId method) const {
+  const auto snap = snapshot();
+  auto it = snap->compiled.find(method);
+  return it == snap->compiled.end() ? kEmptyCompiled : it->second;
+}
+
 LockGroup AspectBank::lock_group(runtime::MethodId method) const {
   const auto snap = snapshot();
   auto it = snap->groups.find(method);
@@ -114,7 +147,8 @@ LockGroup AspectBank::lock_group(runtime::MethodId method) const {
 }
 
 void AspectBank::snapshot_for(runtime::MethodId method, AspectChain* chain,
-                              LockGroup* group, bool* nonblocking) const {
+                              LockGroup* group, bool* nonblocking,
+                              CompiledChain* compiled) const {
   const auto snap = snapshot();
   auto ct = snap->chains.find(method);
   *chain = ct == snap->chains.end() ? kEmptyChain : ct->second;
@@ -124,6 +158,10 @@ void AspectBank::snapshot_for(runtime::MethodId method, AspectChain* chain,
     // No chain ⇒ trivially non-blocking (nothing can block or be raced).
     *nonblocking =
         ct == snap->chains.end() || snap->nonblocking.contains(method);
+  }
+  if (compiled != nullptr) {
+    auto pt = snap->compiled.find(method);
+    *compiled = pt == snap->compiled.end() ? kEmptyCompiled : pt->second;
   }
 }
 
@@ -247,7 +285,11 @@ void AspectBank::publish_locked() {
       }
     }
     if (all_nonblocking) next->nonblocking.insert(method);
-    next->chains[method] = AspectChain(std::move(chain));
+    AspectChain published(std::move(chain));
+    // Compose-time compilation: resolve every hook thunk now so no
+    // invocation ever pays for it (Pluggable-AOP's "pay at composition").
+    next->compiled[method] = compile_chain(published);
+    next->chains[method] = std::move(published);
   }
 
   // Lock groups: invert the bank into aspect-object → holder methods, then

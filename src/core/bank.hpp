@@ -40,6 +40,36 @@ struct BankEntry {
 /// Immutable snapshot of a method's ordered aspect chain.
 using AspectChain = std::shared_ptr<const std::vector<BankEntry>>;
 
+/// One position of a compiled chain: the aspect, its publish-time-resolved
+/// hook table, and a pointer back to the owning cell (the fault firewall
+/// books faults against the shared_ptr; it points into `source` below, so
+/// it stays valid as long as the compiled chain does).
+struct CompiledOp {
+  Aspect* aspect = nullptr;
+  const AspectPtr* owner = nullptr;
+  CompiledHooks hooks;
+};
+
+/// Flat execution plan of one method's chain, built once per publish
+/// (compose-time, not per dispatch): a contiguous op array in kind order
+/// plus per-phase presence bits, so the moderation hot path iterates a
+/// plain array of function pointers — no shared_ptr chasing, no virtual
+/// dispatch for aspects that compiled devirtualized thunks, and whole
+/// phases skipped when no composed aspect implements them.
+struct CompiledChainData {
+  AspectChain source;           // pins the entries `owner` points into
+  std::vector<CompiledOp> ops;  // kind order; postactions run in reverse
+  bool any_guard = false;
+  bool any_arrive = false;
+  bool any_entry = false;
+  bool any_post = false;
+  bool any_cancel = false;
+};
+
+/// Immutable, shareable compiled chain (same publish lifetime as the
+/// AspectChain it was built from).
+using CompiledChain = std::shared_ptr<const CompiledChainData>;
+
 /// Immutable, sorted-by-id set of methods whose guard chains share at least
 /// one aspect OBJECT with the keyed method (the keyed method included).
 /// Evaluating one method's chain atomically requires exactly these methods'
@@ -97,6 +127,10 @@ class AspectBank {
   /// Snapshot of `method`'s chain in kind order (possibly empty).
   AspectChain chain(runtime::MethodId method) const;
 
+  /// The compiled execution plan of `method`'s published chain (possibly
+  /// the shared empty plan). Built at publish time; same epoch as chain().
+  CompiledChain compiled_chain(runtime::MethodId method) const;
+
   /// Composition epoch: bumps on every register/remove/set_kind_order.
   /// A caller holding a chain (or lock group) obtained at epoch E may keep
   /// using it without re-reading while `version() == E`.
@@ -112,9 +146,11 @@ class AspectBank {
   /// Fetches chain and lock group from ONE consistent snapshot (a single
   /// pointer copy); what preactivation uses per composition epoch. When
   /// `nonblocking` is non-null it receives the snapshot's classification of
-  /// the method's chain (see nonblocking()).
+  /// the method's chain (see nonblocking()); when `compiled` is non-null it
+  /// receives the same snapshot's compiled execution plan.
   void snapshot_for(runtime::MethodId method, AspectChain* chain,
-                    LockGroup* group, bool* nonblocking = nullptr) const;
+                    LockGroup* group, bool* nonblocking = nullptr,
+                    CompiledChain* compiled = nullptr) const;
 
   /// Whether `method`'s currently published chain is classified
   /// *non-blocking*: every composed aspect (after quarantine exclusion)
@@ -158,6 +194,9 @@ class AspectBank {
   /// wholesale under mu_ on every mutation and swapped in atomically.
   struct Composition {
     std::unordered_map<runtime::MethodId, AspectChain> chains;
+    // Parallel to `chains`: the flat compiled execution plan of each chain
+    // (hook thunks resolved at publish, per-phase presence bits).
+    std::unordered_map<runtime::MethodId, CompiledChain> compiled;
     std::unordered_map<runtime::MethodId, LockGroup> groups;
     // Methods whose published chain is entirely non-blocking-capable
     // (methods with an empty/no chain are trivially non-blocking and are
@@ -191,6 +230,7 @@ class AspectBank {
       std::make_shared<const Composition>();
   std::atomic<std::uint64_t> version_{1};
   static const AspectChain kEmptyChain;
+  static const CompiledChain kEmptyCompiled;
 };
 
 }  // namespace amf::core

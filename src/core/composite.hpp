@@ -34,6 +34,10 @@ class CompositeAspect final : public Aspect {
 
   std::string_view name() const override { return name_; }
 
+  CompiledHooks compile() const override {
+    return compiled_hooks_for<CompositeAspect>();
+  }
+
   void on_arrive(InvocationContext& ctx) override {
     for (const auto& p : parts_) p->on_arrive(ctx);
   }
@@ -82,6 +86,10 @@ class ConditionalAspect final : public Aspect {
         name_(std::move(name)) {}
 
   std::string_view name() const override { return name_; }
+
+  CompiledHooks compile() const override {
+    return compiled_hooks_for<ConditionalAspect>();
+  }
 
   void on_arrive(InvocationContext& ctx) override {
     if (applies_(ctx)) inner_->on_arrive(ctx);

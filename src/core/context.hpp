@@ -4,18 +4,23 @@
 // The paper passes only a `methodID` string through the moderator; an open
 // system needs more (who is calling, with what priority, until when — §1's
 // open issues), so the context carries caller identity, priority, deadline
-// and a small note map through which aspects communicate.
+// and a small note store through which aspects communicate.
+//
+// The context is a hot-path object: one is constructed per moderated call.
+// Its design goal (DESIGN.md §13) is that constructing one and running it
+// through an uncontended fast-path invocation performs ZERO heap
+// allocations — ids come from thread-local blocks, notes live in inline
+// slots, and the moderator's admission bookkeeping is borrowed by raw
+// pointer instead of shared_ptr refcounts.
 #pragma once
 
-#include <atomic>
+#include <array>
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <stop_token>
 #include <string>
 #include <string_view>
-
-#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/decision.hpp"
@@ -28,14 +33,93 @@ namespace amf::core {
 
 struct BankEntry;  // core/bank.hpp
 
+/// Small-buffer key/value store for invocation notes. The first
+/// `kInlineSlots` distinct keys live inline in the context (no container
+/// node, no rehash); later keys spill to a heap vector. Values are
+/// std::string, so short keys and values ("shed.by", an aspect name)
+/// additionally fit the string's own small-buffer storage and the common
+/// set/read cycle never touches the heap at all. Lookup is a linear
+/// string_view comparison — no std::string temporary is ever built to
+/// probe (the note maps stay tiny; aspects pass a handful of facts, not
+/// documents). Insertion order is preserved: inline slots first, then the
+/// spill, and overwriting a key keeps its position.
+class NoteStore {
+ public:
+  static constexpr std::size_t kInlineSlots = 4;
+
+  /// Inserts or overwrites `key`. Returns nothing; never fails (spills to
+  /// the heap past the inline capacity).
+  void set(std::string_view key, std::string_view value) {
+    if (std::string* v = find_mutable(key)) {
+      v->assign(value.data(), value.size());
+      return;
+    }
+    if (inline_used_ < kInlineSlots) {
+      Slot& s = inline_[inline_used_];
+      s.key.assign(key.data(), key.size());
+      s.value.assign(value.data(), value.size());
+      ++inline_used_;
+      return;
+    }
+    spill_.emplace_back(Slot{std::string(key), std::string(value)});
+  }
+
+  /// The stored value for `key`, or nullptr. The pointer (and any view of
+  /// it) stays valid until the note is overwritten or the store dies.
+  const std::string* find(std::string_view key) const {
+    for (std::size_t i = 0; i < inline_used_; ++i) {
+      if (inline_[i].key == key) return &inline_[i].value;
+    }
+    for (const Slot& s : spill_) {
+      if (s.key == key) return &s.value;
+    }
+    return nullptr;
+  }
+
+  std::size_t size() const { return inline_used_ + spill_.size(); }
+  bool empty() const { return size() == 0; }
+
+  /// Visits every note in insertion order (inline slots, then spill).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < inline_used_; ++i) {
+      f(std::string_view(inline_[i].key), std::string_view(inline_[i].value));
+    }
+    for (const Slot& s : spill_) {
+      f(std::string_view(s.key), std::string_view(s.value));
+    }
+  }
+
+ private:
+  struct Slot {
+    std::string key;
+    std::string value;
+  };
+
+  std::string* find_mutable(std::string_view key) {
+    for (std::size_t i = 0; i < inline_used_; ++i) {
+      if (inline_[i].key == key) return &inline_[i].value;
+    }
+    for (Slot& s : spill_) {
+      if (s.key == key) return &s.value;
+    }
+    return nullptr;
+  }
+
+  std::array<Slot, kInlineSlots> inline_{};
+  std::size_t inline_used_ = 0;
+  std::vector<Slot> spill_;
+};
+
 /// Per-invocation state threaded through preactivation → body →
 /// postactivation. Created by the proxy (or directly in tests), mutated by
 /// the moderator and by aspects.
 class InvocationContext {
  public:
-  /// Creates a context for a call to `method` with a process-unique id.
+  /// Creates a context for a call to `method` with a process-unique id
+  /// (allocated from a thread-local block — see runtime::next_invocation_id).
   explicit InvocationContext(runtime::MethodId method)
-      : id_(next_id()), method_(method) {}
+      : id_(runtime::next_invocation_id()), method_(method) {}
 
   /// Process-unique invocation id (used to correlate log events).
   std::uint64_t id() const { return id_; }
@@ -63,8 +147,11 @@ class InvocationContext {
 
   // --- fields maintained by the moderator -------------------------------
 
-  /// Global arrival order among invocations at the same moderator
-  /// (assigned at preactivation entry; basis for FIFO scheduling).
+  /// Global arrival order among invocations at the same moderator (basis
+  /// for FIFO scheduling). Assigned when the invocation first reaches a
+  /// scheduling-relevant path; hook-free fast-path invocations skip the
+  /// shared arrival counter entirely and keep seq 0 (nothing can observe
+  /// an order among calls that run no hooks).
   std::uint64_t arrival_seq() const { return arrival_seq_; }
   void set_arrival_seq(std::uint64_t s) { arrival_seq_ = s; }
 
@@ -90,14 +177,18 @@ class InvocationContext {
   }
   void set_abort_error(runtime::Error e) { abort_error_ = std::move(e); }
 
-  /// The aspect chain this invocation was admitted under. Set by the
-  /// moderator at admission so postactivation pairs exactly with the
-  /// entries that ran, even if the bank is reconfigured mid-call.
-  const std::shared_ptr<const std::vector<BankEntry>>& admitted_chain() const {
+  /// The aspect chain this invocation was admitted under, BORROWED from the
+  /// moderator's admission record (no refcount traffic on the hot path).
+  /// Set at admission so postactivation pairs exactly with the entries that
+  /// ran, even if the bank is reconfigured mid-call. Valid from admission
+  /// until postactivation returns — the moderator's thread-local record
+  /// cache defers reclamation while this thread holds an open span; do not
+  /// read it after the invocation completes.
+  const std::vector<BankEntry>* admitted_chain() const {
     return admitted_chain_;
   }
-  void set_admitted_chain(std::shared_ptr<const std::vector<BankEntry>> c) {
-    admitted_chain_ = std::move(c);
+  void set_admitted_chain(const std::vector<BankEntry>* c) {
+    admitted_chain_ = c;
   }
 
   /// Recomposition-barrier parity of the span opened at admission
@@ -107,35 +198,40 @@ class InvocationContext {
 
   /// Opaque moderator-owned hint (the Moderation record preactivation
   /// resolved) handed back at postactivation to skip a registry lookup.
-  /// The moderator revalidates it — a stale hint is never trusted.
-  const std::shared_ptr<const void>& moderation_hint() const {
-    return moderation_hint_;
-  }
-  void set_moderation_hint(std::shared_ptr<const void> h) {
-    moderation_hint_ = std::move(h);
-  }
+  /// Borrowed, same lifetime contract as admitted_chain(); the moderator
+  /// revalidates it — a stale hint is never trusted.
+  const void* moderation_hint() const { return moderation_hint_; }
+  void set_moderation_hint(const void* h) { moderation_hint_ = h; }
 
   // --- free-form notes ---------------------------------------------------
 
   /// Attaches/overwrites a note. Aspects use notes to pass facts down the
   /// chain (e.g. authentication stores the resolved principal name).
   void set_note(std::string_view key, std::string_view value) {
-    notes_[std::string(key)] = std::string(value);
+    notes_.set(key, value);
   }
 
-  /// Reads a note if present.
+  /// Reads a note if present, as an owned copy (compatibility accessor —
+  /// prefer note_view() anywhere the copy is not kept).
   std::optional<std::string> note(std::string_view key) const {
-    auto it = notes_.find(std::string(key));
-    if (it == notes_.end()) return std::nullopt;
-    return it->second;
+    const std::string* v = notes_.find(key);
+    if (v == nullptr) return std::nullopt;
+    return *v;
   }
+
+  /// Reads a note if present, without copying: the view points into the
+  /// store and stays valid until that note is overwritten or the context
+  /// dies. The hot-path accessor — reading a note never allocates.
+  std::optional<std::string_view> note_view(std::string_view key) const {
+    const std::string* v = notes_.find(key);
+    if (v == nullptr) return std::nullopt;
+    return std::string_view(*v);
+  }
+
+  /// The note store itself (iteration, tests).
+  const NoteStore& notes() const { return notes_; }
 
  private:
-  static std::uint64_t next_id() {
-    static std::atomic<std::uint64_t> counter{1};
-    return counter.fetch_add(1, std::memory_order_relaxed);
-  }
-
   std::uint64_t id_;
   runtime::MethodId method_;
   runtime::Principal principal_ = runtime::Principal::anonymous();
@@ -150,9 +246,9 @@ class InvocationContext {
   bool body_succeeded_ = false;
   int span_parity_ = -1;
   std::optional<runtime::Error> abort_error_;
-  std::shared_ptr<const std::vector<BankEntry>> admitted_chain_;
-  std::shared_ptr<const void> moderation_hint_;
-  std::map<std::string, std::string> notes_;
+  const std::vector<BankEntry>* admitted_chain_ = nullptr;
+  const void* moderation_hint_ = nullptr;
+  NoteStore notes_;
 };
 
 }  // namespace amf::core

@@ -42,13 +42,38 @@ TlSpanCount* tl_find(const void* moderator) {
   return nullptr;
 }
 
-std::string join_chain_names(const std::vector<BankEntry>& chain) {
+std::string join_chain_names(const CompiledChainData& cc) {
   std::string out;
-  for (const auto& e : chain) {
+  for (const CompiledOp& op : cc.ops) {
     if (!out.empty()) out += " < ";
-    out += e.aspect->name();
+    out += op.aspect->name();
   }
   return out;
+}
+
+// Deferred reclamation for displaced Moderation records. The fast path
+// stows RAW borrows of the thread-local cache's records in the invocation
+// context (admission → postactivation, always on one thread). A nested
+// moderated call from the body may displace the borrowed record from its
+// cache slot mid-flight; destroying it there would dangle the outer
+// invocation's borrow. Displaced records are therefore parked here and
+// only reclaimed when this thread holds no open span of ANY moderator —
+// an open span is exactly the signature of a live borrow.
+std::vector<std::shared_ptr<const void>>& tl_graveyard() {
+  static thread_local std::vector<std::shared_ptr<const void>> graveyard;
+  return graveyard;
+}
+
+// Parks (or, when no borrow can exist, destroys) a record displaced from
+// this thread's moderation cache. tl_span_counts() entries are pruned at
+// zero, so an empty vector means no open span on this thread: nothing can
+// be borrowing parked records, and the whole graveyard drains.
+void tl_park(std::shared_ptr<const void> displaced) {
+  if (tl_span_counts().empty()) {
+    tl_graveyard().clear();
+    return;  // `displaced` dies here — no span, no live borrow
+  }
+  tl_graveyard().push_back(std::move(displaced));
 }
 
 // Process-unique moderator identity (thread-local cache key): a destroyed
@@ -66,6 +91,7 @@ constexpr std::size_t kTlModerationCap = 32;
 
 AspectModerator::AspectModerator(ModeratorOptions options)
     : clock_(options.clock),
+      clock_real_(options.clock == &runtime::RealClock::instance()),
       log_(options.log),
       fault_(options.fault),
       watchdog_(options.watchdog),
@@ -74,6 +100,7 @@ AspectModerator::AspectModerator(ModeratorOptions options)
     fault_counter_ = &options.metrics->counter("moderator.aspect_faults");
     quarantine_counter_ = &options.metrics->counter("moderator.quarantines");
     stall_counter_ = &options.metrics->counter("moderator.stalls");
+    latency_hist_ = &options.metrics->histogram("moderator.invocation_ns");
   }
   // Every bank mutation quiesces in-flight moderation of the old
   // composition before returning to the mutator (closes the
@@ -107,9 +134,12 @@ AspectModerator::AspectModerator(ModeratorOptions options)
 AspectModerator::~AspectModerator() = default;
 
 Decision AspectModerator::preactivation(InvocationContext& ctx) {
-  ctx.set_arrival_seq(
-      arrival_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
-  ctx.set_enqueued_at(clock_->now());
+  // The enqueue stamp is LAZY: hook-free fast admissions skip the clock
+  // read entirely (no aspect exists to observe the timestamp, and the
+  // fast path's wait_time is zero by construction) unless this call is
+  // one of the 1-in-16 the latency sample keeps honest. Hook-bearing and
+  // slow-path admissions always stamp — TimingAspect and the overload
+  // family read enqueued_at/admitted_at.
   log_event("preactivation", ctx);
 
   // Aspects that already received on_arrive for this invocation — persists
@@ -119,9 +149,19 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
   // Optimistic fast path: one lock-free attempt before any mutex. Falls
   // through to the slow loop on ineligibility, validation failure, or a
   // kBlock verdict (on_arrive hooks that fired carry over via `arrived`).
+  // Hook-bearing fast admissions draw their arrival_seq inside the
+  // attempt; hook-free ones skip the shared counter entirely.
   {
     Decision fast{};
     if (try_fast_admission(ctx, arrived, &fast)) return fast;
+  }
+
+  if (ctx.enqueued_at() == runtime::TimePoint{}) {
+    ctx.set_enqueued_at(now_fast());
+  }
+  if (ctx.arrival_seq() == 0) {
+    ctx.set_arrival_seq(
+        arrival_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
   }
 
   // Each outer iteration evaluates against one composition epoch. A bank
@@ -136,10 +176,12 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
     // Thread-local lookup: the fast attempt above primed this thread's
     // cache, so the common (no-recompose) iteration resolves the record
     // without touching the registry lock.
+    // Owning copy: the slow path sleeps with this record in hand, and the
+    // cache slot it came from may be displaced while we do.
     const std::shared_ptr<const Moderation> mod =
         cached_moderation(ctx.method());
     const std::uint64_t epoch = mod->epoch;
-    const AspectChain& chain = mod->chain;
+    const CompiledChainData& cc = *mod->compiled;
     MethodState& ms = *mod->self;
 
     // Watchdog record of the current blocked episode, if any.
@@ -155,11 +197,13 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
           std::is_same_v<std::remove_reference_t<decltype(cv)>,
                          std::condition_variable_any>;
 
-      for (const auto& e : *chain) {
-        if (std::find(arrived.begin(), arrived.end(), e.aspect.get()) ==
-            arrived.end()) {
-          guarded_on_arrive(e, ctx);
-          arrived.push_back(e.aspect.get());
+      if (cc.any_arrive) {
+        for (const CompiledOp& op : cc.ops) {
+          if (std::find(arrived.begin(), arrived.end(), op.aspect) ==
+              arrived.end()) {
+            guarded_on_arrive(op, ctx);
+            arrived.push_back(op.aspect);
+          }
         }
       }
 
@@ -193,7 +237,7 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
           recompose = true;
           return true;
         }
-        verdict = evaluate_chain_under_locks(*chain, ctx);
+        verdict = evaluate_chain_under_locks(cc, ctx);
         if (verdict == Decision::kBlock) ctx.note_blocked();
         return verdict != Decision::kBlock;
       };
@@ -214,8 +258,9 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
           stall_rec->method = ctx.method();
           stall_rec->blocked_since = clock_->now();
           stall_rec->deadline = ctx.deadline();
-          stall_rec->chain = join_chain_names(*chain);
-          stall_rec->blocked_by = ctx.note("blocked.by").value_or("?");
+          stall_rec->chain = join_chain_names(cc);
+          stall_rec->blocked_by =
+              std::string(ctx.note_view("blocked.by").value_or("?"));
           stall_rec->shard = &ms;
           register_stall_record(stall_rec);
         }
@@ -272,7 +317,7 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
         }
 
         if (!satisfied) {
-          guarded_on_cancel(chain, ctx);
+          guarded_on_cancel(cc, ctx);
           if (stop_requested) {
             ctx.set_abort_error(runtime::make_error(
                 ErrorCode::kCancelled, "stop requested while blocked"));
@@ -292,9 +337,10 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
       if (recompose) return Outcome::kRecompose;  // re-read chain and group
 
       if (verdict == Decision::kAbort) {
-        guarded_on_cancel(chain, ctx);
+        guarded_on_cancel(cc, ctx);
         if (!ctx.abort_error()) {
-          std::string by = ctx.note("vetoed.by").value_or("unknown aspect");
+          std::string by(
+              ctx.note_view("vetoed.by").value_or("unknown aspect"));
           ctx.set_abort_error(
               runtime::make_error(ErrorCode::kAborted, "vetoed by " + by));
         }
@@ -316,10 +362,12 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
       // admitted_at is stamped first so entry() hooks (e.g. timing) can
       // read it. Entry throws are contained (the admission stands — entry
       // and postaction stay paired); precondition throws never reach here.
-      ctx.set_admitted_at(clock_->now());
-      for (const auto& e : *chain) guarded_entry(e, ctx);
-      ctx.set_admitted_chain(chain);
-      ctx.set_moderation_hint(mod);
+      ctx.set_admitted_at(now_fast());
+      if (cc.any_entry || fault_ != nullptr) {
+        for (const CompiledOp& op : cc.ops) guarded_entry(op, ctx);
+      }
+      ctx.set_admitted_chain(mod->chain.get());
+      ctx.set_moderation_hint(mod.get());
       open_span(ctx, parity);
       ms.stats.admitted.fetch_add(1, std::memory_order_relaxed);
       log_event("admitted", ctx);
@@ -373,26 +421,36 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
   // Defensive: postactivation without a matching admission is a driver
   // bug (the proxy never does this). Running postactions for entries
   // that never happened would corrupt aspect state, so refuse and log.
-  if (ctx.admitted_at() == runtime::TimePoint{}) {
+  // Every admission (fast or locked) stows the moderation borrow, so its
+  // absence identifies the spurious call; admitted_at can't serve here —
+  // hook-free fast admissions legitimately skip the stamp.
+  if (ctx.moderation_hint() == nullptr) {
     log_event("spurious-postactivation", ctx);
     return;
   }
-  AspectChain chain = ctx.admitted_chain() ? ctx.admitted_chain()
-                                           : bank_.chain(ctx.method());
-
-  // Preactivation handed us its Moderation record (one cast; both the fast
-  // attempt and the locked fallback below reuse it).
-  std::shared_ptr<const Moderation> hinted =
-      std::static_pointer_cast<const Moderation>(ctx.moderation_hint());
+  // Preactivation stowed a raw borrow of the admission's Moderation record
+  // (kept alive through the open span: the thread-local record cache parks
+  // displaced records in a graveyard until this thread's spans all close).
+  const Moderation* admitted =
+      static_cast<const Moderation*>(ctx.moderation_hint());
 
   // Optimistic fast path: an invocation admitted under a fast-eligible
   // record tries to complete lock-free. Validation failure (a waiter
   // appeared, the composition or a plan moved, a barrier is draining)
   // falls through to the locked completion below, pinning included.
-  if (hinted && hinted->fast_eligible &&
-      try_fast_completion(hinted, chain, ctx)) {
+  if (admitted != nullptr && admitted->fast_eligible &&
+      try_fast_completion(*admitted, ctx)) {
     return;
   }
+
+  // Postactions run for the chain the invocation was ADMITTED under
+  // (strict G4 pairing), via its compiled plan. Without a hint (a context
+  // driven through postactivation outside the normal admission flow) fall
+  // back to the bank's current compiled chain.
+  CompiledChain fallback;
+  if (admitted == nullptr) fallback = bank_.compiled_chain(ctx.method());
+  const CompiledChainData& cc =
+      admitted != nullptr ? *admitted->compiled : *fallback;
 
   // If the record still describes the current composition we use it as-is;
   // if the bank recomposed mid-call we PIN it — the completion locks cover
@@ -400,9 +458,10 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
   // composition's completion set, so postactions of the admitted chain stay
   // atomic against both old sharing (what the entries synchronized with)
   // and new sharing (what concurrent evaluations lock now).
-  std::shared_ptr<const Moderation> pinned;
-  if (hinted && !moderation_valid(*hinted)) {
-    pinned = std::move(hinted);
+  const Moderation* hinted = admitted;
+  const Moderation* pinned = nullptr;
+  if (hinted != nullptr && !moderation_valid(*hinted)) {
+    pinned = hinted;
     hinted = nullptr;
   }
 
@@ -415,8 +474,14 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
   const bool dekker = dekker_arming_.load(std::memory_order_seq_cst);
 
   for (;;) {
-    const std::shared_ptr<const Moderation> mod =
-        hinted ? hinted : cached_moderation(ctx.method());
+    // Owning copy when re-resolving: postactions may re-enter the
+    // moderator (nested calls) and displace the cache slot under us.
+    std::shared_ptr<const Moderation> fresh;
+    const Moderation* mod = hinted;
+    if (mod == nullptr) {
+      fresh = cached_moderation(ctx.method());
+      mod = fresh.get();
+    }
     hinted = nullptr;  // a recompose loop must re-resolve
 
     if (mod->has_plan || (pinned && pinned->has_plan)) {
@@ -433,10 +498,10 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
           wake.push_back(m.completion_wake[i]);
         }
       };
-      const Moderation* stats_owner = mod.get();
+      const Moderation* stats_owner = mod;
       if (pinned) {
         append(*pinned);
-        stats_owner = pinned.get();
+        stats_owner = pinned;
       }
       append(*mod);
       if (pinned) {
@@ -472,8 +537,10 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
       {
         LockSet locks(shards.data(), shards.size());
         if (dekker) drain_fast_windows(shards.data(), shards.size());
-        for (auto it = chain->rbegin(); it != chain->rend(); ++it) {
-          guarded_postaction(*it, ctx);
+        if (cc.any_post || fault_ != nullptr) {
+          for (std::size_t i = cc.ops.size(); i-- > 0;) {
+            guarded_postaction(cc.ops[i], ctx);
+          }
         }
         stats_owner->self->stats.completed.fetch_add(
             1, std::memory_order_relaxed);
@@ -517,8 +584,10 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
         drain_fast_windows(mod->completion_shards.data(),
                            mod->completion_shards.size());
       }
-      for (auto it = chain->rbegin(); it != chain->rend(); ++it) {
-        guarded_postaction(*it, ctx);
+      if (cc.any_post || fault_ != nullptr) {
+        for (std::size_t i = cc.ops.size(); i-- > 0;) {
+          guarded_postaction(cc.ops[i], ctx);
+        }
       }
       (pinned ? pinned->self : mod->self)
           ->stats.completed.fetch_add(1, std::memory_order_relaxed);
@@ -537,6 +606,7 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
     break;
   }
 
+  sample_latency(ctx);
   exit_burst(parity);
   close_span(ctx);
   drain_quarantine();
@@ -689,50 +759,59 @@ void AspectModerator::drain_quarantine() {
   }
 }
 
-void AspectModerator::guarded_on_arrive(const BankEntry& e,
+void AspectModerator::guarded_on_arrive(const CompiledOp& op,
                                         InvocationContext& ctx) {
+  if (op.hooks.on_arrive == nullptr) return;
   try {
-    e.aspect->on_arrive(ctx);
+    op.hooks.on_arrive(*op.aspect, ctx);
   } catch (...) {
-    record_fault(e.aspect, "on_arrive", ctx);
+    record_fault(*op.owner, "on_arrive", ctx);
   }
 }
 
-void AspectModerator::guarded_on_cancel(const AspectChain& chain,
+void AspectModerator::guarded_on_cancel(const CompiledChainData& cc,
                                         InvocationContext& ctx) {
-  for (const auto& e : *chain) {
+  if (!cc.any_cancel) return;
+  for (const CompiledOp& op : cc.ops) {
+    if (op.hooks.on_cancel == nullptr) continue;
     try {
-      e.aspect->on_cancel(ctx);
+      op.hooks.on_cancel(*op.aspect, ctx);
     } catch (...) {
-      record_fault(e.aspect, "on_cancel", ctx);
+      record_fault(*op.owner, "on_cancel", ctx);
     }
   }
 }
 
-void AspectModerator::guarded_entry(const BankEntry& e,
+void AspectModerator::guarded_entry(const CompiledOp& op,
                                     InvocationContext& ctx) {
-  try {
-    e.aspect->entry(ctx);
-  } catch (...) {
-    record_fault(e.aspect, "entry", ctx);
+  if (op.hooks.entry != nullptr) {
+    try {
+      op.hooks.entry(*op.aspect, ctx);
+    } catch (...) {
+      record_fault(*op.owner, "entry", ctx);
+    }
   }
   // Injected entry faults fire AFTER the real hook (a throw at its end):
   // the aspect's phase bookkeeping stays consistent either way, and the
-  // admission stands so entry ≺ postaction pairing is preserved.
+  // admission stands so entry ≺ postaction pairing is preserved. The
+  // injection point fires per op even when the hook slot is null, keeping
+  // the chaos schedule independent of which hooks a chain compiles.
   if (AMF_FAULT_FIRE(fault_, FaultPoint::kEntry)) {
-    record_fault(e.aspect, "entry", ctx);
+    record_fault(*op.owner, "entry", ctx);
   }
 }
 
-void AspectModerator::guarded_postaction(const BankEntry& e,
+void AspectModerator::guarded_postaction(const CompiledOp& op,
                                          InvocationContext& ctx) {
-  try {
-    e.aspect->postaction(ctx);
-  } catch (...) {
-    record_fault(e.aspect, "postaction", ctx);
+  if (op.hooks.postaction != nullptr) {
+    try {
+      op.hooks.postaction(*op.aspect, ctx);
+    } catch (...) {
+      record_fault(*op.owner, "postaction", ctx);
+    }
   }
   if (AMF_FAULT_FIRE(fault_, FaultPoint::kPostaction)) {
-    record_fault(e.aspect, "postaction", ctx);
+    record_fault(*op.owner, "postaction", ctx);
   }
 }
 
@@ -772,6 +851,10 @@ void AspectModerator::exit_burst(int parity) {
 void AspectModerator::open_span(InvocationContext& ctx, int parity) {
   spans_[static_cast<std::size_t>(parity)].fetch_add(
       1, std::memory_order_seq_cst);
+  adopt_span(ctx, parity);
+}
+
+void AspectModerator::adopt_span(InvocationContext& ctx, int parity) {
   TlSpanCount* e = tl_find(this);
   if (e == nullptr) {
     tl_span_counts().push_back(TlSpanCount{this, {0, 0}});
@@ -937,12 +1020,14 @@ AspectModerator::moderation_for(runtime::MethodId method) {
   AspectChain chain;
   LockGroup group;
   bool chain_nonblocking = false;
-  bank_.snapshot_for(method, &chain, &group, &chain_nonblocking);
+  CompiledChain compiled;
+  bank_.snapshot_for(method, &chain, &group, &chain_nonblocking, &compiled);
 
   auto mod = std::make_shared<Moderation>();
   mod->epoch = epoch;  // conservative: if the bank already moved past
                        // `epoch`, the next lookup simply rebuilds
   mod->chain = std::move(chain);
+  mod->compiled = std::move(compiled);
 
   std::unique_lock registry(registry_mu_);
   auto ensure = [&](runtime::MethodId id) -> MethodState* {
@@ -1031,7 +1116,7 @@ AspectModerator::moderation_for(runtime::MethodId method) {
 
 // --- optimistic fast path (DESIGN.md §11) ----------------------------------
 
-std::shared_ptr<const AspectModerator::Moderation>
+const std::shared_ptr<const AspectModerator::Moderation>&
 AspectModerator::cached_moderation(runtime::MethodId method) {
   struct TlEntry {
     std::uint64_t nonce;
@@ -1049,13 +1134,20 @@ AspectModerator::cached_moderation(runtime::MethodId method) {
          m.shard_rev == shard_rev_.load(std::memory_order_acquire))) {
       return e.mod;
     }
-    e.mod = moderation_for(method);
+    // Refresh in place; the stale record may still be borrowed raw by an
+    // in-flight invocation on this thread (nested call), so park it.
+    std::shared_ptr<const Moderation> rebuilt = moderation_for(method);
+    tl_park(std::move(e.mod));
+    e.mod = std::move(rebuilt);
     return e.mod;
   }
   auto mod = moderation_for(method);
-  if (cache.size() >= kTlModerationCap) cache.erase(cache.begin());
-  cache.push_back(TlEntry{nonce_, method, mod});
-  return mod;
+  if (cache.size() >= kTlModerationCap) {
+    tl_park(std::move(cache.front().mod));
+    cache.erase(cache.begin());
+  }
+  cache.push_back(TlEntry{nonce_, method, std::move(mod)});
+  return cache.back().mod;
 }
 
 void AspectModerator::lockers_add(MethodState* const* shards,
@@ -1094,27 +1186,41 @@ bool AspectModerator::try_fast_admission(InvocationContext& ctx,
   // belong to the slow path; a raised lockers count or a draining barrier
   // would fail validation anyway, so don't even open a window.
   if (shutdown_.load(std::memory_order_acquire)) return false;
-  const std::shared_ptr<const Moderation> mod =
+  // Borrowed from the cache's owning slot: nothing below displaces it
+  // (the hooks contract forbids calling back into the moderator), and the
+  // graveyard keeps the record alive once it is stowed in the context.
+  const std::shared_ptr<const Moderation>& mod =
       cached_moderation(ctx.method());
   if (!mod->fast_eligible) return false;
   MethodState* self = mod->self;
+  const CompiledChainData& cc = *mod->compiled;
   // Hook-free ops (empty chain) skip the whole Dekker handshake: they read
   // and write nothing an elevated slow section could be protecting, so
   // neither the lockers check nor a fast window is needed for them.
-  const bool hooked = !mod->chain->empty();
+  const bool hooked = !cc.ops.empty();
   if (hooked && self->lockers.load(std::memory_order_seq_cst) != 0) {
     return false;
   }
-  if ((gen_.load(std::memory_order_seq_cst) & 1) != 0) return false;
+  const std::uint64_t g = gen_.load(std::memory_order_seq_cst);
+  if ((g & 1) != 0) return false;
 
-  // Register the burst first (the barrier's quiescence wait covers every
-  // open fast window through it), then open the window, then validate.
-  const std::uint64_t g = enter_burst();
+  // Register the SPAN directly as this invocation's stake in the
+  // recomposition barrier — no separate burst. The seq_cst RMW totally
+  // orders us against a concurrent gen flip: either the draining barrier
+  // observes this span and waits, or the flip precedes the RMW and the
+  // gen re-read below fails validation (gen never returns to g), in which
+  // case the registration is undone. On admission the same increment
+  // simply BECOMES the invocation's span (adopt_span adds only the
+  // thread-local bookkeeping), so the whole admission costs one spans_
+  // RMW instead of burst-in, span-open, burst-out.
   const int parity = burst_parity(g);
-  if ((g & 1) != 0) {
-    exit_burst(parity);
-    return false;
-  }
+  spans_[static_cast<std::size_t>(parity)].fetch_add(
+      1, std::memory_order_seq_cst);
+  const auto undo_span = [&] {
+    spans_[static_cast<std::size_t>(parity)].fetch_sub(
+        1, std::memory_order_seq_cst);
+    if ((gen_.load(std::memory_order_seq_cst) & 1) != 0) signal_barrier();
+  };
   if (hooked) self->fast_windows.fetch_add(1, std::memory_order_seq_cst);
   const bool valid =
       (!hooked ||
@@ -1125,31 +1231,47 @@ bool AspectModerator::try_fast_admission(InvocationContext& ctx,
       !shutdown_.load(std::memory_order_acquire);
   if (!valid) {
     if (hooked) self->fast_windows.fetch_sub(1, std::memory_order_seq_cst);
-    exit_burst(parity);
+    undo_span();
     return false;
   }
 
-  const AspectChain& chain = mod->chain;
-  for (const auto& e : *chain) {
-    if (std::find(arrived.begin(), arrived.end(), e.aspect.get()) ==
-        arrived.end()) {
-      guarded_on_arrive(e, ctx);
-      arrived.push_back(e.aspect.get());
+  // Hook-bearing admissions draw a real arrival_seq (their hooks may
+  // observe ordering among invocations); hook-free ones skip the shared
+  // counter entirely — see InvocationContext::arrival_seq.
+  if (hooked && ctx.arrival_seq() == 0) {
+    ctx.set_arrival_seq(
+        arrival_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+  // Lazy enqueue stamp (see preactivation): hooks may read the
+  // timestamps, and 1 in 16 hook-free calls stamps anyway so the latency
+  // sample stays honest. The remaining 15/16 skip the clock read.
+  if ((hooked || (ctx.id() & 0xF) == 0) &&
+      ctx.enqueued_at() == runtime::TimePoint{}) {
+    ctx.set_enqueued_at(now_fast());
+  }
+
+  if (cc.any_arrive) {
+    for (const CompiledOp& op : cc.ops) {
+      if (std::find(arrived.begin(), arrived.end(), op.aspect) ==
+          arrived.end()) {
+        guarded_on_arrive(op, ctx);
+        arrived.push_back(op.aspect);
+      }
     }
   }
-  const Decision verdict = evaluate_chain_under_locks(*chain, ctx);
+  const Decision verdict = evaluate_chain_under_locks(cc, ctx);
   if (verdict == Decision::kBlock) {
     // Non-blocking classifies the chain's NORMAL operation; a guard may
     // still refuse (RW read side under an active writer). Parking and
     // waking is the slow path's job.
     if (hooked) self->fast_windows.fetch_sub(1, std::memory_order_seq_cst);
-    exit_burst(parity);
+    undo_span();
     return false;
   }
   if (verdict == Decision::kAbort) {
-    guarded_on_cancel(chain, ctx);
+    guarded_on_cancel(cc, ctx);
     if (!ctx.abort_error()) {
-      std::string by = ctx.note("vetoed.by").value_or("unknown aspect");
+      std::string by(ctx.note_view("vetoed.by").value_or("unknown aspect"));
       ctx.set_abort_error(
           runtime::make_error(ErrorCode::kAborted, "vetoed by " + by));
     }
@@ -1161,71 +1283,74 @@ bool AspectModerator::try_fast_admission(InvocationContext& ctx,
       log_event("abort", ctx);
     }
     if (hooked) self->fast_windows.fetch_sub(1, std::memory_order_seq_cst);
-    exit_burst(parity);
+    undo_span();
     drain_quarantine();
     *decision = Decision::kAbort;
     return true;
   }
 
   // Admission. The fast path never waited, so admitted_at == enqueued_at
-  // by construction (and one clock read is saved). The span opens while
-  // the burst is still registered: no instant exists where a barrier
-  // could drain between admission and span registration.
+  // by construction (and one clock read is saved). The provisional spans_
+  // increment becomes the invocation's span without another RMW.
   ctx.set_admitted_at(ctx.enqueued_at());
-  for (const auto& e : *chain) guarded_entry(e, ctx);
-  ctx.set_admitted_chain(chain);
-  ctx.set_moderation_hint(mod);
-  open_span(ctx, parity);
+  if (cc.any_entry || fault_ != nullptr) {
+    for (const CompiledOp& op : cc.ops) guarded_entry(op, ctx);
+  }
+  ctx.set_admitted_chain(mod->chain.get());
+  ctx.set_moderation_hint(mod.get());
+  adopt_span(ctx, parity);
   self->stats.admitted.fetch_add(1, std::memory_order_relaxed);
   fast_admissions_.fetch_add(1, std::memory_order_relaxed);
   log_event("admitted", ctx);
   if (hooked) self->fast_windows.fetch_sub(1, std::memory_order_seq_cst);
-  exit_burst(parity);
   *decision = Decision::kResume;
   return true;
 }
 
-bool AspectModerator::try_fast_completion(
-    const std::shared_ptr<const Moderation>& mod, const AspectChain& chain,
-    InvocationContext& ctx) {
-  MethodState* self = mod->self;
+bool AspectModerator::try_fast_completion(const Moderation& mod,
+                                          InvocationContext& ctx) {
+  MethodState* self = mod.self;
+  const CompiledChainData& cc = *mod.compiled;
   // Same hook-free shortcut as admission. The sleepers_ checks stay
   // UNCONDITIONAL: the no-notify argument below needs them even for empty
   // chains (skipping the broadcast is about waiters, not hooks).
-  const bool hooked = !chain->empty();
+  const bool hooked = !cc.ops.empty();
   if (hooked && self->lockers.load(std::memory_order_seq_cst) != 0) {
     return false;
   }
   if (sleepers_.load(std::memory_order_seq_cst) != 0) return false;
 
-  // The open span bypasses a draining barrier's gate, so enter_burst
-  // cannot park here; an odd gen still means "drain in progress" and the
-  // locked path should handle the completion.
-  const std::uint64_t g = enter_burst();
-  const int parity = burst_parity(g);
-  if ((g & 1) != 0) {
-    exit_burst(parity);
-    return false;
-  }
+  // NO burst registration: the admission span (still open, at the parity
+  // the invocation was admitted under) is itself the barrier stake. A
+  // barrier drains exactly one parity — ours — before gen can move twice,
+  // so while the span is open, gen is at most admission-gen + 1. Reading
+  // an EVEN gen here therefore proves no barrier has started draining us
+  // (odd = drain in progress → let the locked path complete); the bank
+  // epoch and plan-rev checks inside the window catch everything a
+  // completed barrier could have changed.
+  if ((gen_.load(std::memory_order_seq_cst) & 1) != 0) return false;
   if (hooked) self->fast_windows.fetch_add(1, std::memory_order_seq_cst);
   const bool valid =
       (!hooked ||
        self->lockers.load(std::memory_order_seq_cst) == 0) &&
       sleepers_.load(std::memory_order_seq_cst) == 0 &&
-      gen_.load(std::memory_order_seq_cst) == g && moderation_valid(*mod) &&
-      plan_rev_.load(std::memory_order_acquire) == mod->plan_rev;
+      (gen_.load(std::memory_order_seq_cst) & 1) == 0 &&
+      moderation_valid(mod) &&
+      plan_rev_.load(std::memory_order_acquire) == mod.plan_rev;
   if (!valid) {
     if (hooked) self->fast_windows.fetch_sub(1, std::memory_order_seq_cst);
-    exit_burst(parity);
     return false;
   }
 
-  for (auto it = chain->rbegin(); it != chain->rend(); ++it) {
-    guarded_postaction(*it, ctx);
+  if (cc.any_post || fault_ != nullptr) {
+    for (std::size_t i = cc.ops.size(); i-- > 0;) {
+      guarded_postaction(cc.ops[i], ctx);
+    }
   }
   self->stats.completed.fetch_add(1, std::memory_order_relaxed);
   fast_completions_.fetch_add(1, std::memory_order_relaxed);
   log_event("postactivation", ctx);
+  sample_latency(ctx);
   // No notify — justified on two axes, both validated inside the window:
   //  * lockers == 0: no slow section (including a sleeping waiter, which
   //    keeps its whole shard set elevated across the cv sleep) holds this
@@ -1239,62 +1364,65 @@ bool AspectModerator::try_fast_completion(
   //    the cv wait, past the full fence of its seq_cst increment.
   // Either way, nobody needs the wakeup.
   if (hooked) self->fast_windows.fetch_sub(1, std::memory_order_seq_cst);
-  exit_burst(parity);
   close_span(ctx);
   drain_quarantine();
   return true;
 }
 
 Decision AspectModerator::evaluate_chain_under_locks(
-    const std::vector<BankEntry>& chain, InvocationContext& ctx) {
-  for (const auto& e : chain) {
+    const CompiledChainData& cc, InvocationContext& ctx) {
+  // Guard-free chains admit without touching an op — unless a fault
+  // injector is armed: its kPrecondition schedule must see every position
+  // of every evaluated chain, exactly as before compilation.
+  if (!cc.any_guard && fault_ == nullptr) return Decision::kResume;
+  for (const CompiledOp& op : cc.ops) {
     Decision d = Decision::kResume;
     if (AMF_FAULT_FIRE(fault_, FaultPoint::kPrecondition)) {
       // Injected guard faults fire INSTEAD of the hook (preconditions are
       // pure, so skipping one is indistinguishable from it throwing on
       // entry). Structured abort, exactly like the catch path below.
-      record_fault(e.aspect, "precondition", ctx);
-      ctx.set_note("vetoed.by", e.aspect->name());
+      record_fault(*op.owner, "precondition", ctx);
+      ctx.set_note("vetoed.by", op.aspect->name());
       ctx.set_abort_error(runtime::make_error(
           ErrorCode::kAspectFault,
           "injected fault in precondition of '" +
-              std::string(e.aspect->name()) + "'"));
+              std::string(op.aspect->name()) + "'"));
       return Decision::kAbort;
     }
+    if (op.hooks.guard == nullptr) continue;  // no guard ⇒ always kResume
     try {
-      d = e.aspect->precondition(ctx);
+      d = op.hooks.guard(*op.aspect, ctx);
     } catch (const std::exception& ex) {
-      record_fault(e.aspect, "precondition", ctx);
-      ctx.set_note("vetoed.by", e.aspect->name());
+      record_fault(*op.owner, "precondition", ctx);
+      ctx.set_note("vetoed.by", op.aspect->name());
       ctx.set_abort_error(runtime::make_error(
           ErrorCode::kAspectFault,
-          "precondition of '" + std::string(e.aspect->name()) +
+          "precondition of '" + std::string(op.aspect->name()) +
               "' threw: " + ex.what()));
       return Decision::kAbort;
     } catch (...) {
-      record_fault(e.aspect, "precondition", ctx);
-      ctx.set_note("vetoed.by", e.aspect->name());
+      record_fault(*op.owner, "precondition", ctx);
+      ctx.set_note("vetoed.by", op.aspect->name());
       ctx.set_abort_error(runtime::make_error(
           ErrorCode::kAspectFault,
-          "precondition of '" + std::string(e.aspect->name()) +
+          "precondition of '" + std::string(op.aspect->name()) +
               "' threw a non-exception"));
       return Decision::kAbort;
     }
     if (d == Decision::kBlock) {
-      ctx.set_note("blocked.by", e.aspect->name());
+      ctx.set_note("blocked.by", op.aspect->name());
       return d;
     }
     if (d == Decision::kAbort) {
-      ctx.set_note("vetoed.by", e.aspect->name());
+      ctx.set_note("vetoed.by", op.aspect->name());
       return d;
     }
   }
   return Decision::kResume;
 }
 
-void AspectModerator::log_event(std::string_view message,
-                                const InvocationContext& ctx) {
-  if (log_ == nullptr) return;
+void AspectModerator::log_event_slow(std::string_view message,
+                                     const InvocationContext& ctx) {
   std::string msg(message);
   msg += ':';
   msg += ctx.method().name();

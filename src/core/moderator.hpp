@@ -95,7 +95,10 @@ struct ModeratorOptions {
   runtime::EventLog* log = nullptr;
   /// Optional metrics registry; when set, the moderator maintains
   /// "moderator.aspect_faults", "moderator.quarantines" and
-  /// "moderator.stalls" counters.
+  /// "moderator.stalls" counters plus a 1-in-16-sampled
+  /// "moderator.invocation_ns" admission→completion latency histogram
+  /// (sampling keeps the fast path at one clock read per call; sampled
+  /// completions pay a second).
   runtime::Registry* metrics = nullptr;
   /// Optional fault injector: arms throw-in-precondition /
   /// throw-in-entry / throw-in-postaction chaos in this moderator.
@@ -331,6 +334,9 @@ class AspectModerator {
     std::uint64_t shard_rev = 0;   // shard_rev_ this was built at
     std::uint64_t plan_rev = 0;    // plan_rev_ this was built at
     AspectChain chain;
+    // The bank's compiled execution plan of `chain` (same publish): flat
+    // op array + per-phase presence bits; what every hot loop iterates.
+    CompiledChain compiled;
     MethodState* self = nullptr;
     std::vector<MethodState*> eval_shards;        // sorted by id
     std::vector<MethodState*> completion_shards;  // sorted by id
@@ -358,11 +364,12 @@ class AspectModerator {
   // Requires the evaluating shard locks — or, on the optimistic fast
   // path, an open fast window whose validation excludes every locked
   // section covering this shard (the guards themselves are pure). First
-  // non-Resume verdict of the chain, with the vetoing/blocking aspect
-  // recorded in the context notes. A throwing (or injected-fault)
+  // non-Resume verdict of the compiled chain, with the vetoing/blocking
+  // aspect recorded in the context notes. A throwing (or injected-fault)
   // precondition yields kAbort with a kAspectFault error already set on
-  // the context.
-  Decision evaluate_chain_under_locks(const std::vector<BankEntry>& chain,
+  // the context. Guard-free chains return kResume without touching an op
+  // (unless a fault injector is armed — injection points still fire).
+  Decision evaluate_chain_under_locks(const CompiledChainData& cc,
                                       InvocationContext& ctx);
 
   // --- optimistic fast path (DESIGN.md §11) -----------------------------
@@ -378,18 +385,27 @@ class AspectModerator {
                           Decision* decision);
 
   // One lock-free completion attempt for an invocation admitted under the
-  // fast-eligible record `mod`. Runs the postactions of `chain` (the
-  // admitted chain) with no mutex and NO notify: validated lockers == 0
+  // fast-eligible record `mod`. Runs the admitted compiled chain's
+  // postactions with no mutex, NO burst registration (the span opened at
+  // admission already stakes the recomposition barrier — a drain of our
+  // parity cannot complete under us) and NO notify: validated lockers == 0
   // means no sleeping waiter anywhere holds this shard in its locked set,
   // and the nonblocking capability contract (bank-visible coupling only)
   // makes that set cover every guard these postactions could enable.
-  bool try_fast_completion(const std::shared_ptr<const Moderation>& mod,
-                           const AspectChain& chain, InvocationContext& ctx);
+  bool try_fast_completion(const Moderation& mod, InvocationContext& ctx);
 
   // Thread-local Moderation lookup for the fast path: avoids the shared
   // registry lock on cache hits. Entries are keyed by (instance nonce,
   // method) so a reused moderator address can never resurrect a record.
-  std::shared_ptr<const Moderation> cached_moderation(
+  //
+  // Returns a reference to the cache's OWNING slot — valid until this
+  // thread's next cached_moderation call (nested moderated calls included).
+  // The fast path borrows the record raw through it; records displaced
+  // from a slot are parked in a thread-local graveyard that is only
+  // reclaimed when the thread holds no open span, so a borrow stowed in a
+  // context at admission stays valid through postactivation even if the
+  // composition (and therefore the slot) changes mid-call.
+  const std::shared_ptr<const Moderation>& cached_moderation(
       runtime::MethodId method);
 
   // Slow-side half of the Dekker handshake (see MethodState::lockers).
@@ -401,7 +417,12 @@ class AspectModerator {
   // (non-blocking, short) hook chains already in flight.
   static void drain_fast_windows(MethodState* const* shards, std::size_t n);
 
-  void log_event(std::string_view message, const InvocationContext& ctx);
+  // The null check is inline so the common no-log configuration pays one
+  // predicted branch per site instead of a function call.
+  void log_event(std::string_view message, const InvocationContext& ctx) {
+    if (log_ != nullptr) log_event_slow(message, ctx);
+  }
+  void log_event_slow(std::string_view message, const InvocationContext& ctx);
 
   // --- exception firewall ----------------------------------------------
 
@@ -417,11 +438,14 @@ class AspectModerator {
   // their exits.
   void drain_quarantine();
 
-  // Contained hook invocations: a throw is recorded and swallowed.
-  void guarded_on_arrive(const BankEntry& e, InvocationContext& ctx);
-  void guarded_on_cancel(const AspectChain& chain, InvocationContext& ctx);
-  void guarded_entry(const BankEntry& e, InvocationContext& ctx);
-  void guarded_postaction(const BankEntry& e, InvocationContext& ctx);
+  // Contained hook invocations: a throw is recorded and swallowed. Null
+  // hook slots skip the call; entry/postaction still run their injection
+  // point (an injected fault after a no-op hook is indistinguishable from
+  // one after a skipped hook, and the chaos schedule stays deterministic).
+  void guarded_on_arrive(const CompiledOp& op, InvocationContext& ctx);
+  void guarded_on_cancel(const CompiledChainData& cc, InvocationContext& ctx);
+  void guarded_entry(const CompiledOp& op, InvocationContext& ctx);
+  void guarded_postaction(const CompiledOp& op, InvocationContext& ctx);
 
   // --- recomposition barrier (DESIGN.md §10) ----------------------------
   //
@@ -445,6 +469,10 @@ class AspectModerator {
   void exit_burst(int parity);
   // Span bookkeeping; parity is stowed in the context at admission.
   void open_span(InvocationContext& ctx, int parity);
+  // Thread-local half of open_span only: adopts a spans_ increment the
+  // caller already performed (fast admission registers the span
+  // provisionally as its barrier stake before validating).
+  void adopt_span(InvocationContext& ctx, int parity);
   void close_span(InvocationContext& ctx);
   // The barrier itself (bank recompose hook; also run on plan changes).
   void recompose_barrier();
@@ -475,6 +503,12 @@ class AspectModerator {
 
   AspectBank bank_;
   const runtime::Clock* clock_;
+  // Whether clock_ is the process RealClock — admission/completion stamps
+  // then read steady_clock directly instead of a virtual call.
+  const bool clock_real_;
+  runtime::TimePoint now_fast() const {
+    return clock_real_ ? std::chrono::steady_clock::now() : clock_->now();
+  }
   runtime::EventLog* log_;
   runtime::FaultInjector* fault_;
   const std::optional<WatchdogOptions> watchdog_;
@@ -482,6 +516,20 @@ class AspectModerator {
   runtime::Counter* fault_counter_ = nullptr;
   runtime::Counter* quarantine_counter_ = nullptr;
   runtime::Counter* stall_counter_ = nullptr;
+  // 1-in-16-sampled admission→completion latency (see ModeratorOptions).
+  runtime::Histogram* latency_hist_ = nullptr;
+  // Records the sampled completion latency; called at both completion
+  // paths. The sample gate is the invocation id's low bits, so the cost
+  // (a second clock read) is paid by one call in sixteen.
+  void sample_latency(const InvocationContext& ctx) {
+    if (latency_hist_ != nullptr && (ctx.id() & 0xF) == 0 &&
+        ctx.admitted_at() != runtime::TimePoint{}) {
+      latency_hist_->record(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now_fast() - ctx.admitted_at())
+              .count());
+    }
+  }
 
   // Firewall bookkeeping. fault_mu_ is a LEAF lock (taken under shard
   // locks); bank mutations never run under it.

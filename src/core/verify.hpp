@@ -55,6 +55,10 @@ class HookOrderGuard final : public Aspect {
 
   std::string_view name() const override { return inner_->name(); }
 
+  CompiledHooks compile() const override {
+    return compiled_hooks_for<HookOrderGuard>();
+  }
+
   void on_arrive(InvocationContext& ctx) override;
   Decision precondition(InvocationContext& ctx) override;
   void entry(InvocationContext& ctx) override;

@@ -1,5 +1,7 @@
 #include "runtime/ids.hpp"
 
+#include <atomic>
+
 namespace amf::runtime {
 
 std::uint32_t Interner::intern(std::string_view s) {
@@ -26,6 +28,18 @@ std::string_view Interner::name(std::uint32_t id) const {
 std::size_t Interner::size() const {
   std::scoped_lock lock(mu_);
   return names_.size();
+}
+
+std::uint64_t next_invocation_id() {
+  constexpr std::uint64_t kBlock = 256;
+  static std::atomic<std::uint64_t> global{1};
+  thread_local std::uint64_t next = 0;
+  thread_local std::uint64_t end = 0;
+  if (next == end) {
+    next = global.fetch_add(kBlock, std::memory_order_relaxed);
+    end = next + kBlock;
+  }
+  return next++;
 }
 
 namespace kinds {

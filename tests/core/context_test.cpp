@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -60,6 +62,83 @@ TEST(InvocationContextTest, NotesOverwriteAndRead) {
   EXPECT_EQ(ctx.note("k"), "v2");
   ctx.set_note("other", "x");
   EXPECT_EQ(ctx.note("k"), "v2");
+}
+
+TEST(NoteStoreTest, OverflowSpillsPreservingInsertionOrder) {
+  NoteStore store;
+  // Two past the inline capacity, so the last two land in the spill vector.
+  const std::size_t total = NoteStore::kInlineSlots + 2;
+  for (std::size_t i = 0; i < total; ++i) {
+    store.set("k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  EXPECT_EQ(store.size(), total);
+  // Every key resolves, including the spilled ones.
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::string* v = store.find("k" + std::to_string(i));
+    ASSERT_NE(v, nullptr) << "k" << i;
+    EXPECT_EQ(*v, "v" + std::to_string(i));
+  }
+  // for_each walks inline slots then spill — exactly insertion order.
+  std::vector<std::string> keys;
+  store.for_each([&](std::string_view k, std::string_view) {
+    keys.emplace_back(k);
+  });
+  ASSERT_EQ(keys.size(), total);
+  for (std::size_t i = 0; i < total; ++i) {
+    EXPECT_EQ(keys[i], "k" + std::to_string(i));
+  }
+}
+
+TEST(NoteStoreTest, OverwriteKeepsPositionAndSize) {
+  NoteStore store;
+  const std::size_t total = NoteStore::kInlineSlots + 2;
+  for (std::size_t i = 0; i < total; ++i) {
+    store.set("k" + std::to_string(i), "old");
+  }
+  // Overwrite one inline slot and one spilled slot.
+  store.set("k1", "new-inline");
+  store.set("k" + std::to_string(total - 1), "new-spill");
+  EXPECT_EQ(store.size(), total);
+  std::vector<std::string> keys;
+  store.for_each([&](std::string_view k, std::string_view) {
+    keys.emplace_back(k);
+  });
+  ASSERT_EQ(keys.size(), total);
+  for (std::size_t i = 0; i < total; ++i) {
+    EXPECT_EQ(keys[i], "k" + std::to_string(i)) << "overwrite moved a key";
+  }
+  EXPECT_EQ(*store.find("k1"), "new-inline");
+  EXPECT_EQ(*store.find("k" + std::to_string(total - 1)), "new-spill");
+}
+
+TEST(NoteStoreTest, SurvivesCopy) {
+  NoteStore store;
+  const std::size_t total = NoteStore::kInlineSlots + 2;
+  for (std::size_t i = 0; i < total; ++i) {
+    store.set("k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  NoteStore copy = store;
+  store.set("k0", "mutated-after-copy");
+  EXPECT_EQ(copy.size(), total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::string* v = copy.find("k" + std::to_string(i));
+    ASSERT_NE(v, nullptr) << "k" << i;
+    EXPECT_EQ(*v, "v" + std::to_string(i));
+  }
+  EXPECT_EQ(*store.find("k0"), "mutated-after-copy");
+}
+
+TEST(InvocationContextTest, NoteViewAvoidsCopiesAndTracksOverwrites) {
+  InvocationContext ctx(MethodId::of("m"));
+  EXPECT_FALSE(ctx.note_view("missing").has_value());
+  ctx.set_note("shed.by", "limiter");
+  auto v = ctx.note_view("shed.by");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "limiter");
+  // The view aliases the stored string: an overwrite through set_note is
+  // visible via a fresh lookup, and lookups never allocate a std::string.
+  ctx.set_note("shed.by", "breaker");
+  EXPECT_EQ(ctx.note_view("shed.by").value(), "breaker");
 }
 
 TEST(InvocationContextTest, BlockedCountAccumulates) {

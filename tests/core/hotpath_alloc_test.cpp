@@ -1,0 +1,133 @@
+// Proves the DESIGN.md §13 zero-allocation claim as a test, not just a
+// bench counter: once the thread-local moderation cache and the id block
+// are warm, a moderated invocation — empty chain or a chain of
+// non-blocking aspects — performs ZERO heap allocations end to end.
+//
+// The counter replaces global operator new for this binary only. gtest
+// itself allocates freely, so the assertions bracket exactly the invoke
+// loop and nothing else: counters are read before/after the loop and the
+// EXPECTs run outside the measured window.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "core/aspect.hpp"
+#include "core/moderator.hpp"
+#include "core/proxy.hpp"
+#include "runtime/ids.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+// GCC pattern-matches new/delete pairs through the inlined replacements
+// and objects to the malloc/free plumbing; the pairing here is exact
+// (every new maps to malloc-family, every delete to free).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(al);
+  if (void* p = std::aligned_alloc(a, (n + a - 1) & ~(a - 1))) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#pragma GCC diagnostic pop
+
+namespace amf::core {
+namespace {
+
+struct NullComponent {
+  int poke() { return 42; }
+};
+
+constexpr int kWarmup = 64;
+constexpr int kMeasured = 256;
+
+// Runs `invoke` kWarmup times (id block, TL moderation cache, metrics
+// registration all settle), then kMeasured times under the counter.
+// Returns allocations observed during the measured window.
+template <typename F>
+std::uint64_t measure_steady_state(F&& invoke) {
+  for (int i = 0; i < kWarmup; ++i) invoke();
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < kMeasured; ++i) invoke();
+  return g_allocs.load(std::memory_order_relaxed) - before;
+}
+
+TEST(HotPathAllocTest, EmptyChainInvokeIsAllocationFree) {
+  ComponentProxy<NullComponent> proxy{NullComponent{}};
+  const auto method = runtime::MethodId::of("alloc-empty");
+  const std::uint64_t allocs = measure_steady_state([&] {
+    auto r = proxy.invoke(method, [](NullComponent& c) { return c.poke(); });
+    if (r.value != 42) std::abort();  // keep the call observable, no gtest
+  });
+  EXPECT_EQ(allocs, 0u)
+      << "empty-chain moderated invoke allocated in steady state";
+  // Sanity: the loop really took the fast path (not a degraded slow path
+  // that happens to be allocation-free).
+  EXPECT_GE(proxy.moderator().fast_admissions(),
+            static_cast<std::uint64_t>(kMeasured));
+}
+
+TEST(HotPathAllocTest, NonBlockingChainInvokeIsAllocationFree) {
+  ComponentProxy<NullComponent> proxy{NullComponent{}};
+  const auto method = runtime::MethodId::of("alloc-observed");
+  std::atomic<std::uint64_t> entries{0};
+  std::atomic<std::uint64_t> posts{0};
+  for (const char* kind : {"observe-a", "observe-b"}) {
+    auto observe = std::make_shared<LambdaAspect>(
+        kind, [](InvocationContext&) { return Decision::kResume; },
+        [&entries](InvocationContext&) {
+          entries.fetch_add(1, std::memory_order_relaxed);
+        },
+        [&posts](InvocationContext&) {
+          posts.fetch_add(1, std::memory_order_relaxed);
+        });
+    observe->set_nonblocking(true);
+    proxy.moderator().register_aspect(method, runtime::AspectKind::of(kind),
+                                      observe);
+  }
+  const std::uint64_t allocs = measure_steady_state([&] {
+    auto r = proxy.invoke(method, [](NullComponent& c) { return c.poke(); });
+    if (r.value != 42) std::abort();
+  });
+  EXPECT_EQ(allocs, 0u)
+      << "two-aspect non-blocking invoke allocated in steady state";
+  // Both aspects really ran on every call (guard+entry+postaction through
+  // the compiled chain), so zero allocations wasn't zero work.
+  const auto total = static_cast<std::uint64_t>(kWarmup + kMeasured);
+  EXPECT_EQ(entries.load(), 2 * total);
+  EXPECT_EQ(posts.load(), 2 * total);
+  EXPECT_GE(proxy.moderator().fast_admissions(),
+            static_cast<std::uint64_t>(kMeasured));
+}
+
+}  // namespace
+}  // namespace amf::core

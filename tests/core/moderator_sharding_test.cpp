@@ -466,6 +466,43 @@ TEST(ModeratorShardingTest, AspectMigrationHammer) {
   EXPECT_EQ(excl_a->active(), 0u);
   EXPECT_EQ(excl_b->active(), 0u);
   EXPECT_EQ(moderator.blocked_waiters(), 0u);
+
+  // Compiled-chain invalidation: this thread's moderation cache holds a
+  // COMPILED plan (pre-resolved hook thunks) for `a`. Once remove_aspect
+  // has returned, no later admission on this thread may run the removed
+  // aspect's hooks out of that stale compiled plan — the epoch check must
+  // force a recompile.
+  std::atomic<int> stale_executions{0};
+  std::atomic<bool> retired{false};
+  auto canary = std::make_shared<LambdaAspect>(
+      "canary",
+      [&](InvocationContext&) {
+        if (retired.load()) stale_executions.fetch_add(1);
+        return Decision::kResume;
+      },
+      [&](InvocationContext&) {
+        if (retired.load()) stale_executions.fetch_add(1);
+      },
+      [&](InvocationContext&) {
+        if (retired.load()) stale_executions.fetch_add(1);
+      });
+  canary->set_nonblocking(true);
+  moderator.register_aspect(a, AspectKind::of("shard-mig-canary"), canary);
+  {
+    // Warm the cache so it pins the canary-bearing compiled chain.
+    InvocationContext warm(a);
+    ASSERT_EQ(moderator.preactivation(warm), Decision::kResume);
+    moderator.postactivation(warm);
+  }
+  moderator.bank().remove_aspect(a, AspectKind::of("shard-mig-canary"));
+  retired.store(true);
+  for (int i = 0; i < 64; ++i) {
+    InvocationContext ctx(a);
+    ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+    moderator.postactivation(ctx);
+  }
+  EXPECT_EQ(stale_executions.load(), 0)
+      << "a stale compiled chain executed a removed aspect's hooks";
 }
 
 }  // namespace
