@@ -34,19 +34,34 @@ constexpr std::size_t kRows = 16, kCols = 16;
 // leaves the percentiles unbiased and both series pay the identical tax.
 constexpr unsigned kLatencySampleMask = 15;
 
-/// Runs `op()`; on sampled iterations records its wall latency in `hist`.
-template <typename F>
-void timed(runtime::Histogram& hist, unsigned seq, F&& op) {
-  if ((seq & kLatencySampleMask) != 0) {
+/// Per-path sampler: the gate counts the ops ROUTED TO THIS HISTOGRAM, not
+/// the thread's loop index. Gating on the shared index under-sampled the
+/// minority path badly — in a 90%-read mix a thread's sampled slots are
+/// ~90% reads, leaving write percentiles built from ~10× fewer samples
+/// than their share (pure noise at p99). Now each path samples exactly
+/// 1 op in 16 of its own stream.
+class Sampler {
+ public:
+  explicit Sampler(runtime::Histogram& hist) : hist_(hist) {}
+
+  template <typename F>
+  void timed(F&& op) {
+    if ((seq_++ & kLatencySampleMask) != 0) {
+      op();
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
     op();
-    return;
+    const auto t1 = std::chrono::steady_clock::now();
+    hist_.record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
   }
-  const auto t0 = std::chrono::steady_clock::now();
-  op();
-  const auto t1 = std::chrono::steady_clock::now();
-  hist.record(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
-}
+
+ private:
+  runtime::Histogram& hist_;
+  unsigned seq_ = 0;
+};
 
 /// Publishes read/write latency percentiles as benchmark counters.
 void report_latency(benchmark::State& state, const runtime::Histogram& reads,
@@ -74,24 +89,25 @@ void BM_FrameworkRw(benchmark::State& state) {
         threads.emplace_back([&, t] {
           runtime::Rng rng(static_cast<std::uint64_t>(t) + 1);
           const std::string who = "w" + std::to_string(t);
+          Sampler read_sampler(read_lat), write_sampler(write_lat);
           for (int i = 0; i < kOpsPerThread; ++i) {
             const Seat seat{rng.uniform_int(0, kRows - 1),
                             rng.uniform_int(0, kCols - 1)};
             if (rng.uniform_int(1, 100) <= static_cast<unsigned>(read_pct)) {
-              timed(read_lat, static_cast<unsigned>(i), [&] {
+              read_sampler.timed([&] {
                 benchmark::DoNotOptimize(proxy->invoke(
                     query_method(),
                     [&](ReservationSystem& s) { return s.holder(seat); }));
               });
             } else if (rng.bernoulli(0.5)) {
-              timed(write_lat, static_cast<unsigned>(i), [&] {
+              write_sampler.timed([&] {
                 benchmark::DoNotOptimize(proxy->invoke(
                     reserve_method(), [&](ReservationSystem& s) {
                       return s.reserve(seat, who);
                     }));
               });
             } else {
-              timed(write_lat, static_cast<unsigned>(i), [&] {
+              write_sampler.timed([&] {
                 benchmark::DoNotOptimize(proxy->invoke(
                     cancel_method(), [&](ReservationSystem& s) {
                       return s.cancel(seat, who);
@@ -125,21 +141,22 @@ void BM_SharedMutexBaseline(benchmark::State& state) {
         threads.emplace_back([&, t] {
           runtime::Rng rng(static_cast<std::uint64_t>(t) + 1);
           const std::string who = "w" + std::to_string(t);
+          Sampler read_sampler(read_lat), write_sampler(write_lat);
           for (int i = 0; i < kOpsPerThread; ++i) {
             const Seat seat{rng.uniform_int(0, kRows - 1),
                             rng.uniform_int(0, kCols - 1)};
             if (rng.uniform_int(1, 100) <= static_cast<unsigned>(read_pct)) {
-              timed(read_lat, static_cast<unsigned>(i), [&] {
+              read_sampler.timed([&] {
                 std::shared_lock lock(mu);
                 benchmark::DoNotOptimize(grid.holder(seat));
               });
             } else if (rng.bernoulli(0.5)) {
-              timed(write_lat, static_cast<unsigned>(i), [&] {
+              write_sampler.timed([&] {
                 std::unique_lock lock(mu);
                 benchmark::DoNotOptimize(grid.reserve(seat, who));
               });
             } else {
-              timed(write_lat, static_cast<unsigned>(i), [&] {
+              write_sampler.timed([&] {
                 std::unique_lock lock(mu);
                 benchmark::DoNotOptimize(grid.cancel(seat, who));
               });

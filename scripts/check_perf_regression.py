@@ -1,20 +1,30 @@
 #!/usr/bin/env python3
 """Ratio-based perf regression guard over a BENCH_*.json snapshot.
 
-Compares the freshly generated "series" block of a snapshot (written by
-scripts/bench_to_json.py) against the pinned "baseline" block committed in
-the same file. Absolute items/s are machine-dependent, so the guard checks a
-RATIO of two series from the same run — e.g. moderated-proxy throughput over
-direct-call throughput — which cancels the machine out. The check fails when
-the current ratio is worse than the baseline ratio by more than
---max-regression (default 2.0, i.e. the relative cost of moderation at most
-doubled).
+Two modes, both ratio-based so the machine's absolute speed cancels out.
+
+Throughput mode (default): compares the freshly generated "series" block
+of a snapshot (written by scripts/bench_to_json.py) against the pinned
+"baseline" block committed in the same file. Absolute items/s are
+machine-dependent, so the guard checks a RATIO of two series from the same
+run — e.g. moderated-proxy throughput over direct-call throughput. The
+check fails when the current ratio is worse than the baseline ratio by
+more than --max-regression (default 2.0).
+
+Counter-ratio mode (--counter-ratio): checks a ratio of two user counters
+WITHIN one series of the current run against an absolute bound — e.g. the
+E8 write-tail guard, write_p99_ns / read_p99_ns <= --max-ratio. Both
+counters come from the same process on the same machine, so the bound is
+portable without any pinned baseline.
 
 Usage:
   check_perf_regression.py BENCH_E1.json BM_ModeratedProxy BM_DirectCall
   check_perf_regression.py BENCH_E8.json \
       "BM_FrameworkRw/2/90/real_time" \
       "BM_SharedMutexBaseline/2/90/real_time" --max-regression 2.0
+  check_perf_regression.py BENCH_E8.json \
+      --counter-ratio "BM_FrameworkRw/8/90/real_time" \
+      write_p99_ns read_p99_ns --max-ratio 4.0
 """
 
 import argparse
@@ -22,29 +32,68 @@ import json
 import sys
 
 
-def find_series(block, name, where):
+def find_entry(block, name, where):
     for s in block.get("series", []):
         if s.get("name") == name:
-            ips = s.get("items_per_second")
-            if not ips:
-                sys.exit(f"error: series '{name}' in {where} has no "
-                         "items_per_second")
-            return float(ips)
+            return s
     sys.exit(f"error: series '{name}' not found in {where}")
+
+
+def find_series(block, name, where):
+    ips = find_entry(block, name, where).get("items_per_second")
+    if not ips:
+        sys.exit(f"error: series '{name}' in {where} has no items_per_second")
+    return float(ips)
+
+
+def check_counter_ratio(snap, snapshot_name, series, num, den, max_ratio):
+    entry = find_entry(snap, series, "current run")
+    missing = [c for c in (num, den) if c not in entry]
+    if missing:
+        sys.exit(f"error: series '{series}' has no counter(s) {missing}")
+    num_v, den_v = float(entry[num]), float(entry[den])
+    if den_v <= 0:
+        sys.exit(f"error: counter '{den}' in '{series}' is not positive")
+    ratio = num_v / den_v
+    print(f"{snapshot_name}: {series}")
+    print(f"  {num} = {num_v:.0f}")
+    print(f"  {den} = {den_v:.0f}")
+    print(f"  ratio: {ratio:.2f}x (limit {max_ratio:.2f}x)")
+    if ratio > max_ratio:
+        sys.exit(f"FAIL: {num}/{den} exceeds the allowed ratio")
+    print("OK")
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("snapshot", help="BENCH_*.json file")
-    ap.add_argument("numerator", help="series name under test")
-    ap.add_argument("denominator", help="reference series name from same run")
+    ap.add_argument("numerator", nargs="?",
+                    help="series name under test (throughput mode)")
+    ap.add_argument("denominator", nargs="?",
+                    help="reference series name from same run")
     ap.add_argument("--max-regression", type=float, default=2.0,
                     help="fail when baseline_ratio/current_ratio exceeds "
                          "this (default: 2.0)")
+    ap.add_argument("--counter-ratio", nargs=3,
+                    metavar=("SERIES", "NUM_COUNTER", "DEN_COUNTER"),
+                    help="check NUM_COUNTER/DEN_COUNTER of one series "
+                         "against --max-ratio instead of throughput ratios")
+    ap.add_argument("--max-ratio", type=float, default=4.0,
+                    help="absolute bound for --counter-ratio (default: 4.0)")
     args = ap.parse_args()
 
     with open(args.snapshot) as f:
         snap = json.load(f)
+
+    if args.counter_ratio:
+        series, num, den = args.counter_ratio
+        check_counter_ratio(snap, args.snapshot, series, num, den,
+                            args.max_ratio)
+        return
+
+    if not args.numerator or not args.denominator:
+        sys.exit("error: numerator and denominator series are required "
+                 "unless --counter-ratio is used")
     baseline = snap.get("baseline")
     if not baseline:
         sys.exit(f"error: {args.snapshot} has no pinned baseline — run "

@@ -1,0 +1,77 @@
+// IntruQueue: intrusive multi-producer / single-consumer queue.
+//
+// The batch-moderation layer (DESIGN.md §14) queues pending admission
+// requests on stack-allocated nodes: callers link their own request into a
+// shared list with one lock-free push, and the elected combiner drains the
+// whole list under its single shard-set acquisition. The queue therefore
+// owns NOTHING — nodes are embedded in their producers' stack frames and
+// carry their own link field — and the drain hands back the nodes in FIFO
+// (push) order, which is what gives batched admission its documented
+// arrival ordering.
+//
+// Concurrency contract:
+//   * push(): any thread, lock-free (one CAS loop on the head).
+//   * take_all() / empty(): any thread, but the caller must guarantee it
+//     is the only consumer at that moment (the moderator's combiner token
+//     serves as that guarantee). take_all() transfers ownership of every
+//     node it returns; the producer must not touch a pushed node again
+//     until the consumer hands it back through its own protocol.
+//
+// All operations are seq_cst: the moderator's combiner-handoff proof
+// (clear the token, then re-check empty()) argues in the seq_cst total
+// order, and this queue is nowhere near hot enough for the fence to
+// matter (one push per *blocking* admission).
+#pragma once
+
+#include <atomic>
+
+namespace amf::concurrency {
+
+/// Intrusive MPSC queue over nodes with a `Node* next` member given by
+/// pointer-to-member. Nodes are caller-owned; a node may be re-pushed
+/// after the consumer has released it, never while queued.
+template <typename Node, Node* Node::*Next = &Node::next>
+class IntruQueue {
+ public:
+  IntruQueue() = default;
+  IntruQueue(const IntruQueue&) = delete;
+  IntruQueue& operator=(const IntruQueue&) = delete;
+
+  /// Links `node` in front of the internal stack. Returns true when the
+  /// queue was empty (this push made it non-empty) — producers can use
+  /// that to elect a leader cheaply.
+  bool push(Node* node) {
+    Node* head = head_.load(std::memory_order_seq_cst);
+    do {
+      node->*Next = head;
+    } while (!head_.compare_exchange_weak(head, node,
+                                          std::memory_order_seq_cst));
+    return head == nullptr;
+  }
+
+  /// Detaches every queued node and returns them in FIFO (push) order,
+  /// linked through the node's next field; nullptr when empty. Single
+  /// consumer only.
+  Node* take_all() {
+    Node* stack = head_.exchange(nullptr, std::memory_order_seq_cst);
+    Node* fifo = nullptr;
+    while (stack != nullptr) {
+      Node* next = stack->*Next;
+      stack->*Next = fifo;
+      fifo = stack;
+      stack = next;
+    }
+    return fifo;
+  }
+
+  /// True when nothing is queued. Racy by nature; the combiner handoff
+  /// protocol (release token, then re-check) makes the race benign.
+  bool empty() const {
+    return head_.load(std::memory_order_seq_cst) == nullptr;
+  }
+
+ private:
+  std::atomic<Node*> head_{nullptr};
+};
+
+}  // namespace amf::concurrency

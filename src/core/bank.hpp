@@ -76,6 +76,13 @@ using CompiledChain = std::shared_ptr<const CompiledChainData>;
 /// locks: a shared aspect instance (e.g. one MutualExclusionAspect forming
 /// an exclusion group) is the only bank-visible channel through which one
 /// method's entry/postaction can change another method's guard verdict.
+///
+/// The lock group is also the amortization unit of batch moderation
+/// (DESIGN.md §14): a multi-method group is what makes a write-side
+/// admission pay for several shard locks, so exactly those methods'
+/// admissions are queued and drained by one combiner under a single
+/// acquisition of the group's shard set. Single-method groups (nullptr
+/// here) never batch — one lock is already the floor.
 using LockGroup = std::shared_ptr<const std::vector<runtime::MethodId>>;
 
 /// Thread-safe registry of aspects per (method, kind).
@@ -159,6 +166,13 @@ class AspectBank {
   /// non-blocking. Recomputed on every publish — quarantining the one
   /// blocking aspect of a chain can flip the method to non-blocking at the
   /// next epoch, and vice versa.
+  ///
+  /// For the moderator's §11 Dekker handshake, a batch-combiner drain over
+  /// this method's group counts as one LOCKED section: the combiner raises
+  /// the same lockers count the classic slow path does before touching
+  /// shared guard state, so fast-path callers of a non-blocking sibling
+  /// method still serialize with batched admissions exactly as they would
+  /// with a single locked caller.
   bool nonblocking(runtime::MethodId method) const;
 
   /// True when the current composition classifies at least one REGISTERED

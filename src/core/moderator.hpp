@@ -44,6 +44,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "concurrency/intru_queue.hpp"
 #include "core/bank.hpp"
 #include "core/context.hpp"
 #include "core/decision.hpp"
@@ -347,6 +348,12 @@ class AspectModerator {
     // plan nor appears as a wake target in any plan. Guarded by plan_rev:
     // a later plan change invalidates the record wholesale.
     bool fast_eligible = false;
+    // Batch-moderation eligibility (DESIGN.md §14): a grouped no-plan
+    // method that is not a wake target. Its slow admissions enqueue on the
+    // combiner instead of taking the shard set per call; wake targets keep
+    // the classic cv channel (a plan promises them a directed notify) and
+    // single-shard moderators keep the cheaper native-cv wait.
+    bool batch_eligible = false;
   };
 
   // The cached (or freshly built) Moderation of `method` for the current
@@ -416,6 +423,140 @@ class AspectModerator {
   // validate once lockers is raised, so the wait is bounded by the
   // (non-blocking, short) hook chains already in flight.
   static void drain_fast_windows(MethodState* const* shards, std::size_t n);
+
+  // --- batch moderation / flat combining (DESIGN.md §14) ----------------
+  //
+  // Grouped no-plan admissions enqueue a stack-allocated BatchRequest on
+  // one moderator-wide combiner (G6 makes every no-plan completion set the
+  // all-shards set, so one queue covers every batch-eligible group). The
+  // first thread to win the combiner token drains the queue and runs the
+  // guard chains for the whole batch under ONE shard-set acquisition;
+  // everyone else parks on its own request's cv slot and is completed by
+  // the leader. The token holder counts as a locked section for the §11
+  // Dekker handshake (it raises `lockers` on every shard it drains under).
+
+  struct StallRecord;  // defined with the watchdog section below
+
+  /// How one batched admission resolved, as seen by its owner.
+  enum class Outcome { kAdmitted, kAborted, kRecompose };
+
+  /// Why an owner abandoned its parked request and reclaimed it.
+  enum class BatchEscape { kTimeout, kStop, kEvicted };
+
+  /// One pending admission, embedded in its caller's preactivation frame.
+  /// State machine (the combiner owns every transition except kClaimed,
+  /// which only the owner may take, and only from kPending/kParked):
+  ///
+  ///   kPending ──evaluate──▶ kParked ──later round──▶ kAdmitted/kAborted
+  ///      │                      │                          (terminal)
+  ///      │ stale/flip           │ stale/flip ──▶ kRetry    (terminal)
+  ///      └──owner escape──▶ kClaimed ◀──owner escape───┘
+  ///
+  /// kProcessing is the combiner's commit lock-out: once taken, the owner
+  /// can no longer claim and a terminal verdict is imminent.
+  struct BatchRequest {
+    enum class State : std::uint8_t {
+      kPending,
+      kParked,
+      kProcessing,
+      kAdmitted,
+      kAborted,
+      kRetry,
+      kClaimed,
+    };
+    BatchRequest* next = nullptr;  // intrusive link: queue, then parked list
+    InvocationContext* ctx = nullptr;
+    const Moderation* mod = nullptr;  // pinned by the owner's shared_ptr
+    ArrivedVec* arrived = nullptr;    // owner's on_arrive dedup record
+    std::uint64_t burst_gen = 0;      // gen the owner's burst registered at
+    std::atomic<State> state{State::kPending};
+    int span_parity = -1;  // set by the combiner before kAdmitted
+    // Built and registered by the combiner at first park (the owner may
+    // not touch ctx notes while parked); the owner reads it only after
+    // observing kParked (or `detached`), which orders the access.
+    std::shared_ptr<StallRecord> stall_rec;
+    // Owner wake slot. `detached` (guarded by mu) means no queue, parked
+    // list or combiner holds the node any more; the owner of a kClaimed
+    // node must observe it before letting the frame die.
+    std::mutex mu;
+    std::condition_variable_any cv;
+    bool detached = false;
+  };
+
+  struct BatchCombiner {
+    concurrency::IntruQueue<BatchRequest> pending;
+    // The combiner token. Its holder is the queue's single consumer and
+    // the only thread allowed to touch the parked list — the list needs
+    // no lock of its own. seq_cst everywhere: the handoff proof (clear,
+    // then re-check pending) is a total-order argument.
+    std::atomic<bool> active{false};
+    BatchRequest* parked_head = nullptr;  // FIFO; guarded by `active`
+    BatchRequest* parked_tail = nullptr;
+    std::atomic<std::int64_t> parked{0};  // diagnostics (blocked_waiters)
+    // Guard-state generation. A completion that may have unblocked parked
+    // guards bumps it BEFORE trying for the token; whoever clears the
+    // token re-drains if the counter moved past its pre-drain snapshot.
+    // Without it a completer that loses the token race to a combiner in
+    // its final recheck would strand parked nodes: that holder's drain
+    // predates the completion's postactions, and its pending-only recheck
+    // never looks at the parked list again (lost wakeup). The completer
+    // itself never loops on `parked` — parked nodes legitimately outlive
+    // every drain until a FUTURE completion changes what their guards see.
+    std::atomic<std::uint64_t> dirty{0};
+  };
+
+  // Owner side: push, combine-or-park, wait, claim on escape. The caller
+  // must hold a registered burst (burst_gen) and exit it afterwards.
+  Outcome batch_moderate(InvocationContext& ctx,
+                         const std::shared_ptr<const Moderation>& mod,
+                         std::uint64_t burst_gen, ArrivedVec& arrived);
+  // Token held: resolve the current all-shards set via `mod` (flushing
+  // everything with kRetry when it is stale) and drain under one
+  // acquisition, with the Dekker handshake.
+  void combiner_drain(const Moderation& mod);
+  // Token + registry shared lock + all completion shards locked: rounds of
+  // splice-parked + take-pending, re-evaluated until a round makes no
+  // progress (or a quarantine safe point is due).
+  void drain_batch_under_locks();
+  // One node under the locks; returns true when aspect state may have
+  // changed (an admission, abort, cancel or expiry ran hooks).
+  bool process_batch_node(BatchRequest& n);
+  void park_batch_node(BatchRequest& n, BatchRequest::State observed);
+  // Non-blocking combiner attempt from an unlocked context, with the
+  // clear-then-recheck handoff. Returns immediately when another thread
+  // holds the token (that holder owes the same recheck).
+  void drain_as_combiner(const Moderation& mod);
+  // Spinning variant: used by parked owners (the §14 forced re-evaluation
+  // after raising sleepers_) and by claimers, who need a drain to have
+  // happened-after their claim.
+  void spin_drain_as_combiner(const Moderation& mod);
+  // Same attempt from UNDER the all-shards locks (no-plan completion
+  // path, claimed-cancel path): drains directly, no re-locking.
+  void try_drain_batch_under_locks();
+  // Token held: terminal-ize every reachable node with kRetry (barrier
+  // flip, shutdown, stale shard map); claimed nodes are detached.
+  void flush_batch_locked();
+  // Flush for the barrier wake phase and shutdown: spin-acquire the token,
+  // flush, release, recheck.
+  void flush_batch_requests();
+  // CAS observed→to under the node's mutex; on success notify the owner,
+  // on failure (owner claimed) detach instead. The owner may destroy the
+  // node the moment it observes a terminal state (or `detached`); the
+  // store-under-mutex plus the owner's final lock/unlock make that
+  // destruction serialize after the combiner's last touch.
+  static void settle_batch_node(BatchRequest& n, BatchRequest::State observed,
+                                BatchRequest::State to);
+  // Unconditional terminal store + notify under the mutex (the node is
+  // already locked out of claiming via kProcessing).
+  static void finish_batch_node(BatchRequest& n, BatchRequest::State to);
+  static void detach_batch_node(BatchRequest& n);
+  // Owner side of an escaped (claimed) request: wait out any combiner
+  // still holding the node, run on_cancel under the current shard locks,
+  // book stats/error/log for `why`.
+  Outcome claimed_abort(BatchRequest& n, const Moderation& mod,
+                        BatchEscape why);
+  void cancel_claimed_node(BatchRequest& n);
+  bool try_claim_batch_node(BatchRequest& n);
 
   // The null check is inline so the common no-log configuration pays one
   // predicted branch per site instead of a function call.
@@ -587,6 +728,10 @@ class AspectModerator {
   // defers to the locked, broadcasting slow path whenever any thread in
   // the process is blocked — even on an unrelated shard.
   std::atomic<std::int64_t> sleepers_{0};
+  // Batch-moderation combiner (DESIGN.md §14). One per moderator: every
+  // batch-eligible record's completion set is the all-shards set (G6), so
+  // a single leader election covers all groups.
+  BatchCombiner combiner_;
   // Two-stage, sticky arming of the Dekker handshake, so compositions with
   // no fast-capable aspect pay NOTHING for the fast path's existence:
   //   arming — set (before the recompose barrier) the first time the bank

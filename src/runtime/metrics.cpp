@@ -7,16 +7,35 @@
 namespace amf::runtime {
 
 namespace {
+constexpr std::size_t kSubBits = Histogram::kSubBits;
+constexpr std::size_t kSubBuckets = Histogram::kSubBuckets;
+
+// Sub-bucketed log2 index: values below kSubBuckets get exact unit
+// buckets; a larger value in octave e (= bit_width - 1) is keyed by its
+// top kSubBits mantissa bits, giving buckets of width 2^(e - kSubBits).
 std::size_t bucket_for(std::int64_t value) {
   if (value <= 0) return 0;
-  return static_cast<std::size_t>(
-      std::bit_width(static_cast<std::uint64_t>(value)));
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const auto e =
+      static_cast<std::size_t>(std::bit_width(v)) - 1;  // >= kSubBits
+  const auto sub =
+      static_cast<std::size_t>(v >> (e - kSubBits)) & (kSubBuckets - 1);
+  return (e - kSubBits + 1) * kSubBuckets + sub;
+}
+
+std::int64_t bucket_lower_bound(std::size_t i) {
+  if (i < kSubBuckets) return static_cast<std::int64_t>(i);
+  const std::size_t e = i / kSubBuckets + kSubBits - 1;
+  const std::size_t sub = i % kSubBuckets;
+  return static_cast<std::int64_t>((kSubBuckets + sub) << (e - kSubBits));
 }
 
 std::int64_t bucket_upper_bound(std::size_t i) {
-  if (i == 0) return 0;
-  if (i >= 63) return std::numeric_limits<std::int64_t>::max();
-  return (std::int64_t{1} << i) - 1;
+  if (i < kSubBuckets) return static_cast<std::int64_t>(i);
+  const std::size_t e = i / kSubBuckets + kSubBits - 1;
+  if (e >= 62) return std::numeric_limits<std::int64_t>::max();
+  return bucket_lower_bound(i) + (std::int64_t{1} << (e - kSubBits)) - 1;
 }
 }  // namespace
 
@@ -57,8 +76,20 @@ std::int64_t Histogram::percentile(double p) const {
   const auto rank = static_cast<std::uint64_t>(p * static_cast<double>(n - 1));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen > rank) return std::min(bucket_upper_bound(i), max());
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0 && seen + c > rank) {
+      // Interpolate at the rank's position within the bucket, clamped to
+      // the observed sample range (a lone sample reports itself, not a
+      // bucket bound).
+      const std::int64_t lo = std::max(bucket_lower_bound(i), min());
+      const std::int64_t hi = std::min(bucket_upper_bound(i), max());
+      if (hi <= lo) return lo;
+      const double frac = (static_cast<double>(rank - seen) + 0.5) /
+                          static_cast<double>(c);
+      return lo + static_cast<std::int64_t>(
+                      static_cast<double>(hi - lo) * frac);
+    }
+    seen += c;
   }
   return max();
 }

@@ -43,13 +43,21 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
-/// Histogram of non-negative values with power-of-two buckets
-/// (bucket i counts values in [2^(i-1), 2^i); bucket 0 counts value 0).
-/// Percentiles are approximate (bucket upper bound), which is plenty for
-/// the latency-shape comparisons in EXPERIMENTS.md.
+/// Histogram of non-negative values with log2 buckets subdivided into
+/// 2^kSubBits sub-buckets per octave (HdrHistogram-style): values below
+/// kSubBuckets get exact unit buckets, larger values land in a bucket of
+/// width 2^(octave - kSubBits), i.e. at most 1/kSubBuckets relative error
+/// before interpolation. Percentiles interpolate linearly inside the
+/// selected bucket, so a series whose samples cluster just past a power of
+/// two no longer reports the bucket bound itself (the old pure-log2 scheme
+/// pinned every E8 p99 to exactly 1023/8191 ns, hiding real movement).
 class Histogram {
  public:
-  static constexpr std::size_t kBuckets = 64;
+  static constexpr std::size_t kSubBits = 2;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBits;
+  // Highest index used is (62 - kSubBits + 1) * kSubBuckets + kSubBuckets-1
+  // (octave 62 tops out int64); 256 covers it with headroom.
+  static constexpr std::size_t kBuckets = 256;
 
   /// Records one sample. Negative samples are clamped to 0.
   void record(std::int64_t value);
@@ -62,8 +70,8 @@ class Histogram {
   /// Smallest / largest recorded sample (0 when empty).
   std::int64_t min() const;
   std::int64_t max() const;
-  /// Approximate p-quantile, p in [0, 1]; returns the upper bound of the
-  /// bucket containing the quantile sample.
+  /// Approximate p-quantile, p in [0, 1]: linear interpolation inside the
+  /// bucket containing the quantile sample, clamped to [min(), max()].
   std::int64_t percentile(double p) const;
 
   /// Clears all samples.

@@ -1,0 +1,343 @@
+// Tests for batch moderation of grouped chains (DESIGN.md §14).
+//
+// Methods that share an aspect OBJECT and have no notification plan take
+// the flat-combining write path: admission requests queue on an intrusive
+// MPSC list and the first caller to win the combiner token drains the
+// whole batch under ONE acquisition of the group's shard set. What must
+// hold:
+//   * grouped admission stays atomic — a batch never admits two bodies
+//     into an exclusion group at once,
+//   * verdicts are per call — one call's veto aborts only that call, and
+//     entry/postaction pairing (G4) is exact for the admitted ones,
+//   * parked writers are woken by completions (the combiner re-drive),
+//     with NO lost wakeup against the lock-free fast path's Dekker
+//     handshake, combiner handoff, or recomposition epoch bumps,
+//   * queued entries whose deadline expired are shed without evaluation,
+//   * shutdown and recomposition flush the queue — nobody strands.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stop_token>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aspects/synchronization.hpp"
+#include "core/aspect.hpp"
+#include "core/moderator.hpp"
+#include "runtime/clock.hpp"
+
+namespace amf::core {
+namespace {
+
+using runtime::AspectKind;
+using runtime::ErrorCode;
+using runtime::MethodId;
+
+// Grouped methods with NO notification plan — the batch-eligible shape.
+// (Setting a plan routes completions through planned wake targets and
+// disables batching; the sharding tests cover that regime.)
+
+// --- grouped atomicity through the combiner ------------------------------
+
+TEST(ModeratorBatchTest, GroupedAdmissionsStayAtomicUnderWriteBurst) {
+  AspectModerator moderator;
+  const auto a = MethodId::of("batch-group-a");
+  const auto b = MethodId::of("batch-group-b");
+  auto excl = std::make_shared<aspects::MutualExclusionAspect>(1);
+  moderator.register_aspect(a, AspectKind::of("batch-excl"), excl);
+  moderator.register_aspect(b, AspectKind::of("batch-excl"), excl);
+
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::atomic<int> completed{0};
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        const auto method = (t % 2 == 0) ? a : b;
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          InvocationContext ctx(method);
+          ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+          const int now = inside.fetch_add(1) + 1;
+          int seen = max_inside.load();
+          while (now > seen && !max_inside.compare_exchange_weak(seen, now)) {
+          }
+          inside.fetch_sub(1);
+          moderator.postactivation(ctx);
+          completed.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(max_inside.load(), 1) << "a batch admitted two bodies at once";
+  EXPECT_EQ(completed.load(), kThreads * kOpsPerThread);
+  EXPECT_EQ(moderator.stats(a).admitted + moderator.stats(b).admitted,
+            static_cast<std::uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_EQ(excl->active(), 0u);
+  EXPECT_EQ(moderator.blocked_waiters(), 0u);
+}
+
+// --- per-call verdicts and G4 pairing inside one batch -------------------
+
+TEST(ModeratorBatchTest, BatchedVerdictsAreIsolatedAndPairingExact) {
+  // Method b carries an extra always-veto guard; a and b still share the
+  // "link" aspect, so both ride the same combiner. Every b call must abort
+  // (its own verdict), every a call must admit, and the link aspect's
+  // entry/postaction pairing must be exact: aborted calls never run entry.
+  AspectModerator moderator;
+  const auto a = MethodId::of("batch-iso-a");
+  const auto b = MethodId::of("batch-iso-b");
+  std::atomic<int> link_entries{0};
+  std::atomic<int> link_posts{0};
+  auto link = std::make_shared<LambdaAspect>(
+      "link", nullptr,
+      [&](InvocationContext&) { link_entries.fetch_add(1); },
+      [&](InvocationContext&) { link_posts.fetch_add(1); });
+  moderator.register_aspect(a, AspectKind::of("batch-link"), link);
+  moderator.register_aspect(b, AspectKind::of("batch-link"), link);
+  moderator.register_aspect(
+      b, AspectKind::of("batch-veto"),
+      std::make_shared<LambdaAspect>(
+          "veto", [](InvocationContext&) { return Decision::kAbort; }));
+
+  std::atomic<int> a_admitted{0};
+  std::atomic<int> b_aborted{0};
+  constexpr int kThreads = 6;
+  constexpr int kOpsPerThread = 150;
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        const bool on_a = (t % 2 == 0);
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          InvocationContext ctx(on_a ? a : b);
+          const Decision d = moderator.preactivation(ctx);
+          if (on_a) {
+            ASSERT_EQ(d, Decision::kResume);
+            a_admitted.fetch_add(1);
+            moderator.postactivation(ctx);
+          } else {
+            ASSERT_EQ(d, Decision::kAbort)
+                << "b's veto leaked past its own call";
+            ASSERT_TRUE(ctx.abort_error());
+            EXPECT_EQ(ctx.abort_error()->code, ErrorCode::kAborted);
+            b_aborted.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(a_admitted.load(), (kThreads / 2) * kOpsPerThread);
+  EXPECT_EQ(b_aborted.load(), (kThreads / 2) * kOpsPerThread);
+  EXPECT_EQ(moderator.stats(b).aborted,
+            static_cast<std::uint64_t>(b_aborted.load()));
+  EXPECT_EQ(link_entries.load(), a_admitted.load())
+      << "an aborted call ran an entry hook";
+  EXPECT_EQ(link_entries.load(), link_posts.load())
+      << "a batch tore an entry/postaction pair";
+}
+
+// --- parked writers are woken by completions -----------------------------
+
+TEST(ModeratorBatchTest, ParkedRequestWokenByGroupCompletion) {
+  AspectModerator moderator;
+  const auto waiting = MethodId::of("batch-wake-wait");
+  const auto releasing = MethodId::of("batch-wake-open");
+  auto gate = std::make_shared<std::atomic<bool>>(false);
+  // The shared no-op link groups the two methods (batch eligibility);
+  // the gate guard rides only on `waiting`.
+  auto linker = std::make_shared<LambdaAspect>("linker");
+  moderator.register_aspect(waiting, AspectKind::of("batch-wk-link"), linker);
+  moderator.register_aspect(releasing, AspectKind::of("batch-wk-link"),
+                            linker);
+  moderator.register_aspect(
+      waiting, AspectKind::of("batch-wk-gate"),
+      std::make_shared<LambdaAspect>("gate", [gate](InvocationContext&) {
+        return gate->load() ? Decision::kResume : Decision::kBlock;
+      }));
+  moderator.register_aspect(
+      releasing, AspectKind::of("batch-wk-open"),
+      std::make_shared<LambdaAspect>("open", nullptr, nullptr,
+                                     [gate](InvocationContext&) {
+                                       gate->store(true);
+                                     }));
+
+  std::atomic<bool> admitted{false};
+  std::jthread waiter([&] {
+    InvocationContext ctx(waiting);
+    EXPECT_EQ(moderator.preactivation(ctx), Decision::kResume);
+    admitted.store(true);
+    moderator.postactivation(ctx);
+  });
+  while (moderator.blocked_waiters() == 0u) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(admitted.load());
+  EXPECT_EQ(moderator.stats(waiting).block_events, 1u);
+
+  InvocationContext ctx(releasing);
+  ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+  moderator.postactivation(ctx);
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(moderator.blocked_waiters(), 0u);
+}
+
+// --- lost-wakeup hammer (satellite proof; run under TSan in CI) ----------
+
+TEST(ModeratorBatchTest, ParkedWakeupHammerSurvivesHandoffAndEpochBumps) {
+  // The §14 lost-wakeup surface: parked nodes sleep on per-request cvs
+  // while admissions race through (a) the combiner handoff (clear token /
+  // re-check), (b) the §11 lock-free fast path's sleepers_ gate, and
+  // (c) recomposition flushes that settle the whole queue to retry. A
+  // shared exclusion limit of 1 makes every admission a potential parker
+  // and every completion a required wakeup; a mutator thread keeps
+  // merging/splitting the composition to bump epochs mid-park. Any lost
+  // wakeup deadlocks the test (ctest TIMEOUT 120 converts it to failure).
+  AspectModerator moderator;
+  const auto a = MethodId::of("batch-hammer-a");
+  const auto b = MethodId::of("batch-hammer-b");
+  auto excl = std::make_shared<aspects::MutualExclusionAspect>(1);
+  moderator.register_aspect(a, AspectKind::of("batch-hm-excl"), excl);
+  moderator.register_aspect(b, AspectKind::of("batch-hm-excl"), excl);
+
+  std::atomic<int> link_entries{0};
+  std::atomic<int> link_posts{0};
+  auto link = std::make_shared<LambdaAspect>(
+      "hm-link", nullptr,
+      [&](InvocationContext&) { link_entries.fetch_add(1); },
+      [&](InvocationContext&) { link_posts.fetch_add(1); });
+
+  std::atomic<int> inside{0};
+  std::atomic<int> violations{0};
+  std::atomic<int> completed{0};
+  constexpr int kThreads = 6;
+  constexpr int kOpsPerThread = 250;
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        const auto method = (t % 2 == 0) ? a : b;
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          InvocationContext ctx(method);
+          ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+          if (inside.fetch_add(1) + 1 > 1) violations.fetch_add(1);
+          inside.fetch_sub(1);
+          moderator.postactivation(ctx);
+          completed.fetch_add(1);
+        }
+      });
+    }
+    workers.emplace_back([&] {
+      // Epoch churn: register/remove a shared aspect, forcing barrier
+      // flushes that settle every queued/parked request to retry.
+      while (completed.load() < kThreads * kOpsPerThread) {
+        moderator.register_aspect(a, AspectKind::of("batch-hm-link"), link);
+        moderator.register_aspect(b, AspectKind::of("batch-hm-link"), link);
+        moderator.bank().remove_aspect(a, AspectKind::of("batch-hm-link"));
+        moderator.bank().remove_aspect(b, AspectKind::of("batch-hm-link"));
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(completed.load(), kThreads * kOpsPerThread);
+  EXPECT_EQ(link_entries.load(), link_posts.load())
+      << "recomposition tore a pair out of a batch";
+  EXPECT_EQ(excl->active(), 0u);
+  EXPECT_EQ(moderator.blocked_waiters(), 0u);
+}
+
+// --- queued-but-expired entries are shed ---------------------------------
+
+TEST(ModeratorBatchTest, ExpiredDeadlineTimesOutWhileParked) {
+  AspectModerator moderator;
+  const auto m = MethodId::of("batch-dead-m");
+  const auto other = MethodId::of("batch-dead-other");
+  auto never = std::make_shared<LambdaAspect>(
+      "never", [](InvocationContext&) { return Decision::kBlock; });
+  moderator.register_aspect(m, AspectKind::of("batch-dead-k"), never);
+  moderator.register_aspect(other, AspectKind::of("batch-dead-k"), never);
+
+  InvocationContext ctx(m);
+  ctx.set_deadline(runtime::RealClock::instance().now() +
+                   std::chrono::milliseconds(40));
+  EXPECT_EQ(moderator.preactivation(ctx), Decision::kAbort);
+  ASSERT_TRUE(ctx.abort_error());
+  EXPECT_EQ(ctx.abort_error()->code, ErrorCode::kTimeout);
+  EXPECT_EQ(moderator.stats(m).timed_out, 1u);
+  EXPECT_EQ(moderator.blocked_waiters(), 0u);
+}
+
+// --- shutdown flushes the batch queue ------------------------------------
+
+TEST(ModeratorBatchTest, ShutdownRefusesParkedBatchWaiters) {
+  AspectModerator moderator;
+  const auto a = MethodId::of("batch-shut-a");
+  const auto b = MethodId::of("batch-shut-b");
+  auto never = std::make_shared<LambdaAspect>(
+      "never", [](InvocationContext&) { return Decision::kBlock; });
+  moderator.register_aspect(a, AspectKind::of("batch-shut-k"), never);
+  moderator.register_aspect(b, AspectKind::of("batch-shut-k"), never);
+
+  constexpr int kWaiters = 6;
+  std::atomic<int> refused{0};
+  {
+    std::vector<std::jthread> waiters;
+    for (int w = 0; w < kWaiters; ++w) {
+      waiters.emplace_back([&, w] {
+        InvocationContext ctx((w % 2 == 0) ? a : b);
+        if (moderator.preactivation(ctx) == Decision::kAbort &&
+            ctx.abort_error()->code == ErrorCode::kCancelled) {
+          refused.fetch_add(1);
+        }
+      });
+    }
+    while (moderator.blocked_waiters() <
+           static_cast<std::uint64_t>(kWaiters)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    moderator.shutdown();
+  }
+  EXPECT_EQ(refused.load(), kWaiters);
+  EXPECT_TRUE(moderator.is_shutdown());
+}
+
+// --- stop tokens reach parked batch requests -----------------------------
+
+TEST(ModeratorBatchTest, StopRequestCancelsParkedBatchWaiter) {
+  AspectModerator moderator;
+  const auto a = MethodId::of("batch-stop-a");
+  const auto b = MethodId::of("batch-stop-b");
+  auto never = std::make_shared<LambdaAspect>(
+      "never", [](InvocationContext&) { return Decision::kBlock; });
+  moderator.register_aspect(a, AspectKind::of("batch-stop-k"), never);
+  moderator.register_aspect(b, AspectKind::of("batch-stop-k"), never);
+
+  std::stop_source stopper;
+  std::atomic<bool> cancelled{false};
+  std::jthread waiter([&] {
+    InvocationContext ctx(a);
+    ctx.set_stop(stopper.get_token());
+    if (moderator.preactivation(ctx) == Decision::kAbort &&
+        ctx.abort_error()->code == ErrorCode::kCancelled) {
+      cancelled.store(true);
+    }
+  });
+  while (moderator.blocked_waiters() == 0u) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stopper.request_stop();
+  waiter.join();
+  EXPECT_TRUE(cancelled.load());
+  EXPECT_EQ(moderator.blocked_waiters(), 0u);
+  EXPECT_EQ(moderator.stats(a).cancelled, 1u);
+}
+
+}  // namespace
+}  // namespace amf::core

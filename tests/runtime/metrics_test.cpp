@@ -87,6 +87,55 @@ TEST(HistogramTest, PercentileClampsP) {
   EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
 }
 
+TEST(HistogramTest, PercentileDoesNotSaturateAtPowerOfTwo) {
+  // Regression for the E8 report bug: with pure log2 buckets every sample
+  // in [512, 1024) reported p99 = 1023 — percentiles pinned to bucket
+  // bounds regardless of where the mass actually sat. With sub-bucketed
+  // resolution plus interpolation, a cluster at 1000 must report near
+  // 1000, not at the power-of-two ceiling.
+  Histogram h;
+  for (int i = 0; i < 10'000; ++i) h.record(1000);
+  const auto p99 = h.percentile(0.99);
+  EXPECT_GE(p99, 1000);
+  EXPECT_LE(p99, 1000 + 1000 / 4)
+      << "p99 saturated toward the old power-of-two bound";
+}
+
+TEST(HistogramTest, SubBucketsSeparateValuesUnderSameExponent) {
+  // 5000 and 7000 share one log2 bucket [4096, 8192); the sub-bucketed
+  // histogram must keep their percentiles apart.
+  Histogram lo, hi;
+  for (int i = 0; i < 1'000; ++i) {
+    lo.record(5000);
+    hi.record(7000);
+  }
+  EXPECT_LT(lo.percentile(0.5), hi.percentile(0.5));
+  EXPECT_LT(lo.percentile(0.99), 6144) << "5000 rounded up past its half";
+  EXPECT_GT(hi.percentile(0.99), 6144) << "7000 rounded down past its half";
+}
+
+TEST(HistogramTest, PercentileStaysWithinObservedRange) {
+  Histogram h;
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  for (double p : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_GE(h.percentile(p), h.min());
+    EXPECT_LE(h.percentile(p), h.max());
+  }
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Unit buckets below the sub-bucket threshold: tiny latencies (0-3 ns)
+  // report exactly, not as a shared [0,2) smear.
+  Histogram h;
+  h.record(1);
+  h.record(1);
+  h.record(3);
+  EXPECT_EQ(h.percentile(0.25), 1);
+  EXPECT_EQ(h.percentile(1.0), 3);
+}
+
 TEST(HistogramTest, ResetClears) {
   Histogram h;
   h.record(4);
