@@ -1,0 +1,210 @@
+#include "apps/ticket/durable_ticket.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "aspects/synchronization.hpp"
+#include "storage/codec.hpp"
+
+namespace amf::apps::ticket {
+
+using runtime::ErrorCode;
+using runtime::make_error;
+using runtime::Result;
+using storage::wire::put_str;
+using storage::wire::put_u32;
+using storage::wire::put_u64;
+
+namespace {
+
+/// Kind of the log-order exclusion aspect (see file comment in the header:
+/// it serializes the writers so WAL append order equals effect order).
+runtime::AspectKind exclusion_kind() {
+  return runtime::AspectKind::of("exclusion");
+}
+
+std::string id_note_value(std::uint64_t id) { return std::to_string(id); }
+
+}  // namespace
+
+Result<std::unique_ptr<DurableTicketApp>> DurableTicketApp::open(
+    std::string dir, Options options) {
+  auto storage = storage::FileStorage::open(dir, options.wal);
+  if (!storage.ok()) return storage.error();
+
+  std::unique_ptr<DurableTicketApp> app(new DurableTicketApp());
+  app->dir_ = std::move(dir);
+  app->options_ = options;
+  app->storage_ = std::move(storage.value());
+  app->proxy_ = make_ticket_proxy(options.capacity, options.moderator);
+
+  auto& moderator = app->proxy_->moderator();
+  moderator.bank().set_kind_order({runtime::kinds::synchronization(),
+                                   exclusion_kind(),
+                                   runtime::kinds::persistence()});
+
+  auto exclusion = std::make_shared<aspects::ReadersWriterAspect>();
+  exclusion->add_writer(open_method());
+  exclusion->add_writer(assign_method());
+  app->persist_ = std::make_shared<storage::PersistenceAspect>(*app->storage_);
+  for (const auto m : {open_method(), assign_method()}) {
+    moderator.register_aspect(m, exclusion_kind(), exclusion);
+    moderator.register_aspect(m, runtime::kinds::persistence(), app->persist_);
+  }
+
+  auto stats = storage::Recovery::recover(
+      *app->storage_,
+      [&app](std::string_view payload) {
+        return app->restore_snapshot(payload);
+      },
+      [&app](storage::Lsn lsn, const storage::CommitRecord& record) {
+        return app->apply_record(lsn, record);
+      });
+  if (!stats.ok()) return stats.error();
+  app->recovery_ = std::move(stats.value());
+  return app;
+}
+
+core::InvocationResult<void> DurableTicketApp::open_ticket(
+    const Ticket& t, runtime::Principal principal) {
+  // The arguments ride the context as notes; the persistence postaction
+  // serializes the notes into the commit record, which is how replay gets
+  // them back.
+  return proxy_->call(open_method())
+      .as(std::move(principal))
+      .note(kTicketIdNote, std::to_string(t.id))
+      .note(kTicketDescNote, t.description)
+      .note(kTicketByNote, t.opened_by)
+      .run([&t](TicketServer& s) { s.open(t); });
+}
+
+core::InvocationResult<Ticket> DurableTicketApp::assign_ticket(
+    runtime::Principal principal) {
+  // assign() takes no arguments — FIFO order makes replay deterministic,
+  // so the record needs nothing beyond the method and identity.
+  return proxy_->call(assign_method())
+      .as(std::move(principal))
+      .run([](TicketServer& s) { return s.assign(); });
+}
+
+Result<storage::Lsn> DurableTicketApp::checkpoint() {
+  return storage::Recovery::checkpoint(
+      *storage_, [this]() -> Result<std::string> {
+        return capture_snapshot();
+      });
+}
+
+std::string DurableTicketApp::capture_snapshot() const {
+  std::string out;
+  put_u64(out, total_opened());
+  put_u64(out, total_assigned());
+  put_u32(out, std::uint32_t(proxy_->component().capacity()));
+  const auto pending = proxy_->component().pending_snapshot();
+  put_u32(out, std::uint32_t(pending.size()));
+  for (const Ticket& t : pending) {
+    put_u64(out, t.id);
+    put_str(out, t.description);
+    put_str(out, t.opened_by);
+  }
+  return out;
+}
+
+Result<void> DurableTicketApp::restore_snapshot(std::string_view payload) {
+  storage::wire::Reader r{payload};
+  const std::uint64_t opened = r.u64();
+  const std::uint64_t assigned = r.u64();
+  const std::uint32_t capacity = r.u32();
+  const std::uint32_t count = r.u32();
+  std::vector<Ticket> pending;
+  for (std::uint32_t i = 0; i < count && !r.failed; ++i) {
+    Ticket t;
+    t.id = r.u64();
+    t.description = std::string(r.str());
+    t.opened_by = std::string(r.str());
+    pending.push_back(std::move(t));
+  }
+  if (r.failed || r.pos != payload.size()) {
+    return make_error(ErrorCode::kCorrupted,
+                      "ticket snapshot: malformed payload");
+  }
+  if (opened - assigned != count) {
+    return make_error(ErrorCode::kCorrupted,
+                      "ticket snapshot: totals disagree with pending count");
+  }
+  if (capacity != proxy_->component().capacity()) {
+    return make_error(
+        ErrorCode::kInvalidArgument,
+        "ticket snapshot: captured capacity differs from configured");
+  }
+
+  // Rebuild through the MODERATED proxy so the sync aspects' shared state
+  // (reserved/committed slots) tracks the refilled buffer; the replay note
+  // keeps the persistence aspect from logging the reconstruction.
+  for (const Ticket& t : pending) {
+    auto result = proxy_->call(open_method())
+                      .note(storage::kReplayNoteKey, "snapshot")
+                      .within(options_.replay_deadline)
+                      .run([&t](TicketServer& s) { s.open(t); });
+    if (!result.ok()) {
+      return make_error(ErrorCode::kCorrupted,
+                        "ticket snapshot: restore refused: " +
+                            result.error.to_string());
+    }
+  }
+  base_opened_ = opened - count;     // restored opens recount in the component
+  base_assigned_ = assigned;
+  return {};
+}
+
+Result<void> DurableTicketApp::apply_record(
+    storage::Lsn lsn, const storage::CommitRecord& record) {
+  runtime::Principal principal;
+  principal.name = record.principal;
+
+  auto build = [&](runtime::MethodId method) {
+    auto call = proxy_->call(method);
+    call.as(std::move(principal));
+    for (const auto& [key, value] : record.notes) {
+      call.note(key, value);
+    }
+    call.note(storage::kReplayNoteKey,
+              id_note_value(record.invocation_id));
+    call.within(options_.replay_deadline);
+    return call;
+  };
+
+  auto replay_error = [&](const runtime::Error& e) {
+    // A blocked replay (timeout) means the log's order cannot be re-run —
+    // e.g. an assign logged before the open it consumed. That is log
+    // damage, not overload.
+    const bool timed_out = e.code == ErrorCode::kTimeout ||
+                           e.code == ErrorCode::kDeadlineExceeded;
+    return make_error(timed_out ? ErrorCode::kCorrupted : e.code,
+                      "replay of lsn " + std::to_string(lsn) +
+                          " refused: " + e.to_string());
+  };
+
+  if (record.method == open_method().name()) {
+    Ticket t;
+    for (const auto& [key, value] : record.notes) {
+      if (key == kTicketIdNote) t.id = std::strtoull(value.c_str(), nullptr, 10);
+      if (key == kTicketDescNote) t.description = value;
+      if (key == kTicketByNote) t.opened_by = value;
+    }
+    auto result =
+        build(open_method()).run([&t](TicketServer& s) { s.open(t); });
+    if (!result.ok()) return replay_error(result.error);
+    return {};
+  }
+  if (record.method == assign_method().name()) {
+    auto result =
+        build(assign_method()).run([](TicketServer& s) { return s.assign(); });
+    if (!result.ok()) return replay_error(result.error);
+    return {};
+  }
+  return make_error(ErrorCode::kCorrupted,
+                    "ticket log: unknown method '" + record.method +
+                        "' at lsn " + std::to_string(lsn));
+}
+
+}  // namespace amf::apps::ticket

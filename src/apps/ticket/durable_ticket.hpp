@@ -1,0 +1,118 @@
+// DurableTicketApp: the trouble-ticketing cluster with durability composed
+// in (DESIGN.md §15.6).
+//
+// The point of this wiring is what it does NOT touch: TicketServer is the
+// same sequential component the paper wrote, and the open/assign sync
+// aspects are the unmodified Fig. 4–7 pair. Durability arrives purely by
+// bank composition:
+//
+//   kind order:  sync → exclusion → persist
+//
+//   * exclusion — a ReadersWriterAspect with BOTH methods as writers. The
+//     base wiring admits one open and one assign concurrently (SPSC), which
+//     is fine live but would let postaction (= log append) order invert
+//     body-effect order. Serializing the writers makes append order equal
+//     effect order, which is what replay correctness needs.
+//   * persist — LAST in the kind order, so (postactions running in reverse)
+//     its append runs FIRST, while the exclusion slot is still held.
+//
+// Recovery re-issues logged calls through the same proxy, so guards, entry,
+// notification plans and postactions all run on replay exactly as live.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "apps/ticket/ticket_proxy.hpp"
+#include "storage/persistence.hpp"
+#include "storage/recovery.hpp"
+#include "storage/storage.hpp"
+
+namespace amf::apps::ticket {
+
+/// Note keys the durable wiring uses to ride open()'s arguments on the
+/// invocation context — which is how they reach the WAL record.
+inline constexpr std::string_view kTicketIdNote = "ticket.id";
+inline constexpr std::string_view kTicketDescNote = "ticket.desc";
+inline constexpr std::string_view kTicketByNote = "ticket.by";
+
+class DurableTicketApp {
+ public:
+  struct Options {
+    std::size_t capacity = 16;
+    storage::WalOptions wal;
+    core::ModeratorOptions moderator;
+    /// Admission deadline for replayed calls: converts a log that replays
+    /// inconsistently (e.g. an assign before the open it consumed) into a
+    /// structured kCorrupted failure instead of a hang.
+    runtime::Duration replay_deadline = std::chrono::seconds(5);
+  };
+
+  /// Opens (creating if needed) the durable app over directory `dir`:
+  /// opens storage, composes the aspects, restores the latest snapshot and
+  /// replays the log tail. Fails with kCorrupted on unexplainable damage.
+  static runtime::Result<std::unique_ptr<DurableTicketApp>> open(
+      std::string dir, Options options);
+  static runtime::Result<std::unique_ptr<DurableTicketApp>> open(
+      std::string dir) {
+    return open(std::move(dir), Options{});
+  }
+
+  // --- moderated operations ----------------------------------------------
+
+  core::InvocationResult<void> open_ticket(
+      const Ticket& t,
+      runtime::Principal principal = runtime::Principal::anonymous());
+
+  core::InvocationResult<Ticket> assign_ticket(
+      runtime::Principal principal = runtime::Principal::anonymous());
+
+  // --- durability control ------------------------------------------------
+
+  /// Forces the log tail to disk (group commit barrier).
+  runtime::Result<void> sync() { return storage_->sync(); }
+
+  /// Publishes a snapshot of current state at last_synced() and compacts.
+  /// Caller must be quiescent (no in-flight moderated calls).
+  runtime::Result<storage::Lsn> checkpoint();
+
+  // --- observers ---------------------------------------------------------
+
+  TicketProxy& proxy() { return *proxy_; }
+  storage::Storage& storage() { return *storage_; }
+  const storage::PersistenceAspect& persistence() const { return *persist_; }
+  const storage::RecoveryStats& recovery_stats() const { return recovery_; }
+
+  /// Lifetime totals across ALL incarnations (snapshot base + this
+  /// process); exact at quiescence.
+  std::uint64_t total_opened() const {
+    return base_opened_ + proxy_->component().total_opened();
+  }
+  std::uint64_t total_assigned() const {
+    return base_assigned_ + proxy_->component().total_assigned();
+  }
+  std::size_t pending() const { return proxy_->component().pending(); }
+
+ private:
+  DurableTicketApp() = default;
+
+  runtime::Result<void> restore_snapshot(std::string_view payload);
+  runtime::Result<void> apply_record(storage::Lsn lsn,
+                                     const storage::CommitRecord& record);
+  std::string capture_snapshot() const;
+
+  std::string dir_;
+  Options options_;
+  std::unique_ptr<storage::FileStorage> storage_;
+  std::shared_ptr<TicketProxy> proxy_;
+  std::shared_ptr<storage::PersistenceAspect> persist_;
+  storage::RecoveryStats recovery_;
+  // Totals already accounted for by the restored snapshot: the component's
+  // own counters restart at (pending, 0) after a snapshot restore, so the
+  // app re-bases them to keep lifetime totals continuous across crashes.
+  std::uint64_t base_opened_ = 0;
+  std::uint64_t base_assigned_ = 0;
+};
+
+}  // namespace amf::apps::ticket

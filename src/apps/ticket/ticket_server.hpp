@@ -92,6 +92,19 @@ class TicketServer {
     return count_.load(std::memory_order_relaxed);
   }
 
+  /// The pending tickets in FIFO order (oldest first). Quiescence-only
+  /// observer — it walks the ring without claiming slots — used by the
+  /// durable wiring to capture snapshot payloads between invocations.
+  std::vector<Ticket> pending_snapshot() const {
+    std::vector<Ticket> out;
+    const std::size_t n = count_.load(std::memory_order_relaxed);
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(slots_[(head_ + i) % capacity_]);
+    }
+    return out;
+  }
+
   /// Lifetime counters (test oracles; exact at quiescence).
   std::uint64_t total_opened() const {
     return total_opened_.load(std::memory_order_relaxed);

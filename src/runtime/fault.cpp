@@ -42,6 +42,12 @@ std::string_view to_string(FaultPoint point) {
       return "delay";
     case FaultPoint::kClockSkew:
       return "clock-skew";
+    case FaultPoint::kShortWrite:
+      return "short-write";
+    case FaultPoint::kIoError:
+      return "io-error";
+    case FaultPoint::kCrashPoint:
+      return "crash-point";
   }
   return "unknown";
 }

@@ -42,10 +42,17 @@ enum class FaultPoint : std::uint8_t {
   kDropMessage,   // transport: routed envelope silently lost
   kDelay,         // thread pool / transport: extra latency before work
   kClockSkew,     // SkewedClock: now() jumps forward
+  // Storage-edge faults (DESIGN.md §15). New kinds append AFTER the
+  // existing ones: a point's decision stream depends only on its numeric
+  // value, so extending the enum never perturbs schedules existing seeds
+  // already produce (pinned by fault_test's golden-schedule check).
+  kShortWrite,  // storage: frame written partially (torn tail), device lost
+  kIoError,     // storage: write()/fsync() fails, device faulted out
+  kCrashPoint,  // storage: named crash site reached — host may SIGKILL
 };
 
 /// Number of distinct FaultPoint values (array sizing).
-inline constexpr std::size_t kFaultPointCount = 6;
+inline constexpr std::size_t kFaultPointCount = 9;
 
 /// Human-readable point name ("throw-in-precondition", ...).
 std::string_view to_string(FaultPoint point);

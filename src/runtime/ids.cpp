@@ -51,6 +51,7 @@ AspectKind audit() { return AspectKind::of("audit"); }
 AspectKind timing() { return AspectKind::of("timing"); }
 AspectKind fault_tolerance() { return AspectKind::of("fault-tolerance"); }
 AspectKind quota() { return AspectKind::of("quota"); }
+AspectKind persistence() { return AspectKind::of("persist"); }
 }  // namespace kinds
 
 }  // namespace amf::runtime

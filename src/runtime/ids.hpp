@@ -108,6 +108,7 @@ AspectKind audit();
 AspectKind timing();
 AspectKind fault_tolerance();
 AspectKind quota();
+AspectKind persistence();
 }  // namespace kinds
 
 }  // namespace amf::runtime

@@ -34,6 +34,8 @@ std::string_view to_string(ErrorCode code) {
       return "deadline-exceeded";
     case ErrorCode::kOverloaded:
       return "overloaded";
+    case ErrorCode::kCorrupted:
+      return "corrupted";
   }
   return "unknown";
 }

@@ -38,6 +38,11 @@ enum class ErrorCode {
   /// Retryable — but only with backoff and a retry budget (see
   /// net::RetryingClient), or the retries re-create the overload.
   kOverloaded,
+  /// Durable state failed validation: a WAL record or snapshot with a bad
+  /// checksum that torn-tail truncation cannot explain (the damage is not
+  /// at the end of the last segment), or a log that replays inconsistently.
+  /// NOT retryable — recovery needs an older snapshot or operator action.
+  kCorrupted,
 };
 
 /// Human-readable name for an error code ("timeout", "aborted", ...).

@@ -1,0 +1,57 @@
+// CRC32C (Castagnoli) — the checksum framing every durable byte in this
+// repo travels under (WAL records, snapshot payloads).
+//
+// Software table-driven implementation, one 256-entry table built at first
+// use. ~1 GB/s on commodity hardware, which dwarfs the record sizes the
+// moderation log produces (~100 B per committed invocation); a hardware
+// SSE4.2 path would be an optimization, not a correctness change, so it is
+// deliberately left out (no ISA gating in a reproduction repo).
+//
+// The polynomial is Castagnoli's 0x1EDC6F41 (reflected 0x82F63B78) — the
+// one iSCSI, ext4 and leveldb use — rather than the zlib CRC32, so values
+// here can be cross-checked against any standard crc32c tool.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace amf::storage {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// Extends `crc` (state, NOT final value) over `data`. Start from 0 via
+/// crc32c() unless resuming an incremental computation.
+inline std::uint32_t crc32c_extend(std::uint32_t state, const void* data,
+                                   std::size_t n) {
+  const auto& table = detail::crc32c_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = state ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC32C of a buffer.
+inline std::uint32_t crc32c(std::string_view data) {
+  return crc32c_extend(0, data.data(), data.size());
+}
+
+}  // namespace amf::storage

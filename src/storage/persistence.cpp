@@ -1,0 +1,45 @@
+#include "storage/persistence.hpp"
+
+#include "storage/codec.hpp"
+
+namespace amf::storage {
+
+core::Decision PersistenceAspect::precondition(core::InvocationContext& ctx) {
+  if (!storage_.healthy()) {
+    ctx.set_abort_error(runtime::make_error(
+        runtime::ErrorCode::kUnavailable,
+        "persist: storage device fenced after I/O fault — refusing new "
+        "calls rather than running undurable"));
+    return core::Decision::kAbort;
+  }
+  return core::Decision::kResume;
+}
+
+void PersistenceAspect::postaction(core::InvocationContext& ctx) {
+  if (ctx.note_view(kReplayNoteKey).has_value()) {
+    // Recovery replaying the log through the live proxy: the record for
+    // this invocation already exists. Appending again would duplicate
+    // history on every subsequent recovery.
+    replay_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (!ctx.body_succeeded()) {
+    // The body threw: no committed effect, no record. (G4 still delivered
+    // this postaction because entry ran — the durable log only mirrors
+    // EFFECTS, not hook pairings.)
+    return;
+  }
+  auto appended = storage_.append(kCommitRecord, encode_commit(ctx));
+  if (!appended.ok()) {
+    // Postactions cannot veto (the effect already happened). The device is
+    // now fenced, so precondition() stops the NEXT call; this one's effect
+    // survives in memory but was never acknowledged as durable — exactly
+    // the window the commit contract (last_synced) exposes to callers.
+    append_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  appended_.fetch_add(1, std::memory_order_relaxed);
+  last_lsn_.store(appended.value(), std::memory_order_relaxed);
+}
+
+}  // namespace amf::storage

@@ -1,0 +1,83 @@
+// PersistenceAspect: durability as a composed concern (DESIGN.md §15.4).
+//
+// The paper's thesis is that cross-cutting concerns attach to components
+// through the aspect bank, not through component edits — persistence is the
+// strongest test of that claim so far: TicketServer and AuctionHouse gain a
+// write-ahead log without a single line of component change.
+//
+// Placement contract (enforced by the durable app wirings, argued in
+// DESIGN.md §15.4): the persistence kind composes LAST in the method's kind
+// order, and the method's chain serializes its writers (an exclusion aspect
+// with the method as writer). Postactions run in REVERSE chain order, so
+// "last in chain" means this postaction runs FIRST — while the exclusion
+// writer slot is still held — and therefore WAL append order equals effect
+// order. Recovery replays the log front to back and reproduces exactly the
+// committed history.
+//
+// What gets logged: postaction() appends one commit record per invocation
+// whose body ran to completion. Aborted, shed, timed-out and cancelled
+// calls never reach postaction with body_succeeded() — they leave no
+// record, mirroring G4 (postaction pairs with entry) on the durable side.
+//
+// Fail-stop: once the storage device is unhealthy (I/O fault, torn write),
+// precondition() vetoes every new call with kUnavailable. Running
+// undurable while claiming durability would be a silent lie; refusing
+// loudly is the only honest option.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "core/aspect.hpp"
+#include "storage/storage.hpp"
+
+namespace amf::storage {
+
+/// Note key the Recovery driver sets on replayed invocations; the aspect
+/// skips appending for them (the record already exists — logging again
+/// would duplicate history on every recovery). The value is the ORIGINAL
+/// invocation id from the log, so traces correlate replays with their
+/// first execution.
+inline constexpr std::string_view kReplayNoteKey = "persist.replay";
+
+class PersistenceAspect final : public core::Aspect {
+ public:
+  /// `storage` must outlive the aspect (the durable apps own both and tear
+  /// the bank down first).
+  explicit PersistenceAspect(Storage& storage) : storage_(storage) {}
+
+  std::string_view name() const override { return "persist"; }
+
+  /// Fail-stop gate: vetoes with kUnavailable once storage is unhealthy.
+  core::Decision precondition(core::InvocationContext& ctx) override;
+
+  /// Appends the commit record for a successful body; see file comment.
+  void postaction(core::InvocationContext& ctx) override;
+
+  core::CompiledHooks compile() const override {
+    return core::compiled_hooks_for<PersistenceAspect>();
+  }
+
+  // --- observability (test oracles, not part of the durability contract) --
+  std::uint64_t appended() const {
+    return appended_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t replay_skipped() const {
+    return replay_skipped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t append_failures() const {
+    return append_failures_.load(std::memory_order_relaxed);
+  }
+  /// LSN of the last record this aspect appended (0 = none yet).
+  Lsn last_lsn() const { return last_lsn_.load(std::memory_order_relaxed); }
+
+ private:
+  Storage& storage_;
+  std::atomic<std::uint64_t> appended_{0};
+  std::atomic<std::uint64_t> replay_skipped_{0};
+  std::atomic<std::uint64_t> append_failures_{0};
+  std::atomic<Lsn> last_lsn_{0};
+};
+
+}  // namespace amf::storage

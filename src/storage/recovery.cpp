@@ -1,0 +1,49 @@
+#include "storage/recovery.hpp"
+
+namespace amf::storage {
+
+using runtime::Result;
+
+Result<RecoveryStats> Recovery::recover(Storage& storage,
+                                        const Restore& restore,
+                                        const Apply& apply) {
+  RecoveryStats stats;
+
+  auto snapshot = storage.latest_snapshot();
+  if (!snapshot.ok()) return snapshot.error();
+  if (snapshot.value().has_value()) {
+    const Snapshot& snap = *snapshot.value();
+    stats.snapshot_lsn = snap.lsn;
+    auto restored = restore(snap.payload);
+    if (!restored.ok()) return restored.error();
+  }
+
+  auto replayed = storage.replay(
+      stats.snapshot_lsn, [&](const WalRecord& record) -> Result<void> {
+        if (record.type != kCommitRecord) return {};  // future record kinds
+        auto decoded = decode_commit(record.payload);
+        if (!decoded.ok()) return decoded.error();
+        auto applied = apply(record.lsn, decoded.value());
+        if (!applied.ok()) return applied.error();
+        ++stats.replayed;
+        stats.records.push_back(RecoveryStats::Replayed{
+            record.lsn, decoded.value().invocation_id,
+            std::string(decoded.value().method)});
+        return {};
+      });
+  if (!replayed.ok()) return replayed.error();
+  return stats;
+}
+
+Result<Lsn> Recovery::checkpoint(Storage& storage, const Capture& capture) {
+  auto synced = storage.sync();
+  if (!synced.ok()) return synced.error();
+  const Lsn lsn = storage.last_synced();
+  auto payload = capture();
+  if (!payload.ok()) return payload.error();
+  auto written = storage.write_snapshot(lsn, payload.value());
+  if (!written.ok()) return written.error();
+  return lsn;
+}
+
+}  // namespace amf::storage

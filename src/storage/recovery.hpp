@@ -1,0 +1,77 @@
+// Recovery: snapshot + log-tail replay through the REAL moderated proxy
+// (DESIGN.md §15.5).
+//
+// Recovery is deliberately not a bulk state loader. It restores the latest
+// snapshot, then re-issues every logged invocation after it through the
+// application's `apply` callback — which the durable apps implement as a
+// real proxy call with the replay note set. Guards, entry, notification
+// plans and postactions all run on replay exactly as they did live; the
+// only difference is the PersistenceAspect seeing kReplayNoteKey and not
+// re-appending. That buys two things:
+//
+//   * Idempotence for free: replaying twice is safe because the aspect
+//     never duplicates records, and the component transitions are driven
+//     by the same guarded methods as live traffic.
+//   * The recovered process is verifiably a NORMAL process: TraceValidator
+//     checks G1–G8 over the replay trace the same way chaos tests check a
+//     live run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/codec.hpp"
+#include "storage/storage.hpp"
+
+namespace amf::storage {
+
+/// What a recovery pass did — the kill-and-recover suite's audit surface.
+struct RecoveryStats {
+  Lsn snapshot_lsn = 0;       ///< log position the restored snapshot covered
+  std::uint64_t replayed = 0; ///< commit records re-applied after it
+
+  struct Replayed {
+    Lsn lsn = 0;
+    std::uint64_t invocation_id = 0;  ///< ORIGINAL id from the log
+    std::string method;
+  };
+  /// Every replayed record in log order (duplicate/lost-effect audits).
+  std::vector<Replayed> records;
+};
+
+class Recovery {
+ public:
+  /// Restores application state from `payload` of the latest snapshot
+  /// (never called when no snapshot exists).
+  using Restore = std::function<runtime::Result<void>(std::string_view)>;
+
+  /// Re-applies one logged commit record (expected: a real proxy call with
+  /// ctx note kReplayNoteKey = record.invocation_id).
+  using Apply =
+      std::function<runtime::Result<void>(Lsn, const CommitRecord&)>;
+
+  /// Produces the snapshot payload for the application's current state;
+  /// called only while the caller guarantees quiescence.
+  using Capture = std::function<runtime::Result<std::string>()>;
+
+  /// Full recovery pass: load newest valid snapshot → `restore` → replay
+  /// the log tail through `apply` in LSN order. Unknown record types are
+  /// skipped (forward compatibility); malformed commit payloads and LSN
+  /// gaps fail with kCorrupted.
+  static runtime::Result<RecoveryStats> recover(Storage& storage,
+                                                const Restore& restore,
+                                                const Apply& apply);
+
+  /// Checkpoint: sync the log, `capture` the state, publish it as the
+  /// snapshot covering last_synced(). Old generations and fully-covered
+  /// log segments are retired by the storage layer. Caller must hold the
+  /// application quiescent across the call (no in-flight moderated
+  /// invocations) so the captured state matches the synced log position.
+  static runtime::Result<Lsn> checkpoint(Storage& storage,
+                                         const Capture& capture);
+};
+
+}  // namespace amf::storage

@@ -1,0 +1,272 @@
+#include "storage/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "storage/crc32c.hpp"
+
+namespace amf::storage {
+
+namespace {
+
+namespace fs = std::filesystem;
+using runtime::ErrorCode;
+using runtime::FaultPoint;
+using runtime::make_error;
+using runtime::Result;
+
+// File body: magic(4) crc(4) length(4) lsn(8) payload — same framing
+// discipline as a WAL record, one frame per file.
+constexpr std::uint32_t kSnapMagic = 0x53464D41u;  // "AMFS" little-endian
+constexpr std::size_t kSnapHeader = 4 + 4 + 4 + 8;
+
+std::string snap_name(Lsn lsn, bool tmp) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "snap-%016llx.%s",
+                static_cast<unsigned long long>(lsn), tmp ? "tmp" : "snap");
+  return buf;
+}
+
+std::optional<Lsn> parse_snap_name(std::string_view name) {
+  if (name.size() != 5 + 16 + 5) return std::nullopt;
+  if (!name.starts_with("snap-") || !name.ends_with(".snap"))
+    return std::nullopt;
+  Lsn lsn = 0;
+  for (char c : name.substr(5, 16)) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else return std::nullopt;
+    lsn = (lsn << 4) | static_cast<Lsn>(digit);
+  }
+  return lsn;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | std::uint8_t(p[i]);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | std::uint8_t(p[i]);
+  return v;
+}
+
+/// Valid snapshot files in `dir`, sorted newest-first. Damaged files are
+/// returned separately so callers can skip (loader) or report them.
+struct SnapFile {
+  Lsn lsn = 0;
+  std::string path;
+};
+
+Result<std::vector<SnapFile>> list_snapshots(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return make_error(ErrorCode::kUnavailable,
+                      "snapshot: cannot create " + dir + ": " + ec.message());
+  }
+  std::vector<SnapFile> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (auto lsn = parse_snap_name(entry.path().filename().string())) {
+      files.push_back(SnapFile{*lsn, entry.path().string()});
+    }
+  }
+  if (ec) {
+    return make_error(ErrorCode::kUnavailable,
+                      "snapshot: cannot list " + dir + ": " + ec.message());
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SnapFile& a, const SnapFile& b) { return a.lsn > b.lsn; });
+  return files;
+}
+
+Result<std::optional<Snapshot>> try_load(const SnapFile& file) {
+  const int fd = ::open(file.path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return make_error(ErrorCode::kUnavailable, "snapshot: open " + file.path +
+                                                   ": " +
+                                                   std::strerror(errno));
+  }
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return make_error(ErrorCode::kUnavailable,
+                        "snapshot: read " + file.path + ": " +
+                            std::strerror(err));
+    }
+    if (n == 0) break;
+    data.append(buf, std::size_t(n));
+  }
+  ::close(fd);
+
+  if (data.size() < kSnapHeader) return std::optional<Snapshot>{};
+  const char* p = data.data();
+  if (get_u32(p) != kSnapMagic) return std::optional<Snapshot>{};
+  const std::uint32_t crc = get_u32(p + 4);
+  const std::uint32_t length = get_u32(p + 8);
+  if (data.size() - kSnapHeader != length) return std::optional<Snapshot>{};
+  if (crc32c_extend(0, p + 8, data.size() - 8) != crc)
+    return std::optional<Snapshot>{};
+  const Lsn lsn = get_u64(p + 12);
+  if (lsn != file.lsn) return std::optional<Snapshot>{};  // name/body mismatch
+  Snapshot snap;
+  snap.lsn = lsn;
+  snap.payload = data.substr(kSnapHeader);
+  return std::optional<Snapshot>{std::move(snap)};
+}
+
+void sync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+runtime::Result<void> write_snapshot(const std::string& dir, Lsn lsn,
+                                     std::string_view payload,
+                                     const WalOptions& options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return make_error(ErrorCode::kUnavailable,
+                      "snapshot: cannot create " + dir + ": " + ec.message());
+  }
+  auto crash = [&](std::string_view site) {
+    if (AMF_FAULT_FIRE(options.fault, FaultPoint::kCrashPoint) &&
+        options.crash_hook) {
+      options.crash_hook(site);
+    }
+  };
+
+  std::string body;
+  body.reserve(kSnapHeader + payload.size());
+  put_u32(body, kSnapMagic);
+  put_u32(body, 0);  // crc placeholder
+  put_u32(body, std::uint32_t(payload.size()));
+  put_u64(body, lsn);
+  body.append(payload);
+  const std::uint32_t crc = crc32c_extend(0, body.data() + 8, body.size() - 8);
+  body[4] = char(crc & 0xFF);
+  body[5] = char((crc >> 8) & 0xFF);
+  body[6] = char((crc >> 16) & 0xFF);
+  body[7] = char((crc >> 24) & 0xFF);
+
+  const std::string tmp = dir + "/" + snap_name(lsn, /*tmp=*/true);
+  const std::string final_path = dir + "/" + snap_name(lsn, /*tmp=*/false);
+
+  if (AMF_FAULT_FIRE(options.fault, FaultPoint::kIoError)) {
+    return make_error(ErrorCode::kUnavailable,
+                      "snapshot: injected write error on " + tmp);
+  }
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return make_error(ErrorCode::kUnavailable,
+                      "snapshot: create " + tmp + ": " + std::strerror(errno));
+  }
+  std::size_t done = 0;
+  bool short_write =
+      AMF_FAULT_FIRE(options.fault, FaultPoint::kShortWrite);
+  const std::size_t want = short_write ? body.size() / 2 : body.size();
+  while (done < want) {
+    const ssize_t n = ::write(fd, body.data() + done, want - done);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      const int err = errno;
+      ::close(fd);
+      return make_error(ErrorCode::kUnavailable,
+                        "snapshot: write " + tmp + ": " + std::strerror(err));
+    }
+    done += std::size_t(n);
+  }
+  if (short_write) {
+    ::close(fd);
+    // The torn .tmp stays behind; the loader never looks at .tmp files and
+    // a later successful snapshot at the same lsn O_TRUNCs it.
+    return make_error(ErrorCode::kUnavailable,
+                      "snapshot: injected short write on " + tmp);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return make_error(ErrorCode::kUnavailable,
+                      "snapshot: fsync " + tmp + ": " + std::strerror(err));
+  }
+  ::close(fd);
+
+  crash("snapshot.pre-rename");
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return make_error(ErrorCode::kUnavailable,
+                      "snapshot: rename " + tmp + " -> " + final_path + ": " +
+                          std::strerror(errno));
+  }
+  sync_dir(dir);
+  crash("snapshot.post-rename");
+  return {};
+}
+
+runtime::Result<std::optional<Snapshot>> load_latest_snapshot(
+    const std::string& dir) {
+  auto files = list_snapshots(dir);
+  if (!files.ok()) return files.error();
+  for (const SnapFile& file : files.value()) {
+    auto snap = try_load(file);
+    if (!snap.ok()) return snap.error();
+    if (snap.value().has_value()) {
+      return std::optional<Snapshot>{std::move(*snap.value())};
+    }
+    // CRC-invalid generation: fall back to the next older one.
+  }
+  return std::optional<Snapshot>{};
+}
+
+runtime::Result<Lsn> prune_snapshots(const std::string& dir,
+                                     std::size_t keep) {
+  auto files = list_snapshots(dir);
+  if (!files.ok()) return files.error();
+  Lsn oldest_kept = 0;
+  std::size_t valid = 0;
+  for (const SnapFile& file : files.value()) {
+    auto snap = try_load(file);
+    if (!snap.ok()) return snap.error();
+    const bool ok = snap.value().has_value();
+    if (ok && valid < keep) {
+      ++valid;
+      oldest_kept = file.lsn;
+      continue;
+    }
+    // Older than the kept window (or damaged and shadowed by a newer valid
+    // generation): delete.
+    std::error_code ec;
+    fs::remove(file.path, ec);
+  }
+  sync_dir(dir);
+  return oldest_kept;
+}
+
+}  // namespace amf::storage

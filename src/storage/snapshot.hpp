@@ -1,0 +1,55 @@
+// Snapshot writer + loader (DESIGN.md §15.3).
+//
+// A snapshot is a point-in-time serialization of application state AS OF a
+// log position: "state after applying every record with lsn <= L". Writing
+// one never touches the log — the protocol is the classic atomic-publish
+// dance:
+//
+//   1. write snap-<lsn>.tmp (CRC32C-framed payload)
+//   2. fsync the tmp file
+//   3. rename(tmp -> snap-<lsn>.snap)     — the atomic commit point
+//   4. fsync the directory
+//
+// A crash before (3) leaves a .tmp the loader ignores; after (3) the
+// snapshot exists in full or not at all. The loader picks the NEWEST
+// CRC-valid .snap, silently skipping damaged ones — a broken snapshot is
+// survivable as long as the log still covers an older one (FileStorage's
+// compaction keeps the last kKeepSnapshots generations reachable for
+// exactly this reason).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "storage/wal.hpp"
+
+namespace amf::storage {
+
+/// A loaded snapshot: application payload valid as of `lsn`.
+struct Snapshot {
+  Lsn lsn = 0;
+  std::string payload;
+};
+
+/// Publishes `payload` as the snapshot for log position `lsn`. Fault points
+/// (kIoError, kCrashPoint sites "snapshot.pre-rename" /
+/// "snapshot.post-rename") come from `options`.
+runtime::Result<void> write_snapshot(const std::string& dir, Lsn lsn,
+                                     std::string_view payload,
+                                     const WalOptions& options);
+
+/// Loads the newest CRC-valid snapshot in `dir`; nullopt when none exists.
+/// Damaged snapshot files are skipped (older generations win), stale .tmp
+/// files are ignored.
+runtime::Result<std::optional<Snapshot>> load_latest_snapshot(
+    const std::string& dir);
+
+/// Deletes snapshot generations older than the newest `keep` valid ones
+/// and returns the lsn of the OLDEST survivor (0 when none): the log may
+/// be compacted below that, and no further.
+runtime::Result<Lsn> prune_snapshots(const std::string& dir,
+                                     std::size_t keep);
+
+}  // namespace amf::storage

@@ -1,0 +1,66 @@
+#include "storage/storage.hpp"
+
+namespace amf::storage {
+
+using runtime::ErrorCode;
+using runtime::make_error;
+using runtime::Result;
+
+Result<std::unique_ptr<FileStorage>> FileStorage::open(std::string dir,
+                                                       WalOptions options,
+                                                       WalOpenInfo* info) {
+  auto wal = Wal::open(dir, options, info);
+  if (!wal.ok()) return wal.error();
+  return std::unique_ptr<FileStorage>(new FileStorage(
+      std::move(dir), std::move(options), std::move(wal.value())));
+}
+
+Result<Lsn> FileStorage::append(std::uint8_t type, std::string_view payload) {
+  return wal_->append(type, payload);
+}
+
+Result<void> FileStorage::sync() { return wal_->sync(); }
+
+Lsn FileStorage::last_appended() const { return wal_->last_appended(); }
+
+Lsn FileStorage::last_synced() const { return wal_->last_synced(); }
+
+bool FileStorage::healthy() const { return wal_->healthy(); }
+
+Result<void> FileStorage::write_snapshot(Lsn lsn, std::string_view payload) {
+  if (lsn > wal_->last_synced()) {
+    return make_error(
+        ErrorCode::kInvalidArgument,
+        "storage: snapshot lsn beyond last_synced — records it claims to "
+        "cover could still be lost");
+  }
+  auto written = amf::storage::write_snapshot(dir_, lsn, payload, options_);
+  if (!written.ok()) return written;
+
+  // Retire old generations, then drop segments no retained snapshot needs.
+  // Both steps are best-effort space reclamation: a failure here leaves
+  // extra files behind but never loses coverage, so only hard I/O errors
+  // propagate.
+  auto oldest_kept = prune_snapshots(dir_, kKeepSnapshots);
+  if (!oldest_kept.ok()) return oldest_kept.error();
+  if (oldest_kept.value() > 0) {
+    return wal_->remove_segments_below(oldest_kept.value());
+  }
+  return {};
+}
+
+Result<std::optional<Snapshot>> FileStorage::latest_snapshot() const {
+  return load_latest_snapshot(dir_);
+}
+
+Result<void> FileStorage::replay(
+    Lsn after,
+    const std::function<Result<void>(const WalRecord&)>& fn) const {
+  // Flush the buffered tail first so the scan sees everything appended so
+  // far; recovery calls this before any new appends, where it's a no-op.
+  auto synced = wal_->sync();
+  if (!synced.ok()) return synced;
+  return Wal::scan(dir_, after, fn);
+}
+
+}  // namespace amf::storage

@@ -1,0 +1,297 @@
+// Kill-and-recover chaos family (ISSUE 7 tentpole oracle).
+//
+// A forked child runs the durable ticket app in strict-sync mode
+// (sync_every = 1) with the seeded FaultInjector's kCrashPoint wired to
+// raise(SIGKILL) — the process dies INSIDE a storage edge, mid-flush or
+// mid-snapshot-publish, exactly where a real power cut lands. The child
+// acknowledges an operation to the parent (append to an ack file) only
+// after the moderated call returned AND its commit record was covered by
+// fsync. The parent then reopens the directory and checks the durability
+// contract:
+//
+//   * recovery succeeds — a crash never leaves undiagnosable damage;
+//   * every ACKED effect is present (nothing acknowledged is lost);
+//   * no effect is duplicated (sequential ticket ids + FIFO assigns make
+//     duplicates visible as id mismatches);
+//   * the recovery run's own moderation trace is protocol-clean (G4:
+//     admissions pair with postactivations, on replay exactly as live).
+//
+// Three generations crash into the SAME directory, so recovery output is
+// itself crashed over — snapshots, log tails and torn frames compose.
+// AMF_FAULT_SEED sweeps the crash schedule in CI (1/2/3 matrix).
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/ticket/durable_ticket.hpp"
+#include "core/verify.hpp"
+#include "runtime/event_log.hpp"
+#include "runtime/fault.hpp"
+
+namespace amf {
+namespace {
+
+namespace fs = std::filesystem;
+using apps::ticket::DurableTicketApp;
+using apps::ticket::Ticket;
+using runtime::FaultInjector;
+using runtime::FaultPoint;
+using runtime::Principal;
+
+constexpr std::size_t kCapacity = 64;
+constexpr int kOpsPerGeneration = 42;
+
+Principal named(std::string name) {
+  Principal p;
+  p.name = std::move(name);
+  return p;
+}
+
+DurableTicketApp::Options base_options() {
+  DurableTicketApp::Options options;
+  options.capacity = kCapacity;
+  options.wal.sync_every = 1;  // strict mode: every commit fsynced
+  return options;
+}
+
+/// One ack line: 'O <id>' (opened) or 'A <id>' (assigned). Written with a
+/// single write(2) after the record is known durable.
+void ack(int fd, char op, std::uint64_t id) {
+  const std::string line =
+      std::string(1, op) + " " + std::to_string(id) + "\n";
+  (void)!::write(fd, line.data(), line.size());
+}
+
+struct AckedOps {
+  std::vector<std::uint64_t> opened;
+  std::vector<std::uint64_t> assigned;
+};
+
+void parse_acks(const std::string& path, AckedOps& into) {
+  std::ifstream in(path);
+  std::string op;
+  std::uint64_t id = 0;
+  // A SIGKILL can in principle tear the final line; operator>> simply
+  // stops there, which drops at most one UNACKED suffix — safe direction.
+  while (in >> op >> id) {
+    if (op == "O") into.opened.push_back(id);
+    if (op == "A") into.assigned.push_back(id);
+  }
+}
+
+/// Child body: recover, then run seeded traffic until the crash schedule
+/// kills the process (or the op budget runs out — a clean exit, also a
+/// valid generation). Never returns into gtest.
+[[noreturn]] void run_child(const std::string& dir, const std::string& acks,
+                            std::uint64_t seed) {
+  FaultInjector fault(seed);
+  auto options = base_options();
+  options.wal.fault = &fault;
+  options.wal.crash_hook = [](std::string_view) { ::raise(SIGKILL); };
+
+  // Recovery itself runs before the injector is armed: each generation
+  // crashes in LIVE traffic, and recovery-time crashes are covered by the
+  // generations compounding into the same directory.
+  auto app = DurableTicketApp::open(dir, options);
+  if (!app.ok()) ::_exit(2);
+  const int fd = ::open(acks.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) ::_exit(3);
+
+  fault.arm(FaultPoint::kCrashPoint, 0.015);
+  std::uint64_t next_id = app.value()->total_opened() + 1;
+  for (int i = 0; i < kOpsPerGeneration; ++i) {
+    if (i % 3 == 2 && app.value()->pending() > 0) {
+      auto r = app.value()->assign_ticket(named("oncall"));
+      if (!r.ok()) ::_exit(4);
+      if (app.value()->storage().last_synced() <
+          app.value()->persistence().last_lsn()) {
+        ::_exit(5);  // strict mode broke its own durability contract
+      }
+      ack(fd, 'A', r.value->id);
+    } else {
+      Ticket t;
+      t.id = next_id;
+      t.description = "chaos-" + std::to_string(next_id);
+      t.opened_by = "gen";
+      auto r = app.value()->open_ticket(t, named("gen"));
+      if (!r.ok()) ::_exit(4);
+      if (app.value()->storage().last_synced() <
+          app.value()->persistence().last_lsn()) {
+        ::_exit(5);
+      }
+      ack(fd, 'O', next_id);
+      ++next_id;
+    }
+    // Periodic checkpoints put the snapshot publish dance (tmp, fsync,
+    // rename, fsync-dir) inside the crash schedule too.
+    if (i == kOpsPerGeneration / 2) {
+      if (!app.value()->checkpoint().ok()) ::_exit(6);
+    }
+  }
+  ::_exit(0);
+}
+
+/// Deterministic variant: the hook only fires at one named site, and the
+/// probability is 1.0, so the child dies at EXACTLY that storage edge.
+[[noreturn]] void run_site_crash_child(const std::string& dir,
+                                       const std::string& site) {
+  FaultInjector fault(1);
+  auto options = base_options();
+  options.wal.fault = &fault;
+  options.wal.crash_hook = [site](std::string_view s) {
+    if (s == site) ::raise(SIGKILL);
+  };
+  auto app = DurableTicketApp::open(dir, options);
+  if (!app.ok()) ::_exit(2);
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    Ticket t;
+    t.id = id;
+    t.description = "pre-crash";
+    t.opened_by = "child";
+    if (!app.value()->open_ticket(t, named("child")).ok()) ::_exit(4);
+  }
+  fault.arm(FaultPoint::kCrashPoint, 1.0);
+  (void)app.value()->checkpoint();  // dies inside the publish dance
+  ::_exit(7);                       // the crash site never fired: bug
+}
+
+class RecoveryChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    dir_ = fs::temp_directory_path() /
+           ("amf_recovery_chaos_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string store_dir() const { return (dir_ / "store").string(); }
+  std::string ack_path(int generation) const {
+    return (dir_ / ("acks-" + std::to_string(generation))).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(RecoveryChaosTest, KilledChildrenNeverLoseAcknowledgedEffects) {
+  const std::uint64_t seed = FaultInjector::env_seed(7);
+  AckedOps acked;
+
+  for (int generation = 0; generation < 3; ++generation) {
+    const pid_t pid = ::fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+      run_child(store_dir(), ack_path(generation),
+                seed + std::uint64_t(generation) * 1013);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    const bool killed = WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    ASSERT_TRUE(killed || clean)
+        << "generation " << generation << " child failed, status=" << status;
+    parse_acks(ack_path(generation), acked);
+
+    // Recover in-parent and audit the durability contract. The app closes
+    // again at scope exit, so the NEXT generation's child recovers from
+    // this recovered-then-crashed-again directory.
+    runtime::EventLog log;
+    auto options = base_options();
+    options.moderator.log = &log;
+    auto app = DurableTicketApp::open(store_dir(), options);
+    ASSERT_TRUE(app.ok()) << "generation " << generation << ": "
+                          << app.error().to_string();
+
+    // Nothing acknowledged is lost. (The recovered state may contain a few
+    // MORE effects than were acked — durable but killed before the ack —
+    // which is the correct direction.)
+    EXPECT_GE(app.value()->total_opened(), acked.opened.size());
+    EXPECT_GE(app.value()->total_assigned(), acked.assigned.size());
+    EXPECT_EQ(app.value()->pending(),
+              app.value()->total_opened() - app.value()->total_assigned());
+
+    // No duplicated or reordered effects: the children open sequential ids
+    // starting from the recovered total, so every acked open id must sit
+    // within [1, total_opened]; FIFO assigns hand out ids 1, 2, 3, ... so
+    // the acked assign ids must be exactly that prefix, in order.
+    if (!acked.opened.empty()) {
+      EXPECT_LE(acked.opened.back(), app.value()->total_opened());
+    }
+    for (std::size_t i = 0; i < acked.assigned.size(); ++i) {
+      EXPECT_EQ(acked.assigned[i], i + 1)
+          << "assign order diverged at ack #" << i;
+    }
+    EXPECT_LE(acked.assigned.size(), app.value()->total_assigned());
+
+    // Replay re-used the live protocol, and logged nothing new.
+    EXPECT_EQ(app.value()->persistence().appended(), 0u);
+    const auto violations = core::TraceValidator::validate(log);
+    EXPECT_TRUE(violations.empty())
+        << (violations.empty() ? "" : violations.front().description);
+  }
+
+  // Final audit: drain every pending ticket; ids must be strictly
+  // increasing with no gaps relative to the assign counter — duplicates or
+  // losses anywhere in the three crashed generations would surface here.
+  auto app = DurableTicketApp::open(store_dir(), base_options());
+  ASSERT_TRUE(app.ok());
+  std::uint64_t expected = app.value()->total_assigned() + 1;
+  const std::size_t pending = app.value()->pending();
+  for (std::size_t i = 0; i < pending; ++i, ++expected) {
+    auto r = app.value()->assign_ticket(named("auditor"));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value->id, expected);
+  }
+  EXPECT_EQ(app.value()->pending(), 0u);
+}
+
+TEST_F(RecoveryChaosTest, CrashBeforeSnapshotRenameFallsBackToTheLog) {
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) run_site_crash_child(store_dir(), "snapshot.pre-rename");
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "status=" << status;
+
+  auto app = DurableTicketApp::open(store_dir(), base_options());
+  ASSERT_TRUE(app.ok()) << app.error().to_string();
+  // The .tmp was never renamed: no snapshot exists, the full log replays.
+  EXPECT_EQ(app.value()->recovery_stats().snapshot_lsn, 0u);
+  EXPECT_EQ(app.value()->recovery_stats().replayed, 6u);
+  EXPECT_EQ(app.value()->total_opened(), 6u);
+  EXPECT_EQ(app.value()->pending(), 6u);
+}
+
+TEST_F(RecoveryChaosTest, CrashAfterSnapshotRenameUsesTheSnapshot) {
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) run_site_crash_child(store_dir(), "snapshot.post-rename");
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "status=" << status;
+
+  auto app = DurableTicketApp::open(store_dir(), base_options());
+  ASSERT_TRUE(app.ok()) << app.error().to_string();
+  // The rename committed the snapshot before the crash: restore from it,
+  // nothing left to replay, identical observable state either way.
+  EXPECT_EQ(app.value()->recovery_stats().snapshot_lsn, 6u);
+  EXPECT_EQ(app.value()->recovery_stats().replayed, 0u);
+  EXPECT_EQ(app.value()->total_opened(), 6u);
+  EXPECT_EQ(app.value()->pending(), 6u);
+}
+
+}  // namespace
+}  // namespace amf

@@ -12,6 +12,7 @@
 
 #include "runtime/clock.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/result.hpp"
 
 namespace amf::runtime {
 namespace {
@@ -144,6 +145,64 @@ TEST(FaultInjectorTest, EnvSeedOverridesFallback) {
   EXPECT_EQ(FaultInjector::env_seed(77), 77u);
   ASSERT_EQ(unsetenv("AMF_FAULT_SEED"), 0);
   EXPECT_EQ(FaultInjector::env_seed(77), 77u);
+}
+
+TEST(FaultInjectorTest, GoldenSchedulesSurviveEnumGrowth) {
+  // The k-th decision at a point is hash(seed, point, k) — a pure function
+  // of the point's NUMERIC value. These masks pin the first 64 verdicts at
+  // seed 42, p = 0.3, for points old and new: if extending FaultPoint (the
+  // storage kinds appended in the durability wave, or any future ones)
+  // ever shifted an existing stream, every seed-pinned chaos repro in CI
+  // would silently change meaning. Bit i set = decision i fired.
+  const struct {
+    FaultPoint point;
+    std::uint64_t mask;
+  } golden[] = {
+      {FaultPoint::kPrecondition, 0x9858C6B003258456ull},
+      {FaultPoint::kPostaction, 0x4E5125B2E64C8C67ull},
+      {FaultPoint::kDropMessage, 0xD021512B023D0980ull},
+      {FaultPoint::kShortWrite, 0x4804A68058181800ull},
+      {FaultPoint::kIoError, 0x234012083A500AC8ull},
+      {FaultPoint::kCrashPoint, 0x805B908625208E20ull},
+  };
+  for (const auto& g : golden) {
+    FaultInjector inj(42);
+    inj.arm(g.point, 0.3);
+    std::uint64_t mask = 0;
+    for (int i = 0; i < 64; ++i) {
+      if (inj.fire(g.point)) mask |= std::uint64_t(1) << i;
+    }
+    EXPECT_EQ(mask, g.mask) << "schedule drifted at " << to_string(g.point);
+  }
+}
+
+TEST(FaultInjectorTest, StorageKindsAreIndependentStreams) {
+  // The three storage-edge kinds draw from distinct streams — from each
+  // other and from the older points — at the same seed, so arming, say,
+  // kIoError in a test never changes which appends tear under kShortWrite.
+  const FaultPoint points[] = {FaultPoint::kShortWrite, FaultPoint::kIoError,
+                               FaultPoint::kCrashPoint,
+                               FaultPoint::kPostaction};
+  std::vector<std::vector<bool>> schedules;
+  for (const auto point : points) {
+    FaultInjector inj(11);
+    inj.arm(point, 0.5);
+    schedules.push_back(verdicts(inj, point, 500));
+  }
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    for (std::size_t j = i + 1; j < schedules.size(); ++j) {
+      EXPECT_NE(schedules[i], schedules[j])
+          << to_string(points[i]) << " and " << to_string(points[j])
+          << " share a stream";
+    }
+  }
+}
+
+TEST(FaultInjectorTest, ToStringCoversTheStorageKinds) {
+  EXPECT_EQ(to_string(FaultPoint::kShortWrite), "short-write");
+  EXPECT_EQ(to_string(FaultPoint::kIoError), "io-error");
+  EXPECT_EQ(to_string(FaultPoint::kCrashPoint), "crash-point");
+  EXPECT_EQ(to_string(ErrorCode::kCorrupted), "corrupted");
 }
 
 TEST(SkewedClockTest, NoSkewWhenDisarmed) {
