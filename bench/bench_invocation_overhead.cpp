@@ -10,14 +10,20 @@
 //   observed — ComponentProxy with a non-blocking observer chain, admitted
 //              on the moderator's optimistic lock-free fast path (§11)
 //   moderated— ComponentProxy with the paper's two sync aspects
+//   static   — StaticProxy with an EMPTY chain, component thread-pinned
+//              (compile-time weave + compile-away knobs, DESIGN.md §16)
+//   static2  — StaticProxy with the paper's two sync aspects, thread-pinned
+//   static2shared — same two aspects, kShared knobs (real mutex retained)
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <memory>
 
 #include "apps/ticket/tangled_ticket_server.hpp"
+#include "apps/ticket/static_ticket.hpp"
 #include "apps/ticket/ticket_proxy.hpp"
 #include "core/aspect.hpp"
+#include "core/static_proxy.hpp"
 
 namespace {
 
@@ -107,6 +113,52 @@ void BM_ModeratedProxy(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
 }
 BENCHMARK(BM_ModeratedProxy);
+
+void BM_StaticProxy(benchmark::State& state) {
+  // Empty compile-time chain over a thread-pinned component: every phase is
+  // eliminated at compile time and the concurrency knobs select the no-op
+  // mutex/counters, so the invocation is the moderation protocol's skeleton
+  // with zero atomics, zero clock reads and zero admission CAS.
+  core::StaticProxy<core::Pinned<TicketServer>> proxy{
+      core::Pinned<TicketServer>(TicketServer(2))};
+  const auto open = runtime::MethodId::of("static-open");
+  const auto assign = runtime::MethodId::of("static-assign");
+  for (auto _ : state) {
+    (void)proxy.invoke(open,
+                       [](TicketServer& s) { s.open(make_ticket()); });
+    auto r = proxy.invoke(assign, [](TicketServer& s) { return s.assign(); });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_StaticProxy);
+
+void BM_StaticProxy2Aspects(benchmark::State& state) {
+  // The paper's full producer/consumer guard pair (same aspects as
+  // BM_ModeratedProxy), woven statically over a thread-pinned server.
+  auto proxy = make_pinned_static_ticket_proxy(2);
+  for (auto _ : state) {
+    (void)static_open_ticket(*proxy, make_ticket());
+    auto r = static_assign_ticket(*proxy);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_StaticProxy2Aspects);
+
+void BM_StaticProxy2AspectsShared(benchmark::State& state) {
+  // Same static weave with the kShared knobs (real mutex + condvar kept):
+  // isolates the price of the concurrency knobs from the price of the
+  // compile-time weave itself.
+  auto proxy = make_static_ticket_proxy(2);
+  for (auto _ : state) {
+    (void)static_open_ticket(*proxy, make_ticket());
+    auto r = static_assign_ticket(*proxy);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_StaticProxy2AspectsShared);
 
 }  // namespace
 

@@ -20,6 +20,14 @@ Reads a full --benchmark_format=json report on stdin and writes OUTFILE:
 Each series entry carries items_per_second plus every user counter the
 bench reported (latency percentiles, fast-path hit counts, mix shape).
 
+Fast-path counters are NORMALIZED: `fast_admissions`/`fast_completions`
+arrive from the bench as raw event counts, which scale with however many
+iterations the bench harness happened to run — a ratio guard comparing raw
+counts across runs silently passes on count drift. They are therefore
+emitted as per-item ratios (`fast_admission_ratio`/`fast_completion_ratio`,
+count / items processed, 1.0 = every item took the fast path), computed
+from items_per_second x real_time x iterations.
+
 The "baseline" key pins the pre-optimization numbers a regression check
 compares against. It is PRESERVED verbatim from an existing OUTFILE on
 every normal run; --set-baseline instead re-pins it to the numbers being
@@ -28,6 +36,24 @@ written now. Delete the file to start over.
 import json
 import sys
 from pathlib import Path
+
+
+_TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def items_processed(b):
+    """Total items a benchmark run processed, or None when underivable.
+
+    google-benchmark JSON reports the rate (items_per_second) and the
+    per-iteration real time, not the item count; count = rate x total time.
+    """
+    ips = b.get("items_per_second")
+    real_time = b.get("real_time")
+    iterations = b.get("iterations")
+    unit = _TIME_UNIT_SECONDS.get(b.get("time_unit", "ns"))
+    if not (ips and real_time and iterations and unit):
+        return None
+    return float(ips) * float(real_time) * unit * float(iterations)
 
 
 def compact(report):
@@ -43,10 +69,21 @@ def compact(report):
             b["real_time"] if b.get("time_unit") == "ms"
             else b["real_time"] / 1e6, 4)
         for key, value in b.items():
+            # Fast-path hit counts: emit per-item ratios, not raw counts
+            # (raw counts track iteration count, so a guard on them cannot
+            # distinguish "fast path broke" from "bench ran longer").
+            if key in ("fast_admissions", "fast_completions"):
+                items = items_processed(b)
+                if items:
+                    ratio_key = {"fast_admissions": "fast_admission_ratio",
+                                 "fast_completions": "fast_completion_ratio"
+                                 }[key]
+                    entry[ratio_key] = round(float(value) / items, 4)
+                continue
             # User counters are top-level float fields not in the standard
             # schema; keep the useful ones (percentiles, mix, fast-path).
-            if key in ("threads", "read_pct", "methods", "fast_admissions",
-                       "fast_completions", "shed", "offered", "completed",
+            if key in ("threads", "read_pct", "methods",
+                       "shed", "offered", "completed",
                        "sheds", "timeouts", "final_limit", "refused",
                        "rejected", "expired", "suppressed",
                        "allocs_per_op") \

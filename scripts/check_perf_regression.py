@@ -17,6 +17,15 @@ E8 write-tail guard, write_p99_ns / read_p99_ns <= --max-ratio. Both
 counters come from the same process on the same machine, so the bound is
 portable without any pinned baseline.
 
+Min-ratio mode (--min-ratio): checks the CURRENT run's throughput ratio of
+two series against an absolute lower bound, no baseline involved — e.g.
+the E1 static-composition guard, BM_StaticProxy / BM_DirectCall >= 0.5.
+Both series come from the same run, so the bound is portable.
+
+Counter-min mode (--counter-min): checks a single user counter of one
+current-run series against an absolute lower bound — e.g. the E1 fast-path
+guard, fast_admission_ratio >= 0.99 (every item admitted fast).
+
 Usage:
   check_perf_regression.py BENCH_E1.json BM_ModeratedProxy BM_DirectCall
   check_perf_regression.py BENCH_E8.json \
@@ -25,6 +34,10 @@ Usage:
   check_perf_regression.py BENCH_E8.json \
       --counter-ratio "BM_FrameworkRw/8/90/real_time" \
       write_p99_ns read_p99_ns --max-ratio 4.0
+  check_perf_regression.py BENCH_E1.json \
+      BM_StaticProxy BM_DirectCall --min-ratio 0.5
+  check_perf_regression.py BENCH_E1.json \
+      --counter-min BM_ObservedProxy fast_admission_ratio 0.99
 """
 
 import argparse
@@ -64,6 +77,18 @@ def check_counter_ratio(snap, snapshot_name, series, num, den, max_ratio):
     print("OK")
 
 
+def check_counter_min(snap, snapshot_name, series, counter, bound):
+    entry = find_entry(snap, series, "current run")
+    if counter not in entry:
+        sys.exit(f"error: series '{series}' has no counter '{counter}'")
+    value = float(entry[counter])
+    print(f"{snapshot_name}: {series}")
+    print(f"  {counter} = {value:.4f} (minimum {bound:.4f})")
+    if value < bound:
+        sys.exit(f"FAIL: {counter} is below the required minimum")
+    print("OK")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("snapshot", help="BENCH_*.json file")
@@ -80,6 +105,13 @@ def main():
                          "against --max-ratio instead of throughput ratios")
     ap.add_argument("--max-ratio", type=float, default=4.0,
                     help="absolute bound for --counter-ratio (default: 4.0)")
+    ap.add_argument("--min-ratio", type=float,
+                    help="check numerator/denominator of the CURRENT run "
+                         "against this absolute lower bound (no baseline)")
+    ap.add_argument("--counter-min", nargs=3,
+                    metavar=("SERIES", "COUNTER", "MIN"),
+                    help="check a single counter of one current-run series "
+                         "against an absolute lower bound")
     args = ap.parse_args()
 
     with open(args.snapshot) as f:
@@ -91,9 +123,24 @@ def main():
                             args.max_ratio)
         return
 
+    if args.counter_min:
+        series, counter, bound = args.counter_min
+        check_counter_min(snap, args.snapshot, series, counter, float(bound))
+        return
+
     if not args.numerator or not args.denominator:
         sys.exit("error: numerator and denominator series are required "
-                 "unless --counter-ratio is used")
+                 "unless --counter-ratio/--counter-min is used")
+
+    if args.min_ratio is not None:
+        cur = (find_series(snap, args.numerator, "current run") /
+               find_series(snap, args.denominator, "current run"))
+        print(f"{args.snapshot}: {args.numerator} / {args.denominator}")
+        print(f"  current ratio: {cur:.4f} (minimum {args.min_ratio:.4f})")
+        if cur < args.min_ratio:
+            sys.exit("FAIL: throughput ratio below the required minimum")
+        print("OK")
+        return
     baseline = snap.get("baseline")
     if not baseline:
         sys.exit(f"error: {args.snapshot} has no pinned baseline — run "

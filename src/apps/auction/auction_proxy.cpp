@@ -7,12 +7,24 @@
 
 namespace amf::apps::auction {
 
-runtime::MethodId list_method() { return runtime::MethodId::of("list_item"); }
-runtime::MethodId bid_method() { return runtime::MethodId::of("place_bid"); }
-runtime::MethodId close_method() {
-  return runtime::MethodId::of("close_auction");
+// Interned once and cached: MethodId::of takes the interner lock, and
+// these helpers sit on per-invocation paths.
+runtime::MethodId list_method() {
+  static const runtime::MethodId id = runtime::MethodId::of("list_item");
+  return id;
 }
-runtime::MethodId query_method() { return runtime::MethodId::of("query"); }
+runtime::MethodId bid_method() {
+  static const runtime::MethodId id = runtime::MethodId::of("place_bid");
+  return id;
+}
+runtime::MethodId close_method() {
+  static const runtime::MethodId id = runtime::MethodId::of("close_auction");
+  return id;
+}
+runtime::MethodId query_method() {
+  static const runtime::MethodId id = runtime::MethodId::of("query");
+  return id;
+}
 
 std::shared_ptr<AuctionProxy> make_auction_proxy(
     const runtime::CredentialStore& store, runtime::EventLog& audit_log,

@@ -1,0 +1,53 @@
+// Static composition variant of the auction cluster (DESIGN.md §16): the
+// same four concerns make_auction_proxy() registers at run time —
+// authenticate, authorize, readers-writer sync, audit, in that kind order —
+// woven at compile time into one proxy type. Authentication is scoped to
+// the writer methods with On<> (the static analogue of per-method
+// registration); the readers-writer aspect is held via Shared<> because its
+// atomic counters make it immovable — and because sharing the instance is
+// the point: the same counters could simultaneously guard a dynamic proxy.
+#pragma once
+
+#include <memory>
+
+#include "apps/auction/auction_proxy.hpp"
+#include "aspects/audit.hpp"
+#include "aspects/authentication.hpp"
+#include "aspects/authorization.hpp"
+#include "aspects/synchronization.hpp"
+#include "core/static_proxy.hpp"
+
+namespace amf::apps::auction {
+
+using StaticAuctionProxy = core::StaticProxy<
+    AuctionHouse, core::On<aspects::AuthenticationAspect>,
+    core::On<aspects::RoleAuthorizationAspect>,
+    core::Shared<aspects::ReadersWriterAspect>, aspects::AuditAspect>;
+
+/// Builds the statically woven analogue of make_auction_proxy(): same
+/// aspect instances' semantics, same per-method scoping, chain order =
+/// the dynamic wiring's kind order.
+inline std::unique_ptr<StaticAuctionProxy> make_static_auction_proxy(
+    const runtime::CredentialStore& store, runtime::EventLog& audit_log,
+    core::StaticProxyOptions options = {}) {
+  auto rw = std::make_shared<aspects::ReadersWriterAspect>();
+  for (const auto m : {list_method(), bid_method(), close_method()}) {
+    rw->add_writer(m);
+  }
+  rw->add_reader(query_method());
+
+  aspects::RoleAuthorizationAspect roles;
+  roles.require(close_method(), "auctioneer");
+
+  return std::make_unique<StaticAuctionProxy>(
+      options, AuctionHouse{},
+      core::On<aspects::AuthenticationAspect>(
+          aspects::AuthenticationAspect(store), list_method(), bid_method(),
+          close_method()),
+      core::On<aspects::RoleAuthorizationAspect>(
+          std::move(roles), list_method(), bid_method(), close_method()),
+      core::Shared<aspects::ReadersWriterAspect>(std::move(rw)),
+      aspects::AuditAspect(audit_log, "audit"));
+}
+
+}  // namespace amf::apps::auction

@@ -6,11 +6,20 @@
 
 namespace amf::apps::reservation {
 
+// Interned once and cached: MethodId::of takes the interner lock, and
+// these helpers sit on per-invocation paths.
 runtime::MethodId reserve_method() {
-  return runtime::MethodId::of("reserve");
+  static const runtime::MethodId id = runtime::MethodId::of("reserve");
+  return id;
 }
-runtime::MethodId cancel_method() { return runtime::MethodId::of("cancel"); }
-runtime::MethodId query_method() { return runtime::MethodId::of("query"); }
+runtime::MethodId cancel_method() {
+  static const runtime::MethodId id = runtime::MethodId::of("cancel");
+  return id;
+}
+runtime::MethodId query_method() {
+  static const runtime::MethodId id = runtime::MethodId::of("query");
+  return id;
+}
 
 std::shared_ptr<ReservationProxy> make_reservation_proxy(
     std::size_t rows, std::size_t cols, runtime::Registry* metrics,

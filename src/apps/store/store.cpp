@@ -11,17 +11,46 @@ namespace {
 using runtime::ErrorCode;
 using runtime::MethodId;
 
-MethodId m_stock() { return MethodId::of("store.stock"); }
-MethodId m_deposit() { return MethodId::of("store.deposit"); }
-MethodId m_reserve() { return MethodId::of("store.reserve"); }
-MethodId m_release() { return MethodId::of("store.release"); }
-MethodId m_charge() { return MethodId::of("store.charge"); }
-MethodId m_record() { return MethodId::of("store.record"); }
+// Interned once and cached: MethodId::of takes the interner lock, and
+// these helpers sit on per-invocation paths.
+MethodId m_stock() {
+  static const MethodId id = MethodId::of("store.stock");
+  return id;
+}
+MethodId m_deposit() {
+  static const MethodId id = MethodId::of("store.deposit");
+  return id;
+}
+MethodId m_reserve() {
+  static const MethodId id = MethodId::of("store.reserve");
+  return id;
+}
+MethodId m_release() {
+  static const MethodId id = MethodId::of("store.release");
+  return id;
+}
+MethodId m_charge() {
+  static const MethodId id = MethodId::of("store.charge");
+  return id;
+}
+MethodId m_record() {
+  static const MethodId id = MethodId::of("store.record");
+  return id;
+}
 // One read method per component so each shares exactly its component's
 // exclusion group (reads never observe a write in progress).
-MethodId m_query_inv() { return MethodId::of("store.query-inventory"); }
-MethodId m_query_ledger() { return MethodId::of("store.query-ledger"); }
-MethodId m_query_orders() { return MethodId::of("store.query-orders"); }
+MethodId m_query_inv() {
+  static const MethodId id = MethodId::of("store.query-inventory");
+  return id;
+}
+MethodId m_query_ledger() {
+  static const MethodId id = MethodId::of("store.query-ledger");
+  return id;
+}
+MethodId m_query_orders() {
+  static const MethodId id = MethodId::of("store.query-orders");
+  return id;
+}
 }  // namespace
 
 Store::Store(const runtime::CredentialStore& sessions,

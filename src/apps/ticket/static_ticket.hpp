@@ -1,0 +1,79 @@
+// Static composition variant of the trouble-ticketing cluster (DESIGN.md
+// §16): the SAME two BoundedResourceAspect guards make_ticket_proxy()
+// registers at run time, woven at compile time instead — producer guard on
+// "open", consumer guard on "assign", chain fixed in the proxy's type.
+// Aspect names, verdicts, notes and protocol events match the dynamic
+// wiring, so tests can run one call script through both and diff.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "apps/ticket/ticket_proxy.hpp"
+#include "aspects/synchronization.hpp"
+#include "core/static_proxy.hpp"
+
+namespace amf::apps::ticket {
+
+/// The producer/consumer guard, scoped to its method at compile time.
+using StaticSyncAspect = core::On<aspects::BoundedResourceAspect>;
+
+/// Static ticket cluster over any server type (TicketServer or
+/// Pinned<TicketServer> for the knob-free single-caller variant).
+template <class Server>
+using BasicStaticTicketProxy =
+    core::StaticProxy<Server, StaticSyncAspect, StaticSyncAspect>;
+
+using StaticTicketProxy = BasicStaticTicketProxy<TicketServer>;
+/// Thread-pinned variant: one declared caller, zero atomics/mutexes in the
+/// proxy — kBlock (buffer full/empty with nobody else to change that)
+/// refuses instead of parking.
+using PinnedStaticTicketProxy =
+    BasicStaticTicketProxy<core::Pinned<TicketServer>>;
+
+namespace detail {
+template <class Server>
+std::unique_ptr<BasicStaticTicketProxy<Server>> make_static_ticket(
+    std::size_t capacity, core::StaticProxyOptions options) {
+  auto state = std::make_shared<aspects::BoundedResourceState>(capacity);
+  return std::make_unique<BasicStaticTicketProxy<Server>>(
+      options, Server(capacity),
+      StaticSyncAspect(
+          aspects::BoundedResourceAspect(
+              aspects::BoundedResourceAspect::Role::kProducer, state),
+          open_method()),
+      StaticSyncAspect(
+          aspects::BoundedResourceAspect(
+              aspects::BoundedResourceAspect::Role::kConsumer, state),
+          assign_method()));
+}
+}  // namespace detail
+
+/// Builds the statically woven analogue of make_ticket_proxy().
+inline std::unique_ptr<StaticTicketProxy> make_static_ticket_proxy(
+    std::size_t capacity, core::StaticProxyOptions options = {}) {
+  return detail::make_static_ticket<TicketServer>(capacity, options);
+}
+
+/// Same cluster declared thread-pinned (single caller, compile-away knobs).
+inline std::unique_ptr<PinnedStaticTicketProxy>
+make_pinned_static_ticket_proxy(std::size_t capacity,
+                                core::StaticProxyOptions options = {}) {
+  return detail::make_static_ticket<core::Pinned<TicketServer>>(capacity,
+                                                               options);
+}
+
+/// Guarded calls, mirroring open_ticket()/assign_ticket().
+template <class P>
+core::InvocationResult<void> static_open_ticket(P& proxy, Ticket t) {
+  return proxy.invoke(open_method(),
+                      [&t](auto& s) { s.open(std::move(t)); });
+}
+
+template <class P>
+core::InvocationResult<Ticket> static_assign_ticket(P& proxy) {
+  return proxy.invoke(assign_method(), [](auto& s) { return s.assign(); });
+}
+
+}  // namespace amf::apps::ticket

@@ -7,8 +7,16 @@ namespace amf::apps::ticket {
 using aspects::BoundedResourceAspect;
 using aspects::BoundedResourceState;
 
-runtime::MethodId open_method() { return runtime::MethodId::of("open"); }
-runtime::MethodId assign_method() { return runtime::MethodId::of("assign"); }
+// Interned once and cached: MethodId::of takes the interner lock, and
+// these helpers sit on per-invocation paths.
+runtime::MethodId open_method() {
+  static const runtime::MethodId id = runtime::MethodId::of("open");
+  return id;
+}
+runtime::MethodId assign_method() {
+  static const runtime::MethodId id = runtime::MethodId::of("assign");
+  return id;
+}
 
 std::shared_ptr<TicketProxy> make_ticket_proxy(
     std::size_t capacity, core::ModeratorOptions options) {

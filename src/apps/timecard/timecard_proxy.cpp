@@ -8,11 +8,20 @@
 
 namespace amf::apps::timecard {
 
-runtime::MethodId submit_method() { return runtime::MethodId::of("submit"); }
-runtime::MethodId approve_method() {
-  return runtime::MethodId::of("approve");
+// Interned once and cached: MethodId::of takes the interner lock, and
+// these helpers sit on per-invocation paths.
+runtime::MethodId submit_method() {
+  static const runtime::MethodId id = runtime::MethodId::of("submit");
+  return id;
 }
-runtime::MethodId report_method() { return runtime::MethodId::of("report"); }
+runtime::MethodId approve_method() {
+  static const runtime::MethodId id = runtime::MethodId::of("approve");
+  return id;
+}
+runtime::MethodId report_method() {
+  static const runtime::MethodId id = runtime::MethodId::of("report");
+  return id;
+}
 
 std::shared_ptr<TimecardProxy> make_timecard_proxy(
     const runtime::CredentialStore& store, runtime::EventLog& audit_log,

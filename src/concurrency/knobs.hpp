@@ -1,0 +1,150 @@
+// Compile-away concurrency knobs (DESIGN.md §16).
+//
+// The moderated hot path pays for atomics and mutexes because *any* thread
+// may call in. Components that are pinned to one thread — and whole builds
+// that declare the process single-threaded (-DAMF_SEQ=ON) — never need
+// that machinery, so these knobs let the SAME source degrade to plain
+// loads/stores and empty lock bodies, in the style of upcxx's
+// `par_mutex`/`par_atomic` no-op fallbacks: code is written once against
+// the knob types and the concurrency cost is selected at compile time.
+//
+// Two axes, deliberately separate:
+//
+//   * Build axis  — `amf::par_mutex` / `amf::par_atomic<T>` follow the
+//     AMF_SEQ build flag. ON asserts the WHOLE process is single-threaded;
+//     every user of the build-level aliases (e.g. runtime::EventLog)
+//     compiles its synchronization away. The default build keeps real
+//     std::mutex / std::atomic.
+//   * Instantiation axis — `mutex_for<TM>` / `atomic_for<TM, T>` take an
+//     explicit ThreadModel template argument. core::StaticProxy resolves
+//     TM per component (a component declaring
+//     `static constexpr ThreadModel kThreadModel = ThreadModel::kPinned`
+//     gets the no-op types even in a normal multi-threaded build).
+//
+// The no-op types mirror the std interfaces closely enough that code
+// written against the knobs compiles unchanged either way; they are NOT
+// drop-in thread-safe — selecting them is a promise about the threads that
+// exist, exactly like upcxx's hidden-AM-concurrency level.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+namespace amf::concurrency {
+
+/// Who may touch a piece of state.
+enum class ThreadModel {
+  kShared,  // any thread: real mutexes and atomics
+  kPinned,  // exactly one thread: locks and atomics compile away
+};
+
+#if defined(AMF_SEQ) && AMF_SEQ
+/// Build-wide thread model: -DAMF_SEQ=ON declares the process
+/// single-threaded, so the build-level aliases degrade to the no-op types.
+inline constexpr ThreadModel kBuildModel = ThreadModel::kPinned;
+#else
+inline constexpr ThreadModel kBuildModel = ThreadModel::kShared;
+#endif
+
+/// BasicLockable/Lockable no-op. Same shape as std::mutex, zero state,
+/// every member inlines to nothing.
+struct NullMutex {
+  void lock() {}
+  void unlock() {}
+  bool try_lock() { return true; }
+};
+
+/// Single-thread stand-in for std::atomic<T>: a plain value with the
+/// std::atomic member surface (memory_order parameters accepted and
+/// ignored). Copying stays deleted so the two types are interchangeable
+/// in class layouts without behavioral drift.
+template <typename T>
+class PlainCell {
+ public:
+  PlainCell() noexcept = default;
+  constexpr PlainCell(T desired) noexcept : val_(desired) {}
+  PlainCell(const PlainCell&) = delete;
+  PlainCell& operator=(const PlainCell&) = delete;
+
+  T operator=(T desired) noexcept { return (val_ = desired); }
+  operator T() const noexcept { return val_; }
+
+  bool is_lock_free() const noexcept { return true; }
+
+  T load(std::memory_order = std::memory_order_seq_cst) const noexcept {
+    return val_;
+  }
+  void store(T desired, std::memory_order = std::memory_order_seq_cst) noexcept {
+    val_ = desired;
+  }
+  T exchange(T desired, std::memory_order = std::memory_order_seq_cst) noexcept {
+    T old = val_;
+    val_ = desired;
+    return old;
+  }
+  T fetch_add(T d, std::memory_order = std::memory_order_seq_cst) noexcept {
+    T old = val_;
+    val_ = static_cast<T>(val_ + d);
+    return old;
+  }
+  T fetch_sub(T d, std::memory_order = std::memory_order_seq_cst) noexcept {
+    T old = val_;
+    val_ = static_cast<T>(val_ - d);
+    return old;
+  }
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order = std::memory_order_seq_cst,
+      std::memory_order = std::memory_order_seq_cst) noexcept {
+    if (val_ == expected) {
+      val_ = desired;
+      return true;
+    }
+    expected = val_;
+    return false;
+  }
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order = std::memory_order_seq_cst,
+      std::memory_order = std::memory_order_seq_cst) noexcept {
+    return compare_exchange_weak(expected, desired);
+  }
+
+ private:
+  T val_{};
+};
+
+/// Knob type selection per thread model.
+template <ThreadModel TM>
+struct KnobTraits {
+  using Mutex = std::mutex;
+  template <typename T>
+  using Atomic = std::atomic<T>;
+};
+
+template <>
+struct KnobTraits<ThreadModel::kPinned> {
+  using Mutex = NullMutex;
+  template <typename T>
+  using Atomic = PlainCell<T>;
+};
+
+/// Instantiation-level knobs: pick per component/template argument.
+template <ThreadModel TM>
+using mutex_for = typename KnobTraits<TM>::Mutex;
+template <ThreadModel TM, typename T>
+using atomic_for = typename KnobTraits<TM>::template Atomic<T>;
+
+/// Build-level knobs (the upcxx idiom): follow -DAMF_SEQ.
+using par_mutex = mutex_for<kBuildModel>;
+template <typename T>
+using par_atomic = atomic_for<kBuildModel, T>;
+
+}  // namespace amf::concurrency
+
+namespace amf {
+// The short spellings the rest of the tree uses.
+using concurrency::par_atomic;
+using concurrency::par_mutex;
+using concurrency::ThreadModel;
+}  // namespace amf

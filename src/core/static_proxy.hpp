@@ -1,0 +1,867 @@
+// StaticProxy<Component, Aspects...>: compile-time-woven aspect chains
+// (DESIGN.md §16).
+//
+// The dynamic bank buys RUN-TIME recomposability — register/replace/
+// quarantine aspects while callers are in flight — and pays for it per
+// invocation: admission bookkeeping, epoch validation, Dekker handshakes,
+// atomics (E1/E14 put the empty-chain price at ~5.8× a direct call even
+// after the §13 hot-path work). A chain that is FIXED at compile time
+// needs none of that. StaticProxy is the framework's static composition
+// mode: the aspect pack is a template parameter, every phase is expanded
+// inline over the pack (fold expressions), and phases no composed aspect
+// implements are eliminated at compile time — the template analogue of the
+// compiled chain's presence bits. This is the "aspect mechanisms as
+// interchangeable implementations of one composition interface" point of
+// Pluggable AOP, realized as: same hooks, same verdicts, same G4 pairing,
+// same event-log trace — TraceValidator cannot tell a static invocation
+// from a dynamic one — but the weave happens in the compiler.
+//
+// What static composition gives up (the price of the speed, §16.2):
+//   * no run-time recomposition — the chain is part of the proxy's TYPE;
+//   * no quarantine — a faulting aspect stays composed (faults are still
+//     contained per invocation, exactly like the dynamic firewall);
+//   * no fault-injection points, no batch/fast-path machinery, no
+//     watchdog, no metrics registry — the surface is the hooks themselves;
+//   * kBlock on a thread-pinned proxy refuses instead of parking (no
+//     second thread exists that could change the guard's answer).
+//
+// Concurrency knobs (concurrency/knobs.hpp): the proxy's own state —
+// guard lock, wait channel, statistics — is typed through
+// mutex_for/atomic_for on the component's declared ThreadModel. A
+// component carrying `static constexpr ThreadModel kThreadModel =
+// ThreadModel::kPinned` (or any component under -DAMF_SEQ=ON) gets
+// zero-size locks and plain counters: the static empty chain then carries
+// zero atomics, zero clock stamps and zero admission CAS. The default
+// (kShared) keeps a real mutex + condition variable, so kBlock verdicts
+// park and wake exactly like a single-shard dynamic moderator.
+//
+// Interop: a StaticProxy is an ordinary object — wrap one (or a component
+// that owns one) in a dynamic ComponentProxy to layer run-time-swappable
+// concerns around a statically woven core. The two moderation layers nest
+// like any other nested moderated call.
+#pragma once
+
+#include <array>
+#include <concepts>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stop_token>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "concurrency/knobs.hpp"
+#include "core/aspect.hpp"
+#include "core/context.hpp"
+#include "core/decision.hpp"
+#include "core/proxy.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/event_log.hpp"
+#include "runtime/result.hpp"
+
+namespace amf::core {
+
+// --- static hook detection --------------------------------------------------
+//
+// One detection rule for both aspect styles:
+//   * classes derived from Aspect: a hook counts as present iff the class
+//     OVERRIDES it (same member-pointer test compiled_hooks_for uses), so
+//     inherited no-op defaults stay eliminated;
+//   * plain structs: a hook counts as present iff the signature exists.
+// The resulting booleans are the compile-time presence bits.
+
+template <class A>
+consteval bool static_has_guard() {
+  if constexpr (std::is_base_of_v<Aspect, A>) {
+    return !std::is_same_v<decltype(&A::precondition),
+                           Decision (Aspect::*)(InvocationContext&)>;
+  } else {
+    return requires(A& a, InvocationContext& c) {
+      { a.precondition(c) } -> std::same_as<Decision>;
+    };
+  }
+}
+
+template <class A>
+consteval bool static_has_arrive() {
+  if constexpr (std::is_base_of_v<Aspect, A>) {
+    return !std::is_same_v<decltype(&A::on_arrive),
+                           void (Aspect::*)(InvocationContext&)>;
+  } else {
+    return requires(A& a, InvocationContext& c) { a.on_arrive(c); };
+  }
+}
+
+template <class A>
+consteval bool static_has_entry() {
+  if constexpr (std::is_base_of_v<Aspect, A>) {
+    return !std::is_same_v<decltype(&A::entry),
+                           void (Aspect::*)(InvocationContext&)>;
+  } else {
+    return requires(A& a, InvocationContext& c) { a.entry(c); };
+  }
+}
+
+template <class A>
+consteval bool static_has_post() {
+  if constexpr (std::is_base_of_v<Aspect, A>) {
+    return !std::is_same_v<decltype(&A::postaction),
+                           void (Aspect::*)(InvocationContext&)>;
+  } else {
+    return requires(A& a, InvocationContext& c) { a.postaction(c); };
+  }
+}
+
+template <class A>
+consteval bool static_has_cancel() {
+  if constexpr (std::is_base_of_v<Aspect, A>) {
+    return !std::is_same_v<decltype(&A::on_cancel),
+                           void (Aspect::*)(InvocationContext&)>;
+  } else {
+    return requires(A& a, InvocationContext& c) { a.on_cancel(c); };
+  }
+}
+
+/// Diagnostic name of a static aspect (used for blocked.by / vetoed.by /
+/// faulted.by notes, same keys as the dynamic moderator).
+template <class A>
+std::string_view static_aspect_name(const A& a) {
+  if constexpr (requires {
+                  { a.name() } -> std::convertible_to<std::string_view>;
+                }) {
+    return a.name();
+  } else {
+    return "static-aspect";
+  }
+}
+
+// --- thread model resolution ------------------------------------------------
+
+/// ThreadModel a component declares, or the build default. A component opts
+/// into the no-op knobs with
+///   static constexpr concurrency::ThreadModel kThreadModel =
+///       concurrency::ThreadModel::kPinned;
+template <class C>
+consteval concurrency::ThreadModel static_thread_model() {
+  if constexpr (requires {
+                  { C::kThreadModel } -> std::convertible_to<ThreadModel>;
+                }) {
+    return C::kThreadModel;
+  } else {
+    return concurrency::kBuildModel;
+  }
+}
+
+/// Declares (a copy of) any component thread-pinned without editing it:
+/// StaticProxy<Pinned<TicketServer>> gets the compile-away knobs.
+template <class C>
+struct Pinned : C {
+  using C::C;
+  Pinned(C base) : C(std::move(base)) {}
+  static constexpr ThreadModel kThreadModel = ThreadModel::kPinned;
+};
+
+// --- method scoping ---------------------------------------------------------
+
+/// Scopes an aspect to an explicit method set — the static analogue of the
+/// bank's per-method registration. Hooks of methods outside the set are
+/// skipped (guards resume); the presence bits are inherited from A, so an
+/// On<A> adds exactly the phases A implements. The method list is fixed at
+/// wiring time and scanned linearly (chains pass a handful of methods, not
+/// tables).
+template <class A>
+class On {
+ public:
+  /// Static wiring names a handful of methods, never a table; the ids live
+  /// inline so applies() is a register scan with no heap indirection.
+  static constexpr std::size_t kMaxMethods = 8;
+
+  template <class... M>
+  explicit On(A aspect, M... methods)
+      : aspect_(std::move(aspect)),
+        methods_{methods...},
+        count_(sizeof...(M)) {
+    static_assert(sizeof...(M) <= kMaxMethods,
+                  "On<> scopes an aspect to a handful of methods; "
+                  "use several On<> instances (or the dynamic bank) "
+                  "for larger method sets");
+  }
+
+  std::string_view name() const { return static_aspect_name(aspect_); }
+
+  bool applies(const InvocationContext& ctx) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      if (methods_[i] == ctx.method()) return true;
+    }
+    return false;
+  }
+
+  Decision precondition(InvocationContext& ctx)
+    requires(static_has_guard<A>())
+  {
+    return applies(ctx) ? aspect_.precondition(ctx) : Decision::kResume;
+  }
+  void on_arrive(InvocationContext& ctx)
+    requires(static_has_arrive<A>())
+  {
+    if (applies(ctx)) aspect_.on_arrive(ctx);
+  }
+  void entry(InvocationContext& ctx)
+    requires(static_has_entry<A>())
+  {
+    if (applies(ctx)) aspect_.entry(ctx);
+  }
+  void postaction(InvocationContext& ctx)
+    requires(static_has_post<A>())
+  {
+    if (applies(ctx)) aspect_.postaction(ctx);
+  }
+  void on_cancel(InvocationContext& ctx)
+    requires(static_has_cancel<A>())
+  {
+    if (applies(ctx)) aspect_.on_cancel(ctx);
+  }
+
+  A& aspect() { return aspect_; }
+  const A& aspect() const { return aspect_; }
+
+ private:
+  A aspect_;
+  std::array<runtime::MethodId, kMaxMethods> methods_{};
+  std::size_t count_;
+};
+
+/// Holds an aspect by shared_ptr instead of by value: for aspects that are
+/// immovable (e.g. ReadersWriterAspect's atomic counters) or genuinely
+/// SHARED — one instance woven into several static proxies, or into a
+/// static chain and a dynamic bank at once (the interop story: both weaves
+/// then guard the same concern state). Presence bits inherit from A, and A
+/// is a concrete type, so the forwarded calls still devirtualize.
+template <class A>
+class Shared {
+ public:
+  explicit Shared(std::shared_ptr<A> aspect) : aspect_(std::move(aspect)) {}
+
+  std::string_view name() const { return static_aspect_name(*aspect_); }
+
+  Decision precondition(InvocationContext& ctx)
+    requires(static_has_guard<A>())
+  {
+    return aspect_->precondition(ctx);
+  }
+  void on_arrive(InvocationContext& ctx)
+    requires(static_has_arrive<A>())
+  {
+    aspect_->on_arrive(ctx);
+  }
+  void entry(InvocationContext& ctx)
+    requires(static_has_entry<A>())
+  {
+    aspect_->entry(ctx);
+  }
+  void postaction(InvocationContext& ctx)
+    requires(static_has_post<A>())
+  {
+    aspect_->postaction(ctx);
+  }
+  void on_cancel(InvocationContext& ctx)
+    requires(static_has_cancel<A>())
+  {
+    aspect_->on_cancel(ctx);
+  }
+
+  A& aspect() { return *aspect_; }
+  const A& aspect() const { return *aspect_; }
+
+ private:
+  std::shared_ptr<A> aspect_;
+};
+
+/// Aggregate moderation statistics of one StaticProxy (one struct for the
+/// whole proxy — per-method split belongs to the dynamic bank). Counter
+/// type follows the thread model: plain cells when pinned.
+struct StaticStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t block_events = 0;
+  std::uint64_t aspect_faults = 0;
+};
+
+/// StaticProxy configuration (deliberately a subset of ModeratorOptions:
+/// the static mode has no fault injector, watchdog or metrics registry).
+struct StaticProxyOptions {
+  const runtime::Clock* clock = &runtime::RealClock::instance();
+  /// When set, the proxy records the same "moderator"-category protocol
+  /// events ("preactivation:m", "admitted:m", ...) the dynamic moderator
+  /// does, so TraceValidator accepts either trace interchangeably.
+  runtime::EventLog* log = nullptr;
+};
+
+/// The static composition proxy. Owns the component and one instance of
+/// every aspect in the pack; the chain order is the pack order (the
+/// analogue of the bank's kind order — entries forward, postactions
+/// reverse).
+template <class C, class... Aspects>
+class StaticProxy {
+ public:
+  static constexpr ThreadModel kThreadModel = static_thread_model<C>();
+  static constexpr bool kPinnedModel = kThreadModel == ThreadModel::kPinned;
+
+  // Compile-time presence bits (the template analogue of
+  // CompiledChainData::any_*): a phase nobody implements costs nothing —
+  // not even a branch — in the woven pipeline.
+  static constexpr bool kAnyGuard = (static_has_guard<Aspects>() || ...);
+  static constexpr bool kAnyArrive = (static_has_arrive<Aspects>() || ...);
+  static constexpr bool kAnyEntry = (static_has_entry<Aspects>() || ...);
+  static constexpr bool kAnyPost = (static_has_post<Aspects>() || ...);
+  static constexpr bool kAnyCancel = (static_has_cancel<Aspects>() || ...);
+  static constexpr bool kAnyAspect = sizeof...(Aspects) > 0;
+  // Whether admission is timestamped at all. Pinned chains never park, so
+  // wait_time is identically zero and the clock is never read; shared
+  // chains stamp once per call (see preactivate()).
+  static constexpr bool kStampsAdmission =
+      kAnyAspect && kThreadModel == ThreadModel::kShared;
+
+  // The proxy's own concurrency knobs, resolved from the thread model.
+  // Compile-time checkable: a pinned instantiation must not contain a
+  // single std::atomic or std::mutex (see static_proxy_test).
+  using MutexT = concurrency::mutex_for<kThreadModel>;
+  using CounterT = concurrency::atomic_for<kThreadModel, std::uint64_t>;
+  static constexpr bool kUsesAtomics =
+      std::is_same_v<CounterT, std::atomic<std::uint64_t>>;
+
+  explicit StaticProxy(C component, Aspects... aspects)
+      : StaticProxy(StaticProxyOptions{}, std::move(component),
+                    std::move(aspects)...) {}
+
+  StaticProxy(StaticProxyOptions options, C component, Aspects... aspects)
+      : component_(std::move(component)),
+        aspects_(std::move(aspects)...),
+        clock_(options.clock),
+        clock_real_(options.clock == &runtime::RealClock::instance()),
+        log_(options.log) {}
+
+  StaticProxy(const StaticProxy&) = delete;
+  StaticProxy& operator=(const StaticProxy&) = delete;
+
+  C& component() { return component_; }
+  const C& component() const { return component_; }
+
+  /// The I-th aspect instance of the pack (wiring/tests).
+  template <std::size_t I>
+  auto& aspect() {
+    return std::get<I>(aspects_);
+  }
+
+  const runtime::Clock& clock() const { return *clock_; }
+
+  /// Design-by-contract hook, same semantics as ComponentProxy.
+  using Invariant = std::function<bool(const C&)>;
+  void set_invariant(Invariant inv) { invariant_ = std::move(inv); }
+
+  /// Aggregate statistics snapshot.
+  StaticStats stats() const {
+    return StaticStats{admitted_.load(std::memory_order_relaxed),
+                       completed_.load(std::memory_order_relaxed),
+                       aborted_.load(std::memory_order_relaxed),
+                       timed_out_.load(std::memory_order_relaxed),
+                       cancelled_.load(std::memory_order_relaxed),
+                       block_events_.load(std::memory_order_relaxed),
+                       aspect_faults_.load(std::memory_order_relaxed)};
+  }
+
+  /// Fluent per-call configuration, mirroring ComponentProxy::CallBuilder.
+  class CallBuilder {
+   public:
+    CallBuilder(StaticProxy& proxy, runtime::MethodId method)
+        : proxy_(proxy), ctx_(method) {}
+
+    CallBuilder& as(runtime::Principal p) {
+      ctx_.set_principal(std::move(p));
+      return *this;
+    }
+    CallBuilder& priority(int p) {
+      ctx_.set_priority(p);
+      return *this;
+    }
+    CallBuilder& deadline(runtime::TimePoint d) {
+      ctx_.set_deadline(d);
+      return *this;
+    }
+    CallBuilder& within(runtime::Duration d) {
+      ctx_.set_deadline(proxy_.clock().now() + d);
+      return *this;
+    }
+    CallBuilder& stoppable(std::stop_token t) {
+      ctx_.set_stop(std::move(t));
+      return *this;
+    }
+    CallBuilder& note(std::string_view key, std::string_view value) {
+      ctx_.set_note(key, value);
+      return *this;
+    }
+
+    template <typename F>
+    auto run(F&& body) -> InvocationResult<std::invoke_result_t<F, C&>> {
+      return proxy_.execute(ctx_, std::forward<F>(body));
+    }
+
+   private:
+    StaticProxy& proxy_;
+    InvocationContext ctx_;
+  };
+
+  CallBuilder call(runtime::MethodId method) {
+    return CallBuilder(*this, method);
+  }
+
+  /// The woven moderated call: preactivation (inlined chain) → body →
+  /// postactivation (inlined, reverse order).
+  ///
+  /// With an EMPTY pack the whole protocol degenerates: no guard can
+  /// refuse, no hook can observe the context, and when additionally no
+  /// event log and no invariant are wired the only observable moderation
+  /// state is the counters — so the context is never materialized at all.
+  /// This is the end point of the compile-away ladder: the empty static
+  /// chain is the body plus two counter bumps and an id.
+  template <typename F>
+  auto invoke(runtime::MethodId method, F&& body)
+      -> InvocationResult<std::invoke_result_t<F, C&>> {
+    if constexpr (!kAnyAspect) {
+      if (log_ == nullptr && !invariant_) {
+        return execute_bare<F>(std::forward<F>(body));
+      }
+    }
+    InvocationContext ctx(method);
+    return execute(ctx, std::forward<F>(body));
+  }
+
+ private:
+  using Idx = std::index_sequence_for<Aspects...>;
+
+  // The context-free pipeline for an unobserved empty chain (see invoke()).
+  // No lock: there are no guards to evaluate, and the counters are atomic
+  // exactly when another thread could be looking (kShared).
+  template <typename F>
+  auto execute_bare(F&& body) -> InvocationResult<std::invoke_result_t<F, C&>> {
+    using R = std::invoke_result_t<F, C&>;
+    InvocationResult<R> result;
+    result.invocation_id = runtime::next_invocation_id();
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      if constexpr (std::is_void_v<R>) {
+        body(component_);
+      } else {
+        result.value.emplace(body(component_));
+      }
+      result.status = InvocationStatus::kCompleted;
+    } catch (const std::exception& e) {
+      result.status = InvocationStatus::kFailed;
+      result.error =
+          runtime::make_error(runtime::ErrorCode::kInternal, e.what());
+    } catch (...) {
+      result.status = InvocationStatus::kFailed;
+      result.error = runtime::make_error(
+          runtime::ErrorCode::kInternal, "non-standard exception from body");
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+
+  // The pipeline splits exactly like the dynamic one: preactivate() is the
+  // moderator's preactivation (admit or refuse), postactivate() the
+  // completion half. execute() is ComponentProxy::execute with the
+  // moderator calls replaced by the woven phases.
+  template <typename F>
+  auto execute(InvocationContext& ctx, F&& body)
+      -> InvocationResult<std::invoke_result_t<F, C&>> {
+    using R = std::invoke_result_t<F, C&>;
+    InvocationResult<R> result;
+    result.invocation_id = ctx.id();
+
+    if (preactivate(ctx) != Decision::kResume) [[unlikely]] {
+      result.error = ctx.abort_error().value_or(runtime::make_error(
+          runtime::ErrorCode::kAborted, "preactivation refused"));
+      switch (result.error.code) {
+        case runtime::ErrorCode::kTimeout:
+        case runtime::ErrorCode::kDeadlineExceeded:
+          result.status = InvocationStatus::kTimedOut;
+          break;
+        case runtime::ErrorCode::kCancelled:
+          result.status = InvocationStatus::kCancelled;
+          break;
+        default:
+          result.status = InvocationStatus::kAborted;
+      }
+      return result;
+    }
+    if constexpr (kStampsAdmission) {
+      result.wait_time = ctx.admitted_at() - ctx.enqueued_at();
+    }
+
+    try {
+      if constexpr (std::is_void_v<R>) {
+        body(component_);
+      } else {
+        result.value.emplace(body(component_));
+      }
+      if (invariant_ && !invariant_(component_)) {
+        ctx.set_body_succeeded(false);
+        result.status = InvocationStatus::kFailed;
+        result.error = runtime::make_error(
+            runtime::ErrorCode::kInternal,
+            "component invariant violated after body");
+        if constexpr (!std::is_void_v<R>) result.value.reset();
+      } else {
+        ctx.set_body_succeeded(true);
+        result.status = InvocationStatus::kCompleted;
+      }
+    } catch (const std::exception& e) {
+      ctx.set_body_succeeded(false);
+      result.status = InvocationStatus::kFailed;
+      result.error =
+          runtime::make_error(runtime::ErrorCode::kInternal, e.what());
+    } catch (...) {
+      ctx.set_body_succeeded(false);
+      result.status = InvocationStatus::kFailed;
+      result.error = runtime::make_error(
+          runtime::ErrorCode::kInternal, "non-standard exception from body");
+    }
+    postactivate(ctx);
+    return result;
+  }
+
+  // --- woven preactivation ----------------------------------------------
+
+  Decision preactivate(InvocationContext& ctx) {
+    log_event("preactivation", ctx);
+    // Clock policy (the static analogue of the dynamic fast path's
+    // one-clock-read-per-call budget): a shared chain stamps enqueued_at
+    // once here and reuses the same stamp for admitted_at unless the call
+    // actually parked; a PINNED chain performs zero clock reads — it can
+    // never wait, so admission latency is zero by construction and the
+    // stamps stay at their epoch defaults (§16.2: aspects that read them
+    // need the shared model).
+    if constexpr (kStampsAdmission) ctx.set_enqueued_at(now_fast());
+    if constexpr (kAnyArrive) run_arrives(ctx, Idx{});
+
+    std::unique_lock<MutexT> lk(mu_);
+    Decision verdict = Decision::kResume;
+    // CP.42-style predicate: re-evaluates the guard chain; true when the
+    // verdict settles (kResume admits, kAbort refuses).
+    auto settled = [&]() -> bool {
+      verdict = eval_guards(ctx, Idx{});
+      if (verdict == Decision::kBlock) ctx.note_blocked();
+      return verdict != Decision::kBlock;
+    };
+
+    if constexpr (kAnyGuard) {
+      if (!settled()) {
+        if constexpr (kPinnedModel) {
+          // No second thread exists that could change the guards' answer:
+          // parking would sleep forever. Refuse with the outcome the
+          // dynamic moderator would eventually reach — timeout when a
+          // deadline bounds the wait, cancellation when stop was already
+          // requested, abort otherwise (§16.2 decision table).
+          run_cancels(ctx, Idx{});
+          if (ctx.stop() && ctx.stop()->stop_requested()) {
+            ctx.set_abort_error(runtime::make_error(
+                runtime::ErrorCode::kCancelled,
+                "stop requested while blocked"));
+            cancelled_.fetch_add(1, std::memory_order_relaxed);
+            log_event("cancelled", ctx);
+          } else if (ctx.deadline()) {
+            ctx.set_abort_error(runtime::make_error(
+                runtime::ErrorCode::kTimeout,
+                "deadline expired during preactivation"));
+            timed_out_.fetch_add(1, std::memory_order_relaxed);
+            log_event("timeout", ctx);
+          } else {
+            ctx.set_abort_error(runtime::make_error(
+                runtime::ErrorCode::kAborted,
+                "kBlock verdict on a thread-pinned static chain "
+                "(no thread can wake it)"));
+            aborted_.fetch_add(1, std::memory_order_relaxed);
+            log_event("abort", ctx);
+          }
+          return Decision::kAbort;
+        } else {
+          block_events_.fetch_add(1, std::memory_order_relaxed);
+          log_event("blocked", ctx);
+          bool satisfied = true;
+          bool stop_requested = false;
+          const bool has_deadline = ctx.deadline().has_value();
+          const bool steady = has_deadline && clock_->is_steady_compatible();
+          if (steady) {
+            if (ctx.stop()) {
+              satisfied =
+                  cv_.wait_until(lk, *ctx.stop(), *ctx.deadline(), settled);
+              stop_requested = ctx.stop()->stop_requested();
+            } else {
+              satisfied = cv_.wait_until(lk, *ctx.deadline(), settled);
+            }
+          } else if (has_deadline) {
+            // Simulated clock: poll the deadline against the proxy clock.
+            for (;;) {
+              if (settled()) break;
+              if (clock_->now() >= *ctx.deadline()) {
+                satisfied = false;
+                break;
+              }
+              if (ctx.stop() && ctx.stop()->stop_requested()) {
+                satisfied = false;
+                stop_requested = true;
+                break;
+              }
+              cv_.wait_for(lk, std::chrono::milliseconds(1));
+            }
+          } else if (ctx.stop()) {
+            satisfied = cv_.wait(lk, *ctx.stop(), settled);
+            stop_requested = ctx.stop()->stop_requested();
+          } else {
+            cv_.wait(lk, settled);
+          }
+          if (!satisfied) {
+            run_cancels(ctx, Idx{});
+            if (stop_requested) {
+              ctx.set_abort_error(runtime::make_error(
+                  runtime::ErrorCode::kCancelled,
+                  "stop requested while blocked"));
+              cancelled_.fetch_add(1, std::memory_order_relaxed);
+              log_event("cancelled", ctx);
+            } else {
+              ctx.set_abort_error(runtime::make_error(
+                  runtime::ErrorCode::kTimeout,
+                  "deadline expired during preactivation"));
+              timed_out_.fetch_add(1, std::memory_order_relaxed);
+              log_event("timeout", ctx);
+            }
+            return Decision::kAbort;
+          }
+        }
+      }
+      if (verdict == Decision::kAbort) {
+        run_cancels(ctx, Idx{});
+        if (!ctx.abort_error()) {
+          std::string by(
+              ctx.note_view("vetoed.by").value_or("unknown aspect"));
+          ctx.set_abort_error(runtime::make_error(
+              runtime::ErrorCode::kAborted, "vetoed by " + by));
+        }
+        if (ctx.abort_error()->code == runtime::ErrorCode::kCancelled) {
+          cancelled_.fetch_add(1, std::memory_order_relaxed);
+          log_event("cancelled", ctx);
+        } else {
+          aborted_.fetch_add(1, std::memory_order_relaxed);
+          log_event("abort", ctx);
+        }
+        return Decision::kAbort;
+      }
+    }
+
+    // Admission: stamp first (entry hooks read admitted_at), then commit
+    // every aspect's state under the same lock that evaluated the guards
+    // (the single-shard analogue of the D2 atomicity repair). A call that
+    // never parked is admitted at its own enqueue stamp — no second read.
+    if constexpr (kStampsAdmission) {
+      ctx.set_admitted_at(ctx.blocked_count() == 0 ? ctx.enqueued_at()
+                                                   : now_fast());
+    }
+    if constexpr (kAnyEntry) run_entries(ctx, Idx{});
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    log_event("admitted", ctx);
+    return Decision::kResume;
+  }
+
+  void postactivate(InvocationContext& ctx) {
+    std::unique_lock<MutexT> lk(mu_);
+    if constexpr (kAnyPost) run_posts_reverse(ctx, Idx{});
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    log_event("postactivation", ctx);
+    if constexpr (!kPinnedModel && kAnyGuard) {
+      lk.unlock();
+      cv_.notify_all();
+    }
+  }
+
+  // --- per-phase folds ---------------------------------------------------
+
+  template <std::size_t... I>
+  Decision eval_guards(InvocationContext& ctx, std::index_sequence<I...>) {
+    Decision verdict = Decision::kResume;
+    // Left-to-right, short-circuiting on the first non-Resume verdict —
+    // the fold inlines the whole chain.
+    (void)((verdict = guard_one<I>(ctx),
+            verdict == Decision::kResume) &&
+           ...);
+    return verdict;
+  }
+
+  template <std::size_t I>
+  Decision guard_one(InvocationContext& ctx) {
+    auto& a = std::get<I>(aspects_);
+    using A = std::tuple_element_t<I, std::tuple<Aspects...>>;
+    if constexpr (!static_has_guard<A>()) {
+      return Decision::kResume;
+    } else {
+      Decision d;
+      try {
+        d = a.precondition(ctx);
+      } catch (const std::exception& ex) {
+        record_fault(static_aspect_name(a), "precondition", ctx);
+        ctx.set_note("vetoed.by", static_aspect_name(a));
+        ctx.set_abort_error(runtime::make_error(
+            runtime::ErrorCode::kAspectFault,
+            "precondition of '" + std::string(static_aspect_name(a)) +
+                "' threw: " + ex.what()));
+        return Decision::kAbort;
+      } catch (...) {
+        record_fault(static_aspect_name(a), "precondition", ctx);
+        ctx.set_note("vetoed.by", static_aspect_name(a));
+        ctx.set_abort_error(runtime::make_error(
+            runtime::ErrorCode::kAspectFault,
+            "precondition of '" + std::string(static_aspect_name(a)) +
+                "' threw a non-exception"));
+        return Decision::kAbort;
+      }
+      if (d == Decision::kBlock) {
+        ctx.set_note("blocked.by", static_aspect_name(a));
+      } else if (d == Decision::kAbort) {
+        ctx.set_note("vetoed.by", static_aspect_name(a));
+      }
+      return d;
+    }
+  }
+
+  template <std::size_t... I>
+  void run_arrives(InvocationContext& ctx, std::index_sequence<I...>) {
+    (hook_one<I, &StaticProxy::arrive_tag>(ctx), ...);
+  }
+  template <std::size_t... I>
+  void run_entries(InvocationContext& ctx, std::index_sequence<I...>) {
+    (hook_one<I, &StaticProxy::entry_tag>(ctx), ...);
+  }
+  template <std::size_t... I>
+  void run_cancels(InvocationContext& ctx, std::index_sequence<I...>) {
+    // Forward order, like the dynamic guarded_on_cancel.
+    (hook_one<I, &StaticProxy::cancel_tag>(ctx), ...);
+  }
+  template <std::size_t... I>
+  void run_posts_reverse(InvocationContext& ctx, std::index_sequence<I...>) {
+    (hook_one<sizeof...(Aspects) - 1 - I, &StaticProxy::post_tag>(ctx), ...);
+  }
+
+  // Phase tags: selected by member pointer so one contained-call helper
+  // serves all four void phases.
+  struct ArriveTag {};
+  struct EntryTag {};
+  struct PostTag {};
+  struct CancelTag {};
+  static constexpr ArriveTag arrive_tag{};
+  static constexpr EntryTag entry_tag{};
+  static constexpr PostTag post_tag{};
+  static constexpr CancelTag cancel_tag{};
+
+  template <std::size_t I, auto Tag>
+  void hook_one(InvocationContext& ctx) {
+    auto& a = std::get<I>(aspects_);
+    using A = std::tuple_element_t<I, std::tuple<Aspects...>>;
+    using TagT = std::remove_cvref_t<decltype(*Tag)>;
+    constexpr bool present = [] {
+      if constexpr (std::is_same_v<TagT, ArriveTag>) {
+        return static_has_arrive<A>();
+      } else if constexpr (std::is_same_v<TagT, EntryTag>) {
+        return static_has_entry<A>();
+      } else if constexpr (std::is_same_v<TagT, PostTag>) {
+        return static_has_post<A>();
+      } else {
+        return static_has_cancel<A>();
+      }
+    }();
+    if constexpr (present) {
+      const char* phase = std::is_same_v<TagT, ArriveTag>  ? "on_arrive"
+                          : std::is_same_v<TagT, EntryTag> ? "entry"
+                          : std::is_same_v<TagT, PostTag>  ? "postaction"
+                                                           : "on_cancel";
+      try {
+        if constexpr (std::is_same_v<TagT, ArriveTag>) {
+          a.on_arrive(ctx);
+        } else if constexpr (std::is_same_v<TagT, EntryTag>) {
+          a.entry(ctx);
+        } else if constexpr (std::is_same_v<TagT, PostTag>) {
+          a.postaction(ctx);
+        } else {
+          a.on_cancel(ctx);
+        }
+      } catch (...) {
+        // Same containment as the dynamic exception firewall: the fault
+        // is booked and the pipeline continues (no quarantine in static
+        // mode — the chain cannot be recomposed).
+        record_fault(static_aspect_name(a), phase, ctx);
+      }
+    }
+  }
+
+  void record_fault(std::string_view aspect, std::string_view phase,
+                    InvocationContext& ctx) {
+    aspect_faults_.fetch_add(1, std::memory_order_relaxed);
+    ctx.set_note("faulted.by", aspect);
+    ctx.set_note("faulted.phase", phase);
+    log_event("aspect-fault", ctx);
+  }
+
+  // --- infrastructure ----------------------------------------------------
+
+  runtime::TimePoint now_fast() const {
+    return clock_real_ ? std::chrono::steady_clock::now() : clock_->now();
+  }
+
+  void log_event(std::string_view message, const InvocationContext& ctx) {
+    if (log_ != nullptr) log_event_slow(message, ctx);
+  }
+  void log_event_slow(std::string_view message, const InvocationContext& ctx) {
+    std::string msg(message);
+    msg += ':';
+    msg += ctx.method().name();
+    log_->append("moderator", msg, ctx.id());
+  }
+
+  // Empty stand-in for the wait channel of pinned instantiations (which
+  // refuse instead of parking and so never wait).
+  struct NullCv {};
+  using CvT = std::conditional_t<kPinnedModel, NullCv,
+                                 std::condition_variable_any>;
+
+  C component_;
+  std::tuple<Aspects...> aspects_;
+  const runtime::Clock* clock_;
+  const bool clock_real_;
+  runtime::EventLog* log_;
+  Invariant invariant_;
+
+  mutable MutexT mu_;
+  [[no_unique_address]] CvT cv_;
+  CounterT admitted_{0};
+  CounterT completed_{0};
+  CounterT aborted_{0};
+  CounterT timed_out_{0};
+  CounterT cancelled_{0};
+  CounterT block_events_{0};
+  CounterT aspect_faults_{0};
+};
+
+/// Deduction guide: aspects deduce from the constructor arguments.
+template <class C, class... Aspects>
+StaticProxy(C, Aspects...) -> StaticProxy<C, Aspects...>;
+template <class C, class... Aspects>
+StaticProxy(StaticProxyOptions, C, Aspects...) -> StaticProxy<C, Aspects...>;
+
+}  // namespace amf::core

@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "concurrency/knobs.hpp"
 #include "runtime/clock.hpp"
 
 namespace amf::runtime {
@@ -83,8 +84,10 @@ class EventLog {
   const Clock* clock_;
   // Checked before mu_ is touched: a disabled log must not serialize the
   // (possibly lock-free) moderation paths that call append().
-  std::atomic<bool> enabled_{true};
-  mutable std::mutex mu_;
+  // Both knobs follow the build thread model (-DAMF_SEQ=ON compiles the
+  // lock and the flag down to plain fields; see concurrency/knobs.hpp).
+  par_atomic<bool> enabled_{true};
+  mutable par_mutex mu_;
   std::vector<Event> events_;
   std::uint64_t next_seq_ = 1;
 };

@@ -1,0 +1,375 @@
+// Static/dynamic composition parity (DESIGN.md §16).
+//
+// The contract under test: a chain woven at compile time by StaticProxy is
+// observationally identical to the same chain registered at run time with
+// the moderator — same verdicts, same notes, same error text, same
+// "moderator" event trace — so TraceValidator (and any tooling built on
+// the protocol) cannot tell the two modes apart. Plus the compile-time
+// side of the bargain: a kPinned component must instantiate ZERO
+// std::atomic / std::mutex members (checked with static_asserts on the
+// knob types, which fail the BUILD, not the run).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/auction/static_auction.hpp"
+#include "apps/ticket/static_ticket.hpp"
+#include "concurrency/knobs.hpp"
+#include "core/static_proxy.hpp"
+#include "core/verify.hpp"
+
+namespace {
+
+using namespace amf;
+using namespace amf::core;
+using namespace amf::apps::ticket;
+using enum Decision;
+
+// --- compile-time: knobs and presence bits ---------------------------------
+
+// Pinned knobs are the no-op types, not std:: primitives.
+static_assert(std::is_same_v<concurrency::mutex_for<ThreadModel::kPinned>,
+                             concurrency::NullMutex>);
+static_assert(
+    std::is_same_v<concurrency::atomic_for<ThreadModel::kPinned, uint64_t>,
+                   concurrency::PlainCell<uint64_t>>);
+static_assert(!std::is_same_v<
+              concurrency::atomic_for<ThreadModel::kPinned, uint64_t>,
+              std::atomic<uint64_t>>);
+// Shared knobs are the real primitives.
+static_assert(std::is_same_v<concurrency::mutex_for<ThreadModel::kShared>,
+                             std::mutex>);
+static_assert(
+    std::is_same_v<concurrency::atomic_for<ThreadModel::kShared, uint64_t>,
+                   std::atomic<uint64_t>>);
+
+// A pinned proxy instantiation carries no atomics and an empty mutex.
+static_assert(!PinnedStaticTicketProxy::kUsesAtomics);
+static_assert(std::is_same_v<PinnedStaticTicketProxy::MutexT,
+                             concurrency::NullMutex>);
+static_assert(std::is_empty_v<concurrency::NullMutex>);
+static_assert(
+    std::is_same_v<PinnedStaticTicketProxy::CounterT,
+                   concurrency::PlainCell<uint64_t>>);
+// The undeclared-model twin of the same chain follows the build model:
+// real primitives normally, the no-op knobs when -DAMF_SEQ=ON declares
+// the whole process single-threaded.
+#if defined(AMF_SEQ) && AMF_SEQ
+static_assert(!StaticTicketProxy::kUsesAtomics);
+static_assert(std::is_same_v<StaticTicketProxy::MutexT,
+                             concurrency::NullMutex>);
+#else
+static_assert(StaticTicketProxy::kUsesAtomics);
+static_assert(std::is_same_v<StaticTicketProxy::MutexT, std::mutex>);
+#endif
+
+// Presence bits: BoundedResourceAspect implements guard/entry/postaction
+// only, so arrive and cancel phases are eliminated at compile time; an
+// empty chain eliminates everything.
+static_assert(StaticTicketProxy::kAnyGuard);
+static_assert(StaticTicketProxy::kAnyEntry);
+static_assert(StaticTicketProxy::kAnyPost);
+static_assert(!StaticTicketProxy::kAnyArrive);
+static_assert(!StaticTicketProxy::kAnyCancel);
+static_assert(!StaticProxy<TicketServer>::kAnyAspect);
+
+// --- trace helper -----------------------------------------------------------
+
+// The "moderator" event messages of one invocation, in order.
+std::vector<std::string> trace_of(const runtime::EventLog& log,
+                                  std::uint64_t invocation_id) {
+  std::vector<std::string> out;
+  for (const auto& e : log.by_invocation(invocation_id)) {
+    if (e.category == "moderator") out.push_back(e.message);
+  }
+  return out;
+}
+
+// --- verdict / note / trace parity -----------------------------------------
+
+TEST(StaticProxyParity, SuccessScriptMatchesDynamic) {
+  runtime::EventLog dyn_log, sta_log;
+  core::ModeratorOptions dyn_opts;
+  dyn_opts.log = &dyn_log;
+  auto dyn = make_ticket_proxy(2, dyn_opts);
+  auto sta = make_static_ticket_proxy(2, {.log = &sta_log});
+
+  // Same script through both proxies: fill, drain, refill.
+  const Ticket t1{1, "a", "u"}, t2{2, "b", "u"}, t3{3, "c", "u"};
+  struct Step {
+    bool open;
+    Ticket t;
+  };
+  const std::vector<Step> script = {
+      {true, t1}, {true, t2}, {false, {}}, {false, {}}, {true, t3}};
+
+  for (const auto& step : script) {
+    if (step.open) {
+      auto rd = open_ticket(*dyn, step.t);
+      auto rs = static_open_ticket(*sta, step.t);
+      ASSERT_EQ(rd.status, rs.status);
+      ASSERT_TRUE(rs.ok());
+      EXPECT_EQ(trace_of(dyn_log, rd.invocation_id),
+                trace_of(sta_log, rs.invocation_id));
+    } else {
+      auto rd = assign_ticket(*dyn);
+      auto rs = static_assign_ticket(*sta);
+      ASSERT_EQ(rd.status, rs.status);
+      ASSERT_TRUE(rs.ok());
+      EXPECT_EQ(*rd.value, *rs.value);
+      EXPECT_EQ(trace_of(dyn_log, rd.invocation_id),
+                trace_of(sta_log, rs.invocation_id));
+    }
+  }
+  EXPECT_EQ(dyn->component().total_opened(),
+            sta->component().total_opened());
+  EXPECT_EQ(dyn->component().total_assigned(),
+            sta->component().total_assigned());
+
+  // Both traces satisfy the Fig. 3 automaton.
+  EXPECT_TRUE(TraceValidator::validate(dyn_log).empty());
+  EXPECT_TRUE(TraceValidator::validate(sta_log).empty());
+}
+
+TEST(StaticProxyParity, TimeoutOnEmptyBufferMatchesDynamic) {
+  runtime::EventLog dyn_log, sta_log;
+  core::ModeratorOptions dyn_opts;
+  dyn_opts.log = &dyn_log;
+  auto dyn = make_ticket_proxy(2, dyn_opts);
+  auto sta = make_static_ticket_proxy(2, {.log = &sta_log});
+  const auto wait = std::chrono::milliseconds(20);
+
+  auto rd = dyn->call(assign_method())
+                .within(wait)
+                .run([](TicketServer& s) { return s.assign(); });
+  auto rs = sta->call(assign_method())
+                .within(wait)
+                .run([](TicketServer& s) { return s.assign(); });
+
+  ASSERT_EQ(rd.status, InvocationStatus::kTimedOut);
+  ASSERT_EQ(rs.status, rd.status);
+  EXPECT_EQ(rs.error.code, rd.error.code);
+  EXPECT_EQ(rs.error.message, rd.error.message);
+
+  // Same blocked.by diagnosis and same protocol trace. (Under -DAMF_SEQ
+  // the static chain is build-pinned: it cannot park, so it refuses
+  // immediately without a "blocked" event — TraceValidator allows zero —
+  // while the dynamic side still parks its calling thread until the
+  // deadline.)
+  const std::vector<std::string> expected = {
+      "preactivation:assign", "blocked:assign", "timeout:assign"};
+  EXPECT_EQ(trace_of(dyn_log, rd.invocation_id), expected);
+#if defined(AMF_SEQ) && AMF_SEQ
+  const std::vector<std::string> expected_static = {"preactivation:assign",
+                                                    "timeout:assign"};
+  EXPECT_EQ(trace_of(sta_log, rs.invocation_id), expected_static);
+#else
+  EXPECT_EQ(trace_of(sta_log, rs.invocation_id), expected);
+#endif
+  EXPECT_TRUE(TraceValidator::validate(dyn_log).empty());
+  EXPECT_TRUE(TraceValidator::validate(sta_log).empty());
+}
+
+TEST(StaticProxyParity, AuctionAbortAndNotesMatchDynamic) {
+  runtime::CredentialStore store;
+  ASSERT_TRUE(store.add_user("amy", "pw", {"auctioneer"}).ok());
+  auto amy = store.login("amy", "pw");
+  ASSERT_TRUE(amy.ok());
+
+  runtime::EventLog dyn_audit, sta_audit, dyn_log, sta_log;
+  core::ModeratorOptions dyn_opts;
+  dyn_opts.log = &dyn_log;
+  auto dyn = apps::auction::make_auction_proxy(store, dyn_audit, dyn_opts);
+  auto sta = apps::auction::make_static_auction_proxy(store, sta_audit,
+                                                      {.log = &sta_log});
+  using apps::auction::AuctionHouse;
+  const auto list = apps::auction::list_method();
+  const auto query = apps::auction::query_method();
+
+  // Anonymous list_item: vetoed by authentication in both modes.
+  auto rd = dyn->invoke(list, [](AuctionHouse& h) {
+    return h.list_item("vase", 10, "amy");
+  });
+  auto rs = sta->invoke(list, [](AuctionHouse& h) {
+    return h.list_item("vase", 10, "amy");
+  });
+  ASSERT_EQ(rd.status, InvocationStatus::kAborted);
+  ASSERT_EQ(rs.status, rd.status);
+  EXPECT_EQ(rs.error.code, runtime::ErrorCode::kUnauthenticated);
+  EXPECT_EQ(rs.error.message, rd.error.message);
+  EXPECT_EQ(trace_of(dyn_log, rd.invocation_id),
+            trace_of(sta_log, rs.invocation_id));
+
+  // Authenticated list then query: admitted in both modes, same notes.
+  auto rd2 = dyn->call(list).as(amy.value()).run([](AuctionHouse& h) {
+    return h.list_item("vase", 10, "amy");
+  });
+  auto rs2 = sta->call(list).as(amy.value()).run([](AuctionHouse& h) {
+    return h.list_item("vase", 10, "amy");
+  });
+  ASSERT_TRUE(rd2.ok());
+  ASSERT_TRUE(rs2.ok());
+  auto rq = sta->invoke(query, [](AuctionHouse& h) { return h.open_items(); });
+  ASSERT_TRUE(rq.ok());
+  EXPECT_EQ(*rq.value, 1u);
+
+  // The audit aspect (last in both chains) recorded the same trail shape.
+  EXPECT_EQ(dyn_audit.count("audit", "entry:list_item"),
+            sta_audit.count("audit", "entry:list_item"));
+  EXPECT_TRUE(TraceValidator::validate(dyn_log).empty());
+  EXPECT_TRUE(TraceValidator::validate(sta_log).empty());
+}
+
+// --- abort / on_cancel pairing ---------------------------------------------
+
+TEST(StaticProxy, HookOrderGuardSeesContractualOrderIncludingCancel) {
+  // HookOrderGuard (the dynamic mode's conformance decorator) woven into a
+  // static chain ahead of an aspect that vetoes on demand: the guard's
+  // automaton must stay clean through admit, abort and cancel outcomes.
+  bool veto = false;
+  auto inner = std::make_shared<LambdaAspect>(
+      "scripted", [&veto](InvocationContext& ctx) {
+        if (veto) {
+          ctx.set_note("vetoed.by", "scripted");
+          return kAbort;
+        }
+        return kResume;
+      });
+  runtime::EventLog log;
+  StaticProxy<TicketServer, HookOrderGuard> proxy{
+      {.log = &log}, TicketServer(2), HookOrderGuard(inner)};
+  const auto m = runtime::MethodId::of("guarded-open");
+
+  auto r1 = proxy.invoke(m, [](TicketServer& s) { s.open({1, "a", "u"}); });
+  ASSERT_TRUE(r1.ok());
+
+  veto = true;
+  auto r2 = proxy.invoke(m, [](TicketServer& s) { s.open({2, "b", "u"}); });
+  ASSERT_EQ(r2.status, InvocationStatus::kAborted);
+  EXPECT_EQ(r2.error.message, "vetoed by scripted");
+
+  EXPECT_TRUE(proxy.aspect<0>().violations().empty())
+      << proxy.aspect<0>().violations().front().description;
+  EXPECT_TRUE(TraceValidator::validate(log).empty());
+
+  const auto stats = proxy.stats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.aborted, 1u);
+}
+
+// --- pinned refusal semantics -----------------------------------------------
+
+TEST(StaticProxy, PinnedBlockRefusesWithDynamicTimeoutShape) {
+  // A pinned chain cannot park (no waker exists); with a deadline the
+  // refusal takes the dynamic timeout's exact error shape immediately.
+  runtime::EventLog log;
+  auto proxy = make_pinned_static_ticket_proxy(2, {.log = &log});
+  auto r = proxy->call(assign_method())
+               .within(std::chrono::seconds(5))
+               .run([](TicketServer& s) { return s.assign(); });
+  ASSERT_EQ(r.status, InvocationStatus::kTimedOut);
+  EXPECT_EQ(r.error.code, runtime::ErrorCode::kTimeout);
+  EXPECT_EQ(r.error.message, "deadline expired during preactivation");
+  EXPECT_EQ(proxy->component().pending(), 0u);  // refusal touched nothing
+  EXPECT_TRUE(TraceValidator::validate(log).empty());
+
+  // Without a deadline the refusal is an abort, not a hang.
+  auto r2 = static_assign_ticket(*proxy);
+  EXPECT_EQ(r2.status, InvocationStatus::kAborted);
+
+  // The component itself still works once the guard can admit.
+  ASSERT_TRUE(static_open_ticket(*proxy, {1, "a", "u"}).ok());
+  auto r3 = static_assign_ticket(*proxy);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3.value->id, 1u);
+}
+
+// --- fault containment ------------------------------------------------------
+
+struct ThrowingEntryAspect {
+  bool armed = false;
+  std::string_view name() const { return "grenade"; }
+  Decision precondition(InvocationContext&) { return kResume; }
+  void entry(InvocationContext&) {
+    if (armed) throw std::runtime_error("boom");
+  }
+  void postaction(InvocationContext&) {}
+};
+
+TEST(StaticProxy, EntryFaultIsContainedLikeTheDynamicFirewall) {
+  runtime::EventLog log;
+  StaticProxy<TicketServer, ThrowingEntryAspect> proxy{
+      {.log = &log}, TicketServer(2), ThrowingEntryAspect{}};
+  proxy.aspect<0>().armed = true;
+  const auto m = runtime::MethodId::of("grenade-open");
+
+  // The builder owns its context, so the fault is observed through the
+  // event log and the proxy stats.
+  auto r = proxy.invoke(m, [](TicketServer& s) { s.open({1, "a", "u"}); });
+  ASSERT_TRUE(r.ok()) << "a contained entry fault must not refuse the call";
+  EXPECT_EQ(proxy.stats().aspect_faults, 1u);
+  EXPECT_EQ(log.count("moderator", "aspect-fault:grenade-open"), 1u);
+  EXPECT_TRUE(TraceValidator::validate(log).empty());
+}
+
+// --- interop: static core inside a dynamic shell ----------------------------
+
+TEST(StaticProxy, StaticChainNestsInsideDynamicProxy) {
+  // The §16 layering: run-time-swappable concerns in a dynamic shell, the
+  // fixed hot chain woven statically inside it.
+  auto inner = make_static_ticket_proxy(2);
+  ComponentProxy<std::unique_ptr<StaticTicketProxy>> outer{std::move(inner)};
+
+  int observed = 0;
+  auto observer = std::make_shared<LambdaAspect>(
+      "observer", LambdaAspect::GuardFn{},
+      [&observed](InvocationContext&) { ++observed; });
+  const auto m = runtime::MethodId::of("nested-open");
+  outer.moderator().register_aspect(m, runtime::AspectKind::of("observe"),
+                                    observer);
+
+  auto r = outer.invoke(m, [](std::unique_ptr<StaticTicketProxy>& p) {
+    return static_open_ticket(*p, {7, "nested", "u"}).ok();
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r.value);
+  EXPECT_EQ(observed, 1);
+  EXPECT_EQ(outer.component()->stats().admitted, 1u);
+  EXPECT_EQ(outer.component()->component().total_opened(), 1u);
+}
+
+// --- blocked.by note + on_cancel on timeout ---------------------------------
+
+struct NoteSpyAspect {
+  std::string blocked_by;
+  std::string_view name() const { return "note-spy"; }
+  void on_cancel(InvocationContext& ctx) {
+    blocked_by = ctx.note("blocked.by").value_or("");
+  }
+};
+
+TEST(StaticProxy, BlockedByNoteNamesTheGuardAspectAndCancelFires) {
+  // Shared-model chain, deadline forces the timeout path. The context is
+  // builder-owned, so the blocked.by diagnosis is observed from inside the
+  // chain: a spy aspect's on_cancel — which the refusal must invoke —
+  // captures it.
+  auto state = std::make_shared<aspects::BoundedResourceState>(1);
+  StaticProxy<TicketServer, On<aspects::BoundedResourceAspect>, NoteSpyAspect>
+      proxy{TicketServer(1),
+            On<aspects::BoundedResourceAspect>(
+                aspects::BoundedResourceAspect(
+                    aspects::BoundedResourceAspect::Role::kConsumer, state),
+                assign_method()),
+            NoteSpyAspect{}};
+  auto r = proxy.call(assign_method())
+               .within(std::chrono::milliseconds(10))
+               .run([](TicketServer& s) { return s.assign(); });
+  ASSERT_EQ(r.status, InvocationStatus::kTimedOut);
+  EXPECT_EQ(proxy.aspect<1>().blocked_by, "sync-consumer");
+}
+
+}  // namespace
