@@ -1,0 +1,197 @@
+// E17 — Goodput through a failure storm (EXPERIMENTS.md).
+//
+// The self-healing claim is quantitative: when the WAL device flaps, a
+// fenced-but-spilling app keeps serving while a fence-everything app is
+// down for the whole outage plus its recovery. One storm, two postures:
+//
+//   fallback          — self_heal=true: device faults fence the log into a
+//                       spill window; the drain lands the backlog when the
+//                       device returns. Ops keep completing throughout.
+//   fence-everything  — self_heal=false: the first fault fail-stops the
+//                       device (sticky), every op refuses until the outage
+//                       ends, then the app reopens (full recovery + a
+//                       checkpoint) before serving again.
+//
+// The storm is TIME-driven — 30ms up, 90ms down, repeating — because the
+// cost of fence-everything is availability time, not op count. Both modes
+// also flap a quarantine on an auxiliary aspect every window, so the
+// recomposition barrier churns under load exactly as it would with a real
+// health registry attached.
+//
+// Counters: goodput_fallback / goodput_fenced (successful ops per second),
+// goodput_ratio (the CI floor: >= 3), p99_*_us per-op latency. Durability
+// is NOT relaxed for the bench: acked-at-sync semantics are identical in
+// both modes; the fallback mode's spilled ops are acked-accepted, synced
+// at the drain — the same contract the chaos suite proves.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/ticket/durable_ticket.hpp"
+#include "core/bank.hpp"
+#include "runtime/fault.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace amf;
+using namespace std::chrono_literals;
+using apps::ticket::DurableTicketApp;
+using apps::ticket::Ticket;
+using Clock = std::chrono::steady_clock;
+
+constexpr auto kUpWindow = 30ms;
+constexpr auto kDownWindow = 90ms;  // 75% duty: the outage dominates
+constexpr int kPeriods = 8;
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("amf_bench_selfheal_" + tag)).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+Ticket bench_ticket(std::uint64_t id) {
+  Ticket t;
+  t.id = id;
+  t.description = "storm ticket";
+  t.opened_by = "bench";
+  return t;
+}
+
+struct StormResult {
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
+  double seconds = 0.0;
+  double p99_us = 0.0;
+  double goodput() const { return seconds > 0 ? successes / seconds : 0.0; }
+};
+
+double percentile_us(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  const auto nth = samples.begin() +
+                   static_cast<std::ptrdiff_t>(q * double(samples.size() - 1));
+  std::nth_element(samples.begin(), nth, samples.end());
+  return *nth;
+}
+
+/// One mixed op through the app; returns success and records latency.
+bool one_op(DurableTicketApp& app, std::uint64_t& next_id,
+            std::vector<double>& latencies) {
+  const auto t0 = Clock::now();
+  bool ok;
+  if (app.pending() >= 32) {
+    ok = app.assign_ticket().ok();
+  } else {
+    ok = app.open_ticket(bench_ticket(next_id)).ok();
+    if (ok) ++next_id;
+  }
+  if (ok) {
+    latencies.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+  }
+  return ok;
+}
+
+/// An auxiliary no-op aspect whose quarantine is flapped every window in
+/// BOTH modes: recomposition churn rides along with the device storm.
+std::shared_ptr<core::LambdaAspect> install_churn_aspect(
+    DurableTicketApp& app) {
+  auto churn = std::make_shared<core::LambdaAspect>("storm-churn");
+  app.proxy().moderator().bank().register_aspect(
+      apps::ticket::open_method(), runtime::AspectKind::of("storm-churn"),
+      churn);
+  return churn;
+}
+
+StormResult run_storm(bool self_heal) {
+  const std::string dir = fresh_dir(self_heal ? "fallback" : "fenced");
+  runtime::FaultInjector fault(17);
+  DurableTicketApp::Options options;
+  options.capacity = 64;
+  options.wal.sync_every = 8;
+  options.wal.fault = &fault;
+  options.self_heal = self_heal;
+  options.spill_capacity = 1u << 16;
+
+  auto opened = DurableTicketApp::open(dir, options);
+  StormResult result;
+  if (!opened.ok()) return result;
+  auto app = std::move(opened.value());
+  auto churn = install_churn_aspect(*app);
+
+  std::uint64_t next_id = 1;
+  std::vector<double> latencies;
+  latencies.reserve(1u << 18);
+
+  const auto start = Clock::now();
+  for (int period = 0; period < kPeriods; ++period) {
+    // Healthy sub-window.
+    const auto up_until = Clock::now() + kUpWindow;
+    while (Clock::now() < up_until) {
+      one_op(*app, next_id, latencies) ? ++result.successes
+                                       : ++result.failures;
+    }
+    app->proxy().moderator().bank().quarantine(churn.get());
+
+    // Outage sub-window: the device errors on every touch.
+    fault.arm(runtime::FaultPoint::kIoError, 1.0);
+    const auto down_until = Clock::now() + kDownWindow;
+    while (Clock::now() < down_until) {
+      one_op(*app, next_id, latencies) ? ++result.successes
+                                       : ++result.failures;
+    }
+    fault.disarm(runtime::FaultPoint::kIoError);
+    app->proxy().moderator().bank().unquarantine(churn.get());
+
+    // The device returns. Fallback drains its spill in place;
+    // fence-everything pays a full restart: reopen, recover, checkpoint.
+    if (self_heal) {
+      if (app->self_healing() != nullptr) (void)app->self_healing()->probe();
+    } else {
+      app.reset();
+      auto reopened = DurableTicketApp::open(dir, options);
+      if (!reopened.ok()) break;  // unrecoverable: zero further goodput
+      app = std::move(reopened.value());
+      churn = install_churn_aspect(*app);
+      (void)app->checkpoint();
+    }
+  }
+  result.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result.p99_us = percentile_us(latencies, 0.99);
+
+  app.reset();
+  fs::remove_all(dir);
+  return result;
+}
+
+void BM_SelfHealStorm(benchmark::State& state) {
+  StormResult fallback, fenced;
+  for (auto _ : state) {
+    fallback = run_storm(/*self_heal=*/true);
+    fenced = run_storm(/*self_heal=*/false);
+  }
+  state.counters["goodput_fallback"] = fallback.goodput();
+  state.counters["goodput_fenced"] = fenced.goodput();
+  state.counters["goodput_ratio"] =
+      fenced.goodput() > 0 ? fallback.goodput() / fenced.goodput() : 0.0;
+  state.counters["p99_fallback_us"] = fallback.p99_us;
+  state.counters["p99_fenced_us"] = fenced.p99_us;
+  // In fallback mode a failure is a SHED: the bounded spill filled and the
+  // persist gate refused rather than promise durability it cannot give.
+  state.counters["shed_fallback"] = double(fallback.failures);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(fallback.successes + fenced.successes));
+}
+BENCHMARK(BM_SelfHealStorm)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

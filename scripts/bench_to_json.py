@@ -86,8 +86,10 @@ def compact(report):
                        "shed", "offered", "completed",
                        "sheds", "timeouts", "final_limit", "refused",
                        "rejected", "expired", "suppressed",
-                       "allocs_per_op") \
-                    or key.endswith("_ns"):
+                       "allocs_per_op",
+                       "goodput_fallback", "goodput_fenced", "goodput_ratio",
+                       "shed_fallback") \
+                    or key.endswith("_ns") or key.endswith("_us"):
                 entry[key] = round(float(value), 1)
         series.append(entry)
     return {

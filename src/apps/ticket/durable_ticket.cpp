@@ -27,15 +27,33 @@ std::string id_note_value(std::uint64_t id) { return std::to_string(id); }
 
 }  // namespace
 
+runtime::MethodId checkpoint_method() {
+  static const runtime::MethodId id = runtime::MethodId::of("checkpoint");
+  return id;
+}
+
 Result<std::unique_ptr<DurableTicketApp>> DurableTicketApp::open(
     std::string dir, Options options) {
-  auto storage = storage::FileStorage::open(dir, options.wal);
-  if (!storage.ok()) return storage.error();
-
   std::unique_ptr<DurableTicketApp> app(new DurableTicketApp());
+  if (options.self_heal) {
+    storage::SelfHealingStorage::Options sh;
+    sh.wal = options.wal;
+    sh.policy = options.fence_policy;
+    sh.spill_capacity = options.spill_capacity;
+    sh.health = options.health;
+    auto storage = storage::SelfHealingStorage::open(dir, std::move(sh));
+    if (!storage.ok()) return storage.error();
+    app->self_heal_ = storage.value().get();
+    app->storage_ = std::move(storage.value());
+  } else {
+    auto storage = storage::FileStorage::open(dir, options.wal);
+    if (!storage.ok()) return storage.error();
+    app->storage_ = std::move(storage.value());
+  }
+  if (options.health != nullptr) options.moderator.health = options.health;
+
   app->dir_ = std::move(dir);
   app->options_ = options;
-  app->storage_ = std::move(storage.value());
   app->proxy_ = make_ticket_proxy(options.capacity, options.moderator);
 
   auto& moderator = app->proxy_->moderator();
@@ -46,11 +64,21 @@ Result<std::unique_ptr<DurableTicketApp>> DurableTicketApp::open(
   auto exclusion = std::make_shared<aspects::ReadersWriterAspect>();
   exclusion->add_writer(open_method());
   exclusion->add_writer(assign_method());
+  // The checkpoint method is a writer too: its admission proves no
+  // open/assign body or postaction is mid-flight (see checkpoint()).
+  exclusion->add_writer(checkpoint_method());
   app->persist_ = std::make_shared<storage::PersistenceAspect>(*app->storage_);
   for (const auto m : {open_method(), assign_method()}) {
     moderator.register_aspect(m, exclusion_kind(), exclusion);
     moderator.register_aspect(m, runtime::kinds::persistence(), app->persist_);
   }
+  moderator.register_aspect(checkpoint_method(), exclusion_kind(), exclusion);
+  // The base wiring's plans predate the checkpoint method; its guard reads
+  // the writer slot that open/assign postactions release, so their plans
+  // must include it (and its completion must wake them).
+  const std::vector<runtime::MethodId> all = {open_method(), assign_method(),
+                                              checkpoint_method()};
+  for (const auto m : all) moderator.set_notification_plan(m, all);
 
   auto stats = storage::Recovery::recover(
       *app->storage_,
@@ -62,6 +90,15 @@ Result<std::unique_ptr<DurableTicketApp>> DurableTicketApp::open(
       });
   if (!stats.ok()) return stats.error();
   app->recovery_ = std::move(stats.value());
+
+  if (options.checkpoint_interval.count() > 0) {
+    storage::Checkpointer::Options co;
+    co.interval = options.checkpoint_interval;
+    co.log = options.moderator.log;
+    DurableTicketApp* raw = app.get();
+    app->checkpointer_ = std::make_unique<storage::Checkpointer>(
+        [raw] { return raw->checkpoint(); }, co);
+  }
   return app;
 }
 
@@ -88,10 +125,47 @@ core::InvocationResult<Ticket> DurableTicketApp::assign_ticket(
 }
 
 Result<storage::Lsn> DurableTicketApp::checkpoint() {
-  return storage::Recovery::checkpoint(
-      *storage_, [this]() -> Result<std::string> {
-        return capture_snapshot();
-      });
+  // Coherence argument: admission of the checkpoint method means the
+  // exclusion writer slot is held — every prior open/assign has finished
+  // its postaction (its WAL append), and none can start. sync() inside the
+  // slot then makes last_synced() cover exactly the effects the captured
+  // state contains; the snapshot write itself can safely happen after the
+  // slot releases because (lsn, payload) are already fixed and coverage
+  // claims only records <= lsn.
+  std::string payload;
+  storage::Lsn lsn = 0;
+  bool device_failed = false;
+  runtime::Error device_error;
+  auto result = proxy_->call(checkpoint_method())
+                    .within(options_.replay_deadline)
+                    .run([&](TicketServer&) {
+                      auto synced = storage_->sync();
+                      if (!synced.ok()) {
+                        device_failed = true;
+                        device_error = synced.error();
+                        return;
+                      }
+                      lsn = storage_->last_synced();
+                      payload = capture_snapshot();
+                    });
+  if (!result.ok()) {
+    return make_error(result.error.code, "checkpoint: admission refused: " +
+                                             result.error.to_string());
+  }
+  if (device_failed) return device_error;
+  auto written = storage_->write_snapshot(lsn, payload);
+  if (!written.ok()) return written.error();
+  return lsn;
+}
+
+Result<storage::DrainReport> DurableTicketApp::drain(
+    runtime::Duration timeout) {
+  // Stop the background checkpointer first: its thread goes through the
+  // moderator, which is about to start refusing.
+  if (checkpointer_) checkpointer_->stop();
+  return storage::drain_and_checkpoint(
+      proxy_->moderator(), *storage_,
+      [this]() -> Result<std::string> { return capture_snapshot(); }, timeout);
 }
 
 std::string DurableTicketApp::capture_snapshot() const {

@@ -25,8 +25,11 @@
 #include <string>
 
 #include "apps/ticket/ticket_proxy.hpp"
+#include "runtime/health.hpp"
+#include "storage/maintenance.hpp"
 #include "storage/persistence.hpp"
 #include "storage/recovery.hpp"
+#include "storage/self_healing.hpp"
 #include "storage/storage.hpp"
 
 namespace amf::apps::ticket {
@@ -36,6 +39,13 @@ namespace amf::apps::ticket {
 inline constexpr std::string_view kTicketIdNote = "ticket.id";
 inline constexpr std::string_view kTicketDescNote = "ticket.desc";
 inline constexpr std::string_view kTicketByNote = "ticket.by";
+
+/// The moderated checkpoint method (DESIGN.md §17.4): an exclusion WRITER
+/// with no sync and no persist aspect. Admission means no open/assign body
+/// or postaction is in flight, so sync + capture inside its body observe a
+/// state that matches the log position exactly — a coherent snapshot
+/// without stopping intake.
+runtime::MethodId checkpoint_method();
 
 class DurableTicketApp {
  public:
@@ -47,6 +57,22 @@ class DurableTicketApp {
     /// inconsistently (e.g. an assign before the open it consumed) into a
     /// structured kCorrupted failure instead of a hang.
     runtime::Duration replay_deadline = std::chrono::seconds(5);
+    /// When true, the WAL opens behind a SelfHealingStorage (DESIGN.md
+    /// §17): a device fault fences the log into a degraded window (spill or
+    /// shed per `fence_policy`) instead of fail-stopping the app.
+    bool self_heal = false;
+    storage::SelfHealingStorage::FencePolicy fence_policy =
+        storage::SelfHealingStorage::FencePolicy::kSpill;
+    std::size_t spill_capacity = 1024;
+    /// Optional health registry. MUST outlive the app less its prober —
+    /// destroy (or stop) the registry first. When set it is wired into the
+    /// moderator (fallback-chain swaps, quarantine probes) and, under
+    /// self_heal, into the storage (fence reports + reopen probe).
+    runtime::HealthRegistry* health = nullptr;
+    /// Background checkpoint period (0 = none). Checkpoints run on their
+    /// own thread through the moderated checkpoint method, so they are
+    /// coherent without ever blocking the combiner or the fast path.
+    runtime::Duration checkpoint_interval{0};
   };
 
   /// Opens (creating if needed) the durable app over directory `dir`:
@@ -73,14 +99,25 @@ class DurableTicketApp {
   /// Forces the log tail to disk (group commit barrier).
   runtime::Result<void> sync() { return storage_->sync(); }
 
-  /// Publishes a snapshot of current state at last_synced() and compacts.
-  /// Caller must be quiescent (no in-flight moderated calls).
+  /// Publishes a coherent snapshot and compacts. Runs through the
+  /// moderated checkpoint method (see checkpoint_method()), so it is safe
+  /// under live traffic — the exclusion writer slot supplies quiescence.
   runtime::Result<storage::Lsn> checkpoint();
+
+  /// Coordinated shutdown: quiesce intake, flush the batch combiner, wait
+  /// for in-flight spans, sync, publish a final snapshot. The moderator is
+  /// unusable afterwards (every later call aborts kCancelled).
+  runtime::Result<storage::DrainReport> drain(
+      runtime::Duration timeout = std::chrono::seconds(5));
 
   // --- observers ---------------------------------------------------------
 
   TicketProxy& proxy() { return *proxy_; }
   storage::Storage& storage() { return *storage_; }
+  /// Non-null iff Options::self_heal was set.
+  storage::SelfHealingStorage* self_healing() { return self_heal_; }
+  /// Non-null iff Options::checkpoint_interval was non-zero.
+  storage::Checkpointer* checkpointer() { return checkpointer_.get(); }
   const storage::PersistenceAspect& persistence() const { return *persist_; }
   const storage::RecoveryStats& recovery_stats() const { return recovery_; }
 
@@ -104,7 +141,8 @@ class DurableTicketApp {
 
   std::string dir_;
   Options options_;
-  std::unique_ptr<storage::FileStorage> storage_;
+  std::unique_ptr<storage::Storage> storage_;
+  storage::SelfHealingStorage* self_heal_ = nullptr;  // view into storage_
   std::shared_ptr<TicketProxy> proxy_;
   std::shared_ptr<storage::PersistenceAspect> persist_;
   storage::RecoveryStats recovery_;
@@ -113,6 +151,9 @@ class DurableTicketApp {
   // app re-bases them to keep lifetime totals continuous across crashes.
   std::uint64_t base_opened_ = 0;
   std::uint64_t base_assigned_ = 0;
+  // Last member: its thread calls checkpoint() → proxy_, so it must stop
+  // before anything above tears down.
+  std::unique_ptr<storage::Checkpointer> checkpointer_;
 };
 
 }  // namespace amf::apps::ticket

@@ -10,11 +10,15 @@
 // Failure = the functional body threw (ctx.body_succeeded() == false).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <string>
 #include <string_view>
+#include <utility>
 
 #include "core/aspect.hpp"
 #include "runtime/clock.hpp"
+#include "runtime/health.hpp"
 #include "runtime/result.hpp"
 
 namespace amf::aspects {
@@ -37,12 +41,24 @@ class CircuitBreakerAspect final : public core::Aspect {
 
   std::string_view name() const override { return "circuit-breaker"; }
 
+  /// Wires breaker state into a health registry (DESIGN.md §17): opening
+  /// reports `resource` as degraded, and the registered probe answers
+  /// "recovered" once the breaker has closed again — the half-open probe
+  /// CALL stays the breaker's own; the registry only observes. The aspect
+  /// must outlive the registry's prober (destroy the registry first).
+  void bind_health(runtime::HealthRegistry& health, std::string resource) {
+    health_ = &health;
+    resource_ = std::move(resource);
+    health_->track(resource_,
+                   [this] { return state() == State::kClosed; });
+  }
+
   core::CompiledHooks compile() const override {
     return core::compiled_hooks_for<CircuitBreakerAspect>();
   }
 
   core::Decision precondition(core::InvocationContext& ctx) override {
-    if (state_ == State::kOpen) {
+    if (state() == State::kOpen) {
       if (clock_->now() < reopen_at_) {
         ctx.set_abort_error(runtime::make_error(
             runtime::ErrorCode::kUnavailable, "circuit open"));
@@ -51,7 +67,7 @@ class CircuitBreakerAspect final : public core::Aspect {
       // Cooldown elapsed: transition happens at entry of the first probe.
       // (precondition must not mutate; flag the transition via admission.)
     }
-    if (state_ == State::kHalfOpen && probe_in_flight_) {
+    if (state() == State::kHalfOpen && probe_in_flight_) {
       ctx.set_abort_error(runtime::make_error(
           runtime::ErrorCode::kUnavailable, "circuit half-open, probing"));
       return core::Decision::kAbort;
@@ -61,11 +77,11 @@ class CircuitBreakerAspect final : public core::Aspect {
 
   void entry(core::InvocationContext& ctx) override {
     (void)ctx;
-    if (state_ == State::kOpen) {
+    if (state() == State::kOpen) {
       // First admission after cooldown: become the half-open probe.
-      state_ = State::kHalfOpen;
+      set_state(State::kHalfOpen);
       probe_in_flight_ = true;
-    } else if (state_ == State::kHalfOpen) {
+    } else if (state() == State::kHalfOpen) {
       probe_in_flight_ = true;
     }
   }
@@ -73,31 +89,42 @@ class CircuitBreakerAspect final : public core::Aspect {
   void postaction(core::InvocationContext& ctx) override {
     if (ctx.body_succeeded()) {
       consecutive_failures_ = 0;
-      if (state_ == State::kHalfOpen) {
-        state_ = State::kClosed;
+      if (state() == State::kHalfOpen) {
+        set_state(State::kClosed);
         probe_in_flight_ = false;
       }
     } else {
       ++consecutive_failures_;
-      if (state_ == State::kHalfOpen ||
+      if (state() == State::kHalfOpen ||
           consecutive_failures_ >= options_.failure_threshold) {
-        state_ = State::kOpen;
+        const bool was_open = state() == State::kOpen;
+        set_state(State::kOpen);
         probe_in_flight_ = false;
         reopen_at_ = clock_->now() + options_.cooldown;
         consecutive_failures_ = 0;
+        if (health_ != nullptr && !was_open) {
+          // Deferred listener delivery makes this safe under shard locks.
+          health_->report_degraded(resource_, "circuit opened");
+        }
       }
     }
   }
 
-  State state() const { return state_; }
+  /// Racy snapshot: hooks mutate under the moderator's shard locks; the
+  /// atomic exists so the health probe (registry thread) reads cleanly.
+  State state() const { return state_.load(std::memory_order_relaxed); }
 
  private:
+  void set_state(State s) { state_.store(s, std::memory_order_relaxed); }
+
   const runtime::Clock* clock_;
   const Options options_;
-  State state_ = State::kClosed;
+  std::atomic<State> state_{State::kClosed};
   bool probe_in_flight_ = false;
   std::size_t consecutive_failures_ = 0;
   runtime::TimePoint reopen_at_{};
+  runtime::HealthRegistry* health_ = nullptr;
+  std::string resource_;
 };
 
 }  // namespace amf::aspects

@@ -113,6 +113,14 @@ class Aspect {
   /// Cleanup when the invocation is never admitted.
   virtual void on_cancel(InvocationContext& ctx) { (void)ctx; }
 
+  /// Name of the external resource this aspect depends on ("wal",
+  /// "rpc/inventory", ...), or empty for purely in-process aspects. The
+  /// bank consults the HealthRegistry for declared resources at publish
+  /// time: when the resource is impaired (fenced or still probing a
+  /// fence), compositions that declared a fallback chain swap to it
+  /// (DESIGN.md §17). Must be stable for the object's composed lifetime.
+  virtual std::string_view resource() const { return {}; }
+
   /// How the moderator treats this aspect when its hooks throw. Observers
   /// (counters, audits) typically opt into quarantine — they are expendable
   /// relative to the methods they watch; guards keep the propagate default.
@@ -265,6 +273,14 @@ class LambdaAspect final : public Aspect {
     return *this;
   }
 
+  /// Declares the external resource this aspect depends on (see
+  /// Aspect::resource). Wiring time only — before the aspect is composed.
+  std::string_view resource() const override { return resource_; }
+  LambdaAspect& set_resource(std::string resource) {
+    resource_ = std::move(resource);
+    return *this;
+  }
+
   /// Unset lambdas compile to null slots (skipped without a call); set ones
   /// invoke the std::function directly, bypassing both the virtual hook and
   /// its null check. on_arrive/on_cancel have no lambda parts — always null.
@@ -294,6 +310,7 @@ class LambdaAspect final : public Aspect {
   HookFn entry_;
   HookFn post_;
   FaultPolicy policy_ = FaultPolicy::propagate();
+  std::string resource_;
   bool nonblocking_ = false;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/health.hpp"
+
 namespace amf::core {
 
 namespace {
@@ -9,9 +11,10 @@ namespace {
 // aspect's hook table comes from its compile() override (devirtualized
 // thunks for final classes, generic virtual thunks otherwise); the
 // presence bits let the moderator skip whole phases no aspect implements.
-CompiledChain compile_chain(const AspectChain& chain) {
+CompiledChain compile_chain(const AspectChain& chain, bool fallback = false) {
   auto cc = std::make_shared<CompiledChainData>();
   cc->source = chain;
+  cc->fallback = fallback;
   cc->ops.reserve(chain->size());
   for (const BankEntry& e : *chain) {
     CompiledOp op;
@@ -77,6 +80,9 @@ bool AspectBank::remove_aspect(runtime::MethodId method,
 bool AspectBank::quarantine(const Aspect* aspect) {
   {
     std::scoped_lock lock(mu_);
+    // The target must hold a cell or a fallback slot — quarantining a
+    // member of a declared degraded mode is as legitimate as quarantining
+    // the primary it stands in for.
     bool holds_cell = false;
     for (const auto& [_, kinds] : cells_) {
       for (const auto& [_k, a] : kinds) {
@@ -86,6 +92,15 @@ bool AspectBank::quarantine(const Aspect* aspect) {
         }
       }
       if (holds_cell) break;
+    }
+    for (auto it = fallbacks_.begin(); !holds_cell && it != fallbacks_.end();
+         ++it) {
+      for (const BankEntry& e : it->second) {
+        if (e.aspect.get() == aspect) {
+          holds_cell = true;
+          break;
+        }
+      }
     }
     if (!holds_cell) return false;
     if (!quarantined_.insert(aspect).second) return false;
@@ -108,6 +123,64 @@ bool AspectBank::unquarantine(const Aspect* aspect) {
 bool AspectBank::is_quarantined(const Aspect* aspect) const {
   std::scoped_lock lock(mu_);
   return quarantined_.contains(aspect);
+}
+
+void AspectBank::set_fallback(runtime::MethodId method,
+                              std::vector<BankEntry> entries) {
+  {
+    std::scoped_lock lock(mu_);
+    for (const BankEntry& e : entries) {
+      if (std::find(order_.begin(), order_.end(), e.kind) == order_.end()) {
+        order_.push_back(e.kind);
+      }
+    }
+    fallbacks_[method] = std::move(entries);
+    publish_locked();
+  }
+  run_barrier();
+}
+
+bool AspectBank::clear_fallback(runtime::MethodId method) {
+  {
+    std::scoped_lock lock(mu_);
+    if (fallbacks_.erase(method) == 0) return false;
+    publish_locked();
+  }
+  run_barrier();
+  return true;
+}
+
+bool AspectBank::fallback_active(runtime::MethodId method) const {
+  return snapshot()->fallback_active.contains(method);
+}
+
+void AspectBank::set_health(runtime::HealthRegistry* health) {
+  {
+    std::scoped_lock lock(mu_);
+    health_ = health;
+    publish_locked();
+  }
+  run_barrier();
+  if (health != nullptr) {
+    // Any transition may flip an impaired() verdict; republishing derives
+    // the consequences. The listener fires from pump()/tick() — outside
+    // the registry mutex and outside any moderation burst — so running
+    // the recomposition barrier here is safe. The weak token keeps a
+    // longer-lived registry from calling into a destroyed bank.
+    std::weak_ptr<int> alive = alive_;
+    health->subscribe([this, alive](std::string_view, runtime::HealthState,
+                                    runtime::HealthState) {
+      if (auto token = alive.lock()) republish();
+    });
+  }
+}
+
+void AspectBank::republish() {
+  {
+    std::scoped_lock lock(mu_);
+    publish_locked();
+  }
+  run_barrier();
 }
 
 std::vector<std::string> AspectBank::quarantined() const {
@@ -218,6 +291,20 @@ std::string AspectBank::describe() const {
     }
     out += '\n';
   }
+  if (!snap->fallback_active.empty()) {
+    std::vector<std::string> names;
+    names.reserve(snap->fallback_active.size());
+    for (const auto method : snap->fallback_active) {
+      names.emplace_back(method.name());
+    }
+    std::sort(names.begin(), names.end());
+    out += "fallback-active:";
+    for (const auto& n : names) {
+      out += ' ';
+      out += n;
+    }
+    out += '\n';
+  }
   // Sort methods by name for a stable, diff-friendly dump.
   std::vector<runtime::MethodId> methods;
   for (const auto& [method, kinds] : cells_) {
@@ -247,30 +334,66 @@ std::string AspectBank::describe() const {
 void AspectBank::publish_locked() {
   auto next = std::make_shared<Composition>();
 
-  // Prune quarantine entries whose object no longer holds any cell, so a
-  // removed-then-reregistered address cannot inherit a stale quarantine.
+  // Prune quarantine entries whose object no longer holds any cell (nor a
+  // fallback slot), so a removed-then-reregistered address cannot inherit
+  // a stale quarantine.
   if (!quarantined_.empty()) {
     std::unordered_set<const Aspect*> live;
     for (const auto& [_, kinds] : cells_) {
       for (const auto& [_k, aspect] : kinds) live.insert(aspect.get());
     }
+    for (const auto& [_, entries] : fallbacks_) {
+      for (const BankEntry& e : entries) live.insert(e.aspect.get());
+    }
     std::erase_if(quarantined_,
                   [&](const Aspect* a) { return !live.contains(a); });
   }
-  const auto excluded = [&](const AspectPtr& a) {
-    return quarantined_.contains(a.get());
+  // A primary member is impaired when it is quarantined or when the health
+  // registry reports its declared resource fenced (or probing a fence). A
+  // single impaired member trips the WHOLE composition to its fallback —
+  // the fallback chain is a designed degraded mode, not a subset.
+  const auto impaired = [&](const AspectPtr& a) {
+    if (quarantined_.contains(a.get())) return true;
+    if (health_ != nullptr) {
+      const std::string_view res = a->resource();
+      if (!res.empty() && health_->impaired(res)) return true;
+    }
+    return false;
   };
 
-  // Chains, in kind order. Quarantined aspects keep their cells but vanish
-  // from what the moderator sees.
+  // Effective chains: the fallback chain (in its declared order) when the
+  // method declared one and any primary member is impaired; otherwise the
+  // primary chain in kind order minus quarantined members. Everything
+  // downstream — classification, compiled plans, lock groups — derives
+  // from the effective chain, so a swap changes ALL of them in one epoch.
   next->chains.reserve(cells_.size());
   for (const auto& [method, kinds] : cells_) {
+    bool use_fallback = false;
+    if (auto fb = fallbacks_.find(method); fb != fallbacks_.end()) {
+      for (const auto& [_, aspect] : kinds) {
+        if (impaired(aspect)) {
+          use_fallback = true;
+          break;
+        }
+      }
+    }
     auto chain = std::make_shared<std::vector<BankEntry>>();
-    chain->reserve(kinds.size());
-    for (const auto kind : order_) {
-      if (auto jt = kinds.find(kind); jt != kinds.end() &&
-                                      !excluded(jt->second)) {
-        chain->push_back(BankEntry{kind, jt->second});
+    if (use_fallback) {
+      const auto& entries = fallbacks_.find(method)->second;
+      chain->reserve(entries.size());
+      for (const BankEntry& e : entries) {
+        // Quarantine still excludes individual fallback members; there is
+        // no second-level fallback.
+        if (!quarantined_.contains(e.aspect.get())) chain->push_back(e);
+      }
+      next->fallback_active.insert(method);
+    } else {
+      chain->reserve(kinds.size());
+      for (const auto kind : order_) {
+        if (auto jt = kinds.find(kind);
+            jt != kinds.end() && !quarantined_.contains(jt->second.get())) {
+          chain->push_back(BankEntry{kind, jt->second});
+        }
       }
     }
     // Classify: the chain is non-blocking iff EVERY surviving aspect
@@ -288,26 +411,27 @@ void AspectBank::publish_locked() {
     AspectChain published(std::move(chain));
     // Compose-time compilation: resolve every hook thunk now so no
     // invocation ever pays for it (Pluggable-AOP's "pay at composition").
-    next->compiled[method] = compile_chain(published);
+    next->compiled[method] = compile_chain(published, use_fallback);
     next->chains[method] = std::move(published);
   }
 
-  // Lock groups: invert the bank into aspect-object → holder methods, then
-  // union the holder sets of each method's aspects. Methods whose aspects
-  // are all exclusively theirs get no entry (lock_group → nullptr), which
-  // the moderator reads as "own lock suffices".
+  // Lock groups: invert the EFFECTIVE chains into aspect-object → holder
+  // methods, then union the holder sets of each method's aspects. Methods
+  // whose aspects are all exclusively theirs get no entry (lock_group →
+  // nullptr), which the moderator reads as "own lock suffices". Deriving
+  // from effective chains means a fallback swap recomputes sharing too: a
+  // fallback aspect shared across methods creates a group, and a primary
+  // group member sidelined by the swap stops costing its siblings a lock.
   std::unordered_map<const Aspect*, std::vector<runtime::MethodId>> holders;
-  for (const auto& [method, kinds] : cells_) {
-    for (const auto& [_, aspect] : kinds) {
-      if (excluded(aspect)) continue;
-      holders[aspect.get()].push_back(method);
+  for (const auto& [method, chain] : next->chains) {
+    for (const BankEntry& e : *chain) {
+      holders[e.aspect.get()].push_back(method);
     }
   }
-  for (const auto& [method, kinds] : cells_) {
+  for (const auto& [method, chain] : next->chains) {
     std::vector<runtime::MethodId> group{method};
-    for (const auto& [_, aspect] : kinds) {
-      if (excluded(aspect)) continue;
-      const auto& sharing = holders[aspect.get()];
+    for (const BankEntry& e : *chain) {
+      const auto& sharing = holders[e.aspect.get()];
       group.insert(group.end(), sharing.begin(), sharing.end());
     }
     std::sort(group.begin(), group.end());

@@ -29,7 +29,16 @@
 #include "core/aspect.hpp"
 #include "runtime/ids.hpp"
 
+namespace amf::runtime {
+class HealthRegistry;
+}  // namespace amf::runtime
+
 namespace amf::core {
+
+/// Context note key stamped on every admitted invocation that ran under a
+/// fallback composition (value "1"): callers and postactions can tell full
+/// service from degraded service without consulting the bank (PROTOCOL.md).
+inline constexpr std::string_view kFallbackActiveNote = "fallback.active";
 
 /// One (kind, aspect) cell of the bank.
 struct BankEntry {
@@ -64,6 +73,11 @@ struct CompiledChainData {
   bool any_entry = false;
   bool any_post = false;
   bool any_cancel = false;
+  // True when this plan is the method's declared FALLBACK composition
+  // (published because a primary member was quarantined or its resource
+  // impaired, DESIGN.md §17). The moderator stamps kFallbackActiveNote on
+  // invocations admitted under such a plan.
+  bool fallback = false;
 };
 
 /// Immutable, shareable compiled chain (same publish lifetime as the
@@ -124,6 +138,40 @@ class AspectBank {
 
   /// Whether `aspect` is currently quarantined.
   bool is_quarantined(const Aspect* aspect) const;
+
+  // --- degraded-mode fallback compositions (DESIGN.md §17) ---------------
+  // A composition may declare a FALLBACK chain: an ordered set of
+  // (kind, aspect) entries published INSTEAD of the primary chain while any
+  // primary member is impaired — quarantined, or declaring (via
+  // Aspect::resource) a resource the HealthRegistry reports fenced. The
+  // swap is a normal publish: epoch bump + recomposition barrier, so no
+  // caller ever observes a half-swapped chain, and recovery swaps back
+  // automatically through the registry's transition listener.
+
+  /// Declares (or replaces) `method`'s fallback chain. Entries are
+  /// published in the given order; quarantined fallback members are
+  /// excluded individually (no second-level fallback).
+  void set_fallback(runtime::MethodId method, std::vector<BankEntry> entries);
+
+  /// Removes `method`'s fallback declaration; the primary chain (minus
+  /// quarantined members) publishes again. Returns false if none declared.
+  bool clear_fallback(runtime::MethodId method);
+
+  /// Whether the currently published composition of `method` is its
+  /// fallback chain.
+  bool fallback_active(runtime::MethodId method) const;
+
+  /// Connects the bank to a health registry (wiring time, before traffic;
+  /// the registry must outlive the bank). Publishes consult
+  /// `health->impaired()` for every declared Aspect::resource, and the bank
+  /// subscribes a transition listener that republishes — the listener is
+  /// delivered from the registry's pump()/tick(), never from inside a
+  /// report, so it can safely run the recomposition barrier.
+  void set_health(runtime::HealthRegistry* health);
+
+  /// Re-derives and publishes the composition from current health state
+  /// (what the health listener calls; also useful in tests).
+  void republish();
 
   /// Names of currently quarantined aspects (sorted; diagnostics).
   std::vector<std::string> quarantined() const;
@@ -216,6 +264,8 @@ class AspectBank {
     // (methods with an empty/no chain are trivially non-blocking and are
     // NOT listed — absence from `chains` implies eligibility).
     std::unordered_set<runtime::MethodId> nonblocking;
+    // Methods currently published with their fallback chain.
+    std::unordered_set<runtime::MethodId> fallback_active;
   };
 
   // Requires mu_. Rebuilds the snapshot from cells_/order_ and publishes it.
@@ -236,6 +286,14 @@ class AspectBank {
   // Aspect objects excluded from published snapshots. Guarded by mu_;
   // entries whose last cell disappears are pruned by publish_locked().
   std::unordered_set<const Aspect*> quarantined_;
+  // Declared fallback chains per method (guarded by mu_).
+  std::unordered_map<runtime::MethodId, std::vector<BankEntry>> fallbacks_;
+  // Health registry consulted at publish time (guarded by mu_ for writes;
+  // publish_locked reads it under mu_). May be null.
+  runtime::HealthRegistry* health_ = nullptr;
+  // Keeps the registry's republish listener from touching a destroyed
+  // bank: the subscription captures a weak_ptr of this token.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
   std::function<void()> barrier_;
   // Leaf lock guarding only the snapshot pointer swap/copy (never held
   // together with mu_ by readers; writers take mu_ then snapshot_mu_).

@@ -5,6 +5,8 @@
 #include <string>
 #include <type_traits>
 
+#include "runtime/health.hpp"
+
 namespace amf::core {
 
 namespace {
@@ -95,6 +97,7 @@ AspectModerator::AspectModerator(ModeratorOptions options)
       log_(options.log),
       fault_(options.fault),
       watchdog_(options.watchdog),
+      health_(options.health),
       nonce_(next_instance_nonce()) {
   if (options.metrics != nullptr) {
     fault_counter_ = &options.metrics->counter("moderator.aspect_faults");
@@ -116,6 +119,10 @@ AspectModerator::AspectModerator(ModeratorOptions options)
     recompose_barrier();
     if (arming) dekker_armed_.store(true, std::memory_order_seq_cst);
   });
+  // Wired after the barrier hook so the initial publish already quiesces
+  // correctly; the bank republishes (fallback swaps) on every health
+  // transition delivered by the registry's pump()/tick().
+  if (health_ != nullptr) bank_.set_health(health_);
   if (watchdog_ && watchdog_->poll.count() > 0) {
     watchdog_thread_ = std::jthread([this](std::stop_token st) {
       std::unique_lock lk(wd_mu_);
@@ -380,6 +387,7 @@ Decision AspectModerator::preactivation(InvocationContext& ctx) {
       if (cc.any_entry || fault_ != nullptr) {
         for (const CompiledOp& op : cc.ops) guarded_entry(op, ctx);
       }
+      if (cc.fallback) ctx.set_note(kFallbackActiveNote, "1");
       ctx.set_admitted_chain(mod->chain.get());
       ctx.set_moderation_hint(mod.get());
       open_span(ctx, parity);
@@ -783,6 +791,27 @@ void AspectModerator::drain_quarantine() {
       if (log_ != nullptr) {
         log_->append("bank", std::string("quarantine:") +
                                  std::string(aspect->name()));
+      }
+      if (health_ != nullptr) {
+        // Quarantine as a health-registry client (DESIGN.md §17): the
+        // aspect becomes a fenced "aspect/<name>" resource whose probe
+        // restores it (resetting its fault count) after the hysteresis
+        // window. We run outside bursts here, but the probe itself fires
+        // from the registry's tick — also outside any burst — so the
+        // unquarantine republish + barrier is safe in both places.
+        std::string resource = "aspect/" + std::string(aspect->name());
+        health_->track(
+            resource,
+            [this, alive = std::weak_ptr<int>(health_alive_),
+             weak = std::weak_ptr<Aspect>(aspect)] {
+              const auto token = alive.lock();
+              if (!token) return true;  // moderator gone: nothing to do
+              const auto a = weak.lock();
+              if (!a) return true;  // aspect gone: report recovered
+              if (!bank_.is_quarantined(a.get())) return true;
+              return unquarantine(a.get());
+            });
+        health_->report_fenced(resource, "quarantined");
       }
     }
   }
@@ -1337,6 +1366,7 @@ bool AspectModerator::try_fast_admission(InvocationContext& ctx,
   if (cc.any_entry || fault_ != nullptr) {
     for (const CompiledOp& op : cc.ops) guarded_entry(op, ctx);
   }
+  if (cc.fallback) ctx.set_note(kFallbackActiveNote, "1");
   ctx.set_admitted_chain(mod->chain.get());
   ctx.set_moderation_hint(mod.get());
   adopt_span(ctx, parity);
@@ -1604,6 +1634,7 @@ bool AspectModerator::process_batch_node(BatchRequest& n) {
   if (cc.any_entry || fault_ != nullptr) {
     for (const CompiledOp& op : cc.ops) guarded_entry(op, ctx);
   }
+  if (cc.fallback) ctx.set_note(kFallbackActiveNote, "1");
   ctx.set_admitted_chain(n.mod->chain.get());
   ctx.set_moderation_hint(n.mod);
   const int parity = burst_parity(n.burst_gen);

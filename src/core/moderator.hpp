@@ -106,6 +106,12 @@ struct ModeratorOptions {
   runtime::FaultInjector* fault = nullptr;
   /// Optional stall watchdog.
   std::optional<WatchdogOptions> watchdog;
+  /// Optional health registry (DESIGN.md §17; must outlive the moderator).
+  /// When set, the bank consults it for fallback-chain swaps, and
+  /// quarantined aspects are reported as fenced "aspect/<name>" resources
+  /// with an un-quarantine probe — so quarantine stops being terminal: the
+  /// registry's hysteretic prober restores the aspect automatically.
+  runtime::HealthRegistry* health = nullptr;
 };
 
 /// The coordination kernel. Thread-safe; one instance moderates one
@@ -168,6 +174,14 @@ class AspectModerator {
   /// Total number of threads currently blocked in preactivation (racy;
   /// diagnostics only).
   std::uint64_t blocked_waiters() const;
+
+  /// Spans currently open (admitted invocations whose postactivation has
+  /// not finished), both parities. Racy; used by the drain manager to wait
+  /// for in-flight bodies after intake quiesces.
+  std::int64_t open_spans() const {
+    return spans_[0].load(std::memory_order_relaxed) +
+           spans_[1].load(std::memory_order_relaxed);
+  }
 
   // --- failure containment (DESIGN.md §10) ------------------------------
 
@@ -653,6 +667,11 @@ class AspectModerator {
   runtime::EventLog* log_;
   runtime::FaultInjector* fault_;
   const std::optional<WatchdogOptions> watchdog_;
+  runtime::HealthRegistry* health_ = nullptr;
+  // Outlives-check token for health-registry probes: a probe that fires
+  // after this moderator is gone locks the weak copy, fails, and reports
+  // the resource healthy (nothing left to restore).
+  std::shared_ptr<int> health_alive_ = std::make_shared<int>(0);
   // Resolved once at construction; null without a metrics registry.
   runtime::Counter* fault_counter_ = nullptr;
   runtime::Counter* quarantine_counter_ = nullptr;

@@ -1,0 +1,277 @@
+#include "runtime/health.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace amf::runtime {
+
+std::string_view to_string(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kFenced:
+      return "fenced";
+    case HealthState::kProbing:
+      return "probing";
+  }
+  return "?";
+}
+
+HealthRegistry::HealthRegistry(HealthOptions options)
+    : options_(options), rng_(options.seed) {
+  if (options_.metrics != nullptr) {
+    transitions_ = &options_.metrics->counter("health.transitions");
+    probes_ = &options_.metrics->counter("health.probes");
+    probe_failures_ = &options_.metrics->counter("health.probe_failures");
+  }
+  if (options_.poll.count() > 0) {
+    prober_ = std::jthread([this](std::stop_token st) {
+      std::unique_lock lk(prober_mu_);
+      while (!st.stop_requested()) {
+        if (prober_cv_.wait_for(lk, st, options_.poll, [] { return false; })) {
+          break;  // stop requested
+        }
+        lk.unlock();
+        tick();
+        lk.lock();
+      }
+    });
+  }
+}
+
+HealthRegistry::~HealthRegistry() {
+  if (prober_.joinable()) {
+    prober_.request_stop();
+    prober_cv_.notify_all();
+  }
+}
+
+HealthRegistry::Entry& HealthRegistry::entry_locked(std::string_view resource) {
+  auto it = entries_.find(resource);
+  if (it == entries_.end()) {
+    auto e = std::make_unique<Entry>();
+    e->name = std::string(resource);
+    if (options_.metrics != nullptr) {
+      e->gauge = &options_.metrics->gauge("health." + e->name);
+    }
+    it = entries_.emplace(e->name, std::move(e)).first;
+  }
+  return *it->second;
+}
+
+void HealthRegistry::transition_locked(Entry& e, HealthState to,
+                                       std::string_view reason) {
+  if (e.state == to) return;
+  const HealthState from = e.state;
+  e.state = to;
+  if (e.gauge != nullptr) e.gauge->set(static_cast<std::int64_t>(to));
+  if (transitions_ != nullptr) transitions_->add();
+  generation_.fetch_add(1, std::memory_order_release);
+  if (options_.log != nullptr) {
+    std::string msg;
+    msg.reserve(e.name.size() + reason.size() + 24);
+    msg += e.name;
+    msg += ": ";
+    msg += to_string(from);
+    msg += "->";
+    msg += to_string(to);
+    if (!reason.empty()) {
+      msg += " (";
+      msg += reason;
+      msg += ")";
+    }
+    options_.log->append("health", msg);
+  }
+  deferred_.push_back(Transition{e.name, from, to});
+}
+
+Duration HealthRegistry::jittered_locked(Duration d) {
+  const double spread = options_.jitter * (2.0 * rng_.uniform() - 1.0);
+  const auto ns = static_cast<std::int64_t>(
+      static_cast<double>(d.count()) * (1.0 + spread));
+  return Duration(std::max<std::int64_t>(ns, 1));
+}
+
+void HealthRegistry::schedule_probe_locked(Entry& e, Duration delay) {
+  e.successes = 0;
+  e.next_probe = options_.clock->now() + jittered_locked(delay);
+}
+
+void HealthRegistry::track(std::string_view resource, Probe probe) {
+  std::scoped_lock lock(mu_);
+  Entry& e = entry_locked(resource);
+  if (probe) e.probe = std::move(probe);
+}
+
+void HealthRegistry::report_degraded(std::string_view resource,
+                                     std::string_view reason) {
+  std::scoped_lock lock(mu_);
+  Entry& e = entry_locked(resource);
+  switch (e.state) {
+    case HealthState::kHealthy:
+      e.bad_state = HealthState::kDegraded;
+      e.backoff = options_.probe_initial_backoff;
+      transition_locked(e, HealthState::kDegraded, reason);
+      schedule_probe_locked(e, e.backoff);
+      break;
+    case HealthState::kProbing:
+      // A re-report during a degradation's probe window is a flap: fall
+      // back and grow the backoff. A fence's probe window outranks it.
+      if (e.bad_state == HealthState::kDegraded) {
+        transition_locked(e, HealthState::kDegraded, reason);
+        e.backoff = std::min(
+            Duration(static_cast<std::int64_t>(
+                static_cast<double>(e.backoff.count()) *
+                options_.backoff_multiplier)),
+            options_.probe_max_backoff);
+        schedule_probe_locked(e, e.backoff);
+      }
+      break;
+    case HealthState::kDegraded:  // already there
+    case HealthState::kFenced:    // degraded never downgrades a fence
+      break;
+  }
+}
+
+void HealthRegistry::report_fenced(std::string_view resource,
+                                   std::string_view reason) {
+  std::scoped_lock lock(mu_);
+  Entry& e = entry_locked(resource);
+  if (e.state == HealthState::kFenced) return;
+  // Re-fencing out of a probe window means the last recovery did not hold:
+  // grow the backoff (flap damping). Any other origin starts fresh.
+  if (e.state == HealthState::kProbing) {
+    e.backoff = std::min(
+        Duration(static_cast<std::int64_t>(
+            static_cast<double>(e.backoff.count()) *
+            options_.backoff_multiplier)),
+        options_.probe_max_backoff);
+  } else {
+    e.backoff = options_.probe_initial_backoff;
+  }
+  e.bad_state = HealthState::kFenced;
+  transition_locked(e, HealthState::kFenced, reason);
+  schedule_probe_locked(e, e.backoff);
+}
+
+void HealthRegistry::report_healthy(std::string_view resource,
+                                    std::string_view reason) {
+  std::scoped_lock lock(mu_);
+  Entry& e = entry_locked(resource);
+  if (e.state == HealthState::kHealthy) return;
+  transition_locked(e, HealthState::kHealthy, reason);
+  e.bad_state = HealthState::kHealthy;
+  e.backoff = Duration(0);
+  e.successes = 0;
+}
+
+HealthState HealthRegistry::state(std::string_view resource) const {
+  std::scoped_lock lock(mu_);
+  auto it = entries_.find(resource);
+  return it == entries_.end() ? HealthState::kHealthy : it->second->state;
+}
+
+bool HealthRegistry::impaired(std::string_view resource) const {
+  std::scoped_lock lock(mu_);
+  auto it = entries_.find(resource);
+  if (it == entries_.end()) return false;
+  const Entry& e = *it->second;
+  return e.state == HealthState::kFenced ||
+         (e.state == HealthState::kProbing &&
+          e.bad_state == HealthState::kFenced);
+}
+
+std::uint64_t HealthRegistry::generation() const {
+  return generation_.load(std::memory_order_acquire);
+}
+
+void HealthRegistry::subscribe(Listener listener) {
+  std::scoped_lock lock(mu_);
+  listeners_.push_back(std::move(listener));
+}
+
+void HealthRegistry::pump() {
+  std::vector<Transition> batch;
+  std::vector<Listener> listeners;
+  {
+    std::scoped_lock lock(mu_);
+    if (deferred_.empty()) return;
+    batch.swap(deferred_);
+    listeners = listeners_;
+  }
+  for (const Transition& t : batch) {
+    for (const Listener& l : listeners) l(t.resource, t.from, t.to);
+  }
+}
+
+std::size_t HealthRegistry::tick() {
+  std::vector<Entry*> due;
+  {
+    std::scoped_lock lock(mu_);
+    const TimePoint now = options_.clock->now();
+    for (auto& [name, e] : entries_) {
+      if (!e->probe || e->probe_inflight) continue;
+      if (e->state == HealthState::kHealthy) continue;
+      if (now < e->next_probe) continue;
+      if (e->state != HealthState::kProbing) {
+        transition_locked(*e, HealthState::kProbing, "probe");
+      }
+      e->probe_inflight = true;
+      due.push_back(e.get());
+    }
+  }
+  for (Entry* e : due) {
+    // The probe runs outside the mutex: it may reopen a device or drive a
+    // bank recomposition (unquarantine), neither of which may deadlock us.
+    bool ok = false;
+    try {
+      ok = e->probe();
+    } catch (...) {
+      ok = false;
+    }
+    std::scoped_lock lock(mu_);
+    e->probe_inflight = false;
+    if (probes_ != nullptr) probes_->add();
+    if (e->state != HealthState::kProbing) {
+      // report_fenced()/report_healthy() raced the probe; its verdict is
+      // stale, the report wins.
+      continue;
+    }
+    if (ok) {
+      if (++e->successes >= options_.recover_after) {
+        transition_locked(*e, HealthState::kHealthy, "recovered");
+        e->bad_state = HealthState::kHealthy;
+        e->backoff = Duration(0);
+        e->successes = 0;
+      } else {
+        // Hysteresis: stay probing, re-probe at the initial cadence (the
+        // resource is answering; no need to back off).
+        e->next_probe =
+            options_.clock->now() + jittered_locked(options_.probe_initial_backoff);
+      }
+    } else {
+      if (probe_failures_ != nullptr) probe_failures_->add();
+      transition_locked(*e, e->bad_state, "probe-failed");
+      e->backoff = std::min(
+          Duration(static_cast<std::int64_t>(
+              static_cast<double>(e->backoff.count()) *
+              options_.backoff_multiplier)),
+          options_.probe_max_backoff);
+      schedule_probe_locked(*e, e->backoff);
+    }
+  }
+  pump();
+  return due.size();
+}
+
+std::vector<std::string> HealthRegistry::resources() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace amf::runtime

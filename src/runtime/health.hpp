@@ -1,0 +1,166 @@
+// Health registry: per-resource failure state machines with probed recovery.
+//
+// PR 2's quarantine and PR 7's device fence are one-way doors: once an
+// aspect misbehaves or a WAL write fails, the composition stays degraded
+// until a human calls unquarantine()/reopen(). The registry turns both into
+// observable, self-recovering transitions (DESIGN.md §17):
+//
+//   kHealthy → kDegraded → kFenced → kProbing → kHealthy
+//
+// Failure reports can arrive from anywhere — including aspect hooks running
+// under moderator shard locks — so the registry NEVER invokes subscriber
+// callbacks inline. Transitions are recorded under the registry mutex
+// (events + gauges only, both leaf-locked) and listener notification is
+// deferred to pump()/tick(), which run from a prober thread or an explicit
+// test call, always outside any moderation burst. That is what lets the
+// AspectBank subscribe a recompose-on-transition listener without risking a
+// barrier deadlock.
+//
+// Recovery is hysteretic: probes are rate-limited with exponential backoff
+// plus jitter, and a resource must pass `recover_after` consecutive probes
+// before it is declared healthy again. Re-fencing a probing resource grows
+// the backoff, which damps flapping devices.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "runtime/clock.hpp"
+#include "runtime/event_log.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/random.hpp"
+
+namespace amf::runtime {
+
+/// Resource health, ordered by severity.
+enum class HealthState : int {
+  kHealthy = 0,   // full service
+  kDegraded = 1,  // impaired but serving (e.g. circuit breaker open)
+  kFenced = 2,    // unusable; dependents must fall back or shed
+  kProbing = 3,   // recovery attempt in flight (hysteresis window)
+};
+
+std::string_view to_string(HealthState s);
+
+struct HealthOptions {
+  const Clock* clock = &RealClock::instance();
+  EventLog* log = nullptr;       // transition events, category "health"
+  Registry* metrics = nullptr;   // gauge "health.<resource>" + counters
+  Duration probe_initial_backoff = std::chrono::milliseconds(10);
+  Duration probe_max_backoff = std::chrono::seconds(5);
+  double backoff_multiplier = 2.0;
+  double jitter = 0.1;        // +/- fraction applied to each backoff delay
+  int recover_after = 3;      // consecutive probe successes to recover
+  std::uint64_t seed = 1;     // jitter RNG seed (deterministic tests)
+  Duration poll{0};           // > 0: background prober thread calls tick()
+};
+
+/// Tracks named resources through the health state machine. Thread-safe;
+/// report_*() may be called from any context including under shard locks.
+class HealthRegistry {
+ public:
+  /// Recovery probe: returns true when the resource looks usable. Runs
+  /// outside the registry mutex (may do real I/O, e.g. reopen a WAL).
+  using Probe = std::function<bool()>;
+  /// Transition listener, fired from pump()/tick() outside the mutex.
+  using Listener =
+      std::function<void(std::string_view resource, HealthState from,
+                         HealthState to)>;
+
+  explicit HealthRegistry(HealthOptions options = {});
+  ~HealthRegistry();
+
+  HealthRegistry(const HealthRegistry&) = delete;
+  HealthRegistry& operator=(const HealthRegistry&) = delete;
+
+  /// Registers `resource` (idempotent). A non-null probe enables automatic
+  /// recovery; without one the resource only recovers via report_healthy().
+  /// Calling track() again replaces the probe (last wins).
+  void track(std::string_view resource, Probe probe = {});
+
+  /// Failure reports. Unknown resources are auto-tracked (probeless).
+  /// Severity is sticky: a degraded report never downgrades a fence.
+  void report_degraded(std::string_view resource, std::string_view reason = {});
+  void report_fenced(std::string_view resource, std::string_view reason = {});
+  /// Out-of-band recovery (manual intervention); resets backoff.
+  void report_healthy(std::string_view resource, std::string_view reason = {});
+
+  /// Current state; kHealthy for unknown resources.
+  HealthState state(std::string_view resource) const;
+
+  /// Fallback trip predicate: true when the resource is fenced or still in
+  /// the probing window of a fence. Degraded resources are NOT impaired —
+  /// they keep their primary composition (the breaker/quota aspect already
+  /// sheds inside it).
+  bool impaired(std::string_view resource) const;
+
+  /// Bumped on every transition of any resource (cheap change detector).
+  std::uint64_t generation() const;
+
+  /// Subscribes a transition listener (wiring time; never removed).
+  void subscribe(Listener listener);
+
+  /// Delivers deferred transition notifications. Call from a context that
+  /// may run a bank recomposition (never from inside an aspect hook).
+  void pump();
+
+  /// Runs every due probe, applies hysteresis, then pump()s. Returns the
+  /// number of probes executed. Drive manually in tests (ManualClock) or
+  /// let the poll thread call it.
+  std::size_t tick();
+
+  /// Names of all tracked resources (diagnostics).
+  std::vector<std::string> resources() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Probe probe;
+    HealthState state = HealthState::kHealthy;
+    // The state a failing probe falls back to; also what impaired() checks
+    // while probing (a probing fence is still impaired, a probing
+    // degradation is not).
+    HealthState bad_state = HealthState::kHealthy;
+    Duration backoff{0};
+    TimePoint next_probe{};
+    int successes = 0;
+    bool probe_inflight = false;
+    Gauge* gauge = nullptr;
+  };
+
+  struct Transition {
+    std::string resource;
+    HealthState from;
+    HealthState to;
+  };
+
+  Entry& entry_locked(std::string_view resource);
+  void transition_locked(Entry& e, HealthState to, std::string_view reason);
+  Duration jittered_locked(Duration d);
+  void schedule_probe_locked(Entry& e, Duration delay);
+
+  HealthOptions options_;
+  Counter* transitions_ = nullptr;
+  Counter* probes_ = nullptr;
+  Counter* probe_failures_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Entry>, std::less<>> entries_;
+  std::vector<Listener> listeners_;
+  std::vector<Transition> deferred_;
+  Rng rng_;
+  std::atomic<std::uint64_t> generation_{0};
+
+  std::mutex prober_mu_;
+  std::condition_variable_any prober_cv_;
+  std::jthread prober_;  // last member: joins before the rest tears down
+};
+
+}  // namespace amf::runtime

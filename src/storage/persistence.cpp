@@ -5,7 +5,10 @@
 namespace amf::storage {
 
 core::Decision PersistenceAspect::precondition(core::InvocationContext& ctx) {
-  if (!storage_.healthy()) {
+  // accepting(), not healthy(): a self-healing storage keeps accepting
+  // while fenced as long as its spill buffer has room (DESIGN.md §17); the
+  // plain FileStorage equates the two, preserving strict fail-stop.
+  if (!storage_.accepting()) {
     ctx.set_abort_error(runtime::make_error(
         runtime::ErrorCode::kUnavailable,
         "persist: storage device fenced after I/O fault — refusing new "

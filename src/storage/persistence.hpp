@@ -49,7 +49,8 @@ class PersistenceAspect final : public core::Aspect {
 
   std::string_view name() const override { return "persist"; }
 
-  /// Fail-stop gate: vetoes with kUnavailable once storage is unhealthy.
+  /// Fail-stop gate: vetoes with kUnavailable once storage stops
+  /// accepting (fenced with no spill room; see Storage::accepting).
   core::Decision precondition(core::InvocationContext& ctx) override;
 
   /// Appends the commit record for a successful body; see file comment.

@@ -1,0 +1,262 @@
+#include "storage/self_healing.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace amf::storage {
+
+using runtime::ErrorCode;
+using runtime::make_error;
+using runtime::Result;
+
+SelfHealingStorage::SelfHealingStorage(std::string dir, Options options,
+                                       std::unique_ptr<Wal> wal)
+    : dir_(std::move(dir)), options_(std::move(options)), wal_(std::move(wal)) {}
+
+SelfHealingStorage::~SelfHealingStorage() = default;
+
+Result<std::unique_ptr<SelfHealingStorage>> SelfHealingStorage::open(
+    std::string dir, Options options, WalOpenInfo* info) {
+  auto wal = Wal::open(dir, options.wal, info);
+  if (!wal.ok()) return wal.error();
+  std::unique_ptr<SelfHealingStorage> out(new SelfHealingStorage(
+      std::move(dir), std::move(options), std::move(wal.value())));
+  if (out->options_.health != nullptr) {
+    // The registry's prober drives recovery off its backoff schedule. The
+    // storage must outlive the probe's firings: destroy (or stop) the
+    // registry before the storage, as the durable apps do.
+    SelfHealingStorage* raw = out.get();
+    out->options_.health->track(out->options_.resource,
+                                [raw] { return raw->probe(); });
+  }
+  return out;
+}
+
+void SelfHealingStorage::fence_locked(std::string_view why) {
+  if (fenced_) return;
+  fenced_ = true;
+  synced_floor_ = wal_->last_synced();
+  next_provisional_ = wal_->last_appended() + 1;
+  // Salvage the group-commit buffer: frames with assigned LSNs whose
+  // flush never completed. None were acknowledged (last_synced froze
+  // before them), so spilling them loses nothing promised — and a short
+  // write that persisted a PREFIX on disk is handled at drain time by the
+  // lsn <= repaired-tail dedup. Salvage happens in both policies; kShed
+  // only refuses NEW records.
+  auto salvaged = wal_->unsynced_records();
+  for (auto it = salvaged.rbegin(); it != salvaged.rend(); ++it) {
+    spill_.push_front(std::move(*it));
+  }
+  if (options_.health != nullptr) {
+    // Deferred listener delivery makes this safe under mu_ (and under any
+    // aspect/shard locks above us).
+    options_.health->report_fenced(options_.resource, why);
+  }
+}
+
+Result<Lsn> SelfHealingStorage::append(std::uint8_t type,
+                                       std::string_view payload) {
+  std::scoped_lock lock(mu_);
+  if (!fenced_) {
+    auto appended = wal_->append(type, payload);
+    if (appended.ok()) return appended;
+    if (wal_->healthy()) return appended.error();  // e.g. kInvalidArgument
+    // Device fault. The record was framed (LSN assigned) before the flush
+    // failed, so the salvage inside fence_locked captures it; report it
+    // accepted-but-not-durable, exactly like any buffered group-commit
+    // record. The caller must still gate acks on last_synced().
+    fence_locked(appended.error().message);
+    if (!spill_.empty()) return spill_.back().lsn;
+    return appended.error();
+  }
+  if (options_.policy == FencePolicy::kSpill &&
+      spill_.size() < options_.spill_capacity) {
+    const Lsn lsn = next_provisional_++;
+    spill_.push_back(WalRecord{lsn, type, std::string(payload)});
+    ++spilled_;
+    return lsn;
+  }
+  ++shed_;
+  return make_error(
+      ErrorCode::kUnavailable,
+      options_.policy == FencePolicy::kSpill
+          ? "self-heal: device fenced and spill buffer full — shedding"
+          : "self-heal: device fenced (shed policy) — refusing new records");
+}
+
+Result<void> SelfHealingStorage::sync() {
+  std::scoped_lock lock(mu_);
+  if (fenced_) {
+    return make_error(ErrorCode::kUnavailable,
+                      "self-heal: device fenced — " +
+                          std::to_string(spill_.size()) +
+                          " records spilled, awaiting reopen");
+  }
+  auto synced = wal_->sync();
+  if (!synced.ok() && !wal_->healthy()) fence_locked(synced.error().message);
+  return synced;
+}
+
+Lsn SelfHealingStorage::last_appended() const {
+  std::scoped_lock lock(mu_);
+  return fenced_ ? next_provisional_ - 1 : wal_->last_appended();
+}
+
+Lsn SelfHealingStorage::last_synced() const {
+  std::scoped_lock lock(mu_);
+  return wal_ != nullptr ? wal_->last_synced() : synced_floor_;
+}
+
+bool SelfHealingStorage::healthy() const {
+  std::scoped_lock lock(mu_);
+  return !fenced_;
+}
+
+bool SelfHealingStorage::accepting() const {
+  std::scoped_lock lock(mu_);
+  if (!fenced_) return true;
+  return options_.policy == FencePolicy::kSpill &&
+         spill_.size() < options_.spill_capacity;
+}
+
+Result<void> SelfHealingStorage::write_snapshot(Lsn lsn,
+                                                std::string_view payload) {
+  std::scoped_lock lock(mu_);
+  if (fenced_) {
+    return make_error(ErrorCode::kUnavailable,
+                      "self-heal: device fenced — snapshots wait for reopen");
+  }
+  if (lsn > wal_->last_synced()) {
+    return make_error(
+        ErrorCode::kInvalidArgument,
+        "storage: snapshot lsn beyond last_synced — records it claims to "
+        "cover could still be lost");
+  }
+  auto written = amf::storage::write_snapshot(dir_, lsn, payload, options_.wal);
+  if (!written.ok()) return written;
+  auto oldest_kept = prune_snapshots(dir_, FileStorage::kKeepSnapshots);
+  if (!oldest_kept.ok()) return oldest_kept.error();
+  if (oldest_kept.value() > 0) {
+    return wal_->remove_segments_below(oldest_kept.value());
+  }
+  return {};
+}
+
+Result<std::optional<Snapshot>> SelfHealingStorage::latest_snapshot() const {
+  return load_latest_snapshot(dir_);
+}
+
+Result<void> SelfHealingStorage::replay(
+    Lsn after,
+    const std::function<Result<void>(const WalRecord&)>& fn) const {
+  {
+    std::scoped_lock lock(mu_);
+    if (fenced_) {
+      return make_error(ErrorCode::kUnavailable,
+                        "self-heal: device fenced — replay after reopen");
+    }
+    auto synced = wal_->sync();
+    if (!synced.ok()) return synced;
+  }
+  return Wal::scan(dir_, after, fn);
+}
+
+bool SelfHealingStorage::probe() {
+  std::scoped_lock lock(mu_);
+  if (!fenced_) return true;
+  return reopen_locked();
+}
+
+bool SelfHealingStorage::reopen_locked() {
+  // Drop the failed handle first (closes the fd); the fresh open runs the
+  // normal validation path, torn-tail repair included — a short write's
+  // half-persisted batch is truncated to its last whole frame here.
+  wal_.reset();
+  WalOpenInfo info;
+  auto reopened = Wal::open(dir_, options_.wal, &info);
+  if (!reopened.ok()) return false;  // still fenced; registry keeps probing
+  std::unique_ptr<Wal> wal = std::move(reopened.value());
+
+  // Re-fence keeping the spill invariant: everything with lsn > disk tail
+  // lives in the spill, contiguous and in order. Records the failed drain
+  // got into the new buffer (but not to disk) are salvaged back to the
+  // front; the ones it flushed are on disk and stay dropped.
+  const auto keep_fenced = [&](std::unique_ptr<Wal> w) {
+    auto rescued = w->unsynced_records();
+    // The failed re-append usually framed the front spill record into the
+    // new buffer before the flush died — it is in BOTH places. The rescued
+    // copy wins (both runs are LSN-contiguous, so the overlap is a prefix
+    // of the remaining spill).
+    while (!spill_.empty() && !rescued.empty() &&
+           spill_.front().lsn <= rescued.back().lsn) {
+      spill_.pop_front();
+    }
+    for (auto it = rescued.rbegin(); it != rescued.rend(); ++it) {
+      spill_.push_front(std::move(*it));
+    }
+    synced_floor_ = w->last_synced();
+    wal_ = std::move(w);
+    return false;
+  };
+
+  // Drain in LSN order BEFORE any new append. The dedup against the
+  // repaired tail covers the short-write case: a prefix of the salvaged
+  // batch survived on disk as whole frames, and re-appending those would
+  // fork history. Contiguity then lands every re-append exactly on its
+  // provisional LSN, so nothing acknowledged is ever renumbered.
+  std::uint64_t drained_now = 0;
+  while (!spill_.empty()) {
+    WalRecord& rec = spill_.front();
+    if (rec.lsn <= info.tail_lsn) {
+      spill_.pop_front();  // the repaired tail already retained it
+      continue;
+    }
+    if (rec.lsn != wal->last_appended() + 1) {
+      // Spill discontinuity — cannot happen by construction; refuse to
+      // invent history and stay fenced rather than renumber.
+      return keep_fenced(std::move(wal));
+    }
+    auto appended = wal->append(rec.type, rec.payload);
+    if (!appended.ok()) return keep_fenced(std::move(wal));
+    spill_.pop_front();
+    ++drained_now;
+  }
+  if (auto synced = wal->sync(); !synced.ok()) {
+    return keep_fenced(std::move(wal));
+  }
+
+  wal_ = std::move(wal);
+  fenced_ = false;
+  next_provisional_ = wal_->last_appended() + 1;
+  synced_floor_ = wal_->last_synced();
+  ++reopens_;
+  drained_ += drained_now;
+  return true;
+}
+
+std::size_t SelfHealingStorage::spill_size() const {
+  std::scoped_lock lock(mu_);
+  return spill_.size();
+}
+
+std::uint64_t SelfHealingStorage::spilled() const {
+  std::scoped_lock lock(mu_);
+  return spilled_;
+}
+
+std::uint64_t SelfHealingStorage::shed() const {
+  std::scoped_lock lock(mu_);
+  return shed_;
+}
+
+std::uint64_t SelfHealingStorage::reopens() const {
+  std::scoped_lock lock(mu_);
+  return reopens_;
+}
+
+std::uint64_t SelfHealingStorage::drained() const {
+  std::scoped_lock lock(mu_);
+  return drained_;
+}
+
+}  // namespace amf::storage

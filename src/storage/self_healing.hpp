@@ -1,0 +1,138 @@
+// SelfHealingStorage: WAL device failover with spill and probed reopen
+// (DESIGN.md §17).
+//
+// The plain FileStorage treats a device fault as terminal: the WAL fences
+// sticky and every later durable call is vetoed until someone rebuilds the
+// stack. This wrapper turns the fence into a DEGRADED WINDOW:
+//
+//   * At fence time the records still sitting in the WAL's group-commit
+//     buffer (LSNs assigned, durability unknown) are SALVAGED into a
+//     bounded in-memory spill. None of them were acknowledged — last_synced
+//     froze before them — so holding them in memory loses nothing that was
+//     promised.
+//   * While fenced, append() keeps assigning contiguous provisional LSNs
+//     into the spill (policy kSpill) or sheds with a structured
+//     kUnavailable (policy kShed, and always once the spill is full). The
+//     commit contract is unchanged: a spilled record is NOT durable and
+//     must not be acknowledged — last_synced() stays frozen until the
+//     drain lands.
+//   * A probe (driven by the HealthRegistry's backoff schedule) reopens
+//     the directory with a fresh Wal — running the normal torn-tail repair
+//     — then drains the spill IN LSN ORDER before any new append, skipping
+//     records the repaired tail already retained (a short write persists a
+//     prefix of the batch; those frames are valid on disk AND in the
+//     spill). Contiguity makes the re-appended LSNs land exactly on their
+//     provisional values, so acknowledged history is never renumbered.
+//   * A crash during the drain is covered by the same kill-and-recover
+//     oracle as any other crash: drained-but-unsynced records are simply
+//     lost un-acked records, and the drain's LSN order means no gap ever
+//     forms in acknowledged history.
+//
+// The wrapper is a Storage, so the persistence aspect and recovery driver
+// compose with it unchanged; `accepting()` is what keeps the moderation
+// pipeline admitting while fenced.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "runtime/health.hpp"
+#include "storage/storage.hpp"
+
+namespace amf::storage {
+
+class SelfHealingStorage final : public Storage {
+ public:
+  /// What append() does while the device is fenced.
+  enum class FencePolicy {
+    kShed,   // fail fast with kUnavailable (strict fail-stop, like FileStorage)
+    kSpill,  // buffer up to spill_capacity records, drain on reopen
+  };
+
+  struct Options {
+    WalOptions wal;
+    FencePolicy policy = FencePolicy::kSpill;
+    /// Spill bound (records). A full spill sheds — memory is not allowed
+    /// to grow without bound while the device is away.
+    std::size_t spill_capacity = 1024;
+    /// Resource name reported to the health registry.
+    std::string resource = "wal";
+    /// Optional registry: fences are reported and a reopen probe is
+    /// registered, so recovery runs unattended off the registry's
+    /// backoff schedule. Without one, call probe() manually.
+    runtime::HealthRegistry* health = nullptr;
+  };
+
+  /// Opens the directory (normal Wal::open validation path).
+  static runtime::Result<std::unique_ptr<SelfHealingStorage>> open(
+      std::string dir, Options options, WalOpenInfo* info = nullptr);
+
+  ~SelfHealingStorage() override;
+
+  // --- Storage ----------------------------------------------------------
+  runtime::Result<Lsn> append(std::uint8_t type,
+                              std::string_view payload) override;
+  runtime::Result<void> sync() override;
+  Lsn last_appended() const override;
+  Lsn last_synced() const override;
+  bool healthy() const override;
+  bool accepting() const override;
+  runtime::Result<void> write_snapshot(Lsn lsn,
+                                       std::string_view payload) override;
+  runtime::Result<std::optional<Snapshot>> latest_snapshot() const override;
+  runtime::Result<void> replay(
+      Lsn after,
+      const std::function<runtime::Result<void>(const WalRecord&)>& fn)
+      const override;
+
+  // --- self-healing surface ---------------------------------------------
+
+  /// One recovery attempt: true when the device is (already or again)
+  /// healthy and the spill has fully drained. This is the probe registered
+  /// with the health registry; tests may call it directly.
+  bool probe();
+
+  const std::string& dir() const { return dir_; }
+  const std::string& resource() const { return options_.resource; }
+
+  /// Counters (test oracles / diagnostics).
+  std::size_t spill_size() const;
+  std::uint64_t spilled() const;   // records accepted into the spill
+  std::uint64_t shed() const;      // appends refused while fenced
+  std::uint64_t reopens() const;   // successful device reopens
+  std::uint64_t drained() const;   // spill records re-appended durably
+
+ private:
+  SelfHealingStorage(std::string dir, Options options,
+                     std::unique_ptr<Wal> wal);
+
+  // Requires mu_. Salvages the WAL buffer and enters the fenced state;
+  // reports to the registry (deferred listener delivery — safe under any
+  // caller locks).
+  void fence_locked(std::string_view why);
+  // Requires mu_. The reopen + drain transaction; false leaves us fenced.
+  bool reopen_locked();
+
+  const std::string dir_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<Wal> wal_;     // null only mid-reopen
+  bool fenced_ = false;
+  // Spill: records in contiguous LSN order (front = oldest). Provisional
+  // LSNs continue the pre-fence sequence so acked history never renumbers.
+  std::deque<WalRecord> spill_;
+  Lsn next_provisional_ = 1;     // next LSN while fenced
+  Lsn synced_floor_ = 0;         // last_synced at fence time (frozen)
+
+  std::uint64_t spilled_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t reopens_ = 0;
+  std::uint64_t drained_ = 0;
+};
+
+}  // namespace amf::storage

@@ -44,6 +44,12 @@ class Storage {
   /// precondition (fail-stop beats silently running undurable).
   virtual bool healthy() const = 0;
 
+  /// Whether append() would currently accept a record. Defaults to
+  /// healthy(); a self-healing implementation (DESIGN.md §17) stays
+  /// accepting while fenced as long as its spill buffer has room, which is
+  /// what the persistence aspect's precondition actually gates on.
+  virtual bool accepting() const { return healthy(); }
+
   /// Publishes `payload` as the snapshot covering every record with
   /// lsn <= `lsn`, then retires old snapshot generations and compacts log
   /// segments no retained snapshot needs. `lsn` must be <= last_synced():

@@ -457,6 +457,28 @@ bool Wal::healthy() const {
   return !failed_;
 }
 
+std::vector<WalRecord> Wal::unsynced_records() const {
+  std::scoped_lock lock(mu_);
+  std::vector<WalRecord> out;
+  out.reserve(buffered_records_);
+  // The buffer holds exactly the frames append() built since the last
+  // successful flush; they are trusted (we framed them), so this walk
+  // needs no CRC re-check — lengths alone drive it.
+  std::size_t off = 0;
+  while (off + kHeaderBytes <= buffer_.size()) {
+    const char* p = buffer_.data() + off;
+    const std::uint32_t length = get_u32(p + 8);
+    if (off + kHeaderBytes + length > buffer_.size()) break;
+    WalRecord record;
+    record.lsn = get_u64(p + 12);
+    record.type = std::uint8_t(p[20]);
+    record.payload.assign(p + kHeaderBytes, length);
+    out.push_back(std::move(record));
+    off += kHeaderBytes + length;
+  }
+  return out;
+}
+
 runtime::Result<void> Wal::remove_segments_below(Lsn keep_from) {
   std::scoped_lock lock(mu_);
   auto segments = list_segments(dir_);

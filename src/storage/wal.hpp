@@ -125,6 +125,14 @@ class Wal {
   /// state would risk interleaving garbage with acknowledged records.
   bool healthy() const;
 
+  /// Decodes the records still sitting in the group-commit buffer (LSNs
+  /// assigned, durability unknown). The self-healing layer (DESIGN.md §17)
+  /// salvages these at fence time: a failed flush leaves the buffer intact
+  /// — even a short write persists only a prefix ON DISK while the full
+  /// frames remain here — so the records can be re-appended to a reopened
+  /// device, deduplicated against whatever the torn-tail repair kept.
+  std::vector<WalRecord> unsynced_records() const;
+
   /// Removes whole segments whose every record is <= `keep_from` (i.e.
   /// covered by a snapshot). The segment containing keep_from+1 survives.
   runtime::Result<void> remove_segments_below(Lsn keep_from);

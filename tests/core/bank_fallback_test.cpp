@@ -1,0 +1,287 @@
+// Degraded-mode composition tests (DESIGN.md §17): declared fallback chains
+// swap in epoch-consistently when a primary member goes impaired —
+// quarantined, or bound (via Aspect::resource) to a resource the
+// HealthRegistry reports fenced — and swap back automatically on recovery.
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bank.hpp"
+#include "core/moderator.hpp"
+#include "core/verify.hpp"
+#include "runtime/event_log.hpp"
+#include "runtime/health.hpp"
+
+namespace amf::core {
+namespace {
+
+using runtime::AspectKind;
+using runtime::HealthRegistry;
+using runtime::HealthState;
+using runtime::MethodId;
+
+AspectPtr named(std::string name) {
+  return std::make_shared<LambdaAspect>(std::move(name));
+}
+
+AspectPtr with_resource(std::string name, std::string resource) {
+  auto a = std::make_shared<LambdaAspect>(std::move(name));
+  a->set_resource(std::move(resource));
+  return a;
+}
+
+std::vector<std::string> chain_names(const AspectBank& bank, MethodId m) {
+  std::vector<std::string> out;
+  for (const auto& e : *bank.chain(m)) out.emplace_back(e.aspect->name());
+  return out;
+}
+
+TEST(BankFallbackTest, FenceSwapsToDeclaredFallbackAndRecoveryRestores) {
+  HealthRegistry health;
+  AspectBank bank;
+  bank.set_health(&health);
+  const auto m = MethodId::of("fb-swap");
+  bank.register_aspect(m, AspectKind::of("fb-sync"),
+                       with_resource("primary", "db"));
+  bank.set_fallback(m, {{AspectKind::of("fb-shed"), named("shed")}});
+  EXPECT_EQ(chain_names(bank, m), (std::vector<std::string>{"primary"}));
+  EXPECT_FALSE(bank.fallback_active(m));
+
+  health.report_fenced("db", "io fault");
+  health.pump();  // delivers the transition -> bank republishes
+  EXPECT_EQ(chain_names(bank, m), (std::vector<std::string>{"shed"}));
+  EXPECT_TRUE(bank.fallback_active(m));
+
+  health.report_healthy("db", "reopened");
+  health.pump();
+  EXPECT_EQ(chain_names(bank, m), (std::vector<std::string>{"primary"}));
+  EXPECT_FALSE(bank.fallback_active(m));
+}
+
+TEST(BankFallbackTest, DegradedDoesNotTripFallback) {
+  HealthRegistry health;
+  AspectBank bank;
+  bank.set_health(&health);
+  const auto m = MethodId::of("fb-degraded");
+  bank.register_aspect(m, AspectKind::of("fb-sync"),
+                       with_resource("primary", "svc"));
+  bank.set_fallback(m, {{AspectKind::of("fb-shed"), named("shed")}});
+
+  health.report_degraded("svc", "breaker open");
+  health.pump();
+  // Degraded resources keep their primary composition: the impaired
+  // predicate only trips on fences (the breaker already sheds inside).
+  EXPECT_EQ(chain_names(bank, m), (std::vector<std::string>{"primary"}));
+  EXPECT_FALSE(bank.fallback_active(m));
+}
+
+TEST(BankFallbackTest, NoFallbackDeclaredKeepsPrimaryUnderFence) {
+  HealthRegistry health;
+  AspectBank bank;
+  bank.set_health(&health);
+  const auto m = MethodId::of("fb-none");
+  bank.register_aspect(m, AspectKind::of("fb-sync"),
+                       with_resource("primary", "dev"));
+  health.report_fenced("dev");
+  health.pump();
+  // Without a declaration there is nothing to swap to; the primary chain
+  // stays (its own guards are expected to shed, e.g. persist's kUnavailable).
+  EXPECT_EQ(chain_names(bank, m), (std::vector<std::string>{"primary"}));
+  EXPECT_FALSE(bank.fallback_active(m));
+}
+
+TEST(BankFallbackTest, QuarantineOfPrimaryMemberTripsFallback) {
+  AspectBank bank;  // no health registry: quarantine alone must trip
+  const auto m = MethodId::of("fb-quar");
+  auto primary = named("primary");
+  bank.register_aspect(m, AspectKind::of("fb-sync"), primary);
+  bank.set_fallback(m, {{AspectKind::of("fb-shed"), named("shed")}});
+
+  ASSERT_TRUE(bank.quarantine(primary.get()));
+  EXPECT_EQ(chain_names(bank, m), (std::vector<std::string>{"shed"}));
+  EXPECT_TRUE(bank.fallback_active(m));
+
+  ASSERT_TRUE(bank.unquarantine(primary.get()));
+  EXPECT_EQ(chain_names(bank, m), (std::vector<std::string>{"primary"}));
+  EXPECT_FALSE(bank.fallback_active(m));
+}
+
+TEST(BankFallbackTest, QuarantinedFallbackMemberIsExcludedIndividually) {
+  AspectBank bank;
+  const auto m = MethodId::of("fb-quar2");
+  auto primary = named("primary");
+  auto shed_a = named("shed-a");
+  auto shed_b = named("shed-b");
+  bank.register_aspect(m, AspectKind::of("fb-sync"), primary);
+  bank.set_fallback(m, {{AspectKind::of("fb-shed-a"), shed_a},
+                        {AspectKind::of("fb-shed-b"), shed_b}});
+
+  ASSERT_TRUE(bank.quarantine(primary.get()));
+  ASSERT_TRUE(bank.quarantine(shed_a.get()));
+  // No second-level fallback: the declared chain publishes minus its own
+  // quarantined members.
+  EXPECT_EQ(chain_names(bank, m), (std::vector<std::string>{"shed-b"}));
+  EXPECT_TRUE(bank.fallback_active(m));
+}
+
+TEST(BankFallbackTest, ClearFallbackRestoresPrimaryDerivation) {
+  HealthRegistry health;
+  AspectBank bank;
+  bank.set_health(&health);
+  const auto m = MethodId::of("fb-clear");
+  bank.register_aspect(m, AspectKind::of("fb-sync"),
+                       with_resource("primary", "res"));
+  bank.set_fallback(m, {{AspectKind::of("fb-shed"), named("shed")}});
+  health.report_fenced("res");
+  health.pump();
+  ASSERT_TRUE(bank.fallback_active(m));
+
+  EXPECT_TRUE(bank.clear_fallback(m));
+  EXPECT_FALSE(bank.fallback_active(m));
+  EXPECT_EQ(chain_names(bank, m), (std::vector<std::string>{"primary"}));
+  EXPECT_FALSE(bank.clear_fallback(m));  // second clear: nothing declared
+}
+
+TEST(BankFallbackTest, DescribeListsActiveFallbacks) {
+  HealthRegistry health;
+  AspectBank bank;
+  bank.set_health(&health);
+  const auto m = MethodId::of("fb-desc");
+  bank.register_aspect(m, AspectKind::of("fb-sync"),
+                       with_resource("primary", "db2"));
+  bank.set_fallback(m, {{AspectKind::of("fb-shed"), named("shed")}});
+  health.report_fenced("db2");
+  health.pump();
+  EXPECT_NE(bank.describe().find("fallback-active"), std::string::npos);
+  EXPECT_NE(bank.describe().find("fb-desc"), std::string::npos);
+}
+
+// Moderator integration: the admitted invocation carries the fallback note,
+// and the swap itself is epoch-consistent under concurrent traffic.
+
+TEST(BankFallbackTest, ModeratorStampsFallbackActiveNote) {
+  HealthRegistry health;
+  ModeratorOptions options;
+  options.health = &health;
+  AspectModerator moderator(options);
+  const auto m = MethodId::of("fb-note");
+  moderator.bank().register_aspect(m, AspectKind::of("fb-sync"),
+                                   with_resource("primary", "dev3"));
+  moderator.bank().set_fallback(
+      m, {{AspectKind::of("fb-shed"), named("shed")}});
+
+  {
+    InvocationContext ctx(m);
+    ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+    EXPECT_FALSE(ctx.note_view(kFallbackActiveNote).has_value());
+    moderator.postactivation(ctx);
+  }
+
+  health.report_fenced("dev3", "flap");
+  health.pump();
+  {
+    InvocationContext ctx(m);
+    ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+    ASSERT_TRUE(ctx.note_view(kFallbackActiveNote).has_value());
+    EXPECT_EQ(*ctx.note_view(kFallbackActiveNote), "1");
+    moderator.postactivation(ctx);
+  }
+
+  health.report_healthy("dev3");
+  health.pump();
+  {
+    InvocationContext ctx(m);
+    ASSERT_EQ(moderator.preactivation(ctx), Decision::kResume);
+    EXPECT_FALSE(ctx.note_view(kFallbackActiveNote).has_value());
+    moderator.postactivation(ctx);
+  }
+}
+
+TEST(BankFallbackTest, SwapIsEpochConsistentUnderHammer) {
+  // Each chain is two marker aspects: the first stamps which chain it
+  // belongs to, the second checks it saw its OWN chain's stamp. A caller
+  // observing a half-swapped chain (primary head + fallback tail or vice
+  // versa) would record a mix. The recomposition barrier makes that
+  // impossible; this hammers it while health flaps drive swaps.
+  constexpr std::string_view kMarker = "fb.chain";
+  HealthRegistry health;
+  runtime::EventLog log;
+  ModeratorOptions options;
+  options.health = &health;
+  options.log = &log;
+  AspectModerator moderator(options);
+  const auto m = MethodId::of("fb-hammer");
+
+  std::atomic<std::uint64_t> mixes{0};
+  auto head = [&](std::string name, std::string stamp) {
+    auto a = std::make_shared<LambdaAspect>(
+        std::move(name), LambdaAspect::GuardFn{},
+        [stamp, kMarker](InvocationContext& ctx) {
+          ctx.set_note(kMarker, stamp);
+        });
+    return a;
+  };
+  auto tail = [&](std::string name, std::string expect) {
+    auto a = std::make_shared<LambdaAspect>(
+        std::move(name), LambdaAspect::GuardFn{},
+        [expect, kMarker, &mixes](InvocationContext& ctx) {
+          const auto seen = ctx.note_view(kMarker);
+          if (!seen.has_value() || *seen != expect) {
+            mixes.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    return a;
+  };
+  auto primary_head = head("p-head", "primary");
+  primary_head->set_resource("flappy");
+  moderator.bank().register_aspect(m, AspectKind::of("fb-h1"), primary_head);
+  moderator.bank().register_aspect(m, AspectKind::of("fb-h2"),
+                                   tail("p-tail", "primary"));
+  moderator.bank().set_fallback(
+      m, {{AspectKind::of("fb-f1"), head("f-head", "fallback")},
+          {AspectKind::of("fb-f2"), tail("f-tail", "fallback")}});
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> calls{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        InvocationContext ctx(m);
+        if (moderator.preactivation(ctx) == Decision::kResume) {
+          moderator.postactivation(ctx);
+          calls.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(300);
+  bool fenced = false;
+  while (std::chrono::steady_clock::now() < until) {
+    if (fenced) {
+      health.report_healthy("flappy");
+    } else {
+      health.report_fenced("flappy", "storm");
+    }
+    fenced = !fenced;
+    health.pump();  // runs the republish + barrier on this thread
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+
+  EXPECT_GT(calls.load(), 0u);
+  EXPECT_EQ(mixes.load(), 0u) << "caller observed a half-swapped chain";
+  const auto violations = TraceValidator::validate(log);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " protocol violations; first: "
+      << violations.front().description;
+}
+
+}  // namespace
+}  // namespace amf::core

@@ -1,0 +1,305 @@
+// Crash-during-spill-drain chaos family (ISSUE 9 tentpole oracle).
+//
+// The recovery chaos suite proved SIGKILL inside a storage edge never loses
+// an acknowledged effect. This suite composes that crash schedule with the
+// OTHER failure this PR introduces: a fenced WAL device whose committed
+// records sit in the self-healing spill buffer, mid-way through being
+// drained back into a reopened log. The child:
+//
+//   1. runs acked traffic on a healthy device (sync_every = 1);
+//   2. faults the device (kIoError) — appends keep succeeding into the
+//      spill, but are NOT acked, because the ack rule requires
+//      last_synced() >= persistence().last_lsn() and the synced floor is
+//      frozen across the fence window;
+//   3. heals the device and probes, with kCrashPoint armed — the drain
+//      re-appends the spill in LSN order through the live sync path, so
+//      SIGKILL lands between "record re-appended" and "record fsynced";
+//   4. if it survived the drain, resumes acked traffic.
+//
+// The oracle is unchanged — and that is the point: spilled records were
+// never acknowledged, so a crash that vaporizes the in-memory spill is
+// indistinguishable (to the contract) from a crash before the append. The
+// drain's partial progress is durable-but-unacked, the safe direction.
+// Generations compound into one directory; AMF_FAULT_SEED sweeps schedules.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/ticket/durable_ticket.hpp"
+#include "core/verify.hpp"
+#include "runtime/event_log.hpp"
+#include "runtime/fault.hpp"
+#include "storage/self_healing.hpp"
+
+namespace amf {
+namespace {
+
+namespace fs = std::filesystem;
+using apps::ticket::DurableTicketApp;
+using apps::ticket::Ticket;
+using runtime::FaultInjector;
+using runtime::FaultPoint;
+using runtime::Principal;
+
+constexpr std::size_t kCapacity = 64;
+constexpr int kOpsPerGeneration = 48;
+
+Principal named(std::string name) {
+  Principal p;
+  p.name = std::move(name);
+  return p;
+}
+
+DurableTicketApp::Options base_options() {
+  DurableTicketApp::Options options;
+  options.capacity = kCapacity;
+  options.wal.sync_every = 1;
+  options.self_heal = true;  // the device is allowed to fail out from under
+  options.spill_capacity = 256;
+  return options;
+}
+
+void ack(int fd, char op, std::uint64_t id) {
+  const std::string line =
+      std::string(1, op) + " " + std::to_string(id) + "\n";
+  (void)!::write(fd, line.data(), line.size());
+}
+
+struct AckedOps {
+  std::vector<std::uint64_t> opened;
+  std::vector<std::uint64_t> assigned;
+};
+
+void parse_acks(const std::string& path, AckedOps& into) {
+  std::ifstream in(path);
+  std::string op;
+  std::uint64_t id = 0;
+  while (in >> op >> id) {
+    if (op == "O") into.opened.push_back(id);
+    if (op == "A") into.assigned.push_back(id);
+  }
+}
+
+/// The one ack rule of the whole suite: an effect may be acknowledged iff
+/// every commit record issued so far is covered by fsync. Inside a fence
+/// window this is false by construction (the synced floor froze when the
+/// device faulted), so spilled effects are never acked.
+bool durable(DurableTicketApp& app) {
+  return app.storage().last_synced() >= app.persistence().last_lsn();
+}
+
+/// Child body: acked traffic, then a device-fault window with spilled
+/// (unacked) traffic, then a drain under an armed crash schedule. Never
+/// returns into gtest.
+[[noreturn]] void run_child(const std::string& dir, const std::string& acks,
+                            std::uint64_t seed) {
+  FaultInjector fault(seed);
+  auto options = base_options();
+  options.wal.fault = &fault;
+  options.wal.crash_hook = [](std::string_view) { ::raise(SIGKILL); };
+
+  auto app = DurableTicketApp::open(dir, options);
+  if (!app.ok()) ::_exit(2);
+  const int fd = ::open(acks.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) ::_exit(3);
+
+  std::uint64_t next_id = app.value()->total_opened() + 1;
+  const auto step = [&](int i) {
+    if (i % 3 == 2 && app.value()->pending() > 0) {
+      auto r = app.value()->assign_ticket(named("oncall"));
+      if (!r.ok()) ::_exit(4);
+      if (durable(*app.value())) ack(fd, 'A', r.value->id);
+    } else {
+      Ticket t;
+      t.id = next_id;
+      t.description = "storm-" + std::to_string(next_id);
+      t.opened_by = "gen";
+      auto r = app.value()->open_ticket(t, named("gen"));
+      if (!r.ok()) ::_exit(4);
+      if (durable(*app.value())) ack(fd, 'O', next_id);
+      ++next_id;
+    }
+  };
+
+  // Phase 1: healthy, strict-sync, every effect acked.
+  for (int i = 0; i < kOpsPerGeneration / 3; ++i) step(i);
+
+  // Phase 2: the device faults out. Appends spill; durable() stays false,
+  // so nothing in this window is acknowledged.
+  fault.arm(FaultPoint::kIoError, 1.0);
+  for (int i = kOpsPerGeneration / 3; i < 2 * kOpsPerGeneration / 3; ++i) {
+    step(i);
+  }
+  auto* sh = app.value()->self_healing();
+  if (sh == nullptr) ::_exit(6);
+  if (sh->healthy()) ::_exit(6);  // the window must actually have fenced
+
+  // Phase 3: the device heals; the drain replays the spill through the
+  // sync path with the crash schedule armed. Most children die HERE.
+  fault.disarm(FaultPoint::kIoError);
+  fault.arm(FaultPoint::kCrashPoint, 0.10);
+  if (!sh->probe()) ::_exit(7);  // healthy device: the drain must succeed
+
+  // Phase 4: survived the drain — the spill is on disk, acking resumes.
+  fault.disarm(FaultPoint::kCrashPoint);
+  for (int i = 2 * kOpsPerGeneration / 3; i < kOpsPerGeneration; ++i) {
+    step(i);
+  }
+  ::_exit(0);
+}
+
+/// Deterministic variant: fence, spill exactly three records, then die at
+/// the FIRST sync edge of the drain.
+[[noreturn]] void run_drain_crash_child(const std::string& dir) {
+  FaultInjector fault(1);
+  auto options = base_options();
+  options.wal.fault = &fault;
+  options.wal.crash_hook = [](std::string_view s) {
+    if (s == "wal.sync.pre-write") ::raise(SIGKILL);
+  };
+  auto app = DurableTicketApp::open(dir, options);
+  if (!app.ok()) ::_exit(2);
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    Ticket t;
+    t.id = id;
+    t.description = "durable";
+    t.opened_by = "child";
+    if (!app.value()->open_ticket(t, named("child")).ok()) ::_exit(4);
+  }
+  fault.arm(FaultPoint::kIoError, 1.0);
+  for (std::uint64_t id = 7; id <= 9; ++id) {
+    Ticket t;
+    t.id = id;
+    t.description = "spilled";
+    t.opened_by = "child";
+    if (!app.value()->open_ticket(t, named("child")).ok()) ::_exit(4);
+  }
+  if (app.value()->self_healing()->spill_size() == 0) ::_exit(6);
+  fault.disarm(FaultPoint::kIoError);
+  fault.arm(FaultPoint::kCrashPoint, 1.0);
+  (void)app.value()->self_healing()->probe();  // dies inside the drain
+  ::_exit(7);                                  // crash site never fired: bug
+}
+
+class SelfHealChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    dir_ = fs::temp_directory_path() /
+           ("amf_selfheal_chaos_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string store_dir() const { return (dir_ / "store").string(); }
+  std::string ack_path(int generation) const {
+    return (dir_ / ("acks-" + std::to_string(generation))).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(SelfHealChaosTest, DrainCrashesNeverLoseAcknowledgedEffects) {
+  const std::uint64_t seed = FaultInjector::env_seed(11);
+  AckedOps acked;
+
+  for (int generation = 0; generation < 3; ++generation) {
+    const pid_t pid = ::fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+      run_child(store_dir(), ack_path(generation),
+                seed + std::uint64_t(generation) * 2027);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    const bool killed = WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    ASSERT_TRUE(killed || clean)
+        << "generation " << generation << " child failed, status=" << status;
+    parse_acks(ack_path(generation), acked);
+
+    runtime::EventLog log;
+    auto options = base_options();
+    options.moderator.log = &log;
+    auto app = DurableTicketApp::open(store_dir(), options);
+    ASSERT_TRUE(app.ok()) << "generation " << generation << ": "
+                          << app.error().to_string();
+
+    // Nothing acknowledged is lost; spilled-but-unacked effects may have
+    // evaporated with the process, which the contract permits.
+    EXPECT_GE(app.value()->total_opened(), acked.opened.size());
+    EXPECT_GE(app.value()->total_assigned(), acked.assigned.size());
+    EXPECT_EQ(app.value()->pending(),
+              app.value()->total_opened() - app.value()->total_assigned());
+
+    // No duplicated effects: sequential open ids + FIFO assign ids make a
+    // duplicate visible as an id above the recovered totals. Unlike the
+    // strict-sync suite, acked assigns are a strictly increasing
+    // SUBSEQUENCE of 1..total — fence-window assigns consumed FIFO ids
+    // durably (once drained) but were never acknowledged.
+    if (!acked.opened.empty()) {
+      EXPECT_LE(acked.opened.back(), app.value()->total_opened());
+    }
+    for (std::size_t i = 1; i < acked.assigned.size(); ++i) {
+      EXPECT_LT(acked.assigned[i - 1], acked.assigned[i])
+          << "assign order diverged at ack #" << i;
+    }
+    if (!acked.assigned.empty()) {
+      EXPECT_LE(acked.assigned.back(), app.value()->total_assigned());
+    }
+
+    // Recovery replayed through the live protocol, cleanly.
+    EXPECT_EQ(app.value()->persistence().appended(), 0u);
+    const auto violations = core::TraceValidator::validate(log);
+    EXPECT_TRUE(violations.empty())
+        << (violations.empty() ? "" : violations.front().description);
+  }
+
+  // Final audit: draining every pending ticket walks the assign counter
+  // with no gaps — duplicates or losses anywhere in the storm surface here.
+  auto app = DurableTicketApp::open(store_dir(), base_options());
+  ASSERT_TRUE(app.ok());
+  std::uint64_t expected = app.value()->total_assigned() + 1;
+  const std::size_t pending = app.value()->pending();
+  for (std::size_t i = 0; i < pending; ++i, ++expected) {
+    auto r = app.value()->assign_ticket(named("auditor"));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value->id, expected);
+  }
+  EXPECT_EQ(app.value()->pending(), 0u);
+}
+
+TEST_F(SelfHealChaosTest, CrashAtTheFirstDrainSyncKeepsTheDurablePrefix) {
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) run_drain_crash_child(store_dir());
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "status=" << status;
+
+  auto app = DurableTicketApp::open(store_dir(), base_options());
+  ASSERT_TRUE(app.ok()) << app.error().to_string();
+  // The six pre-fence opens were strict-synced: all recovered. The three
+  // spilled opens died with the process somewhere inside the drain — any
+  // prefix of them may have reached the disk, none is required to.
+  EXPECT_GE(app.value()->total_opened(), 6u);
+  EXPECT_LE(app.value()->total_opened(), 9u);
+  EXPECT_EQ(app.value()->pending(), app.value()->total_opened());
+  EXPECT_EQ(app.value()->recovery_stats().replayed,
+            app.value()->total_opened());
+}
+
+}  // namespace
+}  // namespace amf

@@ -1,0 +1,209 @@
+// HealthRegistry tests: the state machine, impaired() semantics, deferred
+// listener delivery, probe hysteresis with backoff growth, probe/report
+// races, and the observability surface (events, gauges, counters).
+#include "runtime/health.hpp"
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/clock.hpp"
+#include "runtime/event_log.hpp"
+#include "runtime/metrics.hpp"
+
+namespace amf::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+HealthOptions manual_options(const ManualClock& clock) {
+  HealthOptions options;
+  options.clock = &clock;
+  options.jitter = 0.0;  // deterministic schedules
+  options.probe_initial_backoff = 10ms;
+  options.recover_after = 2;
+  return options;
+}
+
+TEST(HealthRegistryTest, UnknownResourcesAreHealthy) {
+  HealthRegistry health;
+  EXPECT_EQ(health.state("nope"), HealthState::kHealthy);
+  EXPECT_FALSE(health.impaired("nope"));
+  EXPECT_TRUE(health.resources().empty());
+}
+
+TEST(HealthRegistryTest, ReportsMoveTheStateMachine) {
+  ManualClock clock;
+  HealthRegistry health(manual_options(clock));
+  health.track("db");
+  EXPECT_EQ(health.state("db"), HealthState::kHealthy);
+
+  health.report_degraded("db", "slow");
+  EXPECT_EQ(health.state("db"), HealthState::kDegraded);
+  EXPECT_FALSE(health.impaired("db"));  // degraded keeps primary service
+
+  health.report_fenced("db", "io fault");
+  EXPECT_EQ(health.state("db"), HealthState::kFenced);
+  EXPECT_TRUE(health.impaired("db"));
+
+  // Severity is sticky: a degraded report cannot downgrade a fence.
+  health.report_degraded("db", "late report");
+  EXPECT_EQ(health.state("db"), HealthState::kFenced);
+
+  health.report_healthy("db", "operator fixed it");
+  EXPECT_EQ(health.state("db"), HealthState::kHealthy);
+  EXPECT_FALSE(health.impaired("db"));
+}
+
+TEST(HealthRegistryTest, ReportsAutoTrackUnknownResources) {
+  HealthRegistry health;
+  health.report_fenced("surprise", "first contact");
+  EXPECT_EQ(health.state("surprise"), HealthState::kFenced);
+  EXPECT_EQ(health.resources(), std::vector<std::string>{"surprise"});
+}
+
+TEST(HealthRegistryTest, ListenersFireOnPumpNotInsideReports) {
+  ManualClock clock;
+  HealthRegistry health(manual_options(clock));
+  std::vector<std::string> seen;
+  health.subscribe([&](std::string_view r, HealthState from, HealthState to) {
+    seen.push_back(std::string(r) + ":" + std::string(to_string(from)) + "->" +
+                   std::string(to_string(to)));
+  });
+
+  health.report_fenced("wal", "torn write");
+  EXPECT_TRUE(seen.empty());  // deferred — a report never runs listeners
+
+  health.pump();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "wal:healthy->fenced");
+
+  health.pump();
+  EXPECT_EQ(seen.size(), 1u);  // drained; pump is idempotent
+}
+
+TEST(HealthRegistryTest, GenerationBumpsOnEveryTransition) {
+  HealthRegistry health;
+  const auto g0 = health.generation();
+  health.report_degraded("a");
+  health.report_fenced("a");
+  EXPECT_EQ(health.generation(), g0 + 2);
+  health.report_degraded("a");  // ignored under fence: no transition
+  EXPECT_EQ(health.generation(), g0 + 2);
+}
+
+TEST(HealthRegistryTest, ProbeHysteresisRecoversAfterConsecutiveSuccesses) {
+  ManualClock clock;
+  auto options = manual_options(clock);
+  HealthRegistry health(options);
+
+  bool device_ok = false;
+  int probes = 0;
+  health.track("dev", [&] {
+    ++probes;
+    return device_ok;
+  });
+  health.report_fenced("dev", "fault");
+
+  // Not due yet: the first probe waits out the initial backoff.
+  EXPECT_EQ(health.tick(), 0u);
+  clock.advance(10ms);
+  EXPECT_EQ(health.tick(), 1u);
+  EXPECT_EQ(probes, 1);
+  // Failed probe: back to fenced, impaired throughout.
+  EXPECT_EQ(health.state("dev"), HealthState::kFenced);
+  EXPECT_TRUE(health.impaired("dev"));
+
+  // Backoff grew (x2): 10ms is no longer enough.
+  clock.advance(10ms);
+  EXPECT_EQ(health.tick(), 0u);
+  clock.advance(10ms);
+  EXPECT_EQ(health.tick(), 1u);
+  EXPECT_EQ(probes, 2);
+
+  // Device comes back: recover_after=2 successes needed, and the resource
+  // stays impaired (probing a fence) until hysteresis completes.
+  device_ok = true;
+  clock.advance(40ms);
+  EXPECT_EQ(health.tick(), 1u);
+  EXPECT_EQ(health.state("dev"), HealthState::kProbing);
+  EXPECT_TRUE(health.impaired("dev"));
+
+  clock.advance(10ms);  // successes re-probe at the initial cadence
+  EXPECT_EQ(health.tick(), 1u);
+  EXPECT_EQ(health.state("dev"), HealthState::kHealthy);
+  EXPECT_FALSE(health.impaired("dev"));
+  EXPECT_EQ(probes, 4);
+}
+
+TEST(HealthRegistryTest, ProbingADegradationIsNotImpaired) {
+  ManualClock clock;
+  HealthRegistry health(manual_options(clock));
+  health.track("svc", [] { return false; });
+  health.report_degraded("svc", "breaker open");
+  clock.advance(10ms);
+  EXPECT_EQ(health.tick(), 1u);
+  // Probe failed: still a degradation, never trips fallback.
+  EXPECT_EQ(health.state("svc"), HealthState::kDegraded);
+  EXPECT_FALSE(health.impaired("svc"));
+}
+
+TEST(HealthRegistryTest, ReportDuringProbeBeatsStaleVerdict) {
+  ManualClock clock;
+  HealthRegistry health(manual_options(clock));
+  // The probe itself reports a fence mid-flight (stands in for any racing
+  // reporter): its own "success" verdict must be discarded.
+  health.track("dev", [&] {
+    health.report_fenced("dev", "failed again mid-probe");
+    return true;
+  });
+  health.report_fenced("dev", "fault");
+  clock.advance(10ms);
+  EXPECT_EQ(health.tick(), 1u);
+  EXPECT_EQ(health.state("dev"), HealthState::kFenced);
+  EXPECT_TRUE(health.impaired("dev"));
+}
+
+TEST(HealthRegistryTest, EventsGaugesAndCounters) {
+  ManualClock clock;
+  EventLog log(clock);
+  Registry metrics;
+  auto options = manual_options(clock);
+  options.log = &log;
+  options.metrics = &metrics;
+  HealthRegistry health(options);
+
+  health.report_fenced("wal", "io");
+  EXPECT_EQ(metrics.gauge("health.wal").value(),
+            static_cast<std::int64_t>(HealthState::kFenced));
+  EXPECT_EQ(metrics.counter("health.transitions").value(), 1u);
+  EXPECT_EQ(log.by_category("health").size(), 1u);
+  EXPECT_TRUE(log.find("health", "wal: healthy->fenced (io)").has_value());
+
+  health.report_healthy("wal");
+  EXPECT_EQ(metrics.gauge("health.wal").value(), 0);
+}
+
+TEST(HealthRegistryTest, BackgroundProberDrivesRecovery) {
+  HealthOptions options;  // real clock
+  options.probe_initial_backoff = std::chrono::milliseconds(1);
+  options.probe_max_backoff = std::chrono::milliseconds(2);
+  options.recover_after = 1;
+  options.poll = std::chrono::milliseconds(1);
+  HealthRegistry health(options);
+  health.track("dev", [] { return true; });
+  health.report_fenced("dev", "flap");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (health.state("dev") != HealthState::kHealthy &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(health.state("dev"), HealthState::kHealthy);
+}
+
+}  // namespace
+}  // namespace amf::runtime

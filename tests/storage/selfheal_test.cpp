@@ -1,0 +1,300 @@
+// SelfHealingStorage tests (DESIGN.md §17): fence salvage, spill vs shed
+// policies, LSN-ordered drain on reopen with short-write prefix dedup,
+// reopen failure staying fenced, and the health-registry integration that
+// drives recovery unattended.
+#include "storage/self_healing.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/clock.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/health.hpp"
+#include "storage/codec.hpp"
+#include "storage/persistence.hpp"
+#include "storage/wal.hpp"
+
+namespace amf::storage {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+using runtime::ErrorCode;
+using runtime::FaultInjector;
+using runtime::FaultPoint;
+
+class SelfHealTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    dir_ = fs::temp_directory_path() /
+           ("amf_selfheal_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+  std::vector<WalRecord> scan_all(Lsn after = 0) {
+    std::vector<WalRecord> records;
+    auto result = Wal::scan(dir(), after, [&](const WalRecord& r) {
+      records.push_back(r);
+      return runtime::Result<void>{};
+    });
+    EXPECT_TRUE(result.ok()) << result.error().to_string();
+    return records;
+  }
+
+  fs::path dir_;
+};
+
+SelfHealingStorage::Options spill_options(FaultInjector& fault,
+                                          std::size_t sync_every = 1) {
+  SelfHealingStorage::Options options;
+  options.wal.sync_every = sync_every;
+  options.wal.fault = &fault;
+  return options;
+}
+
+TEST_F(SelfHealTest, FenceSalvagesFailedAppendIntoSpill) {
+  FaultInjector fault(11);
+  auto storage = SelfHealingStorage::open(dir(), spill_options(fault));
+  ASSERT_TRUE(storage.ok()) << storage.error().to_string();
+  auto& s = *storage.value();
+  ASSERT_TRUE(s.append(kCommitRecord, "before").ok());
+
+  fault.arm(FaultPoint::kIoError, 1.0, 1);
+  // The device faults mid-flush, but the record was framed with LSN 2 —
+  // the fence salvages it, so the append reports accepted-not-durable.
+  auto during = s.append(kCommitRecord, "during");
+  ASSERT_TRUE(during.ok()) << during.error().to_string();
+  EXPECT_EQ(during.value(), 2u);
+  EXPECT_FALSE(s.healthy());
+  EXPECT_TRUE(s.accepting());  // spill has room
+  EXPECT_EQ(s.spill_size(), 1u);
+  EXPECT_EQ(s.last_appended(), 2u);
+  EXPECT_EQ(s.last_synced(), 1u);  // frozen: "during" is NOT committed
+
+  // Fenced appends keep assigning contiguous provisional LSNs.
+  auto spilled = s.append(kCommitRecord, "while-fenced");
+  ASSERT_TRUE(spilled.ok());
+  EXPECT_EQ(spilled.value(), 3u);
+  EXPECT_EQ(s.spilled(), 1u);  // salvaged records are not counted as spilled
+  EXPECT_EQ(s.spill_size(), 2u);
+
+  // Sync and snapshots refuse while fenced.
+  EXPECT_EQ(s.sync().error().code, ErrorCode::kUnavailable);
+  EXPECT_EQ(s.write_snapshot(1, "snap").error().code, ErrorCode::kUnavailable);
+
+  // Reopen drains the spill in LSN order; everything lands durably.
+  ASSERT_TRUE(s.probe());
+  EXPECT_TRUE(s.healthy());
+  EXPECT_EQ(s.reopens(), 1u);
+  EXPECT_EQ(s.drained(), 2u);
+  EXPECT_EQ(s.spill_size(), 0u);
+  EXPECT_EQ(s.last_synced(), 3u);
+
+  const auto records = scan_all();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].payload, "before");
+  EXPECT_EQ(records[1].payload, "during");
+  EXPECT_EQ(records[2].payload, "while-fenced");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].lsn, i + 1);  // acked history never renumbered
+  }
+}
+
+TEST_F(SelfHealTest, ShortWritePrefixIsDedupedOnDrain) {
+  FaultInjector fault(7);
+  // sync_every=0: build a multi-record batch, then tear it mid-frame.
+  auto storage = SelfHealingStorage::open(dir(), spill_options(fault, 0));
+  ASSERT_TRUE(storage.ok());
+  auto& s = *storage.value();
+  // Varied payload lengths so the half-buffer cut falls mid-frame.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(s.append(kCommitRecord, std::string(i + 1, 'a' + i)).ok());
+  }
+  fault.arm(FaultPoint::kShortWrite, 1.0, 1);
+  EXPECT_EQ(s.sync().error().code, ErrorCode::kUnavailable);
+  EXPECT_FALSE(s.healthy());
+  EXPECT_EQ(s.spill_size(), 4u);  // the whole unsynced batch, salvaged
+
+  // Reopen repairs the torn tail: a PREFIX of the batch survived on disk
+  // as whole frames. The drain must skip exactly those (lsn <= repaired
+  // tail) and re-append the rest — no duplicates, no losses, no gaps.
+  ASSERT_TRUE(s.probe());
+  EXPECT_TRUE(s.healthy());
+  EXPECT_EQ(s.last_synced(), 4u);
+  const auto records = scan_all();
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].lsn, i + 1);
+    EXPECT_EQ(records[i].payload, std::string(i + 1, char('a' + i)));
+  }
+}
+
+TEST_F(SelfHealTest, ShedPolicyRefusesNewRecordsButKeepsSalvage) {
+  FaultInjector fault(3);
+  auto options = spill_options(fault);
+  options.policy = SelfHealingStorage::FencePolicy::kShed;
+  auto storage = SelfHealingStorage::open(dir(), options);
+  ASSERT_TRUE(storage.ok());
+  auto& s = *storage.value();
+  ASSERT_TRUE(s.append(kCommitRecord, "a").ok());
+  fault.arm(FaultPoint::kIoError, 1.0, 1);
+  ASSERT_TRUE(s.append(kCommitRecord, "b").ok());  // salvaged at fence
+  EXPECT_FALSE(s.accepting());                     // shed policy: no room
+
+  auto refused = s.append(kCommitRecord, "c");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, ErrorCode::kUnavailable);
+  EXPECT_EQ(s.shed(), 1u);
+
+  ASSERT_TRUE(s.probe());
+  const auto records = scan_all();
+  ASSERT_EQ(records.size(), 2u);  // salvage drained; the shed record is gone
+  EXPECT_EQ(records[1].payload, "b");
+}
+
+TEST_F(SelfHealTest, FullSpillShedsAndAcceptingReflectsIt) {
+  FaultInjector fault(5);
+  auto options = spill_options(fault);
+  options.spill_capacity = 2;
+  auto storage = SelfHealingStorage::open(dir(), options);
+  ASSERT_TRUE(storage.ok());
+  auto& s = *storage.value();
+  fault.arm(FaultPoint::kIoError, 1.0, 1);
+  ASSERT_TRUE(s.append(kCommitRecord, "x").ok());  // fence + salvage (1 slot)
+  ASSERT_TRUE(s.append(kCommitRecord, "y").ok());  // spill (2 slots: full)
+  EXPECT_FALSE(s.accepting());
+  auto refused = s.append(kCommitRecord, "z");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, ErrorCode::kUnavailable);
+  EXPECT_EQ(s.shed(), 1u);
+  ASSERT_TRUE(s.probe());
+  EXPECT_TRUE(s.accepting());
+  EXPECT_EQ(scan_all().size(), 2u);
+}
+
+TEST_F(SelfHealTest, FailedReopenStaysFencedAndPreservesTheSpill) {
+  FaultInjector fault(13);
+  auto storage = SelfHealingStorage::open(dir(), spill_options(fault));
+  ASSERT_TRUE(storage.ok());
+  auto& s = *storage.value();
+  ASSERT_TRUE(s.append(kCommitRecord, "keep-1").ok());
+  fault.arm(FaultPoint::kIoError, 1.0);  // unlimited fires: device stays bad
+  ASSERT_TRUE(s.append(kCommitRecord, "keep-2").ok());
+  ASSERT_FALSE(s.healthy());
+
+  // The drain's re-append hits the still-bad device: the probe fails, the
+  // spill survives intact, and nothing is lost or duplicated.
+  EXPECT_FALSE(s.probe());
+  EXPECT_FALSE(s.healthy());
+  EXPECT_EQ(s.spill_size(), 1u);
+  EXPECT_EQ(s.reopens(), 0u);
+
+  fault.disarm(FaultPoint::kIoError);
+  EXPECT_TRUE(s.probe());
+  const auto records = scan_all();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].payload, "keep-1");
+  EXPECT_EQ(records[1].payload, "keep-2");
+  EXPECT_EQ(records[1].lsn, 2u);
+}
+
+TEST_F(SelfHealTest, PersistenceAspectGatesOnAccepting) {
+  FaultInjector fault(17);
+  auto options = spill_options(fault);
+  options.spill_capacity = 1;
+  auto storage = SelfHealingStorage::open(dir(), options);
+  ASSERT_TRUE(storage.ok());
+  auto& s = *storage.value();
+  PersistenceAspect persist(s);
+
+  core::InvocationContext ctx(runtime::MethodId::of("sh-gate"));
+  EXPECT_EQ(persist.precondition(ctx), core::Decision::kResume);
+
+  fault.arm(FaultPoint::kIoError, 1.0, 1);
+  ASSERT_TRUE(s.append(kCommitRecord, "fills-the-spill").ok());
+  ASSERT_FALSE(s.healthy());
+  // Fenced but with spill room exhausted: precondition turns structured.
+  core::InvocationContext refused(runtime::MethodId::of("sh-gate"));
+  EXPECT_EQ(persist.precondition(refused), core::Decision::kAbort);
+  ASSERT_TRUE(refused.abort_error().has_value());
+  EXPECT_EQ(refused.abort_error()->code, ErrorCode::kUnavailable);
+
+  ASSERT_TRUE(s.probe());
+  core::InvocationContext again(runtime::MethodId::of("sh-gate"));
+  EXPECT_EQ(persist.precondition(again), core::Decision::kResume);
+}
+
+TEST_F(SelfHealTest, HealthRegistryDrivesUnattendedRecovery) {
+  runtime::ManualClock clock;
+  runtime::HealthOptions health_options;
+  health_options.clock = &clock;
+  health_options.jitter = 0.0;
+  health_options.probe_initial_backoff = 10ms;
+  health_options.recover_after = 2;
+  runtime::HealthRegistry health(health_options);
+
+  FaultInjector fault(23);
+  auto options = spill_options(fault);
+  options.health = &health;
+  options.resource = "wal-under-test";
+  auto storage = SelfHealingStorage::open(dir(), options);
+  ASSERT_TRUE(storage.ok());
+  auto& s = *storage.value();
+
+  fault.arm(FaultPoint::kIoError, 1.0, 1);
+  ASSERT_TRUE(s.append(kCommitRecord, "flap").ok());
+  EXPECT_EQ(health.state("wal-under-test"), runtime::HealthState::kFenced);
+  EXPECT_TRUE(health.impaired("wal-under-test"));
+
+  // The registry's tick drives the reopen probe off its backoff schedule;
+  // hysteresis (recover_after=2) needs two successful ticks.
+  clock.advance(10ms);
+  EXPECT_EQ(health.tick(), 1u);
+  EXPECT_TRUE(s.healthy());  // first probe already reopened the device
+  EXPECT_EQ(health.state("wal-under-test"), runtime::HealthState::kProbing);
+  clock.advance(10ms);
+  EXPECT_EQ(health.tick(), 1u);
+  EXPECT_EQ(health.state("wal-under-test"), runtime::HealthState::kHealthy);
+  EXPECT_FALSE(health.impaired("wal-under-test"));
+  EXPECT_EQ(scan_all().size(), 1u);
+}
+
+TEST_F(SelfHealTest, ReplayAndSnapshotsWorkAcrossAFenceWindow) {
+  FaultInjector fault(29);
+  auto storage = SelfHealingStorage::open(dir(), spill_options(fault));
+  ASSERT_TRUE(storage.ok());
+  auto& s = *storage.value();
+  ASSERT_TRUE(s.append(kCommitRecord, "one").ok());
+  fault.arm(FaultPoint::kIoError, 1.0, 1);
+  ASSERT_TRUE(s.append(kCommitRecord, "two").ok());
+  ASSERT_TRUE(s.probe());
+  ASSERT_TRUE(s.append(kCommitRecord, "three").ok());
+
+  ASSERT_TRUE(s.write_snapshot(s.last_synced(), "state@3").ok());
+  auto snap = s.latest_snapshot();
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(snap.value().has_value());
+  EXPECT_EQ(snap.value()->lsn, 3u);
+  EXPECT_EQ(snap.value()->payload, "state@3");
+
+  std::vector<Lsn> replayed;
+  ASSERT_TRUE(s.replay(0, [&](const WalRecord& r) {
+                 replayed.push_back(r.lsn);
+                 return runtime::Result<void>{};
+               }).ok());
+  EXPECT_EQ(replayed, (std::vector<Lsn>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace amf::storage

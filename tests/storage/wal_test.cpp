@@ -155,6 +155,30 @@ TEST_F(StorageDirTest, GroupCommitContractLastSyncedLagsUntilSync) {
   EXPECT_EQ(wal.value()->last_synced(), 3u);
 }
 
+TEST_F(StorageDirTest, UnsyncedRecordsExposeTheBufferedTail) {
+  // The self-healing fence salvages exactly this view: framed records that
+  // have an LSN but no fsync covering them yet.
+  WalOptions options;
+  options.sync_every = 0;
+  auto wal = Wal::open(dir(), options);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal.value()->append(1, "a").ok());
+  ASSERT_TRUE(wal.value()->append(2, "bb").ok());
+  ASSERT_TRUE(wal.value()->append(3, "ccc").ok());
+
+  const auto pendinged = wal.value()->unsynced_records();
+  ASSERT_EQ(pendinged.size(), 3u);
+  for (std::size_t i = 0; i < pendinged.size(); ++i) {
+    EXPECT_EQ(pendinged[i].lsn, i + 1);
+    EXPECT_EQ(pendinged[i].type, static_cast<std::uint8_t>(i + 1));
+  }
+  EXPECT_EQ(pendinged[0].payload, "a");
+  EXPECT_EQ(pendinged[2].payload, "ccc");
+
+  ASSERT_TRUE(wal.value()->sync().ok());
+  EXPECT_TRUE(wal.value()->unsynced_records().empty());
+}
+
 TEST_F(StorageDirTest, TornTailGarbageIsTruncatedOnOpen) {
   WalOptions options;
   options.sync_every = 1;
@@ -210,6 +234,47 @@ TEST_F(StorageDirTest, TornTailMidFrameIsTruncatedOnOpen) {
   ASSERT_TRUE(lsn.ok());
   EXPECT_EQ(lsn.value(), 3u);
   EXPECT_EQ(scan_all().size(), 3u);
+}
+
+TEST_F(StorageDirTest, RepairAppendReopenScanRoundTrip) {
+  // The full lifecycle the reopen probe leans on: a torn tail is repaired,
+  // the log accepts appends on top of the repair, and a SECOND reopen sees
+  // a clean file — the repair truncated, it did not just skip.
+  WalOptions options;
+  options.sync_every = 1;
+  {
+    auto wal = Wal::open(dir(), options);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 1; i <= 3; ++i) {
+      ASSERT_TRUE(wal.value()->append(1, "keep-" + std::to_string(i)).ok());
+    }
+  }
+  const auto segments = files_with("wal-", ".log");
+  ASSERT_EQ(segments.size(), 1u);
+  const auto size = fs::file_size(segments[0]);
+  fs::resize_file(segments[0], size - 4);  // tear into frame 3
+
+  {
+    WalOpenInfo info;
+    auto repaired = Wal::open(dir(), options, &info);
+    ASSERT_TRUE(repaired.ok()) << repaired.error().to_string();
+    EXPECT_EQ(info.tail_lsn, 2u);
+    EXPECT_GT(info.truncated_bytes, 0u);
+    auto lsn = repaired.value()->append(1, "after-repair");
+    ASSERT_TRUE(lsn.ok());
+    EXPECT_EQ(lsn.value(), 3u);  // the torn record's LSN is re-issued
+  }
+  WalOpenInfo info;
+  auto clean = Wal::open(dir(), options, &info);
+  ASSERT_TRUE(clean.ok()) << clean.error().to_string();
+  EXPECT_EQ(info.tail_lsn, 3u);
+  EXPECT_EQ(info.truncated_bytes, 0u) << "repair left damage behind";
+
+  const auto records = scan_all();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].payload, "keep-1");
+  EXPECT_EQ(records[1].payload, "keep-2");
+  EXPECT_EQ(records[2].payload, "after-repair");
 }
 
 TEST_F(StorageDirTest, DamageBeforeTheFinalSegmentIsCorruption) {
@@ -421,6 +486,29 @@ TEST_F(StorageDirTest, PruneKeepsTheNewestGenerations) {
   ASSERT_TRUE(oldest.ok());
   EXPECT_EQ(oldest.value(), 11u);
   EXPECT_EQ(files_with("snap-", ".snap").size(), 2u);
+}
+
+TEST_F(StorageDirTest, RepublishedLsnIsOneGenerationAndPruneKeepsIt) {
+  // An idle periodic checkpointer republishes the SAME lsn over and over.
+  // The publish dance renames onto the same snap-<lsn>.snap, so that is
+  // one generation on disk (newest payload wins), and a keep-2 prune must
+  // not treat the republish as a third generation to delete.
+  ASSERT_TRUE(write_snapshot(dir(), 3, "old", WalOptions{}).ok());
+  ASSERT_TRUE(write_snapshot(dir(), 9, "first", WalOptions{}).ok());
+  ASSERT_TRUE(write_snapshot(dir(), 9, "second", WalOptions{}).ok());
+  EXPECT_EQ(files_with("snap-", ".snap").size(), 2u);
+
+  auto oldest = prune_snapshots(dir(), 2);
+  ASSERT_TRUE(oldest.ok());
+  EXPECT_EQ(oldest.value(), 3u) << "the compaction floor must stay at the "
+                                   "oldest SURVIVOR, not advance";
+  EXPECT_EQ(files_with("snap-", ".snap").size(), 2u);
+
+  auto loaded = load_latest_snapshot(dir());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().has_value());
+  EXPECT_EQ(loaded.value()->lsn, 9u);
+  EXPECT_EQ(loaded.value()->payload, "second");
 }
 
 TEST_F(StorageDirTest, FileStorageRejectsSnapshotBeyondSynced) {
