@@ -88,7 +88,9 @@ def compact(report):
                        "rejected", "expired", "suppressed",
                        "allocs_per_op",
                        "goodput_fallback", "goodput_fenced", "goodput_ratio",
-                       "shed_fallback") \
+                       "shed_fallback",
+                       "goodput", "parked_calls", "parked_bytes_per_call",
+                       "blocked_calls", "blocked_bytes_per_call") \
                     or key.endswith("_ns") or key.endswith("_us"):
                 entry[key] = round(float(value), 1)
         series.append(entry)

@@ -26,6 +26,11 @@ Counter-min mode (--counter-min): checks a single user counter of one
 current-run series against an absolute lower bound — e.g. the E1 fast-path
 guard, fast_admission_ratio >= 0.99 (every item admitted fast).
 
+Counter-max mode (--counter-max): the mirror image — a single user counter
+of one current-run series against an absolute CEILING. E.g. the E15
+footprint guard, parked_bytes_per_call <= 2048 (a parked async call must
+stay a ~1 KB frame, not regress toward thread-sized cost).
+
 Usage:
   check_perf_regression.py BENCH_E1.json BM_ModeratedProxy BM_DirectCall
   check_perf_regression.py BENCH_E8.json \
@@ -38,6 +43,9 @@ Usage:
       BM_StaticProxy BM_DirectCall --min-ratio 0.5
   check_perf_regression.py BENCH_E1.json \
       --counter-min BM_ObservedProxy fast_admission_ratio 0.99
+  check_perf_regression.py BENCH_E15.json \
+      --counter-max "BM_AsyncParkedCalls/131072/iterations:1/real_time" \
+      parked_bytes_per_call 2048
 """
 
 import argparse
@@ -89,6 +97,18 @@ def check_counter_min(snap, snapshot_name, series, counter, bound):
     print("OK")
 
 
+def check_counter_max(snap, snapshot_name, series, counter, bound):
+    entry = find_entry(snap, series, "current run")
+    if counter not in entry:
+        sys.exit(f"error: series '{series}' has no counter '{counter}'")
+    value = float(entry[counter])
+    print(f"{snapshot_name}: {series}")
+    print(f"  {counter} = {value:.4f} (ceiling {bound:.4f})")
+    if value > bound:
+        sys.exit(f"FAIL: {counter} exceeds the allowed ceiling")
+    print("OK")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("snapshot", help="BENCH_*.json file")
@@ -112,6 +132,10 @@ def main():
                     metavar=("SERIES", "COUNTER", "MIN"),
                     help="check a single counter of one current-run series "
                          "against an absolute lower bound")
+    ap.add_argument("--counter-max", nargs=3,
+                    metavar=("SERIES", "COUNTER", "MAX"),
+                    help="check a single counter of one current-run series "
+                         "against an absolute ceiling")
     args = ap.parse_args()
 
     with open(args.snapshot) as f:
@@ -126,6 +150,11 @@ def main():
     if args.counter_min:
         series, counter, bound = args.counter_min
         check_counter_min(snap, args.snapshot, series, counter, float(bound))
+        return
+
+    if args.counter_max:
+        series, counter, bound = args.counter_max
+        check_counter_max(snap, args.snapshot, series, counter, float(bound))
         return
 
     if not args.numerator or not args.denominator:

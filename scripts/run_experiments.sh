@@ -81,6 +81,8 @@ run_json bench_overload E13 "$ROOT/BENCH_E13.json" \
   "E13 — overload: goodput vs offered load, block vs shed"
 run_json bench_hotpath E14 "$ROOT/BENCH_E14.json" \
   "E14 — hot-path cost teardown (per-stage ns + allocs/op)"
+run_json bench_async E15 "$ROOT/BENCH_E15.json" \
+  "E15 — async moderation: parked-call footprint + drain goodput"
 run_json bench_persistence E16 "$ROOT/BENCH_E16.json" \
   "E16 — the price of durability (persistence on/off, WAL, replay)"
 run_json bench_selfheal E17 "$ROOT/BENCH_E17.json" \
@@ -89,4 +91,4 @@ run_json bench_selfheal E17 "$ROOT/BENCH_E17.json" \
 echo
 echo "All experiment series regenerated. Compare shapes against EXPERIMENTS.md;"
 echo "machine-readable snapshots: BENCH_E1.json BENCH_E8.json BENCH_E11.json"
-echo "BENCH_E13.json BENCH_E14.json BENCH_E16.json BENCH_E17.json."
+echo "BENCH_E13.json BENCH_E14.json BENCH_E15.json BENCH_E16.json BENCH_E17.json."

@@ -124,6 +124,30 @@ core::InvocationResult<Ticket> DurableTicketApp::assign_ticket(
       .run([](TicketServer& s) { return s.assign(); });
 }
 
+DurableTicketApp::AsyncOpenCall& DurableTicketApp::open_ticket_async(
+    std::deque<AsyncOpenCall>& slab, const Ticket& t,
+    runtime::Principal principal) {
+  // Same note protocol as the synchronous path: the arguments ride the
+  // context, the persistence postaction serializes them into the record.
+  AsyncOpenCall& call =
+      slab.emplace_back(*proxy_, open_method(), OpenBody{t});
+  call.context().set_principal(std::move(principal));
+  call.context().set_note(kTicketIdNote, std::to_string(t.id));
+  call.context().set_note(kTicketDescNote, t.description);
+  call.context().set_note(kTicketByNote, t.opened_by);
+  call.start();
+  return call;
+}
+
+DurableTicketApp::AsyncAssignCall& DurableTicketApp::assign_ticket_async(
+    std::deque<AsyncAssignCall>& slab, runtime::Principal principal) {
+  AsyncAssignCall& call =
+      slab.emplace_back(*proxy_, assign_method(), AssignBody{});
+  call.context().set_principal(std::move(principal));
+  call.start();
+  return call;
+}
+
 Result<storage::Lsn> DurableTicketApp::checkpoint() {
   // Coherence argument: admission of the checkpoint method means the
   // exclusion writer slot is held — every prior open/assign has finished

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <chrono>
+#include <deque>
 #include <memory>
 #include <string>
 
@@ -92,6 +93,36 @@ class DurableTicketApp {
       runtime::Principal principal = runtime::Principal::anonymous());
 
   core::InvocationResult<Ticket> assign_ticket(
+      runtime::Principal principal = runtime::Principal::anonymous());
+
+  // --- asynchronous operations (DESIGN.md §18) ---------------------------
+  //
+  // Future-returning variants for ticket storms: a blocked call parks a
+  // slab frame on the moderator's wait channel instead of occupying a
+  // thread, so in-flight concurrency is bounded by memory, not pool size.
+
+  /// Named body functors, so the AsyncCall frame types are spellable (a
+  /// slab needs a concrete element type; lambdas would anonymize it).
+  struct OpenBody {
+    Ticket ticket;
+    void operator()(TicketServer& s) const { s.open(ticket); }
+  };
+  struct AssignBody {
+    Ticket operator()(TicketServer& s) const { return s.assign(); }
+  };
+  using AsyncOpenCall = TicketProxy::AsyncCall<OpenBody>;
+  using AsyncAssignCall = TicketProxy::AsyncCall<AssignBody>;
+
+  /// Constructs the call frame in `slab` (std::deque never relocates, so
+  /// the parked node stays pinned) and starts it. Drive completions by
+  /// progressing the submitting thread's persona
+  /// (concurrency::progress()); the slab may only shrink once its
+  /// futures are ready.
+  AsyncOpenCall& open_ticket_async(
+      std::deque<AsyncOpenCall>& slab, const Ticket& t,
+      runtime::Principal principal = runtime::Principal::anonymous());
+  AsyncAssignCall& assign_ticket_async(
+      std::deque<AsyncAssignCall>& slab,
       runtime::Principal principal = runtime::Principal::anonymous());
 
   // --- durability control ------------------------------------------------

@@ -1,0 +1,168 @@
+// Completion objects for asynchronous moderation (DESIGN.md §18).
+//
+// A completion is a fire-once callback slot with INLINE storage: the
+// callable is constructed into a fixed-size buffer inside the completion
+// itself, so arming and firing one allocates nothing — the async park path
+// stays allocation-free per call in the spirit of the §13 hot-path work
+// (callables larger than the buffer spill to the heap, loudly visible via
+// inline_stored(), and the framework's own continuations all fit).
+//
+// Two layers:
+//   * InlineCallback<N, Args...> — the storage + type-erasure primitive.
+//   * Completion<Args...>       — an InlineCallback that can be BOUND to a
+//     persona: fire() either invokes inline (unbound) or stashes the
+//     arguments and enqueues itself on the target persona's ready queue,
+//     which is how a waker hands a completion to the thread that owns it.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "concurrency/progress.hpp"
+
+namespace amf::concurrency {
+
+/// Default inline capacity. Sized for a couple of captured pointers plus
+/// change — every continuation the framework itself arms fits.
+inline constexpr std::size_t kCompletionInline = 48;
+
+/// Fire-once type-erased callable with inline storage. Not thread-safe by
+/// itself: arm and fire must be externally ordered (the future/promise
+/// bits protocol or the moderator's park protocol supply that order).
+template <std::size_t N, typename... Args>
+class InlineCallback {
+ public:
+  InlineCallback() = default;
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  ~InlineCallback() { reset(); }
+
+  /// Constructs the callable into the slot. At most one callable may be
+  /// armed at a time.
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    assert(!armed() && "InlineCallback: already armed");
+    void* where;
+    if constexpr (sizeof(Fn) <= N && alignof(Fn) <= alignof(std::max_align_t)) {
+      where = storage_;
+    } else {
+      heap_ = ::operator new(sizeof(Fn), std::align_val_t(alignof(Fn)));
+      where = heap_;
+    }
+    ::new (where) Fn(std::forward<F>(f));
+    // Consuming invoke: moves the callable out, releases the slot, THEN
+    // runs it — so the callable may safely re-arm this very slot.
+    invoke_ = [](void* p, void* heap, Args&&... args) {
+      Fn fn(std::move(*static_cast<Fn*>(p)));
+      static_cast<Fn*>(p)->~Fn();
+      if (heap != nullptr) {
+        ::operator delete(heap, std::align_val_t(alignof(Fn)));
+      }
+      fn(std::forward<Args>(args)...);
+    };
+    destroy_ = [](void* p, void* heap) {
+      static_cast<Fn*>(p)->~Fn();
+      if (heap != nullptr) {
+        ::operator delete(heap, std::align_val_t(alignof(Fn)));
+      }
+    };
+  }
+
+  bool armed() const { return invoke_ != nullptr; }
+
+  /// True when the armed callable lives in the inline buffer (test hook
+  /// for the no-heap-per-park property).
+  bool inline_stored() const { return armed() && heap_ == nullptr; }
+
+  /// Invokes and destroys the callable. Exactly once per emplace(). The
+  /// slot is fully released before the callable runs, so the callable may
+  /// destroy the containing object or re-arm the slot.
+  void fire(Args... args) {
+    assert(armed() && "InlineCallback: fire without arm");
+    auto* invoke = invoke_;
+    void* target = heap_ != nullptr ? heap_ : static_cast<void*>(storage_);
+    void* heap = heap_;
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+    heap_ = nullptr;
+    invoke(target, heap, std::forward<Args>(args)...);
+  }
+
+  /// Destroys an armed callable without invoking it (cancellation).
+  void reset() {
+    if (!armed()) return;
+    void* target = heap_ != nullptr ? heap_ : static_cast<void*>(storage_);
+    destroy_(target, heap_);
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+    heap_ = nullptr;
+  }
+
+ private:
+  alignas(std::max_align_t) unsigned char storage_[N];
+  void* heap_ = nullptr;
+  void (*invoke_)(void*, void*, Args&&...) = nullptr;
+  void (*destroy_)(void*, void*) = nullptr;
+};
+
+/// A persona-targetable completion: fire-once callback that runs either
+/// inline (unbound) or on the bound persona's next progress() drain.
+/// Arguments must be movable; they are stashed by value for the deferred
+/// hop. Fire-once: arming again after the callback ran is allowed.
+template <typename... Args>
+class Completion : private ProgressNode {
+ public:
+  Completion() { fire = &Completion::trampoline; }
+  Completion(const Completion&) = delete;
+  Completion& operator=(const Completion&) = delete;
+
+  /// Arms the callback. Must happen-before fire() (external ordering).
+  template <typename F>
+  void arm(F&& f) {
+    cb_.emplace(std::forward<F>(f));
+  }
+
+  bool armed() const { return cb_.armed(); }
+  bool inline_stored() const { return cb_.inline_stored(); }
+
+  /// Targets a persona; nullptr (the default) restores inline firing.
+  void bind(Persona* p) { persona_ = p; }
+  Persona* persona() const { return persona_; }
+
+  /// Fires the callback with `args`. Unbound or fired from the bound
+  /// persona's own thread-of-drain: invokes inline. Bound: stashes the
+  /// arguments and enqueues onto the persona; the callback runs at its
+  /// next progress(). The completion object must outlive that drain.
+  void trigger(Args... args) {
+    if (persona_ == nullptr) {
+      cb_.fire(std::forward<Args>(args)...);
+      return;
+    }
+    args_.emplace(std::forward<Args>(args)...);
+    persona_->enqueue(this);
+  }
+
+ private:
+  static void trampoline(ProgressNode* n) {
+    auto* self = static_cast<Completion*>(n);
+    auto args = std::move(*self->args_);
+    self->args_.reset();
+    std::apply(
+        [self](Args&&... unpacked) {
+          self->cb_.fire(std::forward<Args>(unpacked)...);
+        },
+        std::move(args));
+  }
+
+  InlineCallback<kCompletionInline, Args...> cb_;
+  Persona* persona_ = nullptr;
+  std::optional<std::tuple<Args...>> args_;
+};
+
+}  // namespace amf::concurrency

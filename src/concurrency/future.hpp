@@ -1,0 +1,186 @@
+// Promise/future for asynchronous moderation (DESIGN.md §18).
+//
+// Deliberately smaller than std::future and shaped like upcxx's: a future
+// is a HANDLE onto an embeddable FutureState, not an owner of a heap
+// allocation. The async park path embeds the state in the caller-owned
+// call frame (stack or slab), arms one continuation with inline storage
+// (concurrency/completion.hpp), and fulfills it from the progress engine —
+// zero heap allocations per parked call for continuations that fit the
+// inline buffer.
+//
+// Protocol (two seq_cst fetch_or bits, kHasValue / kHasCont): whichever of
+// fulfill() and then() observes the other's bit already set runs the
+// continuation; exactly one of them does, on its own thread. The value is
+// constructed before kHasValue is published and read only after it is
+// observed, so the bit carries the ordering.
+//
+// Lifetime contract: the FutureState must outlive both handles and the
+// continuation run. Handles are movable (moved-from handles go invalid);
+// the state itself is pinned.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "concurrency/completion.hpp"
+
+namespace amf::concurrency {
+
+template <typename T>
+class Promise;
+template <typename T>
+class Future;
+
+namespace detail {
+/// Value slot: constructs T in place; empty specialization for void.
+template <typename T>
+struct ValueSlot {
+  alignas(T) unsigned char raw[sizeof(T)];
+  bool constructed = false;
+  template <typename... A>
+  void construct(A&&... a) {
+    ::new (static_cast<void*>(raw)) T(std::forward<A>(a)...);
+    constructed = true;
+  }
+  T& ref() { return *std::launder(reinterpret_cast<T*>(raw)); }
+  ~ValueSlot() {
+    if (constructed) ref().~T();
+  }
+};
+template <>
+struct ValueSlot<void> {
+  void construct() {}
+};
+}  // namespace detail
+
+/// The shared state of one promise/future pair. Embed it where the
+/// operation lives; Promise/Future are views onto it.
+template <typename T>
+class FutureState {
+ public:
+  FutureState() = default;
+  FutureState(const FutureState&) = delete;
+  FutureState& operator=(const FutureState&) = delete;
+
+  bool ready() const {
+    return (bits_.load(std::memory_order_acquire) & kHasValue) != 0;
+  }
+
+ private:
+  friend class Promise<T>;
+  friend class Future<T>;
+
+  static constexpr unsigned kHasValue = 1u;
+  static constexpr unsigned kHasCont = 2u;
+
+  template <typename... A>
+  void fulfill(A&&... value) {
+    slot_.construct(std::forward<A>(value)...);
+    unsigned prev = bits_.fetch_or(kHasValue, std::memory_order_seq_cst);
+    assert((prev & kHasValue) == 0 && "FutureState: fulfilled twice");
+    if ((prev & kHasCont) != 0) run_cont();
+  }
+
+  template <typename F>
+  void attach(F&& f) {
+    cont_.emplace(std::forward<F>(f));
+    unsigned prev = bits_.fetch_or(kHasCont, std::memory_order_seq_cst);
+    assert((prev & kHasCont) == 0 && "FutureState: second continuation");
+    if ((prev & kHasValue) != 0) run_cont();
+  }
+
+  void run_cont() {
+    if constexpr (std::is_void_v<T>) {
+      cont_.fire();
+    } else {
+      cont_.fire(slot_.ref());
+    }
+  }
+
+  std::atomic<unsigned> bits_{0};
+  detail::ValueSlot<T> slot_;
+  // Continuation signature: void(T&) — the value stays readable in the
+  // state after the continuation ran. void futures take no argument.
+  std::conditional_t<std::is_void_v<T>,
+                     InlineCallback<kCompletionInline>,
+                     InlineCallback<kCompletionInline,
+                                    std::conditional_t<std::is_void_v<T>,
+                                                       int, T>&>>
+      cont_;
+};
+
+/// Producer handle: fulfills the state exactly once.
+template <typename T>
+class Promise {
+ public:
+  Promise() = default;
+  explicit Promise(FutureState<T>& state) : st_(&state) {}
+  Promise(Promise&& other) noexcept : st_(std::exchange(other.st_, nullptr)) {}
+  Promise& operator=(Promise&& other) noexcept {
+    st_ = std::exchange(other.st_, nullptr);
+    return *this;
+  }
+
+  bool valid() const { return st_ != nullptr; }
+  Future<T> future() const { return Future<T>(*st_); }
+
+  /// Publishes the value; runs the continuation if one is already
+  /// attached. Exactly once per state.
+  template <typename... A>
+  void fulfill(A&&... value) {
+    st_->fulfill(std::forward<A>(value)...);
+  }
+
+ private:
+  FutureState<T>* st_ = nullptr;
+};
+
+/// Consumer handle: polls readiness, reads the value, attaches at most
+/// one continuation.
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(FutureState<T>& state) : st_(&state) {}
+  Future(Future&& other) noexcept : st_(std::exchange(other.st_, nullptr)) {}
+  Future& operator=(Future&& other) noexcept {
+    st_ = std::exchange(other.st_, nullptr);
+    return *this;
+  }
+
+  bool valid() const { return st_ != nullptr; }
+  bool ready() const { return st_ != nullptr && st_->ready(); }
+
+  /// The fulfilled value; ready() must hold.
+  template <typename U = T>
+    requires(!std::is_void_v<U>)
+  U& value() const {
+    assert(ready());
+    return st_->slot_.ref();
+  }
+
+  /// Attaches the continuation — signature void(T&) (void() for T=void).
+  /// Already-ready fast path: runs inline, right now, on this thread.
+  /// Otherwise it runs on the fulfilling thread (bind the fulfilling side
+  /// to a persona when cross-thread affinity matters).
+  template <typename F>
+  void then(F&& f) {
+    st_->attach(std::forward<F>(f));
+  }
+
+  /// Drives the CALLING thread's persona until this future is ready —
+  /// the synchronous escape hatch (tests, simple callers). Only useful
+  /// when the fulfilling chain runs on this persona or another live
+  /// thread; see the attentiveness contract in progress.hpp.
+  void wait() const {
+    progress_until([this] { return st_->ready(); });
+  }
+
+ private:
+  FutureState<T>* st_ = nullptr;
+};
+
+}  // namespace amf::concurrency

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "concurrency/progress.hpp"
+
 namespace amf::concurrency {
 
 ThreadPool::ThreadPool(Options options)
@@ -23,6 +25,11 @@ ThreadPool::ThreadPool(Options options)
           continue;
         }
         entry->run();
+        // Keep each worker's persona attentive (DESIGN.md §18): tasks may
+        // submit async moderated calls whose parked continuations were
+        // transferred back to this thread; drain them between tasks so a
+        // pool-driven async call completes without a dedicated driver.
+        progress();
       }
     });
   }

@@ -1,0 +1,211 @@
+// HybridProxy<C, Aspects...>: a statically woven core published into the
+// dynamic composition machinery in one call (DESIGN.md §16 interop,
+// ROADMAP static-composition follow-on (b)).
+//
+// StaticProxy's closing interop note says "wrap one in a dynamic
+// ComponentProxy to layer run-time-swappable concerns around a statically
+// woven core" — doing that by hand takes four steps (allocate the core
+// somewhere it cannot move, wrap a forwarding component, register every
+// dynamic aspect, route each call through both invoke()s and reconcile the
+// two results). HybridProxy is that wiring as one constructor call:
+//
+//   HybridProxy hybrid{
+//       {.bindings = {{method, kinds::authentication(), auth_aspect}}},
+//       MyService{},                      // component
+//       StaticSyncAspect{...}};           // compile-time chain
+//   auto r = hybrid.invoke(method, [](MyService& s) { return s.work(); });
+//
+// Layering: the DYNAMIC chain is the outer layer (register/replace/
+// quarantine while callers are in flight), the STATIC chain the inner
+// (fixed at compile time, paying none of the bank's per-call machinery).
+// A call is admitted by the outer moderator, then by the woven chain, runs
+// the body, and unwinds postactivations inner-first — exactly the nesting
+// order the §5.3 extension gives authentication over synchronization, with
+// the moderation *mechanism* swapped per layer instead of the kind order.
+//
+// Result reconciliation: the caller sees ONE InvocationResult. An outer
+// refusal is returned as-is (the core's statistics prove it was never
+// consulted); an admitted call returns the inner result with the outer
+// layer's blocked time folded into wait_time, so "how long did admission
+// stall" keeps one answer across both layers.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <stop_token>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/moderator.hpp"
+#include "core/proxy.hpp"
+#include "core/static_proxy.hpp"
+#include "runtime/ids.hpp"
+
+namespace amf::core {
+
+/// One (method, kind, aspect) cell published into the outer dynamic bank
+/// before traffic.
+struct HybridBinding {
+  runtime::MethodId method;
+  runtime::AspectKind kind;
+  AspectPtr aspect;
+};
+
+/// Configuration of both moderation layers plus the initial dynamic
+/// composition.
+struct HybridOptions {
+  ModeratorOptions outer;        // the dynamic shell's moderator
+  StaticProxyOptions inner;      // the woven core
+  std::vector<HybridBinding> bindings;
+};
+
+template <class C, class... Aspects>
+class HybridProxy {
+ public:
+  using Core = StaticProxy<C, Aspects...>;
+
+  HybridProxy(HybridOptions options, C component, Aspects... aspects)
+      // StaticProxy is immovable (it owns a mutex and a wait channel), so
+      // the core lives on the heap and the outer proxy's component is a
+      // stable pointer to it — which also keeps HybridProxy movable.
+      : core_(std::make_unique<Core>(std::move(options.inner),
+                                     std::move(component),
+                                     std::move(aspects)...)),
+        outer_(Handle{core_.get()}, options.outer) {
+    for (auto& b : options.bindings) {
+      outer_.moderator().register_aspect(b.method, b.kind,
+                                         std::move(b.aspect));
+    }
+  }
+
+  explicit HybridProxy(C component, Aspects... aspects)
+      : HybridProxy(HybridOptions{}, std::move(component),
+                    std::move(aspects)...) {}
+
+  /// The guarded functional component (wiring/tests; bypasses BOTH layers).
+  C& component() { return core_->component(); }
+  const C& component() const { return core_->component(); }
+
+  /// The inner woven core (its stats() show what the dynamic layer let
+  /// through).
+  Core& core() { return *core_; }
+  const Core& core() const { return *core_; }
+
+  /// The outer dynamic moderator: register/replace/quarantine here at any
+  /// time, exactly as on a plain ComponentProxy.
+  AspectModerator& moderator() { return outer_.moderator(); }
+  const AspectModerator& moderator() const { return outer_.moderator(); }
+
+  /// Fluent per-call configuration, mirroring ComponentProxy::CallBuilder.
+  /// The settings are applied to BOTH layers' contexts: the principal an
+  /// outer authentication aspect checked is the same one the woven chain
+  /// sees, and a deadline bounds the total admission wait across the two
+  /// layers (within() resolves once, against the outer moderator's clock).
+  class CallBuilder {
+   public:
+    CallBuilder(HybridProxy& proxy, runtime::MethodId method)
+        : proxy_(proxy), method_(method) {}
+
+    CallBuilder& as(runtime::Principal p) {
+      principal_ = std::move(p);
+      return *this;
+    }
+    CallBuilder& priority(int p) {
+      priority_ = p;
+      return *this;
+    }
+    CallBuilder& deadline(runtime::TimePoint d) {
+      deadline_ = d;
+      return *this;
+    }
+    CallBuilder& within(runtime::Duration d) {
+      deadline_ = proxy_.moderator().clock().now() + d;
+      return *this;
+    }
+    CallBuilder& stoppable(std::stop_token t) {
+      stop_ = std::move(t);
+      return *this;
+    }
+
+    template <typename F>
+    auto run(F&& body) -> InvocationResult<std::invoke_result_t<F, C&>> {
+      using R = std::invoke_result_t<F, C&>;
+      std::optional<InvocationResult<R>> inner;
+      auto ob = proxy_.outer_.call(method_);
+      apply(ob);
+      auto outer = ob.run([&](Handle& h) {
+        auto ib = h.core->call(method_);
+        apply(ib);
+        inner.emplace(ib.run(std::forward<F>(body)));
+      });
+      return reconcile(std::move(outer), std::move(inner));
+    }
+
+   private:
+    template <typename B>
+    void apply(B& builder) const {
+      if (principal_) builder.as(*principal_);
+      if (priority_) builder.priority(*priority_);
+      if (deadline_) builder.deadline(*deadline_);
+      if (stop_) builder.stoppable(*stop_);
+    }
+
+    HybridProxy& proxy_;
+    runtime::MethodId method_;
+    std::optional<runtime::Principal> principal_;
+    std::optional<int> priority_;
+    std::optional<runtime::TimePoint> deadline_;
+    std::optional<std::stop_token> stop_;
+  };
+
+  CallBuilder call(runtime::MethodId method) {
+    return CallBuilder(*this, method);
+  }
+
+  /// The moderated call through both layers (see the result-reconciliation
+  /// note above).
+  template <typename F>
+  auto invoke(runtime::MethodId method, F&& body)
+      -> InvocationResult<std::invoke_result_t<F, C&>> {
+    using R = std::invoke_result_t<F, C&>;
+    std::optional<InvocationResult<R>> inner;
+    auto outer = outer_.invoke(method, [&](Handle& h) {
+      inner.emplace(h.core->invoke(method, std::forward<F>(body)));
+    });
+    return reconcile(std::move(outer), std::move(inner));
+  }
+
+ private:
+  // The outer proxy's movable stand-in for the immovable core.
+  struct Handle {
+    Core* core;
+  };
+
+  template <typename R>
+  static InvocationResult<R> reconcile(
+      InvocationResult<void> outer, std::optional<InvocationResult<R>> inner) {
+    if (!inner.has_value()) {
+      // The outer chain refused before the core was consulted: surface the
+      // refusal under the outer invocation's identity.
+      InvocationResult<R> refused;
+      refused.status = outer.status;
+      refused.error = outer.error;
+      refused.invocation_id = outer.invocation_id;
+      refused.wait_time = outer.wait_time;
+      return refused;
+    }
+    inner->wait_time += outer.wait_time;
+    return std::move(*inner);
+  }
+
+  std::unique_ptr<Core> core_;
+  ComponentProxy<Handle> outer_;
+};
+
+template <class C, class... Aspects>
+HybridProxy(HybridOptions, C, Aspects...) -> HybridProxy<C, Aspects...>;
+template <class C, class... Aspects>
+HybridProxy(C, Aspects...) -> HybridProxy<C, Aspects...>;
+
+}  // namespace amf::core

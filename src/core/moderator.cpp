@@ -570,11 +570,17 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
         for (std::size_t i = 0; i < shards.size(); ++i) {
           // waiters is guarded by the shard's mutex (held): skipping idle
           // shards cannot lose a wakeup — any future waiter re-evaluates
-          // before sleeping.
+          // before sleeping. Parked async nodes ride the same channel:
+          // they park under this mutex, so this transfer serializes with
+          // (and therefore cannot miss) any park that saw pre-completion
+          // guard state.
           MethodState* s = shards.begin()[i];
-          if (wake.begin()[i] && s->waiters > 0) {
-            if (s->waiters > s->waiters_any) s->cv.notify_all();
-            if (s->waiters_any > 0) s->cv_any.notify_all();
+          if (wake.begin()[i]) {
+            if (s->waiters > 0) {
+              if (s->waiters > s->waiters_any) s->cv.notify_all();
+              if (s->waiters_any > 0) s->cv_any.notify_all();
+            }
+            signal_async_under_lock(*s);
           }
         }
       }
@@ -619,6 +625,7 @@ void AspectModerator::postactivation(InvocationContext& ctx) {
           if (s->waiters > s->waiters_any) s->cv.notify_all();
           if (s->waiters_any > 0) s->cv_any.notify_all();
         }
+        signal_async_under_lock(*s);
       }
       // A completion is the canonical guard-state change: re-drive queued
       // and parked batch admissions under the all-shards locks we already
@@ -663,10 +670,12 @@ void AspectModerator::shutdown() {
     for (auto& [_, state] : methods_) {
       // Taking the shard lock orders this notify after any in-flight guard
       // check that missed the flag, so no waiter can sleep through
-      // shutdown.
+      // shutdown. Parked async nodes are transferred; their retries
+      // observe the flag and settle with kCancelled.
       std::scoped_lock shard(state->mu);
       state->cv.notify_all();
       state->cv_any.notify_all();
+      signal_async_under_lock(*state);
     }
   }
   // Dislodge queued/parked batch admissions: flushed owners re-enter and,
@@ -699,6 +708,10 @@ std::uint64_t AspectModerator::blocked_waiters() const {
   const std::int64_t parked =
       combiner_.parked.load(std::memory_order_relaxed);
   if (parked > 0) n += static_cast<std::uint64_t>(parked);
+  // Asynchronously parked calls (DESIGN.md §18) are blocked waiters too —
+  // just ones that don't occupy a thread.
+  const std::int64_t async = async_parked_.load(std::memory_order_relaxed);
+  if (async > 0) n += static_cast<std::uint64_t>(async);
   return n;
 }
 
@@ -975,6 +988,11 @@ void AspectModerator::recompose_barrier() {
       std::scoped_lock shard(state->mu);
       state->cv.notify_all();
       state->cv_any.notify_all();
+      // Parked async nodes hold no burst and no span, so the drain below
+      // never waits on them — but their pinned Moderation records are
+      // stale after this flip, so transfer them; the retries re-enter
+      // through the gate and recompose.
+      signal_async_under_lock(*state);
     }
   }
   // Drain: no old-parity burst may still be evaluating, and every old
@@ -1054,9 +1072,285 @@ std::size_t AspectModerator::scan_stalls() {
       std::scoped_lock shard(rec->shard->mu);
       rec->shard->cv.notify_all();
       rec->shard->cv_any.notify_all();
+      evict_async_under_lock(*rec);
     }
   }
   return fresh;
+}
+
+// --- asynchronous moderation (DESIGN.md §18) -------------------------------
+
+void AspectModerator::preactivation_async(ParkedCall& call) {
+  call.owner = this;
+  call.fire = &AspectModerator::async_retry;
+  if (call.persona == nullptr) {
+    call.persona = &concurrency::Persona::current();
+  }
+  log_event("preactivation", *call.ctx);
+  async_attempt(call);
+}
+
+void AspectModerator::async_retry(concurrency::ProgressNode* node) {
+  auto* call = static_cast<ParkedCall*>(node);
+  call->state.store(ParkedCall::State::kIdle, std::memory_order_relaxed);
+  call->owner->async_attempt(*call);
+}
+
+void AspectModerator::settle_async(ParkedCall& call, Decision verdict) {
+  if (call.stall_rec) {
+    unregister_stall_record(call.ctx->id());
+    call.stall_rec.reset();
+  }
+  // Drop the parked-record pin outside every lock: releasing the last
+  // reference may destroy a whole retired composition (aspect dtors run).
+  call.mod.reset();
+  call.settle.fire(verdict);
+}
+
+void AspectModerator::async_attempt(ParkedCall& call) {
+  InvocationContext& ctx = *call.ctx;
+
+  // One lock-free attempt first, exactly like the synchronous entry.
+  {
+    Decision fast{};
+    if (try_fast_admission(ctx, call.arrived, &fast)) {
+      settle_async(call, fast);
+      return;
+    }
+  }
+
+  if (ctx.enqueued_at() == runtime::TimePoint{}) {
+    ctx.set_enqueued_at(now_fast());
+  }
+  if (ctx.arrival_seq() == 0) {
+    ctx.set_arrival_seq(
+        arrival_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+
+  // The preactivation() epoch loop, with the cv sleep replaced by the park
+  // protocol. Each attempt (initial submit or signalled retry) is one
+  // burst; a PARKED node holds neither burst nor span — that is what makes
+  // it a cheap, sheddable queue entry the recomposition barrier can drain
+  // past (the barrier's wake loop transfers parked nodes, and their
+  // retries re-enter through the gate like any fresh arrival).
+  for (;;) {
+    const std::uint64_t burst_gen = enter_burst();
+    const int parity = burst_parity(burst_gen);
+    const std::shared_ptr<const Moderation> mod =
+        cached_moderation(ctx.method());
+    const std::uint64_t epoch = mod->epoch;
+    const CompiledChainData& cc = *mod->compiled;
+    MethodState& ms = *mod->self;
+
+    enum class Att { kSettled, kParked, kRecompose };
+    Decision verdict = Decision::kBlock;
+
+    // Runs with the WHOLE eval shard set locked; same ordering as the
+    // synchronous done_waiting predicate. Only the guard re-check after
+    // the sleepers_ raise needs repeating here: every other wake source
+    // (shutdown, eviction, barrier, locked completions) takes this shard's
+    // mutex to signal and therefore serializes with the park itself.
+    auto attempt = [&]() -> Att {
+      if (shutdown_.load(std::memory_order_acquire)) {
+        verdict = Decision::kAbort;
+        ctx.set_abort_error(runtime::make_error(ErrorCode::kCancelled,
+                                                "moderator shut down"));
+      } else if (call.stall_rec &&
+                 call.stall_rec->evicted.load(std::memory_order_acquire)) {
+        verdict = Decision::kAbort;
+        ctx.set_abort_error(runtime::make_error(
+            ErrorCode::kDeadlineExceeded,
+            "evicted by stall watchdog while blocked"));
+      } else {
+        if (gen_.load(std::memory_order_seq_cst) != burst_gen ||
+            bank_.version() != epoch) {
+          return Att::kRecompose;
+        }
+        if (cc.any_arrive) {
+          for (const CompiledOp& op : cc.ops) {
+            if (std::find(call.arrived.begin(), call.arrived.end(),
+                          op.aspect) == call.arrived.end()) {
+              guarded_on_arrive(op, ctx);
+              call.arrived.push_back(op.aspect);
+            }
+          }
+        }
+        verdict = evaluate_chain_under_locks(cc, ctx);
+      }
+
+      if (verdict == Decision::kBlock) {
+        ctx.note_blocked();
+        // Timed escapes. The synchronous wait primitives enforce these;
+        // the async path enforces them at submit and at every signalled
+        // retry, and the stall watchdog covers a parked call whose
+        // deadline passes with no further signal (eviction transfers the
+        // node; the retry aborts above with kDeadlineExceeded).
+        if (ctx.deadline() && now_fast() >= *ctx.deadline()) {
+          guarded_on_cancel(cc, ctx);
+          ctx.set_abort_error(runtime::make_error(
+              ErrorCode::kTimeout, "deadline expired during preactivation"));
+          ms.stats.timed_out.fetch_add(1, std::memory_order_relaxed);
+          log_event("timeout", ctx);
+          verdict = Decision::kAbort;
+          return Att::kSettled;
+        }
+        if (ctx.stop() && ctx.stop()->stop_requested()) {
+          guarded_on_cancel(cc, ctx);
+          ctx.set_abort_error(runtime::make_error(
+              ErrorCode::kCancelled, "stop requested while blocked"));
+          ms.stats.cancelled.fetch_add(1, std::memory_order_relaxed);
+          log_event("cancelled", ctx);
+          verdict = Decision::kAbort;
+          return Att::kSettled;
+        }
+        if (!call.announced_block) {
+          call.announced_block = true;
+          ms.stats.block_events.fetch_add(1, std::memory_order_relaxed);
+          log_event("blocked", ctx);
+        }
+        // Raise the sleeper stake BEFORE the final guard re-check — the
+        // mirror of the synchronous path's fetch_add-then-wait: a fast
+        // completion that validates sleepers_ == 0 afterwards is ordered
+        // before this seq_cst RMW, so our re-check observes its effects;
+        // one that validated earlier defers to the locked slow path,
+        // which signals under this very mutex.
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        verdict = evaluate_chain_under_locks(cc, ctx);
+        if (verdict == Decision::kBlock) {
+          if (watchdog_) {
+            if (!call.stall_rec) {
+              call.stall_rec = std::make_shared<StallRecord>();
+              call.stall_rec->invocation_id = ctx.id();
+              call.stall_rec->method = ctx.method();
+              call.stall_rec->blocked_since = clock_->now();
+              call.stall_rec->deadline = ctx.deadline();
+              call.stall_rec->chain = join_chain_names(cc);
+              call.stall_rec->blocked_by =
+                  std::string(ctx.note_view("blocked.by").value_or("?"));
+              call.stall_rec->shard = &ms;
+              register_stall_record(call.stall_rec);
+            }
+            call.stall_rec->async_node = &call;
+          }
+          // Pin the record: the parked node's `arrived` dedup compares
+          // aspect addresses at the next retry, so the chain (and its
+          // aspects) must stay alive while parked.
+          call.mod = mod;
+          call.plink = nullptr;
+          if (ms.async_tail != nullptr) {
+            ms.async_tail->plink = &call;
+          } else {
+            ms.async_head = &call;
+          }
+          ms.async_tail = &call;
+          call.state.store(ParkedCall::State::kParked,
+                           std::memory_order_release);
+          async_parked_.fetch_add(1, std::memory_order_relaxed);
+          // The node may be transferred (and retried on another persona)
+          // the moment the shard unlocks — it must not be touched again
+          // on this code path.
+          return Att::kParked;
+        }
+        sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+      }
+
+      if (verdict == Decision::kAbort) {
+        guarded_on_cancel(cc, ctx);
+        if (!ctx.abort_error()) {
+          std::string by(
+              ctx.note_view("vetoed.by").value_or("unknown aspect"));
+          ctx.set_abort_error(
+              runtime::make_error(ErrorCode::kAborted, "vetoed by " + by));
+        }
+        if (ctx.abort_error()->code == ErrorCode::kCancelled) {
+          ms.stats.cancelled.fetch_add(1, std::memory_order_relaxed);
+          log_event("cancelled", ctx);
+        } else {
+          ms.stats.aborted.fetch_add(1, std::memory_order_relaxed);
+          log_event("abort", ctx);
+        }
+        return Att::kSettled;
+      }
+
+      // Admission: identical commit to the synchronous path (G4 pairing,
+      // span-as-stake, moderation hint for postactivation).
+      ctx.set_admitted_at(now_fast());
+      if (cc.any_entry || fault_ != nullptr) {
+        for (const CompiledOp& op : cc.ops) guarded_entry(op, ctx);
+      }
+      if (cc.fallback) ctx.set_note(kFallbackActiveNote, "1");
+      ctx.set_admitted_chain(mod->chain.get());
+      ctx.set_moderation_hint(mod.get());
+      open_span(ctx, parity);
+      ms.stats.admitted.fetch_add(1, std::memory_order_relaxed);
+      log_event("admitted", ctx);
+      return Att::kSettled;
+    };
+
+    Att att;
+    const bool dekker = dekker_arming_.load(std::memory_order_seq_cst);
+    if (dekker) lockers_add(mod->eval_shards.data(), mod->eval_shards.size());
+    if (mod->eval_shards.size() == 1) {
+      std::scoped_lock lk(ms.mu);
+      if (dekker) {
+        drain_fast_windows(mod->eval_shards.data(), mod->eval_shards.size());
+      }
+      att = attempt();
+    } else {
+      LockSet locks(mod->eval_shards.data(), mod->eval_shards.size());
+      if (dekker) {
+        drain_fast_windows(mod->eval_shards.data(), mod->eval_shards.size());
+      }
+      att = attempt();
+    }
+    if (dekker) lockers_sub(mod->eval_shards.data(), mod->eval_shards.size());
+    exit_burst(parity);
+    if (att == Att::kRecompose) continue;
+    if (att == Att::kParked) return;
+    if (verdict == Decision::kAbort) drain_quarantine();
+    settle_async(call, verdict);
+    return;
+  }
+}
+
+void AspectModerator::signal_async_under_lock(MethodState& s) {
+  ParkedCall* node = s.async_head;
+  if (node == nullptr) return;
+  s.async_head = nullptr;
+  s.async_tail = nullptr;
+  while (node != nullptr) {
+    ParkedCall* next = node->plink;
+    node->plink = nullptr;
+    if (node->stall_rec) node->stall_rec->async_node = nullptr;
+    node->state.store(ParkedCall::State::kSignaled,
+                      std::memory_order_release);
+    async_parked_.fetch_sub(1, std::memory_order_relaxed);
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    // After enqueue the persona's owner may run (and even destroy) the
+    // node immediately — nothing below may touch it.
+    node->persona->enqueue(node);
+    node = next;
+  }
+}
+
+void AspectModerator::evict_async_under_lock(StallRecord& rec) {
+  ParkedCall* node = rec.async_node;
+  if (node == nullptr) return;  // sync waiter, or already transferred
+  rec.async_node = nullptr;
+  MethodState& s = *rec.shard;
+  ParkedCall** link = &s.async_head;
+  ParkedCall* prev = nullptr;
+  while (*link != node) {
+    prev = *link;
+    link = &(*link)->plink;
+  }
+  *link = node->plink;
+  if (s.async_tail == node) s.async_tail = prev;
+  node->plink = nullptr;
+  node->state.store(ParkedCall::State::kSignaled, std::memory_order_release);
+  async_parked_.fetch_sub(1, std::memory_order_relaxed);
+  sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  node->persona->enqueue(node);
 }
 
 // ---------------------------------------------------------------------------

@@ -44,6 +44,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "concurrency/completion.hpp"
 #include "concurrency/intru_queue.hpp"
 #include "core/bank.hpp"
 #include "core/context.hpp"
@@ -214,6 +215,30 @@ class AspectModerator {
     return fast_completions_.load(std::memory_order_relaxed);
   }
 
+  // --- asynchronous moderation (DESIGN.md §18) --------------------------
+
+  /// One asynchronous admission (defined below, after the private types it
+  /// embeds). Callers allocate it on the stack or in a slab, arm `settle`,
+  /// and submit via preactivation_async().
+  struct ParkedCall;
+
+  /// Asynchronous pre-activation: never sleeps. Runs the same guard loop
+  /// as preactivation(); a kBlock verdict PARKS `call` on the method's
+  /// wait channel instead of sleeping on its condition variable. The armed
+  /// `call.settle` callback fires exactly once with the final verdict —
+  /// inline (from inside this call) when the verdict is immediate, or from
+  /// `call.persona`'s progress() drain after a completing writer's
+  /// postactivation transferred the parked node. On kResume the owner must
+  /// run the body and then postactivation() with the same context, exactly
+  /// as after a synchronous admission; on kAbort ctx->abort_error() says
+  /// why and postactivation must not run.
+  void preactivation_async(ParkedCall& call);
+
+  /// Async calls currently parked on wait channels (racy; diagnostics).
+  std::int64_t async_parked() const {
+    return async_parked_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Atomic mirror of MethodStats. Relaxed updates: the optimistic fast
   /// path bumps counters without the shard mutex, and exact cross-field
@@ -250,6 +275,12 @@ class AspectModerator {
     StatsCells stats;               // relaxed atomics (see StatsCells)
     std::uint64_t waiters = 0;      // guarded by mu; all blocked callers
     std::uint64_t waiters_any = 0;  // guarded by mu; the cv_any subset
+    // Asynchronously parked calls of this shard (DESIGN.md §18): a
+    // singly-linked FIFO of ParkedCall nodes, guarded by mu. Every signal
+    // site that notifies the cvs also transfers this whole list to the
+    // nodes' personas — the async half of the notify protocol.
+    ParkedCall* async_head = nullptr;
+    ParkedCall* async_tail = nullptr;
     // Dekker-style handshake with the optimistic fast path (DESIGN.md
     // §11). `lockers` counts slow moderation sections whose LOCKED shard
     // set includes this shard: incremented before the mutexes are taken,
@@ -647,6 +678,11 @@ class AspectModerator {
     std::string chain;       // "a < b < c" at block time
     std::string blocked_by;  // guard that refused, at block time
     MethodState* shard = nullptr;
+    // The parked ASYNC call this record watches (DESIGN.md §18), or null
+    // for a synchronous cv waiter. Guarded by shard->mu — set at park,
+    // cleared at transfer — so an eviction that still observes it non-null
+    // owns a live node linked on this shard's parked list.
+    ParkedCall* async_node = nullptr;
     // Set by the watchdog; the waiter aborts with kDeadlineExceeded.
     std::atomic<bool> evicted{false};
     // Guards against double-reporting one stalled episode.
@@ -655,6 +691,70 @@ class AspectModerator {
 
   void register_stall_record(const std::shared_ptr<StallRecord>& rec);
   void unregister_stall_record(std::uint64_t invocation_id);
+
+  // --- asynchronous moderation (DESIGN.md §18) --------------------------
+
+ public:
+  /// One asynchronous admission, embedded in its caller's frame (stack or
+  /// slab) — the async analogue of a blocked thread, at a couple of cache
+  /// lines instead of a stack. The caller sets `ctx`, optionally `persona`
+  /// (defaults to the submitting thread's), arms `settle`, and hands the
+  /// node to preactivation_async(). The node, the context and the settle
+  /// captures must outlive the settle fire, and every submitted call must
+  /// settle before the moderator dies: shutdown() transfers all parked
+  /// nodes, and a progress() drain on each involved persona then settles
+  /// the stragglers with kCancelled.
+  struct ParkedCall : concurrency::ProgressNode {
+    enum class State : std::uint8_t {
+      kIdle,      // not linked anywhere: evaluating, or settled
+      kParked,    // on its shard's parked list, sleepers_ stake held
+      kSignaled,  // transferred to the persona queue; a retry is scheduled
+    };
+
+    InvocationContext* ctx = nullptr;
+    /// Ready-queue target for parked retries. Persona affinity: the retry
+    /// — and therefore the settle continuation, the admitted body and the
+    /// postactivation — runs wherever this persona is progressed, so all
+    /// span bookkeeping stays thread-local exactly as in the sync path.
+    concurrency::Persona* persona = nullptr;
+    /// Fire-once verdict continuation with inline storage (no heap per
+    /// park for captures ≤ kCompletionInline bytes): kResume = admitted,
+    /// kAbort = refused with ctx->abort_error() set.
+    concurrency::InlineCallback<concurrency::kCompletionInline, Decision>
+        settle;
+
+    // Internal — owned by the moderator from submit to settle.
+    std::atomic<State> state{State::kIdle};
+    ParkedCall* plink = nullptr;  // shard parked-list link (guarded by mu)
+    AspectModerator* owner = nullptr;
+    std::shared_ptr<const Moderation> mod;  // pins the parked-under record
+    ArrivedVec arrived;  // on_arrive exactly-once dedup, across epochs
+    std::shared_ptr<StallRecord> stall_rec;
+    bool announced_block = false;  // one block_event per admission
+  };
+
+ private:
+  // One full admission attempt for `call`: the preactivation() epoch loop
+  // minus the sleep — a kBlock verdict parks the node instead. Runs on
+  // the submitting thread (first attempt) or on the thread draining the
+  // call's persona (retries).
+  void async_attempt(ParkedCall& call);
+  // ProgressNode::fire of a transferred node: re-runs async_attempt.
+  static void async_retry(concurrency::ProgressNode* node);
+  // Terminal: unregisters the watchdog record, drops the parked-record
+  // pin and fires `settle`. Call with no shard lock held.
+  void settle_async(ParkedCall& call, Decision verdict);
+  // Shard mutex held: transfers every parked node of `s` to its persona's
+  // ready queue (the async half of the cv notify protocol). Once a node
+  // is transferred it is already scheduled to re-evaluate, so later
+  // signals it "misses" are harmless.
+  void signal_async_under_lock(MethodState& s);
+  // Shard mutex held: transfers just the (still parked) node `rec`
+  // watches — the watchdog eviction path.
+  void evict_async_under_lock(StallRecord& rec);
+
+  // Async calls currently parked on shard lists (see async_parked()).
+  std::atomic<std::int64_t> async_parked_{0};
 
   AspectBank bank_;
   const runtime::Clock* clock_;

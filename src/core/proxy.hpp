@@ -17,6 +17,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "concurrency/future.hpp"
 #include "core/context.hpp"
 #include "core/decision.hpp"
 #include "core/moderator.hpp"
@@ -153,34 +154,103 @@ class ComponentProxy {
     return execute(ctx, std::forward<F>(body));
   }
 
- private:
+  /// One future-returning moderated invocation (DESIGN.md §18), embedded
+  /// in a caller-owned frame: while the moderator has the call parked on a
+  /// wait channel, this object IS the entire cost of the in-flight call —
+  /// no thread, no stack, no heap. Construct it (stack or slab), configure
+  /// `context()` (deadline, principal, notes), grab `future()`, then
+  /// `start()`. The frame must stay pinned (neither moved nor destroyed)
+  /// until the future is ready; drive completions by progressing the
+  /// submitting thread's persona (or the one bound via `bind()`).
   template <typename F>
-  auto execute(InvocationContext& ctx, F&& body)
-      -> InvocationResult<std::invoke_result_t<F, C&>> {
+  class AsyncCall {
+   public:
     using R = std::invoke_result_t<F, C&>;
-    InvocationResult<R> result;
-    result.invocation_id = ctx.id();
+    using Result = InvocationResult<R>;
 
-    if (moderator_->preactivation(ctx) != Decision::kResume) {
-      result.error = ctx.abort_error().value_or(runtime::make_error(
-          runtime::ErrorCode::kAborted, "preactivation refused"));
-      switch (result.error.code) {
-        case runtime::ErrorCode::kTimeout:
-        case runtime::ErrorCode::kDeadlineExceeded:
-          result.status = InvocationStatus::kTimedOut;
-          break;
-        case runtime::ErrorCode::kCancelled:
-          result.status = InvocationStatus::kCancelled;
-          break;
-        default:
-          result.status = InvocationStatus::kAborted;
-      }
-      return result;
+    AsyncCall(ComponentProxy& proxy, runtime::MethodId method, F body)
+        : proxy_(proxy), ctx_(method), body_(std::move(body)) {}
+    AsyncCall(const AsyncCall&) = delete;
+    AsyncCall& operator=(const AsyncCall&) = delete;
+
+    /// Pre-start configuration of the invocation context.
+    InvocationContext& context() { return ctx_; }
+
+    /// Targets a persona other than the submitting thread's for parked
+    /// retries (body + postactivation then run where it is progressed).
+    void bind(concurrency::Persona* p) { park_.persona = p; }
+
+    /// Handle onto the embedded result state; valid for the frame's life.
+    concurrency::Future<Result> future() {
+      return concurrency::Future<Result>(state_);
     }
-    result.wait_time = ctx.admitted_at() - ctx.enqueued_at();
 
-    // Postactivation MUST run now that entries have committed, even when
-    // the body throws — otherwise aspect state (e.g. a held slot) leaks.
+    /// Submits the call. The future settles inline (immediate verdict) or
+    /// from a later persona progress() drain (parked). Call exactly once.
+    void start() {
+      park_.ctx = &ctx_;
+      park_.settle.emplace(
+          [this](Decision verdict) { this->finish(verdict); });
+      proxy_.moderator().preactivation_async(park_);
+    }
+
+   private:
+    void finish(Decision verdict) {
+      Result result;
+      result.invocation_id = ctx_.id();
+      if (verdict != Decision::kResume) {
+        classify_refusal(ctx_, result);
+      } else {
+        result.wait_time = ctx_.admitted_at() - ctx_.enqueued_at();
+        proxy_.run_admitted_body(ctx_, body_, result);
+      }
+      concurrency::Promise<Result>(state_).fulfill(std::move(result));
+    }
+
+    ComponentProxy& proxy_;
+    InvocationContext ctx_;
+    F body_;
+    AspectModerator::ParkedCall park_;
+    concurrency::FutureState<Result> state_;
+  };
+
+  /// Convenience: heap-allocates one AsyncCall frame (configure, then
+  /// start()). Storm-scale callers should embed AsyncCall in a slab —
+  /// e.g. a std::deque, which never relocates — instead.
+  template <typename F>
+  auto invoke_async(runtime::MethodId method, F&& body) {
+    return std::make_unique<AsyncCall<std::decay_t<F>>>(
+        *this, method, std::forward<F>(body));
+  }
+
+ private:
+  // Maps a refused preactivation's abort error onto the result status;
+  // shared by the synchronous and asynchronous paths.
+  template <typename R>
+  static void classify_refusal(const InvocationContext& ctx,
+                               InvocationResult<R>& result) {
+    result.error = ctx.abort_error().value_or(runtime::make_error(
+        runtime::ErrorCode::kAborted, "preactivation refused"));
+    switch (result.error.code) {
+      case runtime::ErrorCode::kTimeout:
+      case runtime::ErrorCode::kDeadlineExceeded:
+        result.status = InvocationStatus::kTimedOut;
+        break;
+      case runtime::ErrorCode::kCancelled:
+        result.status = InvocationStatus::kCancelled;
+        break;
+      default:
+        result.status = InvocationStatus::kAborted;
+    }
+  }
+
+  // Admitted-call tail, shared by both paths: body, invariant check,
+  // postactivation. Postactivation MUST run now that entries have
+  // committed, even when the body throws — otherwise aspect state (e.g. a
+  // held slot) leaks.
+  template <typename F, typename R>
+  void run_admitted_body(InvocationContext& ctx, F& body,
+                         InvocationResult<R>& result) {
     try {
       if constexpr (std::is_void_v<R>) {
         body(component_);
@@ -210,6 +280,21 @@ class ComponentProxy {
                                          "non-standard exception from body");
     }
     moderator_->postactivation(ctx);
+  }
+
+  template <typename F>
+  auto execute(InvocationContext& ctx, F&& body)
+      -> InvocationResult<std::invoke_result_t<F, C&>> {
+    using R = std::invoke_result_t<F, C&>;
+    InvocationResult<R> result;
+    result.invocation_id = ctx.id();
+
+    if (moderator_->preactivation(ctx) != Decision::kResume) {
+      classify_refusal(ctx, result);
+      return result;
+    }
+    result.wait_time = ctx.admitted_at() - ctx.enqueued_at();
+    run_admitted_body(ctx, body, result);
     return result;
   }
 

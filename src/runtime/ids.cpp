@@ -1,6 +1,6 @@
 #include "runtime/ids.hpp"
 
-#include <atomic>
+#include <mutex>
 
 namespace amf::runtime {
 
@@ -32,7 +32,9 @@ std::size_t Interner::size() const {
 
 std::uint64_t next_invocation_id() {
   constexpr std::uint64_t kBlock = 256;
-  static std::atomic<std::uint64_t> global{1};
+  // par_atomic: the shared refill counter degrades to a plain cell under
+  // -DAMF_SEQ=ON (the thread-local blocks are then pure bookkeeping).
+  static par_atomic<std::uint64_t> global{1};
   thread_local std::uint64_t next = 0;
   thread_local std::uint64_t end = 0;
   if (next == end) {

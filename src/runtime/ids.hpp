@@ -10,10 +10,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "concurrency/knobs.hpp"
 
 namespace amf::runtime {
 
@@ -39,7 +40,9 @@ class Interner {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
+  // Build-axis knob (DESIGN.md §16): -DAMF_SEQ=ON compiles the interner's
+  // lock away entirely (the process promised it is single-threaded).
+  mutable par_mutex mu_;
   std::unordered_map<std::string_view, std::uint32_t> index_;
   std::deque<std::string> names_;  // deque: stable addresses for the views
 };

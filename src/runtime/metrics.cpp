@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <mutex>
 #include <sstream>
 
 namespace amf::runtime {

@@ -12,9 +12,10 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "concurrency/knobs.hpp"
 
 namespace amf::runtime {
 
@@ -29,7 +30,8 @@ class Counter {
   void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<std::uint64_t> v_{0};
+  // Build-axis knob (DESIGN.md §16): plain cell under -DAMF_SEQ=ON.
+  par_atomic<std::uint64_t> v_{0};
 };
 
 /// Instantaneous signed value.
@@ -40,7 +42,7 @@ class Gauge {
   std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
-  std::atomic<std::int64_t> v_{0};
+  par_atomic<std::int64_t> v_{0};
 };
 
 /// Histogram of non-negative values with log2 buckets subdivided into
@@ -78,11 +80,13 @@ class Histogram {
   void reset();
 
  private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::int64_t> sum_{0};
-  std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
-  std::atomic<std::int64_t> max_{0};
+  // par_atomic cells keep the record path lock-free in threaded builds and
+  // strip every RMW (including the min/max CAS loops) under -DAMF_SEQ=ON.
+  std::array<par_atomic<std::uint64_t>, kBuckets> buckets_{};
+  par_atomic<std::uint64_t> count_{0};
+  par_atomic<std::int64_t> sum_{0};
+  par_atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
+  par_atomic<std::int64_t> max_{0};
 };
 
 /// Named metric registry. Lookup is mutex-protected and intended to happen
@@ -98,7 +102,7 @@ class Registry {
   std::string report() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable par_mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

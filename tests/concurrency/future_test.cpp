@@ -1,0 +1,251 @@
+// Unit tests for the async-moderation concurrency primitives
+// (DESIGN.md §18): InlineCallback storage, Completion persona hops,
+// Promise/Future bits protocol, and the Persona progress engine.
+#include "concurrency/future.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concurrency/completion.hpp"
+#include "concurrency/progress.hpp"
+
+namespace amf::concurrency {
+namespace {
+
+// --- InlineCallback --------------------------------------------------------
+
+TEST(InlineCallbackTest, SmallCallableStaysInline) {
+  InlineCallback<kCompletionInline, int> cb;
+  int seen = 0;
+  cb.emplace([&seen](int v) { seen = v; });
+  EXPECT_TRUE(cb.armed());
+  EXPECT_TRUE(cb.inline_stored()) << "a one-pointer capture must fit inline";
+  cb.fire(7);
+  EXPECT_EQ(seen, 7);
+  EXPECT_FALSE(cb.armed()) << "fire() disarms";
+}
+
+TEST(InlineCallbackTest, OversizedCallableSpillsToHeapAndStillFires) {
+  InlineCallback<kCompletionInline> cb;
+  std::array<char, 2 * kCompletionInline> big{};
+  big[0] = 42;
+  bool fired = false;
+  cb.emplace([big, &fired] { fired = (big[0] == 42); });
+  EXPECT_TRUE(cb.armed());
+  EXPECT_FALSE(cb.inline_stored());
+  cb.fire();
+  EXPECT_TRUE(fired);
+}
+
+TEST(InlineCallbackTest, ResetDestroysWithoutInvoking) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  InlineCallback<kCompletionInline> cb;
+  bool fired = false;
+  cb.emplace([token, &fired] { fired = true; });
+  token.reset();
+  EXPECT_FALSE(watch.expired()) << "callable owns the capture";
+  cb.reset();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(watch.expired()) << "reset() must destroy the capture";
+  EXPECT_FALSE(cb.armed());
+}
+
+TEST(InlineCallbackTest, CallableMayReArmTheSlotFromInsideFire) {
+  InlineCallback<kCompletionInline> cb;
+  int fires = 0;
+  cb.emplace([&] {
+    ++fires;
+    cb.emplace([&] { ++fires; });
+  });
+  cb.fire();
+  EXPECT_TRUE(cb.armed()) << "re-arm from inside fire() must stick";
+  cb.fire();
+  EXPECT_EQ(fires, 2);
+}
+
+// --- Completion ------------------------------------------------------------
+
+TEST(CompletionTest, UnboundTriggerRunsInline) {
+  Completion<int> c;
+  int seen = 0;
+  c.arm([&seen](int v) { seen = v; });
+  c.trigger(5);
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(CompletionTest, BoundTriggerDefersToPersonaDrain) {
+  Persona persona;
+  Completion<std::string> c;
+  std::string seen;
+  c.arm([&seen](std::string v) { seen = std::move(v); });
+  c.bind(&persona);
+  c.trigger("hello");
+  EXPECT_TRUE(seen.empty()) << "bound trigger must not run inline";
+  EXPECT_EQ(persona.progress(), 1u);
+  EXPECT_EQ(seen, "hello");
+}
+
+// --- Promise / Future ------------------------------------------------------
+
+TEST(FutureTest, FulfillThenThenRunsContinuationInline) {
+  FutureState<int> state;
+  Promise<int> promise(state);
+  Future<int> future = promise.future();
+  EXPECT_TRUE(future.valid());
+  EXPECT_FALSE(future.ready());
+
+  promise.fulfill(11);
+  EXPECT_TRUE(future.ready());
+  EXPECT_EQ(future.value(), 11);
+
+  // Already-ready fast path: the continuation fires during then(), on this
+  // thread, before then() returns.
+  int seen = 0;
+  future.then([&seen](int& v) { seen = v; });
+  EXPECT_EQ(seen, 11);
+}
+
+TEST(FutureTest, ThenBeforeFulfillRunsOnTheFulfillingSide) {
+  FutureState<int> state;
+  Promise<int> promise(state);
+  Future<int> future(state);
+  int seen = 0;
+  future.then([&seen](int& v) { seen = v; });
+  EXPECT_EQ(seen, 0);
+  promise.fulfill(23);
+  EXPECT_EQ(seen, 23);
+  EXPECT_EQ(future.value(), 23) << "value stays readable after the cont ran";
+}
+
+TEST(FutureTest, VoidFutureWorks) {
+  FutureState<void> state;
+  Promise<void> promise(state);
+  Future<void> future(state);
+  bool ran = false;
+  future.then([&ran] { ran = true; });
+  promise.fulfill();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(future.ready());
+}
+
+TEST(FutureTest, HandlesAreMovable) {
+  FutureState<int> state;
+  Promise<int> p1(state);
+  Promise<int> p2 = std::move(p1);
+  EXPECT_FALSE(p1.valid());
+  EXPECT_TRUE(p2.valid());
+
+  Future<int> f1(state);
+  Future<int> f2 = std::move(f1);
+  EXPECT_FALSE(f1.valid());
+  ASSERT_TRUE(f2.valid());
+
+  p2.fulfill(9);
+  EXPECT_TRUE(f2.ready());
+  EXPECT_EQ(f2.value(), 9);
+}
+
+TEST(FutureTest, CrossThreadFulfillRace) {
+  // Hammer the bits protocol: fulfiller and continuation-attacher race;
+  // the continuation must run exactly once with the value visible.
+  for (int round = 0; round < 200; ++round) {
+    FutureState<int> state;
+    std::atomic<int> fired{0};
+    std::atomic<int> observed{0};
+    std::thread fulfiller([&] { Promise<int>(state).fulfill(round + 1); });
+    Future<int>(state).then([&](int& v) {
+      observed.store(v);
+      fired.fetch_add(1);
+    });
+    fulfiller.join();
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_EQ(observed.load(), round + 1);
+  }
+}
+
+TEST(FutureTest, WaitDrivesCallingPersona) {
+  FutureState<int> state;
+  Future<int> future(state);
+  std::thread fulfiller([&] { Promise<int>(state).fulfill(77); });
+  future.wait();
+  EXPECT_EQ(future.value(), 77);
+  fulfiller.join();
+}
+
+// --- Persona ---------------------------------------------------------------
+
+struct CountingNode : ProgressNode {
+  std::atomic<int>* hits = nullptr;
+  static void on_fire(ProgressNode* n) {
+    static_cast<CountingNode*>(n)->hits->fetch_add(1);
+  }
+};
+
+TEST(PersonaTest, CrossThreadEnqueueFiresOnOwnerDrain) {
+  Persona persona;
+  std::atomic<int> hits{0};
+  constexpr int kProducers = 4, kEach = 250;
+  std::vector<CountingNode> nodes(kProducers * kEach);
+  {
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kEach; ++i) {
+          auto& node = nodes[static_cast<std::size_t>(p * kEach + i)];
+          node.hits = &hits;
+          node.fire = &CountingNode::on_fire;
+          persona.enqueue(&node);
+        }
+      });
+    }
+  }
+  std::size_t drained = 0;
+  while (drained < static_cast<std::size_t>(kProducers * kEach)) {
+    drained += persona.progress();
+  }
+  EXPECT_EQ(hits.load(), kProducers * kEach);
+  EXPECT_EQ(persona.enqueued(), static_cast<std::uint64_t>(kProducers * kEach));
+  EXPECT_TRUE(persona.idle());
+}
+
+TEST(PersonaTest, CascadeEnqueueDuringDrainIsFiredInTheSameProgressCall) {
+  Persona persona;
+  struct ChainNode : ProgressNode {
+    Persona* target = nullptr;
+    ChainNode* then = nullptr;
+    int* order = nullptr;
+    int tag = 0;
+    static void on_fire(ProgressNode* n) {
+      auto* self = static_cast<ChainNode*>(n);
+      *self->order = self->tag;
+      if (self->then != nullptr) self->target->enqueue(self->then);
+    }
+  };
+  int last = 0;
+  ChainNode second{{}, &persona, nullptr, &last, 2};
+  ChainNode first{{}, &persona, &second, &last, 1};
+  first.fire = second.fire = &ChainNode::on_fire;
+  persona.enqueue(&first);
+  EXPECT_EQ(persona.progress(), 2u)
+      << "a continuation enqueued mid-drain fires in the same progress()";
+  EXPECT_EQ(last, 2);
+}
+
+TEST(PersonaTest, CurrentIsPerThread) {
+  Persona* mine = &Persona::current();
+  Persona* theirs = nullptr;
+  std::thread other([&] { theirs = &Persona::current(); });
+  other.join();
+  EXPECT_NE(mine, nullptr);
+  EXPECT_NE(mine, theirs);
+  EXPECT_EQ(mine, &Persona::current());
+}
+
+}  // namespace
+}  // namespace amf::concurrency

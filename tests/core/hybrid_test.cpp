@@ -1,0 +1,237 @@
+// Hybrid composition parity (DESIGN.md §16 interop, ROADMAP
+// static-composition follow-on (b)).
+//
+// The contract under test: HybridProxy — a dynamic authentication shell
+// published around the statically woven ticket sync core in one
+// constructor call — is observationally identical to the all-dynamic
+// wiring of the same two concerns: same verdicts, same error text, same
+// assigned tickets, same component counters, G4 pairing clean in the
+// shell, protocol traces valid in both layers. Plus the layering claims
+// the hybrid adds: an outer veto never consults the core, and a caller
+// blocked INSIDE the core is released by a peer call arriving through the
+// shell.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "apps/ticket/static_ticket.hpp"
+#include "apps/ticket/ticket_proxy.hpp"
+#include "aspects/synchronization.hpp"
+#include "core/hybrid.hpp"
+#include "core/verify.hpp"
+
+namespace {
+
+using namespace amf;
+using namespace amf::core;
+using namespace amf::apps::ticket;
+using enum Decision;
+
+using HybridTicket =
+    HybridProxy<TicketServer, StaticSyncAspect, StaticSyncAspect>;
+
+// The same auth guard for both wirings: veto anonymous callers with the
+// error shape AuthenticationAspect uses.
+AspectPtr make_auth_aspect() {
+  return std::make_shared<LambdaAspect>(
+      "auth", [](InvocationContext& ctx) {
+        if (!ctx.principal().authenticated()) {
+          ctx.set_note("vetoed.by", "auth");
+          ctx.set_abort_error(runtime::make_error(
+              runtime::ErrorCode::kUnauthenticated,
+              "anonymous caller refused"));
+          return kAbort;
+        }
+        return kResume;
+      });
+}
+
+runtime::Principal amy() {
+  return runtime::Principal{"amy", {"agent"}, "token-amy"};
+}
+
+// The one-call wiring under test: dynamic auth bindings (wrapped in the
+// conformance decorator) + statically woven producer/consumer guards.
+std::unique_ptr<HybridTicket> make_hybrid_ticket(
+    std::size_t capacity, std::shared_ptr<HookOrderGuard> auth,
+    runtime::EventLog* outer_log = nullptr,
+    runtime::EventLog* inner_log = nullptr) {
+  HybridOptions options;
+  if (outer_log != nullptr) options.outer.log = outer_log;
+  if (inner_log != nullptr) options.inner.log = inner_log;
+  options.bindings = {
+      {open_method(), runtime::kinds::authentication(), auth},
+      {assign_method(), runtime::kinds::authentication(), auth}};
+  auto state = std::make_shared<aspects::BoundedResourceState>(capacity);
+  return std::make_unique<HybridTicket>(
+      std::move(options), TicketServer(capacity),
+      StaticSyncAspect(
+          aspects::BoundedResourceAspect(
+              aspects::BoundedResourceAspect::Role::kProducer, state),
+          open_method()),
+      StaticSyncAspect(
+          aspects::BoundedResourceAspect(
+              aspects::BoundedResourceAspect::Role::kConsumer, state),
+          assign_method()));
+}
+
+// The all-dynamic reference: make_ticket_proxy's bank wiring plus the same
+// auth aspect registered outside synchronization (the §5.3 kind order).
+std::shared_ptr<TicketProxy> make_dynamic_reference(
+    std::size_t capacity, std::shared_ptr<HookOrderGuard> auth,
+    runtime::EventLog* log = nullptr) {
+  ModeratorOptions options;
+  if (log != nullptr) options.log = log;
+  auto proxy = make_ticket_proxy(capacity, options);
+  proxy->moderator().bank().set_kind_order(
+      {runtime::kinds::authentication(), runtime::kinds::synchronization()});
+  proxy->moderator().register_aspect(
+      open_method(), runtime::kinds::authentication(), auth);
+  proxy->moderator().register_aspect(
+      assign_method(), runtime::kinds::authentication(), auth);
+  return proxy;
+}
+
+TEST(HybridProxyTest, ConstructorPublishesBindingsBeforeTraffic) {
+  auto auth = std::make_shared<HookOrderGuard>(make_auth_aspect());
+  auto hybrid = make_hybrid_ticket(2, auth);
+  // The one-call claim: both cells are in the dynamic bank already.
+  EXPECT_EQ(hybrid->moderator().bank().find(
+                open_method(), runtime::kinds::authentication()),
+            auth);
+  EXPECT_EQ(hybrid->moderator().bank().find(
+                assign_method(), runtime::kinds::authentication()),
+            auth);
+  // And the core is live behind it.
+  EXPECT_EQ(hybrid->component().capacity(), 2u);
+}
+
+TEST(HybridProxyTest, OuterVetoNeverConsultsTheStaticCore) {
+  auto hybrid_auth = std::make_shared<HookOrderGuard>(make_auth_aspect());
+  auto dyn_auth = std::make_shared<HookOrderGuard>(make_auth_aspect());
+  auto hybrid = make_hybrid_ticket(2, hybrid_auth);
+  auto dyn = make_dynamic_reference(2, dyn_auth);
+
+  auto rh = static_open_ticket(*hybrid, Ticket{1, "a", "u"});
+  auto rd = open_ticket(*dyn, Ticket{1, "a", "u"});
+
+  ASSERT_EQ(rh.status, InvocationStatus::kAborted);
+  ASSERT_EQ(rd.status, rh.status);
+  EXPECT_EQ(rh.error.code, runtime::ErrorCode::kUnauthenticated);
+  EXPECT_EQ(rh.error.code, rd.error.code);
+  EXPECT_EQ(rh.error.message, rd.error.message);
+
+  // The refusal happened in the shell: the woven core never saw the call.
+  EXPECT_EQ(hybrid->core().stats().admitted, 0u);
+  EXPECT_EQ(hybrid->component().total_opened(), 0u);
+  EXPECT_TRUE(hybrid_auth->violations().empty());
+  EXPECT_TRUE(dyn_auth->violations().empty());
+}
+
+TEST(HybridProxyTest, AdmittedScriptMatchesAllDynamic) {
+  runtime::EventLog hyb_outer_log, hyb_inner_log, dyn_log;
+  auto hybrid_auth = std::make_shared<HookOrderGuard>(make_auth_aspect());
+  auto dyn_auth = std::make_shared<HookOrderGuard>(make_auth_aspect());
+  auto hybrid =
+      make_hybrid_ticket(2, hybrid_auth, &hyb_outer_log, &hyb_inner_log);
+  auto dyn = make_dynamic_reference(2, dyn_auth, &dyn_log);
+  const auto user = amy();
+
+  // Same script through both wirings: fill, drain, refill.
+  const Ticket t1{1, "a", "u"}, t2{2, "b", "u"}, t3{3, "c", "u"};
+  for (const Ticket& t : {t1, t2}) {
+    auto rh = hybrid->call(open_method()).as(user).run(
+        [&t](TicketServer& s) { s.open(t); });
+    auto rd = open_ticket_as(*dyn, t, user);
+    ASSERT_TRUE(rh.ok());
+    ASSERT_EQ(rd.status, rh.status);
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto rh = hybrid->call(assign_method()).as(user).run(
+        [](TicketServer& s) { return s.assign(); });
+    auto rd = assign_ticket_as(*dyn, user);
+    ASSERT_TRUE(rh.ok());
+    ASSERT_TRUE(rd.ok());
+    EXPECT_EQ(rh.value->id, rd.value->id);
+  }
+  auto rh3 = hybrid->call(open_method()).as(user).run(
+      [&t3](TicketServer& s) { s.open(t3); });
+  ASSERT_TRUE(rh3.ok());
+  ASSERT_TRUE(open_ticket_as(*dyn, t3, user).ok());
+
+  EXPECT_EQ(hybrid->component().total_opened(),
+            dyn->component().total_opened());
+  EXPECT_EQ(hybrid->component().total_assigned(),
+            dyn->component().total_assigned());
+
+  // Every admitted call passed both layers exactly once.
+  EXPECT_EQ(hybrid->core().stats().admitted, 5u);
+  EXPECT_EQ(hybrid->core().stats().completed, 5u);
+
+  // G4 pairing in the shell, protocol traces valid in every layer.
+  EXPECT_TRUE(hybrid_auth->violations().empty());
+  EXPECT_TRUE(dyn_auth->violations().empty());
+  EXPECT_TRUE(TraceValidator::validate(hyb_outer_log).empty());
+  EXPECT_TRUE(TraceValidator::validate(hyb_inner_log).empty());
+  EXPECT_TRUE(TraceValidator::validate(dyn_log).empty());
+}
+
+TEST(HybridProxyTest, DeadlineParityWhileBlockedInTheInnerCore) {
+  auto hybrid_auth = std::make_shared<HookOrderGuard>(make_auth_aspect());
+  auto dyn_auth = std::make_shared<HookOrderGuard>(make_auth_aspect());
+  auto hybrid = make_hybrid_ticket(2, hybrid_auth);
+  auto dyn = make_dynamic_reference(2, dyn_auth);
+  const auto user = amy();
+  const auto wait = std::chrono::milliseconds(20);
+
+  // Empty buffer: assign blocks — in the hybrid it parks inside the WOVEN
+  // chain (the shell admitted it) — and the deadline must surface the same
+  // structured timeout as the all-dynamic wiring.
+  auto rh = hybrid->call(assign_method()).as(user).within(wait).run(
+      [](TicketServer& s) { return s.assign(); });
+  auto rd = dyn->call(assign_method()).as(user).within(wait).run(
+      [](TicketServer& s) { return s.assign(); });
+
+  ASSERT_EQ(rh.status, InvocationStatus::kTimedOut);
+  ASSERT_EQ(rd.status, rh.status);
+  EXPECT_EQ(rh.error.code, runtime::ErrorCode::kTimeout);
+  EXPECT_EQ(rh.error.code, rd.error.code);
+  EXPECT_EQ(rh.error.message, rd.error.message);
+  EXPECT_EQ(hybrid->core().stats().timed_out, 1u);
+  EXPECT_TRUE(hybrid_auth->violations().empty());
+}
+
+TEST(HybridProxyTest, PeerCallThroughTheShellReleasesTheInnerBlock) {
+  auto auth = std::make_shared<HookOrderGuard>(make_auth_aspect());
+  auto hybrid = make_hybrid_ticket(2, auth);
+  const auto user = amy();
+
+  // A consumer blocks inside the static core; a producer arriving through
+  // the full hybrid stack (shell admission, then core admission) must wake
+  // it — the cross-layer wakeup path.
+  Ticket assigned;
+  std::thread consumer([&] {
+    auto r = hybrid->call(assign_method()).as(user).run(
+        [](TicketServer& s) { return s.assign(); });
+    ASSERT_TRUE(r.ok());
+    assigned = *r.value;
+  });
+  // Don't produce until the consumer has really parked in the core (on one
+  // CPU the main thread can otherwise run first and nothing ever blocks).
+  while (hybrid->core().stats().block_events == 0) {
+    std::this_thread::yield();
+  }
+  auto opened = hybrid->call(open_method()).as(user).run(
+      [](TicketServer& s) { s.open(Ticket{7, "x", "u"}); });
+  ASSERT_TRUE(opened.ok());
+  consumer.join();
+
+  EXPECT_EQ(assigned.id, 7u);
+  EXPECT_GE(hybrid->core().stats().block_events, 1u);
+  EXPECT_TRUE(auth->violations().empty());
+}
+
+}  // namespace

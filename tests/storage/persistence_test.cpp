@@ -4,9 +4,11 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <deque>
 #include <filesystem>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -313,6 +315,61 @@ TEST_F(PersistenceTest, AuctionHistorySurvivesReopenAndCheckpoint) {
   const auto lamp = app.value()->house().item(1);
   ASSERT_TRUE(lamp.has_value());
   EXPECT_TRUE(lamp->closed) << "snapshot must preserve the closed sale";
+}
+
+TEST_F(PersistenceTest, AsyncAssignStormDrainsDurablyAndSurvivesReopen) {
+  // Ticket storm on the async path (DESIGN.md §18): a batch of assigns
+  // parks against the empty buffer with no thread held per call; each
+  // durable open's postactivation hands the parked batch back to this
+  // thread's persona, which re-admits exactly as many as there are items.
+  // Every admitted async call must hit the WAL like a sync one.
+  constexpr int kStorm = 24;
+  {
+    auto app = DurableTicketApp::open(dir());
+    ASSERT_TRUE(app.ok()) << app.error().to_string();
+
+    std::deque<DurableTicketApp::AsyncAssignCall> slab;
+    std::vector<concurrency::Future<DurableTicketApp::AsyncAssignCall::Result>>
+        futures;
+    for (int i = 0; i < kStorm; ++i) {
+      auto& call = app.value()->assign_ticket_async(slab, named("oncall"));
+      futures.push_back(call.future());
+    }
+    EXPECT_EQ(app.value()->proxy().moderator().async_parked(), kStorm)
+        << "assigns against an empty buffer must all park";
+    EXPECT_EQ(app.value()->persistence().appended(), 0u);
+
+    for (int i = 0; i < kStorm; ++i) {
+      ASSERT_TRUE(app.value()
+                      ->open_ticket(ticket(static_cast<std::uint64_t>(i + 1),
+                                           "storm", "alice"),
+                                    named("alice"))
+                      .ok());
+      // Exactly one more parked assign can complete per opened ticket.
+      concurrency::progress_until([&] {
+        return futures[static_cast<std::size_t>(i)].ready();
+      });
+    }
+    for (int i = 0; i < kStorm; ++i) {
+      auto& result = futures[static_cast<std::size_t>(i)].value();
+      ASSERT_TRUE(result.ok()) << result.error.to_string();
+      EXPECT_EQ(result.value->id, static_cast<std::uint64_t>(i + 1))
+          << "parked assigns must drain in FIFO order";
+    }
+    EXPECT_EQ(app.value()->proxy().moderator().async_parked(), 0);
+    EXPECT_EQ(app.value()->persistence().appended(),
+              static_cast<std::uint64_t>(2 * kStorm));
+    ASSERT_TRUE(app.value()->sync().ok());
+  }
+
+  auto app = DurableTicketApp::open(dir());
+  ASSERT_TRUE(app.ok()) << app.error().to_string();
+  EXPECT_EQ(app.value()->recovery_stats().replayed,
+            static_cast<std::uint64_t>(2 * kStorm));
+  EXPECT_EQ(app.value()->pending(), 0u);
+  EXPECT_EQ(app.value()->total_opened(), static_cast<std::uint64_t>(kStorm));
+  EXPECT_EQ(app.value()->total_assigned(),
+            static_cast<std::uint64_t>(kStorm));
 }
 
 }  // namespace
